@@ -1,0 +1,73 @@
+"""Ablation: rule-based NER vs a regex-only baseline for personal names.
+
+The paper uses spaCy's transformer (precision = recall = 0.9 for
+personal names) plus manual review. Our rule-based substitute is
+evaluated the same way on labeled synthetic CN strings; a naive
+capitalized-two-words regex baseline over-triggers on product and
+company strings.
+"""
+
+import random
+import re
+
+from benchmarks.conftest import report
+from repro.core.report import Table
+from repro.netsim.content import ContentSynthesizer
+from repro.text.ner import NerClassifier, evaluate_person_detection
+
+_NAIVE_RE = re.compile(r"^[A-Z][a-z]+ [A-Z][a-z]+$")
+
+NEGATIVES = (
+    "WebRTC", "Hybrid Runbook Worker", "Android Keystore", "twilio",
+    "Internet Widgits Pty Ltd", "Default Company Ltd", "Outset Medical",
+    "Globus Online", "FXP DCAU Cert", "localhost", "example.com",
+    "Sectigo Limited", "Acme Co", "Honeywell International Inc",
+    "Blue Triton", "Data Services", "Media Server", "Cloud Device",
+)
+
+
+def _labeled_dataset(samples: int = 150) -> list[tuple[str, bool]]:
+    content = ContentSynthesizer(random.Random(5))
+    labeled = [(content.personal_name(), True) for _ in range(samples)]
+    labeled.extend((value, False) for value in NEGATIVES)
+    labeled.extend((content.random_hex(16), False) for _ in range(30))
+    return labeled
+
+
+def _naive_scores(labeled):
+    true_positive = false_positive = false_negative = 0
+    for text, is_person in labeled:
+        predicted = bool(_NAIVE_RE.match(text))
+        if predicted and is_person:
+            true_positive += 1
+        elif predicted and not is_person:
+            false_positive += 1
+        elif not predicted and is_person:
+            false_negative += 1
+    precision = true_positive / max(1, true_positive + false_positive)
+    recall = true_positive / max(1, true_positive + false_negative)
+    return precision, recall
+
+
+def test_ablation_ner_vs_regex(benchmark, study):
+    labeled = _labeled_dataset()
+    classifier = NerClassifier()
+
+    precision, recall = benchmark(evaluate_person_detection, classifier, labeled)
+    naive_precision, naive_recall = _naive_scores(labeled)
+
+    # Match the paper's reported transformer quality (0.9/0.9).
+    assert precision >= 0.9
+    assert recall >= 0.9
+    # The rules beat the naive baseline on precision: 'Outset Medical'
+    # style strings fool a capitalization regex.
+    assert precision > naive_precision
+
+    table = Table(
+        "Ablation: personal-name detection quality",
+        ["Detector", "Precision", "Recall"],
+    )
+    table.add_row("rule-based NER (ours)", f"{precision:.2f}", f"{recall:.2f}")
+    table.add_row("capitalized-pair regex", f"{naive_precision:.2f}", f"{naive_recall:.2f}")
+    table.add_row("spaCy en_core_web_trf (paper)", "0.90", "0.90")
+    report(table, "paper reports precision = recall = 0.9 before manual review")

@@ -1,0 +1,32 @@
+"""Extension bench: EKU/role mismatches.
+
+Not a paper artifact — the authors could not see EKU in their logs.
+This quantifies §5.2's reuse pattern directly: serverAuth-only
+certificates (Table 5's public rows, Table 6's dual-use certs) presented
+by clients violate RFC 5280's key-purpose semantics.
+"""
+
+from benchmarks.conftest import report
+from repro.core import sharing
+
+
+def test_eku_mismatch_extension(benchmark, study, enriched):
+    result = benchmark(sharing.eku_mismatch_report, enriched)
+
+    # The reuse cohorts materialize as clientAuth violations.
+    assert result.client_violations
+    assert result.certificates_with_eku > 100
+    # Violations are a small minority — most EKU-carrying certs are used
+    # within their declared purpose.
+    assert len(result.client_violations) < 0.2 * result.certificates_with_eku
+    # Every violating cert is a genuine server-cert-as-client case.
+    for fp in result.client_violations:
+        profile = enriched.profiles[fp]
+        assert profile.used_as_client
+        assert "clientAuth" not in profile.record.eku
+
+    report(
+        sharing.render_eku_mismatch(result),
+        "extension beyond the paper: quantifies the §5.2 reuse pattern "
+        "against declared key purposes",
+    )

@@ -1,0 +1,27 @@
+"""Throughput of the traffic generator and log pipeline themselves.
+
+Not a paper artifact — this measures the substrate so regressions in the
+certificate/TLS/Zeek layers are visible.
+"""
+
+from repro.core.dataset import MtlsDataset
+from repro.netsim import ScenarioConfig, TrafficGenerator
+
+
+def test_generation_throughput(benchmark):
+    config = ScenarioConfig(months=2, connections_per_month=500, seed=3)
+
+    def run():
+        return TrafficGenerator(config).generate()
+
+    result = benchmark(run)
+    assert len(result.logs.ssl) >= 1000
+
+
+def test_dataset_join_throughput(benchmark, simulation):
+    def run():
+        dataset = MtlsDataset.from_logs(simulation.logs)
+        return dataset.certificate_profiles()
+
+    profiles = benchmark(run)
+    assert profiles

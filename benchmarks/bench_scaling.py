@@ -1,0 +1,43 @@
+"""Substrate scaling: generation + analysis cost at two run sizes.
+
+Not a paper artifact — documents that the pipeline scales roughly
+linearly in connection count, so larger reproductions are a matter of
+waiting, not of restructuring.
+"""
+
+import time
+
+from repro.core.dataset import MtlsDataset
+from repro.core.enrich import Enricher
+from repro.netsim import ScenarioConfig, TrafficGenerator
+
+
+def _run(months: int, cpm: int) -> tuple[int, float]:
+    started = time.perf_counter()
+    simulation = TrafficGenerator(
+        ScenarioConfig(months=months, connections_per_month=cpm, seed=13)
+    ).generate()
+    Enricher(
+        bundle=simulation.trust_bundle, ct_log=simulation.ct_log
+    ).enrich(MtlsDataset.from_logs(simulation.logs))
+    return len(simulation.logs.ssl), time.perf_counter() - started
+
+
+def test_scaling_is_roughly_linear(benchmark):
+    small_connections, small_seconds = _run(months=2, cpm=400)
+
+    def run_large():
+        return _run(months=4, cpm=800)
+
+    large_connections, large_seconds = benchmark.pedantic(
+        run_large, rounds=1, iterations=1
+    )
+    ratio = large_connections / small_connections
+    time_ratio = large_seconds / max(1e-6, small_seconds)
+    # 4x the connections should cost well under 16x the time (i.e. the
+    # pipeline is not quadratic). Generous bound to stay CI-stable.
+    assert ratio > 2.5
+    assert time_ratio < ratio * 4
+    print(f"\n{small_connections} conns in {small_seconds:.2f}s; "
+          f"{large_connections} conns in {large_seconds:.2f}s "
+          f"(x{ratio:.1f} size, x{time_ratio:.1f} time)")

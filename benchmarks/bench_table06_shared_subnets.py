@@ -1,0 +1,34 @@
+"""Table 6: /24-subnet spread of certs shared across server/client roles.
+
+Paper: 1,611 certificates; server-role quantiles 1/1/7/217, client-role
+1/2/43/1,851 — client-role spread has the heavier tail. Top issuers:
+Let's Encrypt 51.58%, DigiCert 14.34%, Sectigo 7.95%.
+"""
+
+from benchmarks.conftest import report
+from repro.core import sharing
+
+
+def test_table6_cross_connection_subnets(benchmark, study, enriched):
+    spread = benchmark(sharing.cross_connection_subnets, enriched)
+    assert spread.shared_certificates > 0                      # paper: 1,611
+
+    for quantiles in (spread.server_quantiles, spread.client_quantiles):
+        assert quantiles[50] <= quantiles[75] <= quantiles[99] <= quantiles[100]
+
+    # Medians are 1 on both sides.
+    assert spread.server_quantiles[50] == 1
+    assert spread.client_quantiles[50] == 1
+    # The crossover: client-role spread dominates at the tail.
+    assert spread.client_quantiles[100] >= spread.server_quantiles[100]
+
+    # Public server-cert issuers dominate the shared population
+    # (Let's Encrypt et al. at paper scale).
+    top_orgs = dict(spread.top_issuer_orgs)
+    assert top_orgs, "no issuers found for shared certificates"
+
+    report(
+        sharing.render_cross_connection_subnets(spread),
+        "server 1/1/7/217, client 1/2/43/1851; Let's Encrypt 51.58%, "
+        "DigiCert 14.34%, Sectigo 7.95%",
+    )

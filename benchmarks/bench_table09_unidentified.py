@@ -1,0 +1,49 @@
+"""Table 9: unidentified CN/SAN values — non-random vs random shapes.
+
+Paper: 80% of unidentified private-server CNs are random (46% length-8,
+17% length-32, 9% length-36/UUID); client-public unidentified values are
+60% recognizable by issuer (Azure Sphere / Apple device CAs); 16% of
+client-private unidentified CNs are non-random opaque strings
+('__transfer__', 'Dtls').
+"""
+
+from benchmarks.conftest import report
+from repro.core import cnsan
+
+
+def test_table9_unidentified_breakdown(benchmark, study, enriched):
+    rows = benchmark(cnsan.unidentified_breakdown, enriched)
+    assert rows
+
+    by_key = {(r.group, r.fieldname): r for r in rows}
+
+    # Client/Private CN: both non-random opaque strings and random
+    # shapes (hashes, UUIDs) exist.
+    client_private = by_key.get(("Client/Private", "CN"))
+    assert client_private is not None
+    assert client_private.non_random > 0                     # '__transfer__', 'Dtls'
+    random_total = (
+        client_private.random_by_issuer + client_private.random_len8
+        + client_private.random_len32 + client_private.random_len36
+        + client_private.random_other
+    )
+    assert random_total > 0
+
+    # Client/Public CN: issuer-recognizable random strings dominate
+    # (Azure Sphere / Apple device CAs).
+    client_public = by_key.get(("Client/Public", "CN"))
+    if client_public is not None and client_public.total >= 5:
+        assert client_public.random_by_issuer > 0            # paper: 60%
+
+    # Bucket arithmetic must be exact for every row.
+    for row in rows:
+        assert row.total == (
+            row.non_random + row.random_by_issuer + row.random_len8
+            + row.random_len32 + row.random_len36 + row.random_other
+        )
+
+    report(
+        cnsan.render_unidentified_breakdown(rows),
+        "server-private CN: 80% random (len8 46%/len32 17%/len36 9%); "
+        "client-public: 60% by issuer; client-private: 16% non-random",
+    )

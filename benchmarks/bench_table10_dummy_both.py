@@ -1,0 +1,44 @@
+"""Table 10 (Appendix B): dummy issuers on BOTH endpoints.
+
+Paper: all rows are 'Internet Widgits Pty Ltd' (the OpenSSL default) on
+both sides — fireboard.io (9 clients, 618 days), amazonaws.com
+(7 clients, 17 days), and one missing-SNI connection.
+"""
+
+from benchmarks.conftest import report
+from repro.core import dummy
+from repro.core.report import Table
+
+
+def test_table10_dummy_both_endpoints(benchmark, study, enriched):
+    rows = benchmark(dummy.dummy_both_endpoints, enriched)
+    assert rows
+
+    fireboard = [r for r in rows if r.sld == "fireboard.io"]
+    assert fireboard
+    widgits_row = next(
+        (
+            r for r in fireboard
+            if r.client_issuer_org == "Internet Widgits Pty Ltd"
+            and r.server_issuer_org == "Internet Widgits Pty Ltd"
+        ),
+        None,
+    )
+    assert widgits_row is not None
+    assert len(widgits_row.clients) >= 3                      # paper: 9
+    assert widgits_row.activity_days > 100                    # paper: 618 days
+
+    table = Table(
+        "Table 10: dummy issuers at both endpoints",
+        ["SLD", "Client issuer", "Server issuer", "#clients", "Activity (days)"],
+    )
+    for row in rows:
+        table.add_row(
+            row.sld, row.client_issuer_org, row.server_issuer_org,
+            len(row.clients), f"{row.activity_days:.0f}",
+        )
+    report(
+        table,
+        "fireboard.io 9 clients/618d, amazonaws.com 7/17d, missing-SNI "
+        "1/1d — all Internet Widgits Pty Ltd on both sides",
+    )

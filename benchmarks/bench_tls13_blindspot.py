@@ -1,0 +1,29 @@
+"""§3.3: the TLS 1.3 blind spot.
+
+Paper: 40.86% of all TLS connections are TLS 1.3 (certificates encrypted,
+mutual-TLS status unknowable), involving 25.35% of server IPs and 32.23%
+of client IPs.
+"""
+
+from benchmarks.conftest import report
+from repro.core import tuples
+
+
+def test_tls13_blindspot(benchmark, study):
+    dataset = study.run().dataset
+    blindspot = benchmark(tuples.tls13_blindspot, dataset)
+
+    # A large minority of connections is dark.
+    assert 0.15 < blindspot.connection_share < 0.55          # paper 40.86%
+    # The blind spot touches meaningful fractions of both endpoint sets.
+    assert blindspot.server_ip_share > 0.05                  # paper 25.35%
+    assert blindspot.client_ip_share > 0.05                  # paper 32.23%
+    # Hidden mutual connections exist in the ground truth but are never
+    # classified as mutual by the monitor.
+    truth = study.run().simulation.ground_truth
+    assert truth.hidden_mutual_connections > 0
+
+    report(
+        tuples.render_tls13_blindspot(blindspot),
+        "40.86% of connections, 25.35% of server IPs, 32.23% of client IPs",
+    )

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+One calibrated 23-month campaign is generated per session; every bench
+then measures its analysis function on that campaign and asserts the
+paper's *shape* (who wins, by roughly what factor, where crossovers
+fall). Paper-reported values are quoted in each bench for comparison —
+absolute counts differ because the substrate is a scaled-down simulator.
+"""
+
+import pytest
+
+from repro.core.study import CampusStudy
+from repro.netsim import ScenarioConfig
+
+#: The benchmark campaign: full 23-month timeline at a laptop-friendly
+#: scale (~35k connections).
+BENCH_CONFIG = ScenarioConfig(seed=7, months=23, connections_per_month=1500)
+
+
+@pytest.fixture(scope="session")
+def study():
+    instance = CampusStudy(config=BENCH_CONFIG)
+    instance.run()
+    return instance
+
+
+@pytest.fixture(scope="session")
+def enriched(study):
+    return study.enriched
+
+
+@pytest.fixture(scope="session")
+def simulation(study):
+    return study.run().simulation
+
+
+def report(table, paper_note: str) -> None:
+    """Print the reproduced artifact next to the paper's numbers."""
+    print()
+    print(table.render())
+    print(f"paper: {paper_note}")

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Full reproduction: every table and figure from the paper, in order.
+
+Usage::
+
+    python examples/campus_study.py [--fast]
+
+Runs the complete pipeline on a 23-month simulated campaign and prints
+every reproduced artifact (Tables 1-9 and 13-14, Figures 1-5, the serial
+collision analyses, the SAN-type/weak-crypto/TLS 1.3 sections, and the
+interception filter summary). ``--fast`` shrinks the campaign for a
+quicker demonstration.
+"""
+
+import sys
+import time
+
+from repro.core.study import CampusStudy
+from repro.netsim import ScenarioConfig
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    config = ScenarioConfig(
+        seed=7,
+        months=23,
+        connections_per_month=500 if fast else 2000,
+    )
+    study = CampusStudy(config=config)
+
+    started = time.time()
+    result = study.run()
+    elapsed = time.time() - started
+    print(
+        f"Generated and enriched {len(result.dataset)} connections in "
+        f"{elapsed:.1f}s "
+        f"({len(result.enriched.profiles)} unique certificates analyzed).\n"
+    )
+
+    for table in study.all_tables():
+        print(table.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

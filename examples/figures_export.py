@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Export the paper's figures as CSV for external plotting.
+
+Usage::
+
+    python examples/figures_export.py [output_dir]
+
+Runs a study and writes ``figure1.csv`` ... ``figure5.csv`` — the exact
+series a gnuplot/matplotlib script would need to redraw the paper's
+plots (Figure 1's time series, Figure 3's inverted-validity segments,
+Figure 4's validity scatter with issuer categories, Figure 5's expiry
+scatter with public/private marginals).
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core.figures import export_all_figures
+from repro.core.study import CampusStudy
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures_out")
+    out.mkdir(parents=True, exist_ok=True)
+
+    study = CampusStudy(seed=7, months=12, connections_per_month=1000)
+    documents = export_all_figures(study.enriched)
+    for name, document in documents.items():
+        path = out / f"{name}.csv"
+        path.write_text(document)
+        rows = max(0, document.count("\n") - 1)
+        print(f"wrote {path} ({rows} data rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Minimal ASN.1 DER codec.
+
+This subpackage implements the subset of ASN.1 Distinguished Encoding
+Rules (DER, ITU-T X.690) needed to encode and decode X.509 certificates:
+
+- tag/length/value framing with long-form lengths and multi-byte tags
+- INTEGER, BOOLEAN, NULL, BIT STRING, OCTET STRING
+- OBJECT IDENTIFIER with a registry of well-known OIDs
+- PrintableString, UTF8String, IA5String
+- UTCTime and GeneralizedTime
+- SEQUENCE, SET (with DER SET OF ordering), and context-specific tagging
+
+The public API is split between a functional encoder (`repro.asn1.encoder`),
+a streaming decoder (`repro.asn1.decoder`), and the `ObjectIdentifier`
+type (`repro.asn1.oid`).
+"""
+
+from repro.asn1.errors import Asn1Error, DerDecodeError, DerEncodeError
+from repro.asn1.tags import Tag, TagClass, TagNumber
+from repro.asn1.oid import OID, ObjectIdentifier
+from repro.asn1.encoder import (
+    encode_bit_string,
+    encode_boolean,
+    encode_context,
+    encode_explicit,
+    encode_generalized_time,
+    encode_ia5_string,
+    encode_integer,
+    encode_length,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_tag,
+    encode_tlv,
+    encode_utc_time,
+    encode_utf8_string,
+)
+from repro.asn1.decoder import (
+    DerReader,
+    Tlv,
+    decode_bit_string,
+    decode_boolean,
+    decode_generalized_time,
+    decode_integer,
+    decode_null,
+    decode_octet_string,
+    decode_oid,
+    decode_string,
+    decode_time,
+    decode_utc_time,
+    read_single_tlv,
+)
+
+__all__ = [
+    "Asn1Error",
+    "DerDecodeError",
+    "DerEncodeError",
+    "Tag",
+    "TagClass",
+    "TagNumber",
+    "OID",
+    "ObjectIdentifier",
+    "encode_bit_string",
+    "encode_boolean",
+    "encode_context",
+    "encode_explicit",
+    "encode_generalized_time",
+    "encode_ia5_string",
+    "encode_integer",
+    "encode_length",
+    "encode_null",
+    "encode_octet_string",
+    "encode_oid",
+    "encode_printable_string",
+    "encode_sequence",
+    "encode_set",
+    "encode_tag",
+    "encode_tlv",
+    "encode_utc_time",
+    "encode_utf8_string",
+    "DerReader",
+    "Tlv",
+    "decode_bit_string",
+    "decode_boolean",
+    "decode_generalized_time",
+    "decode_integer",
+    "decode_null",
+    "decode_octet_string",
+    "decode_oid",
+    "decode_string",
+    "decode_time",
+    "decode_utc_time",
+    "read_single_tlv",
+]

@@ -1,0 +1,271 @@
+"""Streaming DER decoder.
+
+`DerReader` walks a byte string TLV by TLV; the `decode_*` helpers turn the
+content octets of a single TLV into Python values. `Tlv` carries both the
+parsed pieces and the raw encoding so callers can re-hash exact byte ranges
+(needed for signature verification over `tbsCertificate`).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.asn1.errors import DerDecodeError
+from repro.asn1.oid import ObjectIdentifier
+from repro.asn1.tags import STRING_TAG_NUMBERS, Tag, TagClass, TagNumber
+
+
+@dataclass(frozen=True)
+class Tlv:
+    """One decoded tag/length/value triple.
+
+    Attributes:
+        tag: the decoded tag.
+        content: the content octets.
+        raw: the complete encoding including identifier and length octets.
+        offset: byte offset of this TLV within the buffer it was read from.
+    """
+
+    tag: Tag
+    content: bytes
+    raw: bytes
+    offset: int
+
+    def expect(self, tag: Tag) -> "Tlv":
+        """Assert this TLV carries the expected tag; return self."""
+        if self.tag != tag:
+            raise DerDecodeError(f"expected {tag!r}, found {self.tag!r} at offset {self.offset}")
+        return self
+
+    def reader(self) -> "DerReader":
+        """Return a reader over this TLV's content (for constructed types)."""
+        if not self.tag.constructed:
+            raise DerDecodeError(f"cannot iterate primitive TLV {self.tag!r}")
+        header_len = len(self.raw) - len(self.content)
+        return DerReader(self.content, base_offset=self.offset + header_len)
+
+
+class DerReader:
+    """Sequential reader over a DER byte string."""
+
+    def __init__(self, data: bytes, base_offset: int = 0) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+        self._base = base_offset
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def peek_tag(self) -> Tag:
+        """Decode the next tag without consuming anything."""
+        tag, _ = self._read_tag(self._pos)
+        return tag
+
+    def read_tlv(self) -> Tlv:
+        """Consume and return the next TLV."""
+        start = self._pos
+        tag, pos = self._read_tag(start)
+        length, pos = self._read_length(pos)
+        end = pos + length
+        if end > len(self._data):
+            raise DerDecodeError(
+                f"TLV at offset {self._base + start} claims {length} content bytes, "
+                f"only {len(self._data) - pos} available"
+            )
+        content = self._data[pos:end]
+        raw = self._data[start:end]
+        self._pos = end
+        return Tlv(tag=tag, content=content, raw=raw, offset=self._base + start)
+
+    def read_expected(self, tag: Tag) -> Tlv:
+        return self.read_tlv().expect(tag)
+
+    def read_optional(self, tag: Tag) -> Tlv | None:
+        """Consume the next TLV only if it carries the given tag."""
+        if self.at_end():
+            return None
+        if self.peek_tag() != tag:
+            return None
+        return self.read_tlv()
+
+    def read_all(self) -> list[Tlv]:
+        """Consume all remaining TLVs."""
+        out = []
+        while not self.at_end():
+            out.append(self.read_tlv())
+        return out
+
+    def finish(self) -> None:
+        """Raise if unconsumed bytes remain (DER forbids trailing garbage)."""
+        if not self.at_end():
+            raise DerDecodeError(
+                f"{self.remaining} unconsumed bytes at offset {self._base + self._pos}"
+            )
+
+    def _read_tag(self, pos: int) -> tuple[Tag, int]:
+        if pos >= len(self._data):
+            raise DerDecodeError("unexpected end of data while reading tag")
+        leading = self._data[pos]
+        pos += 1
+        tag_class = TagClass(leading >> 6)
+        constructed = bool(leading & 0x20)
+        number = leading & 0x1F
+        if number == 0x1F:
+            number = 0
+            while True:
+                if pos >= len(self._data):
+                    raise DerDecodeError("unexpected end of data in high tag number")
+                octet = self._data[pos]
+                pos += 1
+                number = (number << 7) | (octet & 0x7F)
+                if not octet & 0x80:
+                    break
+            if number < 0x1F:
+                raise DerDecodeError("non-minimal high tag number encoding")
+        return Tag(tag_class, constructed, number), pos
+
+    def _read_length(self, pos: int) -> tuple[int, int]:
+        if pos >= len(self._data):
+            raise DerDecodeError("unexpected end of data while reading length")
+        first = self._data[pos]
+        pos += 1
+        if first < 0x80:
+            return first, pos
+        if first == 0x80:
+            raise DerDecodeError("indefinite length is not allowed in DER")
+        nbytes = first & 0x7F
+        if pos + nbytes > len(self._data):
+            raise DerDecodeError("unexpected end of data in long-form length")
+        payload = self._data[pos : pos + nbytes]
+        pos += nbytes
+        if payload[0] == 0x00:
+            raise DerDecodeError("non-minimal long-form length")
+        length = int.from_bytes(payload, "big")
+        if length < 0x80:
+            raise DerDecodeError("long form used for short length (not DER)")
+        return length, pos
+
+
+def read_single_tlv(data: bytes) -> Tlv:
+    """Decode a byte string that must contain exactly one TLV."""
+    reader = DerReader(data)
+    tlv = reader.read_tlv()
+    reader.finish()
+    return tlv
+
+
+def decode_integer(tlv: Tlv) -> int:
+    tlv.expect(Tag.universal(TagNumber.INTEGER))
+    content = tlv.content
+    if not content:
+        raise DerDecodeError("empty INTEGER content")
+    if len(content) > 1:
+        if content[0] == 0x00 and not content[1] & 0x80:
+            raise DerDecodeError("non-minimal INTEGER encoding")
+        if content[0] == 0xFF and content[1] & 0x80:
+            raise DerDecodeError("non-minimal INTEGER encoding")
+    return int.from_bytes(content, "big", signed=True)
+
+
+def decode_boolean(tlv: Tlv) -> bool:
+    tlv.expect(Tag.universal(TagNumber.BOOLEAN))
+    if len(tlv.content) != 1:
+        raise DerDecodeError("BOOLEAN content must be one octet")
+    if tlv.content[0] not in (0x00, 0xFF):
+        raise DerDecodeError("DER BOOLEAN must be 0x00 or 0xFF")
+    return tlv.content[0] == 0xFF
+
+
+def decode_null(tlv: Tlv) -> None:
+    tlv.expect(Tag.universal(TagNumber.NULL))
+    if tlv.content:
+        raise DerDecodeError("NULL content must be empty")
+    return None
+
+
+def decode_octet_string(tlv: Tlv) -> bytes:
+    tlv.expect(Tag.universal(TagNumber.OCTET_STRING))
+    return tlv.content
+
+
+def decode_bit_string(tlv: Tlv) -> tuple[bytes, int]:
+    """Return (value bytes, unused trailing bit count)."""
+    tlv.expect(Tag.universal(TagNumber.BIT_STRING))
+    if not tlv.content:
+        raise DerDecodeError("BIT STRING needs at least the unused-bits octet")
+    unused = tlv.content[0]
+    if unused > 7:
+        raise DerDecodeError(f"invalid unused-bits count {unused}")
+    value = tlv.content[1:]
+    if unused and not value:
+        raise DerDecodeError("empty BIT STRING cannot have unused bits")
+    return value, unused
+
+
+def decode_oid(tlv: Tlv) -> ObjectIdentifier:
+    tlv.expect(Tag.universal(TagNumber.OBJECT_IDENTIFIER))
+    return ObjectIdentifier.from_der_content(tlv.content)
+
+
+def decode_string(tlv: Tlv) -> str:
+    """Decode any of the supported universal string types."""
+    if not tlv.tag.is_universal or tlv.tag.number not in STRING_TAG_NUMBERS:
+        raise DerDecodeError(f"not a string type: {tlv.tag!r}")
+    if tlv.tag.number == TagNumber.BMP_STRING:
+        return tlv.content.decode("utf-16-be")
+    if tlv.tag.number == TagNumber.UTF8_STRING:
+        return tlv.content.decode("utf-8")
+    return tlv.content.decode("latin-1")
+
+
+def decode_utc_time(tlv: Tlv) -> _dt.datetime:
+    tlv.expect(Tag.universal(TagNumber.UTC_TIME))
+    text = tlv.content.decode("ascii", errors="replace")
+    if len(text) != 13 or not text.endswith("Z"):
+        raise DerDecodeError(f"unsupported UTCTime format: {text!r}")
+    parsed = _parse_digits(text[:-1], "UTCTime")
+    year = parsed[0] * 10 + parsed[1]
+    # RFC 5280: two-digit years 00-49 map to 20xx, 50-99 to 19xx.
+    year += 2000 if year < 50 else 1900
+    return _build_datetime(year, text[2:12], "UTCTime")
+
+
+def decode_generalized_time(tlv: Tlv) -> _dt.datetime:
+    tlv.expect(Tag.universal(TagNumber.GENERALIZED_TIME))
+    text = tlv.content.decode("ascii", errors="replace")
+    if len(text) != 15 or not text.endswith("Z"):
+        raise DerDecodeError(f"unsupported GeneralizedTime format: {text!r}")
+    _parse_digits(text[:-1], "GeneralizedTime")
+    year = int(text[0:4])
+    return _build_datetime(year, text[4:14], "GeneralizedTime")
+
+
+def decode_time(tlv: Tlv) -> _dt.datetime:
+    """Decode either X.509 Time choice (UTCTime or GeneralizedTime)."""
+    if tlv.tag == Tag.universal(TagNumber.UTC_TIME):
+        return decode_utc_time(tlv)
+    if tlv.tag == Tag.universal(TagNumber.GENERALIZED_TIME):
+        return decode_generalized_time(tlv)
+    raise DerDecodeError(f"not a Time: {tlv.tag!r}")
+
+
+def _parse_digits(text: str, label: str) -> list[int]:
+    if not text.isdigit():
+        raise DerDecodeError(f"non-digit characters in {label}: {text!r}")
+    return [int(ch) for ch in text]
+
+
+def _build_datetime(year: int, mdhms: str, label: str) -> _dt.datetime:
+    month, day = int(mdhms[0:2]), int(mdhms[2:4])
+    hour, minute, second = int(mdhms[4:6]), int(mdhms[6:8]), int(mdhms[8:10])
+    try:
+        return _dt.datetime(
+            year, month, day, hour, minute, second, tzinfo=_dt.timezone.utc
+        )
+    except ValueError as exc:
+        raise DerDecodeError(f"invalid {label} components: {mdhms!r}") from exc

@@ -1,0 +1,118 @@
+"""Human-readable DER dumps (an `openssl asn1parse` work-alike).
+
+Useful when debugging certificates produced by the builder or captured
+in logs: renders the TLV tree with offsets, tag names, decoded scalars,
+and named OIDs.
+"""
+
+from __future__ import annotations
+
+from repro.asn1.decoder import (
+    DerReader,
+    Tlv,
+    decode_bit_string,
+    decode_boolean,
+    decode_integer,
+    decode_oid,
+    decode_string,
+    decode_time,
+)
+from repro.asn1.errors import DerDecodeError
+from repro.asn1.tags import STRING_TAG_NUMBERS, Tag, TagClass, TagNumber
+
+_TAG_NAMES = {
+    TagNumber.BOOLEAN: "BOOLEAN",
+    TagNumber.INTEGER: "INTEGER",
+    TagNumber.BIT_STRING: "BIT STRING",
+    TagNumber.OCTET_STRING: "OCTET STRING",
+    TagNumber.NULL: "NULL",
+    TagNumber.OBJECT_IDENTIFIER: "OBJECT IDENTIFIER",
+    TagNumber.UTF8_STRING: "UTF8String",
+    TagNumber.SEQUENCE: "SEQUENCE",
+    TagNumber.SET: "SET",
+    TagNumber.PRINTABLE_STRING: "PrintableString",
+    TagNumber.T61_STRING: "T61String",
+    TagNumber.IA5_STRING: "IA5String",
+    TagNumber.UTC_TIME: "UTCTime",
+    TagNumber.GENERALIZED_TIME: "GeneralizedTime",
+    TagNumber.BMP_STRING: "BMPString",
+}
+
+_MAX_SCALAR_REPR = 60
+
+
+def _tag_label(tag: Tag) -> str:
+    if tag.tag_class is TagClass.UNIVERSAL:
+        try:
+            return _TAG_NAMES[TagNumber(tag.number)]
+        except (ValueError, KeyError):
+            return f"UNIVERSAL {tag.number}"
+    prefix = {
+        TagClass.CONTEXT: "cont",
+        TagClass.APPLICATION: "appl",
+        TagClass.PRIVATE: "priv",
+    }[tag.tag_class]
+    return f"[{prefix} {tag.number}]"
+
+
+def _scalar_repr(tlv: Tlv) -> str:
+    tag = tlv.tag
+    try:
+        if tag == Tag.universal(TagNumber.INTEGER):
+            value = decode_integer(tlv)
+            text = f"{value}" if value.bit_length() <= 64 else f"0x{value:X}"
+        elif tag == Tag.universal(TagNumber.BOOLEAN):
+            text = str(decode_boolean(tlv))
+        elif tag == Tag.universal(TagNumber.NULL):
+            text = ""
+        elif tag == Tag.universal(TagNumber.OBJECT_IDENTIFIER):
+            oid = decode_oid(tlv)
+            text = oid.name if oid.name != oid.dotted else oid.dotted
+        elif tag == Tag.universal(TagNumber.BIT_STRING):
+            bits, unused = decode_bit_string(tlv)
+            text = f"{len(bits)} bytes" + (f", {unused} unused bits" if unused else "")
+        elif tag == Tag.universal(TagNumber.OCTET_STRING):
+            text = tlv.content.hex()
+        elif tag.is_universal and tag.number in STRING_TAG_NUMBERS:
+            text = repr(decode_string(tlv))
+        elif tag in (
+            Tag.universal(TagNumber.UTC_TIME),
+            Tag.universal(TagNumber.GENERALIZED_TIME),
+        ):
+            text = decode_time(tlv).isoformat()
+        else:
+            text = tlv.content.hex()
+    except DerDecodeError:
+        text = tlv.content.hex()
+    if len(text) > _MAX_SCALAR_REPR:
+        text = text[: _MAX_SCALAR_REPR - 3] + "..."
+    return text
+
+
+def dump_der(data: bytes) -> str:
+    """Render a DER byte string as an indented TLV tree.
+
+    Constructed context-specific values are descended into when their
+    content parses as DER (the common case for X.509), and shown as hex
+    otherwise. Raises DerDecodeError for top-level garbage.
+    """
+    lines: list[str] = []
+
+    def walk(reader: DerReader, depth: int) -> None:
+        while not reader.at_end():
+            tlv = reader.read_tlv()
+            label = _tag_label(tlv.tag)
+            prefix = f"{tlv.offset:5d}: " + "  " * depth
+            if tlv.tag.constructed:
+                lines.append(f"{prefix}{label} ({len(tlv.content)} bytes)")
+                try:
+                    walk(tlv.reader(), depth + 1)
+                except DerDecodeError:
+                    lines.append(f"{prefix}  <unparsed: {tlv.content.hex()}>")
+            else:
+                scalar = _scalar_repr(tlv)
+                suffix = f": {scalar}" if scalar else ""
+                lines.append(f"{prefix}{label}{suffix}")
+
+    walk(DerReader(data), 0)
+    return "\n".join(lines)

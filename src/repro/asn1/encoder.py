@@ -1,0 +1,175 @@
+"""Functional DER encoder.
+
+Every function returns a complete TLV (tag + length + content) byte string
+unless otherwise noted. Composite structures are built by concatenating the
+encodings of their members and wrapping with :func:`encode_sequence` or
+:func:`encode_set`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable
+
+from repro.asn1.errors import DerEncodeError
+from repro.asn1.oid import ObjectIdentifier
+from repro.asn1.tags import Tag, TagClass, TagNumber
+
+_PRINTABLE_ALLOWED = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 '()+,-./:=?"
+)
+
+
+def encode_tag(tag: Tag) -> bytes:
+    """Encode identifier octets, supporting multi-byte (high) tag numbers."""
+    leading = (int(tag.tag_class) << 6) | (0x20 if tag.constructed else 0x00)
+    if tag.number < 0x1F:
+        return bytes([leading | tag.number])
+    # High tag number form: leading octet has all five low bits set,
+    # followed by the tag number in base-128.
+    chunks = [tag.number & 0x7F]
+    number = tag.number >> 7
+    while number:
+        chunks.append((number & 0x7F) | 0x80)
+        number >>= 7
+    return bytes([leading | 0x1F]) + bytes(reversed(chunks))
+
+
+def encode_length(length: int) -> bytes:
+    """Encode definite-form length octets."""
+    if length < 0:
+        raise DerEncodeError("length must be non-negative")
+    if length < 0x80:
+        return bytes([length])
+    payload = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    if len(payload) > 126:
+        raise DerEncodeError("length too large for DER long form")
+    return bytes([0x80 | len(payload)]) + payload
+
+
+def encode_tlv(tag: Tag, content: bytes) -> bytes:
+    """Wrap content octets in the given tag with a definite length."""
+    return encode_tag(tag) + encode_length(len(content)) + content
+
+
+def encode_integer(value: int) -> bytes:
+    """Encode an INTEGER (two's complement, minimal octets)."""
+    if value == 0:
+        content = b"\x00"
+    else:
+        nbytes = (value.bit_length() // 8) + 1
+        content = value.to_bytes(nbytes, "big", signed=True)
+        # Strip redundant leading octets while preserving the sign bit.
+        while (
+            len(content) > 1
+            and (
+                (content[0] == 0x00 and not content[1] & 0x80)
+                or (content[0] == 0xFF and content[1] & 0x80)
+            )
+        ):
+            content = content[1:]
+    return encode_tlv(Tag.universal(TagNumber.INTEGER), content)
+
+
+def encode_boolean(value: bool) -> bytes:
+    """Encode a BOOLEAN; DER requires 0xFF for TRUE."""
+    return encode_tlv(Tag.universal(TagNumber.BOOLEAN), b"\xff" if value else b"\x00")
+
+
+def encode_null() -> bytes:
+    return encode_tlv(Tag.universal(TagNumber.NULL), b"")
+
+
+def encode_octet_string(value: bytes) -> bytes:
+    return encode_tlv(Tag.universal(TagNumber.OCTET_STRING), bytes(value))
+
+
+def encode_bit_string(value: bytes, unused_bits: int = 0) -> bytes:
+    """Encode a BIT STRING with the given count of unused trailing bits."""
+    if not 0 <= unused_bits <= 7:
+        raise DerEncodeError("unused_bits must be in [0, 7]")
+    if unused_bits and not value:
+        raise DerEncodeError("empty BIT STRING cannot have unused bits")
+    content = bytes([unused_bits]) + bytes(value)
+    return encode_tlv(Tag.universal(TagNumber.BIT_STRING), content)
+
+
+def encode_oid(oid: ObjectIdentifier) -> bytes:
+    return encode_tlv(Tag.universal(TagNumber.OBJECT_IDENTIFIER), oid.to_der_content())
+
+
+def encode_utf8_string(value: str) -> bytes:
+    return encode_tlv(Tag.universal(TagNumber.UTF8_STRING), value.encode("utf-8"))
+
+
+def encode_printable_string(value: str) -> bytes:
+    if not set(value) <= _PRINTABLE_ALLOWED:
+        raise DerEncodeError(f"not a PrintableString: {value!r}")
+    return encode_tlv(Tag.universal(TagNumber.PRINTABLE_STRING), value.encode("ascii"))
+
+
+def encode_ia5_string(value: str) -> bytes:
+    try:
+        content = value.encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise DerEncodeError(f"not an IA5String: {value!r}") from exc
+    return encode_tlv(Tag.universal(TagNumber.IA5_STRING), content)
+
+
+def encode_utc_time(value: _dt.datetime) -> bytes:
+    """Encode a UTCTime (YYMMDDHHMMSSZ). Valid for years 1950-2049."""
+    value = _as_utc(value)
+    if not 1950 <= value.year <= 2049:
+        raise DerEncodeError(f"UTCTime cannot represent year {value.year}")
+    content = value.strftime("%y%m%d%H%M%SZ").encode("ascii")
+    return encode_tlv(Tag.universal(TagNumber.UTC_TIME), content)
+
+
+def encode_generalized_time(value: _dt.datetime) -> bytes:
+    """Encode a GeneralizedTime (YYYYMMDDHHMMSSZ)."""
+    value = _as_utc(value)
+    # Avoid strftime("%Y"): it does not zero-pad years below 1000.
+    content = (
+        f"{value.year:04d}{value.month:02d}{value.day:02d}"
+        f"{value.hour:02d}{value.minute:02d}{value.second:02d}Z"
+    ).encode("ascii")
+    return encode_tlv(Tag.universal(TagNumber.GENERALIZED_TIME), content)
+
+
+def encode_x509_time(value: _dt.datetime) -> bytes:
+    """Encode per RFC 5280: UTCTime through 2049, GeneralizedTime after.
+
+    RFC 5280 also mandates GeneralizedTime for dates before 1950.
+    """
+    if 1950 <= _as_utc(value).year <= 2049:
+        return encode_utc_time(value)
+    return encode_generalized_time(value)
+
+
+def encode_sequence(members: Iterable[bytes]) -> bytes:
+    return encode_tlv(Tag.universal(TagNumber.SEQUENCE, constructed=True), b"".join(members))
+
+
+def encode_set(members: Iterable[bytes], sort: bool = True) -> bytes:
+    """Encode a SET (OF). DER requires members in ascending byte order."""
+    items = list(members)
+    if sort:
+        items.sort()
+    return encode_tlv(Tag.universal(TagNumber.SET, constructed=True), b"".join(items))
+
+
+def encode_context(number: int, content: bytes, constructed: bool = True) -> bytes:
+    """Encode a context-specific (implicitly tagged) TLV."""
+    return encode_tlv(Tag(TagClass.CONTEXT, constructed, number), content)
+
+
+def encode_explicit(number: int, inner_tlv: bytes) -> bytes:
+    """Wrap an already-encoded TLV in an explicit context tag."""
+    return encode_context(number, inner_tlv, constructed=True)
+
+
+def _as_utc(value: _dt.datetime) -> _dt.datetime:
+    """Normalize a datetime to UTC; naive datetimes are assumed UTC."""
+    if value.tzinfo is None:
+        return value.replace(tzinfo=_dt.timezone.utc)
+    return value.astimezone(_dt.timezone.utc)

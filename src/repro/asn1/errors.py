@@ -1,0 +1,13 @@
+"""Exception hierarchy for the ASN.1 DER codec."""
+
+
+class Asn1Error(Exception):
+    """Base class for all ASN.1 encoding/decoding errors."""
+
+
+class DerEncodeError(Asn1Error):
+    """Raised when a value cannot be represented in DER."""
+
+
+class DerDecodeError(Asn1Error):
+    """Raised when a byte string is not valid DER for the expected type."""

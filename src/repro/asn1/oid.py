@@ -1,0 +1,193 @@
+"""OBJECT IDENTIFIER type and a registry of well-known OIDs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.asn1.errors import DerDecodeError, DerEncodeError
+
+
+@dataclass(frozen=True)
+class ObjectIdentifier:
+    """An ASN.1 OBJECT IDENTIFIER.
+
+    Stored in dotted-decimal form, e.g. ``"2.5.4.3"`` for the X.520
+    commonName attribute type.
+    """
+
+    dotted: str
+
+    def __post_init__(self) -> None:
+        arcs = self.arcs()
+        if len(arcs) < 2:
+            raise DerEncodeError(f"OID needs at least two arcs: {self.dotted!r}")
+        if arcs[0] > 2:
+            raise DerEncodeError(f"first OID arc must be 0, 1, or 2: {self.dotted!r}")
+        if arcs[0] < 2 and arcs[1] > 39:
+            raise DerEncodeError(
+                f"second OID arc must be <= 39 when first is 0 or 1: {self.dotted!r}"
+            )
+
+    @classmethod
+    def from_arcs(cls, arcs: Iterable[int]) -> "ObjectIdentifier":
+        return cls(".".join(str(a) for a in arcs))
+
+    def arcs(self) -> tuple[int, ...]:
+        try:
+            arcs = tuple(int(part) for part in self.dotted.split("."))
+        except ValueError as exc:
+            raise DerEncodeError(f"malformed OID string: {self.dotted!r}") from exc
+        if any(a < 0 for a in arcs):
+            raise DerEncodeError(f"negative OID arc: {self.dotted!r}")
+        return arcs
+
+    def to_der_content(self) -> bytes:
+        """Encode the OID content octets (without tag/length)."""
+        arcs = self.arcs()
+        first = 40 * arcs[0] + arcs[1]
+        out = bytearray(_encode_base128(first))
+        for arc in arcs[2:]:
+            out += _encode_base128(arc)
+        return bytes(out)
+
+    @classmethod
+    def from_der_content(cls, content: bytes) -> "ObjectIdentifier":
+        """Decode the OID content octets (without tag/length)."""
+        if not content:
+            raise DerDecodeError("empty OID content")
+        if content[-1] & 0x80:
+            raise DerDecodeError("truncated OID: last octet has continuation bit")
+        values: list[int] = []
+        acc = 0
+        started = False
+        for octet in content:
+            if not started and octet == 0x80:
+                raise DerDecodeError("OID subidentifier has leading 0x80 padding")
+            started = True
+            acc = (acc << 7) | (octet & 0x7F)
+            if not octet & 0x80:
+                values.append(acc)
+                acc = 0
+                started = False
+        first = values[0]
+        if first < 40:
+            arcs = [0, first]
+        elif first < 80:
+            arcs = [1, first - 40]
+        else:
+            arcs = [2, first - 80]
+        arcs.extend(values[1:])
+        return cls.from_arcs(arcs)
+
+    @property
+    def name(self) -> str:
+        """Human-readable name if the OID is well known, else the dotted form."""
+        return OID_NAMES.get(self.dotted, self.dotted)
+
+    def __str__(self) -> str:
+        return self.dotted
+
+
+def _encode_base128(value: int) -> bytes:
+    """Encode a non-negative integer in base-128 with continuation bits."""
+    if value < 0:
+        raise DerEncodeError("OID arc must be non-negative")
+    chunks = [value & 0x7F]
+    value >>= 7
+    while value:
+        chunks.append((value & 0x7F) | 0x80)
+        value >>= 7
+    return bytes(reversed(chunks))
+
+
+class OID:
+    """Well-known object identifiers used by the X.509 substrate."""
+
+    # X.520 attribute types (directory names)
+    COMMON_NAME = ObjectIdentifier("2.5.4.3")
+    SURNAME = ObjectIdentifier("2.5.4.4")
+    SERIAL_NUMBER_ATTR = ObjectIdentifier("2.5.4.5")
+    COUNTRY = ObjectIdentifier("2.5.4.6")
+    LOCALITY = ObjectIdentifier("2.5.4.7")
+    STATE_OR_PROVINCE = ObjectIdentifier("2.5.4.8")
+    ORGANIZATION = ObjectIdentifier("2.5.4.10")
+    ORGANIZATIONAL_UNIT = ObjectIdentifier("2.5.4.11")
+    GIVEN_NAME = ObjectIdentifier("2.5.4.42")
+    EMAIL_ADDRESS = ObjectIdentifier("1.2.840.113549.1.9.1")
+    DOMAIN_COMPONENT = ObjectIdentifier("0.9.2342.19200300.100.1.25")
+    USER_ID = ObjectIdentifier("0.9.2342.19200300.100.1.1")
+
+    # Public key algorithms
+    RSA_ENCRYPTION = ObjectIdentifier("1.2.840.113549.1.1.1")
+
+    # Signature algorithms
+    SHA256_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.11")
+    SHA1_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.5")
+    MD5_WITH_RSA = ObjectIdentifier("1.2.840.113549.1.1.4")
+
+    # Certificate extensions
+    SUBJECT_KEY_IDENTIFIER = ObjectIdentifier("2.5.29.14")
+    KEY_USAGE = ObjectIdentifier("2.5.29.15")
+    SUBJECT_ALT_NAME = ObjectIdentifier("2.5.29.17")
+    BASIC_CONSTRAINTS = ObjectIdentifier("2.5.29.19")
+    AUTHORITY_KEY_IDENTIFIER = ObjectIdentifier("2.5.29.35")
+    EXTENDED_KEY_USAGE = ObjectIdentifier("2.5.29.37")
+
+    # Extended key usage purposes
+    EKU_SERVER_AUTH = ObjectIdentifier("1.3.6.1.5.5.7.3.1")
+    EKU_CLIENT_AUTH = ObjectIdentifier("1.3.6.1.5.5.7.3.2")
+    EKU_CODE_SIGNING = ObjectIdentifier("1.3.6.1.5.5.7.3.3")
+    EKU_EMAIL_PROTECTION = ObjectIdentifier("1.3.6.1.5.5.7.3.4")
+
+    # Digest algorithms (used inside PKCS#1 DigestInfo)
+    SHA256 = ObjectIdentifier("2.16.840.1.101.3.4.2.1")
+    SHA1 = ObjectIdentifier("1.3.14.3.2.26")
+
+
+OID_NAMES: dict[str, str] = {
+    "2.5.4.3": "commonName",
+    "2.5.4.4": "surname",
+    "2.5.4.5": "serialNumber",
+    "2.5.4.6": "countryName",
+    "2.5.4.7": "localityName",
+    "2.5.4.8": "stateOrProvinceName",
+    "2.5.4.10": "organizationName",
+    "2.5.4.11": "organizationalUnitName",
+    "2.5.4.42": "givenName",
+    "1.2.840.113549.1.9.1": "emailAddress",
+    "0.9.2342.19200300.100.1.25": "domainComponent",
+    "0.9.2342.19200300.100.1.1": "userId",
+    "1.2.840.113549.1.1.1": "rsaEncryption",
+    "1.2.840.113549.1.1.11": "sha256WithRSAEncryption",
+    "1.2.840.113549.1.1.5": "sha1WithRSAEncryption",
+    "1.2.840.113549.1.1.4": "md5WithRSAEncryption",
+    "2.5.29.14": "subjectKeyIdentifier",
+    "2.5.29.15": "keyUsage",
+    "2.5.29.17": "subjectAltName",
+    "2.5.29.19": "basicConstraints",
+    "2.5.29.35": "authorityKeyIdentifier",
+    "2.5.29.37": "extendedKeyUsage",
+    "1.3.6.1.5.5.7.3.1": "serverAuth",
+    "1.3.6.1.5.5.7.3.2": "clientAuth",
+    "1.3.6.1.5.5.7.3.3": "codeSigning",
+    "1.3.6.1.5.5.7.3.4": "emailProtection",
+    "2.16.840.1.101.3.4.2.1": "sha256",
+    "1.3.14.3.2.26": "sha1",
+}
+
+#: Short names used when rendering distinguished names, e.g. ``CN=...``.
+DN_SHORT_NAMES: dict[str, str] = {
+    "2.5.4.3": "CN",
+    "2.5.4.4": "SN",
+    "2.5.4.5": "serialNumber",
+    "2.5.4.6": "C",
+    "2.5.4.7": "L",
+    "2.5.4.8": "ST",
+    "2.5.4.10": "O",
+    "2.5.4.11": "OU",
+    "2.5.4.42": "GN",
+    "1.2.840.113549.1.9.1": "emailAddress",
+    "0.9.2342.19200300.100.1.25": "DC",
+    "0.9.2342.19200300.100.1.1": "UID",
+}

@@ -1,0 +1,98 @@
+"""ASN.1 tag model (identifier octets)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class TagClass(IntEnum):
+    """The four ASN.1 tag classes (X.690 section 8.1.2.2)."""
+
+    UNIVERSAL = 0
+    APPLICATION = 1
+    CONTEXT = 2
+    PRIVATE = 3
+
+
+class TagNumber(IntEnum):
+    """Universal tag numbers used by this codec."""
+
+    BOOLEAN = 0x01
+    INTEGER = 0x02
+    BIT_STRING = 0x03
+    OCTET_STRING = 0x04
+    NULL = 0x05
+    OBJECT_IDENTIFIER = 0x06
+    UTF8_STRING = 0x0C
+    SEQUENCE = 0x10
+    SET = 0x11
+    PRINTABLE_STRING = 0x13
+    T61_STRING = 0x14
+    IA5_STRING = 0x16
+    UTC_TIME = 0x17
+    GENERALIZED_TIME = 0x18
+    BMP_STRING = 0x1E
+
+
+#: Universal string tag numbers that decode to `str`.
+STRING_TAG_NUMBERS = frozenset(
+    {
+        TagNumber.UTF8_STRING,
+        TagNumber.PRINTABLE_STRING,
+        TagNumber.T61_STRING,
+        TagNumber.IA5_STRING,
+        TagNumber.BMP_STRING,
+    }
+)
+
+
+@dataclass(frozen=True, order=True)
+class Tag:
+    """A decoded ASN.1 tag.
+
+    Attributes:
+        tag_class: one of the four tag classes.
+        constructed: whether the encoding is constructed (bit 6).
+        number: the tag number.
+    """
+
+    tag_class: TagClass
+    constructed: bool
+    number: int
+
+    @classmethod
+    def universal(cls, number: int, constructed: bool = False) -> "Tag":
+        return cls(TagClass.UNIVERSAL, constructed, int(number))
+
+    @classmethod
+    def context(cls, number: int, constructed: bool = True) -> "Tag":
+        return cls(TagClass.CONTEXT, constructed, int(number))
+
+    @property
+    def is_universal(self) -> bool:
+        return self.tag_class is TagClass.UNIVERSAL
+
+    @property
+    def is_context(self) -> bool:
+        return self.tag_class is TagClass.CONTEXT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "constructed" if self.constructed else "primitive"
+        return f"Tag({self.tag_class.name}, {kind}, {self.number})"
+
+
+#: Commonly used pre-built tags.
+TAG_SEQUENCE = Tag.universal(TagNumber.SEQUENCE, constructed=True)
+TAG_SET = Tag.universal(TagNumber.SET, constructed=True)
+TAG_INTEGER = Tag.universal(TagNumber.INTEGER)
+TAG_BOOLEAN = Tag.universal(TagNumber.BOOLEAN)
+TAG_NULL = Tag.universal(TagNumber.NULL)
+TAG_OID = Tag.universal(TagNumber.OBJECT_IDENTIFIER)
+TAG_BIT_STRING = Tag.universal(TagNumber.BIT_STRING)
+TAG_OCTET_STRING = Tag.universal(TagNumber.OCTET_STRING)
+TAG_UTF8_STRING = Tag.universal(TagNumber.UTF8_STRING)
+TAG_PRINTABLE_STRING = Tag.universal(TagNumber.PRINTABLE_STRING)
+TAG_IA5_STRING = Tag.universal(TagNumber.IA5_STRING)
+TAG_UTC_TIME = Tag.universal(TagNumber.UTC_TIME)
+TAG_GENERALIZED_TIME = Tag.universal(TagNumber.GENERALIZED_TIME)

@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro generate  --out DIR [--months N] [--cpm N] [--seed N]
+    python -m repro study     [--months N] [--cpm N] [--seed N] [--table NAME]
+    python -m repro audit     X509_LOG [--campus-marker TEXT]
+    python -m repro intercept SSL_LOG X509_LOG --trust-bundle FILE
+                              [--min-domains N]
+
+`generate` writes Zeek-format ssl.log / x509.log plus a trust-bundle
+file, so `intercept` and `audit` can be exercised on the artifacts —
+the same flow an operator would use with real Zeek output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.cnsan import CnSanClassifier
+from repro.core.dataset import MtlsDataset
+from repro.core.enrich import Enricher
+from repro.core.study import CampusStudy
+from repro.netsim import ScenarioConfig, TrafficGenerator
+from repro.trust import TrustBundle
+from repro.zeek import read_ssl_log, read_x509_log, write_ssl_log, write_x509_log
+
+#: study --table choices → CampusStudy method names.
+TABLE_CHOICES = {
+    "table1": "table1", "figure1": "figure1", "table2": "table2",
+    "table3": "table3", "figure2": "figure2", "table4": "table4",
+    "table5": "table5", "table6": "table6", "figure3": "figure3",
+    "figure4": "figure4", "figure5": "figure5", "table7": "table7",
+    "table8": "table8", "table9": "table9", "weak-crypto": "weak_crypto",
+    "tls13": "tls13_blindspot", "interception": "interception_summary",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mutual TLS in Practice (IMC 2024) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="simulate a campaign and write Zeek-format logs"
+    )
+    generate.add_argument("--out", type=Path, required=True, help="output directory")
+    _add_scale_args(generate)
+
+    study = sub.add_parser("study", help="run the full study and print tables")
+    _add_scale_args(study)
+    study.add_argument(
+        "--table", choices=sorted(TABLE_CHOICES), default=None,
+        help="print one artifact instead of all",
+    )
+    study.add_argument(
+        "--json", action="store_true",
+        help="emit the whole study as JSON instead of text tables",
+    )
+
+    audit = sub.add_parser("audit", help="privacy audit of an x509.log")
+    audit.add_argument("x509_log", type=Path)
+    audit.add_argument(
+        "--campus-marker", default="university",
+        help="issuer substring identifying campus-managed CAs",
+    )
+
+    intercept = sub.add_parser(
+        "intercept", help="run the §3.2 interception filter on Zeek logs"
+    )
+    intercept.add_argument("ssl_log", type=Path)
+    intercept.add_argument("x509_log", type=Path)
+    intercept.add_argument(
+        "--trust-bundle", type=Path, required=True,
+        help="file with one trusted issuer DN per line ('org:<name>' lines "
+             "add trusted organizations)",
+    )
+    intercept.add_argument("--min-domains", type=int, default=5)
+
+    compare = sub.add_parser(
+        "compare", help="diff two JSON study exports (from `study --json`)"
+    )
+    compare.add_argument("export_a", type=Path)
+    compare.add_argument("export_b", type=Path)
+    return parser
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--months", type=int, default=23)
+    parser.add_argument("--cpm", type=int, default=1000,
+                        help="connections per month")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _write_trust_bundle(bundle: TrustBundle, path: Path) -> None:
+    with path.open("w") as out:
+        for dn in sorted(bundle.subject_dns):
+            out.write(dn + "\n")
+        for org in sorted(bundle.organizations):
+            out.write(f"org:{org}\n")
+
+
+def load_trust_bundle(path: Path) -> TrustBundle:
+    """Parse a trust-bundle file written by `generate` (or by hand)."""
+    dns: set[str] = set()
+    orgs: set[str] = set()
+    with path.open() as source:
+        for line in source:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("org:"):
+                orgs.add(line[4:])
+            else:
+                dns.add(line)
+    return TrustBundle(frozenset(dns), frozenset(orgs))
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        seed=args.seed, months=args.months, connections_per_month=args.cpm
+    )
+    result = TrafficGenerator(config).generate()
+    args.out.mkdir(parents=True, exist_ok=True)
+    with (args.out / "ssl.log").open("w") as out:
+        write_ssl_log(result.logs.ssl, out)
+    with (args.out / "x509.log").open("w") as out:
+        write_x509_log(result.logs.x509, out)
+    _write_trust_bundle(result.trust_bundle, args.out / "trust_bundle.txt")
+    print(
+        f"wrote {len(result.logs.ssl)} ssl.log rows, "
+        f"{len(result.logs.x509)} x509.log rows, and trust_bundle.txt "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    study = CampusStudy(
+        seed=args.seed, months=args.months, connections_per_month=args.cpm
+    )
+    if getattr(args, "json", False):
+        from repro.core.export import study_to_json
+
+        print(study_to_json(study))
+        return 0
+    if args.table is not None:
+        method = getattr(study, TABLE_CHOICES[args.table])
+        print(method().render())
+        return 0
+    for table in study.all_tables():
+        print(table.render())
+        print()
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    with args.x509_log.open() as source:
+        records = read_x509_log(source)
+    classifier = CnSanClassifier(campus_issuer_markers=(args.campus_marker,))
+    sensitive = ("PersonalName", "UserAccount", "Email", "MAC")
+    findings = 0
+    for record in records:
+        values = [("CN", record.subject_cn)] if record.subject_cn else []
+        values.extend(("SAN", v) for v in record.san_dns)
+        for fieldname, value in values:
+            info_type = classifier.classify(value, record.issuer_org, record.issuer_cn)
+            if info_type in sensitive:
+                findings += 1
+                print(f"[{info_type}] {fieldname}={value!r} "
+                      f"(issuer: {record.issuer_org or '(missing)'})")
+    print(f"{findings} sensitive values across {len(records)} certificates")
+    return 0 if findings == 0 else 2
+
+
+def cmd_intercept(args: argparse.Namespace) -> int:
+    with args.ssl_log.open() as source:
+        ssl = read_ssl_log(source)
+    with args.x509_log.open() as source:
+        x509 = read_x509_log(source)
+    bundle = load_trust_bundle(args.trust_bundle)
+
+    # Without a live CT client, reconstruct the 'genuine issuer per
+    # domain' ledger from the trusted (public-CA) observations in the
+    # logs themselves — the best an offline operator can do.
+    class LogDerivedCt:
+        def __init__(self) -> None:
+            self._issuers: dict[str, list[str]] = {}
+
+        def add(self, domain: str, issuer: str) -> None:
+            issuers = self._issuers.setdefault(domain.lower(), [])
+            if issuer not in issuers:
+                issuers.append(issuer)
+
+        def knows_domain(self, domain: str) -> bool:
+            return domain.lower() in self._issuers
+
+        def issuers_for(self, domain: str) -> list[str]:
+            return self._issuers.get(domain.lower(), [])
+
+    ct = LogDerivedCt()
+    by_fuid = {r.fuid: r for r in x509}
+    for record in ssl:
+        leaf = by_fuid.get(record.server_leaf_fuid or "")
+        if leaf is None or not record.server_name:
+            continue
+        if bundle.knows_issuer_dn(leaf.issuer) or bundle.knows_organization(
+            leaf.issuer_org
+        ):
+            ct.add(record.server_name, leaf.issuer)
+
+    enricher = Enricher(
+        bundle=bundle, ct_log=ct, min_interception_domains=args.min_domains
+    )
+    enriched = enricher.enrich(MtlsDataset(ssl, x509))
+    report = enriched.interception
+    for issuer in sorted(report.flagged_issuers):
+        print(f"flagged: {issuer}")
+    print(
+        f"{len(report.flagged_issuers)} issuers flagged, "
+        f"{len(report.excluded_fingerprints)} certificates "
+        f"({100 * report.excluded_fraction:.2f}%) excluded"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.compare import diff_study_json, render_study_diff
+
+    diff = diff_study_json(
+        args.export_a.read_text(), args.export_b.read_text()
+    )
+    print(render_study_diff(diff).render())
+    return 0 if diff.is_empty else 3
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "study": cmd_study,
+        "audit": cmd_audit,
+        "intercept": cmd_intercept,
+        "compare": cmd_compare,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's measurement pipeline.
+
+Consumes linked ssl.log / x509.log streams (from `repro.zeek`) and
+reproduces every analysis in the paper:
+
+- `dataset`    — join the logs, dedup leaf certificates (§3.2)
+- `enrich`     — mutual/direction/public-private labels, interception
+                 filtering against CT (§3.2)
+- `prevalence` — Figure 1 and Table 1
+- `services`   — Table 2
+- `issuers`    — issuer categories, Table 3, Figure 2
+- `dummy`      — Table 4, Table 10, the §5.1.2 serial collisions
+- `sharing`    — Table 5 and Table 6
+- `validity`   — Figure 3 / Tables 11-12, Figure 4, Figure 5
+- `cnsan`      — §6: Tables 7, 8, 9, 13, 14
+- `report`     — plain-text table rendering
+- `study`      — one-call orchestration for examples and benches
+"""
+
+from repro.core.dataset import CertProfile, ConnView, MtlsDataset
+from repro.core.enrich import AssociationRules, EnrichedDataset, Enricher, InterceptionReport
+from repro.core.report import Table
+
+__all__ = [
+    "CertProfile",
+    "ConnView",
+    "MtlsDataset",
+    "AssociationRules",
+    "EnrichedDataset",
+    "Enricher",
+    "InterceptionReport",
+    "Table",
+]

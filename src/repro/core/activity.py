@@ -1,0 +1,123 @@
+"""Duration-of-activity statistics (§5's longitudinal metric).
+
+The paper defines *duration of activity* as the interval between a
+certificate's first and last observation and uses it throughout §5
+(e.g. '699 clients ... 700 days'). This module computes the activity
+distribution over arbitrary certificate populations, broken down by
+issuer category and by role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import CertProfile
+from repro.core.enrich import EnrichedDataset
+from repro.core.issuers import categorize_issuer
+from repro.core.report import Table
+
+
+@dataclass(frozen=True)
+class ActivityQuantiles:
+    """Quantiles (days) of one population's activity durations."""
+
+    count: int
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, durations: list[float]) -> "ActivityQuantiles":
+        if not durations:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(durations)
+
+        def pick(q: float) -> float:
+            index = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[index]
+
+        return cls(
+            count=len(ordered),
+            p50=pick(0.50),
+            p90=pick(0.90),
+            p99=pick(0.99),
+            maximum=ordered[-1],
+        )
+
+
+@dataclass
+class ActivityReport:
+    """Activity distributions by issuer category and by role."""
+
+    by_category: dict[str, ActivityQuantiles]
+    by_role: dict[str, ActivityQuantiles]
+    overall: ActivityQuantiles
+    #: certificates active for >90% of the campaign (long-lived practice)
+    persistent_fingerprints: set[str]
+
+
+def activity_report(
+    enriched: EnrichedDataset,
+    population: list[CertProfile] | None = None,
+    campaign_days: float | None = None,
+) -> ActivityReport:
+    """Compute duration-of-activity statistics for a population.
+
+    `population` defaults to all certificates used in mutual TLS.
+    `campaign_days` (for the persistence threshold) defaults to the span
+    between the earliest and latest observation in the population.
+    """
+    if population is None:
+        population = [p for p in enriched.profiles.values() if p.used_in_mutual]
+    by_category: dict[str, list[float]] = {}
+    by_role: dict[str, list[float]] = {}
+    durations: list[float] = []
+    firsts = [p.first_seen for p in population if p.first_seen is not None]
+    lasts = [p.last_seen for p in population if p.last_seen is not None]
+    if campaign_days is None:
+        if firsts and lasts:
+            campaign_days = (max(lasts) - min(firsts)).total_seconds() / 86400.0
+        else:
+            campaign_days = 0.0
+    persistent: set[str] = set()
+    for profile in population:
+        duration = profile.activity_days
+        durations.append(duration)
+        category = categorize_issuer(profile.record, enriched.bundle)
+        by_category.setdefault(category, []).append(duration)
+        by_role.setdefault(profile.primary_role, []).append(duration)
+        if campaign_days > 0 and duration >= 0.9 * campaign_days:
+            persistent.add(profile.fingerprint)
+    return ActivityReport(
+        by_category={k: ActivityQuantiles.of(v) for k, v in by_category.items()},
+        by_role={k: ActivityQuantiles.of(v) for k, v in by_role.items()},
+        overall=ActivityQuantiles.of(durations),
+        persistent_fingerprints=persistent,
+    )
+
+
+def render_activity_report(report: ActivityReport) -> Table:
+    table = Table(
+        "Duration of activity (days) by issuer category",
+        ["Group", "#certs", "p50", "p90", "p99", "max"],
+    )
+
+    def row(label: str, quantiles: ActivityQuantiles) -> None:
+        table.add_row(
+            label, quantiles.count, f"{quantiles.p50:.0f}", f"{quantiles.p90:.0f}",
+            f"{quantiles.p99:.0f}", f"{quantiles.maximum:.0f}",
+        )
+
+    row("ALL", report.overall)
+    for role, quantiles in sorted(report.by_role.items()):
+        row(f"role: {role}", quantiles)
+    for category, quantiles in sorted(
+        report.by_category.items(), key=lambda kv: -kv[1].count
+    ):
+        row(category, quantiles)
+    table.add_note(
+        f"{len(report.persistent_fingerprints)} certificates active for "
+        ">90% of the campaign"
+    )
+    return table

@@ -1,0 +1,184 @@
+"""Joining ssl.log and x509.log into an analyzable dataset."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.zeek import SslRecord, X509Record
+from repro.zeek.builder import ZeekLogs
+
+
+@dataclass
+class ConnView:
+    """One established connection joined with its leaf certificates."""
+
+    ssl: SslRecord
+    server_leaf: X509Record | None
+    client_leaf: X509Record | None
+
+    @property
+    def is_mutual(self) -> bool:
+        return self.server_leaf is not None and self.client_leaf is not None
+
+    @property
+    def ts(self) -> _dt.datetime:
+        return self.ssl.ts
+
+    @property
+    def sni(self) -> str | None:
+        return self.ssl.server_name
+
+
+@dataclass
+class CertProfile:
+    """Aggregate view of one unique leaf certificate across the campaign."""
+
+    record: X509Record
+    used_as_server: bool = False
+    used_as_client: bool = False
+    used_in_mutual: bool = False
+    first_seen: _dt.datetime | None = None
+    last_seen: _dt.datetime | None = None
+    connection_count: int = 0
+    #: /24 subnets of the endpoint that presented the certificate,
+    #: split by role (Table 6).
+    server_subnets: set[str] = field(default_factory=set)
+    client_subnets: set[str] = field(default_factory=set)
+    #: distinct client IPs involved in this certificate's connections.
+    client_ips: set[str] = field(default_factory=set)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.record.fingerprint
+
+    @property
+    def primary_role(self) -> str:
+        """'server' wins ties: a cert ever presented by a server counts as
+        a server certificate (certs used by both are analyzed separately
+        in the sharing module / Table 13)."""
+        return "server" if self.used_as_server else "client"
+
+    @property
+    def shared_roles(self) -> bool:
+        return self.used_as_server and self.used_as_client
+
+    @property
+    def activity_days(self) -> float:
+        """The paper's 'duration of activity' (§5)."""
+        if self.first_seen is None or self.last_seen is None:
+            return 0.0
+        return (self.last_seen - self.first_seen).total_seconds() / 86400.0
+
+    def observe(self, ts: _dt.datetime) -> None:
+        if self.first_seen is None or ts < self.first_seen:
+            self.first_seen = ts
+        if self.last_seen is None or ts > self.last_seen:
+            self.last_seen = ts
+        self.connection_count += 1
+
+
+class MtlsDataset:
+    """The joined dataset: established connections + unique leaf certs.
+
+    Only *established* connections are analyzed (§3.2.1). Certificates
+    are deduplicated by fingerprint; the leaf of each chain is the first
+    fuid in the chain vector.
+    """
+
+    def __init__(self, ssl_records: Iterable[SslRecord], x509_records: Iterable[X509Record]):
+        self._x509_by_fuid: dict[str, X509Record] = {}
+        self._record_by_fingerprint: dict[str, X509Record] = {}
+        for record in x509_records:
+            self._x509_by_fuid[record.fuid] = record
+            self._record_by_fingerprint.setdefault(record.fingerprint, record)
+        self.connections: list[ConnView] = []
+        dropped = 0
+        for ssl in ssl_records:
+            if not ssl.established:
+                dropped += 1
+                continue
+            self.connections.append(
+                ConnView(
+                    ssl=ssl,
+                    server_leaf=self._leaf(ssl.server_leaf_fuid),
+                    client_leaf=self._leaf(ssl.client_leaf_fuid),
+                )
+            )
+        self.dropped_unestablished = dropped
+        self._profiles: dict[str, CertProfile] | None = None
+
+    @classmethod
+    def from_logs(cls, logs: ZeekLogs) -> "MtlsDataset":
+        return cls(logs.ssl, logs.x509)
+
+    def _leaf(self, fuid: str | None) -> X509Record | None:
+        if fuid is None:
+            return None
+        return self._x509_by_fuid.get(fuid)
+
+    def __len__(self) -> int:
+        return len(self.connections)
+
+    def __iter__(self) -> Iterator[ConnView]:
+        return iter(self.connections)
+
+    @property
+    def mutual_connections(self) -> list[ConnView]:
+        return [c for c in self.connections if c.is_mutual]
+
+    def x509_record(self, fuid: str) -> X509Record | None:
+        return self._x509_by_fuid.get(fuid)
+
+    def certificate_profiles(self) -> dict[str, CertProfile]:
+        """Unique leaf certificates with aggregated usage (cached)."""
+        if self._profiles is not None:
+            return self._profiles
+        from repro.netsim.network import subnet24
+
+        profiles: dict[str, CertProfile] = {}
+
+        def profile_for(record: X509Record) -> CertProfile:
+            existing = profiles.get(record.fingerprint)
+            if existing is None:
+                existing = CertProfile(record=record)
+                profiles[record.fingerprint] = existing
+            return existing
+
+        for conn in self.connections:
+            mutual = conn.is_mutual
+            if conn.server_leaf is not None:
+                profile = profile_for(conn.server_leaf)
+                profile.used_as_server = True
+                profile.used_in_mutual = profile.used_in_mutual or mutual
+                profile.observe(conn.ts)
+                profile.server_subnets.add(subnet24(conn.ssl.id_resp_h))
+                profile.client_ips.add(conn.ssl.id_orig_h)
+            if conn.client_leaf is not None:
+                profile = profile_for(conn.client_leaf)
+                profile.used_as_client = True
+                profile.used_in_mutual = profile.used_in_mutual or mutual
+                profile.observe(conn.ts)
+                profile.client_subnets.add(subnet24(conn.ssl.id_orig_h))
+                profile.client_ips.add(conn.ssl.id_orig_h)
+        self._profiles = profiles
+        return profiles
+
+    def without_fingerprints(self, excluded: set[str]) -> "MtlsDataset":
+        """A copy of the dataset with the given certificates (and the
+        connections presenting them) removed — used by the interception
+        filter."""
+        keep_x509 = [
+            r for r in self._x509_by_fuid.values() if r.fingerprint not in excluded
+        ]
+        excluded_fuids = {
+            r.fuid for r in self._x509_by_fuid.values() if r.fingerprint in excluded
+        }
+        keep_ssl = []
+        for conn in self.connections:
+            fuids = set(conn.ssl.cert_chain_fuids) | set(conn.ssl.client_cert_chain_fuids)
+            if fuids & excluded_fuids:
+                continue
+            keep_ssl.append(conn.ssl)
+        return MtlsDataset(keep_ssl, keep_x509)

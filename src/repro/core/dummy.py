@@ -1,0 +1,293 @@
+"""Dummy issuers (Table 4, Table 10) and serial collisions (§5.1.2)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.enrich import EnrichedDataset
+from repro.core.issuers import DUMMY_ORGANIZATIONS
+from repro.core.report import Table
+from repro.text.domains import extract_domain
+from repro.text.fuzzy import normalize_org
+
+
+def _is_dummy_org(org: str | None) -> bool:
+    return bool(org) and normalize_org(org) in DUMMY_ORGANIZATIONS
+
+
+@dataclass
+class DummyIssuerRow:
+    """One row of Table 4."""
+
+    direction: str  # 'inbound' / 'outbound'
+    side: str       # 'client' / 'server'
+    issuer_org: str
+    server_groups: set[str] = field(default_factory=set)
+    servers: set[str] = field(default_factory=set)
+    clients: set[str] = field(default_factory=set)
+    connections: int = 0
+
+
+def dummy_issuer_table(enriched: EnrichedDataset) -> list[DummyIssuerRow]:
+    """Table 4: mutual-TLS connections using certificates whose issuer
+    organization is a tooling default ('Internet Widgits Pty Ltd', ...)."""
+    rows: dict[tuple[str, str, str], DummyIssuerRow] = {}
+
+    def row_for(direction: str, side: str, org: str) -> DummyIssuerRow:
+        key = (direction, side, org)
+        if key not in rows:
+            rows[key] = DummyIssuerRow(direction=direction, side=side, issuer_org=org)
+        return rows[key]
+
+    for conn in enriched.mutual:
+        sni = conn.view.sni
+        parts = extract_domain(sni) if sni else None
+        if conn.direction == "inbound":
+            group = conn.association or "Unknown"
+        else:
+            group = parts.suffix if parts and parts.suffix else "(missing SNI)"
+        for side, leaf in (("client", conn.view.client_leaf),
+                           ("server", conn.view.server_leaf)):
+            if leaf is None or not _is_dummy_org(leaf.issuer_org):
+                continue
+            row = row_for(conn.direction, side, leaf.issuer_org or "")
+            row.server_groups.add(group)
+            row.servers.add(conn.view.ssl.id_resp_h)
+            row.clients.add(conn.view.ssl.id_orig_h)
+            row.connections += 1
+    return sorted(
+        rows.values(), key=lambda r: (r.direction, r.side, -len(r.clients))
+    )
+
+
+def render_dummy_issuer_table(rows: list[DummyIssuerRow]) -> Table:
+    table = Table(
+        "Table 4: certificates with dummy issuers in mutual TLS",
+        ["Direction", "Side", "Dummy issuer organization",
+         "Server groups", "#servers", "#clients", "#conns"],
+    )
+    for row in rows:
+        table.add_row(
+            row.direction, row.side, row.issuer_org,
+            ", ".join(sorted(row.server_groups)[:4]),
+            len(row.servers), len(row.clients), row.connections,
+        )
+    return table
+
+
+@dataclass
+class DummyBothEndpointsRow:
+    """One row of Table 10: dummy issuers at BOTH endpoints."""
+
+    sld: str
+    client_issuer_org: str
+    server_issuer_org: str
+    clients: set[str] = field(default_factory=set)
+    first_seen: object = None
+    last_seen: object = None
+    connections: int = 0
+
+    @property
+    def activity_days(self) -> float:
+        if self.first_seen is None or self.last_seen is None:
+            return 0.0
+        return (self.last_seen - self.first_seen).total_seconds() / 86400.0
+
+
+def dummy_both_endpoints(enriched: EnrichedDataset) -> list[DummyBothEndpointsRow]:
+    """Table 10 / §5.1.1: connections where both the server and the
+    client certificate carry dummy issuer organizations."""
+    rows: dict[tuple[str, str, str], DummyBothEndpointsRow] = {}
+    for conn in enriched.mutual:
+        server_leaf, client_leaf = conn.view.server_leaf, conn.view.client_leaf
+        if server_leaf is None or client_leaf is None:
+            continue
+        if not (_is_dummy_org(server_leaf.issuer_org) and _is_dummy_org(client_leaf.issuer_org)):
+            continue
+        sni = conn.view.sni
+        sld = extract_domain(sni).registrable if sni else "(missing SNI)"
+        key = (sld, client_leaf.issuer_org or "", server_leaf.issuer_org or "")
+        row = rows.get(key)
+        if row is None:
+            row = DummyBothEndpointsRow(
+                sld=sld, client_issuer_org=key[1], server_issuer_org=key[2]
+            )
+            rows[key] = row
+        row.clients.add(conn.view.ssl.id_orig_h)
+        row.connections += 1
+        ts = conn.view.ts
+        if row.first_seen is None or ts < row.first_seen:
+            row.first_seen = ts
+        if row.last_seen is None or ts > row.last_seen:
+            row.last_seen = ts
+    return sorted(rows.values(), key=lambda r: -len(r.clients))
+
+
+# ---------------------------------------------------------------------------
+# §5.1.2: dummy certificate serial numbers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SerialCollisionGroup:
+    """Certificates sharing one (issuer, serial) pair."""
+
+    issuer: str
+    issuer_org: str | None
+    serial: str
+    fingerprints: set[str] = field(default_factory=set)
+    server_certs: int = 0
+    client_certs: int = 0
+    clients: set[str] = field(default_factory=set)
+    connections: int = 0
+
+
+@dataclass
+class SerialCollisionReport:
+    direction: str
+    groups: list[SerialCollisionGroup]
+
+    @property
+    def total_clients(self) -> set[str]:
+        clients: set[str] = set()
+        for group in self.groups:
+            clients |= group.clients
+        return clients
+
+    def top_serials(self, count: int = 5) -> list[str]:
+        counter: Counter = Counter()
+        for group in self.groups:
+            counter[group.serial] += len(group.fingerprints)
+        return [serial for serial, _ in counter.most_common(count)]
+
+
+def serial_collisions(
+    enriched: EnrichedDataset, direction: str
+) -> SerialCollisionReport:
+    """Find (issuer, serial) pairs covering more than one certificate
+    among mutual-TLS connections in the given direction (§5.1.2)."""
+    groups: dict[tuple[str, str], SerialCollisionGroup] = {}
+    members: dict[tuple[str, str], set[str]] = defaultdict(set)
+    conns = [
+        c for c in enriched.mutual
+        if c.direction == direction
+    ]
+    for conn in conns:
+        for side, leaf in (("server", conn.view.server_leaf),
+                           ("client", conn.view.client_leaf)):
+            if leaf is None:
+                continue
+            key = (leaf.issuer, leaf.serial)
+            members[key].add(leaf.fingerprint)
+    colliding = {key for key, fps in members.items() if len(fps) > 1}
+    if not colliding:
+        return SerialCollisionReport(direction=direction, groups=[])
+    for conn in conns:
+        involved = False
+        for side, leaf in (("server", conn.view.server_leaf),
+                           ("client", conn.view.client_leaf)):
+            if leaf is None:
+                continue
+            key = (leaf.issuer, leaf.serial)
+            if key not in colliding:
+                continue
+            involved = True
+            group = groups.get(key)
+            if group is None:
+                group = SerialCollisionGroup(
+                    issuer=leaf.issuer, issuer_org=leaf.issuer_org, serial=leaf.serial
+                )
+                groups[key] = group
+            if leaf.fingerprint not in group.fingerprints:
+                group.fingerprints.add(leaf.fingerprint)
+                profile = enriched.profiles.get(leaf.fingerprint)
+                if profile is not None:
+                    if profile.used_as_server:
+                        group.server_certs += 1
+                    if profile.used_as_client:
+                        group.client_certs += 1
+            group.connections += 1
+        if involved:
+            for side, leaf in (("server", conn.view.server_leaf),
+                               ("client", conn.view.client_leaf)):
+                if leaf is None:
+                    continue
+                key = (leaf.issuer, leaf.serial)
+                if key in colliding:
+                    groups[key].clients.add(conn.view.ssl.id_orig_h)
+    ordered = sorted(groups.values(), key=lambda g: -len(g.fingerprints))
+    return SerialCollisionReport(direction=direction, groups=ordered)
+
+
+# ---------------------------------------------------------------------------
+# §5.1.1: weak cryptography among dummy-issuer certificates
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WeakCryptoReport:
+    """Version-1 certificates and short RSA keys among dummy-issuer certs.
+
+    The paper finds 3 'Internet Widgits Pty Ltd' certificates at X.509
+    version 1.0 (154 unique connection tuples) and 13 'Unspecified'
+    certificates with 1024-bit keys (83 tuples); NIST disallowed 1024-bit
+    keys after 2013.
+    """
+
+    v1_fingerprints: set[str] = field(default_factory=set)
+    v1_tuples: int = 0
+    weak_key_fingerprints: set[str] = field(default_factory=set)
+    weak_key_tuples: int = 0
+
+
+def weak_crypto_report(enriched: EnrichedDataset, weak_bits: int = 1024) -> WeakCryptoReport:
+    """Find v1 and short-key certificates among dummy-issuer client certs
+    used in mutual TLS, with their unique connection-tuple counts."""
+    from repro.core.tuples import tuples_for_fingerprints
+
+    report = WeakCryptoReport()
+    for profile in enriched.profiles.values():
+        record = profile.record
+        if not profile.used_in_mutual or not _is_dummy_org(record.issuer_org):
+            continue
+        if record.version == 1:
+            report.v1_fingerprints.add(record.fingerprint)
+        if 0 < record.key_length <= weak_bits:
+            report.weak_key_fingerprints.add(record.fingerprint)
+    report.v1_tuples = len(tuples_for_fingerprints(enriched, report.v1_fingerprints))
+    report.weak_key_tuples = len(
+        tuples_for_fingerprints(enriched, report.weak_key_fingerprints)
+    )
+    return report
+
+
+def render_weak_crypto(report: WeakCryptoReport) -> Table:
+    table = Table(
+        "§5.1.1: weak cryptography in dummy-issuer certificates",
+        ["Defect", "#certs", "#connection tuples"],
+    )
+    table.add_row("X.509 version 1", len(report.v1_fingerprints), report.v1_tuples)
+    table.add_row(
+        "RSA key <= 1024 bits", len(report.weak_key_fingerprints),
+        report.weak_key_tuples,
+    )
+    table.add_note("paper: 3 v1 certs / 154 tuples; 13 certs with 1024-bit "
+                   "keys / 83 tuples (NIST disallowed 1024-bit after 2013)")
+    return table
+
+
+def render_serial_collisions(report: SerialCollisionReport, top: int = 8) -> Table:
+    table = Table(
+        f"Serial-number collisions within one issuer ({report.direction}, §5.1.2)",
+        ["Issuer org", "Serial", "#certs", "#server certs", "#client certs",
+         "#clients", "#conns"],
+    )
+    for group in report.groups[:top]:
+        table.add_row(
+            group.issuer_org or "(missing)", group.serial,
+            len(group.fingerprints), group.server_certs, group.client_certs,
+            len(group.clients), group.connections,
+        )
+    table.add_note(f"clients involved overall: {len(report.total_clients)}")
+    return table

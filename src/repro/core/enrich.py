@@ -1,0 +1,226 @@
+"""Enrichment: direction, public/private, associations, interception.
+
+Implements §3.2's methodology on top of the joined dataset:
+
+- *inbound/outbound* from the responder address vs. the campus prefixes;
+- *public vs private CA* from the trust-store DN bundle;
+- *server association* categories for inbound traffic (Table 3);
+- the *interception filter*: server leaves whose issuer is in no trust
+  store are checked against CT; issuers that contradict the CT-logged
+  issuer for the domain are flagged and all their certificates excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.dataset import CertProfile, ConnView, MtlsDataset
+from repro.netsim.network import AddressSpace
+from repro.text.domains import extract_domain
+from repro.trust import TrustBundle
+from repro.zeek import X509Record
+
+
+class CtLookup(Protocol):
+    """What the interception filter needs from a CT log."""
+
+    def knows_domain(self, domain: str) -> bool: ...
+
+    def issuers_for(self, domain: str) -> list[str]: ...
+
+
+@dataclass(frozen=True)
+class AssociationRules:
+    """How inbound SNIs map onto server-association categories.
+
+    Defaults match the simulated campus; a deployment would fill these
+    with its own domains (the paper's authors did the equivalent
+    manually for their university).
+    """
+
+    campus_sld: str = "university.edu"
+    health_marker: str = "health"
+    vpn_marker: str = "vpn"
+    local_org_slds: frozenset[str] = frozenset({"localorg.org", "localclinic.org"})
+    globus_sni: str = "FXP DCAU Cert"
+    globus_issuer_org: str = "Globus Online"
+
+    def classify(self, conn: ConnView) -> str:
+        sni = conn.sni
+        if sni == self.globus_sni:
+            return "Globus"
+        if not sni:
+            issuer_org = conn.server_leaf.issuer_org if conn.server_leaf else None
+            if issuer_org == self.globus_issuer_org:
+                return "Globus"
+            return "Unknown"
+        parts = extract_domain(sni)
+        if parts.registrable == self.campus_sld:
+            subdomain = parts.subdomain
+            if self.health_marker in subdomain.split("."):
+                return "University Health"
+            if self.vpn_marker in subdomain.split("."):
+                return "University VPN"
+            return "University Server"
+        if parts.registrable in self.local_org_slds:
+            return "Local Organization"
+        if parts.registrable:
+            return "Third Party Service"
+        return "Unknown"
+
+
+@dataclass
+class EnrichedConn:
+    """A connection with its §3.2 labels."""
+
+    view: ConnView
+    direction: str  # 'inbound' or 'outbound'
+    server_public: bool | None  # None when no server cert was observed
+    client_public: bool | None
+    association: str | None  # inbound only
+
+    @property
+    def is_mutual(self) -> bool:
+        return self.view.is_mutual
+
+
+@dataclass
+class InterceptionReport:
+    """Outcome of the interception filter (§3.2)."""
+
+    flagged_issuers: set[str]
+    excluded_fingerprints: set[str]
+    total_certificates: int
+
+    @property
+    def excluded_fraction(self) -> float:
+        if not self.total_certificates:
+            return 0.0
+        return len(self.excluded_fingerprints) / self.total_certificates
+
+
+@dataclass
+class EnrichedDataset:
+    """The fully labeled dataset all downstream analyses consume."""
+
+    dataset: MtlsDataset
+    connections: list[EnrichedConn]
+    profiles: dict[str, CertProfile]
+    bundle: TrustBundle
+    interception: InterceptionReport
+    rules: AssociationRules
+
+    @property
+    def mutual(self) -> list[EnrichedConn]:
+        return [c for c in self.connections if c.is_mutual]
+
+    def is_public_record(self, record: X509Record) -> bool:
+        return _is_public(record, self.bundle)
+
+    def mutual_profiles(self) -> dict[str, CertProfile]:
+        return {fp: p for fp, p in self.profiles.items() if p.used_in_mutual}
+
+
+def _is_public(record: X509Record, bundle: TrustBundle) -> bool:
+    """The paper's public-CA predicate at log level: the issuer DN or
+    issuer organization appears in at least one major trust store."""
+    if bundle.knows_issuer_dn(record.issuer):
+        return True
+    return bundle.knows_organization(record.issuer_org)
+
+
+class Enricher:
+    """Runs the §3.2 pipeline: interception filter + labels."""
+
+    def __init__(
+        self,
+        bundle: TrustBundle,
+        ct_log: CtLookup | None = None,
+        is_internal: Callable[[str], bool] | None = None,
+        rules: AssociationRules | None = None,
+        filter_interception: bool = True,
+        min_interception_domains: int = 5,
+    ) -> None:
+        self.bundle = bundle
+        self.ct_log = ct_log
+        self.is_internal = is_internal or AddressSpace().is_internal
+        self.rules = rules or AssociationRules()
+        self.filter_interception = filter_interception
+        #: Stand-in for the paper's manual investigation step: an issuer
+        #: is only deemed an interception CA when it contradicts CT for
+        #: at least this many distinct domains. A middlebox impersonates
+        #: many domains; a misconfigured endpoint only its own few.
+        self.min_interception_domains = min_interception_domains
+
+    def enrich(self, dataset: MtlsDataset) -> EnrichedDataset:
+        report = self._interception_report(dataset)
+        if self.filter_interception and report.excluded_fingerprints:
+            dataset = dataset.without_fingerprints(report.excluded_fingerprints)
+        connections = [self._label(conn) for conn in dataset.connections]
+        return EnrichedDataset(
+            dataset=dataset,
+            connections=connections,
+            profiles=dataset.certificate_profiles(),
+            bundle=self.bundle,
+            interception=report,
+            rules=self.rules,
+        )
+
+    def _label(self, conn: ConnView) -> EnrichedConn:
+        direction = "inbound" if self.is_internal(conn.ssl.id_resp_h) else "outbound"
+        server_public = (
+            None if conn.server_leaf is None
+            else _is_public(conn.server_leaf, self.bundle)
+        )
+        client_public = (
+            None if conn.client_leaf is None
+            else _is_public(conn.client_leaf, self.bundle)
+        )
+        association = self.rules.classify(conn) if direction == "inbound" else None
+        return EnrichedConn(
+            view=conn,
+            direction=direction,
+            server_public=server_public,
+            client_public=client_public,
+            association=association,
+        )
+
+    def _interception_report(self, dataset: MtlsDataset) -> InterceptionReport:
+        """§3.2: flag issuers that present certificates contradicting the
+        CT-logged issuer of the requested domain."""
+        total = len(dataset.certificate_profiles())
+        if self.ct_log is None or not self.filter_interception:
+            return InterceptionReport(set(), set(), total)
+        mismatched_domains: dict[str, set[str]] = {}
+        for conn in dataset.connections:
+            leaf = conn.server_leaf
+            if leaf is None or not conn.sni:
+                continue
+            # Step 1: issuer not found in major trust stores.
+            if _is_public(leaf, self.bundle):
+                continue
+            # Step 2: CT knows the domain under a different issuer.
+            domain = conn.sni.lower()
+            if not self.ct_log.knows_domain(domain):
+                continue
+            ct_issuers = self.ct_log.issuers_for(domain)
+            if leaf.issuer not in ct_issuers:
+                mismatched_domains.setdefault(leaf.issuer, set()).add(domain)
+        # Step 3 (the paper's manual investigation): keep only issuers
+        # contradicting CT across enough distinct domains.
+        flagged = {
+            issuer
+            for issuer, domains in mismatched_domains.items()
+            if len(domains) >= self.min_interception_domains
+        }
+        excluded = {
+            profile.fingerprint
+            for profile in dataset.certificate_profiles().values()
+            if profile.record.issuer in flagged
+        }
+        return InterceptionReport(
+            flagged_issuers=flagged,
+            excluded_fingerprints=excluded,
+            total_certificates=total,
+        )

@@ -1,0 +1,56 @@
+"""Machine-readable export of study results.
+
+Renders the whole study (or any `Table`) as JSON so results can be
+diffed across runs, plotted externally, or archived — the
+privacy-preserving "intermediate data" sharing the paper's artifact
+statement aspires to.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.report import Table
+
+
+def table_to_dict(table: Table) -> dict[str, Any]:
+    """One table as {title, headers, rows, notes} with stringified cells."""
+    return {
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [[str(cell) for cell in row] for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def study_to_dict(study) -> dict[str, Any]:
+    """Every artifact of a `CampusStudy` keyed by table title."""
+    result = study.run()
+    payload: dict[str, Any] = {
+        "config": {
+            "seed": study.config.seed,
+            "months": study.config.months,
+            "connections_per_month": study.config.connections_per_month,
+        },
+        "summary": {
+            "connections": len(result.dataset),
+            "mutual_connections": len(result.dataset.mutual_connections),
+            "unique_certificates": len(result.enriched.profiles),
+            "interception_issuers_flagged": len(
+                result.enriched.interception.flagged_issuers
+            ),
+            "interception_certificates_excluded": len(
+                result.enriched.interception.excluded_fingerprints
+            ),
+        },
+        "tables": {},
+    }
+    for table in study.all_tables():
+        payload["tables"][table.title] = table_to_dict(table)
+    return payload
+
+
+def study_to_json(study, indent: int = 2) -> str:
+    """The full study as a JSON document."""
+    return json.dumps(study_to_dict(study), indent=indent, sort_keys=True)

@@ -1,0 +1,153 @@
+"""Prevalence of mutual TLS: Figure 1 and Table 1."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.enrich import EnrichedDataset
+from repro.core.report import Table, fmt_count, percentage
+
+
+@dataclass
+class MonthlyShare:
+    """One point of the Figure 1 time series."""
+
+    label: str  # 'YYYY-MM'
+    total_connections: int
+    mutual_connections: int
+
+    @property
+    def share(self) -> float:
+        if not self.total_connections:
+            return 0.0
+        return self.mutual_connections / self.total_connections
+
+
+def monthly_mutual_share(enriched: EnrichedDataset) -> list[MonthlyShare]:
+    """Figure 1: per-month fraction of TLS connections that are mutual.
+
+    The denominator is *all* observed TLS connections, including TLS 1.3
+    connections whose certificates are invisible (which therefore can
+    never be counted as mutual — the paper's §3.3 caveat applies to the
+    numerator).
+    """
+    totals: dict[str, int] = defaultdict(int)
+    mutuals: dict[str, int] = defaultdict(int)
+    for conn in enriched.connections:
+        label = f"{conn.view.ts.year:04d}-{conn.view.ts.month:02d}"
+        totals[label] += 1
+        if conn.is_mutual:
+            mutuals[label] += 1
+    return [
+        MonthlyShare(label=label, total_connections=totals[label],
+                     mutual_connections=mutuals[label])
+        for label in sorted(totals)
+    ]
+
+
+def render_monthly_share(series: list[MonthlyShare], width: int = 40) -> Table:
+    table = Table(
+        "Figure 1: share of TLS connections using mutual TLS",
+        ["Month", "Total", "Mutual", "%", "Bar"],
+    )
+    peak = max((p.share for p in series), default=0.0) or 1.0
+    for point in series:
+        bar = "#" * round(width * point.share / peak)
+        table.add_row(
+            point.label, point.total_connections, point.mutual_connections,
+            f"{100 * point.share:.2f}", bar,
+        )
+    return table
+
+
+@dataclass
+class DirectionPoint:
+    """Monthly mutual-TLS counts split by direction (Figure 1's narrative:
+    the Oct-Dec 2023 surge was inbound, the dip outbound)."""
+
+    label: str
+    inbound_mutual: int
+    outbound_mutual: int
+
+
+def direction_split_series(enriched: EnrichedDataset) -> list[DirectionPoint]:
+    """Per-month inbound/outbound mutual connection counts."""
+    inbound: dict[str, int] = defaultdict(int)
+    outbound: dict[str, int] = defaultdict(int)
+    labels: set[str] = set()
+    for conn in enriched.connections:
+        label = f"{conn.view.ts.year:04d}-{conn.view.ts.month:02d}"
+        labels.add(label)
+        if not conn.is_mutual:
+            continue
+        if conn.direction == "inbound":
+            inbound[label] += 1
+        else:
+            outbound[label] += 1
+    return [
+        DirectionPoint(
+            label=label,
+            inbound_mutual=inbound[label],
+            outbound_mutual=outbound[label],
+        )
+        for label in sorted(labels)
+    ]
+
+
+@dataclass
+class CertStatsRow:
+    """One row of Table 1."""
+
+    label: str
+    total: int
+    mutual: int
+
+    @property
+    def mutual_share(self) -> float:
+        return self.mutual / self.total if self.total else 0.0
+
+
+def certificate_statistics(enriched: EnrichedDataset) -> list[CertStatsRow]:
+    """Table 1: unique leaf certificates by role and issuer kind.
+
+    Roles follow §3.2.1 (presence in the server or client chain); a
+    certificate seen in both roles is counted under its primary (server)
+    role here and analyzed separately in the sharing module.
+    """
+    counts = {
+        "Total": [0, 0],
+        "Server": [0, 0],
+        "Server/Public": [0, 0],
+        "Server/Private": [0, 0],
+        "Client": [0, 0],
+        "Client/Public": [0, 0],
+        "Client/Private": [0, 0],
+    }
+    for profile in enriched.profiles.values():
+        public = enriched.is_public_record(profile.record)
+        role = "Server" if profile.primary_role == "server" else "Client"
+        kind = "Public" if public else "Private"
+        for key in ("Total", role, f"{role}/{kind}"):
+            counts[key][0] += 1
+            if profile.used_in_mutual:
+                counts[key][1] += 1
+    return [
+        CertStatsRow(label=label, total=total, mutual=mutual)
+        for label, (total, mutual) in counts.items()
+    ]
+
+
+def render_certificate_statistics(rows: list[CertStatsRow]) -> Table:
+    table = Table(
+        "Table 1: unique leaf certificates (total vs used in mutual TLS)",
+        ["Certificates", "Total", "Mutual TLS", "%"],
+    )
+    for row in rows:
+        indent = "  - " if "/" in row.label else ""
+        label = row.label.split("/")[-1] + (" CA" if "/" in row.label else "")
+        table.add_row(
+            indent + label, fmt_count(row.total), fmt_count(row.mutual),
+            percentage(row.mutual, row.total),
+        )
+    return table

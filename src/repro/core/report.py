@@ -1,0 +1,56 @@
+"""Plain-text table rendering for analysis outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class Table:
+    """A monospace table with a title, headers, and stringable rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        cells = [[str(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * max(len(self.title), 1)]
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def percentage(numerator: float, denominator: float, digits: int = 2) -> str:
+    """'12.34' style percentage cell; '-' when the denominator is zero."""
+    if not denominator:
+        return "-"
+    return f"{100.0 * numerator / denominator:.{digits}f}"
+
+
+def fmt_count(value: int) -> str:
+    return f"{value:,}"

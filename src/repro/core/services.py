@@ -1,0 +1,93 @@
+"""Table 2: prominent services by server port, mutual vs non-mutual."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.enrich import EnrichedDataset
+from repro.core.report import Table
+from repro.tls.ports import ServiceRegistry, default_registry
+
+
+@dataclass
+class ServiceRow:
+    port_group: str
+    service: str
+    connections: int
+    share: float
+
+
+@dataclass
+class ServiceBreakdown:
+    """The four quadrants of Table 2."""
+
+    inbound_mutual: list[ServiceRow]
+    outbound_mutual: list[ServiceRow]
+    inbound_nonmutual: list[ServiceRow]
+    outbound_nonmutual: list[ServiceRow]
+
+
+def _rank(
+    counter: Counter, registry: ServiceRegistry, top: int
+) -> list[ServiceRow]:
+    total = sum(counter.values())
+    rows = []
+    for port_group, count in counter.most_common(top):
+        sample_port = int(port_group.split("-")[0])
+        rows.append(
+            ServiceRow(
+                port_group=port_group,
+                service=registry.lookup(sample_port).label,
+                connections=count,
+                share=count / total if total else 0.0,
+            )
+        )
+    return rows
+
+
+def service_breakdown(
+    enriched: EnrichedDataset,
+    registry: ServiceRegistry | None = None,
+    top: int = 5,
+) -> ServiceBreakdown:
+    """Rank server ports for each direction × mutual quadrant.
+
+    Port ranges known to the registry (e.g. Globus' 50000-51000) are
+    collapsed onto a single row, as the paper does.
+    """
+    registry = registry or default_registry()
+    counters: dict[tuple[str, bool], Counter] = {
+        ("inbound", True): Counter(),
+        ("inbound", False): Counter(),
+        ("outbound", True): Counter(),
+        ("outbound", False): Counter(),
+    }
+    for conn in enriched.connections:
+        key = (conn.direction, conn.is_mutual)
+        counters[key][registry.group_key(conn.view.ssl.id_resp_p)] += 1
+    return ServiceBreakdown(
+        inbound_mutual=_rank(counters[("inbound", True)], registry, top),
+        outbound_mutual=_rank(counters[("outbound", True)], registry, top),
+        inbound_nonmutual=_rank(counters[("inbound", False)], registry, top),
+        outbound_nonmutual=_rank(counters[("outbound", False)], registry, top),
+    )
+
+
+def render_service_breakdown(breakdown: ServiceBreakdown) -> Table:
+    table = Table(
+        "Table 2: prominent services, mutual vs non-mutual TLS",
+        ["Quadrant", "Rank", "Port", "%", "Service"],
+    )
+    quadrants = (
+        ("inbound + mutual", breakdown.inbound_mutual),
+        ("outbound + mutual", breakdown.outbound_mutual),
+        ("inbound + non-mutual", breakdown.inbound_nonmutual),
+        ("outbound + non-mutual", breakdown.outbound_nonmutual),
+    )
+    for label, rows in quadrants:
+        for rank, row in enumerate(rows, start=1):
+            table.add_row(
+                label, rank, row.port_group, f"{100 * row.share:.2f}", row.service
+            )
+    return table

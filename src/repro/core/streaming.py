@@ -1,0 +1,135 @@
+"""Incremental (bounded-memory) analysis of log streams.
+
+The batch pipeline loads a whole campaign; a 23-month border capture
+does not fit in memory. `StreamingAnalyzer` consumes ssl/x509 records
+incrementally — e.g. one rotated monthly file at a time — and maintains
+the running aggregates for the headline results (Figure 1's series and
+Table 1's unique-certificate statistics) with memory proportional to the
+number of *unique certificates*, not connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.prevalence import CertStatsRow, MonthlyShare
+from repro.trust import TrustBundle
+from repro.zeek import SslRecord, X509Record
+
+
+@dataclass
+class _CertState:
+    """Minimal per-certificate running state (no record retained)."""
+
+    public: bool
+    used_as_server: bool = False
+    used_as_client: bool = False
+    used_in_mutual: bool = False
+
+
+class StreamingAnalyzer:
+    """Consumes log records incrementally; query aggregates at any point.
+
+    x509 records must be fed before (or together with) the ssl records
+    that reference them — which is how Zeek writes its logs.
+    """
+
+    def __init__(self, bundle: TrustBundle) -> None:
+        self.bundle = bundle
+        self._fuid_to_fp: dict[str, str] = {}
+        self._certs: dict[str, _CertState] = {}
+        self._monthly_total: dict[str, int] = {}
+        self._monthly_mutual: dict[str, int] = {}
+        self.connections_seen = 0
+        self.dropped_unestablished = 0
+
+    # Feeding -------------------------------------------------------------------
+
+    def add_x509(self, records: Iterable[X509Record]) -> None:
+        for record in records:
+            self._fuid_to_fp[record.fuid] = record.fingerprint
+            if record.fingerprint not in self._certs:
+                public = self.bundle.knows_issuer_dn(record.issuer) or \
+                    self.bundle.knows_organization(record.issuer_org)
+                self._certs[record.fingerprint] = _CertState(public=public)
+
+    def add_ssl(self, records: Iterable[SslRecord]) -> None:
+        for record in records:
+            if not record.established:
+                self.dropped_unestablished += 1
+                continue
+            self.connections_seen += 1
+            label = f"{record.ts.year:04d}-{record.ts.month:02d}"
+            self._monthly_total[label] = self._monthly_total.get(label, 0) + 1
+            mutual = record.is_mutual
+            if mutual:
+                self._monthly_mutual[label] = self._monthly_mutual.get(label, 0) + 1
+            self._observe_leaf(record.server_leaf_fuid, "server", mutual)
+            self._observe_leaf(record.client_leaf_fuid, "client", mutual)
+
+    def add_month(
+        self, ssl: Iterable[SslRecord], x509: Iterable[X509Record]
+    ) -> None:
+        """Feed one rotation window (x509 first, as Zeek ordering allows)."""
+        self.add_x509(x509)
+        self.add_ssl(ssl)
+
+    def _observe_leaf(self, fuid: str | None, role: str, mutual: bool) -> None:
+        if fuid is None:
+            return
+        fingerprint = self._fuid_to_fp.get(fuid)
+        if fingerprint is None:
+            return
+        state = self._certs[fingerprint]
+        if role == "server":
+            state.used_as_server = True
+        else:
+            state.used_as_client = True
+        state.used_in_mutual = state.used_in_mutual or mutual
+
+    # Queries -------------------------------------------------------------------
+
+    def monthly_mutual_share(self) -> list[MonthlyShare]:
+        """The running Figure 1 series."""
+        return [
+            MonthlyShare(
+                label=label,
+                total_connections=self._monthly_total[label],
+                mutual_connections=self._monthly_mutual.get(label, 0),
+            )
+            for label in sorted(self._monthly_total)
+        ]
+
+    def certificate_statistics(self) -> list[CertStatsRow]:
+        """The running Table 1 (only certificates referenced by a
+        connection are counted, matching the batch pipeline)."""
+        counts = {
+            "Total": [0, 0],
+            "Server": [0, 0],
+            "Server/Public": [0, 0],
+            "Server/Private": [0, 0],
+            "Client": [0, 0],
+            "Client/Public": [0, 0],
+            "Client/Private": [0, 0],
+        }
+        for state in self._certs.values():
+            if not (state.used_as_server or state.used_as_client):
+                continue
+            role = "Server" if state.used_as_server else "Client"
+            kind = "Public" if state.public else "Private"
+            for key in ("Total", role, f"{role}/{kind}"):
+                counts[key][0] += 1
+                if state.used_in_mutual:
+                    counts[key][1] += 1
+        return [
+            CertStatsRow(label=label, total=total, mutual=mutual)
+            for label, (total, mutual) in counts.items()
+        ]
+
+    @property
+    def unique_certificates(self) -> int:
+        return sum(
+            1 for s in self._certs.values()
+            if s.used_as_server or s.used_as_client
+        )

@@ -1,0 +1,211 @@
+"""One-call orchestration: simulate the campus, run the full pipeline.
+
+`CampusStudy` is the public entry point used by the examples and the
+benchmark harness: it generates a scaled-down campaign with
+`repro.netsim`, enriches it per §3.2, and exposes every table/figure
+analysis as a method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    cnsan, dummy, issuers, prevalence, services, sharing, tuples, validity,
+)
+from repro.core.dataset import MtlsDataset
+from repro.core.enrich import EnrichedDataset, Enricher
+from repro.core.report import Table
+from repro.netsim import ScenarioConfig, SimulationResult, TrafficGenerator
+
+
+@dataclass
+class StudyResult:
+    """Everything produced by one end-to-end run."""
+
+    simulation: SimulationResult
+    dataset: MtlsDataset
+    enriched: EnrichedDataset
+
+
+class CampusStudy:
+    """Reproduces the paper's study on a synthetic campus campaign."""
+
+    def __init__(
+        self,
+        seed: int = 7,
+        months: int = 23,
+        connections_per_month: int = 2000,
+        config: ScenarioConfig | None = None,
+        filter_interception: bool = True,
+    ) -> None:
+        self.config = config or ScenarioConfig(
+            seed=seed, months=months, connections_per_month=connections_per_month
+        )
+        self.filter_interception = filter_interception
+        self._result: StudyResult | None = None
+
+    def run(self) -> StudyResult:
+        """Generate traffic and run enrichment (cached)."""
+        if self._result is not None:
+            return self._result
+        simulation = TrafficGenerator(self.config).generate()
+        dataset = MtlsDataset.from_logs(simulation.logs)
+        enricher = Enricher(
+            bundle=simulation.trust_bundle,
+            ct_log=simulation.ct_log,
+            filter_interception=self.filter_interception,
+        )
+        enriched = enricher.enrich(dataset)
+        self._result = StudyResult(
+            simulation=simulation, dataset=dataset, enriched=enriched
+        )
+        return self._result
+
+    @property
+    def enriched(self) -> EnrichedDataset:
+        return self.run().enriched
+
+    # Table/figure entry points -------------------------------------------------
+
+    def table1(self) -> Table:
+        rows = prevalence.certificate_statistics(self.enriched)
+        return prevalence.render_certificate_statistics(rows)
+
+    def figure1(self) -> Table:
+        series = prevalence.monthly_mutual_share(self.enriched)
+        return prevalence.render_monthly_share(series)
+
+    def table2(self) -> Table:
+        breakdown = services.service_breakdown(self.enriched)
+        return services.render_service_breakdown(breakdown)
+
+    def table3(self) -> Table:
+        rows = issuers.inbound_association_table(self.enriched)
+        return issuers.render_inbound_association_table(rows)
+
+    def figure2(self) -> Table:
+        flows = issuers.outbound_flows(self.enriched)
+        return issuers.render_outbound_flows(flows)
+
+    def table4(self) -> Table:
+        rows = dummy.dummy_issuer_table(self.enriched)
+        return dummy.render_dummy_issuer_table(rows)
+
+    def serial_collision_tables(self) -> tuple[Table, Table]:
+        inbound = dummy.serial_collisions(self.enriched, "inbound")
+        outbound = dummy.serial_collisions(self.enriched, "outbound")
+        return (
+            dummy.render_serial_collisions(inbound),
+            dummy.render_serial_collisions(outbound),
+        )
+
+    def table5(self) -> Table:
+        rows = sharing.same_connection_sharing(self.enriched)
+        return sharing.render_same_connection_sharing(rows)
+
+    def table6(self) -> Table:
+        spread = sharing.cross_connection_subnets(self.enriched)
+        return sharing.render_cross_connection_subnets(spread)
+
+    def figure3(self) -> Table:
+        rows = validity.incorrect_dates(self.enriched)
+        return validity.render_incorrect_dates(rows)
+
+    def figure4(self) -> Table:
+        stats = validity.validity_periods(self.enriched)
+        return validity.render_validity_periods(stats)
+
+    def figure5(self) -> Table:
+        report = validity.expired_certificates(self.enriched)
+        return validity.render_expired_report(report)
+
+    def table7(self) -> Table:
+        rows = cnsan.utilization_table(self.enriched)
+        return cnsan.render_utilization(
+            rows, "Table 7: non-empty CN/SAN in mutual-TLS certificates"
+        )
+
+    def table8(self) -> Table:
+        matrix = cnsan.information_types(self.enriched)
+        return cnsan.render_information_types(
+            matrix, "Table 8: information types in CN and SAN (mutual TLS)"
+        )
+
+    def table9(self) -> Table:
+        rows = cnsan.unidentified_breakdown(self.enriched)
+        return cnsan.render_unidentified_breakdown(rows)
+
+    def table13(self) -> tuple[Table, Table]:
+        population = cnsan.shared_population(self.enriched)
+        utilization = cnsan.utilization_table(
+            self.enriched, population, split_roles=False
+        )
+        matrix = cnsan.information_types(
+            self.enriched, population, split_roles=False
+        )
+        return (
+            cnsan.render_utilization(
+                utilization, "Table 13a: CN/SAN utilization in shared certificates"
+            ),
+            cnsan.render_information_types(
+                matrix, "Table 13b: information types in shared certificates"
+            ),
+        )
+
+    def table14(self) -> tuple[Table, Table]:
+        population = cnsan.non_mutual_server_population(self.enriched)
+        utilization = cnsan.utilization_table(
+            self.enriched, population, split_roles=False
+        )
+        matrix = cnsan.information_types(
+            self.enriched, population, split_roles=False
+        )
+        return (
+            cnsan.render_utilization(
+                utilization, "Table 14a: CN/SAN utilization, non-mutual server certs"
+            ),
+            cnsan.render_information_types(
+                matrix, "Table 14b: information types, non-mutual server certs"
+            ),
+        )
+
+    def san_types(self) -> Table:
+        usage = cnsan.san_type_usage(self.enriched)
+        return cnsan.render_san_type_usage(usage)
+
+    def tls13_blindspot(self) -> Table:
+        blindspot = tuples.tls13_blindspot(self.run().dataset)
+        return tuples.render_tls13_blindspot(blindspot)
+
+    def weak_crypto(self) -> Table:
+        report = dummy.weak_crypto_report(self.enriched)
+        return dummy.render_weak_crypto(report)
+
+    def interception_summary(self) -> Table:
+        report = self.enriched.interception
+        table = Table(
+            "§3.2: TLS interception filter",
+            ["Flagged issuers", "Excluded certificates", "Excluded fraction"],
+        )
+        table.add_row(
+            len(report.flagged_issuers),
+            len(report.excluded_fingerprints),
+            f"{100 * report.excluded_fraction:.2f}% (paper: 8.4%)",
+        )
+        return table
+
+    def all_tables(self) -> list[Table]:
+        """Every table/figure in paper order (used by the full example)."""
+        table13a, table13b = self.table13()
+        table14a, table14b = self.table14()
+        serial_in, serial_out = self.serial_collision_tables()
+        return [
+            self.table1(), self.figure1(), self.table2(), self.table3(),
+            self.figure2(), self.table4(), serial_in, serial_out,
+            self.table5(), self.table6(), self.figure3(), self.figure4(),
+            self.figure5(), self.table7(), self.table8(), self.table9(),
+            table13a, table13b, table14a, table14b,
+            self.san_types(), self.weak_crypto(), self.tls13_blindspot(),
+            self.interception_summary(),
+        ]

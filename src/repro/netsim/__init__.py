@@ -1,0 +1,29 @@
+"""Campus-network traffic simulator.
+
+Substitutes for the 23 months of IRB-restricted campus border traffic:
+generates TLS connections (and the certificates behind them) whose
+marginal distributions are calibrated to every statistic the paper
+reports, then feeds them through the Zeek log builder so the analysis
+pipeline consumes exactly the artifact the authors had — linked
+ssl.log / x509.log streams.
+
+Entry point: :class:`repro.netsim.generator.TrafficGenerator`.
+"""
+
+from repro.netsim.clock import CampaignClock
+from repro.netsim.network import AddressSpace
+from repro.netsim.ct import CtLog
+from repro.netsim.scenario import ScenarioConfig
+from repro.netsim.cas import CaUniverse
+from repro.netsim.generator import GroundTruth, SimulationResult, TrafficGenerator
+
+__all__ = [
+    "CampaignClock",
+    "AddressSpace",
+    "CtLog",
+    "ScenarioConfig",
+    "CaUniverse",
+    "GroundTruth",
+    "SimulationResult",
+    "TrafficGenerator",
+]

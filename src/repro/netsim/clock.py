@@ -1,0 +1,82 @@
+"""Campaign clock: the 23-month observation window."""
+
+from __future__ import annotations
+
+import calendar
+import datetime as _dt
+import random
+from dataclasses import dataclass
+
+UTC = _dt.timezone.utc
+
+#: The paper's observation window: May 1st 2022 – March 31st 2024.
+CAMPAIGN_START = _dt.datetime(2022, 5, 1, tzinfo=UTC)
+CAMPAIGN_MONTHS = 23
+
+
+@dataclass(frozen=True)
+class MonthWindow:
+    """One calendar month of the campaign."""
+
+    index: int
+    year: int
+    month: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.year:04d}-{self.month:02d}"
+
+    @property
+    def start(self) -> _dt.datetime:
+        return _dt.datetime(self.year, self.month, 1, tzinfo=UTC)
+
+    @property
+    def days(self) -> int:
+        return calendar.monthrange(self.year, self.month)[1]
+
+    @property
+    def end(self) -> _dt.datetime:
+        return self.start + _dt.timedelta(days=self.days)
+
+    def sample_instant(self, rng: random.Random) -> _dt.datetime:
+        """A uniformly random instant within the month."""
+        seconds = rng.uniform(0, self.days * 86400 - 1)
+        return self.start + _dt.timedelta(seconds=seconds)
+
+
+class CampaignClock:
+    """Iterates the observation window month by month."""
+
+    def __init__(
+        self,
+        start: _dt.datetime = CAMPAIGN_START,
+        months: int = CAMPAIGN_MONTHS,
+    ) -> None:
+        if months < 1:
+            raise ValueError("campaign needs at least one month")
+        self.start = start if start.tzinfo else start.replace(tzinfo=UTC)
+        self.months = months
+
+    def month(self, index: int) -> MonthWindow:
+        if not 0 <= index < self.months:
+            raise IndexError(f"month index {index} outside campaign")
+        year = self.start.year + (self.start.month - 1 + index) // 12
+        month = (self.start.month - 1 + index) % 12 + 1
+        return MonthWindow(index=index, year=year, month=month)
+
+    def __iter__(self):
+        for index in range(self.months):
+            yield self.month(index)
+
+    @property
+    def end(self) -> _dt.datetime:
+        return self.month(self.months - 1).end
+
+    def month_of(self, instant: _dt.datetime) -> int | None:
+        """Campaign month index containing the instant, or None."""
+        if instant.tzinfo is None:
+            instant = instant.replace(tzinfo=UTC)
+        for window in self:
+            if window.start <= instant < window.end:
+                return window.index
+        return None

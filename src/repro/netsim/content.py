@@ -1,0 +1,188 @@
+"""CN/SAN content synthesis.
+
+Generates the *information types* the paper finds inside certificate
+subjects (§6): campus user accounts, personal names, org/product
+strings (WebRTC, twilio, hangouts, Hybrid Runbook Worker...), SIP and
+MAC addresses, emails, localhost, plain domains, and the several shapes
+of random strings that make up the 'unidentified' category.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.text.ner import FIRST_NAMES, SURNAMES
+from repro.x509 import GeneralName
+
+_FIRST = sorted(FIRST_NAMES)
+_LAST = sorted(SURNAMES)
+_HEX = "0123456789abcdef"
+_ALNUM = "abcdefghijklmnopqrstuvwxyz0123456789"
+_CONSONANTY = "bcdfghjklmnpqrstvwxz0123456789"
+
+#: Weighted org/product CN strings (§6.3.2/6.3.4: WebRTC dominates).
+ORG_PRODUCT_CHOICES: tuple[tuple[str, float], ...] = (
+    ("WebRTC", 0.88),
+    ("twilio", 0.06),
+    ("hangouts", 0.035),
+    ("Lenovo ThinkPad", 0.015),
+    ("Android Keystore", 0.010),
+)
+
+#: Opaque-but-not-random strings (§6.3.4/6.3.6).
+OPAQUE_STRINGS = ("__transfer__", "Dtls", "hmpp", "file-transfer-node", "mediasoup")
+
+
+@dataclass(frozen=True)
+class SubjectContent:
+    """One synthesized subject: the CN text, its kind, and SAN entries."""
+
+    kind: str
+    common_name: str
+    sans: tuple[GeneralName, ...] = ()
+
+
+class ContentSynthesizer:
+    """Draws CN/SAN content of a requested kind."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self._user_counter = 0
+
+    # Primitive generators -------------------------------------------------------
+
+    def user_account(self) -> str:
+        """Campus user ID: 2-3 letters, a digit, 2-3 letters (e.g. hd7gr)."""
+        self._user_counter += 1
+        rng = self.rng
+        head = "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(rng.choice((2, 3))))
+        tail = "".join(rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(rng.choice((2, 3))))
+        return f"{head}{rng.randint(0, 9)}{tail}"
+
+    def personal_name(self) -> str:
+        first = self.rng.choice(_FIRST).capitalize()
+        last = self.rng.choice(_LAST).capitalize()
+        return f"{first} {last}"
+
+    def random_hex(self, length: int) -> str:
+        return "".join(self.rng.choice(_HEX) for _ in range(length))
+
+    def random_token(self, length: int) -> str:
+        return "".join(self.rng.choice(_CONSONANTY) for _ in range(length))
+
+    def uuid_string(self) -> str:
+        raw = self.random_hex(32)
+        return f"{raw[0:8]}-{raw[8:12]}-{raw[12:16]}-{raw[16:20]}-{raw[20:32]}"
+
+    def sip_address(self) -> str:
+        return f"sip:+1434{self.rng.randint(1000000, 9999999)}@voip.university.edu"
+
+    def mac_address(self) -> str:
+        return ":".join(self.random_hex(2).upper() for _ in range(6))
+
+    def email_address(self) -> str:
+        return f"{self.user_account()}@{self.domain()}"
+
+    def domain(self) -> str:
+        label = self.random_token(self.rng.randint(4, 10))
+        suffix = self.rng.choice(("com", "net", "org", "edu", "io"))
+        return f"{label}.{suffix}"
+
+    def ip_address(self) -> str:
+        return f"10.{self.rng.randint(0, 255)}.{self.rng.randint(0, 255)}.{self.rng.randint(1, 254)}"
+
+    def org_product(self) -> str:
+        roll = self.rng.random()
+        cumulative = 0.0
+        for value, weight in ORG_PRODUCT_CHOICES:
+            cumulative += weight
+            if roll < cumulative:
+                return value
+        return ORG_PRODUCT_CHOICES[0][0]
+
+    def opaque(self) -> str:
+        return self.rng.choice(OPAQUE_STRINGS)
+
+    # Kind dispatcher -------------------------------------------------------------
+
+    def synthesize(self, kind: str) -> SubjectContent:
+        """Produce CN (and occasionally SAN) content of the given kind.
+
+        Kinds map onto the scenario mixes; SAN entries are attached with
+        the low probabilities the paper reports (Table 7: ~1% of client
+        certificates carry SAN values).
+        """
+        rng = self.rng
+        if kind == "user_account":
+            return SubjectContent(kind, self.user_account())
+        if kind == "personal_name":
+            name = self.personal_name()
+            sans: tuple[GeneralName, ...] = ()
+            if rng.random() < 0.10:
+                # A slice of campus personal-name certs repeats the name
+                # in SAN DNS — the paper's SAN 'Personal name' rows.
+                sans = (GeneralName.dns(name),)
+            return SubjectContent(kind, name, sans)
+        if kind == "random_8":
+            return SubjectContent(kind, self.random_hex(8))
+        if kind == "random_32":
+            return SubjectContent(kind, self.random_hex(32))
+        if kind == "random_uuid" or kind == "random_36":
+            return SubjectContent(kind, self.uuid_string())
+        if kind == "random_azure_sphere":
+            return SubjectContent(kind, self.random_hex(24))
+        if kind == "random_apple_uuid":
+            return SubjectContent(kind, self.uuid_string())
+        if kind == "sip":
+            return SubjectContent(kind, self.sip_address())
+        if kind == "mac":
+            mac = self.mac_address()
+            sans = (GeneralName.dns(mac),) if rng.random() < 0.5 else ()
+            return SubjectContent(kind, mac, sans)
+        if kind == "email":
+            value = self.email_address()
+            # §6.1.2: the explicit SAN email type is almost always empty,
+            # but when present it matches its declared type.
+            sans = (GeneralName.email(value),) if rng.random() < 0.3 else ()
+            return SubjectContent(kind, value, sans)
+        if kind == "localhost":
+            value = rng.choice(("localhost", "localhost.localdomain"))
+            sans = (GeneralName.dns(value),) if rng.random() < 0.3 else ()
+            return SubjectContent(kind, value, sans)
+        if kind == "domain":
+            value = self.domain()
+            return SubjectContent(kind, value)
+        if kind == "domain_plain":
+            value = self.domain()
+            # Public-CA client certs with domain CNs carry SAN too
+            # (Table 7: 14.92% SAN among public client certs).
+            return SubjectContent(kind, value, (GeneralName.dns(value),))
+        if kind == "domain_email_service":
+            host = rng.choice(("smtp", "mx", "mta", "mail")) + f"-{rng.randint(1, 99)}"
+            value = f"{host}.{self.domain()}"
+            return SubjectContent(kind, value, (GeneralName.dns(value),))
+        if kind == "domain_webex":
+            value = f"device-{self.random_hex(6)}.webex.example.com"
+            return SubjectContent(kind, value, (GeneralName.dns(value),))
+        if kind == "org_product":
+            return SubjectContent(kind, self.org_product())
+        if kind == "org_product_hrw":
+            return SubjectContent(kind, "Hybrid Runbook Worker")
+        if kind == "nonrandom_opaque":
+            return SubjectContent(kind, self.opaque())
+        if kind == "ip":
+            value = self.ip_address()
+            sans = (GeneralName.ip(value),) if rng.random() < 0.3 else ()
+            return SubjectContent(kind, value, sans)
+        raise ValueError(f"unknown content kind {kind!r}")
+
+    def pick_kind(self, mix: dict[str, float]) -> str:
+        """Weighted draw of a content kind from a scenario mix."""
+        roll = self.rng.random() * sum(mix.values())
+        cumulative = 0.0
+        for kind, weight in mix.items():
+            cumulative += weight
+            if roll < cumulative:
+                return kind
+        return next(iter(mix))

@@ -1,0 +1,54 @@
+"""Certificate Transparency log simulator.
+
+The interception filter (§3.2) looks up the *genuine* issuer of a domain
+in CT and flags connections whose logged issuer disagrees. This class is
+the ledger the genuine issuance path writes into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x509 import Certificate
+
+
+@dataclass(frozen=True)
+class CtEntry:
+    domain: str
+    issuer_dn: str
+    issuer_org: str | None
+    fingerprint: str
+
+
+class CtLog:
+    """Append-only domain → issuer ledger with lookup by domain."""
+
+    def __init__(self) -> None:
+        self._by_domain: dict[str, list[CtEntry]] = {}
+
+    def submit(self, domain: str, cert: Certificate) -> CtEntry:
+        entry = CtEntry(
+            domain=domain.lower(),
+            issuer_dn=cert.issuer.rfc4514(),
+            issuer_org=cert.issuer.organization,
+            fingerprint=cert.fingerprint(),
+        )
+        self._by_domain.setdefault(entry.domain, []).append(entry)
+        return entry
+
+    def issuers_for(self, domain: str) -> list[str]:
+        """Distinct issuer DNs ever logged for the domain."""
+        seen: list[str] = []
+        for entry in self._by_domain.get(domain.lower(), []):
+            if entry.issuer_dn not in seen:
+                seen.append(entry.issuer_dn)
+        return seen
+
+    def knows_domain(self, domain: str) -> bool:
+        return domain.lower() in self._by_domain
+
+    def has_issuer(self, domain: str, issuer_dn: str) -> bool:
+        return issuer_dn in self.issuers_for(domain)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_domain.values())

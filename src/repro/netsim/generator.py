@@ -1,0 +1,1493 @@
+"""The traffic generator: plans and emits 23 months of TLS connections.
+
+Generation happens in two passes:
+
+1. *Cohort planning* — every misconfiguration cohort from the paper
+   (dummy issuers, serial collisions, shared certificates, inverted
+   dates, expired-but-used certificates, extreme validity periods,
+   cross-connection sharing) mints its certificates once and schedules
+   its connections over the campaign months.
+2. *Bulk generation* — each month is filled with inbound/outbound
+   mutual and non-mutual traffic according to the calibrated mixes
+   (Tables 2-3, Figure 2), the TLS 1.3 blind spot, the interception
+   middleboxes, and the tunneling footnote.
+
+Everything is fed through :class:`repro.zeek.ZeekLogBuilder`, so the
+output of a run is exactly what the paper's pipeline consumes: linked
+ssl.log / x509.log streams, plus a ground-truth ledger for testing.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+
+from repro.netsim.cas import CaUniverse, DUMMY_ISSUER_ORGS
+from repro.netsim.clock import CampaignClock
+from repro.netsim.content import ContentSynthesizer
+from repro.netsim.ct import CtLog
+from repro.netsim.network import AddressSpace
+from repro.netsim.scenario import (
+    DUMMY_ISSUER_COHORTS,
+    EDUCATION_CLIENT_CN_MIX,
+    DEVICE_CLIENT_CN_MIX,
+    EXPIRED_PUBLIC_CLUSTERS,
+    EXTREME_VALIDITY_OUTLIER_DAYS,
+    EXTREME_VALIDITY_OUTLIER_SLD,
+    EXTREME_VALIDITY_PUBLIC,
+    EXTREME_VALIDITY_TOTAL,
+    INBOUND_ASSOCIATIONS,
+    INBOUND_EXPIRED_ASSOCIATIONS,
+    INBOUND_MUTUAL_PORTS,
+    INBOUND_NONMUTUAL_PORTS,
+    INCORRECT_DATE_COHORTS,
+    MONTH_DEC_2023,
+    OUTBOUND_CLIENT_ISSUERS,
+    OUTBOUND_MISSING_SNI_FRACTION,
+    OUTBOUND_MUTUAL_PORTS,
+    OUTBOUND_NONMUTUAL_PORTS,
+    OUTBOUND_SERVER_PUBLIC_FRACTION,
+    OUTBOUND_SLDS,
+    PUBLIC_CLIENT_CN_MIX,
+    SHARED_CERT_COHORTS,
+    ScenarioConfig,
+)
+from repro.tls.connection import ConnectionRecord, make_connection_uid
+from repro.tls.handshake import HandshakeResult
+from repro.tls.versions import CipherSuite, TlsVersion
+from repro.asn1 import OID
+from repro.x509 import Certificate, GeneralName, KeyFactory, Name
+from repro.zeek import ZeekLogBuilder, ZeekLogs
+
+UTC = _dt.timezone.utc
+
+#: Visible (pre-1.3) version mix for connections whose certs the
+#: monitor can see.
+_VISIBLE_VERSION_WEIGHTS = (
+    (TlsVersion.TLS_1_2, 0.90),
+    (TlsVersion.TLS_1_0, 0.06),
+    (TlsVersion.TLS_1_1, 0.04),
+)
+
+#: Outbound mutual conns handled by the WebRTC program (per-connection
+#: fresh self-signed CN=WebRTC certs on both sides; issuer has no
+#: organization, so they land in Private - MissingIssuer). High churn is
+#: what makes private server certificates dominate the unique-cert
+#: population in mutual TLS, exactly as in the paper's Table 1/Table 8.
+_WEBRTC_FRACTION = 0.33
+
+
+def _weighted(rng: random.Random, weights: dict | tuple) -> object:
+    items = weights.items() if isinstance(weights, dict) else weights
+    total = sum(w for _, w in items)
+    roll = rng.random() * total
+    cumulative = 0.0
+    for value, weight in items:
+        cumulative += weight
+        if roll < cumulative:
+            return value
+    return next(iter(items))[0]
+
+
+def _pick_port(rng: random.Random, mix: dict) -> int:
+    choice = _weighted(rng, mix)
+    if isinstance(choice, tuple):
+        return rng.randint(choice[0], choice[1])
+    return int(choice)
+
+
+@dataclass
+class _Planned:
+    """One connection scheduled for emission."""
+
+    ts: _dt.datetime
+    direction: str  # 'in' or 'out'
+    client_ip: str
+    server_ip: str
+    server_port: int
+    sni: str | None
+    version: TlsVersion
+    server_chain: tuple[Certificate, ...]
+    client_chain: tuple[Certificate, ...]
+    cohort: str | None = None
+    #: Exempt from cohort thinning (used where each connection carries
+    #: load-bearing diversity, e.g. the Table 6 subnet spread).
+    force_keep: bool = False
+
+
+@dataclass
+class GroundTruth:
+    """Planted quantities, for integration tests and benches."""
+
+    monthly_total: list[int] = field(default_factory=list)
+    monthly_visible_mutual: list[int] = field(default_factory=list)
+    hidden_mutual_connections: int = 0
+    tunneling_connections: int = 0
+    inbound_mutual_connections: int = 0
+    outbound_mutual_connections: int = 0
+    interception_fingerprints: set[str] = field(default_factory=set)
+    interception_issuer_orgs: set[str] = field(default_factory=set)
+    cohort_fingerprints: dict[str, set[str]] = field(default_factory=dict)
+    cohort_connections: dict[str, int] = field(default_factory=dict)
+
+    def record_cohort_cert(self, cohort: str, cert: Certificate) -> None:
+        self.cohort_fingerprints.setdefault(cohort, set()).add(cert.fingerprint())
+
+    def record_cohort_connection(self, cohort: str) -> None:
+        self.cohort_connections[cohort] = self.cohort_connections.get(cohort, 0) + 1
+
+
+@dataclass
+class SimulationResult:
+    """Everything a downstream analysis (or test) needs from one run."""
+
+    logs: ZeekLogs
+    ground_truth: GroundTruth
+    trust_stores: object
+    trust_bundle: object
+    ct_log: CtLog
+    config: ScenarioConfig
+    clock: CampaignClock
+
+
+class _Endpoint:
+    """A stable server endpoint with a (renewable) certificate chain."""
+
+    def __init__(self, sni, ip, port_mix, chain, issuer_label=""):
+        self.sni = sni
+        self.ip = ip
+        self.port_mix = port_mix
+        self.chain = chain
+        self.issuer_label = issuer_label
+
+
+class _ClientDevice:
+    """A client with its own certificate."""
+
+    def __init__(self, ip, chain, category, content_kind=""):
+        self.ip = ip
+        self.chain = chain
+        self.category = category
+        self.content_kind = content_kind
+
+
+class TrafficGenerator:
+    """Generates one full campaign of synthetic campus traffic."""
+
+    def __init__(self, config: ScenarioConfig | None = None) -> None:
+        self.config = config or ScenarioConfig()
+
+    # ------------------------------------------------------------------ setup
+
+    def _setup(self) -> None:
+        cfg = self.config
+        self.rng = random.Random(cfg.seed)
+        self.keys = KeyFactory(mode="sim", seed=cfg.seed)
+        self.cas = CaUniverse(self.keys, random.Random(cfg.seed + 1))
+        self.ct = CtLog()
+        self.addresses = AddressSpace(seed=cfg.seed + 2)
+        self.content = ContentSynthesizer(random.Random(cfg.seed + 3))
+        self.clock = CampaignClock(months=cfg.months)
+        self.builder = ZeekLogBuilder()
+        self.truth = GroundTruth()
+        self._uid_counter = 0
+        self._nonmutual_site_certs: dict[int, tuple[Certificate, ...]] = {}
+        self._proxies = self.cas.interception_proxies(cfg.interception_issuer_count)
+        self._build_inbound_catalog()
+        self._build_outbound_catalog()
+        self._build_client_pools()
+        self._outbound_issuer_mix = self._adjusted_outbound_issuer_mix()
+
+    def _issue_leaf(
+        self,
+        ca,
+        subject: Name,
+        now: _dt.datetime,
+        sans=(),
+        include_ca_in_chain: bool = False,
+        **overrides,
+    ) -> tuple[Certificate, ...]:
+        cert, _key = ca.issue(subject, now=now, sans=sans, **overrides)
+        if include_ca_in_chain:
+            return (cert,) + tuple(ca.chain())
+        return (cert,)
+
+    def _build_inbound_catalog(self) -> None:
+        """Campus-side (and partner-side) servers for inbound traffic."""
+        start = self.clock.start
+        edu_health = self.cas.education(1)
+        edu_main = self.cas.education(0)
+        edu_vpn = self.cas.education(2)
+        digicert = self.cas.public("digicert-geotrust")
+        godaddy = self.cas.public("godaddy-g2")
+        missing = self.cas.missing_issuer()
+
+        def campus(sni, ca, prefix=0):
+            # Campus (private-CA) server certs rarely populate SAN
+            # (Table 7: 0.38% for private server certs).
+            sans = [GeneralName.dns(sni)] if self.rng.random() < 0.1 else []
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=sni, organization=ca.organization),
+                now=start, sans=sans, purposes=(OID.EKU_SERVER_AUTH,),
+            )
+            return _Endpoint(sni, self.addresses.internal_ip(sni, prefix), None, chain)
+
+        self._inbound_servers: dict[str, list[_Endpoint]] = {
+            "University Health": [
+                campus(f"{name}.health.university.edu", edu_health, prefix=1)
+                for name in ("portal", "api", "records", "imaging", "lab")
+            ],
+            "University Server": [
+                campus(name, edu_main)
+                for name in (
+                    "devices.its.university.edu",
+                    "ldap.university.edu",
+                    "www.its.university.edu",
+                )
+            ],
+            "University VPN": [campus("vpn.university.edu", edu_vpn)],
+            "Local Organization": [
+                _Endpoint(
+                    sni,
+                    self.addresses.internal_ip(sni, 2),
+                    None,
+                    self._issue_leaf(
+                        digicert, Name.build(common_name=sni),
+                        now=start, sans=[GeneralName.dns(sni)],
+                        include_ca_in_chain=True,
+                    ),
+                )
+                for sni in ("portal.localorg.org", "auth.localclinic.org")
+            ],
+            "Third Party Service": [
+                _Endpoint(
+                    "svc.thirdparty.com",
+                    self.addresses.internal_ip("svc.thirdparty.com", 2),
+                    None,
+                    self._issue_leaf(
+                        godaddy, Name.build(common_name="svc.thirdparty.com"),
+                        now=start, sans=[GeneralName.dns("svc.thirdparty.com")],
+                        include_ca_in_chain=True,
+                    ),
+                )
+            ],
+            "Globus": [
+                _Endpoint(
+                    "FXP DCAU Cert",
+                    self.addresses.internal_ip("globus-dtn", 0),
+                    None,
+                    self._issue_leaf(
+                        edu_main, Name.build(common_name="globus-dtn.university.edu"),
+                        now=start,
+                    ),
+                )
+            ],
+            "Unknown": [
+                _Endpoint(
+                    None,
+                    self.addresses.internal_ip(f"unknown-{i}", 0),
+                    None,
+                    self._issue_leaf(
+                        missing, Name.build(common_name=self.content.random_hex(16)),
+                        now=start,
+                    ),
+                )
+                for i in range(2)
+            ],
+        }
+        for endpoints in self._inbound_servers.values():
+            for endpoint in endpoints:
+                if endpoint.sni and endpoint.sni != "FXP DCAU Cert":
+                    self.ct.submit(endpoint.sni, endpoint.chain[0])
+
+    def _build_outbound_catalog(self) -> None:
+        """External destinations for outbound mutual traffic."""
+        start = self.clock.start
+        # SLD → issuing CA factory. Public ones are CT-logged.
+        private = {
+            "splunkcloud.com": self.cas.private("Splunk", "Splunk Cloud CA"),
+            "psych.org": self.cas.private(
+                "American Psychiatric Association", "APA CA"
+            ),
+            "idrive.com": self.cas.private(
+                "IDrive Inc Certificate Authority", "IDrive CA"
+            ),
+            "ibackup.com": self.cas.private(
+                "IDrive Inc Certificate Authority", "IDrive CA"
+            ),
+            "alarmnet.com": self.cas.private(
+                "Honeywell International Inc", "Honeywell CA"
+            ),
+            "clouddevice.io": self.cas.private(
+                "Honeywell International Inc", "Honeywell CA"
+            ),
+            "tablodash.com": self.cas.private("Outset Medical", "Outset Medical CA"),
+            "tmdxdev.com": self.cas.private("TMDX Development Corp", "TMDX CA"),
+            "ayoba.me": self.cas.other("OpenPGP to X.509 Bridge"),
+            "crestron.io": self.cas.private(
+                "Crestron Electronics Inc", "Crestron CA"
+            ),
+            "fireboard.io": self.cas.dummy("Internet Widgits Pty Ltd"),
+            "example-iot.com.cn": self.cas.dummy("Default Company Ltd"),
+            "smarthome.top": self.cas.dummy("Default Company Ltd"),
+        }
+        public = {
+            "amazonaws.com": self.cas.public("amazon-m01"),
+            "rapid7.com": self.cas.public("digicert-geotrust"),
+            "gpcloudservice.com": self.cas.public("lets-encrypt-r3"),
+            "apple.com": self.cas.public("apple-public"),
+            "azure.com": self.cas.public("microsoft-azure"),
+            "azure-automation.net": self.cas.public("microsoft-azure"),
+            "leidos.com": self.cas.public("identrust-server"),
+            "acr.og": self.cas.public("godaddy-g2"),
+            "sapns2.com": self.cas.public("godaddy-g2"),
+            "bluetriton.com": self.cas.public("digicert-geotrust"),
+            "gpo.gov": self.cas.public("digicert-ev"),
+            "mixpanel.com": self.cas.public("lets-encrypt-r3"),
+        }
+        self._outbound_endpoints: dict[str, _Endpoint] = {}
+        for sld in OUTBOUND_SLDS:
+            host = f"svc.{sld}"
+            ca = public.get(sld) or private.get(sld)
+            if ca is None:
+                ca = (
+                    self.cas.random_public()
+                    if self.rng.random() < OUTBOUND_SERVER_PUBLIC_FRACTION
+                    else self.cas.corporation(self.rng.randrange(12))
+                )
+            include_chain = sld in public
+            chain = self._issue_leaf(
+                ca,
+                Name.build(common_name=host, organization=ca.organization),
+                now=start,
+                sans=[GeneralName.dns(host), GeneralName.dns(sld)],
+                include_ca_in_chain=include_chain,
+                purposes=(OID.EKU_SERVER_AUTH,),
+            )
+            endpoint = _Endpoint(
+                host, self.addresses.external_ip(host), None, chain,
+                issuer_label=ca.organization or "",
+            )
+            self._outbound_endpoints[sld] = endpoint
+            if include_chain:
+                self.ct.submit(host, chain[0])
+                self.ct.submit(sld, chain[0])
+
+    def _build_client_pools(self) -> None:
+        """Client-device populations, keyed by issuer category."""
+        cfg = self.config
+        self._inbound_clients: dict[str, list[_ClientDevice]] = {}
+        self._outbound_clients: dict[str, list[_ClientDevice]] = {}
+        self._tunnel_clients: list[_ClientDevice] = []
+        # Pools are created lazily in _client_for; only bookkeeping here.
+        base = max(4, cfg.connections_per_month // 40)
+        self._pool_sizes = {
+            "inbound": base * 4,
+            "outbound": base * 2,
+            "tunnel": max(2, base // 3),
+        }
+
+    def _adjusted_outbound_issuer_mix(self) -> dict[str, float]:
+        """Remove the WebRTC slice from the MissingIssuer share.
+
+        WebRTC connections are all MissingIssuer; the remaining bulk is
+        re-weighted so the *overall* outbound mix still matches the
+        paper's Figure 2 (37.84% missing issuer, etc.).
+        """
+        mix = dict(OUTBOUND_CLIENT_ISSUERS)
+        missing = mix.pop("Private - MissingIssuer")
+        residual_missing = max(0.0, (missing - _WEBRTC_FRACTION) / (1 - _WEBRTC_FRACTION))
+        rest_total = sum(mix.values())
+        scale = (1 - residual_missing) / rest_total if rest_total else 0.0
+        adjusted = {key: value * scale for key, value in mix.items()}
+        adjusted["Private - MissingIssuer"] = residual_missing
+        return adjusted
+
+    # ------------------------------------------------------------ client certs
+
+    def _client_ca_for_category(self, category: str):
+        rng = self.rng
+        if category == "Public":
+            return self.cas.public(
+                rng.choice(("apple-iphone-device", "microsoft-azure-sphere",
+                            "microsoft-azure", "sectigo-dv"))
+            )
+        if category == "Private - Education":
+            return self.cas.education(rng.randrange(3))
+        if category == "Private - Corporation":
+            return self.cas.corporation(rng.randrange(12))
+        if category == "Private - Government":
+            return self.cas.government(rng.randrange(3))
+        if category == "Private - WebHosting":
+            return self.cas.webhosting(rng.randrange(3))
+        if category == "Private - Dummy":
+            return self.cas.dummy(rng.choice(DUMMY_ISSUER_ORGS[:3]))
+        if category == "Private - MissingIssuer":
+            return self.cas.missing_issuer()
+        if category == "Private - Others":
+            return self.cas.other(rng.choice(
+                ("rcgen", "SDS", "media-server", "IceLink", "mesh-agent", "edgectl")
+            ))
+        raise ValueError(f"unknown issuer category {category!r}")
+
+    def _content_mix_for_category(self, category: str) -> dict[str, float]:
+        if category == "Public":
+            return PUBLIC_CLIENT_CN_MIX
+        if category == "Private - Education":
+            return EDUCATION_CLIENT_CN_MIX
+        return DEVICE_CLIENT_CN_MIX
+
+    def _new_client_device(
+        self, category: str, now: _dt.datetime, internal: bool
+    ) -> _ClientDevice:
+        kind = self.content.pick_kind(self._content_mix_for_category(category))
+        subject_content = self.content.synthesize(kind)
+        ca = self._client_ca_for_category(category)
+        # Couple special public content kinds to their real-world issuers.
+        if kind == "random_azure_sphere":
+            ca = self.cas.public("microsoft-azure-sphere")
+        elif kind == "random_apple_uuid":
+            ca = self.cas.public("apple-iphone-device")
+        elif kind == "org_product_hrw":
+            ca = self.cas.public("microsoft-azure")
+        subject = Name.build(common_name=subject_content.common_name)
+        # Managed CAs stamp clientAuth; self-made/issuer-less certs
+        # typically omit EKU altogether.
+        purposes = (
+            (OID.EKU_CLIENT_AUTH,)
+            if category in ("Public", "Private - Education", "Private - Corporation")
+            else None
+        )
+        chain = self._issue_leaf(
+            ca, subject, now=now, sans=subject_content.sans, purposes=purposes
+        )
+        key = f"dev-{category}-{len(self._outbound_clients.get(category, ()))}-{self.rng.getrandbits(32)}"
+        ip = (
+            self.addresses.internal_ip(key)
+            if internal
+            else self.addresses.external_ip(key)
+        )
+        return _ClientDevice(ip, chain, category, kind)
+
+    def _client_for(
+        self, pool: dict[str, list[_ClientDevice]], category: str,
+        now: _dt.datetime, size: int, internal: bool,
+    ) -> _ClientDevice:
+        devices = pool.setdefault(category, [])
+        if len(devices) < size:
+            device = self._new_client_device(category, now, internal)
+            devices.append(device)
+            return device
+        device = self.rng.choice(devices)
+        leaf = device.chain[0]
+        if leaf.expired_at(now):
+            # Re-enroll: same device, fresh certificate (cert churn).
+            renewed = self._new_client_device(category, now, internal)
+            renewed.ip = device.ip
+            devices[devices.index(device)] = renewed
+            return renewed
+        return device
+
+    # ----------------------------------------------------------------- helpers
+
+    def _handshake(
+        self,
+        version: TlsVersion,
+        sni: str | None,
+        server_chain: tuple[Certificate, ...],
+        client_chain: tuple[Certificate, ...],
+    ) -> HandshakeResult:
+        return HandshakeResult(
+            established=True,
+            version=version,
+            cipher=CipherSuite.default_for(version),
+            sni=sni,
+            server_chain=server_chain,
+            client_chain=client_chain,
+            client_certificate_requested=bool(client_chain),
+        )
+
+    def _visible_version(self) -> TlsVersion:
+        return _weighted(self.rng, _VISIBLE_VERSION_WEIGHTS)
+
+    def _emit(self, planned: _Planned) -> None:
+        self._uid_counter += 1
+        connection = ConnectionRecord(
+            uid=make_connection_uid(self._uid_counter),
+            timestamp=planned.ts,
+            client_ip=planned.client_ip,
+            client_port=self.addresses.ephemeral_port(),
+            server_ip=planned.server_ip,
+            server_port=planned.server_port,
+            handshake=self._handshake(
+                planned.version, planned.sni, planned.server_chain,
+                planned.client_chain,
+            ),
+        )
+        self.builder.observe(connection)
+        if planned.cohort:
+            self.truth.record_cohort_connection(planned.cohort)
+
+    # ------------------------------------------------------------------- bulk
+
+    def _plan_bulk_month(self, window, plan: list[_Planned], cohort_mutual: int) -> None:
+        cfg = self.config
+        total = cfg.connections_per_month
+        share = cfg.mutual_share(window.index)
+        visible_mutual = max(0, round(total * share) - cohort_mutual)
+        p13 = cfg.tls13_share
+        hidden_mutual = max(1, round(visible_mutual * p13 / (1 - p13) * 0.1))
+        tunneling = max(1, round(total * 0.004))
+        nonmutual = max(0, total - visible_mutual - hidden_mutual - tunneling - cohort_mutual)
+
+        inbound_mutual = round(visible_mutual * cfg.mutual_inbound_fraction)
+        outbound_mutual = visible_mutual - inbound_mutual
+        for _ in range(inbound_mutual):
+            plan.append(self._plan_inbound_mutual(window))
+        for _ in range(outbound_mutual):
+            plan.append(self._plan_outbound_mutual(window))
+        for _ in range(hidden_mutual):
+            plan.append(self._plan_hidden_mutual(window))
+        for _ in range(tunneling):
+            plan.append(self._plan_tunneling(window))
+        outbound_nonmutual = round(nonmutual * cfg.nonmutual_outbound_fraction)
+        for _ in range(outbound_nonmutual):
+            plan.append(self._plan_nonmutual_outbound(window))
+        for _ in range(nonmutual - outbound_nonmutual):
+            plan.append(self._plan_nonmutual_inbound(window))
+
+        self.truth.inbound_mutual_connections += inbound_mutual
+        self.truth.outbound_mutual_connections += outbound_mutual
+        self.truth.hidden_mutual_connections += hidden_mutual
+        self.truth.tunneling_connections += tunneling
+
+    def _plan_inbound_mutual(self, window) -> _Planned:
+        rng = self.rng
+        now = window.sample_instant(rng)
+        association = _weighted(
+            rng, {name: row[0] for name, row in INBOUND_ASSOCIATIONS.items()}
+        )
+        row = INBOUND_ASSOCIATIONS[association]
+        server = rng.choice(self._inbound_servers[association])
+        if association == "Globus":
+            port = rng.randint(50000, 51000)
+        else:
+            port = _pick_port(rng, INBOUND_MUTUAL_PORTS)
+        category = _weighted(rng, {row[1]: row[2], row[3]: row[4]})
+        pool_size = max(
+            6,
+            round(self._pool_sizes["inbound"] * INBOUND_ASSOCIATIONS[association][0]),
+        )
+        client = self._client_for(
+            self._inbound_clients_by(association), category, now, pool_size,
+            internal=False,
+        )
+        return _Planned(
+            ts=now, direction="in", client_ip=client.ip, server_ip=server.ip,
+            server_port=port, sni=server.sni, version=self._visible_version(),
+            server_chain=server.chain, client_chain=client.chain,
+        )
+
+    def _inbound_clients_by(self, association: str) -> dict[str, list[_ClientDevice]]:
+        pool = self._inbound_clients.get(association)
+        if pool is None:
+            pool = {}
+            self._inbound_clients[association] = pool
+        return pool
+
+    def _plan_outbound_mutual(self, window) -> _Planned:
+        rng = self.rng
+        now = window.sample_instant(rng)
+        if rng.random() < _WEBRTC_FRACTION:
+            return self._plan_webrtc(window, now)
+        category = _weighted(rng, self._outbound_issuer_mix)
+        if category == "Private - MissingIssuer":
+            # Figure 2's headline pattern: issuer-less client certificates
+            # overwhelmingly talk to the big public-CA cloud endpoints.
+            sld = _weighted(rng, {
+                "amazonaws.com": 0.40, "rapid7.com": 0.35, "gpcloudservice.com": 0.25,
+            })
+            if self.config.months == 23 and window.index >= MONTH_DEC_2023:
+                sld = "amazonaws.com" if sld == "rapid7.com" else sld
+        else:
+            sld = self._pick_outbound_sld(window)
+        endpoint = self._outbound_endpoints[sld]
+        client = self._client_for(
+            self._outbound_clients, category, now,
+            self._pool_sizes["outbound"], internal=True,
+        )
+        sni = None if rng.random() < OUTBOUND_MISSING_SNI_FRACTION else endpoint.sni
+        return _Planned(
+            ts=now, direction="out", client_ip=client.ip, server_ip=endpoint.ip,
+            server_port=_pick_port(rng, OUTBOUND_MUTUAL_PORTS), sni=sni,
+            version=self._visible_version(),
+            server_chain=endpoint.chain, client_chain=client.chain,
+        )
+
+    def _pick_outbound_sld(self, window) -> str:
+        weights = dict(OUTBOUND_SLDS)
+        if self.config.months == 23 and window.index >= MONTH_DEC_2023:
+            # Rapid7 disappears from the traffic in Dec 2023 (§4.1).
+            weights.pop("rapid7.com", None)
+        return _weighted(self.rng, weights)
+
+    def _plan_webrtc(self, window, now: _dt.datetime) -> _Planned:
+        """Per-session DTLS-style certificates: CN=WebRTC, self-signed,
+        issuer without an organization → Private - MissingIssuer."""
+        rng = self.rng
+        subject = Name.build(common_name="WebRTC")
+        from repro.x509 import CertificateBuilder
+
+        def fresh() -> Certificate:
+            peer_key = self.keys.new_key()
+            return (
+                CertificateBuilder()
+                .subject(subject)
+                .issuer(subject)
+                .serial_number(rng.getrandbits(64))
+                .validity_window(now, now + _dt.timedelta(days=30))
+                .public_key(peer_key.public_key)
+                .sign(peer_key)
+            )
+
+        server_cert, client_cert = fresh(), fresh()
+        self.truth.record_cohort_cert("webrtc", server_cert)
+        self.truth.record_cohort_cert("webrtc", client_cert)
+        peer_a = self.addresses.internal_ip(f"webrtc-{rng.getrandbits(32)}")
+        peer_b = self.addresses.external_ip(f"webrtc-{rng.getrandbits(32)}")
+        return _Planned(
+            ts=now, direction="out", client_ip=peer_a, server_ip=peer_b,
+            server_port=443, sni=None, version=self._visible_version(),
+            server_chain=(server_cert,), client_chain=(client_cert,),
+            cohort="webrtc",
+        )
+
+    def _plan_hidden_mutual(self, window) -> _Planned:
+        """A mutual-TLS connection under TLS 1.3: invisible to the monitor."""
+        rng = self.rng
+        now = window.sample_instant(rng)
+        sld = self._pick_outbound_sld(window)
+        endpoint = self._outbound_endpoints[sld]
+        category = _weighted(rng, self._outbound_issuer_mix)
+        client = self._client_for(
+            self._outbound_clients, category, now,
+            self._pool_sizes["outbound"], internal=True,
+        )
+        return _Planned(
+            ts=now, direction="out", client_ip=client.ip, server_ip=endpoint.ip,
+            server_port=443, sni=endpoint.sni, version=TlsVersion.TLS_1_3,
+            server_chain=endpoint.chain, client_chain=client.chain,
+            cohort="hidden_mutual",
+        )
+
+    def _plan_tunneling(self, window) -> _Planned:
+        """Client certificate with no server certificate (the 5.66%
+        footnote: university tunneling services)."""
+        rng = self.rng
+        now = window.sample_instant(rng)
+        if len(self._tunnel_clients) < self._pool_sizes["tunnel"]:
+            device = self._new_client_device("Private - Education", now, internal=False)
+            self._tunnel_clients.append(device)
+        else:
+            device = rng.choice(self._tunnel_clients)
+        for cert in device.chain:
+            self.truth.record_cohort_cert("tunneling", cert)
+        vpn = self._inbound_servers["University VPN"][0]
+        return _Planned(
+            ts=now, direction="in", client_ip=device.ip, server_ip=vpn.ip,
+            server_port=443, sni=None, version=self._visible_version(),
+            server_chain=(), client_chain=device.chain, cohort="tunneling",
+        )
+
+    def _plan_nonmutual_outbound(self, window) -> _Planned:
+        rng = self.rng
+        cfg = self.config
+        now = window.sample_instant(rng)
+        version = (
+            TlsVersion.TLS_1_3 if rng.random() < cfg.tls13_share
+            else self._visible_version()
+        )
+        site = self._sample_site(rng, max(4, round(cfg.nonmutual_site_density)))
+        chain = self._site_chain(site, now)
+        sni = f"site{site}.example{site % 97}.com"
+        client_index = rng.randrange(400)
+        intercepted = rng.random() < cfg.interception_fraction
+        if intercepted and version is not TlsVersion.TLS_1_3:
+            # A given client sits behind one middlebox, so interception
+            # certificates are reused heavily for popular sites.
+            proxy = self._proxies[client_index % len(self._proxies)]
+            fake = proxy.impersonate(chain[0], sni, now)
+            self.truth.interception_fingerprints.add(fake.fingerprint())
+            if proxy.issuer_organization:
+                self.truth.interception_issuer_orgs.add(proxy.issuer_organization)
+            chain = (fake,)
+        client_ip = self.addresses.internal_ip(f"user-{client_index}", 2)
+        return _Planned(
+            ts=now, direction="out", client_ip=client_ip,
+            server_ip=self.addresses.external_ip(f"site-{site}"),
+            server_port=_pick_port(rng, OUTBOUND_NONMUTUAL_PORTS),
+            sni=sni, version=version, server_chain=chain, client_chain=(),
+        )
+
+    @staticmethod
+    def _sample_site(rng: random.Random, site_count: int) -> int:
+        """Zipf-ish site popularity: a small head of very popular sites
+        receives most non-mutual traffic, as on a real border link."""
+        head = max(1, site_count // 18)
+        middle = max(head + 1, site_count // 4)
+        roll = rng.random()
+        if roll < 0.55:
+            return rng.randrange(head)
+        if roll < 0.85:
+            return rng.randrange(head, middle)
+        return rng.randrange(middle, site_count)
+
+    def _site_chain(self, site: int, now: _dt.datetime) -> tuple[Certificate, ...]:
+        chain = self._nonmutual_site_certs.get(site)
+        if chain is not None and not chain[0].expired_at(now):
+            return chain
+        sni = f"site{site}.example{site % 97}.com"
+        # §6.3.6: non-mutual server certs are ~85% public-CA issued.
+        # The choice is sticky per site: a renewal never flips a site
+        # between public and private (that would look like interception).
+        if site % 100 < 85:
+            ca = self.cas.random_public()
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=sni), now=now,
+                sans=[GeneralName.dns(sni)], include_ca_in_chain=True,
+                purposes=(OID.EKU_SERVER_AUTH,),
+            )
+            self.ct.submit(sni, chain[0])
+        else:
+            ca = self.cas.corporation(self.rng.randrange(12))
+            # §6.3.6 / Table 14: only ~10.5% of private non-mutual server
+            # certs populate SAN; the rest rely on CN alone.
+            sans = [GeneralName.dns(sni)] if self.rng.random() < 0.105 else []
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=sni), now=now, sans=sans
+            )
+        self._nonmutual_site_certs[site] = chain
+        return chain
+
+    def _plan_nonmutual_inbound(self, window) -> _Planned:
+        rng = self.rng
+        cfg = self.config
+        now = window.sample_instant(rng)
+        version = (
+            TlsVersion.TLS_1_3 if rng.random() < cfg.tls13_share
+            else self._visible_version()
+        )
+        port = _pick_port(rng, INBOUND_NONMUTUAL_PORTS)
+        server = rng.choice(self._inbound_servers["University Server"])
+        return _Planned(
+            ts=now, direction="in",
+            client_ip=self.addresses.external_ip(f"visitor-{rng.randrange(800)}"),
+            server_ip=server.ip, server_port=port, sni=server.sni,
+            version=version, server_chain=server.chain, client_chain=(),
+        )
+
+    # ----------------------------------------------------------------- cohorts
+
+    def _plan_cohorts(self, plans: list[list[_Planned]]) -> list[int]:
+        """Schedule every misconfiguration cohort; returns per-month counts
+        of cohort connections that are mutual (for bulk budgeting).
+
+        Cohort connections are centrally thinned to ~45% of the campaign's
+        mutual budget so small runs are not swamped by cohort floors. A
+        connection introducing a new (cohort, server cert, client cert)
+        combination is always kept — this guarantees every planted
+        certificate is observed at least once.
+        """
+        mutual_per_month = [0] * self.config.months
+        if not self.config.include_misconfig_cohorts:
+            return mutual_per_month
+        planners = (
+            self._plan_shared_cert_cohorts,
+            self._plan_guardicore,
+            self._plan_viptela,
+            self._plan_dummy_cohorts,
+            self._plan_dummy_both_endpoints,
+            self._plan_incorrect_dates,
+            self._plan_expired_clusters,
+            self._plan_expired_inbound,
+            self._plan_extreme_validity,
+            self._plan_cross_connection_sharing,
+            self._plan_fnmt_servers,
+        )
+        by_combo: dict[tuple, list[tuple[int, _Planned]]] = {}
+        forced: list[tuple[int, _Planned]] = []
+        for planner in planners:
+            for month_index, planned in planner():
+                if planned.force_keep:
+                    forced.append((month_index, planned))
+                    continue
+                combo = (
+                    planned.cohort,
+                    planned.server_chain[0].fingerprint() if planned.server_chain else None,
+                    planned.client_chain[0].fingerprint() if planned.client_chain else None,
+                )
+                by_combo.setdefault(combo, []).append((month_index, planned))
+        mandatory: list[tuple[int, _Planned]] = list(forced)
+        optional: list[tuple[int, _Planned]] = []
+        for items in by_combo.values():
+            # A random representative spreads first-use across the
+            # campaign instead of piling into each cohort's first month.
+            keep = self.rng.randrange(len(items))
+            mandatory.append(items[keep])
+            optional.extend(items[:keep] + items[keep + 1:])
+        budget = max(
+            0, int(0.30 * self.config.campaign_mutual_estimate) - len(mandatory)
+        )
+        if len(optional) > budget:
+            optional = self.rng.sample(optional, budget)
+        for month_index, planned in mandatory + optional:
+            plans[month_index].append(planned)
+            if planned.server_chain and planned.client_chain:
+                if planned.version.certificates_visible_to_monitor:
+                    mutual_per_month[month_index] += 1
+        return mutual_per_month
+
+    def _active_months(self, activity_days: int, start_month: int | None = None) -> list[int]:
+        """Months a cohort is active. Cohorts shorter than the campaign
+        start at a random month so misconfigurations do not all pile into
+        May 2022."""
+        total = self.config.months
+        needed = max(1, min(total, activity_days // 30 + 1))
+        if start_month is None:
+            start_month = self.rng.randrange(total - needed + 1) if needed < total else 0
+        needed = min(needed, total - start_month)
+        return list(range(start_month, start_month + needed))
+
+    def _cohort_count(self, paper_count: int) -> int:
+        cap = self.config.cohort_client_cap
+        if paper_count <= 50:
+            return min(paper_count, cap)
+        return self.config.scaled(paper_count)
+
+    def _plan_shared_cert_cohorts(self):
+        """Table 5: the same certificate presented by both endpoints.
+
+        The Globus rows double as the §5.1.2 serial-00 collision cohort:
+        certificates are re-issued every 14 days with serial 00, so the
+        cohort accumulates many unique certificates over the campaign.
+        """
+        rng = self.rng
+        for cohort in SHARED_CERT_COHORTS:
+            label = f"shared:{cohort.sld or 'missing-sni'}:{cohort.issuer_org}"
+            clients = self._cohort_count(cohort.clients)
+            months = self._active_months(cohort.activity_days)
+            if cohort.issuer_org == "Globus Online":
+                # Sparse observation keeps the 14-day churn visible
+                # without letting Globus dominate the traffic mix.
+                months = months[::2] if cohort.direction == "in" else months[::3]
+            if cohort.issuer_org == "Globus Online":
+                ca = self.cas.globus()
+            elif cohort.issuer_public:
+                by_org = {
+                    "IdenTrust": "identrust-server",
+                    "GoDaddy.com, Inc.": "godaddy-g2",
+                    "DigiCert Inc": (
+                        "digicert-ev" if cohort.sld == "gpo.gov" else "digicert-geotrust"
+                    ),
+                }
+                ca = self.cas.public(by_org[cohort.issuer_org])
+            else:
+                ca = self.cas.private(cohort.issuer_org, f"{cohort.issuer_org} CA")
+            host = f"svc.{cohort.sld}" if cohort.sld else None
+            server_ip = self.addresses.external_ip(f"shared-{label}") \
+                if cohort.direction == "out" else self.addresses.internal_ip(f"shared-{label}")
+            current_chain: tuple[Certificate, ...] = ()
+            for month_index in months:
+                window = self.clock.month(month_index)
+                now = window.sample_instant(rng)
+                reissue = (
+                    not current_chain
+                    or current_chain[0].expired_at(now)
+                )
+                if reissue:
+                    subject = Name.build(
+                        common_name=host or f"node-{rng.getrandbits(24):06x}",
+                        organization=cohort.issuer_org if not cohort.issuer_public else None,
+                    )
+                    sans = (
+                        [GeneralName.dns(host)]
+                        if host and cohort.issuer_public
+                        else []
+                    )
+                    # Public rows are genuine SERVER certs (serverAuth
+                    # only) that the operator also presents as client
+                    # certs — the EKU-mismatch pattern of §5.2.
+                    purposes = (OID.EKU_SERVER_AUTH,) if cohort.issuer_public else None
+                    current_chain = self._issue_leaf(
+                        ca, subject, now=now, sans=sans, purposes=purposes
+                    )
+                    self.truth.record_cohort_cert(label, current_chain[0])
+                    if cohort.issuer_org == "Globus Online":
+                        # Globus re-issues every 14 days; emit one extra
+                        # churn certificate within the month too.
+                        churn = self._issue_leaf(ca, subject, now=now)
+                        self.truth.record_cohort_cert(label, churn[0])
+                        yield month_index, self._shared_planned(
+                            cohort, label, window, churn, server_ip
+                        )
+                per_month = max(1, clients // max(1, len(months)))
+                for _ in range(per_month):
+                    yield month_index, self._shared_planned(
+                        cohort, label, window, current_chain, server_ip
+                    )
+
+    def _shared_planned(self, cohort, label, window, chain, server_ip) -> _Planned:
+        rng = self.rng
+        now = window.sample_instant(rng)
+        # Keep the connection inside the certificate's validity window
+        # (Globus certs live 14 days; their use should not look expired).
+        not_after = chain[0].not_valid_after
+        if now > not_after:
+            earliest = max(window.start, chain[0].not_valid_before)
+            if earliest < not_after:
+                span = (not_after - earliest).total_seconds()
+                now = earliest + _dt.timedelta(seconds=rng.uniform(0, max(1.0, span)))
+        if cohort.direction == "out":
+            client_ip = self.addresses.internal_ip(
+                f"shared-client-{label}-{rng.randrange(max(2, self._cohort_count(cohort.clients)))}"
+            )
+        else:
+            client_ip = self.addresses.external_ip(
+                f"shared-client-{label}-{rng.randrange(max(2, self._cohort_count(cohort.clients)))}"
+            )
+        port = (
+            rng.randint(50000, 51000)
+            if cohort.issuer_org == "Globus Online"
+            else 443
+        )
+        return _Planned(
+            ts=now, direction=cohort.direction, client_ip=client_ip,
+            server_ip=server_ip, server_port=port,
+            sni=(f"svc.{cohort.sld}" if cohort.sld else None),
+            version=self._visible_version(),
+            server_chain=chain, client_chain=chain, cohort=label,
+        )
+
+    def _plan_guardicore(self):
+        """§5.1.2: GuardiCore — client serial 01, server serial 03E8,
+        missing SNI, activity across the whole campaign."""
+        rng = self.rng
+        client_ca = self.cas.guardicore_client()
+        server_ca = self.cas.guardicore_server()
+        n_client_certs = max(3, self._cohort_count(57))
+        n_server_certs = max(2, self._cohort_count(43))
+        start = self.clock.start
+        client_chains = [
+            self._issue_leaf(
+                client_ca, Name.build(common_name=f"gc-agent-{i:04d}"), now=start
+            )
+            for i in range(n_client_certs)
+        ]
+        server_chains = [
+            self._issue_leaf(
+                server_ca, Name.build(common_name=f"gc-aggregator-{i:02d}"), now=start
+            )
+            for i in range(n_server_certs)
+        ]
+        for chain in client_chains:
+            self.truth.record_cohort_cert("guardicore", chain[0])
+        for chain in server_chains:
+            self.truth.record_cohort_cert("guardicore", chain[0])
+        conns = max(self.config.months, self._cohort_count(904),
+                    n_client_certs, n_server_certs)
+        for i in range(conns):
+            month_index = i % self.config.months
+            window = self.clock.month(month_index)
+            # Cycle deterministically so every certificate is observed.
+            client_chain = client_chains[i % n_client_certs]
+            server_chain = server_chains[i % n_server_certs]
+            yield month_index, _Planned(
+                ts=window.sample_instant(rng), direction="out",
+                client_ip=self.addresses.internal_ip(f"gc-{i % n_client_certs}"),
+                server_ip=self.addresses.external_ip(f"gc-srv-{i % n_server_certs}"),
+                server_port=443, sni=None, version=self._visible_version(),
+                server_chain=server_chain, client_chain=client_chain,
+                cohort="guardicore",
+            )
+
+    def _plan_viptela(self):
+        """§5.1.2: 'ViptelaClient' issues serial 024680 to both sides,
+        short validity, servers categorized as Local Organization."""
+        rng = self.rng
+        ca = self.cas.viptela()
+        server = self._inbound_servers["Local Organization"][0]
+        for month_index in range(0, self.config.months, 6):
+            window = self.clock.month(month_index)
+            now = window.sample_instant(rng)
+            server_chain = self._issue_leaf(
+                ca, Name.build(common_name="vedge-hub"), now=now
+            )
+            client_chain = self._issue_leaf(
+                ca, Name.build(common_name=f"vedge-{month_index:02d}"), now=now
+            )
+            self.truth.record_cohort_cert("viptela", server_chain[0])
+            self.truth.record_cohort_cert("viptela", client_chain[0])
+            yield month_index, _Planned(
+                ts=now, direction="in",
+                client_ip=self.addresses.external_ip(f"viptela-{month_index}"),
+                server_ip=server.ip, server_port=443, sni=server.sni,
+                version=self._visible_version(),
+                server_chain=server_chain, client_chain=client_chain,
+                cohort="viptela",
+            )
+
+    def _plan_dummy_cohorts(self):
+        """Table 4: certificates with dummy issuer organizations."""
+        rng = self.rng
+        for cohort in DUMMY_ISSUER_COHORTS:
+            label = f"dummy:{cohort.direction}:{cohort.side}:{cohort.issuer_org}"
+            ca = self.cas.dummy(cohort.issuer_org)
+            n_clients = max(1, self._cohort_count(cohort.involved_clients))
+            if cohort.direction == "in":
+                # Inbound dummy populations are small next to the Local
+                # Organization's legitimate (public-CA) clients.
+                n_clients = min(n_clients, 3)
+            n_servers = max(1, min(self._cohort_count(cohort.involved_servers), 40))
+            for i in range(n_clients):
+                month_index = rng.randrange(self.config.months)
+                window = self.clock.month(month_index)
+                now = window.sample_instant(rng)
+                # Mint the dummy-issued certificate on the side the
+                # cohort describes; the peer side is ordinary.
+                version = 1 if (cohort.issuer_org == "Internet Widgits Pty Ltd"
+                                and rng.random() < 0.04) else 3
+                key_bits = 1024 if (cohort.issuer_org == "Unspecified"
+                                    and rng.random() < 0.03) else 2048
+                dummy_chain = self._issue_leaf(
+                    ca,
+                    Name.build(common_name=f"node-{rng.getrandbits(20):05x}"),
+                    now=now, version=version, key_bits=key_bits,
+                )
+                self.truth.record_cohort_cert(label, dummy_chain[0])
+                if cohort.direction == "in":
+                    server = self._inbound_servers["Local Organization"][0]
+                    server_chain, client_chain = server.chain, dummy_chain
+                    server_ip, sni = server.ip, server.sni
+                    client_ip = self.addresses.external_ip(f"{label}-{i}")
+                else:
+                    sld = rng.choice(
+                        ("fireboard.io", "example-iot.com.cn", "smarthome.top")
+                    ) if cohort.server_group != "com" else rng.choice(
+                        ("amazonaws.com", "mixpanel.com")
+                    )
+                    endpoint = self._outbound_endpoints[sld]
+                    server_ip = self.addresses.external_ip(f"{label}-srv-{i % n_servers}")
+                    sni = endpoint.sni
+                    if cohort.side == "server":
+                        server_chain = dummy_chain
+                        peer = self._client_for(
+                            self._outbound_clients,
+                            _weighted(rng, self._outbound_issuer_mix),
+                            now, self._pool_sizes["outbound"], internal=True,
+                        )
+                        client_chain = peer.chain
+                        client_ip = peer.ip
+                    else:
+                        server_chain = endpoint.chain
+                        client_chain = dummy_chain
+                        client_ip = self.addresses.internal_ip(f"{label}-{i}")
+                yield month_index, _Planned(
+                    ts=now, direction=cohort.direction, client_ip=client_ip,
+                    server_ip=server_ip, server_port=443, sni=sni,
+                    version=self._visible_version(),
+                    server_chain=server_chain, client_chain=client_chain,
+                    cohort=label,
+                )
+
+    def _plan_dummy_both_endpoints(self):
+        """Table 10: dummy issuers on BOTH endpoints of one connection
+        (fireboard.io 9 clients/618 days, amazonaws.com 7/17, missing SNI 1/1)."""
+        rng = self.rng
+        ca = self.cas.dummy("Internet Widgits Pty Ltd")
+        rows = (
+            ("fireboard.io", 9, 618),
+            ("amazonaws.com", 7, 17),
+            (None, 1, 1),
+        )
+        for sld, clients, activity_days in rows:
+            label = f"dummy_both:{sld or 'missing-sni'}"
+            months = self._active_months(activity_days)
+            now0 = self.clock.month(months[0]).sample_instant(rng)
+            server_chain = self._issue_leaf(
+                ca, Name.build(common_name=f"svc.{sld}" if sld else "iot-hub"),
+                now=now0,
+            )
+            self.truth.record_cohort_cert(label, server_chain[0])
+            client_chains = []
+            for i in range(clients):
+                chain = self._issue_leaf(
+                    ca, Name.build(common_name=f"iot-{i:03d}"), now=now0
+                )
+                self.truth.record_cohort_cert(label, chain[0])
+                client_chains.append(chain)
+            server_ip = self.addresses.external_ip(f"{label}-srv")
+            for month_index in months:
+                window = self.clock.month(month_index)
+                for i, chain in enumerate(client_chains):
+                    yield month_index, _Planned(
+                        ts=window.sample_instant(rng), direction="out",
+                        client_ip=self.addresses.internal_ip(f"{label}-{i}"),
+                        server_ip=server_ip, server_port=443,
+                        sni=f"svc.{sld}" if sld else None,
+                        version=self._visible_version(),
+                        server_chain=server_chain, client_chain=chain,
+                        cohort=label,
+                    )
+
+    def _plan_incorrect_dates(self):
+        """Tables 11-12: inverted validity windows, per cohort row."""
+        rng = self.rng
+        for cohort in INCORRECT_DATE_COHORTS:
+            label = f"incorrect:{cohort.issuer_org}:{cohort.side}:{cohort.sld or 'missing-sni'}"
+            ca = self.cas.other(cohort.issuer_org) \
+                if cohort.issuer_org in ("rcgen", "SDS", "media-server", "IceLink",
+                                         "OpenPGP to X.509 Bridge") \
+                else self.cas.private(cohort.issuer_org, f"{cohort.issuer_org} CA")
+            clients = max(1, self._cohort_count(cohort.clients))
+            months = self._active_months(cohort.activity_days)
+            not_before = _dt.datetime(cohort.not_before_year, 1, 1, tzinfo=UTC)
+            not_after = _dt.datetime(cohort.not_after_year, 6, 1, tzinfo=UTC)
+            if cohort.not_before_year == cohort.not_after_year:
+                # The ayoba.me row: identical timestamps.
+                not_after = not_before
+            now0 = self.clock.month(months[0]).sample_instant(rng)
+
+            def bad_leaf(cn: str):
+                chain = self._issue_leaf(
+                    ca, Name.build(common_name=cn), now=now0,
+                    not_before=not_before, not_after=not_after,
+                )
+                self.truth.record_cohort_cert(label, chain[0])
+                return chain
+
+            if cohort.side in ("server", "both"):
+                server_chain = bad_leaf(f"svc.{cohort.sld}" if cohort.sld else "backend")
+            else:
+                if cohort.sld and cohort.sld in self._outbound_endpoints:
+                    server_chain = self._outbound_endpoints[cohort.sld].chain
+                else:
+                    server_chain = self._issue_leaf(
+                        ca, Name.build(common_name="peer"), now=now0
+                    )
+            client_chains = []
+            chain_cap = max(2, self.config.cohort_client_cap // 4)
+            for i in range(min(clients, chain_cap)):
+                if cohort.side in ("client", "both"):
+                    client_chains.append(bad_leaf(f"device-{i:04d}"))
+                else:
+                    device = self._client_for(
+                        self._outbound_clients,
+                        _weighted(rng, self._outbound_issuer_mix),
+                        now0, self._pool_sizes["outbound"],
+                        internal=cohort.direction == "out",
+                    )
+                    client_chains.append(device.chain)
+            server_ip = (
+                self.addresses.external_ip(f"{label}-srv")
+                if cohort.direction == "out"
+                else self.addresses.internal_ip(f"{label}-srv")
+            )
+            emissions = max(len(months) // 2, len(client_chains), 2)
+            for emission in range(emissions):
+                # Stride across the activity window so the cohort's
+                # duration-of-activity spans it (Tables 11-12).
+                position = emission * (len(months) - 1) // max(1, emissions - 1)
+                month_index = months[position]
+                window = self.clock.month(month_index)
+                chain = client_chains[emission % len(client_chains)]
+                ip_index = emission % len(client_chains)
+                client_ip = (
+                    self.addresses.internal_ip(f"{label}-{ip_index}")
+                    if cohort.direction == "out"
+                    else self.addresses.external_ip(f"{label}-{ip_index}")
+                )
+                yield month_index, _Planned(
+                    ts=window.sample_instant(rng), direction=cohort.direction,
+                    client_ip=client_ip, server_ip=server_ip, server_port=443,
+                    sni=f"svc.{cohort.sld}" if cohort.sld else None,
+                    version=self._visible_version(),
+                    server_chain=server_chain, client_chain=chain, cohort=label,
+                )
+
+    def _plan_expired_clusters(self):
+        """Figure 5b: the Apple/Microsoft ~1,000-days-expired cluster."""
+        rng = self.rng
+        for cluster in EXPIRED_PUBLIC_CLUSTERS:
+            label = f"expired_public:{cluster.issuer_org}"
+            ca = self.cas.public(
+                "apple-iphone-device" if cluster.issuer_org == "Apple"
+                else "microsoft-azure"
+            )
+            endpoint = self._outbound_endpoints.get(cluster.sld)
+            if endpoint is None:
+                endpoint = self._outbound_endpoints["azure.com"]
+            not_after = self.clock.start - _dt.timedelta(
+                days=cluster.days_expired_at_start + rng.uniform(-30, 30)
+            )
+            certificates = (
+                cluster.certificates
+                if cluster.certificates <= 10
+                else max(8, self.config.scaled(cluster.certificates))
+            )
+            for i in range(certificates):
+                chain = self._issue_leaf(
+                    ca, Name.build(common_name=self.content.uuid_string()),
+                    now=self.clock.start,
+                    not_before=not_after - _dt.timedelta(days=365),
+                    not_after=not_after,
+                )
+                self.truth.record_cohort_cert(label, chain[0])
+                # Each expired certificate keeps being used for a while,
+                # starting at a random point in the campaign.
+                active = rng.randrange(1, max(2, self.config.months))
+                start = rng.randrange(max(1, self.config.months - active + 1))
+                for month_index in range(start, start + active, max(1, active // 2 + 1)):
+                    window = self.clock.month(month_index)
+                    yield month_index, _Planned(
+                        ts=window.sample_instant(rng), direction="out",
+                        client_ip=self.addresses.internal_ip(f"{label}-{i}"),
+                        server_ip=endpoint.ip, server_port=443, sni=endpoint.sni,
+                        version=self._visible_version(),
+                        server_chain=endpoint.chain, client_chain=chain,
+                        cohort=label,
+                    )
+
+    def _plan_expired_inbound(self):
+        """Figure 5a: expired client certs in inbound connections,
+        spread across VPN / Local Organization / Third Party servers."""
+        rng = self.rng
+        count = max(24, self.config.scaled(2000))
+        for i in range(count):
+            association = _weighted(rng, INBOUND_EXPIRED_ASSOCIATIONS)
+            server = rng.choice(self._inbound_servers[association])
+            days_expired = rng.uniform(1, 1200)
+            if association == "University VPN":
+                category = "Private - Education"
+            elif association == "Local Organization":
+                # Partner-organization clients carry public-CA certs
+                # (consistent with Table 3's 96.62% Public for this group).
+                category = rng.choice(("Public", "Public", "Private - Corporation"))
+            else:
+                category = rng.choice(
+                    ("Public", "Private - Corporation", "Private - Others")
+                )
+            ca = self._client_ca_for_category(category)
+            not_after = self.clock.start - _dt.timedelta(days=days_expired)
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=self.content.user_account()),
+                now=self.clock.start,
+                not_before=not_after - _dt.timedelta(days=365),
+                not_after=not_after,
+            )
+            self.truth.record_cohort_cert("expired_inbound", chain[0])
+            active_months = rng.randrange(1, self.config.months + 1)
+            start = rng.randrange(max(1, self.config.months - active_months + 1))
+            step = max(1, active_months // 2)
+            for month_index in range(start, start + active_months, step):
+                window = self.clock.month(month_index)
+                yield month_index, _Planned(
+                    ts=window.sample_instant(rng), direction="in",
+                    client_ip=self.addresses.external_ip(f"expired-in-{i}"),
+                    server_ip=server.ip, server_port=443, sni=server.sni,
+                    version=self._visible_version(),
+                    server_chain=server.chain, client_chain=chain,
+                    cohort="expired_inbound",
+                )
+
+    def _plan_extreme_validity(self):
+        """Figure 4 tail: 10k-40k-day validity periods + the 83,432-day
+        outlier bound to tmdxdev.com."""
+        rng = self.rng
+        total = max(4, self.config.scaled(EXTREME_VALIDITY_TOTAL))
+        n_public = max(1, round(total * EXTREME_VALIDITY_PUBLIC / EXTREME_VALIDITY_TOTAL))
+        for i in range(total):
+            public = i < n_public
+            if public:
+                ca = self.cas.random_public()
+            else:
+                roll = rng.random()
+                if roll < 0.4573:
+                    ca = self.cas.missing_issuer()
+                elif roll < 0.4573 + 0.3758:
+                    ca = self.cas.corporation(rng.randrange(12))
+                else:
+                    ca = self.cas.dummy(rng.choice(DUMMY_ISSUER_ORGS[:3]))
+            period = rng.uniform(10_000, 40_000)
+            not_before = self.clock.start - _dt.timedelta(days=rng.uniform(0, 2000))
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=f"long-lived-{i:04d}"),
+                now=self.clock.start,
+                not_before=not_before,
+                not_after=not_before + _dt.timedelta(days=period),
+            )
+            self.truth.record_cohort_cert("extreme_validity", chain[0])
+            sld = rng.choice(("amazonaws.com", "mixpanel.com", "smarthome.top"))
+            endpoint = self._outbound_endpoints[sld]
+            month_index = rng.randrange(self.config.months)
+            window = self.clock.month(month_index)
+            sni = endpoint.sni if rng.random() > 0.2806 else None
+            yield month_index, _Planned(
+                ts=window.sample_instant(rng), direction="out",
+                client_ip=self.addresses.internal_ip(f"longlived-{i}"),
+                server_ip=endpoint.ip, server_port=443, sni=sni,
+                version=self._visible_version(),
+                server_chain=endpoint.chain, client_chain=chain,
+                cohort="extreme_validity",
+            )
+        # The single 83,432-day (~228 year) outlier.
+        ca = self.cas.private("TMDX Development Corp", "TMDX CA")
+        not_before = self.clock.start - _dt.timedelta(days=100)
+        chain = self._issue_leaf(
+            ca, Name.build(common_name="tmdx-dev-device"),
+            now=self.clock.start,
+            not_before=not_before,
+            not_after=not_before + _dt.timedelta(days=EXTREME_VALIDITY_OUTLIER_DAYS),
+        )
+        self.truth.record_cohort_cert("extreme_outlier", chain[0])
+        endpoint = self._outbound_endpoints[EXTREME_VALIDITY_OUTLIER_SLD]
+        yield 0, _Planned(
+            ts=self.clock.month(0).sample_instant(rng), direction="out",
+            client_ip=self.addresses.internal_ip("tmdx-client"),
+            server_ip=endpoint.ip, server_port=443, sni=endpoint.sni,
+            version=self._visible_version(),
+            server_chain=endpoint.chain, client_chain=chain,
+            cohort="extreme_outlier",
+        )
+
+    def _plan_cross_connection_sharing(self):
+        """Table 6: certificates used as server certs in some connections
+        and client certs in others, spread across /24 subnets."""
+        rng = self.rng
+        total = max(12, self.config.scaled(1611))
+        cap = self.config.cohort_client_cap
+        client_p99 = max(8, min(43, cap))
+        client_p100 = max(client_p99 + 2, min(120, 2 * cap))
+        server_p99 = max(3, min(7, cap // 2))
+        server_p100 = max(server_p99 + 1, min(40, cap))
+        issuer_weights = {
+            "lets-encrypt-r3": 0.5158,
+            "digicert-geotrust": 0.1434,
+            "sectigo-dv": 0.0795,
+            "godaddy-g2": 0.1000,
+            "identrust-server": 0.0500,
+            "amazon-m01": 0.1113,
+        }
+        for i in range(total):
+            ca = self.cas.public(_weighted(rng, issuer_weights))
+            host = f"dualuse{i}.example.org"
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=host), now=self.clock.start,
+                sans=[GeneralName.dns(host)], include_ca_in_chain=True,
+                purposes=(OID.EKU_SERVER_AUTH,),
+            )
+            self.ct.submit(host, chain[0])
+            self.truth.record_cohort_cert("cross_sharing", chain[0])
+            client_subnets = self._sample_subnet_count(
+                rng, p50=1, p75=2, p99=client_p99, p100=client_p100
+            )
+            server_subnets = self._sample_subnet_count(
+                rng, p50=1, p75=1, p99=server_p99, p100=server_p100
+            )
+            for s in range(server_subnets):
+                month_index = rng.randrange(self.config.months)
+                window = self.clock.month(month_index)
+                yield month_index, _Planned(
+                    ts=window.sample_instant(rng), direction="out",
+                    client_ip=self.addresses.internal_ip(f"xs-client-{i}"),
+                    server_ip=f"198.18.{(i * 41 + s) % 250}.{10 + s % 200}",
+                    server_port=443, sni=host, version=self._visible_version(),
+                    server_chain=chain, client_chain=(), cohort="cross_sharing",
+                    force_keep=True,
+                )
+            for c in range(client_subnets):
+                # Client-role usage is tunnel-style (no server certificate
+                # observed): it feeds the Table 6 subnet spread without
+                # distorting the mutual-TLS issuer mixes of Figure 2.
+                month_index = rng.randrange(self.config.months)
+                window = self.clock.month(month_index)
+                yield month_index, _Planned(
+                    ts=window.sample_instant(rng), direction="out",
+                    client_ip=f"10.48.{(i * 7 + c) % 250}.{10 + c % 200}",
+                    server_ip=self.addresses.external_ip(f"xs-server-{i}"),
+                    server_port=443, sni=None, version=self._visible_version(),
+                    server_chain=(), client_chain=chain, cohort="cross_sharing",
+                    force_keep=True,
+                )
+
+    @staticmethod
+    def _sample_subnet_count(rng, p50, p75, p99, p100) -> int:
+        roll = rng.random()
+        if roll < 0.50:
+            return p50
+        if roll < 0.75:
+            return p75
+        if roll < 0.99:
+            return rng.randint(min(p75 + 1, p99), p99)
+        return rng.randint(min(p99 + 1, p100), p100)
+
+    def _plan_fnmt_servers(self):
+        """§6.3.1: 3 public server certs with unidentifiable CN strings,
+        all issued by FNMT-RCM."""
+        rng = self.rng
+        ca = self.cas.public("fnmt")
+        for i in range(3):
+            cn = f"svc{i}.example.es 192.0.2.{i + 10} {self.content.random_hex(12)}"
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=cn), now=self.clock.start,
+                sans=[GeneralName.dns(f"svc{i}.example.es")],
+                include_ca_in_chain=True,
+            )
+            self.truth.record_cohort_cert("fnmt", chain[0])
+            month_index = rng.randrange(self.config.months)
+            window = self.clock.month(month_index)
+            device = self._client_for(
+                self._outbound_clients,
+                _weighted(rng, self._outbound_issuer_mix),
+                window.start, self._pool_sizes["outbound"], internal=True,
+            )
+            yield month_index, _Planned(
+                ts=window.sample_instant(rng), direction="out",
+                client_ip=device.ip,
+                server_ip=self.addresses.external_ip(f"fnmt-{i}"),
+                server_port=443, sni=f"svc{i}.example.es",
+                version=self._visible_version(),
+                server_chain=chain, client_chain=device.chain, cohort="fnmt",
+            )
+
+    # ---------------------------------------------------------------- generate
+
+    def generate(self) -> SimulationResult:
+        """Run the full campaign and return logs + ground truth."""
+        self._setup()
+        plans: list[list[_Planned]] = [[] for _ in range(self.config.months)]
+        cohort_mutual = self._plan_cohorts(plans)
+        for window in self.clock:
+            plan = plans[window.index]
+            self._plan_bulk_month(window, plan, cohort_mutual[window.index])
+            plan.sort(key=lambda p: p.ts)
+            visible_mutual = 0
+            for planned in plan:
+                self._emit(planned)
+                if (
+                    planned.server_chain
+                    and planned.client_chain
+                    and planned.version.certificates_visible_to_monitor
+                ):
+                    visible_mutual += 1
+            self.truth.monthly_total.append(len(plan))
+            self.truth.monthly_visible_mutual.append(visible_mutual)
+        return SimulationResult(
+            logs=self.builder.logs,
+            ground_truth=self.truth,
+            trust_stores=self.cas.trust_stores,
+            trust_bundle=self.cas.trust_stores.dn_bundle(),
+            ct_log=self.ct,
+            config=self.config,
+            clock=self.clock,
+        )

@@ -1,0 +1,457 @@
+"""Scenario configuration: every calibration target from the paper.
+
+All fractions and counts below are lifted from the paper's tables and
+prose. Counts are *paper-scale* numbers; the generator multiplies them by
+``ScenarioConfig.cohort_scale`` (connections by
+``connections_per_month / PAPER_MONTHLY_CONNECTIONS``), so shrinking the
+run keeps every proportion intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper observes ~1.26M–2.36M mutual-TLS connections *per day*;
+#: per month total TLS is on the order of 2e9. This constant anchors the
+#: scale factor between a simulation run and the paper's absolute counts.
+PAPER_MONTHLY_CONNECTIONS = 2_000_000_000 / 23
+
+# ---------------------------------------------------------------------------
+# Figure 1: prevalence ramp
+# ---------------------------------------------------------------------------
+
+#: Campaign month indices (May 2022 = 0).
+MONTH_OCT_2023 = 17
+MONTH_NOV_2023 = 18
+MONTH_DEC_2023 = 19
+
+MUTUAL_SHARE_START = 0.0199
+MUTUAL_SHARE_END = 0.0361
+#: Health-system surge adds this much to the mutual share in Oct–Nov 2023.
+HEALTH_SURGE_BOOST = 0.008
+#: Rapid7 outbound disappearance subtracts this from Dec 2023 onward
+#: (the paper sees a decline Oct–Dec 2023 in outbound).
+RAPID7_DROP = 0.004
+
+#: Fraction of ALL TLS connections negotiated at TLS 1.3 (§3.3) — their
+#: certificates are invisible to the monitor.
+TLS13_SHARE = 0.4086
+
+# ---------------------------------------------------------------------------
+# Table 2: port mixes
+# ---------------------------------------------------------------------------
+
+INBOUND_MUTUAL_PORTS: dict[int | tuple[int, int], float] = {
+    443: 0.6360,
+    20017: 0.2489,
+    636: 0.0636,
+    (50000, 51000): 0.0117,
+    9093: 0.0026,
+    8443: 0.0372,  # remainder bucket: misc HTTPS-alt
+}
+
+OUTBOUND_MUTUAL_PORTS: dict[int | tuple[int, int], float] = {
+    443: 0.8317,
+    8883: 0.0369,
+    25: 0.0338,
+    465: 0.0332,
+    9997: 0.0148,
+    993: 0.0496,  # remainder bucket
+}
+
+INBOUND_NONMUTUAL_PORTS: dict[int | tuple[int, int], float] = {
+    443: 0.8518,
+    25: 0.0235,
+    33854: 0.0226,
+    8443: 0.0222,
+    52730: 0.0198,
+    993: 0.0601,  # remainder bucket
+}
+
+OUTBOUND_NONMUTUAL_PORTS: dict[int | tuple[int, int], float] = {
+    443: 0.9915,
+    993: 0.0044,
+    8883: 0.0005,
+    25: 0.0004,
+    3128: 0.0003,
+    465: 0.0029,  # remainder bucket
+}
+
+# ---------------------------------------------------------------------------
+# Table 3: inbound mutual-TLS associations and client issuers
+# ---------------------------------------------------------------------------
+
+#: association → (share of inbound mutual connections,
+#:                primary issuer category, primary share,
+#:                secondary issuer category, secondary share)
+INBOUND_ASSOCIATIONS: dict[str, tuple[float, str, float, str, float]] = {
+    "University Health": (0.6491, "Private - Education", 0.9996, "Public", 0.0004),
+    "University Server": (0.3055, "Private - MissingIssuer", 0.9584, "Public", 0.0370),
+    "University VPN": (0.0030, "Private - Education", 0.9999, "Public", 0.0001),
+    "Local Organization": (0.0253, "Public", 0.9662, "Private - Corporation", 0.0132),
+    "Third Party Service": (0.0031, "Private - Others", 0.4795, "Public", 0.3725),
+    "Globus": (0.0006, "Private - Education", 0.9383, "Private - Others", 0.0617),
+    "Unknown": (0.0134, "Private - MissingIssuer", 0.8734, "Private - Others", 0.1239),
+}
+
+#: share of distinct clients by association (Table 3 '% clients' column).
+INBOUND_CLIENT_SHARES: dict[str, float] = {
+    "University Health": 0.4110,
+    "University Server": 0.0500,
+    "University VPN": 0.1473,
+    "Local Organization": 0.0220,
+    "Third Party Service": 0.0039,
+    "Globus": 0.0001,
+    "Unknown": 0.3658,
+}
+
+# ---------------------------------------------------------------------------
+# Figure 2: outbound mutual-TLS mixes
+# ---------------------------------------------------------------------------
+
+#: Outbound client-certificate issuer categories. MissingIssuer is the
+#: paper's headline 37.84%.
+OUTBOUND_CLIENT_ISSUERS: dict[str, float] = {
+    "Private - MissingIssuer": 0.3784,
+    "Private - Corporation": 0.2500,
+    "Private - Others": 0.1500,
+    "Public": 0.1000,
+    "Private - Education": 0.0500,
+    "Private - Dummy": 0.0300,
+    "Private - WebHosting": 0.0250,
+    "Private - Government": 0.0166,
+}
+
+#: Fraction of outbound mutual connections whose *server* certificate is
+#: issued by a public CA.
+OUTBOUND_SERVER_PUBLIC_FRACTION = 0.70
+
+#: Outbound mutual destination SLDs (conditioned on being a cloud/security
+#: destination): amazonaws 28.51%, rapid7 27.44%, gpcloudservice 13.33%.
+OUTBOUND_SLDS: dict[str, float] = {
+    "amazonaws.com": 0.2851,
+    "rapid7.com": 0.2744,
+    "gpcloudservice.com": 0.1333,
+    "splunkcloud.com": 0.0500,
+    "apple.com": 0.0600,
+    "azure.com": 0.0400,
+    "fireboard.io": 0.0150,
+    "psych.org": 0.0150,
+    "leidos.com": 0.0150,
+    "mixpanel.com": 0.0200,
+    "tablodash.com": 0.0400,
+    "idrive.com": 0.0300,
+    "alarmnet.com": 0.0250,
+    "clouddevice.io": 0.0250,
+    "tmdxdev.com": 0.0022,
+    "ayoba.me": 0.0100,
+    "ibackup.com": 0.0100,
+    "crestron.io": 0.0050,
+    "acr.og": 0.0100,
+    "sapns2.com": 0.0100,
+    "bluetriton.com": 0.0100,
+    "gpo.gov": 0.0100,
+    "example-iot.com.cn": 0.0050,
+    "smarthome.top": 0.0050,
+}
+
+#: Fraction of outbound mutual connections with no SNI in the ClientHello.
+OUTBOUND_MISSING_SNI_FRACTION = 0.08
+
+# ---------------------------------------------------------------------------
+# §6 content mixes for client certificate subjects (drives Tables 7-9)
+# ---------------------------------------------------------------------------
+
+#: CN content mix for campus-education client certs (drives user
+#: accounts / personal names in Table 8, client × private CA).
+EDUCATION_CLIENT_CN_MIX: dict[str, float] = {
+    "user_account": 0.30,
+    "personal_name": 0.55,
+    "random_32": 0.10,
+    "random_uuid": 0.05,
+}
+
+#: CN content mix for missing-issuer / device client certs.
+DEVICE_CLIENT_CN_MIX: dict[str, float] = {
+    "org_product": 0.64,   # 'WebRTC' dominates (88% of org/product CNs)
+    "random_8": 0.06,
+    "random_32": 0.18,
+    "random_uuid": 0.02,
+    "sip": 0.02,
+    "mac": 0.004,
+    "email": 0.006,
+    "localhost": 0.005,
+    "domain": 0.015,
+    "nonrandom_opaque": 0.04,  # '__transfer__', 'Dtls', 'hmpp'
+    "ip": 0.01,
+}
+
+#: CN content mix for public-CA client certs (Table 8 client × public CA:
+#: 59.95% unidentified, 25.33% org/product, 14.11% domain...).
+PUBLIC_CLIENT_CN_MIX: dict[str, float] = {
+    "random_azure_sphere": 0.28,
+    "random_apple_uuid": 0.06,
+    "random_uuid": 0.26,
+    "org_product_hrw": 0.25,   # 'Hybrid Runbook Worker'
+    "domain_email_service": 0.054,
+    "domain_webex": 0.034,
+    "domain_plain": 0.053,
+    "personal_name": 0.006,
+    "email": 0.0001,
+    "ip": 0.0001,
+}
+
+#: Weights for which org/product string a device CN carries.
+ORG_PRODUCT_WEIGHTS: dict[str, float] = {
+    "WebRTC": 0.88,
+    "twilio": 0.06,
+    "hangouts": 0.035,
+    "Lenovo ThinkPad": 0.015,
+    "Android Keystore": 0.010,
+}
+
+# ---------------------------------------------------------------------------
+# Misconfiguration cohorts (paper-scale counts)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DummyIssuerCohort:
+    """One row of Table 4."""
+
+    direction: str            # 'in' / 'out'
+    side: str                 # 'client' / 'server'
+    issuer_org: str
+    server_group: str         # SLD category (in) or TLD list label (out)
+    involved_servers: int
+    involved_clients: int
+
+
+DUMMY_ISSUER_COHORTS: tuple[DummyIssuerCohort, ...] = (
+    DummyIssuerCohort("in", "client", "Default Company Ltd", "Local Organization", 3, 21),
+    DummyIssuerCohort("in", "client", "Internet Widgits Pty Ltd", "Local Organization", 5, 95),
+    DummyIssuerCohort("out", "client", "Unspecified", "com", 452, 566_996),
+    DummyIssuerCohort("out", "client", "Internet Widgits Pty Ltd", "com", 73, 69_069),
+    DummyIssuerCohort("out", "client", "Default Company Ltd", "cn", 2, 17),
+    DummyIssuerCohort("out", "server", "Internet Widgits Pty Ltd", "com", 511, 3_689),
+    DummyIssuerCohort("out", "server", "Default Company Ltd", "com", 147, 331),
+    DummyIssuerCohort("out", "server", "Acme Co", "com", 20, 26),
+)
+
+
+@dataclass(frozen=True)
+class SharedCertCohort:
+    """One row of Table 5 (same certificate at both endpoints)."""
+
+    direction: str
+    sld: str | None           # None = missing SNI
+    issuer_org: str
+    issuer_public: bool
+    clients: int
+    activity_days: int
+
+
+SHARED_CERT_COHORTS: tuple[SharedCertCohort, ...] = (
+    SharedCertCohort("in", None, "Globus Online", False, 699, 700),
+    SharedCertCohort("in", "tablodash.com", "Outset Medical", False, 4_403, 700),
+    SharedCertCohort("out", None, "Globus Online", False, 105, 699),
+    SharedCertCohort("out", "psych.org", "American Psychiatric Association", False, 33, 424),
+    SharedCertCohort("out", "splunkcloud.com", "Splunk", False, 4, 114),
+    SharedCertCohort("out", "leidos.com", "IdenTrust", True, 52, 554),
+    SharedCertCohort("out", "acr.og", "GoDaddy.com, Inc.", True, 24, 364),
+    SharedCertCohort("out", "sapns2.com", "GoDaddy.com, Inc.", True, 1, 5),
+    SharedCertCohort("out", "bluetriton.com", "DigiCert Inc", True, 1, 1),
+    SharedCertCohort("out", "gpo.gov", "DigiCert Inc", True, 1, 1),
+)
+
+
+@dataclass(frozen=True)
+class IncorrectDateCohort:
+    """One row of Table 11 (certificates with inverted validity dates)."""
+
+    direction: str
+    sld: str | None
+    side: str                 # 'client' / 'server' / 'both'
+    issuer_org: str
+    not_before_year: int
+    not_after_year: int
+    clients: int
+    activity_days: int
+
+
+INCORRECT_DATE_COHORTS: tuple[IncorrectDateCohort, ...] = (
+    IncorrectDateCohort("in", None, "client", "rcgen", 1975, 1757, 2, 42),
+    IncorrectDateCohort("out", "idrive.com", "both", "IDrive Inc Certificate Authority", 2019, 1849, 718, 701),
+    IncorrectDateCohort("out", "clouddevice.io", "client", "Honeywell International Inc", 2021, 1815, 1_599, 701),
+    IncorrectDateCohort("out", "clouddevice.io", "client", "Honeywell International Inc", 2023, 1815, 46, 258),
+    IncorrectDateCohort("out", "alarmnet.com", "client", "Honeywell International Inc", 2021, 1815, 1_864, 696),
+    IncorrectDateCohort("out", "alarmnet.com", "client", "Honeywell International Inc", 2023, 1815, 70, 252),
+    IncorrectDateCohort("out", None, "both", "SDS", 1970, 1831, 17, 474),
+    IncorrectDateCohort("out", "ayoba.me", "client", "OpenPGP to X.509 Bridge", 2022, 2022, 15, 147),
+    IncorrectDateCohort("out", "ibackup.com", "client", "IDrive Inc Certificate Authority", 2019, 1849, 4, 311),
+    IncorrectDateCohort("out", "crestron.io", "client", "Crestron Electronics Inc", 2020, 1816, 3, 1),
+    IncorrectDateCohort("out", None, "server", "media-server", 2157, 2023, 2, 106),
+    IncorrectDateCohort("out", None, "client", "IceLink", 2048, 1996, 1, 1),
+)
+
+
+@dataclass(frozen=True)
+class ExpiredClusterCohort:
+    """The Figure 5b cluster: long-expired public client certs in use."""
+
+    issuer_org: str
+    sld: str
+    certificates: int
+    days_expired_at_start: float
+
+
+EXPIRED_PUBLIC_CLUSTERS: tuple[ExpiredClusterCohort, ...] = (
+    ExpiredClusterCohort("Apple", "apple.com", 337, 1_000),
+    ExpiredClusterCohort("Microsoft", "azure.com", 1, 1_000),
+    ExpiredClusterCohort("Microsoft", "azure-automation.net", 1, 1_000),
+)
+
+#: Inbound expired-client-cert server associations (Figure 5a prose).
+INBOUND_EXPIRED_ASSOCIATIONS: dict[str, float] = {
+    "University VPN": 0.4583,
+    "Local Organization": 0.3279,
+    "Third Party Service": 0.1538,
+    "Unknown": 0.0600,
+}
+
+#: Figure 4 extreme-validity tail: 7,911 certs between 10k and 40k days;
+#: 50 public / 7,861 private; plus the single 83,432-day outlier.
+EXTREME_VALIDITY_TOTAL = 7_911
+EXTREME_VALIDITY_PUBLIC = 50
+EXTREME_VALIDITY_OUTLIER_DAYS = 83_432
+EXTREME_VALIDITY_OUTLIER_SLD = "tmdxdev.com"
+
+#: §3.2: interception — 186 issuers, 8.4% of unique certs excluded.
+INTERCEPTION_TARGET_CERT_FRACTION = 0.084
+PAPER_INTERCEPTION_ISSUERS = 186
+
+
+@dataclass
+class ScenarioConfig:
+    """Top-level knobs of a simulation run.
+
+    `connections_per_month` sets the run size; `cohort_scale` shrinks the
+    paper-scale cohort counts (clients, certificates) by the same spirit.
+    Everything else defaults to the paper-calibrated constants above.
+    """
+
+    seed: int = 7
+    months: int = 23
+    connections_per_month: int = 2000
+    #: Multiplier applied to paper-scale cohort counts (clients/certs).
+    cohort_scale: float = 0.002
+    tls13_share: float = TLS13_SHARE
+    mutual_share_start: float = MUTUAL_SHARE_START
+    mutual_share_end: float = MUTUAL_SHARE_END
+    health_surge_boost: float = HEALTH_SURGE_BOOST
+    rapid7_drop: float = RAPID7_DROP
+    #: Of mutual connections, the fraction arriving at campus servers.
+    mutual_inbound_fraction: float = 0.55
+    #: Of non-mutual connections, the fraction leaving campus.
+    nonmutual_outbound_fraction: float = 0.80
+    #: Fraction of non-mutual outbound connections that traverse a
+    #: TLS-inspecting middlebox (tuned so ~8.4% of unique certs are
+    #: interception artifacts).
+    interception_fraction: float = 0.008
+    #: Number of distinct interception issuers to simulate (186 at paper
+    #: scale; smaller runs use fewer).
+    interception_issuer_count: int = 6
+    #: Fraction of client certificates that appear in connections with no
+    #: server certificate at all (the 5.66% tunneling footnote).
+    tunneling_client_fraction: float = 0.0566
+    #: Number of distinct external destinations for non-mutual outbound
+    #: traffic (controls the non-mutual unique-cert volume).
+    nonmutual_site_density: float = 350.0
+    #: Whether to include the misconfiguration cohorts.
+    include_misconfig_cohorts: bool = True
+
+    @classmethod
+    def residential(
+        cls, seed: int = 7, months: int = 23, connections_per_month: int = 2000
+    ) -> "ScenarioConfig":
+        """A residential-ISP-style profile (§3.3's generalizability caveat).
+
+        Homes run almost no servers and almost no managed devices:
+        mutual TLS is rare and flat, TLS 1.3 adoption is higher (consumer
+        browsers update fast), nearly everything is outbound, there are
+        no enterprise middleboxes, and none of the campus
+        misconfiguration cohorts exist.
+        """
+        return cls(
+            seed=seed,
+            months=months,
+            connections_per_month=connections_per_month,
+            mutual_share_start=0.002,
+            mutual_share_end=0.004,
+            health_surge_boost=0.0,
+            rapid7_drop=0.0,
+            tls13_share=0.62,
+            mutual_inbound_fraction=0.05,
+            nonmutual_outbound_fraction=0.97,
+            interception_fraction=0.0,
+            tunneling_client_fraction=0.005,
+            nonmutual_site_density=700.0,
+            include_misconfig_cohorts=False,
+        )
+
+    @classmethod
+    def enterprise(
+        cls, seed: int = 7, months: int = 23, connections_per_month: int = 2000
+    ) -> "ScenarioConfig":
+        """An enterprise/hospital-style profile (§3.3: environments with
+        'rigorous device management and access control' to which the
+        campus patterns should generalize): higher mutual-TLS adoption,
+        heavier middlebox presence, same misconfiguration ecology."""
+        return cls(
+            seed=seed,
+            months=months,
+            connections_per_month=connections_per_month,
+            mutual_share_start=0.035,
+            mutual_share_end=0.060,
+            health_surge_boost=0.0,
+            rapid7_drop=0.0,
+            mutual_inbound_fraction=0.60,
+            interception_fraction=0.02,
+            include_misconfig_cohorts=True,
+        )
+
+    def mutual_share(self, month_index: int) -> float:
+        """Figure 1 target: mutual share of total TLS for a month."""
+        if self.months <= 1:
+            return self.mutual_share_end
+        ramp = month_index / (self.months - 1)
+        share = (
+            self.mutual_share_start
+            + (self.mutual_share_end - self.mutual_share_start) * ramp
+        )
+        if self.months == 23:
+            # The Oct–Nov 2023 health surge and the Dec 2023 Rapid7 drop
+            # only make sense on the real 23-month timeline.
+            if month_index in (MONTH_OCT_2023, MONTH_NOV_2023):
+                share += self.health_surge_boost
+            elif month_index == MONTH_DEC_2023:
+                share -= self.rapid7_drop
+        return share
+
+    @property
+    def campaign_mutual_estimate(self) -> float:
+        """Approximate visible mutual connections across the whole run."""
+        average_share = (self.mutual_share_start + self.mutual_share_end) / 2
+        return self.months * self.connections_per_month * average_share
+
+    @property
+    def cohort_client_cap(self) -> int:
+        """Per-cohort ceiling so no single misconfiguration cohort swamps
+        the bulk traffic (it never does in the real data either)."""
+        return max(4, round(0.02 * self.campaign_mutual_estimate))
+
+    def scaled(self, paper_count: int) -> int:
+        """Scale a paper-scale cohort count down to this run's size."""
+        return max(1, min(
+            round(paper_count * self.cohort_scale), self.cohort_client_cap
+        ))

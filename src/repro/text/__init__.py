@@ -1,0 +1,45 @@
+"""Text-analysis substrate.
+
+Stands in for the external tooling the paper used:
+
+- ``repro.text.domains`` — registrable-domain extraction with an embedded
+  Public Suffix List subset (substitute for `tldextract`);
+- ``repro.text.ner`` — rule-based named-entity recognition for personal
+  names, organizations, and products (substitute for spaCy's
+  `en_core_web_trf`);
+- ``repro.text.similarity`` — character n-gram cosine similarity against
+  a company lexicon (substitute for word vectors over Kaggle datasets);
+- ``repro.text.randomness`` — random-string detection (UUIDs, hex
+  blobs, entropy) used to sub-classify 'unidentified' CN/SAN values;
+- ``repro.text.fuzzy`` — issuer-organization normalization and fuzzy
+  grouping used in the issuer categorization of §4.2.
+"""
+
+from repro.text.domains import DomainParts, extract_domain, is_domain_like, sld_of
+from repro.text.ner import EntityLabel, NerClassifier
+from repro.text.randomness import (
+    is_hex_string,
+    is_uuid,
+    looks_random,
+    shannon_entropy,
+)
+from repro.text.similarity import CompanyMatcher, cosine_similarity, ngram_vector
+from repro.text.fuzzy import normalize_org, similar_org
+
+__all__ = [
+    "DomainParts",
+    "extract_domain",
+    "is_domain_like",
+    "sld_of",
+    "EntityLabel",
+    "NerClassifier",
+    "is_hex_string",
+    "is_uuid",
+    "looks_random",
+    "shannon_entropy",
+    "CompanyMatcher",
+    "cosine_similarity",
+    "ngram_vector",
+    "normalize_org",
+    "similar_org",
+]

@@ -1,0 +1,73 @@
+"""Issuer-organization normalization and fuzzy comparison.
+
+Used for the issuer grouping of §4.2 ("we conduct fuzzy matching ... on
+the issuer organization string") and for deciding whether a client
+certificate issuer and a server SLD belong to the same entity
+(Figure 2's 'same entity' flows).
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Corporate suffixes stripped during normalization.
+_CORP_SUFFIXES = (
+    "incorporated", "inc", "llc", "ltd", "limited", "corp", "corporation",
+    "co", "company", "gmbh", "sa", "srl", "plc", "pty", "ag", "bv", "oy",
+)
+
+_PUNCT_RE = re.compile(r"[^\w\s]")
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize_org(org: str) -> str:
+    """Lowercase, strip punctuation and corporate suffixes."""
+    text = _PUNCT_RE.sub(" ", org.lower())
+    tokens = [t for t in _WS_RE.split(text) if t]
+    while tokens and tokens[-1] in _CORP_SUFFIXES:
+        tokens.pop()
+    return " ".join(tokens)
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity of normalized token sets."""
+    tokens_a = set(normalize_org(a).split())
+    tokens_b = set(normalize_org(b).split())
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+def similar_org(a: str, b: str, threshold: float = 0.6) -> bool:
+    """Fuzzy same-organization predicate.
+
+    Exact normalized match, containment (one normalized name inside the
+    other), or token-Jaccard above the threshold.
+    """
+    norm_a, norm_b = normalize_org(a), normalize_org(b)
+    if not norm_a or not norm_b:
+        return False
+    if norm_a == norm_b:
+        return True
+    compact_a, compact_b = norm_a.replace(" ", ""), norm_b.replace(" ", "")
+    if compact_a in compact_b or compact_b in compact_a:
+        return True
+    return token_jaccard(a, b) >= threshold
+
+
+def org_matches_domain(org: str, sld: str) -> bool:
+    """Does an issuer organization plausibly own a registrable domain?
+
+    Compares the normalized organization against the domain's second
+    level label: 'Amazon Web Services' vs 'amazonaws.com' → True.
+    """
+    label = sld.split(".")[0].lower() if sld else ""
+    if not label:
+        return False
+    norm = normalize_org(org)
+    if not norm:
+        return False
+    compact = norm.replace(" ", "")
+    if label in compact or compact in label:
+        return True
+    return any(token and (token in label or label in token) for token in norm.split())

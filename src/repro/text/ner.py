@@ -1,0 +1,199 @@
+"""Rule-based named-entity recognition.
+
+Substitute for spaCy's `en_core_web_trf` in the paper's §6.1.1 pipeline:
+classifies free text as a personal name, an organization, or a product.
+The paper reports 0.9 precision and recall for the transformer on
+personal names, then adds manual review; our classifier is evaluated the
+same way against labeled synthetic data (see the NER ablation bench).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.text.similarity import CompanyMatcher
+
+#: Common given names; lowercase. A deliberately modest lexicon — the
+#: generator draws personal names from this list too, so recall measures
+#: rule quality, not lexicon luck (see tests for out-of-lexicon cases).
+FIRST_NAMES: frozenset[str] = frozenset(
+    """
+    james john robert michael william david richard joseph thomas charles
+    christopher daniel matthew anthony mark donald steven paul andrew joshua
+    kenneth kevin brian george timothy ronald edward jason jeffrey ryan
+    jacob gary nicholas eric jonathan stephen larry justin scott brandon
+    benjamin samuel gregory alexander frank patrick raymond jack dennis
+    jerry tyler aaron jose adam nathan henry douglas zachary peter kyle
+    mary patricia jennifer linda elizabeth barbara susan jessica sarah karen
+    lisa nancy betty margaret sandra ashley kimberly emily donna michelle
+    carol amanda dorothy melissa deborah stephanie rebecca sharon laura
+    cynthia kathleen amy angela shirley anna brenda pamela emma nicole
+    helen samantha katherine christine debra rachel carolyn janet catherine
+    maria heather diane ruth julie olivia joyce virginia victoria kelly
+    lauren christina joan evelyn judith megan andrea cheryl hannah jacqueline
+    martha gloria teresa ann sara madison frances kathryn janice jean
+    hongying yizhe hyeonmin kevin guancheng yixin wei ming li chen
+    """.split()
+)
+
+SURNAMES: frozenset[str] = frozenset(
+    """
+    smith johnson williams brown jones garcia miller davis rodriguez martinez
+    hernandez lopez gonzalez wilson anderson thomas taylor moore jackson martin
+    lee perez thompson white harris sanchez clark ramirez lewis robinson
+    walker young allen king wright scott torres nguyen hill flores green
+    adams nelson baker hall rivera campbell mitchell carter roberts dong
+    zhang du tu sun kim park chen wang liu yang huang zhao wu zhou xu
+    """.split()
+)
+
+#: Organizations and companies appearing in the study (issuers, clouds,
+#: device vendors) plus generic big names — the CompanyMatcher lexicon.
+KNOWN_COMPANIES: tuple[str, ...] = (
+    "Amazon Web Services", "Amazon", "Microsoft", "Microsoft Azure",
+    "Apple", "Google", "Cisco", "Cisco Webex", "Lenovo", "Samsung",
+    "AT&T", "Red Hat", "Splunk", "Rapid7", "FileWave", "Globus Online",
+    "GuardiCore", "Outset Medical", "Honeywell International",
+    "IDrive Inc", "Crestron Electronics", "DigiCert Inc", "Sectigo Limited",
+    "GoDaddy.com, Inc.", "IdenTrust", "Let's Encrypt",
+    "American Psychiatric Association", "Twilio", "Mixpanel", "DvTel",
+    "ViptelaClient", "Viptela", "Leidos", "BlueTriton Brands",
+    "State University", "University Medical Center",
+)
+
+#: Product-ish strings the paper calls out explicitly.
+KNOWN_PRODUCTS: frozenset[str] = frozenset(
+    s.lower()
+    for s in (
+        "WebRTC", "hangouts", "twilio", "Hybrid Runbook Worker",
+        "Android Keystore", "iPhone", "iPad", "ThinkPad", "FireHose",
+        "Azure Sphere", "Webex",
+    )
+)
+
+_CORP_SUFFIX_RE = re.compile(
+    r"\b(inc|incorporated|llc|ltd|limited|corp|corporation|gmbh|plc|pty|co)\b\.?\s*$",
+    re.IGNORECASE,
+)
+_ORG_KEYWORDS = frozenset(
+    """
+    university college school institute hospital health clinic authority
+    department agency services systems technologies solutions networks
+    security association foundation laboratories labs bank group holdings
+    online
+    """.split()
+)
+_ALPHA_TOKEN_RE = re.compile(r"^[A-Za-z][A-Za-z'\-]*$")
+
+
+class EntityLabel(Enum):
+    """Classifier output labels."""
+
+    PERSON = "person"
+    ORG = "org"
+    PRODUCT = "product"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class NerResult:
+    label: EntityLabel
+    matched: str = ""
+
+
+class NerClassifier:
+    """Rule-based PERSON/ORG/PRODUCT classifier.
+
+    Priority: product lexicon, then organization cues (corporate suffix,
+    org keyword, fuzzy company match), then personal-name patterns.
+    Products are checked first because strings like 'Android Keystore'
+    would otherwise trip the org keyword rules.
+    """
+
+    def __init__(
+        self,
+        companies: tuple[str, ...] = KNOWN_COMPANIES,
+        company_threshold: float = 0.9,
+    ) -> None:
+        self._company_matcher = CompanyMatcher(companies, threshold=company_threshold)
+
+    def classify(self, text: str) -> NerResult:
+        stripped = " ".join(text.split())
+        if not stripped:
+            return NerResult(EntityLabel.NONE)
+        lowered = stripped.lower()
+        if lowered in KNOWN_PRODUCTS:
+            return NerResult(EntityLabel.PRODUCT, stripped)
+        if self._is_org(stripped, lowered):
+            return NerResult(EntityLabel.ORG, stripped)
+        if self._is_person(stripped):
+            return NerResult(EntityLabel.PERSON, stripped)
+        return NerResult(EntityLabel.NONE)
+
+    def is_person(self, text: str) -> bool:
+        return self.classify(text).label is EntityLabel.PERSON
+
+    def is_org_or_product(self, text: str) -> bool:
+        return self.classify(text).label in (EntityLabel.ORG, EntityLabel.PRODUCT)
+
+    def _is_org(self, text: str, lowered: str) -> bool:
+        if _CORP_SUFFIX_RE.search(text):
+            return True
+        tokens = set(re.split(r"[^a-z&]+", lowered)) - {""}
+        if tokens & _ORG_KEYWORDS:
+            return True
+        return self._company_matcher.is_company(text)
+
+    def _is_person(self, text: str) -> bool:
+        # 'Last, First' form.
+        if "," in text:
+            parts = [p.strip() for p in text.split(",")]
+            if len(parts) == 2 and all(_ALPHA_TOKEN_RE.match(p) for p in parts):
+                if parts[1].lower() in FIRST_NAMES:
+                    return True
+        tokens = text.split()
+        if not 2 <= len(tokens) <= 3:
+            return False
+        # 'J. Robert Oppenheimer' style: leading initial + known first name.
+        if (
+            len(tokens) == 3
+            and re.match(r"^[A-Z]\.?$", tokens[0])
+            and tokens[1].lower() in FIRST_NAMES
+            and _ALPHA_TOKEN_RE.match(tokens[2])
+        ):
+            return True
+        if not all(_ALPHA_TOKEN_RE.match(t) for t in tokens):
+            return False
+        first, last = tokens[0].lower(), tokens[-1].lower()
+        return first in FIRST_NAMES and (last in SURNAMES or tokens[-1][0].isupper())
+
+
+def evaluate_person_detection(
+    classifier: NerClassifier, labeled: list[tuple[str, bool]]
+) -> tuple[float, float]:
+    """Precision and recall of PERSON detection on (text, is_person) pairs.
+
+    Mirrors how the paper reports the spaCy model's quality (0.9 / 0.9).
+    """
+    true_positive = false_positive = false_negative = 0
+    for text, is_person in labeled:
+        predicted = classifier.is_person(text)
+        if predicted and is_person:
+            true_positive += 1
+        elif predicted and not is_person:
+            false_positive += 1
+        elif not predicted and is_person:
+            false_negative += 1
+    precision = (
+        true_positive / (true_positive + false_positive)
+        if true_positive + false_positive
+        else 0.0
+    )
+    recall = (
+        true_positive / (true_positive + false_negative)
+        if true_positive + false_negative
+        else 0.0
+    )
+    return precision, recall

@@ -1,0 +1,94 @@
+"""Random-string detection.
+
+The paper's Table 9 sub-classifies 'unidentified' CN/SAN values into
+non-random strings and random strings keyed by recognizable shapes
+(issuer-derived, length-8/32/36 hex or UUID). These detectors implement
+the shape checks plus an entropy fallback.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+
+_UUID_RE = re.compile(
+    r"^[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}$", re.IGNORECASE
+)
+_HEX_RE = re.compile(r"^[0-9a-f]+$", re.IGNORECASE)
+_BASE64ISH_RE = re.compile(r"^[A-Za-z0-9+/_=-]+$")
+_VOWELS = set("aeiouAEIOU")
+
+
+def is_uuid(text: str) -> bool:
+    """True for canonical 36-character UUID strings."""
+    return bool(_UUID_RE.match(text))
+
+
+def is_hex_string(text: str, min_length: int = 8) -> bool:
+    """True for strings of hex digits at least `min_length` long."""
+    return len(text) >= min_length and bool(_HEX_RE.match(text))
+
+
+def shannon_entropy(text: str) -> float:
+    """Shannon entropy in bits per character (0 for empty strings)."""
+    if not text:
+        return 0.0
+    counts = Counter(text)
+    total = len(text)
+    return -sum(
+        (count / total) * math.log2(count / total) for count in counts.values()
+    )
+
+
+def _vowel_ratio(text: str) -> float:
+    letters = [c for c in text if c.isalpha()]
+    if not letters:
+        return 0.0
+    return sum(1 for c in letters if c in _VOWELS) / len(letters)
+
+
+def looks_random(text: str) -> bool:
+    """Heuristic: does this string look machine-generated?
+
+    UUIDs and long hex strings are always random; otherwise a string is
+    random when it is a single unbroken alphanumeric token with high
+    entropy and an implausible vowel profile for natural language.
+    """
+    text = text.strip()
+    if not text:
+        return False
+    if is_uuid(text):
+        return True
+    if is_hex_string(text, min_length=8):
+        return True
+    # Natural-language signals: spaces, few distinct character classes.
+    if " " in text or len(text) < 8:
+        return False
+    if not _BASE64ISH_RE.match(text):
+        return False
+    has_digit = any(c.isdigit() for c in text)
+    entropy = shannon_entropy(text)
+    vowels = _vowel_ratio(text)
+    if has_digit and entropy >= 3.0:
+        return True
+    # All-letter tokens: pronounceable words have vowel ratios near 0.4.
+    return entropy >= 3.5 and (vowels < 0.2 or vowels > 0.7)
+
+
+def random_string_shape(text: str) -> str:
+    """Classify a random string by the shapes Table 9 keys on.
+
+    Returns one of: 'uuid' (36 chars), 'len8', 'len32', 'len36',
+    'other'.
+    """
+    text = text.strip()
+    if is_uuid(text):
+        return "uuid"
+    if len(text) == 8:
+        return "len8"
+    if len(text) == 32:
+        return "len32"
+    if len(text) == 36:
+        return "len36"
+    return "other"

@@ -1,0 +1,48 @@
+"""TLS substrate: handshake simulation, ports/services, interception.
+
+The handshake simulator models the message flow that determines what a
+passive monitor (Zeek at the campus border) can see: which certificates
+are exchanged, whether the server requested a client certificate
+(mutual TLS), and — crucially for the paper's §3.3 limitation — that
+TLS 1.3 encrypts the Certificate messages, hiding them from the monitor.
+"""
+
+from repro.tls.versions import TlsVersion, CipherSuite
+from repro.tls.ports import ServiceInfo, ServiceRegistry, default_registry
+from repro.tls.handshake import (
+    ClientProfile,
+    HandshakeError,
+    HandshakeResult,
+    ServerProfile,
+    perform_handshake,
+)
+from repro.tls.connection import ConnectionRecord, make_connection_uid
+from repro.tls.interception import InterceptionProxy
+from repro.tls.alerts import (
+    Alert,
+    AlertDescription,
+    AlertLevel,
+    alert_for_failure,
+    alert_for_validation_status,
+)
+
+__all__ = [
+    "TlsVersion",
+    "CipherSuite",
+    "ServiceInfo",
+    "ServiceRegistry",
+    "default_registry",
+    "ClientProfile",
+    "HandshakeError",
+    "HandshakeResult",
+    "ServerProfile",
+    "perform_handshake",
+    "ConnectionRecord",
+    "make_connection_uid",
+    "InterceptionProxy",
+    "Alert",
+    "AlertDescription",
+    "AlertLevel",
+    "alert_for_failure",
+    "alert_for_validation_status",
+]

@@ -1,0 +1,107 @@
+"""TLS alert protocol model (RFC 8446 §6).
+
+Failed simulated handshakes surface a `failure_reason` string; this
+module maps those onto the wire-level alerts a real stack would send,
+with the standard code points and severity levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AlertLevel(Enum):
+    WARNING = 1
+    FATAL = 2
+
+
+class AlertDescription(Enum):
+    """The alert code points used by this simulator."""
+
+    CLOSE_NOTIFY = 0
+    UNEXPECTED_MESSAGE = 10
+    BAD_RECORD_MAC = 20
+    HANDSHAKE_FAILURE = 40
+    BAD_CERTIFICATE = 42
+    UNSUPPORTED_CERTIFICATE = 43
+    CERTIFICATE_REVOKED = 44
+    CERTIFICATE_EXPIRED = 45
+    CERTIFICATE_UNKNOWN = 46
+    ILLEGAL_PARAMETER = 47
+    UNKNOWN_CA = 48
+    ACCESS_DENIED = 49
+    DECODE_ERROR = 50
+    DECRYPT_ERROR = 51
+    PROTOCOL_VERSION = 70
+    INSUFFICIENT_SECURITY = 71
+    INTERNAL_ERROR = 80
+    USER_CANCELED = 90
+    NO_RENEGOTIATION = 100
+    UNSUPPORTED_EXTENSION = 110
+    UNRECOGNIZED_NAME = 112
+    CERTIFICATE_REQUIRED = 116
+    NO_APPLICATION_PROTOCOL = 120
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One alert message."""
+
+    level: AlertLevel
+    description: AlertDescription
+
+    @property
+    def is_fatal(self) -> bool:
+        return self.level is AlertLevel.FATAL
+
+    def __str__(self) -> str:
+        return f"{self.level.name.lower()}:{self.description.name.lower()}"
+
+
+#: handshake `failure_reason` → the alert a real peer would send.
+_FAILURE_ALERTS = {
+    "protocol_version": Alert(AlertLevel.FATAL, AlertDescription.PROTOCOL_VERSION),
+    "certificate_required": Alert(
+        AlertLevel.FATAL, AlertDescription.CERTIFICATE_REQUIRED
+    ),
+    "handshake_failure": Alert(AlertLevel.FATAL, AlertDescription.HANDSHAKE_FAILURE),
+    "bad_certificate": Alert(AlertLevel.FATAL, AlertDescription.BAD_CERTIFICATE),
+    "certificate_expired": Alert(
+        AlertLevel.FATAL, AlertDescription.CERTIFICATE_EXPIRED
+    ),
+    "unknown_ca": Alert(AlertLevel.FATAL, AlertDescription.UNKNOWN_CA),
+}
+
+
+def alert_for_failure(failure_reason: str) -> Alert:
+    """The alert corresponding to a handshake failure reason.
+
+    Unknown reasons map to a fatal handshake_failure, the catch-all a
+    real stack uses.
+    """
+    return _FAILURE_ALERTS.get(
+        failure_reason,
+        Alert(AlertLevel.FATAL, AlertDescription.HANDSHAKE_FAILURE),
+    )
+
+
+def alert_for_validation_status(status) -> Alert | None:
+    """The alert a validating peer would send for a chain-validation
+    outcome (`repro.trust.ValidationStatus`); None when the chain is OK."""
+    from repro.trust import ValidationStatus
+
+    mapping = {
+        ValidationStatus.OK: None,
+        ValidationStatus.EXPIRED: AlertDescription.CERTIFICATE_EXPIRED,
+        ValidationStatus.NOT_YET_VALID: AlertDescription.CERTIFICATE_EXPIRED,
+        ValidationStatus.INVERTED_VALIDITY: AlertDescription.BAD_CERTIFICATE,
+        ValidationStatus.BAD_SIGNATURE: AlertDescription.BAD_CERTIFICATE,
+        ValidationStatus.SELF_SIGNED: AlertDescription.UNKNOWN_CA,
+        ValidationStatus.UNTRUSTED_ROOT: AlertDescription.UNKNOWN_CA,
+        ValidationStatus.EMPTY_CHAIN: AlertDescription.CERTIFICATE_REQUIRED,
+    }
+    description = mapping[status]
+    if description is None:
+        return None
+    return Alert(AlertLevel.FATAL, description)

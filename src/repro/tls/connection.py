@@ -1,0 +1,55 @@
+"""Connection records: the 5-tuple plus handshake outcome."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.tls.handshake import HandshakeResult
+
+_BASE62 = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+def make_connection_uid(counter: int) -> str:
+    """Zeek-style connection uid: 'C' followed by base-62 digits."""
+    if counter < 0:
+        raise ValueError("counter must be non-negative")
+    digits = []
+    value = counter
+    while True:
+        value, remainder = divmod(value, 62)
+        digits.append(_BASE62[remainder])
+        if not value:
+            break
+    return "C" + "".join(reversed(digits)).rjust(16, "0")
+
+
+@dataclass(frozen=True)
+class ConnectionRecord:
+    """One observed TLS connection.
+
+    `client_ip` is the originator (Zeek `id.orig_h`), `server_ip` the
+    responder (`id.resp_h`). Timestamps are UTC.
+    """
+
+    uid: str
+    timestamp: _dt.datetime
+    client_ip: str
+    client_port: int
+    server_ip: str
+    server_port: int
+    handshake: HandshakeResult
+
+    @property
+    def established(self) -> bool:
+        return self.handshake.established
+
+    @property
+    def sni(self) -> str | None:
+        return self.handshake.sni
+
+    def __post_init__(self) -> None:
+        if self.timestamp.tzinfo is None:
+            object.__setattr__(
+                self, "timestamp", self.timestamp.replace(tzinfo=_dt.timezone.utc)
+            )

@@ -1,0 +1,191 @@
+"""TLS handshake simulation.
+
+Simulates the handshake to the fidelity the measurement needs: version
+negotiation, SNI, the server Certificate message, the optional
+CertificateRequest → client Certificate exchange that constitutes mutual
+TLS, and the passive-observer view (certificates hidden under TLS 1.3).
+
+The paper's monitor logs *established* connections; a client may also
+answer a CertificateRequest with an empty Certificate message, in which
+case the connection is not mutually authenticated. Both behaviours are
+modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tls.versions import CipherSuite, TlsVersion
+from repro.x509 import Certificate
+
+
+class HandshakeError(Exception):
+    """Raised when the simulated handshake cannot complete."""
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """A TLS server endpoint.
+
+    Attributes:
+        certificate_chain: leaf-first chain presented to clients.
+        requests_client_certificate: send CertificateRequest after its
+            own Certificate (the mTLS trigger).
+        supported_versions: versions the server accepts.
+        require_client_certificate: abort if the client declines.
+    """
+
+    certificate_chain: tuple[Certificate, ...]
+    requests_client_certificate: bool = False
+    supported_versions: tuple[TlsVersion, ...] = (
+        TlsVersion.TLS_1_0,
+        TlsVersion.TLS_1_1,
+        TlsVersion.TLS_1_2,
+        TlsVersion.TLS_1_3,
+    )
+    require_client_certificate: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.certificate_chain:
+            raise HandshakeError("server profile needs a certificate chain")
+        if not self.supported_versions:
+            raise HandshakeError("server profile needs at least one version")
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """A TLS client endpoint.
+
+    `certificate_chain` is what the client would present when asked; an
+    empty tuple means the client declines CertificateRequest with an
+    empty Certificate message.
+    """
+
+    certificate_chain: tuple[Certificate, ...] = ()
+    supported_versions: tuple[TlsVersion, ...] = (
+        TlsVersion.TLS_1_0,
+        TlsVersion.TLS_1_1,
+        TlsVersion.TLS_1_2,
+        TlsVersion.TLS_1_3,
+    )
+
+    def __post_init__(self) -> None:
+        if not self.supported_versions:
+            raise HandshakeError("client profile needs at least one version")
+
+
+@dataclass(frozen=True)
+class HandshakeResult:
+    """Outcome of one simulated handshake.
+
+    `server_chain` / `client_chain` are ground truth; the `observable_*`
+    properties give the passive monitor's view, which is empty for
+    TLS 1.3 because Certificate messages are encrypted (§3.3).
+    """
+
+    established: bool
+    version: TlsVersion
+    cipher: CipherSuite
+    sni: str | None
+    server_chain: tuple[Certificate, ...]
+    client_chain: tuple[Certificate, ...]
+    client_certificate_requested: bool
+    failure_reason: str = ""
+    #: Abbreviated handshake (session resumption): no Certificate
+    #: messages cross the wire, so the monitor sees nothing — another
+    #: blind spot on top of TLS 1.3.
+    resumed: bool = False
+
+    @property
+    def is_mutual(self) -> bool:
+        """Mutual TLS: both sides presented certificates."""
+        return bool(self.server_chain) and bool(self.client_chain)
+
+    @property
+    def observable_server_chain(self) -> tuple[Certificate, ...]:
+        if self.resumed or not self.version.certificates_visible_to_monitor:
+            return ()
+        return self.server_chain
+
+    @property
+    def observable_client_chain(self) -> tuple[Certificate, ...]:
+        if self.resumed or not self.version.certificates_visible_to_monitor:
+            return ()
+        return self.client_chain
+
+    @property
+    def monitor_sees_mutual(self) -> bool:
+        """Whether the monitor can classify the connection as mutual TLS."""
+        return bool(self.observable_server_chain) and bool(self.observable_client_chain)
+
+
+def negotiate_version(
+    client_versions: Sequence[TlsVersion], server_versions: Sequence[TlsVersion]
+) -> TlsVersion | None:
+    """Pick the highest version both sides support, or None."""
+    common = set(client_versions) & set(server_versions)
+    if not common:
+        return None
+    return max(common, key=lambda v: v.value)
+
+
+def perform_handshake(
+    client: ClientProfile,
+    server: ServerProfile,
+    sni: str | None = None,
+    resume: HandshakeResult | None = None,
+) -> HandshakeResult:
+    """Run the simulated handshake between two endpoint profiles.
+
+    Passing a previous established `resume` result performs an
+    abbreviated handshake: the same security parameters are reused and
+    no Certificate messages are sent (the monitor sees neither chain).
+    """
+    if resume is not None and resume.established:
+        return HandshakeResult(
+            established=True,
+            version=resume.version,
+            cipher=resume.cipher,
+            sni=sni if sni is not None else resume.sni,
+            server_chain=resume.server_chain,
+            client_chain=resume.client_chain,
+            client_certificate_requested=resume.client_certificate_requested,
+            resumed=True,
+        )
+    version = negotiate_version(client.supported_versions, server.supported_versions)
+    if version is None:
+        return HandshakeResult(
+            established=False,
+            version=min(client.supported_versions, key=lambda v: v.value),
+            cipher=CipherSuite.RSA_AES128_CBC_SHA,
+            sni=sni,
+            server_chain=(),
+            client_chain=(),
+            client_certificate_requested=False,
+            failure_reason="protocol_version",
+        )
+    cipher = CipherSuite.default_for(version)
+    client_chain: tuple[Certificate, ...] = ()
+    if server.requests_client_certificate:
+        client_chain = client.certificate_chain
+        if not client_chain and server.require_client_certificate:
+            return HandshakeResult(
+                established=False,
+                version=version,
+                cipher=cipher,
+                sni=sni,
+                server_chain=server.certificate_chain,
+                client_chain=(),
+                client_certificate_requested=True,
+                failure_reason="certificate_required",
+            )
+    return HandshakeResult(
+        established=True,
+        version=version,
+        cipher=cipher,
+        sni=sni,
+        server_chain=server.certificate_chain,
+        client_chain=client_chain,
+        client_certificate_requested=server.requests_client_certificate,
+    )

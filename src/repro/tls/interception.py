@@ -1,0 +1,54 @@
+"""TLS interception (middlebox) model.
+
+An interception proxy terminates the client's TLS session, presenting a
+certificate it mints on the fly for the requested server name, signed by
+the proxy's own CA. The client therefore never sees the genuine server
+certificate — which is why the study must identify and exclude these
+connections (§3.2: 186 interception issuers, 871,993 certificates
+excluded).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.x509 import Certificate, CertificateAuthority, GeneralName, Name
+
+
+@dataclass
+class InterceptionProxy:
+    """A TLS-inspecting middlebox backed by its own private CA."""
+
+    ca: CertificateAuthority
+    #: Cache of minted certificates, keyed by impersonated server name.
+    _minted: dict[str, Certificate] = field(default_factory=dict)
+
+    def impersonate(
+        self, genuine_leaf: Certificate, sni: str | None, now: _dt.datetime
+    ) -> Certificate:
+        """Mint (or reuse) a look-alike certificate for the given server.
+
+        The subject CN and SAN mimic the genuine certificate, but the
+        issuer is the proxy CA — exactly the signature the interception
+        filter hunts for: a leaf whose issuer is in no trust store and
+        disagrees with the CT-logged issuer for that domain.
+        """
+        name = sni or genuine_leaf.subject.common_name or "unknown"
+        cached = self._minted.get(name)
+        if cached is not None and not cached.expired_at(now):
+            return cached
+        sans = [GeneralName.dns(d) for d in genuine_leaf.subject_alternative_name.dns_names]
+        if not sans and sni:
+            sans = [GeneralName.dns(sni)]
+        cert, _key = self.ca.issue(
+            Name.build(common_name=genuine_leaf.subject.common_name or name),
+            now=now,
+            sans=sans,
+        )
+        self._minted[name] = cert
+        return cert
+
+    @property
+    def issuer_organization(self) -> str | None:
+        return self.ca.name.organization

@@ -1,0 +1,100 @@
+"""Port/service registry.
+
+Models what the authors did with the IANA port registry plus manual
+investigation (§4.1 / Table 2): mapping server ports to service labels,
+including the campus-specific corporate services (FileWave, Globus,
+Outset Medical, Splunk, DvTel) that dominate the non-443 traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServiceInfo:
+    """A service entry: protocol name and the label used in Table 2."""
+
+    name: str
+    label: str
+    registered: bool = True  # False for services identified manually
+
+
+@dataclass(frozen=True)
+class _RangeEntry:
+    low: int
+    high: int
+    info: ServiceInfo
+
+    def matches(self, port: int) -> bool:
+        return self.low <= port <= self.high
+
+
+class ServiceRegistry:
+    """Maps ports (and port ranges) to services."""
+
+    def __init__(self) -> None:
+        self._by_port: dict[int, ServiceInfo] = {}
+        self._ranges: list[_RangeEntry] = []
+
+    def register(self, port: int, info: ServiceInfo) -> None:
+        self._by_port[port] = info
+
+    def register_range(self, low: int, high: int, info: ServiceInfo) -> None:
+        if low > high:
+            raise ValueError("range low must not exceed high")
+        self._ranges.append(_RangeEntry(low, high, info))
+
+    def lookup(self, port: int) -> ServiceInfo:
+        """Resolve a port; unknown ports come back labeled 'Unknown'."""
+        if port in self._by_port:
+            return self._by_port[port]
+        for entry in self._ranges:
+            if entry.matches(port):
+                return entry.info
+        return ServiceInfo(name=f"port-{port}", label="Unknown", registered=False)
+
+    def group_key(self, port: int) -> str:
+        """The Table 2 row key: a range collapses onto one key."""
+        if port in self._by_port:
+            return str(port)
+        for entry in self._ranges:
+            if entry.matches(port):
+                return f"{entry.low}-{entry.high}"
+        return str(port)
+
+
+def default_registry() -> ServiceRegistry:
+    """The registry used in the study (IANA entries + manual findings)."""
+    registry = ServiceRegistry()
+    iana = {
+        25: ServiceInfo("smtp", "SMTP"),
+        143: ServiceInfo("imap", "IMAP"),
+        443: ServiceInfo("https", "HTTPS"),
+        465: ServiceInfo("smtps", "SMTPS"),
+        563: ServiceInfo("nntps", "NNTPS"),
+        587: ServiceInfo("submission", "SMTP Submission"),
+        636: ServiceInfo("ldaps", "LDAPS"),
+        853: ServiceInfo("dot", "DNS over TLS"),
+        993: ServiceInfo("imaps", "IMAPS"),
+        995: ServiceInfo("pop3s", "POP3S"),
+        5061: ServiceInfo("sips", "SIP over TLS"),
+        8443: ServiceInfo("https-alt", "HTTPS"),
+        8883: ServiceInfo("secure-mqtt", "MQTT over TLS"),
+    }
+    for port, info in iana.items():
+        registry.register(port, info)
+    manual = {
+        3128: ServiceInfo("corp-misc", "Corp. - Miscellaneous", registered=False),
+        9093: ServiceInfo("outset-medical", "Corp. - Outset Medical", registered=False),
+        9997: ServiceInfo("splunk", "Corp. - Splunk", registered=False),
+        20017: ServiceInfo("filewave", "Corp. - FileWave", registered=False),
+        33854: ServiceInfo("dvtel", "Corp. - DvTel", registered=False),
+        52730: ServiceInfo("univ-unknown", "Univ. - Unknown", registered=False),
+    }
+    for port, info in manual.items():
+        registry.register(port, info)
+    registry.register_range(
+        50000, 51000, ServiceInfo("globus", "Corp. - Globus", registered=False)
+    )
+    return registry

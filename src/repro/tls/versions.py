@@ -1,0 +1,72 @@
+"""TLS protocol versions and cipher suites."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TlsVersion(Enum):
+    """Protocol versions, ordered oldest to newest.
+
+    The enum value is the wire version (major, minor) packed as an int,
+    which makes comparisons natural.
+    """
+
+    SSL_3_0 = 0x0300
+    TLS_1_0 = 0x0301
+    TLS_1_1 = 0x0302
+    TLS_1_2 = 0x0303
+    TLS_1_3 = 0x0304
+
+    def __lt__(self, other: "TlsVersion") -> bool:
+        return self.value < other.value
+
+    def __le__(self, other: "TlsVersion") -> bool:
+        return self.value <= other.value
+
+    def __gt__(self, other: "TlsVersion") -> bool:
+        return self.value > other.value
+
+    def __ge__(self, other: "TlsVersion") -> bool:
+        return self.value >= other.value
+
+    @property
+    def zeek_name(self) -> str:
+        """The name Zeek writes in the ssl.log `version` column."""
+        return {
+            TlsVersion.SSL_3_0: "SSLv3",
+            TlsVersion.TLS_1_0: "TLSv10",
+            TlsVersion.TLS_1_1: "TLSv11",
+            TlsVersion.TLS_1_2: "TLSv12",
+            TlsVersion.TLS_1_3: "TLSv13",
+        }[self]
+
+    @classmethod
+    def from_zeek_name(cls, name: str) -> "TlsVersion":
+        for version in cls:
+            if version.zeek_name == name:
+                return version
+        raise ValueError(f"unknown TLS version name {name!r}")
+
+    @property
+    def certificates_visible_to_monitor(self) -> bool:
+        """Certificates are sent in the clear before TLS 1.3 only."""
+        return self < TlsVersion.TLS_1_3
+
+
+class CipherSuite(Enum):
+    """A small, representative cipher-suite palette."""
+
+    TLS_AES_128_GCM_SHA256 = "TLS_AES_128_GCM_SHA256"
+    TLS_AES_256_GCM_SHA384 = "TLS_AES_256_GCM_SHA384"
+    ECDHE_RSA_AES128_GCM_SHA256 = "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256"
+    ECDHE_RSA_AES256_GCM_SHA384 = "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384"
+    RSA_AES128_CBC_SHA = "TLS_RSA_WITH_AES_128_CBC_SHA"
+
+    @classmethod
+    def default_for(cls, version: TlsVersion) -> "CipherSuite":
+        if version is TlsVersion.TLS_1_3:
+            return cls.TLS_AES_128_GCM_SHA256
+        if version is TlsVersion.TLS_1_2:
+            return cls.ECDHE_RSA_AES128_GCM_SHA256
+        return cls.RSA_AES128_CBC_SHA

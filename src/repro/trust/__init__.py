@@ -1,0 +1,26 @@
+"""Root stores and chain validation.
+
+The paper classifies a certificate as issued by a *public CA* when its
+root or intermediate certificate, or its issuer, is listed in at least
+one of four sources: the Apple, Microsoft, or Mozilla NSS root programs,
+or the Common CA Database (CCADB). `TrustStore` models one such program;
+`TrustStoreSet` aggregates them and implements the paper's classification
+predicate. `ChainValidator` builds and validates chains (signatures +
+validity windows) against a store set.
+"""
+
+from repro.trust.store import TrustBundle, TrustStore, TrustStoreSet
+from repro.trust.validation import (
+    ChainValidationResult,
+    ChainValidator,
+    ValidationStatus,
+)
+
+__all__ = [
+    "TrustBundle",
+    "TrustStore",
+    "TrustStoreSet",
+    "ChainValidationResult",
+    "ChainValidator",
+    "ValidationStatus",
+]

@@ -1,0 +1,124 @@
+"""Chain building and validation.
+
+Mirrors what Zeek (via Mozilla NSS) does for the `validation_status`
+field of SSL.log: given a presented chain and a trust-store set, decide
+whether the leaf chains to a trusted root, and report *why not*
+otherwise. The study uses the outcome both for public/private
+classification support and for the interception filter.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro.trust.store import TrustStoreSet
+from repro.x509 import Certificate, InvalidSignatureError, verify_certificate_signature
+
+
+class ValidationStatus(Enum):
+    """Outcome of chain validation."""
+
+    OK = "ok"
+    SELF_SIGNED = "self-signed certificate"
+    UNTRUSTED_ROOT = "unable to get local issuer certificate"
+    EXPIRED = "certificate has expired"
+    NOT_YET_VALID = "certificate is not yet valid"
+    BAD_SIGNATURE = "certificate signature failure"
+    EMPTY_CHAIN = "no certificate presented"
+    INVERTED_VALIDITY = "certificate validity window is inverted"
+
+
+@dataclass
+class ChainValidationResult:
+    """Validation outcome plus the chain that was evaluated."""
+
+    status: ValidationStatus
+    chain: tuple[Certificate, ...] = ()
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ValidationStatus.OK
+
+
+class ChainValidator:
+    """Validates leaf-first chains against a trust-store set."""
+
+    def __init__(
+        self,
+        trust_stores: TrustStoreSet,
+        check_validity_window: bool = True,
+        check_signatures: bool = True,
+    ) -> None:
+        self.trust_stores = trust_stores
+        self.check_validity_window = check_validity_window
+        self.check_signatures = check_signatures
+
+    def validate(
+        self, chain: Sequence[Certificate], at: _dt.datetime
+    ) -> ChainValidationResult:
+        """Validate the presented chain at the given instant.
+
+        The chain is leaf-first. Validation performs, in order:
+        inverted-window detection, validity-window checks, pairwise
+        signature checks, and finally anchoring in a trust store
+        (directly, or by locating the issuer of the last chain element).
+        """
+        if not chain:
+            return ChainValidationResult(ValidationStatus.EMPTY_CHAIN)
+        chain = tuple(chain)
+
+        if self.check_validity_window:
+            for cert in chain:
+                if cert.validity.is_inverted:
+                    return ChainValidationResult(
+                        ValidationStatus.INVERTED_VALIDITY, chain,
+                        detail=cert.subject.rfc4514(),
+                    )
+                if at < cert.not_valid_before:
+                    return ChainValidationResult(
+                        ValidationStatus.NOT_YET_VALID, chain,
+                        detail=cert.subject.rfc4514(),
+                    )
+                if at > cert.not_valid_after:
+                    return ChainValidationResult(
+                        ValidationStatus.EXPIRED, chain,
+                        detail=cert.subject.rfc4514(),
+                    )
+
+        if self.check_signatures:
+            for child, parent in zip(chain, chain[1:]):
+                try:
+                    verify_certificate_signature(child, parent.public_key)
+                except InvalidSignatureError:
+                    return ChainValidationResult(
+                        ValidationStatus.BAD_SIGNATURE, chain,
+                        detail=child.subject.rfc4514(),
+                    )
+
+        return self._anchor(chain)
+
+    def _anchor(self, chain: tuple[Certificate, ...]) -> ChainValidationResult:
+        last = chain[-1]
+        # Any chain element already trusted → anchored.
+        for cert in chain:
+            if self.trust_stores.contains_certificate(cert):
+                return ChainValidationResult(ValidationStatus.OK, chain)
+        # Try to locate the last element's issuer in a store.
+        candidates = self.trust_stores.find_issuer_certificates(last.issuer)
+        for anchor in candidates:
+            if not self.check_signatures:
+                return ChainValidationResult(ValidationStatus.OK, chain + (anchor,))
+            try:
+                verify_certificate_signature(last, anchor.public_key)
+            except InvalidSignatureError:
+                continue
+            return ChainValidationResult(ValidationStatus.OK, chain + (anchor,))
+        if last.is_self_issued:
+            if len(chain) == 1:
+                return ChainValidationResult(ValidationStatus.SELF_SIGNED, chain)
+            return ChainValidationResult(ValidationStatus.UNTRUSTED_ROOT, chain)
+        return ChainValidationResult(ValidationStatus.UNTRUSTED_ROOT, chain)

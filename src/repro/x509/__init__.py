@@ -1,0 +1,99 @@
+"""X.509 certificate substrate.
+
+Implements the certificate object model used throughout the reproduction:
+distinguished names, extensions (Subject Alternative Name in particular),
+TBSCertificate/Certificate with full DER round-trip, RSA key pairs, a
+fluent certificate builder, signature verification, and a
+`CertificateAuthority` abstraction with configurable serial-number and
+validity policies (including the misconfiguration modes the paper
+observes in the wild: dummy serial numbers, inverted validity dates,
+extreme validity periods, version-1 certificates, weak 1024-bit keys).
+"""
+
+from repro.x509.errors import (
+    CertificateError,
+    InvalidSignatureError,
+    KeyError_,
+    NameError_,
+)
+from repro.x509.keys import (
+    KeyFactory,
+    PrivateKey,
+    PublicKey,
+    RsaPrivateKey,
+    RsaPublicKey,
+    SimPrivateKey,
+    SimPublicKey,
+    generate_rsa_key,
+)
+from repro.x509.name import Name, NameAttribute, RelativeDistinguishedName
+from repro.x509.extensions import (
+    BasicConstraints,
+    ExtendedKeyUsage,
+    Extension,
+    GeneralName,
+    GeneralNameType,
+    KeyUsage,
+    SubjectAlternativeName,
+)
+from repro.x509.certificate import (
+    AlgorithmIdentifier,
+    Certificate,
+    TbsCertificate,
+    Validity,
+)
+from repro.x509.builder import CertificateBuilder
+from repro.x509.verify import (
+    build_chain,
+    verify_certificate_signature,
+    verify_chain_signatures,
+)
+from repro.x509.pem import (
+    certificate_to_pem,
+    certificates_from_pem,
+    certificates_to_pem,
+)
+from repro.x509.ca import (
+    CertificateAuthority,
+    SerialPolicy,
+    ValidityPolicy,
+)
+
+__all__ = [
+    "CertificateError",
+    "InvalidSignatureError",
+    "KeyError_",
+    "NameError_",
+    "KeyFactory",
+    "PrivateKey",
+    "PublicKey",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "SimPrivateKey",
+    "SimPublicKey",
+    "generate_rsa_key",
+    "Name",
+    "NameAttribute",
+    "RelativeDistinguishedName",
+    "BasicConstraints",
+    "ExtendedKeyUsage",
+    "Extension",
+    "GeneralName",
+    "GeneralNameType",
+    "KeyUsage",
+    "SubjectAlternativeName",
+    "AlgorithmIdentifier",
+    "Certificate",
+    "TbsCertificate",
+    "Validity",
+    "CertificateBuilder",
+    "build_chain",
+    "verify_certificate_signature",
+    "verify_chain_signatures",
+    "certificate_to_pem",
+    "certificates_from_pem",
+    "certificates_to_pem",
+    "CertificateAuthority",
+    "SerialPolicy",
+    "ValidityPolicy",
+]

@@ -1,0 +1,141 @@
+"""Fluent certificate builder."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable
+
+from repro.asn1 import OID, ObjectIdentifier
+from repro.x509.certificate import (
+    AlgorithmIdentifier,
+    Certificate,
+    TbsCertificate,
+    VERSION_V1,
+    VERSION_V3,
+    Validity,
+)
+from repro.x509.errors import CertificateError
+from repro.x509.extensions import Extension, GeneralName, KeyUsage
+from repro.x509.keys import PrivateKey, PublicKey, RsaPrivateKey, SimPrivateKey
+from repro.x509.name import Name
+
+#: OID used in AlgorithmIdentifier for the simulation signature scheme.
+SIM_SIGNATURE_OID = ObjectIdentifier("1.3.6.1.4.1.99999.2")
+
+
+class CertificateBuilder:
+    """Accumulates certificate fields and signs with an issuer key.
+
+    Example::
+
+        cert = (
+            CertificateBuilder()
+            .subject(Name.build(common_name="example.com"))
+            .issuer(ca_name)
+            .serial_number(0x1234)
+            .validity_window(nb, na)
+            .public_key(leaf_key.public_key)
+            .add_dns_sans(["example.com"])
+            .sign(ca_key)
+        )
+    """
+
+    def __init__(self) -> None:
+        self._version = VERSION_V3
+        self._serial: int | None = None
+        self._issuer: Name | None = None
+        self._subject: Name | None = None
+        self._validity: Validity | None = None
+        self._spki_der: bytes | None = None
+        self._extensions: list[Extension] = []
+        self._digest = "sha256"
+
+    def version(self, version: int) -> "CertificateBuilder":
+        if version not in (VERSION_V1, VERSION_V3):
+            raise CertificateError(f"unsupported certificate version {version}")
+        self._version = version
+        return self
+
+    def serial_number(self, serial: int) -> "CertificateBuilder":
+        self._serial = serial
+        return self
+
+    def issuer(self, name: Name) -> "CertificateBuilder":
+        self._issuer = name
+        return self
+
+    def subject(self, name: Name) -> "CertificateBuilder":
+        self._subject = name
+        return self
+
+    def validity_window(
+        self, not_before: _dt.datetime, not_after: _dt.datetime
+    ) -> "CertificateBuilder":
+        self._validity = Validity(not_before, not_after)
+        return self
+
+    def public_key(self, key: PublicKey) -> "CertificateBuilder":
+        self._spki_der = key.to_spki_der()
+        return self
+
+    def digest(self, algorithm: str) -> "CertificateBuilder":
+        if algorithm not in ("sha256", "sha1"):
+            raise CertificateError(f"unsupported digest {algorithm!r}")
+        self._digest = algorithm
+        return self
+
+    def add_extension(self, extension: Extension) -> "CertificateBuilder":
+        if self._version == VERSION_V1:
+            raise CertificateError("v1 certificates cannot carry extensions")
+        self._extensions.append(extension)
+        return self
+
+    def add_sans(self, names: Iterable[GeneralName]) -> "CertificateBuilder":
+        names = list(names)
+        if names:
+            self.add_extension(Extension.subject_alt_name(names))
+        return self
+
+    def add_dns_sans(self, dns_names: Iterable[str]) -> "CertificateBuilder":
+        return self.add_sans(GeneralName.dns(n) for n in dns_names)
+
+    def ca_certificate(self, path_length: int | None = None) -> "CertificateBuilder":
+        self.add_extension(Extension.basic_constraints(True, path_length))
+        self.add_extension(
+            Extension.key_usage(KeyUsage(key_cert_sign=True, crl_sign=True))
+        )
+        return self
+
+    def sign(self, issuer_key: PrivateKey) -> Certificate:
+        """Assemble the TBS, sign it, and return the certificate."""
+        if self._serial is None:
+            raise CertificateError("serial number not set")
+        if self._issuer is None:
+            raise CertificateError("issuer not set")
+        if self._subject is None:
+            raise CertificateError("subject not set")
+        if self._validity is None:
+            raise CertificateError("validity window not set")
+        if self._spki_der is None:
+            raise CertificateError("public key not set")
+        algorithm = self._signature_algorithm(issuer_key)
+        tbs = TbsCertificate(
+            version=self._version,
+            serial_number=self._serial,
+            signature_algorithm=algorithm,
+            issuer=self._issuer,
+            validity=self._validity,
+            subject=self._subject,
+            spki_der=self._spki_der,
+            extensions=tuple(self._extensions),
+        )
+        signature = issuer_key.sign(tbs.to_der(), digest=self._digest)
+        return Certificate(tbs=tbs, signature_algorithm=algorithm, signature=signature)
+
+    def _signature_algorithm(self, issuer_key: PrivateKey) -> AlgorithmIdentifier:
+        if isinstance(issuer_key, SimPrivateKey):
+            return AlgorithmIdentifier(SIM_SIGNATURE_OID, has_null_parameters=False)
+        if isinstance(issuer_key, RsaPrivateKey):
+            oid = OID.SHA256_WITH_RSA if self._digest == "sha256" else OID.SHA1_WITH_RSA
+            return AlgorithmIdentifier(oid)
+        raise CertificateError(f"unsupported signing key type {type(issuer_key)!r}")

@@ -1,0 +1,243 @@
+"""Certificate authorities with configurable issuance policies.
+
+A `CertificateAuthority` wraps a CA name + key pair and mints leaf or
+subordinate-CA certificates. Policies deliberately include the
+misconfiguration modes the paper measures in the wild:
+
+- `SerialPolicy.fixed(0x00)` reproduces the dummy-serial collisions of
+  'Globus Online' / 'ViptelaClient' / 'GuardiCore' (§5.1.2);
+- `ValidityPolicy` can mint inverted windows (notBefore after notAfter,
+  Figure 3 / Tables 11-12), extreme periods (Figure 4), or short-lived
+  re-issued certificates (the 14-day Globus churn).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate, VERSION_V3
+from repro.x509.errors import CertificateError
+from repro.x509.extensions import GeneralName
+from repro.x509.keys import KeyFactory, PrivateKey
+from repro.x509.name import Name
+
+
+@dataclass
+class SerialPolicy:
+    """How a CA assigns serial numbers."""
+
+    produce: Callable[[random.Random], int]
+    description: str = "custom"
+
+    @classmethod
+    def random_160bit(cls) -> "SerialPolicy":
+        """RFC 5280-conformant: unique, unpredictable serials."""
+        return cls(lambda rng: rng.getrandbits(159) | (1 << 158), "random")
+
+    @classmethod
+    def fixed(cls, value: int) -> "SerialPolicy":
+        """Dummy policy: every certificate gets the same serial."""
+        return cls(lambda _rng: value, f"fixed:{value:X}")
+
+    @classmethod
+    def sequential(cls, start: int = 1) -> "SerialPolicy":
+        counter = {"next": start}
+
+        def produce(_rng: random.Random) -> int:
+            value = counter["next"]
+            counter["next"] += 1
+            return value
+
+        return cls(produce, f"sequential:{start}")
+
+
+@dataclass
+class ValidityPolicy:
+    """How a CA chooses validity windows relative to the issuance instant."""
+
+    produce: Callable[[_dt.datetime, random.Random], tuple[_dt.datetime, _dt.datetime]]
+    description: str = "custom"
+
+    @classmethod
+    def days(cls, period_days: float) -> "ValidityPolicy":
+        def produce(now: _dt.datetime, _rng: random.Random):
+            return now, now + _dt.timedelta(days=period_days)
+
+        return cls(produce, f"days:{period_days}")
+
+    @classmethod
+    def days_range(cls, low: float, high: float) -> "ValidityPolicy":
+        def produce(now: _dt.datetime, rng: random.Random):
+            return now, now + _dt.timedelta(days=rng.uniform(low, high))
+
+        return cls(produce, f"days:{low}-{high}")
+
+    @classmethod
+    def absolute(
+        cls, not_before: _dt.datetime, not_after: _dt.datetime
+    ) -> "ValidityPolicy":
+        """A fixed window, regardless of when issuance happens.
+
+        `not_before` may be after `not_after`: this is exactly the
+        inverted-dates misconfiguration the paper reports.
+        """
+
+        def produce(_now: _dt.datetime, _rng: random.Random):
+            return not_before, not_after
+
+        return cls(produce, "absolute")
+
+
+@dataclass
+class CertificateAuthority:
+    """A CA: name, key, own certificate, and issuance policies."""
+
+    name: Name
+    key: PrivateKey
+    certificate: Certificate
+    key_factory: KeyFactory
+    rng: random.Random
+    serial_policy: SerialPolicy = field(default_factory=SerialPolicy.random_160bit)
+    validity_policy: ValidityPolicy = field(default_factory=lambda: ValidityPolicy.days(365))
+    parent: "CertificateAuthority | None" = None
+
+    @classmethod
+    def create_root(
+        cls,
+        name: Name,
+        key_factory: KeyFactory,
+        rng: random.Random | None = None,
+        not_before: _dt.datetime | None = None,
+        lifetime_days: float = 3650,
+        serial_policy: SerialPolicy | None = None,
+        validity_policy: ValidityPolicy | None = None,
+    ) -> "CertificateAuthority":
+        """Create a self-signed root CA."""
+        rng = rng or random.Random(0)
+        not_before = not_before or _dt.datetime(2015, 1, 1, tzinfo=_dt.timezone.utc)
+        key = key_factory.new_key()
+        serial_policy = serial_policy or SerialPolicy.random_160bit()
+        # The CA's own certificate always gets a random serial; the policy
+        # passed in governs the serials of certificates it *issues*.
+        cert = (
+            CertificateBuilder()
+            .subject(name)
+            .issuer(name)
+            .serial_number(SerialPolicy.random_160bit().produce(rng))
+            .validity_window(not_before, not_before + _dt.timedelta(days=lifetime_days))
+            .public_key(key.public_key)
+            .ca_certificate()
+            .sign(key)
+        )
+        return cls(
+            name=name,
+            key=key,
+            certificate=cert,
+            key_factory=key_factory,
+            rng=rng,
+            serial_policy=serial_policy,
+            validity_policy=validity_policy or ValidityPolicy.days(365),
+        )
+
+    def create_intermediate(
+        self,
+        name: Name,
+        now: _dt.datetime | None = None,
+        lifetime_days: float = 3650,
+        serial_policy: SerialPolicy | None = None,
+        validity_policy: ValidityPolicy | None = None,
+    ) -> "CertificateAuthority":
+        """Issue and wrap a subordinate CA."""
+        now = now or self.certificate.not_valid_before
+        key = self.key_factory.new_key()
+        cert = (
+            CertificateBuilder()
+            .subject(name)
+            .issuer(self.name)
+            .serial_number(self.serial_policy.produce(self.rng))
+            .validity_window(now, now + _dt.timedelta(days=lifetime_days))
+            .public_key(key.public_key)
+            .ca_certificate()
+            .sign(self.key)
+        )
+        return CertificateAuthority(
+            name=name,
+            key=key,
+            certificate=cert,
+            key_factory=self.key_factory,
+            rng=self.rng,
+            serial_policy=serial_policy or SerialPolicy.random_160bit(),
+            validity_policy=validity_policy or self.validity_policy,
+            parent=self,
+        )
+
+    def issue(
+        self,
+        subject: Name,
+        now: _dt.datetime,
+        sans: Iterable[GeneralName] = (),
+        version: int = VERSION_V3,
+        key_bits: int = 2048,
+        serial: int | None = None,
+        not_before: _dt.datetime | None = None,
+        not_after: _dt.datetime | None = None,
+        key: PrivateKey | None = None,
+        digest: str = "sha256",
+        purposes: tuple | None = None,
+    ) -> tuple[Certificate, PrivateKey]:
+        """Issue a leaf certificate.
+
+        Explicit `serial` / `not_before`+`not_after` / `key` override the
+        CA's policies — this is how the traffic simulator injects the
+        paper's misconfiguration cohorts. `purposes` adds an Extended Key
+        Usage extension (e.g. ``(OID.EKU_SERVER_AUTH,)``); None omits it,
+        as many private CAs do in the wild.
+        """
+        if (not_before is None) != (not_after is None):
+            raise CertificateError("set both not_before and not_after or neither")
+        if not_before is None:
+            not_before, not_after = self.validity_policy.produce(now, self.rng)
+        if serial is None:
+            serial = self.serial_policy.produce(self.rng)
+        if key is None:
+            key = self.key_factory.new_key(bits=key_bits)
+        builder = (
+            CertificateBuilder()
+            .version(version)
+            .subject(subject)
+            .issuer(self.name)
+            .serial_number(serial)
+            .validity_window(not_before, not_after)
+            .public_key(key.public_key)
+            .digest(digest)
+        )
+        if version == VERSION_V3:
+            builder.add_sans(sans)
+            if purposes:
+                from repro.x509.extensions import Extension
+
+                builder.add_extension(Extension.extended_key_usage(purposes))
+        elif list(sans) or purposes:
+            raise CertificateError("v1 certificates cannot carry extensions")
+        return builder.sign(self.key), key
+
+    def chain(self) -> list[Certificate]:
+        """This CA's certificate chain, leaf-CA-first up to the root."""
+        chain: list[Certificate] = []
+        node: CertificateAuthority | None = self
+        while node is not None:
+            chain.append(node.certificate)
+            node = node.parent
+        return chain
+
+    @property
+    def organization(self) -> str | None:
+        return self.name.organization
+
+    @property
+    def common_name(self) -> str | None:
+        return self.name.common_name

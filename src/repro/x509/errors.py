@@ -1,0 +1,23 @@
+"""Exception hierarchy for the X.509 substrate."""
+
+
+class CertificateError(Exception):
+    """Base class for certificate-layer errors."""
+
+
+class NameError_(CertificateError):
+    """Raised for malformed distinguished names.
+
+    The trailing underscore avoids shadowing the NameError builtin.
+    """
+
+
+class KeyError_(CertificateError):
+    """Raised for key generation/usage errors.
+
+    The trailing underscore avoids shadowing the KeyError builtin.
+    """
+
+
+class InvalidSignatureError(CertificateError):
+    """Raised when a signature does not verify."""

@@ -1,0 +1,61 @@
+"""PEM armoring for certificates (RFC 7468).
+
+The simulator works in DER internally; PEM support makes certificates
+exportable to / importable from standard tooling and files.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from typing import Iterable
+
+from repro.x509.certificate import Certificate
+from repro.x509.errors import CertificateError
+
+_BEGIN = "-----BEGIN {label}-----"
+_END = "-----END {label}-----"
+_CERTIFICATE_LABEL = "CERTIFICATE"
+_BLOCK_RE = re.compile(
+    r"-----BEGIN (?P<label>[A-Z0-9 ]+)-----\s*(?P<body>[A-Za-z0-9+/=\s]*?)"
+    r"-----END (?P=label)-----",
+    re.DOTALL,
+)
+
+
+def encode_pem_block(der: bytes, label: str = _CERTIFICATE_LABEL) -> str:
+    """Wrap DER bytes in a PEM block with 64-character base64 lines."""
+    body = base64.b64encode(der).decode("ascii")
+    lines = [_BEGIN.format(label=label)]
+    lines.extend(body[i : i + 64] for i in range(0, len(body), 64))
+    lines.append(_END.format(label=label))
+    return "\n".join(lines) + "\n"
+
+
+def decode_pem_blocks(text: str, label: str = _CERTIFICATE_LABEL) -> list[bytes]:
+    """Extract all DER payloads with the given label from PEM text."""
+    blocks: list[bytes] = []
+    for match in _BLOCK_RE.finditer(text):
+        if match.group("label") != label:
+            continue
+        body = "".join(match.group("body").split())
+        try:
+            blocks.append(base64.b64decode(body, validate=True))
+        except ValueError as exc:
+            raise CertificateError(f"invalid base64 in PEM block: {exc}") from exc
+    return blocks
+
+
+def certificate_to_pem(cert: Certificate) -> str:
+    """Encode one certificate as a PEM CERTIFICATE block."""
+    return encode_pem_block(cert.to_der())
+
+
+def certificates_to_pem(certs: Iterable[Certificate]) -> str:
+    """Encode a chain as concatenated PEM blocks (leaf first)."""
+    return "".join(certificate_to_pem(cert) for cert in certs)
+
+
+def certificates_from_pem(text: str) -> list[Certificate]:
+    """Parse every CERTIFICATE block in the text."""
+    return [Certificate.from_der(der) for der in decode_pem_blocks(text)]

@@ -1,0 +1,77 @@
+"""Certificate signature verification."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.asn1 import OID
+from repro.x509.certificate import Certificate
+from repro.x509.errors import InvalidSignatureError
+from repro.x509.keys import PublicKey
+
+_DIGEST_BY_OID = {
+    OID.SHA256_WITH_RSA.dotted: "sha256",
+    OID.SHA1_WITH_RSA.dotted: "sha1",
+}
+
+
+def verify_certificate_signature(cert: Certificate, issuer_key: PublicKey) -> None:
+    """Verify `cert`'s signature with the issuer's public key.
+
+    Raises InvalidSignatureError on mismatch. Works for both the real RSA
+    scheme and the simulation scheme (the simulation AlgorithmIdentifier
+    defaults to sha256).
+    """
+    digest = _DIGEST_BY_OID.get(cert.signature_algorithm.oid.dotted, "sha256")
+    issuer_key.verify(cert.tbs.to_der(), cert.signature, digest=digest)
+
+
+def build_chain(
+    leaf: Certificate, pool: Sequence[Certificate], max_depth: int = 8
+) -> list[Certificate]:
+    """Assemble a leaf-first chain from a certificate pool.
+
+    At each step the pool is searched for a certificate whose subject
+    matches the current issuer AND whose key verifies the current
+    signature (name collisions between CAs are resolved by the
+    signature check, not just the DN). Stops at a self-issued
+    certificate, when no parent is found, or at `max_depth`.
+    """
+    chain = [leaf]
+    current = leaf
+    for _ in range(max_depth):
+        if current.is_self_issued:
+            break
+        issuer_der = current.issuer.to_der()
+        parent = None
+        for candidate in pool:
+            if candidate.subject.to_der() != issuer_der:
+                continue
+            if candidate.fingerprint() == current.fingerprint():
+                continue
+            try:
+                verify_certificate_signature(current, candidate.public_key)
+            except InvalidSignatureError:
+                continue
+            parent = candidate
+            break
+        if parent is None:
+            break
+        chain.append(parent)
+        current = parent
+    return chain
+
+
+def verify_chain_signatures(chain: Sequence[Certificate]) -> None:
+    """Verify a leaf-first chain: chain[i] must be signed by chain[i+1].
+
+    The last certificate is checked for self-signature when it is
+    self-issued. Raises InvalidSignatureError on the first failure.
+    """
+    if not chain:
+        raise InvalidSignatureError("empty chain")
+    for child, parent in zip(chain, chain[1:]):
+        verify_certificate_signature(child, parent.public_key)
+    root = chain[-1]
+    if root.is_self_issued:
+        verify_certificate_signature(root, root.public_key)

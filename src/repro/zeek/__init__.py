@@ -1,0 +1,47 @@
+"""Zeek-style log substrate.
+
+The study consumes two Zeek log streams (§3.1):
+
+- ``ssl.log`` — one row per TLS connection: endpoints, ports, SNI,
+  version, establishment, and the *fuid* lists linking to the server and
+  client certificate chains;
+- ``x509.log`` — one row per observed certificate: serial, subject and
+  issuer DNs, validity window, key parameters, and SAN contents.
+
+This subpackage models both record types, the fuid linking between
+them, Zeek's dynamic protocol detection (TLS found on any port, not
+just 443), DN-string parsing, and Zeek's TSV on-disk format with a
+round-tripping reader/writer.
+"""
+
+from repro.zeek.records import SslRecord, X509Record, make_file_uid
+from repro.zeek.dn import format_dn, parse_dn
+from repro.zeek.builder import ZeekLogBuilder, ZeekLogs
+from repro.zeek.dpd import encode_client_hello_preamble, looks_like_tls
+from repro.zeek.tsv import (
+    TsvFormatError,
+    read_ssl_log,
+    read_x509_log,
+    write_ssl_log,
+    write_x509_log,
+)
+from repro.zeek.files import read_logs_directory, write_rotated_logs
+
+__all__ = [
+    "SslRecord",
+    "X509Record",
+    "make_file_uid",
+    "format_dn",
+    "parse_dn",
+    "ZeekLogBuilder",
+    "ZeekLogs",
+    "encode_client_hello_preamble",
+    "looks_like_tls",
+    "TsvFormatError",
+    "read_ssl_log",
+    "read_x509_log",
+    "write_ssl_log",
+    "write_x509_log",
+    "read_logs_directory",
+    "write_rotated_logs",
+]

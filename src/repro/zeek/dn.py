@@ -1,0 +1,77 @@
+"""Distinguished-name string formatting and parsing.
+
+Zeek logs subject/issuer as RFC 4514-ish strings ("CN=leaf,O=Org,C=US").
+The analysis pipeline needs to get attribute values back out — including
+values containing escaped commas — so this module provides a proper
+parser rather than a naive split.
+"""
+
+from __future__ import annotations
+
+_ESCAPABLE = set('\\,+";<>')
+
+
+def format_dn(pairs: list[tuple[str, str]]) -> str:
+    """Format (key, value) pairs into a DN string with RFC 4514 escaping."""
+    parts = []
+    for key, value in pairs:
+        escaped = value
+        for char in ("\\", ",", "+", '"', ";", "<", ">"):
+            escaped = escaped.replace(char, "\\" + char)
+        if escaped.startswith(("#", " ")):
+            escaped = "\\" + escaped
+        parts.append(f"{key}={escaped}")
+    return ",".join(parts)
+
+
+def parse_dn(dn: str) -> list[tuple[str, str]]:
+    """Parse a DN string into (key, value) pairs, honouring escapes.
+
+    Malformed components (no '=') are kept as ('', component) so that
+    garbage in real logs degrades gracefully instead of crashing the
+    pipeline.
+    """
+    if not dn:
+        return []
+    components: list[str] = []
+    current: list[str] = []
+    index = 0
+    while index < len(dn):
+        char = dn[index]
+        if char == "\\" and index + 1 < len(dn):
+            current.append(dn[index + 1])
+            index += 2
+            continue
+        if char == ",":
+            components.append("".join(current))
+            current = []
+            index += 1
+            continue
+        current.append(char)
+        index += 1
+    components.append("".join(current))
+
+    pairs: list[tuple[str, str]] = []
+    for component in components:
+        key, eq, value = component.partition("=")
+        if not eq:
+            pairs.append(("", component))
+        else:
+            pairs.append((key.strip(), value))
+    return pairs
+
+
+def dn_get(dn: str, key: str) -> str | None:
+    """First value of the given attribute key in a DN string, or None."""
+    for k, v in parse_dn(dn):
+        if k == key:
+            return v
+    return None
+
+
+def dn_common_name(dn: str) -> str | None:
+    return dn_get(dn, "CN")
+
+
+def dn_organization(dn: str) -> str | None:
+    return dn_get(dn, "O")

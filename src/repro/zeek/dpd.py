@@ -1,0 +1,113 @@
+"""Dynamic protocol detection (DPD).
+
+Zeek identifies TLS by inspecting payload bytes rather than trusting
+port numbers (§3.1) — that is how the study sees mTLS on ports like
+20017 and 50000–51000. This module implements the detection predicate
+over the first bytes of a stream, plus a ClientHello-preamble encoder so
+the simulator can produce realistic positive and negative samples.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.tls.versions import TlsVersion
+
+#: TLS record content type for handshake messages.
+_CONTENT_TYPE_HANDSHAKE = 0x16
+#: Handshake message type for ClientHello.
+_HANDSHAKE_CLIENT_HELLO = 0x01
+#: Extension number for server_name (SNI).
+_EXT_SERVER_NAME = 0x0000
+
+
+def encode_client_hello_preamble(
+    version: TlsVersion = TlsVersion.TLS_1_2,
+    sni: str | None = None,
+    random_bytes: bytes = b"\x00" * 32,
+) -> bytes:
+    """Encode a minimal-but-wellformed TLS record carrying a ClientHello.
+
+    The legacy record version is pinned to TLS 1.0 (0x0301), as real
+    clients do; the offered version goes in the handshake body.
+    """
+    if len(random_bytes) != 32:
+        raise ValueError("ClientHello random must be 32 bytes")
+    body = struct.pack(">H", min(version.value, TlsVersion.TLS_1_2.value))
+    body += random_bytes
+    body += b"\x00"  # empty session id
+    body += struct.pack(">H", 2) + b"\x13\x01"  # one cipher suite
+    body += b"\x01\x00"  # compression: null only
+    extensions = b""
+    if sni is not None:
+        host = sni.encode("utf-8")
+        entry = b"\x00" + struct.pack(">H", len(host)) + host
+        server_name_list = struct.pack(">H", len(entry)) + entry
+        extensions += (
+            struct.pack(">HH", _EXT_SERVER_NAME, len(server_name_list))
+            + server_name_list
+        )
+    body += struct.pack(">H", len(extensions)) + extensions
+    handshake = (
+        bytes([_HANDSHAKE_CLIENT_HELLO])
+        + len(body).to_bytes(3, "big")
+        + body
+    )
+    record = (
+        bytes([_CONTENT_TYPE_HANDSHAKE])
+        + struct.pack(">H", TlsVersion.TLS_1_0.value)
+        + struct.pack(">H", len(handshake))
+        + handshake
+    )
+    return record
+
+
+def looks_like_tls(data: bytes) -> bool:
+    """DPD predicate: does this stream prefix look like a TLS ClientHello?
+
+    Checks the record header (handshake content type, plausible protocol
+    version, sane length) and the first handshake byte — the same cheap
+    signature protocol analyzers key on.
+    """
+    if len(data) < 6:
+        return False
+    if data[0] != _CONTENT_TYPE_HANDSHAKE:
+        return False
+    major, minor = data[1], data[2]
+    if major != 0x03 or minor > 0x04:
+        return False
+    (record_len,) = struct.unpack(">H", data[3:5])
+    if record_len == 0 or record_len > 0x4800:
+        return False
+    return data[5] == _HANDSHAKE_CLIENT_HELLO
+
+
+def extract_sni(data: bytes) -> str | None:
+    """Pull the SNI host name out of a ClientHello preamble, if present."""
+    if not looks_like_tls(data):
+        return None
+    try:
+        offset = 5 + 4  # record header + handshake header
+        offset += 2 + 32  # version + random
+        session_len = data[offset]
+        offset += 1 + session_len
+        (cipher_len,) = struct.unpack(">H", data[offset : offset + 2])
+        offset += 2 + cipher_len
+        compression_len = data[offset]
+        offset += 1 + compression_len
+        (ext_total,) = struct.unpack(">H", data[offset : offset + 2])
+        offset += 2
+        end = offset + ext_total
+        while offset + 4 <= end:
+            ext_type, ext_len = struct.unpack(">HH", data[offset : offset + 4])
+            offset += 4
+            if ext_type == _EXT_SERVER_NAME:
+                # server_name_list: u16 length, then entries of
+                # (type u8, length u16, host bytes).
+                host_len = struct.unpack(">H", data[offset + 3 : offset + 5])[0]
+                host = data[offset + 5 : offset + 5 + host_len]
+                return host.decode("utf-8")
+            offset += ext_len
+    except (IndexError, struct.error, UnicodeDecodeError):
+        return None
+    return None

@@ -1,0 +1,94 @@
+"""On-disk log management: rotated, optionally gzipped Zeek logs.
+
+Real Zeek deployments rotate logs (e.g. per day or month) and gzip the
+closed files. This module writes a `ZeekLogs` capture as a rotated
+directory tree and reads such a tree back — including mixed plain/gzip
+content — so the pipeline can run against operator-style archives.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Callable, Iterable, TextIO
+
+from repro.zeek.builder import ZeekLogs
+from repro.zeek.records import SslRecord, X509Record
+from repro.zeek.tsv import (
+    TsvFormatError,
+    read_ssl_log,
+    read_x509_log,
+    write_ssl_log,
+    write_x509_log,
+)
+
+
+def _month_key(ts) -> str:
+    return f"{ts.year:04d}-{ts.month:02d}"
+
+
+def _open_text(path: Path, mode: str) -> TextIO:
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
+def write_rotated_logs(
+    logs: ZeekLogs, directory: Path | str, compress: bool = True
+) -> list[Path]:
+    """Write ssl/x509 logs partitioned by calendar month.
+
+    Produces ``ssl.YYYY-MM.log[.gz]`` and ``x509.YYYY-MM.log[.gz]`` files
+    and returns the paths written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    suffix = ".log.gz" if compress else ".log"
+
+    def partition(records):
+        by_month: dict[str, list] = {}
+        for record in records:
+            by_month.setdefault(_month_key(record.ts), []).append(record)
+        return by_month
+
+    for prefix, records, writer in (
+        ("ssl", logs.ssl, write_ssl_log),
+        ("x509", logs.x509, write_x509_log),
+    ):
+        for month, month_records in sorted(partition(records).items()):
+            path = directory / f"{prefix}.{month}{suffix}"
+            with _open_text(path, "w") as out:
+                writer(month_records, out)
+            written.append(path)
+    return written
+
+
+def _read_many(paths: Iterable[Path], reader: Callable) -> list:
+    records: list = []
+    for path in sorted(paths):
+        with _open_text(path, "r") as source:
+            records.extend(reader(source))
+    return records
+
+
+def read_logs_directory(directory: Path | str) -> ZeekLogs:
+    """Load every rotated ssl/x509 log file from a directory.
+
+    Plain and gzipped files may be mixed. Records are returned in
+    timestamp order. Raises TsvFormatError if the directory contains no
+    log files at all.
+    """
+    directory = Path(directory)
+    ssl_paths = list(directory.glob("ssl.*.log")) + list(directory.glob("ssl.*.log.gz"))
+    x509_paths = list(directory.glob("x509.*.log")) + list(
+        directory.glob("x509.*.log.gz")
+    )
+    if not ssl_paths and not x509_paths:
+        raise TsvFormatError(f"no rotated Zeek logs found in {directory}")
+    ssl_records: list[SslRecord] = _read_many(ssl_paths, read_ssl_log)
+    x509_records: list[X509Record] = _read_many(x509_paths, read_x509_log)
+    ssl_records.sort(key=lambda r: r.ts)
+    x509_records.sort(key=lambda r: r.ts)
+    return ZeekLogs(ssl=ssl_records, x509=x509_records)

@@ -1,0 +1,145 @@
+"""SSL.log and X509.log record types."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.zeek.dn import dn_common_name, dn_get, dn_organization
+
+_BASE62 = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+def make_file_uid(counter: int) -> str:
+    """Zeek-style file uid ('F' + base-62 digits) used to link logs."""
+    if counter < 0:
+        raise ValueError("counter must be non-negative")
+    digits = []
+    value = counter
+    while True:
+        value, remainder = divmod(value, 62)
+        digits.append(_BASE62[remainder])
+        if not value:
+            break
+    return "F" + "".join(reversed(digits)).rjust(16, "0")
+
+
+@dataclass(frozen=True)
+class SslRecord:
+    """One row of ssl.log.
+
+    Field names follow Zeek's ssl.log schema where a counterpart exists:
+    `id_*` for the connection 4-tuple, `server_name` for SNI,
+    `cert_chain_fuids` / `client_cert_chain_fuids` for the two chains
+    (leaf first). Empty fuid tuples mean the monitor saw no certificates
+    on that side (no certs sent, or TLS 1.3 encryption).
+    """
+
+    ts: _dt.datetime
+    uid: str
+    id_orig_h: str
+    id_orig_p: int
+    id_resp_h: str
+    id_resp_p: int
+    version: str
+    cipher: str
+    server_name: str | None
+    established: bool
+    cert_chain_fuids: tuple[str, ...] = ()
+    client_cert_chain_fuids: tuple[str, ...] = ()
+    validation_status: str = ""
+    #: Session resumption (Zeek's `resumed` field): abbreviated
+    #: handshakes carry no certificates.
+    resumed: bool = False
+
+    @property
+    def is_mutual(self) -> bool:
+        """The paper's mutual-TLS predicate (§3.2.1): both chains logged."""
+        return bool(self.cert_chain_fuids) and bool(self.client_cert_chain_fuids)
+
+    @property
+    def server_leaf_fuid(self) -> str | None:
+        return self.cert_chain_fuids[0] if self.cert_chain_fuids else None
+
+    @property
+    def client_leaf_fuid(self) -> str | None:
+        return self.client_cert_chain_fuids[0] if self.client_cert_chain_fuids else None
+
+
+@dataclass(frozen=True)
+class X509Record:
+    """One row of x509.log: the parsed certificate fields.
+
+    `fuid` links back to ssl.log chain entries. DNs are stored as strings
+    (as Zeek does); `subject_cn`, `issuer_cn`, `issuer_org` are parsed
+    accessors. `fingerprint` is the SHA-256 of the certificate.
+    """
+
+    ts: _dt.datetime
+    fuid: str
+    fingerprint: str
+    version: int
+    serial: str
+    subject: str
+    issuer: str
+    not_valid_before: _dt.datetime
+    not_valid_after: _dt.datetime
+    key_alg: str
+    sig_alg: str
+    key_length: int
+    san_dns: tuple[str, ...] = ()
+    san_uri: tuple[str, ...] = ()
+    san_email: tuple[str, ...] = ()
+    san_ip: tuple[str, ...] = ()
+    basic_constraints_ca: bool | None = None
+    #: Extended Key Usage purposes by short name ('serverAuth',
+    #: 'clientAuth', ...); empty when the extension is absent.
+    eku: tuple[str, ...] = ()
+
+    @property
+    def allows_server_auth(self) -> bool:
+        """True when EKU is absent (anyEKU semantics) or lists serverAuth."""
+        return not self.eku or "serverAuth" in self.eku
+
+    @property
+    def allows_client_auth(self) -> bool:
+        return not self.eku or "clientAuth" in self.eku
+
+    @property
+    def subject_cn(self) -> str | None:
+        return dn_common_name(self.subject)
+
+    @property
+    def subject_org(self) -> str | None:
+        return dn_organization(self.subject)
+
+    @property
+    def subject_uid(self) -> str | None:
+        return dn_get(self.subject, "UID")
+
+    @property
+    def issuer_cn(self) -> str | None:
+        return dn_common_name(self.issuer)
+
+    @property
+    def issuer_org(self) -> str | None:
+        return dn_organization(self.issuer)
+
+    @property
+    def validity_days(self) -> float:
+        """Signed validity period in days (negative when inverted)."""
+        return (self.not_valid_after - self.not_valid_before).total_seconds() / 86400.0
+
+    @property
+    def has_inverted_validity(self) -> bool:
+        return self.not_valid_before > self.not_valid_after
+
+    def expired_at(self, instant: _dt.datetime) -> bool:
+        if instant.tzinfo is None:
+            instant = instant.replace(tzinfo=_dt.timezone.utc)
+        return instant > self.not_valid_after
+
+    def days_expired(self, instant: _dt.datetime) -> float:
+        if instant.tzinfo is None:
+            instant = instant.replace(tzinfo=_dt.timezone.utc)
+        return (instant - self.not_valid_after).total_seconds() / 86400.0

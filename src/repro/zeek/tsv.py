@@ -1,0 +1,302 @@
+"""Zeek TSV log format: writer and round-tripping reader.
+
+Implements the header conventions of Zeek ASCII logs (``#separator``,
+``#fields``, ``#types``, ``-`` for unset, ``(empty)`` for empty vectors)
+and escapes separator characters inside values so that free-text
+certificate subjects survive a round trip.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import io
+from typing import Iterable, Sequence, TextIO
+
+from repro.zeek.records import SslRecord, X509Record
+
+_UNSET = "-"
+_EMPTY = "(empty)"
+_SET_SEP = ","
+
+
+class TsvFormatError(Exception):
+    """Raised when a log file does not parse."""
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\t", "\\x09")
+        .replace("\n", "\\x0a")
+        .replace("\r", "\\x0d")
+    )
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+                index += 2
+                continue
+            if nxt == "x" and index + 3 < len(value):
+                try:
+                    out.append(chr(int(value[index + 2 : index + 4], 16)))
+                    index += 4
+                    continue
+                except ValueError:
+                    pass
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _escape_vector_element(value: str) -> str:
+    return _escape(value).replace(_SET_SEP, "\\x2c")
+
+
+def _format_time(ts: _dt.datetime) -> str:
+    return f"{ts.timestamp():.6f}"
+
+
+def _parse_time(text: str) -> _dt.datetime:
+    return _dt.datetime.fromtimestamp(float(text), tz=_dt.timezone.utc)
+
+
+def _format_vector(values: Sequence[str]) -> str:
+    if not values:
+        return _EMPTY
+    return _SET_SEP.join(_escape_vector_element(v) for v in values)
+
+
+def _parse_vector(text: str) -> tuple[str, ...]:
+    if text == _EMPTY or text == _UNSET:
+        return ()
+    return tuple(_unescape(part) for part in text.split(_SET_SEP))
+
+
+def _format_optional(value: str | None) -> str:
+    return _UNSET if value is None else _escape(value) or _UNSET
+
+
+def _parse_optional(text: str) -> str | None:
+    return None if text == _UNSET else _unescape(text)
+
+
+def _format_bool(value: bool) -> str:
+    return "T" if value else "F"
+
+
+def _parse_bool(text: str) -> bool:
+    if text == "T":
+        return True
+    if text == "F":
+        return False
+    raise TsvFormatError(f"not a bool: {text!r}")
+
+
+_SSL_FIELDS = [
+    ("ts", "time"),
+    ("uid", "string"),
+    ("id.orig_h", "addr"),
+    ("id.orig_p", "port"),
+    ("id.resp_h", "addr"),
+    ("id.resp_p", "port"),
+    ("version", "string"),
+    ("cipher", "string"),
+    ("server_name", "string"),
+    ("established", "bool"),
+    ("cert_chain_fuids", "vector[string]"),
+    ("client_cert_chain_fuids", "vector[string]"),
+    ("validation_status", "string"),
+    ("resumed", "bool"),
+]
+
+_X509_FIELDS = [
+    ("ts", "time"),
+    ("id", "string"),
+    ("fingerprint", "string"),
+    ("certificate.version", "count"),
+    ("certificate.serial", "string"),
+    ("certificate.subject", "string"),
+    ("certificate.issuer", "string"),
+    ("certificate.not_valid_before", "time"),
+    ("certificate.not_valid_after", "time"),
+    ("certificate.key_alg", "string"),
+    ("certificate.sig_alg", "string"),
+    ("certificate.key_length", "count"),
+    ("san.dns", "vector[string]"),
+    ("san.uri", "vector[string]"),
+    ("san.email", "vector[string]"),
+    ("san.ip", "vector[addr]"),
+    ("basic_constraints.ca", "bool"),
+    ("extended_key_usage", "vector[string]"),
+]
+
+
+def _write_header(out: TextIO, path: str, fields: list[tuple[str, str]]) -> None:
+    out.write("#separator \\x09\n")
+    out.write("#set_separator\t,\n")
+    out.write(f"#empty_field\t{_EMPTY}\n")
+    out.write(f"#unset_field\t{_UNSET}\n")
+    out.write(f"#path\t{path}\n")
+    out.write("#fields\t" + "\t".join(name for name, _ in fields) + "\n")
+    out.write("#types\t" + "\t".join(type_ for _, type_ in fields) + "\n")
+
+
+def write_ssl_log(records: Iterable[SslRecord], out: TextIO) -> None:
+    """Write ssl.log rows in Zeek TSV format."""
+    _write_header(out, "ssl", _SSL_FIELDS)
+    for r in records:
+        row = [
+            _format_time(r.ts),
+            r.uid,
+            r.id_orig_h,
+            str(r.id_orig_p),
+            r.id_resp_h,
+            str(r.id_resp_p),
+            r.version,
+            r.cipher,
+            _format_optional(r.server_name),
+            _format_bool(r.established),
+            _format_vector(r.cert_chain_fuids),
+            _format_vector(r.client_cert_chain_fuids),
+            _format_optional(r.validation_status or None),
+            _format_bool(r.resumed),
+        ]
+        out.write("\t".join(row) + "\n")
+    out.write("#close\n")
+
+
+def write_x509_log(records: Iterable[X509Record], out: TextIO) -> None:
+    """Write x509.log rows in Zeek TSV format."""
+    _write_header(out, "x509", _X509_FIELDS)
+    for r in records:
+        ca = r.basic_constraints_ca
+        row = [
+            _format_time(r.ts),
+            r.fuid,
+            r.fingerprint,
+            str(r.version),
+            r.serial,
+            _format_optional(r.subject or None),
+            _format_optional(r.issuer or None),
+            _format_time(r.not_valid_before),
+            _format_time(r.not_valid_after),
+            r.key_alg,
+            r.sig_alg,
+            str(r.key_length),
+            _format_vector(r.san_dns),
+            _format_vector(r.san_uri),
+            _format_vector(r.san_email),
+            _format_vector(r.san_ip),
+            _UNSET if ca is None else _format_bool(ca),
+            _format_vector(r.eku),
+        ]
+        out.write("\t".join(row) + "\n")
+    out.write("#close\n")
+
+
+def _iter_data_rows(
+    source: TextIO, expected_path: str, expected_fields: list[tuple[str, str]]
+) -> Iterable[list[str]]:
+    field_names = [name for name, _ in expected_fields]
+    seen_fields: list[str] | None = None
+    for line_number, line in enumerate(source, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("#path\t"):
+                path = line.split("\t", 1)[1]
+                if path != expected_path:
+                    raise TsvFormatError(
+                        f"expected #path {expected_path}, found {path}"
+                    )
+            elif line.startswith("#fields\t"):
+                seen_fields = line.split("\t")[1:]
+                if seen_fields != field_names:
+                    raise TsvFormatError(
+                        f"unexpected #fields on line {line_number}: {seen_fields}"
+                    )
+            continue
+        if seen_fields is None:
+            raise TsvFormatError("data row before #fields header")
+        cells = line.split("\t")
+        if len(cells) != len(field_names):
+            raise TsvFormatError(
+                f"line {line_number}: expected {len(field_names)} cells, "
+                f"got {len(cells)}"
+            )
+        yield cells
+
+
+def read_ssl_log(source: TextIO) -> list[SslRecord]:
+    """Parse a Zeek-format ssl.log stream."""
+    records = []
+    for cells in _iter_data_rows(source, "ssl", _SSL_FIELDS):
+        records.append(
+            SslRecord(
+                ts=_parse_time(cells[0]),
+                uid=cells[1],
+                id_orig_h=cells[2],
+                id_orig_p=int(cells[3]),
+                id_resp_h=cells[4],
+                id_resp_p=int(cells[5]),
+                version=cells[6],
+                cipher=cells[7],
+                server_name=_parse_optional(cells[8]),
+                established=_parse_bool(cells[9]),
+                cert_chain_fuids=_parse_vector(cells[10]),
+                client_cert_chain_fuids=_parse_vector(cells[11]),
+                validation_status=_parse_optional(cells[12]) or "",
+                resumed=_parse_bool(cells[13]),
+            )
+        )
+    return records
+
+
+def read_x509_log(source: TextIO) -> list[X509Record]:
+    """Parse a Zeek-format x509.log stream."""
+    records = []
+    for cells in _iter_data_rows(source, "x509", _X509_FIELDS):
+        ca_text = cells[16]
+        records.append(
+            X509Record(
+                ts=_parse_time(cells[0]),
+                fuid=cells[1],
+                fingerprint=cells[2],
+                version=int(cells[3]),
+                serial=cells[4],
+                subject=_parse_optional(cells[5]) or "",
+                issuer=_parse_optional(cells[6]) or "",
+                not_valid_before=_parse_time(cells[7]),
+                not_valid_after=_parse_time(cells[8]),
+                key_alg=cells[9],
+                sig_alg=cells[10],
+                key_length=int(cells[11]),
+                san_dns=_parse_vector(cells[12]),
+                san_uri=_parse_vector(cells[13]),
+                san_email=_parse_vector(cells[14]),
+                san_ip=_parse_vector(cells[15]),
+                basic_constraints_ca=None if ca_text == _UNSET else _parse_bool(ca_text),
+                eku=_parse_vector(cells[17]),
+            )
+        )
+    return records
+
+
+def ssl_log_to_string(records: Iterable[SslRecord]) -> str:
+    buffer = io.StringIO()
+    write_ssl_log(records, buffer)
+    return buffer.getvalue()
+
+
+def x509_log_to_string(records: Iterable[X509Record]) -> str:
+    buffer = io.StringIO()
+    write_x509_log(records, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,229 @@
+"""Unit tests for the DER decoder, including malformed-input rejection."""
+
+import datetime as dt
+
+import pytest
+
+from repro.asn1 import (
+    DerDecodeError,
+    DerReader,
+    ObjectIdentifier,
+    Tag,
+    decode_bit_string,
+    decode_boolean,
+    decode_generalized_time,
+    decode_integer,
+    decode_null,
+    decode_octet_string,
+    decode_oid,
+    decode_string,
+    decode_time,
+    decode_utc_time,
+    encode_boolean,
+    encode_generalized_time,
+    encode_integer,
+    encode_printable_string,
+    encode_sequence,
+    encode_utc_time,
+    encode_utf8_string,
+    read_single_tlv,
+)
+from repro.asn1.tags import TagNumber
+
+
+class TestDerReader:
+    def test_walks_sequence_members(self):
+        data = encode_sequence([encode_integer(5), encode_boolean(False)])
+        outer = read_single_tlv(data)
+        inner = outer.reader()
+        assert decode_integer(inner.read_tlv()) == 5
+        assert decode_boolean(inner.read_tlv()) is False
+        assert inner.at_end()
+
+    def test_finish_raises_on_trailing(self):
+        reader = DerReader(encode_integer(1) + b"\x00")
+        reader.read_tlv()
+        with pytest.raises(DerDecodeError):
+            reader.finish()
+
+    def test_read_single_tlv_rejects_trailing(self):
+        with pytest.raises(DerDecodeError):
+            read_single_tlv(encode_integer(1) + encode_integer(2))
+
+    def test_truncated_content(self):
+        with pytest.raises(DerDecodeError):
+            read_single_tlv(b"\x02\x05\x01")
+
+    def test_truncated_tag(self):
+        with pytest.raises(DerDecodeError):
+            read_single_tlv(b"")
+
+    def test_truncated_length(self):
+        with pytest.raises(DerDecodeError):
+            read_single_tlv(b"\x02")
+
+    def test_indefinite_length_rejected(self):
+        with pytest.raises(DerDecodeError, match="indefinite"):
+            read_single_tlv(b"\x30\x80\x00\x00")
+
+    def test_non_minimal_long_length_rejected(self):
+        # 0x81 0x05 is long form for a length that fits short form.
+        with pytest.raises(DerDecodeError):
+            read_single_tlv(b"\x02\x81\x05\x01\x02\x03\x04\x05")
+
+    def test_long_form_length_leading_zero_rejected(self):
+        with pytest.raises(DerDecodeError):
+            read_single_tlv(b"\x04\x82\x00\x81" + b"\x00" * 0x81)
+
+    def test_read_optional_present(self):
+        reader = DerReader(encode_integer(9))
+        tlv = reader.read_optional(Tag.universal(TagNumber.INTEGER))
+        assert tlv is not None and decode_integer(tlv) == 9
+
+    def test_read_optional_absent(self):
+        reader = DerReader(encode_boolean(True))
+        assert reader.read_optional(Tag.universal(TagNumber.INTEGER)) is None
+        # The boolean is still unconsumed.
+        assert decode_boolean(reader.read_tlv()) is True
+
+    def test_offsets_track_nesting(self):
+        data = encode_sequence([encode_integer(1)])
+        outer = read_single_tlv(data)
+        inner = outer.reader().read_tlv()
+        assert inner.offset == 2  # after the outer tag + length octets
+
+    def test_expect_mismatch_mentions_offset(self):
+        tlv = read_single_tlv(encode_integer(1))
+        with pytest.raises(DerDecodeError, match="offset 0"):
+            tlv.expect(Tag.universal(TagNumber.BOOLEAN))
+
+    def test_reader_on_primitive_rejected(self):
+        tlv = read_single_tlv(encode_integer(1))
+        with pytest.raises(DerDecodeError):
+            tlv.reader()
+
+
+class TestDecodeInteger:
+    @pytest.mark.parametrize("value", [0, 1, -1, 127, 128, -128, -129, 2**64, -(2**64)])
+    def test_round_trip(self, value):
+        assert decode_integer(read_single_tlv(encode_integer(value))) == value
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_integer(read_single_tlv(b"\x02\x00"))
+
+    def test_non_minimal_positive_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_integer(read_single_tlv(b"\x02\x02\x00\x01"))
+
+    def test_non_minimal_negative_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_integer(read_single_tlv(b"\x02\x02\xff\xff"))
+
+    def test_minimal_with_sign_padding_accepted(self):
+        # 0x00 0x80 is the minimal encoding of +128.
+        assert decode_integer(read_single_tlv(b"\x02\x02\x00\x80")) == 128
+
+
+class TestDecodeBoolean:
+    def test_values(self):
+        assert decode_boolean(read_single_tlv(b"\x01\x01\xff")) is True
+        assert decode_boolean(read_single_tlv(b"\x01\x01\x00")) is False
+
+    def test_ber_true_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_boolean(read_single_tlv(b"\x01\x01\x01"))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_boolean(read_single_tlv(b"\x01\x02\x00\x00"))
+
+
+class TestDecodeMisc:
+    def test_null(self):
+        assert decode_null(read_single_tlv(b"\x05\x00")) is None
+
+    def test_null_nonempty_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_null(read_single_tlv(b"\x05\x01\x00"))
+
+    def test_octet_string(self):
+        assert decode_octet_string(read_single_tlv(b"\x04\x02\xab\xcd")) == b"\xab\xcd"
+
+    def test_bit_string(self):
+        value, unused = decode_bit_string(read_single_tlv(b"\x03\x02\x04\xa0"))
+        assert value == b"\xa0" and unused == 4
+
+    def test_bit_string_bad_unused(self):
+        with pytest.raises(DerDecodeError):
+            decode_bit_string(read_single_tlv(b"\x03\x02\x08\xa0"))
+
+    def test_bit_string_empty_content(self):
+        with pytest.raises(DerDecodeError):
+            decode_bit_string(read_single_tlv(b"\x03\x00"))
+
+
+class TestDecodeOid:
+    @pytest.mark.parametrize(
+        "dotted", ["2.5.4.3", "1.2.840.113549.1.1.11", "0.9.2342.19200300.100.1.25", "2.999"]
+    )
+    def test_round_trip(self, dotted):
+        oid = ObjectIdentifier(dotted)
+        from repro.asn1 import encode_oid
+
+        assert decode_oid(read_single_tlv(encode_oid(oid))) == oid
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_oid(read_single_tlv(b"\x06\x00"))
+
+    def test_trailing_continuation_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_oid(read_single_tlv(b"\x06\x02\x55\x84"))
+
+    def test_padded_subidentifier_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_oid(read_single_tlv(b"\x06\x03\x55\x80\x03"))
+
+
+class TestDecodeStrings:
+    def test_printable(self):
+        assert decode_string(read_single_tlv(encode_printable_string("Acme Co"))) == "Acme Co"
+
+    def test_utf8(self):
+        assert decode_string(read_single_tlv(encode_utf8_string("Mañana"))) == "Mañana"
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_string(read_single_tlv(encode_integer(1)))
+
+
+class TestDecodeTime:
+    def test_utc_round_trip(self):
+        value = dt.datetime(2022, 5, 1, 0, 0, 0, tzinfo=dt.timezone.utc)
+        assert decode_utc_time(read_single_tlv(encode_utc_time(value))) == value
+
+    def test_utc_century_split(self):
+        # '49' maps to 2049 and '50' maps to 1950 per RFC 5280.
+        late = read_single_tlv(b"\x17\x0d490101000000Z")
+        early = read_single_tlv(b"\x17\x0d500101000000Z")
+        assert decode_utc_time(late).year == 2049
+        assert decode_utc_time(early).year == 1950
+
+    def test_generalized_round_trip(self):
+        value = dt.datetime(2157, 11, 16, 8, 9, 10, tzinfo=dt.timezone.utc)
+        assert decode_generalized_time(read_single_tlv(encode_generalized_time(value))) == value
+
+    def test_decode_time_handles_both(self):
+        utc = dt.datetime(2023, 1, 1, tzinfo=dt.timezone.utc)
+        gen = dt.datetime(2157, 1, 1, tzinfo=dt.timezone.utc)
+        assert decode_time(read_single_tlv(encode_utc_time(utc))) == utc
+        assert decode_time(read_single_tlv(encode_generalized_time(gen))) == gen
+
+    def test_bad_calendar_date_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_utc_time(read_single_tlv(b"\x17\x0d231345000000Z"))
+
+    def test_missing_z_suffix_rejected(self):
+        with pytest.raises(DerDecodeError):
+            decode_utc_time(read_single_tlv(b"\x17\x0d2306151230450"))

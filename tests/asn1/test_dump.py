@@ -1,0 +1,86 @@
+"""Tests for the DER dump tool."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asn1 import (
+    DerDecodeError,
+    ObjectIdentifier,
+    encode_boolean,
+    encode_integer,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_utc_time,
+)
+from repro.asn1.dump import dump_der
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+
+NOW = dt.datetime(2023, 1, 1, tzinfo=dt.timezone.utc)
+
+
+class TestDump:
+    def test_scalars(self):
+        data = encode_sequence([
+            encode_integer(42),
+            encode_boolean(True),
+            encode_null(),
+            encode_printable_string("hello"),
+            encode_octet_string(b"\xde\xad"),
+        ])
+        text = dump_der(data)
+        assert "SEQUENCE" in text
+        assert "INTEGER: 42" in text
+        assert "BOOLEAN: True" in text
+        assert "NULL" in text
+        assert "PrintableString: 'hello'" in text
+        assert "dead" in text
+
+    def test_oid_named(self):
+        text = dump_der(encode_oid(ObjectIdentifier("2.5.4.3")))
+        assert "commonName" in text
+
+    def test_unknown_oid_dotted(self):
+        text = dump_der(encode_oid(ObjectIdentifier("1.2.3.4.5")))
+        assert "1.2.3.4.5" in text
+
+    def test_time_rendered_iso(self):
+        text = dump_der(encode_utc_time(NOW))
+        assert "2023-01-01T00:00:00" in text
+
+    def test_nesting_indented(self):
+        inner = encode_sequence([encode_integer(1)])
+        text = dump_der(encode_sequence([inner]))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        # Offsets ascend and indentation deepens.
+        assert lines[1].count("  ") > lines[0].count("  ")
+
+    def test_full_certificate_dumps(self):
+        ca = CertificateAuthority.create_root(
+            Name.build(common_name="Dump CA", organization="Dump Org"),
+            KeyFactory(mode="sim", seed=77),
+        )
+        cert, _ = ca.issue(Name.build(common_name="leaf.example"), now=NOW)
+        text = dump_der(cert.to_der())
+        assert "commonName" in text
+        assert "'leaf.example'" in text
+        assert "UTCTime" in text
+        assert "BIT STRING" in text
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DerDecodeError):
+            dump_der(b"\x02\x05\x01")
+
+    def test_long_values_truncated(self):
+        text = dump_der(encode_octet_string(b"\xab" * 100))
+        assert "..." in text
+
+    @given(st.integers(-(2**64), 2**64))
+    def test_integers_always_render(self, value):
+        assert "INTEGER" in dump_der(encode_integer(value))

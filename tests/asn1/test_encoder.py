@@ -1,0 +1,207 @@
+"""Unit tests for the DER encoder primitives."""
+
+import datetime as dt
+
+import pytest
+
+from repro.asn1 import (
+    DerEncodeError,
+    ObjectIdentifier,
+    Tag,
+    encode_bit_string,
+    encode_boolean,
+    encode_context,
+    encode_explicit,
+    encode_generalized_time,
+    encode_ia5_string,
+    encode_integer,
+    encode_length,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_tag,
+    encode_utc_time,
+    encode_utf8_string,
+)
+from repro.asn1.tags import TagClass
+
+
+class TestEncodeTag:
+    def test_low_tag_primitive(self):
+        assert encode_tag(Tag.universal(2)) == b"\x02"
+
+    def test_low_tag_constructed(self):
+        assert encode_tag(Tag.universal(16, constructed=True)) == b"\x30"
+
+    def test_context_tag(self):
+        assert encode_tag(Tag.context(0)) == b"\xa0"
+
+    def test_context_primitive_tag(self):
+        assert encode_tag(Tag.context(2, constructed=False)) == b"\x82"
+
+    def test_high_tag_number(self):
+        # Tag number 31 needs the high-tag-number form.
+        assert encode_tag(Tag.universal(31)) == b"\x1f\x1f"
+
+    def test_high_tag_number_multibyte(self):
+        assert encode_tag(Tag.universal(200)) == b"\x1f\x81\x48"
+
+    def test_private_class(self):
+        assert encode_tag(Tag(TagClass.PRIVATE, False, 1)) == b"\xc1"
+
+
+class TestEncodeLength:
+    def test_short_form(self):
+        assert encode_length(0) == b"\x00"
+        assert encode_length(127) == b"\x7f"
+
+    def test_long_form_one_byte(self):
+        assert encode_length(128) == b"\x81\x80"
+        assert encode_length(255) == b"\x81\xff"
+
+    def test_long_form_two_bytes(self):
+        assert encode_length(256) == b"\x82\x01\x00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(DerEncodeError):
+            encode_length(-1)
+
+
+class TestEncodeInteger:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x02\x01\x00"),
+            (1, b"\x02\x01\x01"),
+            (127, b"\x02\x01\x7f"),
+            (128, b"\x02\x02\x00\x80"),
+            (256, b"\x02\x02\x01\x00"),
+            (-1, b"\x02\x01\xff"),
+            (-128, b"\x02\x01\x80"),
+            (-129, b"\x02\x02\xff\x7f"),
+        ],
+    )
+    def test_known_values(self, value, expected):
+        assert encode_integer(value) == expected
+
+    def test_large_serial_number(self):
+        encoded = encode_integer(2**159)
+        assert encoded[0] == 0x02
+        # 160-bit positive value: 20 bytes of magnitude + 1 sign byte.
+        assert encoded[1] == 21
+
+
+class TestEncodeBoolean:
+    def test_true_is_ff(self):
+        assert encode_boolean(True) == b"\x01\x01\xff"
+
+    def test_false(self):
+        assert encode_boolean(False) == b"\x01\x01\x00"
+
+
+class TestSimpleTypes:
+    def test_null(self):
+        assert encode_null() == b"\x05\x00"
+
+    def test_octet_string(self):
+        assert encode_octet_string(b"\x01\x02") == b"\x04\x02\x01\x02"
+
+    def test_bit_string_no_unused(self):
+        assert encode_bit_string(b"\xAB") == b"\x03\x02\x00\xab"
+
+    def test_bit_string_unused_bits(self):
+        assert encode_bit_string(b"\xA0", unused_bits=4) == b"\x03\x02\x04\xa0"
+
+    def test_bit_string_bad_unused(self):
+        with pytest.raises(DerEncodeError):
+            encode_bit_string(b"\x00", unused_bits=8)
+
+    def test_empty_bit_string_with_unused_rejected(self):
+        with pytest.raises(DerEncodeError):
+            encode_bit_string(b"", unused_bits=1)
+
+
+class TestEncodeOid:
+    def test_common_name(self):
+        assert encode_oid(ObjectIdentifier("2.5.4.3")) == b"\x06\x03\x55\x04\x03"
+
+    def test_rsa_encryption(self):
+        expected = b"\x06\x09\x2a\x86\x48\x86\xf7\x0d\x01\x01\x01"
+        assert encode_oid(ObjectIdentifier("1.2.840.113549.1.1.1")) == expected
+
+    def test_two_arc(self):
+        assert encode_oid(ObjectIdentifier("2.5")) == b"\x06\x01\x55"
+
+    def test_bad_first_arc(self):
+        with pytest.raises(DerEncodeError):
+            ObjectIdentifier("3.1")
+
+    def test_bad_second_arc(self):
+        with pytest.raises(DerEncodeError):
+            ObjectIdentifier("1.40")
+
+
+class TestEncodeStrings:
+    def test_printable(self):
+        assert encode_printable_string("Hi") == b"\x13\x02Hi"
+
+    def test_printable_rejects_illegal(self):
+        with pytest.raises(DerEncodeError):
+            encode_printable_string("héllo")
+
+    def test_printable_rejects_at_sign(self):
+        with pytest.raises(DerEncodeError):
+            encode_printable_string("a@b")
+
+    def test_utf8(self):
+        assert encode_utf8_string("é") == b"\x0c\x02\xc3\xa9"
+
+    def test_ia5(self):
+        assert encode_ia5_string("a@b.example") == b"\x16\x0ba@b.example"
+
+    def test_ia5_rejects_non_ascii(self):
+        with pytest.raises(DerEncodeError):
+            encode_ia5_string("café")
+
+
+class TestEncodeTime:
+    def test_utc_time(self):
+        value = dt.datetime(2023, 6, 15, 12, 30, 45, tzinfo=dt.timezone.utc)
+        assert encode_utc_time(value) == b"\x17\x0d230615123045Z"
+
+    def test_utc_time_rejects_out_of_range(self):
+        with pytest.raises(DerEncodeError):
+            encode_utc_time(dt.datetime(2157, 1, 1, tzinfo=dt.timezone.utc))
+
+    def test_generalized_time(self):
+        value = dt.datetime(2157, 1, 2, 3, 4, 5, tzinfo=dt.timezone.utc)
+        assert encode_generalized_time(value) == b"\x18\x0f21570102030405Z"
+
+    def test_naive_datetime_assumed_utc(self):
+        naive = dt.datetime(2023, 6, 15, 12, 30, 45)
+        aware = dt.datetime(2023, 6, 15, 12, 30, 45, tzinfo=dt.timezone.utc)
+        assert encode_utc_time(naive) == encode_utc_time(aware)
+
+
+class TestComposite:
+    def test_sequence(self):
+        inner = encode_integer(1) + encode_boolean(True)
+        assert encode_sequence([encode_integer(1), encode_boolean(True)]) == (
+            b"\x30" + bytes([len(inner)]) + inner
+        )
+
+    def test_set_sorts_members(self):
+        a, b = encode_integer(2), encode_integer(1)
+        encoded = encode_set([a, b])
+        # DER SET OF orders by encoded bytes: INTEGER 1 before INTEGER 2.
+        assert encoded == b"\x31\x06" + b + a
+
+    def test_context(self):
+        assert encode_context(0, b"\x02\x01\x05") == b"\xa0\x03\x02\x01\x05"
+
+    def test_explicit_wraps_tlv(self):
+        inner = encode_integer(7)
+        assert encode_explicit(3, inner) == b"\xa3\x03" + inner

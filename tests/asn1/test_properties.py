@@ -1,0 +1,126 @@
+"""Property-based round-trip tests for the DER codec."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asn1 import (
+    DerReader,
+    ObjectIdentifier,
+    decode_bit_string,
+    decode_boolean,
+    decode_generalized_time,
+    decode_integer,
+    decode_octet_string,
+    decode_oid,
+    decode_string,
+    decode_utc_time,
+    encode_bit_string,
+    encode_boolean,
+    encode_generalized_time,
+    encode_integer,
+    encode_octet_string,
+    encode_oid,
+    encode_sequence,
+    encode_utc_time,
+    encode_utf8_string,
+    read_single_tlv,
+)
+
+utc_datetimes = st.datetimes(
+    min_value=dt.datetime(1950, 1, 1),
+    max_value=dt.datetime(2049, 12, 31, 23, 59, 59),
+).map(lambda d: d.replace(microsecond=0, tzinfo=dt.timezone.utc))
+
+generalized_datetimes = st.datetimes(
+    min_value=dt.datetime(1, 1, 1),
+    max_value=dt.datetime(9999, 12, 31, 23, 59, 59),
+).map(lambda d: d.replace(microsecond=0, tzinfo=dt.timezone.utc))
+
+oids = st.builds(
+    lambda first, second, rest: ObjectIdentifier.from_arcs([first, second] + rest),
+    st.integers(0, 1),
+    st.integers(0, 39),
+    st.lists(st.integers(0, 2**40), max_size=6),
+)
+
+
+@given(st.integers(-(2**512), 2**512))
+def test_integer_round_trip(value):
+    assert decode_integer(read_single_tlv(encode_integer(value))) == value
+
+
+@given(st.booleans())
+def test_boolean_round_trip(value):
+    assert decode_boolean(read_single_tlv(encode_boolean(value))) is value
+
+
+@given(st.binary(max_size=512))
+def test_octet_string_round_trip(value):
+    assert decode_octet_string(read_single_tlv(encode_octet_string(value))) == value
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 7))
+def test_bit_string_round_trip(value, unused):
+    decoded, decoded_unused = decode_bit_string(
+        read_single_tlv(encode_bit_string(value, unused))
+    )
+    assert decoded == value and decoded_unused == unused
+
+
+@given(oids)
+def test_oid_round_trip(oid):
+    assert decode_oid(read_single_tlv(encode_oid(oid))) == oid
+
+
+@given(st.text(max_size=128))
+def test_utf8_string_round_trip(value):
+    assert decode_string(read_single_tlv(encode_utf8_string(value))) == value
+
+
+@given(utc_datetimes)
+def test_utc_time_round_trip(value):
+    assert decode_utc_time(read_single_tlv(encode_utc_time(value))) == value
+
+
+@given(generalized_datetimes)
+def test_generalized_time_round_trip(value):
+    decoded = decode_generalized_time(read_single_tlv(encode_generalized_time(value)))
+    assert decoded == value
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(-(2**64), 2**64), max_size=20))
+def test_sequence_of_integers_round_trip(values):
+    encoded = encode_sequence([encode_integer(v) for v in values])
+    reader = read_single_tlv(encoded).reader() if values else None
+    if reader is None:
+        outer = read_single_tlv(encoded)
+        assert outer.content == b""
+        return
+    decoded = [decode_integer(tlv) for tlv in reader.read_all()]
+    assert decoded == values
+
+
+@settings(max_examples=50)
+@given(st.binary(max_size=256))
+def test_decoder_never_crashes_on_garbage(data):
+    """The reader must either parse or raise DerDecodeError — never crash."""
+    from repro.asn1 import DerDecodeError
+
+    reader = DerReader(data)
+    try:
+        while not reader.at_end():
+            reader.read_tlv()
+    except DerDecodeError:
+        pass
+
+
+@given(st.integers(-(2**128), 2**128))
+def test_integer_encoding_is_minimal(value):
+    encoded = encode_integer(value)
+    content = encoded[2:]
+    if len(content) > 1:
+        assert not (content[0] == 0x00 and not content[1] & 0x80)
+        assert not (content[0] == 0xFF and content[1] & 0x80)

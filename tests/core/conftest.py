@@ -1,0 +1,28 @@
+"""Shared fixtures: one small and one medium study run per session."""
+
+import pytest
+
+from repro.core.study import CampusStudy
+from repro.netsim import ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    """A quick run for structural tests."""
+    return CampusStudy(config=ScenarioConfig(months=4, connections_per_month=400, seed=17))
+
+
+@pytest.fixture(scope="session")
+def small_result(small_study):
+    return small_study.run()
+
+
+@pytest.fixture(scope="session")
+def medium_study():
+    """A calibrated run for shape assertions (full 23-month timeline)."""
+    return CampusStudy(config=ScenarioConfig(months=23, connections_per_month=1200, seed=23))
+
+
+@pytest.fixture(scope="session")
+def medium_result(medium_study):
+    return medium_study.run()

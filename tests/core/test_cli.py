@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_trust_bundle, main
+
+
+@pytest.fixture(scope="module")
+def generated_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("campaign")
+    code = main([
+        "generate", "--out", str(out), "--months", "4", "--cpm", "400",
+        "--seed", "9",
+    ])
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_artifacts_written(self, generated_dir):
+        assert (generated_dir / "ssl.log").exists()
+        assert (generated_dir / "x509.log").exists()
+        assert (generated_dir / "trust_bundle.txt").exists()
+
+    def test_logs_parse_back(self, generated_dir):
+        from repro.zeek import read_ssl_log, read_x509_log
+
+        with (generated_dir / "ssl.log").open() as f:
+            ssl = read_ssl_log(f)
+        with (generated_dir / "x509.log").open() as f:
+            x509 = read_x509_log(f)
+        assert len(ssl) > 500
+        assert len(x509) > 50
+
+    def test_trust_bundle_round_trip(self, generated_dir):
+        bundle = load_trust_bundle(generated_dir / "trust_bundle.txt")
+        assert bundle.subject_dns
+        assert bundle.organizations
+        assert bundle.knows_organization("digicert inc")
+
+
+class TestStudy:
+    def test_single_table(self, capsys):
+        code = main([
+            "study", "--months", "3", "--cpm", "250", "--seed", "5",
+            "--table", "table1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Server" in out
+
+    def test_tls13_table(self, capsys):
+        code = main([
+            "study", "--months", "2", "--cpm", "200", "--seed", "5",
+            "--table", "tls13",
+        ])
+        assert code == 0
+        assert "§3.3" in capsys.readouterr().out
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["study", "--table", "table99"])
+
+
+class TestAudit:
+    def test_audit_finds_sensitive_values(self, generated_dir, capsys):
+        code = main([
+            "audit", str(generated_dir / "x509.log"),
+            "--campus-marker", "university",
+        ])
+        out = capsys.readouterr().out
+        assert "sensitive values across" in out
+        # The generated campaign plants personal names / user accounts.
+        assert code == 2
+        assert "[PersonalName]" in out or "[UserAccount]" in out
+
+
+class TestIntercept:
+    def test_intercept_runs_on_generated_logs(self, generated_dir, capsys):
+        code = main([
+            "intercept",
+            str(generated_dir / "ssl.log"),
+            str(generated_dir / "x509.log"),
+            "--trust-bundle", str(generated_dir / "trust_bundle.txt"),
+            "--min-domains", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "issuers flagged" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,138 @@
+"""Tests for dataset joining and certificate profiles."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.dataset import MtlsDataset
+from repro.zeek import SslRecord, X509Record
+
+UTC = dt.timezone.utc
+TS = dt.datetime(2023, 1, 1, tzinfo=UTC)
+
+
+def _ssl(uid, server_fuids=(), client_fuids=(), established=True, ts=TS, **kw):
+    base = dict(
+        ts=ts, uid=uid, id_orig_h="10.48.0.9", id_orig_p=50000,
+        id_resp_h="198.18.0.9", id_resp_p=443, version="TLSv12",
+        cipher="x", server_name="svc.example.com", established=established,
+        cert_chain_fuids=tuple(server_fuids),
+        client_cert_chain_fuids=tuple(client_fuids),
+    )
+    base.update(kw)
+    return SslRecord(**base)
+
+
+def _x509(fuid, fingerprint=None, **kw):
+    base = dict(
+        ts=TS, fuid=fuid, fingerprint=fingerprint or ("f" + fuid),
+        version=3, serial="01", subject=f"CN=subject-{fuid}",
+        issuer="CN=Issuer,O=Org",
+        not_valid_before=dt.datetime(2022, 1, 1, tzinfo=UTC),
+        not_valid_after=dt.datetime(2024, 1, 1, tzinfo=UTC),
+        key_alg="rsaEncryption", sig_alg="sha256WithRSAEncryption",
+        key_length=2048,
+    )
+    base.update(kw)
+    return X509Record(**base)
+
+
+class TestJoin:
+    def test_leaf_is_first_fuid(self):
+        dataset = MtlsDataset(
+            [_ssl("C1", server_fuids=("F1", "F2"), client_fuids=("F3",))],
+            [_x509("F1"), _x509("F2"), _x509("F3")],
+        )
+        conn = dataset.connections[0]
+        assert conn.server_leaf.fuid == "F1"
+        assert conn.client_leaf.fuid == "F3"
+        assert conn.is_mutual
+
+    def test_unestablished_dropped(self):
+        dataset = MtlsDataset(
+            [_ssl("C1", established=False), _ssl("C2")], []
+        )
+        assert len(dataset) == 1
+        assert dataset.dropped_unestablished == 1
+
+    def test_no_client_chain_not_mutual(self):
+        dataset = MtlsDataset([_ssl("C1", server_fuids=("F1",))], [_x509("F1")])
+        assert not dataset.connections[0].is_mutual
+        assert dataset.mutual_connections == []
+
+    def test_missing_x509_record_tolerated(self):
+        dataset = MtlsDataset([_ssl("C1", server_fuids=("F9",))], [])
+        assert dataset.connections[0].server_leaf is None
+
+
+class TestProfiles:
+    def test_roles_and_mutual_flag(self):
+        records = [
+            _ssl("C1", server_fuids=("F1",), client_fuids=("F2",)),
+            _ssl("C2", server_fuids=("F1",)),
+        ]
+        dataset = MtlsDataset(records, [_x509("F1"), _x509("F2")])
+        profiles = dataset.certificate_profiles()
+        server = profiles["fF1"]
+        client = profiles["fF2"]
+        assert server.used_as_server and not server.used_as_client
+        assert client.used_as_client and not client.used_as_server
+        assert server.used_in_mutual and client.used_in_mutual
+        assert server.connection_count == 2
+
+    def test_shared_roles(self):
+        records = [
+            _ssl("C1", server_fuids=("F1",), client_fuids=("F1",)),
+        ]
+        dataset = MtlsDataset(records, [_x509("F1")])
+        profile = dataset.certificate_profiles()["fF1"]
+        assert profile.shared_roles
+        assert profile.primary_role == "server"
+
+    def test_activity_days(self):
+        later = TS + dt.timedelta(days=10)
+        records = [
+            _ssl("C1", server_fuids=("F1",), ts=TS),
+            _ssl("C2", server_fuids=("F1",), ts=later),
+        ]
+        dataset = MtlsDataset(records, [_x509("F1")])
+        profile = dataset.certificate_profiles()["fF1"]
+        assert profile.activity_days == pytest.approx(10.0)
+
+    def test_dedup_across_fuids_with_same_fingerprint(self):
+        # Two x509 rows (different fuids) for the same certificate must
+        # collapse onto one profile.
+        records = [
+            _ssl("C1", server_fuids=("F1",)),
+            _ssl("C2", server_fuids=("F2",)),
+        ]
+        dataset = MtlsDataset(
+            records, [_x509("F1", fingerprint="same"), _x509("F2", fingerprint="same")]
+        )
+        profiles = dataset.certificate_profiles()
+        assert len(profiles) == 1
+        assert profiles["same"].connection_count == 2
+
+    def test_subnet_tracking(self):
+        records = [
+            _ssl("C1", client_fuids=("F1",), id_orig_h="10.48.1.5"),
+            _ssl("C2", client_fuids=("F1",), id_orig_h="10.48.2.5"),
+            _ssl("C3", server_fuids=("F1",), id_resp_h="198.18.7.1"),
+        ]
+        dataset = MtlsDataset(records, [_x509("F1")])
+        profile = dataset.certificate_profiles()["fF1"]
+        assert len(profile.client_subnets) == 2
+        assert len(profile.server_subnets) == 1
+
+
+class TestExclusion:
+    def test_without_fingerprints(self):
+        records = [
+            _ssl("C1", server_fuids=("F1",)),
+            _ssl("C2", server_fuids=("F2",)),
+        ]
+        dataset = MtlsDataset(records, [_x509("F1"), _x509("F2")])
+        filtered = dataset.without_fingerprints({"fF1"})
+        assert len(filtered) == 1
+        assert filtered.connections[0].ssl.uid == "C2"
+        assert "fF1" not in filtered.certificate_profiles()

@@ -1,0 +1,190 @@
+"""Tests for enrichment: direction, public/private, interception filter."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.dataset import MtlsDataset
+from repro.core.enrich import AssociationRules, Enricher
+from repro.trust import TrustBundle
+from repro.zeek import SslRecord, X509Record
+
+UTC = dt.timezone.utc
+TS = dt.datetime(2023, 1, 1, tzinfo=UTC)
+
+BUNDLE = TrustBundle(
+    subject_dns=frozenset({"CN=Public Root,O=Public Org"}),
+    organizations=frozenset({"public org"}),
+)
+
+
+def _ssl(uid, resp_h, sni="svc.example.com", server_fuids=(), client_fuids=(), **kw):
+    base = dict(
+        ts=TS, uid=uid, id_orig_h="198.18.0.7", id_orig_p=50000,
+        id_resp_h=resp_h, id_resp_p=443, version="TLSv12", cipher="x",
+        server_name=sni, established=True,
+        cert_chain_fuids=tuple(server_fuids),
+        client_cert_chain_fuids=tuple(client_fuids),
+    )
+    base.update(kw)
+    return SslRecord(**base)
+
+
+def _x509(fuid, issuer="CN=Private CA,O=Private Org", **kw):
+    base = dict(
+        ts=TS, fuid=fuid, fingerprint="f" + fuid, version=3, serial="01",
+        subject=f"CN=subject-{fuid}", issuer=issuer,
+        not_valid_before=dt.datetime(2022, 1, 1, tzinfo=UTC),
+        not_valid_after=dt.datetime(2024, 1, 1, tzinfo=UTC),
+        key_alg="rsaEncryption", sig_alg="sha256WithRSAEncryption",
+        key_length=2048,
+    )
+    base.update(kw)
+    return X509Record(**base)
+
+
+class FakeCt:
+    def __init__(self, issuers_by_domain):
+        self._issuers = {k.lower(): v for k, v in issuers_by_domain.items()}
+
+    def knows_domain(self, domain):
+        return domain.lower() in self._issuers
+
+    def issuers_for(self, domain):
+        return self._issuers.get(domain.lower(), [])
+
+
+class TestDirection:
+    def test_inbound_outbound(self):
+        dataset = MtlsDataset(
+            [_ssl("C1", "10.16.0.5"), _ssl("C2", "198.18.3.3")], []
+        )
+        enriched = Enricher(BUNDLE).enrich(dataset)
+        directions = [c.direction for c in enriched.connections]
+        assert directions == ["inbound", "outbound"]
+
+
+class TestPublicPrivate:
+    def test_issuer_dn_match(self):
+        dataset = MtlsDataset(
+            [_ssl("C1", "198.18.1.1", server_fuids=("F1",))],
+            [_x509("F1", issuer="CN=Public Root,O=Public Org")],
+        )
+        enriched = Enricher(BUNDLE).enrich(dataset)
+        assert enriched.connections[0].server_public is True
+
+    def test_issuer_org_match(self):
+        dataset = MtlsDataset(
+            [_ssl("C1", "198.18.1.1", server_fuids=("F1",))],
+            [_x509("F1", issuer="CN=Unlisted Intermediate,O=Public Org")],
+        )
+        enriched = Enricher(BUNDLE).enrich(dataset)
+        assert enriched.connections[0].server_public is True
+
+    def test_private(self):
+        dataset = MtlsDataset(
+            [_ssl("C1", "198.18.1.1", server_fuids=("F1",))],
+            [_x509("F1")],
+        )
+        enriched = Enricher(BUNDLE).enrich(dataset)
+        assert enriched.connections[0].server_public is False
+
+    def test_no_cert_is_none(self):
+        dataset = MtlsDataset([_ssl("C1", "198.18.1.1")], [])
+        enriched = Enricher(BUNDLE).enrich(dataset)
+        assert enriched.connections[0].server_public is None
+
+
+class TestAssociationRules:
+    @pytest.mark.parametrize(
+        "sni,expected",
+        [
+            ("portal.health.university.edu", "University Health"),
+            ("vpn.university.edu", "University VPN"),
+            ("www.its.university.edu", "University Server"),
+            ("portal.localorg.org", "Local Organization"),
+            ("svc.thirdparty.com", "Third Party Service"),
+            ("FXP DCAU Cert", "Globus"),
+            (None, "Unknown"),
+        ],
+    )
+    def test_classification(self, sni, expected):
+        rules = AssociationRules()
+        dataset = MtlsDataset([_ssl("C1", "10.16.0.5", sni=sni)], [])
+        assert rules.classify(dataset.connections[0]) == expected
+
+    def test_missing_sni_with_globus_issuer(self):
+        rules = AssociationRules()
+        dataset = MtlsDataset(
+            [_ssl("C1", "10.16.0.5", sni=None, server_fuids=("F1",))],
+            [_x509("F1", issuer="CN=FXP DCAU Cert,O=Globus Online")],
+        )
+        assert rules.classify(dataset.connections[0]) == "Globus"
+
+
+class TestInterceptionFilter:
+    def _dataset(self):
+        records = [
+            # Five domains intercepted by the same proxy issuer.
+            _ssl(f"C{i}", "198.18.1.1", sni=f"site{i}.example.com",
+                 server_fuids=(f"F{i}",))
+            for i in range(5)
+        ]
+        # A genuine private site (not in CT) and a misconfigured endpoint
+        # contradicting CT on a single domain.
+        records.append(
+            _ssl("C9", "198.18.1.2", sni="private.example.com", server_fuids=("F9",))
+        )
+        records.append(
+            _ssl("C10", "198.18.1.3", sni="solo.example.com", server_fuids=("F10",))
+        )
+        x509 = [
+            _x509(f"F{i}", issuer="CN=Proxy CA,O=MiddleBox Inc") for i in range(5)
+        ]
+        x509.append(_x509("F9", issuer="CN=Own CA,O=Own Org"))
+        x509.append(_x509("F10", issuer="CN=Oops CA,O=Oops Org"))
+        ct = FakeCt(
+            {
+                **{f"site{i}.example.com": ["CN=Real CA,O=Public Org"] for i in range(5)},
+                "solo.example.com": ["CN=Real CA,O=Public Org"],
+            }
+        )
+        return MtlsDataset(records, x509), ct
+
+    def test_proxy_flagged_and_excluded(self):
+        dataset, ct = self._dataset()
+        enricher = Enricher(BUNDLE, ct_log=ct, min_interception_domains=5)
+        enriched = enricher.enrich(dataset)
+        assert enriched.interception.flagged_issuers == {"CN=Proxy CA,O=MiddleBox Inc"}
+        assert len(enriched.interception.excluded_fingerprints) == 5
+        # The intercepted connections are gone from the analyzed dataset.
+        uids = {c.view.ssl.uid for c in enriched.connections}
+        assert uids == {"C9", "C10"}
+
+    def test_single_domain_mismatch_not_flagged(self):
+        dataset, ct = self._dataset()
+        enriched = Enricher(BUNDLE, ct_log=ct, min_interception_domains=5).enrich(dataset)
+        assert "CN=Oops CA,O=Oops Org" not in enriched.interception.flagged_issuers
+
+    def test_threshold_configurable(self):
+        dataset, ct = self._dataset()
+        enriched = Enricher(BUNDLE, ct_log=ct, min_interception_domains=1).enrich(dataset)
+        assert "CN=Oops CA,O=Oops Org" in enriched.interception.flagged_issuers
+
+    def test_filter_can_be_disabled(self):
+        dataset, ct = self._dataset()
+        enriched = Enricher(
+            BUNDLE, ct_log=ct, filter_interception=False
+        ).enrich(dataset)
+        assert not enriched.interception.excluded_fingerprints
+        assert len(enriched.connections) == 7
+
+    def test_no_ct_log_no_filtering(self):
+        dataset, _ = self._dataset()
+        enriched = Enricher(BUNDLE, ct_log=None).enrich(dataset)
+        assert not enriched.interception.flagged_issuers
+
+    def test_excluded_fraction(self):
+        dataset, ct = self._dataset()
+        enriched = Enricher(BUNDLE, ct_log=ct, min_interception_domains=5).enrich(dataset)
+        assert enriched.interception.excluded_fraction == pytest.approx(5 / 7)

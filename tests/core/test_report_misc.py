@@ -1,0 +1,78 @@
+"""Edge-case tests for report rendering and small helpers."""
+
+import pytest
+
+from repro.core.report import Table, fmt_count, percentage
+
+
+class TestTable:
+    def test_wrong_arity_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+        with pytest.raises(ValueError):
+            table.add_row(1, 2, 3)
+
+    def test_empty_table_renders(self):
+        table = Table("Empty", ["only"])
+        text = table.render()
+        assert "Empty" in text and "only" in text
+
+    def test_column_alignment(self):
+        table = Table("T", ["col"])
+        table.add_row("short")
+        table.add_row("a much longer cell")
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all data/header lines padded equally
+
+    def test_notes_rendered(self):
+        table = Table("T", ["a"])
+        table.add_note("remember this")
+        assert "note: remember this" in table.render()
+
+    def test_str_equals_render(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+    def test_non_string_cells_stringified(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(3.14159, None)
+        text = table.render()
+        assert "3.14159" in text and "None" in text
+
+
+class TestHelpers:
+    def test_percentage(self):
+        assert percentage(1, 4) == "25.00"
+        assert percentage(1, 3, digits=1) == "33.3"
+        assert percentage(5, 0) == "-"
+        assert percentage(0, 10) == "0.00"
+
+    def test_fmt_count(self):
+        assert fmt_count(1234567) == "1,234,567"
+        assert fmt_count(0) == "0"
+
+
+class TestEnricherCustomization:
+    def test_custom_is_internal_predicate(self):
+        import datetime as dt
+
+        from repro.core.dataset import MtlsDataset
+        from repro.core.enrich import Enricher
+        from repro.trust import TrustBundle
+        from repro.zeek import SslRecord
+
+        record = SslRecord(
+            ts=dt.datetime(2023, 1, 1, tzinfo=dt.timezone.utc),
+            uid="C1", id_orig_h="1.1.1.1", id_orig_p=1000,
+            id_resp_h="203.0.113.7", id_resp_p=443, version="TLSv12",
+            cipher="x", server_name=None, established=True,
+        )
+        bundle = TrustBundle(frozenset(), frozenset())
+        enricher = Enricher(
+            bundle, is_internal=lambda ip: ip.startswith("203.0.113.")
+        )
+        enriched = enricher.enrich(MtlsDataset([record], []))
+        assert enriched.connections[0].direction == "inbound"

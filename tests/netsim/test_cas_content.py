@@ -1,0 +1,144 @@
+"""Tests for the CA universe and content synthesizers."""
+
+import random
+import re
+
+import pytest
+
+from repro.netsim.cas import CaUniverse, DUMMY_ISSUER_ORGS
+from repro.netsim.content import ContentSynthesizer
+from repro.x509 import KeyFactory
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return CaUniverse(KeyFactory(mode="sim", seed=2), random.Random(2))
+
+
+class TestCaUniverse:
+    def test_public_roots_in_stores(self, universe):
+        digicert = universe.public("digicert-geotrust")
+        # The intermediate's issuer (the root) is store-listed.
+        assert universe.trust_stores.knows_issuer(digicert.certificate.issuer)
+
+    def test_public_intermediates_listed_in_ccadb(self, universe):
+        intermediate = universe.public("lets-encrypt-r3")
+        assert universe.trust_stores.store("ccadb").contains_certificate(
+            intermediate.certificate
+        )
+
+    def test_private_not_in_stores(self, universe):
+        campus = universe.education(0)
+        assert not universe.trust_stores.contains_certificate(campus.certificate)
+        assert not universe.trust_stores.knows_issuer(campus.name)
+
+    def test_private_cached_by_identity(self, universe):
+        assert universe.education(0) is universe.education(0)
+        assert universe.private("Acme", "Acme CA") is universe.private("Acme", "Acme CA")
+        assert universe.education(0) is not universe.education(1)
+
+    def test_missing_issuer_has_empty_name(self, universe):
+        ca = universe.missing_issuer()
+        assert ca.name.is_empty
+        assert ca.certificate.issuer.rfc4514() == ""
+
+    def test_dummy_requires_known_org(self, universe):
+        assert universe.dummy("Internet Widgits Pty Ltd").organization == (
+            "Internet Widgits Pty Ltd"
+        )
+        with pytest.raises(ValueError):
+            universe.dummy("Some Real Company")
+
+    def test_globus_policy(self, universe):
+        import datetime as dt
+
+        globus = universe.globus()
+        now = dt.datetime(2023, 1, 1, tzinfo=dt.timezone.utc)
+        from repro.x509 import Name
+
+        certs = [globus.issue(Name.build(common_name=f"n{i}"), now=now)[0]
+                 for i in range(3)]
+        assert all(c.serial_number == 0 for c in certs)
+        assert all(abs(c.validity.period_days - 14) < 0.01 for c in certs)
+        assert globus.common_name == "FXP DCAU Cert"
+
+    def test_guardicore_policies(self, universe):
+        import datetime as dt
+
+        from repro.x509 import Name
+
+        now = dt.datetime(2023, 1, 1, tzinfo=dt.timezone.utc)
+        client_cert, _ = universe.guardicore_client().issue(
+            Name.build(common_name="agent"), now=now
+        )
+        server_cert, _ = universe.guardicore_server().issue(
+            Name.build(common_name="aggregator"), now=now
+        )
+        assert client_cert.serial_hex == "01"
+        assert server_cert.serial_hex == "03E8"
+        assert client_cert.validity.period_days > 730
+
+    def test_interception_proxies_distinct(self, universe):
+        proxies = universe.interception_proxies(5)
+        orgs = {p.issuer_organization for p in proxies}
+        assert len(orgs) == 5
+        assert all(universe.is_interception_issuer(org) for org in orgs)
+        assert not universe.is_interception_issuer("DigiCert Inc")
+        assert not universe.is_interception_issuer(None)
+
+    def test_dummy_orgs_catalog(self):
+        assert "Internet Widgits Pty Ltd" in DUMMY_ISSUER_ORGS
+        assert "Unspecified" in DUMMY_ISSUER_ORGS
+
+
+class TestContentSynthesizer:
+    @pytest.fixture()
+    def content(self):
+        return ContentSynthesizer(random.Random(9))
+
+    def test_user_account_format(self, content):
+        for _ in range(20):
+            account = content.user_account()
+            assert re.fullmatch(r"[a-z]{2,3}\d[a-z]{2,3}", account)
+
+    def test_personal_name_two_tokens(self, content):
+        name = content.personal_name()
+        first, last = name.split()
+        assert first[0].isupper() and last[0].isupper()
+
+    def test_uuid_shape(self, content):
+        from repro.text import is_uuid
+
+        assert is_uuid(content.uuid_string())
+
+    def test_sip_mac_email(self, content):
+        assert content.sip_address().startswith("sip:")
+        assert re.fullmatch(r"([0-9A-F]{2}:){5}[0-9A-F]{2}", content.mac_address())
+        assert "@" in content.email_address()
+
+    def test_org_product_weights(self, content):
+        values = [content.org_product() for _ in range(500)]
+        webrtc_share = values.count("WebRTC") / len(values)
+        assert 0.8 < webrtc_share < 0.95
+
+    def test_synthesize_all_kinds(self, content):
+        kinds = (
+            "user_account", "personal_name", "random_8", "random_32",
+            "random_uuid", "random_azure_sphere", "random_apple_uuid", "sip",
+            "mac", "email", "localhost", "domain", "domain_plain",
+            "domain_email_service", "domain_webex", "org_product",
+            "org_product_hrw", "nonrandom_opaque", "ip",
+        )
+        for kind in kinds:
+            result = content.synthesize(kind)
+            assert result.common_name
+            assert result.kind == kind
+
+    def test_unknown_kind_rejected(self, content):
+        with pytest.raises(ValueError):
+            content.synthesize("nope")
+
+    def test_pick_kind_respects_weights(self, content):
+        mix = {"a": 0.9, "b": 0.1}
+        draws = [content.pick_kind(mix) for _ in range(300)]
+        assert draws.count("a") > draws.count("b")

@@ -1,0 +1,125 @@
+"""Statistical checks on the generator's planted marginals.
+
+These assert, on the raw generated logs (no analysis pipeline), that the
+workload mixes land near their scenario targets — the contract the
+calibration in `scenario.py` promises.
+"""
+
+import ipaddress
+from collections import Counter
+
+import pytest
+
+from repro.netsim import ScenarioConfig, TrafficGenerator
+from repro.netsim.network import INTERNAL_PREFIXES
+
+
+@pytest.fixture(scope="module")
+def run():
+    config = ScenarioConfig(months=10, connections_per_month=1500, seed=37)
+    return TrafficGenerator(config).generate(), config
+
+
+def _is_internal(ip: str) -> bool:
+    address = ipaddress.ip_address(ip)
+    return any(address in prefix for prefix in INTERNAL_PREFIXES)
+
+
+class TestVersionMix:
+    def test_tls13_share_near_target(self, run):
+        result, config = run
+        versions = Counter(r.version for r in result.logs.ssl)
+        total = sum(versions.values())
+        share = versions["TLSv13"] / total
+        # Mutual traffic is pinned below 1.3, so the overall share sits a
+        # bit under the non-mutual target.
+        assert 0.25 < share < config.tls13_share + 0.05
+
+    def test_legacy_versions_present(self, run):
+        result, _ = run
+        versions = {r.version for r in result.logs.ssl}
+        assert {"TLSv12", "TLSv13"} <= versions
+        assert versions & {"TLSv10", "TLSv11"}
+
+
+class TestDirectionMix:
+    def test_nonmutual_mostly_outbound(self, run):
+        result, config = run
+        nonmutual = [r for r in result.logs.ssl if not r.is_mutual]
+        outbound = sum(1 for r in nonmutual if not _is_internal(r.id_resp_h))
+        share = outbound / len(nonmutual)
+        assert abs(share - config.nonmutual_outbound_fraction) < 0.10
+
+    def test_mutual_inbound_fraction(self, run):
+        result, config = run
+        mutual = [r for r in result.logs.ssl if r.is_mutual]
+        inbound = sum(1 for r in mutual if _is_internal(r.id_resp_h))
+        share = inbound / len(mutual)
+        # Cohorts skew this; the configured split must still be visible.
+        assert 0.3 < share < 0.8
+
+
+class TestPortMarginals:
+    def test_outbound_nonmutual_port_mix(self, run):
+        """The quadrant with the least cohort interference must match
+        Table 2's marginals closely."""
+        result, _ = run
+        rows = [
+            r for r in result.logs.ssl
+            if not r.is_mutual and not _is_internal(r.id_resp_h)
+        ]
+        counts = Counter(r.id_resp_p for r in rows)
+        total = sum(counts.values())
+        assert counts[443] / total > 0.96            # target 99.15%
+        assert counts[993] / total < 0.02
+
+    def test_inbound_nonmutual_has_dvtel_and_unknown(self, run):
+        result, _ = run
+        rows = [
+            r for r in result.logs.ssl
+            if not r.is_mutual and _is_internal(r.id_resp_h)
+        ]
+        ports = {r.id_resp_p for r in rows}
+        assert 33854 in ports                        # Corp. - DvTel
+        assert 52730 in ports                        # Univ. - Unknown
+
+
+class TestClientAddressing:
+    def test_outbound_clients_internal(self, run):
+        # Outbound mutual clients sit inside the campus (WebRTC peers
+        # excepted — they may be on either side of the NAT), so the
+        # aggregate internal share must dominate.
+        result, _ = run
+        outbound_mutual = [
+            r for r in result.logs.ssl
+            if r.is_mutual and not _is_internal(r.id_resp_h)
+        ]
+        internal_clients = sum(
+            1 for r in outbound_mutual if _is_internal(r.id_orig_h)
+        )
+        assert internal_clients / len(outbound_mutual) > 0.7
+
+    def test_ephemeral_ports(self, run):
+        result, _ = run
+        for record in result.logs.ssl[:500]:
+            assert 1024 <= record.id_orig_p <= 65535
+
+
+class TestGroundTruthConsistency:
+    def test_monthly_sums(self, run):
+        result, _ = run
+        gt = result.ground_truth
+        assert sum(gt.monthly_total) == len(result.logs.ssl)
+        assert sum(gt.monthly_visible_mutual) == sum(
+            1 for r in result.logs.ssl if r.is_mutual
+        )
+
+    def test_interception_certs_never_mutual(self, run):
+        result, _ = run
+        fake = result.ground_truth.interception_fingerprints
+        fuid_to_fp = {x.fuid: x.fingerprint for x in result.logs.x509}
+        for record in result.logs.ssl:
+            if not record.is_mutual:
+                continue
+            for fuid in record.cert_chain_fuids:
+                assert fuid_to_fp.get(fuid) not in fake

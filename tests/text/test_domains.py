@@ -1,0 +1,95 @@
+"""Tests for registrable-domain extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import DomainParts, extract_domain, is_domain_like, sld_of
+from repro.text.domains import tld_of
+
+
+class TestExtractDomain:
+    @pytest.mark.parametrize(
+        "host,subdomain,sld,suffix",
+        [
+            ("example.com", "", "example", "com"),
+            ("www.example.com", "www", "example", "com"),
+            ("vpn.its.university.edu", "vpn.its", "university", "edu"),
+            ("a.b.c.example.co.uk", "a.b.c", "example", "co.uk"),
+            ("shop.example.com.cn", "shop", "example", "com.cn"),
+            ("amazonaws.com", "", "amazonaws", "com"),
+            ("localhost", "", "localhost", ""),
+            ("com", "", "", "com"),
+            ("co.uk", "", "", "co.uk"),
+            ("", "", "", ""),
+        ],
+    )
+    def test_known_splits(self, host, subdomain, sld, suffix):
+        assert extract_domain(host) == DomainParts(subdomain, sld, suffix)
+
+    def test_case_and_trailing_dot_normalized(self):
+        assert extract_domain("WWW.Example.COM.") == DomainParts("www", "example", "com")
+
+    def test_registrable(self):
+        assert extract_domain("a.b.idrive.com").registrable == "idrive.com"
+        assert extract_domain("com").registrable == ""
+        assert extract_domain("localhost").registrable == ""
+
+    def test_fqdn_reassembles(self):
+        assert extract_domain("a.b.example.org").fqdn == "a.b.example.org"
+
+    def test_unknown_suffix_degrades(self):
+        parts = extract_domain("host.internal")
+        assert parts.suffix == ""
+        assert parts.sld == "internal"
+
+    def test_sld_of_and_tld_of(self):
+        assert sld_of("portal.health.university.edu") == "university.edu"
+        assert tld_of("www.rapid7.com") == "com"
+        assert tld_of("x.example.co.uk") == "co.uk"
+
+
+class TestIsDomainLike:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "example.com",
+            "www.example.com",
+            "*.wildcard.example.org",
+            "mail-01.example.co.uk",
+            "splunkcloud.com",
+        ],
+    )
+    def test_positive(self, text):
+        assert is_domain_like(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "WebRTC",
+            "John Smith",
+            "localhost",
+            "host.internal",  # unknown suffix
+            "has space.com",
+            "a..b.com",
+            "-bad.com",
+            "just-one-label",
+        ],
+    )
+    def test_negative(self, text):
+        assert not is_domain_like(text)
+
+    @given(st.text(max_size=50))
+    def test_never_crashes(self, text):
+        is_domain_like(text)
+        extract_domain(text)
+
+
+@given(
+    sld=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=20),
+    suffix=st.sampled_from(["com", "net", "org", "edu", "co.uk", "com.cn"]),
+)
+def test_registrable_round_trip_property(sld, suffix):
+    host = f"{sld}.{suffix}"
+    assert extract_domain(host).registrable == host

@@ -1,0 +1,160 @@
+"""Tests for NER, company matching, and fuzzy org comparison."""
+
+import pytest
+
+from repro.text import CompanyMatcher, NerClassifier, cosine_similarity, ngram_vector
+from repro.text.fuzzy import normalize_org, org_matches_domain, similar_org, token_jaccard
+from repro.text.ner import EntityLabel, evaluate_person_detection
+
+
+@pytest.fixture(scope="module")
+def ner():
+    return NerClassifier()
+
+
+class TestCosine:
+    def test_identical(self):
+        v = ngram_vector("Amazon Web Services")
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert cosine_similarity(ngram_vector("aaaa"), ngram_vector("zzzz")) < 0.3
+
+    def test_symmetry(self):
+        a, b = ngram_vector("microsoft"), ngram_vector("microsof")
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(b, a))
+
+    def test_case_insensitive(self):
+        assert cosine_similarity(
+            ngram_vector("MICROSOFT"), ngram_vector("microsoft")
+        ) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert cosine_similarity(ngram_vector(""), ngram_vector("x")) <= 1.0
+
+
+class TestCompanyMatcher:
+    def test_exact_match(self):
+        matcher = CompanyMatcher(["Splunk", "Rapid7"])
+        assert matcher.match("splunk") == ("Splunk", 1.0)
+        assert matcher.is_company("Splunk")
+
+    def test_near_match_above_threshold(self):
+        matcher = CompanyMatcher(["Amazon Web Services"])
+        name, score = matcher.match("Amazon Web Service")
+        assert name == "Amazon Web Services"
+        assert score >= 0.9
+
+    def test_unrelated_below_threshold(self):
+        matcher = CompanyMatcher(["Amazon Web Services"])
+        assert not matcher.is_company("Totally Different Name")
+
+    def test_empty_lexicon(self):
+        assert CompanyMatcher([]).match("anything") is None
+        assert not CompanyMatcher([]).is_company("anything")
+
+
+class TestNerPerson(object):
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "John Smith",
+            "Mary Johnson",
+            "Sarah Lee",
+            "Smith, John",
+            "J. Robert Oppenheimer",
+            "Kevin Du",
+            "david miller",
+        ],
+    )
+    def test_person_positive(self, ner, text):
+        assert ner.classify(text).label is EntityLabel.PERSON
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "WebRTC",
+            "example.com",
+            "Hybrid Runbook Worker",
+            "Internet Widgits Pty Ltd",
+            "d41d8cd98f00b204",
+            "FXP DCAU Cert",
+            "",
+            "single",
+        ],
+    )
+    def test_person_negative(self, ner, text):
+        assert ner.classify(text).label is not EntityLabel.PERSON
+
+
+class TestNerOrgProduct:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Internet Widgits Pty Ltd",
+            "Default Company Ltd",
+            "Honeywell International Inc",
+            "State University",
+            "Outset Medical",  # via company lexicon
+            "American Psychiatric Association",
+        ],
+    )
+    def test_org_positive(self, ner, text):
+        assert ner.classify(text).label is EntityLabel.ORG
+
+    @pytest.mark.parametrize("text", ["WebRTC", "hangouts", "Hybrid Runbook Worker",
+                                      "Android Keystore", "twilio"])
+    def test_product_positive(self, ner, text):
+        assert ner.classify(text).label is EntityLabel.PRODUCT
+
+    def test_is_org_or_product_helper(self, ner):
+        assert ner.is_org_or_product("WebRTC")
+        assert ner.is_org_or_product("Default Company Ltd")
+        assert not ner.is_org_or_product("John Smith")
+
+    def test_none_label(self, ner):
+        assert ner.classify("xkcd1234zz").label is EntityLabel.NONE
+
+
+class TestEvaluation:
+    def test_precision_recall_perfect(self, ner):
+        labeled = [("John Smith", True), ("WebRTC", False), ("Mary Johnson", True)]
+        precision, recall = evaluate_person_detection(ner, labeled)
+        assert precision == 1.0 and recall == 1.0
+
+    def test_recall_penalized_for_misses(self, ner):
+        labeled = [("John Smith", True), ("Zyxxilophon Qwerty", True)]
+        _, recall = evaluate_person_detection(ner, labeled)
+        assert recall == 0.5
+
+    def test_empty_input(self, ner):
+        assert evaluate_person_detection(ner, []) == (0.0, 0.0)
+
+
+class TestFuzzyOrg:
+    def test_normalize(self):
+        assert normalize_org("Amazon Web Services, Inc.") == "amazon web services"
+        assert normalize_org("GoDaddy.com, Inc") == "godaddy com"
+        assert normalize_org("Acme Co") == "acme"
+
+    def test_similar_exact_after_normalize(self):
+        assert similar_org("Splunk Inc.", "Splunk")
+
+    def test_similar_containment(self):
+        assert similar_org("Amazon", "Amazon Web Services")
+
+    def test_dissimilar(self):
+        assert not similar_org("Apple", "Microsoft")
+        assert not similar_org("", "Microsoft")
+
+    def test_token_jaccard(self):
+        assert token_jaccard("Amazon Web Services", "Amazon Services") == pytest.approx(2 / 3)
+        assert token_jaccard("", "x") == 0.0
+
+    def test_org_matches_domain(self):
+        assert org_matches_domain("Amazon Web Services", "amazonaws.com")
+        assert org_matches_domain("Rapid7 LLC", "rapid7.com")
+        assert org_matches_domain("Splunk", "splunkcloud.com")
+        assert not org_matches_domain("State University", "rapid7.com")
+        assert not org_matches_domain("", "rapid7.com")
+        assert not org_matches_domain("Acme", "")

@@ -1,0 +1,96 @@
+"""Tests for random-string detection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import is_hex_string, is_uuid, looks_random, shannon_entropy
+from repro.text.randomness import random_string_shape
+
+
+class TestIsUuid:
+    def test_canonical(self):
+        assert is_uuid("123e4567-e89b-12d3-a456-426614174000")
+        assert is_uuid("123E4567-E89B-12D3-A456-426614174000")
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "not-a-uuid", "123e4567e89b12d3a456426614174000",
+         "123e4567-e89b-12d3-a456-42661417400"],
+    )
+    def test_negative(self, text):
+        assert not is_uuid(text)
+
+
+class TestIsHexString:
+    def test_positive(self):
+        assert is_hex_string("deadbeef")
+        assert is_hex_string("DEADBEEF00")
+        assert is_hex_string("a1b2c3d4e5f6a7b8" * 4)
+
+    def test_too_short(self):
+        assert not is_hex_string("abc")
+
+    def test_non_hex(self):
+        assert not is_hex_string("deadbeeg")
+
+
+class TestEntropy:
+    def test_empty(self):
+        assert shannon_entropy("") == 0.0
+
+    def test_single_char(self):
+        assert shannon_entropy("aaaa") == 0.0
+
+    def test_uniform_two_chars(self):
+        assert shannon_entropy("abab") == pytest.approx(1.0)
+
+    def test_more_variety_more_entropy(self):
+        assert shannon_entropy("abcdefgh") > shannon_entropy("aabbccdd") > shannon_entropy("aaaabbbb")
+
+
+class TestLooksRandom:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "123e4567-e89b-12d3-a456-426614174000",
+            "d41d8cd98f00b204e9800998ecf8427e",  # md5 hex
+            "x7Kq9mW2pLzR4vN8",  # mixed alnum
+            "qwtzkrvpxn9f3j7d",
+        ],
+    )
+    def test_random_positive(self, text):
+        assert looks_random(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "WebRTC",
+            "Hybrid Runbook Worker",
+            "John Smith",
+            "__transfer__",
+            "Dtls",
+            "hello",
+            "mail.example.com",  # dots break the token rule
+            "localhost",
+        ],
+    )
+    def test_natural_negative(self, text):
+        assert not looks_random(text)
+
+
+class TestShape:
+    def test_uuid_shape(self):
+        assert random_string_shape("123e4567-e89b-12d3-a456-426614174000") == "uuid"
+
+    def test_lengths(self):
+        assert random_string_shape("a" * 8) == "len8"
+        assert random_string_shape("a" * 32) == "len32"
+        assert random_string_shape("a" * 36) == "len36"
+        assert random_string_shape("a" * 10) == "other"
+
+    @given(st.text(max_size=60))
+    def test_never_crashes(self, text):
+        random_string_shape(text)
+        looks_random(text)

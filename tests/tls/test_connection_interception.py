@@ -1,0 +1,119 @@
+"""Tests for connection records and the interception proxy."""
+
+import datetime as dt
+
+import pytest
+
+from repro.tls import (
+    ClientProfile,
+    ConnectionRecord,
+    InterceptionProxy,
+    ServerProfile,
+    make_connection_uid,
+    perform_handshake,
+)
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+
+UTC = dt.timezone.utc
+NOW = dt.datetime(2023, 3, 1, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return KeyFactory(mode="sim", seed=77)
+
+
+@pytest.fixture(scope="module")
+def genuine_ca(factory):
+    return CertificateAuthority.create_root(
+        Name.build(common_name="Genuine Public CA", organization="DigiCert Inc"),
+        factory,
+    )
+
+
+@pytest.fixture(scope="module")
+def proxy(factory):
+    proxy_ca = CertificateAuthority.create_root(
+        Name.build(common_name="Corp Inspection CA", organization="NetFilter Security"),
+        factory,
+    )
+    return InterceptionProxy(ca=proxy_ca)
+
+
+class TestConnectionUid:
+    def test_format(self):
+        uid = make_connection_uid(0)
+        assert uid.startswith("C") and len(uid) == 17
+
+    def test_unique_and_monotone_inputs(self):
+        uids = {make_connection_uid(i) for i in range(1000)}
+        assert len(uids) == 1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_connection_uid(-1)
+
+
+class TestConnectionRecord:
+    def test_naive_timestamp_coerced(self, genuine_ca):
+        cert, _ = genuine_ca.issue(Name.build(common_name="s"), now=NOW)
+        handshake = perform_handshake(
+            ClientProfile(), ServerProfile(certificate_chain=(cert,))
+        )
+        record = ConnectionRecord(
+            uid=make_connection_uid(1),
+            timestamp=dt.datetime(2023, 3, 1),
+            client_ip="10.0.0.1",
+            client_port=55555,
+            server_ip="192.0.2.1",
+            server_port=443,
+            handshake=handshake,
+        )
+        assert record.timestamp.tzinfo is UTC
+        assert record.established
+        assert record.sni is None
+
+
+class TestInterceptionProxy:
+    def test_impersonation_preserves_subject(self, genuine_ca, proxy):
+        genuine, _ = genuine_ca.issue(
+            Name.build(common_name="www.bank.example"),
+            now=NOW,
+            sans=[],
+        )
+        fake = proxy.impersonate(genuine, sni="www.bank.example", now=NOW)
+        assert fake.subject.common_name == "www.bank.example"
+        assert fake.issuer.organization == "NetFilter Security"
+        assert fake.issuer != genuine.issuer
+
+    def test_minted_certificates_cached(self, genuine_ca, proxy):
+        genuine, _ = genuine_ca.issue(Name.build(common_name="cache.example"), now=NOW)
+        first = proxy.impersonate(genuine, sni="cache.example", now=NOW)
+        second = proxy.impersonate(genuine, sni="cache.example", now=NOW)
+        assert first is second
+
+    def test_expired_cache_entry_reissued(self, genuine_ca, factory):
+        proxy_ca = CertificateAuthority.create_root(
+            Name.build(common_name="ShortLived Proxy CA", organization="Proxy Org"),
+            factory,
+        )
+        proxy = InterceptionProxy(ca=proxy_ca)
+        genuine, _ = genuine_ca.issue(Name.build(common_name="rotate.example"), now=NOW)
+        first = proxy.impersonate(genuine, sni="rotate.example", now=NOW)
+        later = NOW + dt.timedelta(days=400)  # past the default 365-day policy
+        second = proxy.impersonate(genuine, sni="rotate.example", now=later)
+        assert first is not second
+
+    def test_san_copied_from_genuine(self, genuine_ca, proxy):
+        from repro.x509 import GeneralName
+
+        genuine, _ = genuine_ca.issue(
+            Name.build(common_name="san.example"),
+            now=NOW,
+            sans=[GeneralName.dns("san.example"), GeneralName.dns("alt.san.example")],
+        )
+        fake = proxy.impersonate(genuine, sni="san.example", now=NOW)
+        assert fake.subject_alternative_name.dns_names == [
+            "san.example",
+            "alt.san.example",
+        ]

@@ -1,0 +1,167 @@
+"""Tests for the TLS handshake simulator."""
+
+import datetime as dt
+
+import pytest
+
+from repro.tls import (
+    ClientProfile,
+    HandshakeError,
+    ServerProfile,
+    TlsVersion,
+    perform_handshake,
+)
+from repro.tls.handshake import negotiate_version
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+
+UTC = dt.timezone.utc
+NOW = dt.datetime(2023, 1, 1, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority.create_root(
+        Name.build(common_name="Handshake CA"), KeyFactory(mode="sim", seed=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def server_cert(ca):
+    cert, _ = ca.issue(Name.build(common_name="server.example"), now=NOW)
+    return cert
+
+
+@pytest.fixture(scope="module")
+def client_cert(ca):
+    cert, _ = ca.issue(Name.build(common_name="client-device"), now=NOW)
+    return cert
+
+
+class TestNegotiation:
+    def test_highest_common_version(self):
+        assert negotiate_version(
+            [TlsVersion.TLS_1_2, TlsVersion.TLS_1_3],
+            [TlsVersion.TLS_1_0, TlsVersion.TLS_1_2],
+        ) is TlsVersion.TLS_1_2
+
+    def test_no_common_version(self):
+        assert negotiate_version([TlsVersion.TLS_1_3], [TlsVersion.TLS_1_0]) is None
+
+    def test_version_ordering(self):
+        assert TlsVersion.TLS_1_0 < TlsVersion.TLS_1_3
+        assert TlsVersion.TLS_1_2 >= TlsVersion.TLS_1_2
+
+    def test_zeek_names_round_trip(self):
+        for version in TlsVersion:
+            assert TlsVersion.from_zeek_name(version.zeek_name) is version
+        with pytest.raises(ValueError):
+            TlsVersion.from_zeek_name("TLSv99")
+
+
+class TestHandshake:
+    def test_plain_tls(self, server_cert):
+        result = perform_handshake(
+            ClientProfile(),
+            ServerProfile(certificate_chain=(server_cert,)),
+            sni="server.example",
+        )
+        assert result.established
+        assert not result.is_mutual
+        assert result.sni == "server.example"
+        assert result.server_chain == (server_cert,)
+        assert result.client_chain == ()
+
+    def test_mutual_tls(self, server_cert, client_cert):
+        result = perform_handshake(
+            ClientProfile(certificate_chain=(client_cert,)),
+            ServerProfile(certificate_chain=(server_cert,), requests_client_certificate=True),
+        )
+        assert result.established
+        assert result.is_mutual
+        assert result.client_certificate_requested
+
+    def test_client_declines_certificate_request(self, server_cert):
+        result = perform_handshake(
+            ClientProfile(),
+            ServerProfile(certificate_chain=(server_cert,), requests_client_certificate=True),
+        )
+        assert result.established
+        assert not result.is_mutual
+        assert result.client_certificate_requested
+
+    def test_required_client_cert_missing_fails(self, server_cert):
+        result = perform_handshake(
+            ClientProfile(),
+            ServerProfile(
+                certificate_chain=(server_cert,),
+                requests_client_certificate=True,
+                require_client_certificate=True,
+            ),
+        )
+        assert not result.established
+        assert result.failure_reason == "certificate_required"
+
+    def test_client_cert_ignored_without_request(self, server_cert, client_cert):
+        result = perform_handshake(
+            ClientProfile(certificate_chain=(client_cert,)),
+            ServerProfile(certificate_chain=(server_cert,)),
+        )
+        assert result.established
+        assert not result.is_mutual
+
+    def test_version_mismatch_fails(self, server_cert):
+        result = perform_handshake(
+            ClientProfile(supported_versions=(TlsVersion.TLS_1_3,)),
+            ServerProfile(
+                certificate_chain=(server_cert,),
+                supported_versions=(TlsVersion.TLS_1_0,),
+            ),
+        )
+        assert not result.established
+        assert result.failure_reason == "protocol_version"
+
+    def test_server_needs_chain(self):
+        with pytest.raises(HandshakeError):
+            ServerProfile(certificate_chain=())
+
+    def test_profiles_need_versions(self, server_cert):
+        with pytest.raises(HandshakeError):
+            ClientProfile(supported_versions=())
+        with pytest.raises(HandshakeError):
+            ServerProfile(certificate_chain=(server_cert,), supported_versions=())
+
+
+class TestMonitorView:
+    def test_tls12_certificates_visible(self, server_cert, client_cert):
+        result = perform_handshake(
+            ClientProfile(
+                certificate_chain=(client_cert,),
+                supported_versions=(TlsVersion.TLS_1_2,),
+            ),
+            ServerProfile(
+                certificate_chain=(server_cert,),
+                requests_client_certificate=True,
+                supported_versions=(TlsVersion.TLS_1_2,),
+            ),
+        )
+        assert result.version is TlsVersion.TLS_1_2
+        assert result.observable_server_chain == (server_cert,)
+        assert result.monitor_sees_mutual
+
+    def test_tls13_certificates_hidden(self, server_cert, client_cert):
+        result = perform_handshake(
+            ClientProfile(certificate_chain=(client_cert,)),
+            ServerProfile(
+                certificate_chain=(server_cert,), requests_client_certificate=True
+            ),
+        )
+        # Both endpoints support 1.3, so it is negotiated.
+        assert result.version is TlsVersion.TLS_1_3
+        assert result.is_mutual  # ground truth
+        assert result.observable_server_chain == ()
+        assert result.observable_client_chain == ()
+        assert not result.monitor_sees_mutual  # §3.3 limitation
+
+    def test_visibility_flag_matches_versions(self):
+        assert TlsVersion.TLS_1_2.certificates_visible_to_monitor
+        assert not TlsVersion.TLS_1_3.certificates_visible_to_monitor

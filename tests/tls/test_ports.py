@@ -1,0 +1,70 @@
+"""Tests for the port/service registry."""
+
+import pytest
+
+from repro.tls import ServiceInfo, ServiceRegistry, default_registry
+
+
+class TestServiceRegistry:
+    def test_lookup_registered(self):
+        registry = ServiceRegistry()
+        registry.register(443, ServiceInfo("https", "HTTPS"))
+        assert registry.lookup(443).label == "HTTPS"
+
+    def test_lookup_unknown(self):
+        info = ServiceRegistry().lookup(1234)
+        assert info.label == "Unknown"
+        assert not info.registered
+
+    def test_range_lookup(self):
+        registry = ServiceRegistry()
+        registry.register_range(50000, 51000, ServiceInfo("globus", "Corp. - Globus"))
+        assert registry.lookup(50000).name == "globus"
+        assert registry.lookup(50500).name == "globus"
+        assert registry.lookup(51000).name == "globus"
+        assert registry.lookup(51001).label == "Unknown"
+
+    def test_exact_beats_range(self):
+        registry = ServiceRegistry()
+        registry.register_range(50000, 51000, ServiceInfo("globus", "Corp. - Globus"))
+        registry.register(50022, ServiceInfo("special", "Special"))
+        assert registry.lookup(50022).name == "special"
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            ServiceRegistry().register_range(100, 50, ServiceInfo("x", "X"))
+
+    def test_group_key_collapses_range(self):
+        registry = default_registry()
+        assert registry.group_key(50500) == "50000-51000"
+        assert registry.group_key(443) == "443"
+        assert registry.group_key(9) == "9"
+
+
+class TestDefaultRegistry:
+    @pytest.mark.parametrize(
+        "port,label",
+        [
+            (443, "HTTPS"),
+            (8443, "HTTPS"),
+            (25, "SMTP"),
+            (465, "SMTPS"),
+            (993, "IMAPS"),
+            (636, "LDAPS"),
+            (8883, "MQTT over TLS"),
+            (20017, "Corp. - FileWave"),
+            (9093, "Corp. - Outset Medical"),
+            (9997, "Corp. - Splunk"),
+            (33854, "Corp. - DvTel"),
+            (3128, "Corp. - Miscellaneous"),
+            (52730, "Univ. - Unknown"),
+            (50500, "Corp. - Globus"),
+        ],
+    )
+    def test_study_ports_present(self, port, label):
+        assert default_registry().lookup(port).label == label
+
+    def test_manual_entries_flagged(self):
+        registry = default_registry()
+        assert not registry.lookup(20017).registered
+        assert registry.lookup(443).registered

@@ -1,0 +1,116 @@
+"""Tests for session resumption (abbreviated handshakes)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.tls import ClientProfile, ServerProfile, TlsVersion, perform_handshake
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+
+NOW = dt.datetime(2023, 1, 1, tzinfo=dt.timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def endpoints():
+    ca = CertificateAuthority.create_root(
+        Name.build(common_name="Resume CA"), KeyFactory(mode="sim", seed=88)
+    )
+    server_cert, _ = ca.issue(Name.build(common_name="srv.example"), now=NOW)
+    client_cert, _ = ca.issue(Name.build(common_name="dev"), now=NOW)
+    client = ClientProfile(
+        certificate_chain=(client_cert,), supported_versions=(TlsVersion.TLS_1_2,)
+    )
+    server = ServerProfile(
+        certificate_chain=(server_cert,),
+        requests_client_certificate=True,
+        supported_versions=(TlsVersion.TLS_1_2,),
+    )
+    return client, server
+
+
+class TestResumption:
+    def test_full_then_resumed(self, endpoints):
+        client, server = endpoints
+        full = perform_handshake(client, server, sni="srv.example")
+        assert full.established and not full.resumed
+        resumed = perform_handshake(client, server, sni="srv.example", resume=full)
+        assert resumed.established and resumed.resumed
+        assert resumed.version is full.version
+        assert resumed.cipher is full.cipher
+
+    def test_resumed_hides_certificates_from_monitor(self, endpoints):
+        client, server = endpoints
+        full = perform_handshake(client, server, sni="srv.example")
+        resumed = perform_handshake(client, server, resume=full)
+        # Ground truth: still mutually authenticated.
+        assert resumed.is_mutual
+        # Monitor view: nothing.
+        assert resumed.observable_server_chain == ()
+        assert resumed.observable_client_chain == ()
+        assert not resumed.monitor_sees_mutual
+
+    def test_sni_inherited_or_overridden(self, endpoints):
+        client, server = endpoints
+        full = perform_handshake(client, server, sni="srv.example")
+        inherited = perform_handshake(client, server, resume=full)
+        assert inherited.sni == "srv.example"
+        overridden = perform_handshake(client, server, sni="other", resume=full)
+        assert overridden.sni == "other"
+
+    def test_failed_session_not_resumable(self, endpoints):
+        client, server = endpoints
+        failed = perform_handshake(
+            ClientProfile(supported_versions=(TlsVersion.TLS_1_3,)),
+            ServerProfile(
+                certificate_chain=server.certificate_chain,
+                supported_versions=(TlsVersion.TLS_1_0,),
+            ),
+        )
+        assert not failed.established
+        # Resuming a failed handshake falls back to a full handshake.
+        result = perform_handshake(client, server, resume=failed)
+        assert result.established and not result.resumed
+
+    def test_resumed_flag_reaches_ssl_log(self, endpoints):
+        from repro.tls import ConnectionRecord, make_connection_uid
+        from repro.zeek import ZeekLogBuilder
+
+        client, server = endpoints
+        full = perform_handshake(client, server, sni="srv.example")
+        resumed = perform_handshake(client, server, resume=full)
+        builder = ZeekLogBuilder()
+        for index, handshake in enumerate((full, resumed)):
+            builder.observe(
+                ConnectionRecord(
+                    uid=make_connection_uid(index), timestamp=NOW,
+                    client_ip="10.16.0.9", client_port=44444,
+                    server_ip="198.18.0.9", server_port=443,
+                    handshake=handshake,
+                )
+            )
+        first, second = builder.logs.ssl
+        assert not first.resumed and first.is_mutual
+        assert second.resumed and not second.is_mutual
+        # The resumed row references no certificates.
+        assert second.cert_chain_fuids == ()
+
+    def test_resumed_round_trips_tsv(self, endpoints):
+        import io
+
+        from repro.zeek import read_ssl_log, write_ssl_log
+        from repro.tls import ConnectionRecord, make_connection_uid
+        from repro.zeek import ZeekLogBuilder
+
+        client, server = endpoints
+        full = perform_handshake(client, server, sni="srv.example")
+        resumed = perform_handshake(client, server, resume=full)
+        builder = ZeekLogBuilder()
+        builder.observe(ConnectionRecord(
+            uid=make_connection_uid(0), timestamp=NOW,
+            client_ip="10.16.0.9", client_port=44444,
+            server_ip="198.18.0.9", server_port=443, handshake=resumed,
+        ))
+        buffer = io.StringIO()
+        write_ssl_log(builder.logs.ssl, buffer)
+        buffer.seek(0)
+        assert read_ssl_log(buffer) == builder.logs.ssl

@@ -1,0 +1,57 @@
+"""Tests for the DN-level trust bundle."""
+
+import pytest
+
+from repro.trust import TrustBundle, TrustStoreSet
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+
+
+@pytest.fixture(scope="module")
+def store_set():
+    factory = KeyFactory(mode="sim", seed=44)
+    stores = TrustStoreSet.with_standard_stores()
+    root_a = CertificateAuthority.create_root(
+        Name.build(common_name="Bundle Root A", organization="Org Alpha"), factory
+    )
+    root_b = CertificateAuthority.create_root(
+        Name.build(common_name="Bundle Root B", organization="Org Beta"), factory
+    )
+    stores.store("mozilla-nss").add(root_a.certificate)
+    stores.store("apple").add(root_b.certificate)
+    return stores, root_a, root_b
+
+
+class TestDnBundle:
+    def test_collects_all_stores(self, store_set):
+        stores, root_a, root_b = store_set
+        bundle = stores.dn_bundle()
+        assert root_a.name.rfc4514() in bundle.subject_dns
+        assert root_b.name.rfc4514() in bundle.subject_dns
+        assert bundle.organizations == frozenset({"org alpha", "org beta"})
+
+    def test_knows_issuer_dn(self, store_set):
+        stores, root_a, _ = store_set
+        bundle = stores.dn_bundle()
+        assert bundle.knows_issuer_dn(root_a.name.rfc4514())
+        assert not bundle.knows_issuer_dn("CN=Unknown CA")
+
+    def test_knows_organization_normalized(self, store_set):
+        stores, *_ = store_set
+        bundle = stores.dn_bundle()
+        assert bundle.knows_organization("ORG  ALPHA")
+        assert bundle.knows_organization("org beta")
+        assert not bundle.knows_organization("org gamma")
+        assert not bundle.knows_organization(None)
+        assert not bundle.knows_organization("")
+
+    def test_bundle_is_frozen_value(self, store_set):
+        stores, *_ = store_set
+        first = stores.dn_bundle()
+        second = stores.dn_bundle()
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_empty_store_set(self):
+        bundle = TrustStoreSet([]).dn_bundle()
+        assert bundle == TrustBundle(frozenset(), frozenset())
+        assert not bundle.knows_issuer_dn("anything")

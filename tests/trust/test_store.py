@@ -1,0 +1,149 @@
+"""Tests for trust stores and the public/private classification."""
+
+import datetime as dt
+
+import pytest
+
+from repro.trust import TrustStore, TrustStoreSet
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+
+UTC = dt.timezone.utc
+NOW = dt.datetime(2023, 1, 1, tzinfo=UTC)
+
+
+@pytest.fixture()
+def factory():
+    return KeyFactory(mode="sim", seed=21)
+
+
+@pytest.fixture()
+def public_root(factory):
+    return CertificateAuthority.create_root(
+        Name.build(common_name="DigiCert Global Root", organization="DigiCert Inc"),
+        factory,
+    )
+
+
+@pytest.fixture()
+def private_root(factory):
+    return CertificateAuthority.create_root(
+        Name.build(common_name="Campus Device CA", organization="State University"),
+        factory,
+    )
+
+
+@pytest.fixture()
+def stores(public_root):
+    store_set = TrustStoreSet.with_standard_stores()
+    store_set.store("mozilla-nss").add(public_root.certificate)
+    return store_set
+
+
+class TestTrustStore:
+    def test_add_and_contains(self, public_root):
+        store = TrustStore("test", [public_root.certificate])
+        assert store.contains_certificate(public_root.certificate)
+        assert len(store) == 1
+
+    def test_add_idempotent(self, public_root):
+        store = TrustStore("test")
+        store.add(public_root.certificate)
+        store.add(public_root.certificate)
+        assert len(store) == 1
+
+    def test_knows_issuer(self, public_root, private_root):
+        store = TrustStore("test", [public_root.certificate])
+        assert store.knows_issuer(public_root.name)
+        assert not store.knows_issuer(private_root.name)
+
+    def test_knows_organization_case_insensitive(self, public_root):
+        store = TrustStore("test", [public_root.certificate])
+        assert store.knows_organization("digicert inc")
+        assert store.knows_organization("DIGICERT  INC")
+        assert not store.knows_organization("Other Org")
+        assert not store.knows_organization(None)
+
+    def test_find_issuer_certificates(self, public_root, private_root):
+        store = TrustStore("test", [public_root.certificate])
+        assert store.find_issuer_certificates(public_root.name) == [
+            public_root.certificate
+        ]
+        assert store.find_issuer_certificates(private_root.name) == []
+
+
+class TestTrustStoreSet:
+    def test_standard_store_names(self):
+        store_set = TrustStoreSet.with_standard_stores()
+        assert {s.name for s in store_set.stores} == {
+            "mozilla-nss", "apple", "microsoft", "ccadb",
+        }
+
+    def test_store_lookup(self):
+        store_set = TrustStoreSet.with_standard_stores()
+        assert store_set.store("apple").name == "apple"
+        with pytest.raises(KeyError):
+            store_set.store("unknown")
+
+    def test_membership_in_any_store_counts(self, stores, public_root):
+        assert stores.contains_certificate(public_root.certificate)
+        assert stores.knows_issuer(public_root.name)
+
+    def test_add_to_all(self, private_root):
+        store_set = TrustStoreSet.with_standard_stores()
+        store_set.add_to_all(private_root.certificate)
+        assert all(s.contains_certificate(private_root.certificate) for s in store_set.stores)
+
+    def test_dedup_in_find(self, public_root):
+        store_set = TrustStoreSet.with_standard_stores()
+        store_set.add_to_all(public_root.certificate)
+        assert len(store_set.find_issuer_certificates(public_root.name)) == 1
+
+
+class TestPublicPrivateClassification:
+    def test_leaf_of_public_ca_is_public(self, stores, public_root):
+        cert, _ = public_root.issue(Name.build(common_name="site.example"), now=NOW)
+        assert stores.is_public_chain([cert])
+        assert stores.is_public_certificate(cert)
+
+    def test_leaf_of_private_ca_is_private(self, stores, private_root):
+        cert, _ = private_root.issue(Name.build(common_name="device-1"), now=NOW)
+        assert not stores.is_public_chain([cert])
+
+    def test_chain_with_trusted_intermediate_is_public(self, stores, public_root):
+        inter = public_root.create_intermediate(Name.build(common_name="Issuing CA 1"))
+        cert, _ = inter.issue(Name.build(common_name="leaf"), now=NOW)
+        # Present the full chain: leaf, intermediate (intermediate's issuer
+        # — the root — is in the store).
+        assert stores.is_public_chain([cert, inter.certificate])
+
+    def test_leaf_only_chain_with_unknown_intermediate_issuer_is_private(
+        self, stores, private_root
+    ):
+        inter = private_root.create_intermediate(Name.build(common_name="Private Sub"))
+        cert, _ = inter.issue(Name.build(common_name="leaf"), now=NOW)
+        assert not stores.is_public_chain([cert, inter.certificate])
+
+    def test_issuer_org_listed_in_ccadb_is_public(self, factory):
+        # CCADB lists issuer organizations; a leaf whose issuer org matches
+        # is public even without the issuing cert present.
+        listed_root = CertificateAuthority.create_root(
+            Name.build(common_name="Sectigo Root R46", organization="Sectigo Limited"),
+            factory,
+        )
+        other_ca_same_org = CertificateAuthority.create_root(
+            Name.build(common_name="Sectigo Issuing CA X", organization="Sectigo Limited"),
+            factory,
+        )
+        store_set = TrustStoreSet.with_standard_stores()
+        store_set.store("ccadb").add(listed_root.certificate)
+        cert, _ = other_ca_same_org.issue(Name.build(common_name="leaf"), now=NOW)
+        assert store_set.is_public_chain([cert])
+
+    def test_empty_chain_is_private(self, stores):
+        assert not stores.is_public_chain([])
+
+    def test_self_signed_is_private(self, stores, factory):
+        selfsigned = CertificateAuthority.create_root(
+            Name.build(common_name="selfie"), factory
+        )
+        assert not stores.is_public_chain([selfsigned.certificate])

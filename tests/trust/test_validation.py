@@ -1,0 +1,121 @@
+"""Tests for chain validation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.trust import ChainValidator, TrustStoreSet, ValidationStatus
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+
+UTC = dt.timezone.utc
+NOW = dt.datetime(2023, 6, 1, tzinfo=UTC)
+
+
+@pytest.fixture()
+def factory():
+    return KeyFactory(mode="sim", seed=33)
+
+
+@pytest.fixture()
+def root(factory):
+    return CertificateAuthority.create_root(
+        Name.build(common_name="Trusted Root", organization="Trusted Org"),
+        factory,
+        not_before=dt.datetime(2015, 1, 1, tzinfo=UTC),
+    )
+
+
+@pytest.fixture()
+def validator(root):
+    stores = TrustStoreSet.with_standard_stores()
+    stores.store("mozilla-nss").add(root.certificate)
+    return ChainValidator(stores)
+
+
+class TestValidate:
+    def test_full_chain_ok(self, root, validator):
+        inter = root.create_intermediate(Name.build(common_name="Sub CA"))
+        cert, _ = inter.issue(Name.build(common_name="leaf"), now=NOW)
+        result = validator.validate([cert, inter.certificate, root.certificate], at=NOW)
+        assert result.ok
+
+    def test_chain_missing_root_is_completed_from_store(self, root, validator):
+        inter = root.create_intermediate(Name.build(common_name="Sub CA"))
+        cert, _ = inter.issue(Name.build(common_name="leaf"), now=NOW)
+        result = validator.validate([cert, inter.certificate], at=NOW)
+        assert result.ok
+        # The anchor was appended to the evaluated chain.
+        assert result.chain[-1] == root.certificate
+
+    def test_untrusted_chain(self, factory, validator):
+        other = CertificateAuthority.create_root(Name.build(common_name="Rogue"), factory)
+        cert, _ = other.issue(Name.build(common_name="leaf"), now=NOW)
+        result = validator.validate([cert], at=NOW)
+        assert result.status is ValidationStatus.UNTRUSTED_ROOT
+
+    def test_self_signed_leaf(self, factory, validator):
+        selfie = CertificateAuthority.create_root(Name.build(common_name="selfie"), factory)
+        result = validator.validate([selfie.certificate], at=NOW)
+        assert result.status is ValidationStatus.SELF_SIGNED
+
+    def test_expired_leaf(self, root, validator):
+        cert, _ = root.issue(
+            Name.build(common_name="old"),
+            now=NOW,
+            not_before=dt.datetime(2020, 1, 1, tzinfo=UTC),
+            not_after=dt.datetime(2021, 1, 1, tzinfo=UTC),
+        )
+        result = validator.validate([cert, root.certificate], at=NOW)
+        assert result.status is ValidationStatus.EXPIRED
+        assert "old" in result.detail
+
+    def test_not_yet_valid_leaf(self, root, validator):
+        cert, _ = root.issue(
+            Name.build(common_name="future"),
+            now=NOW,
+            not_before=dt.datetime(2030, 1, 1, tzinfo=UTC),
+            not_after=dt.datetime(2031, 1, 1, tzinfo=UTC),
+        )
+        result = validator.validate([cert, root.certificate], at=NOW)
+        assert result.status is ValidationStatus.NOT_YET_VALID
+
+    def test_inverted_validity(self, root, validator):
+        cert, _ = root.issue(
+            Name.build(common_name="inverted"),
+            now=NOW,
+            not_before=dt.datetime(2019, 8, 2, tzinfo=UTC),
+            not_after=dt.datetime(1849, 10, 24, tzinfo=UTC),
+        )
+        result = validator.validate([cert, root.certificate], at=NOW)
+        assert result.status is ValidationStatus.INVERTED_VALIDITY
+
+    def test_bad_signature(self, root, factory, validator):
+        other = CertificateAuthority.create_root(Name.build(common_name="Other"), factory)
+        cert, _ = other.issue(Name.build(common_name="leaf"), now=NOW)
+        # Present the leaf with a parent that did not sign it.
+        result = validator.validate([cert, root.certificate], at=NOW)
+        assert result.status is ValidationStatus.BAD_SIGNATURE
+
+    def test_empty_chain(self, validator):
+        result = validator.validate([], at=NOW)
+        assert result.status is ValidationStatus.EMPTY_CHAIN
+
+    def test_window_checks_can_be_disabled(self, root):
+        stores = TrustStoreSet.with_standard_stores()
+        stores.store("apple").add(root.certificate)
+        lax = ChainValidator(stores, check_validity_window=False)
+        cert, _ = root.issue(
+            Name.build(common_name="expired"),
+            now=NOW,
+            not_before=dt.datetime(2020, 1, 1, tzinfo=UTC),
+            not_after=dt.datetime(2021, 1, 1, tzinfo=UTC),
+        )
+        assert lax.validate([cert, root.certificate], at=NOW).ok
+
+    def test_signature_checks_can_be_disabled(self, root, factory):
+        stores = TrustStoreSet.with_standard_stores()
+        stores.store("apple").add(root.certificate)
+        lax = ChainValidator(stores, check_signatures=False)
+        other = CertificateAuthority.create_root(Name.build(common_name="Other"), factory)
+        cert, _ = other.issue(Name.build(common_name="leaf"), now=NOW)
+        assert lax.validate([cert, root.certificate], at=NOW).ok

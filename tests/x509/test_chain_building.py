@@ -1,0 +1,70 @@
+"""Tests for chain assembly from certificate pools."""
+
+import datetime as dt
+
+import pytest
+
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+from repro.x509.verify import build_chain, verify_chain_signatures
+
+NOW = dt.datetime(2023, 1, 1, tzinfo=dt.timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def world():
+    factory = KeyFactory(mode="sim", seed=91)
+    root = CertificateAuthority.create_root(
+        Name.build(common_name="Pool Root", organization="Pool Org"), factory
+    )
+    inter = root.create_intermediate(Name.build(common_name="Pool Sub CA"))
+    leaf, _ = inter.issue(Name.build(common_name="leaf.example"), now=NOW)
+    # A decoy CA with the SAME subject DN as the intermediate but a
+    # different key: DN matching alone would pick the wrong parent.
+    decoy = CertificateAuthority.create_root(
+        Name.build(common_name="Pool Sub CA"), factory
+    )
+    return root, inter, leaf, decoy
+
+
+class TestBuildChain:
+    def test_full_chain_assembled(self, world):
+        root, inter, leaf, decoy = world
+        pool = [root.certificate, inter.certificate]
+        chain = build_chain(leaf, pool)
+        assert [c.subject.common_name for c in chain] == [
+            "leaf.example", "Pool Sub CA", "Pool Root",
+        ]
+        verify_chain_signatures(chain)
+
+    def test_pool_order_irrelevant(self, world):
+        root, inter, leaf, _ = world
+        forward = build_chain(leaf, [root.certificate, inter.certificate])
+        backward = build_chain(leaf, [inter.certificate, root.certificate])
+        assert forward == backward
+
+    def test_decoy_with_same_dn_rejected(self, world):
+        root, inter, leaf, decoy = world
+        # Decoy listed FIRST: signature verification must skip it.
+        pool = [decoy.certificate, inter.certificate, root.certificate]
+        chain = build_chain(leaf, pool)
+        assert chain[1] == inter.certificate
+        verify_chain_signatures(chain)
+
+    def test_missing_parent_stops(self, world):
+        root, inter, leaf, _ = world
+        chain = build_chain(leaf, [root.certificate])  # intermediate absent
+        assert chain == [leaf]
+
+    def test_self_signed_leaf(self, world):
+        root, *_ = world
+        chain = build_chain(root.certificate, [root.certificate])
+        assert chain == [root.certificate]
+
+    def test_max_depth_bounds_loops(self, world):
+        root, inter, leaf, _ = world
+        chain = build_chain(leaf, [inter.certificate, root.certificate], max_depth=1)
+        assert len(chain) == 2
+
+    def test_empty_pool(self, world):
+        _root, _inter, leaf, _decoy = world
+        assert build_chain(leaf, []) == [leaf]

@@ -1,0 +1,137 @@
+"""Tests for RSA and simulated key pairs."""
+
+import pytest
+
+from repro.x509 import InvalidSignatureError, KeyError_, KeyFactory, generate_rsa_key
+from repro.x509.keys import (
+    RsaPublicKey,
+    SimPrivateKey,
+    SimPublicKey,
+    public_key_from_spki,
+)
+
+
+@pytest.fixture(scope="module")
+def rsa_key():
+    return generate_rsa_key(bits=512, seed=42)
+
+
+class TestRsa:
+    def test_key_size(self, rsa_key):
+        assert rsa_key.modulus.bit_length() == 512
+        assert rsa_key.public_key.bit_length == 512
+
+    def test_deterministic_generation(self):
+        a = generate_rsa_key(bits=256, seed=7)
+        b = generate_rsa_key(bits=256, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_rsa_key(bits=256, seed=1)
+        b = generate_rsa_key(bits=256, seed=2)
+        assert a != b
+
+    def test_sign_verify_round_trip(self, rsa_key):
+        message = b"to be signed"
+        signature = rsa_key.sign(message)
+        rsa_key.public_key.verify(message, signature)  # no exception
+
+    def test_tampered_message_rejected(self, rsa_key):
+        signature = rsa_key.sign(b"original")
+        with pytest.raises(InvalidSignatureError):
+            rsa_key.public_key.verify(b"tampered", signature)
+
+    def test_tampered_signature_rejected(self, rsa_key):
+        signature = bytearray(rsa_key.sign(b"message"))
+        signature[0] ^= 0x01
+        with pytest.raises(InvalidSignatureError):
+            rsa_key.public_key.verify(b"message", bytes(signature))
+
+    def test_wrong_length_signature_rejected(self, rsa_key):
+        with pytest.raises(InvalidSignatureError):
+            rsa_key.public_key.verify(b"message", b"\x00" * 10)
+
+    def test_sha1_digest(self, rsa_key):
+        signature = rsa_key.sign(b"msg", digest="sha1")
+        rsa_key.public_key.verify(b"msg", signature, digest="sha1")
+        with pytest.raises(InvalidSignatureError):
+            rsa_key.public_key.verify(b"msg", signature, digest="sha256")
+
+    def test_unsupported_digest(self, rsa_key):
+        with pytest.raises(KeyError_):
+            rsa_key.sign(b"msg", digest="md4")
+
+    def test_spki_round_trip(self, rsa_key):
+        der = rsa_key.public_key.to_spki_der()
+        decoded = RsaPublicKey.from_spki_der(der)
+        assert decoded == rsa_key.public_key
+
+    def test_generic_spki_loader(self, rsa_key):
+        der = rsa_key.public_key.to_spki_der()
+        assert public_key_from_spki(der) == rsa_key.public_key
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(KeyError_):
+            generate_rsa_key(bits=64)
+
+
+class TestSimScheme:
+    def test_sign_verify(self):
+        key = SimPrivateKey(key_id=b"\x01" * 16)
+        signature = key.sign(b"message")
+        key.public_key.verify(b"message", signature)
+
+    def test_tamper_rejected(self):
+        key = SimPrivateKey(key_id=b"\x01" * 16)
+        signature = key.sign(b"message")
+        with pytest.raises(InvalidSignatureError):
+            key.public_key.verify(b"other", signature)
+
+    def test_other_key_rejected(self):
+        signer = SimPrivateKey(key_id=b"\x01" * 16)
+        other = SimPublicKey(key_id=b"\x02" * 16)
+        with pytest.raises(InvalidSignatureError):
+            other.verify(b"message", signer.sign(b"message"))
+
+    def test_declared_bits(self):
+        key = SimPrivateKey(key_id=b"k", declared_bits=1024)
+        assert key.public_key.bit_length == 1024
+
+    def test_spki_round_trip(self):
+        key = SimPublicKey(key_id=b"\xaa" * 16, declared_bits=1024)
+        assert SimPublicKey.from_spki_der(key.to_spki_der()) == key
+
+    def test_generic_spki_loader(self):
+        key = SimPublicKey(key_id=b"\xbb" * 16)
+        assert public_key_from_spki(key.to_spki_der()) == key
+
+    def test_digest_variants_differ(self):
+        key = SimPrivateKey(key_id=b"k")
+        assert key.sign(b"m", digest="sha256") != key.sign(b"m", digest="sha1")
+
+
+class TestKeyFactory:
+    def test_sim_keys_are_unique(self):
+        factory = KeyFactory(mode="sim", seed=3)
+        keys = {factory.new_key().key_id for _ in range(100)}
+        assert len(keys) == 100
+
+    def test_sim_mode_deterministic(self):
+        a = KeyFactory(mode="sim", seed=5).new_key()
+        b = KeyFactory(mode="sim", seed=5).new_key()
+        assert a.key_id == b.key_id
+
+    def test_rsa_mode_returns_real_keys(self):
+        factory = KeyFactory(mode="rsa", seed=1)
+        key = factory.new_key(bits=512)
+        signature = key.sign(b"x")
+        key.public_key.verify(b"x", signature)
+
+    def test_rsa_mode_caches(self):
+        factory = KeyFactory(mode="rsa", seed=1)
+        keys = [factory.new_key(bits=512) for _ in range(10)]
+        assert len({k.modulus for k in keys}) <= 4
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(KeyError_):
+            KeyFactory(mode="dsa")

@@ -1,0 +1,98 @@
+"""Tests for distinguished names."""
+
+import pytest
+
+from repro.asn1 import OID
+from repro.x509 import Name, NameAttribute, NameError_, RelativeDistinguishedName
+from repro.x509.name import name_from_attributes
+
+
+class TestBuild:
+    def test_build_basic(self):
+        name = Name.build(common_name="example.com", organization="Example Org")
+        assert name.common_name == "example.com"
+        assert name.organization == "Example Org"
+
+    def test_build_skips_none(self):
+        name = Name.build(common_name="x", organization=None)
+        assert name.organization is None
+        assert len(name.rdns) == 1
+
+    def test_build_unknown_key(self):
+        with pytest.raises(NameError_):
+            Name.build(favorite_color="blue")
+
+    def test_empty_name(self):
+        name = Name.empty()
+        assert name.is_empty
+        assert name.common_name is None
+
+    def test_rdn_requires_attribute(self):
+        with pytest.raises(NameError_):
+            RelativeDistinguishedName(())
+
+
+class TestDerRoundTrip:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"common_name": "example.com"},
+            {"common_name": "a", "organization": "b", "country": "US"},
+            {"common_name": "Mañana GmbH"},  # forces UTF8String
+            {"email": "user@example.com"},
+            {"user_id": "ab1cd"},
+            {},
+        ],
+    )
+    def test_round_trip(self, kwargs):
+        name = Name.build(**kwargs)
+        assert Name.from_der(name.to_der()) == name
+
+    def test_multi_attribute_rdn_round_trip(self):
+        rdn = RelativeDistinguishedName(
+            (
+                NameAttribute(OID.COMMON_NAME, "x"),
+                NameAttribute(OID.ORGANIZATION, "y"),
+            )
+        )
+        name = Name((rdn,))
+        assert Name.from_der(name.to_der()) == name
+
+    def test_empty_name_round_trip(self):
+        assert Name.from_der(Name.empty().to_der()) == Name.empty()
+
+
+class TestAccessors:
+    def test_get_all(self):
+        name = name_from_attributes(
+            [(OID.ORGANIZATIONAL_UNIT, "a"), (OID.ORGANIZATIONAL_UNIT, "b")]
+        )
+        assert name.get_all(OID.ORGANIZATIONAL_UNIT) == ["a", "b"]
+
+    def test_get_missing(self):
+        assert Name.build(common_name="x").get(OID.COUNTRY) is None
+
+    def test_iteration_order(self):
+        name = Name.build(common_name="cn", organization="org")
+        assert [a.value for a in name] == ["cn", "org"]
+
+
+class TestRendering:
+    def test_rfc4514_reversed_order(self):
+        name = Name.build(country="US", organization="Acme", common_name="leaf")
+        assert name.rfc4514() == "CN=leaf,O=Acme,C=US"
+
+    def test_rfc4514_escaping(self):
+        name = Name.build(common_name="a,b+c")
+        assert name.rfc4514() == "CN=a\\,b\\+c"
+
+    def test_rfc4514_leading_space_escaped(self):
+        name = Name.build(common_name=" padded")
+        assert name.rfc4514().startswith("CN=\\ ")
+
+    def test_str_matches_rfc4514(self):
+        name = Name.build(common_name="x")
+        assert str(name) == name.rfc4514()
+
+    def test_empty_renders_empty(self):
+        assert Name.empty().rfc4514() == ""

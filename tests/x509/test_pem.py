@@ -1,0 +1,82 @@
+"""Tests for PEM armoring."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.x509 import CertificateAuthority, CertificateError, KeyFactory, Name
+from repro.x509.pem import (
+    certificate_to_pem,
+    certificates_from_pem,
+    certificates_to_pem,
+    decode_pem_blocks,
+    encode_pem_block,
+)
+
+NOW = dt.datetime(2023, 1, 1, tzinfo=dt.timezone.utc)
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority.create_root(
+        Name.build(common_name="PEM CA"), KeyFactory(mode="sim", seed=55)
+    )
+
+
+class TestPemBlocks:
+    def test_block_structure(self):
+        pem = encode_pem_block(b"\x01\x02\x03")
+        assert pem.startswith("-----BEGIN CERTIFICATE-----\n")
+        assert pem.rstrip().endswith("-----END CERTIFICATE-----")
+
+    def test_line_length(self):
+        pem = encode_pem_block(b"\xff" * 200)
+        body_lines = pem.splitlines()[1:-1]
+        assert all(len(line) <= 64 for line in body_lines)
+
+    def test_round_trip(self):
+        payload = bytes(range(256))
+        assert decode_pem_blocks(encode_pem_block(payload)) == [payload]
+
+    def test_multiple_blocks(self):
+        text = encode_pem_block(b"a") + "junk between\n" + encode_pem_block(b"bb")
+        assert decode_pem_blocks(text) == [b"a", b"bb"]
+
+    def test_other_labels_skipped(self):
+        text = encode_pem_block(b"key", label="PRIVATE KEY") + encode_pem_block(b"crt")
+        assert decode_pem_blocks(text) == [b"crt"]
+        assert decode_pem_blocks(text, label="PRIVATE KEY") == [b"key"]
+
+    def test_no_blocks(self):
+        assert decode_pem_blocks("nothing here") == []
+
+    @given(st.binary(min_size=1, max_size=300))
+    def test_round_trip_property(self, payload):
+        assert decode_pem_blocks(encode_pem_block(payload)) == [payload]
+
+
+class TestCertificatePem:
+    def test_single_round_trip(self, ca):
+        cert, _ = ca.issue(Name.build(common_name="pem.example"), now=NOW)
+        decoded = certificates_from_pem(certificate_to_pem(cert))
+        assert decoded == [cert]
+
+    def test_chain_round_trip(self, ca):
+        cert, _ = ca.issue(Name.build(common_name="leaf.example"), now=NOW)
+        chain = [cert, ca.certificate]
+        decoded = certificates_from_pem(certificates_to_pem(chain))
+        assert decoded == chain
+        assert decoded[0].subject.common_name == "leaf.example"
+
+    def test_garbage_base64_rejected(self):
+        bad = "-----BEGIN CERTIFICATE-----\n!!!!\n-----END CERTIFICATE-----\n"
+        # '!' is outside the PEM body charset, so the block is not matched
+        # at all — no certificates come back.
+        assert certificates_from_pem(bad) == []
+
+    def test_invalid_padding_raises(self):
+        bad = "-----BEGIN CERTIFICATE-----\nQUJD\nQQ\n-----END CERTIFICATE-----\n"
+        with pytest.raises(CertificateError):
+            certificates_from_pem(bad)

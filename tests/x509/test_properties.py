@@ -1,0 +1,88 @@
+"""Property-based tests for the X.509 layer."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.x509 import (
+    Certificate,
+    CertificateBuilder,
+    KeyFactory,
+    Name,
+    verify_certificate_signature,
+)
+
+UTC = dt.timezone.utc
+
+printable_text = st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 '-./:",
+    min_size=1,
+    max_size=40,
+)
+
+any_text = st.text(min_size=1, max_size=40).filter(lambda s: s.strip())
+
+datetimes = st.datetimes(
+    min_value=dt.datetime(1950, 1, 1),
+    max_value=dt.datetime(2049, 12, 31),
+).map(lambda d: d.replace(microsecond=0, tzinfo=UTC))
+
+_factory = KeyFactory(mode="sim", seed=99)
+_key = _factory.new_key()
+
+
+def _build(cn, org, serial, nb, na, dns_names):
+    return (
+        CertificateBuilder()
+        .subject(Name.build(common_name=cn))
+        .issuer(Name.build(organization=org))
+        .serial_number(serial)
+        .validity_window(nb, na)
+        .public_key(_key.public_key)
+        .add_dns_sans(dns_names)
+        .sign(_key)
+    )
+
+
+@settings(max_examples=60)
+@given(
+    cn=any_text,
+    org=any_text,
+    serial=st.integers(0, 2**160),
+    nb=datetimes,
+    na=datetimes,
+    dns_names=st.lists(printable_text, max_size=4),
+)
+def test_certificate_round_trip(cn, org, serial, nb, na, dns_names):
+    """Any certificate we can build must DER round-trip bit-exactly."""
+    cert = _build(cn, org, serial, nb, na, dns_names)
+    decoded = Certificate.from_der(cert.to_der())
+    assert decoded == cert
+    assert decoded.to_der() == cert.to_der()
+    assert decoded.subject.common_name == cn
+    assert decoded.issuer.organization == org
+    assert decoded.serial_number == serial
+
+
+@settings(max_examples=30)
+@given(serial=st.integers(0, 2**64), nb=datetimes, na=datetimes)
+def test_signature_always_verifies(serial, nb, na):
+    cert = _build("cn", "org", serial, nb, na, [])
+    verify_certificate_signature(cert, _key.public_key)
+
+
+@settings(max_examples=30)
+@given(nb=datetimes, na=datetimes)
+def test_inversion_detection_matches_ordering(nb, na):
+    cert = _build("cn", "org", 1, nb, na, [])
+    assert cert.validity.is_inverted == (nb > na)
+
+
+@settings(max_examples=30)
+@given(serial=st.integers(0, 2**80))
+def test_serial_hex_round_trips_via_int(serial):
+    cert = _build("cn", "org", serial, dt.datetime(2022, 1, 1, tzinfo=UTC),
+                  dt.datetime(2023, 1, 1, tzinfo=UTC), [])
+    assert int(cert.serial_hex, 16) == serial
+    assert len(cert.serial_hex) % 2 == 0

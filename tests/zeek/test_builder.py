@@ -1,0 +1,121 @@
+"""Tests for the log builder (connection → ssl/x509 records)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.tls import (
+    ClientProfile,
+    ConnectionRecord,
+    ServerProfile,
+    TlsVersion,
+    make_connection_uid,
+    perform_handshake,
+)
+from repro.x509 import CertificateAuthority, KeyFactory, Name
+from repro.zeek import ZeekLogBuilder
+
+UTC = dt.timezone.utc
+NOW = dt.datetime(2023, 1, 15, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority.create_root(
+        Name.build(common_name="Log CA", organization="Log Org"),
+        KeyFactory(mode="sim", seed=13),
+    )
+
+
+def _connection(ca, uid_counter, mutual=True, version=TlsVersion.TLS_1_2, sni="svc.example"):
+    server_cert, _ = ca.issue(Name.build(common_name="svc.example"), now=NOW)
+    client_cert, _ = ca.issue(Name.build(common_name="device-7"), now=NOW)
+    handshake = perform_handshake(
+        ClientProfile(
+            certificate_chain=(client_cert,) if mutual else (),
+            supported_versions=(version,),
+        ),
+        ServerProfile(
+            certificate_chain=(server_cert,),
+            requests_client_certificate=mutual,
+            supported_versions=(version,),
+        ),
+        sni=sni,
+    )
+    return ConnectionRecord(
+        uid=make_connection_uid(uid_counter),
+        timestamp=NOW,
+        client_ip="10.1.2.3",
+        client_port=50000 + uid_counter,
+        server_ip="192.0.2.10",
+        server_port=443,
+        handshake=handshake,
+    )
+
+
+class TestZeekLogBuilder:
+    def test_mutual_connection_links_both_chains(self, ca):
+        builder = ZeekLogBuilder()
+        record = builder.observe(_connection(ca, 1))
+        assert record.is_mutual
+        assert len(record.cert_chain_fuids) == 1
+        assert len(record.client_cert_chain_fuids) == 1
+        fuids = builder.logs.x509_by_fuid()
+        assert record.server_leaf_fuid in fuids
+        assert record.client_leaf_fuid in fuids
+
+    def test_non_mutual_has_no_client_chain(self, ca):
+        builder = ZeekLogBuilder()
+        record = builder.observe(_connection(ca, 1, mutual=False))
+        assert not record.is_mutual
+        assert record.client_leaf_fuid is None
+
+    def test_tls13_chains_hidden(self, ca):
+        builder = ZeekLogBuilder()
+        record = builder.observe(_connection(ca, 1, version=TlsVersion.TLS_1_3))
+        assert record.version == "TLSv13"
+        assert record.cert_chain_fuids == ()
+        assert record.client_cert_chain_fuids == ()
+        assert builder.logs.x509 == []
+
+    def test_certificate_deduplicated_across_connections(self, ca):
+        builder = ZeekLogBuilder()
+        server_cert, _ = ca.issue(Name.build(common_name="same.example"), now=NOW)
+        for counter in range(3):
+            handshake = perform_handshake(
+                ClientProfile(supported_versions=(TlsVersion.TLS_1_2,)),
+                ServerProfile(
+                    certificate_chain=(server_cert,),
+                    supported_versions=(TlsVersion.TLS_1_2,),
+                ),
+            )
+            builder.observe(
+                ConnectionRecord(
+                    uid=make_connection_uid(counter),
+                    timestamp=NOW,
+                    client_ip="10.0.0.1",
+                    client_port=40000 + counter,
+                    server_ip="192.0.2.2",
+                    server_port=443,
+                    handshake=handshake,
+                )
+            )
+        assert len(builder.logs.ssl) == 3
+        assert len(builder.logs.x509) == 1  # one unique certificate
+        assert builder.fuid_for(server_cert) == builder.logs.x509[0].fuid
+
+    def test_x509_record_fields(self, ca):
+        builder = ZeekLogBuilder()
+        record = builder.observe(_connection(ca, 1))
+        x509 = builder.logs.x509_by_fuid()[record.server_leaf_fuid]
+        assert x509.subject_cn == "svc.example"
+        assert x509.issuer_org == "Log Org"
+        assert x509.version == 3
+        assert int(x509.serial, 16) > 0
+        assert x509.key_length == 2048
+        assert not x509.has_inverted_validity
+
+    def test_unobserved_certificate_has_no_fuid(self, ca):
+        builder = ZeekLogBuilder()
+        cert, _ = ca.issue(Name.build(common_name="never-seen"), now=NOW)
+        assert builder.fuid_for(cert) is None

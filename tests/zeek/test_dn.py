@@ -1,0 +1,66 @@
+"""Tests for DN string formatting/parsing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.zeek.dn import dn_common_name, dn_get, dn_organization, format_dn, parse_dn
+
+
+class TestFormatParse:
+    def test_simple(self):
+        dn = format_dn([("CN", "leaf"), ("O", "Acme"), ("C", "US")])
+        assert dn == "CN=leaf,O=Acme,C=US"
+        assert parse_dn(dn) == [("CN", "leaf"), ("O", "Acme"), ("C", "US")]
+
+    def test_escaped_comma(self):
+        dn = format_dn([("O", "Acme, Inc.")])
+        assert dn == "O=Acme\\, Inc."
+        assert parse_dn(dn) == [("O", "Acme, Inc.")]
+
+    def test_escaped_plus_and_quotes(self):
+        pairs = [("CN", 'a+b"c')]
+        assert parse_dn(format_dn(pairs)) == pairs
+
+    def test_leading_space_escaped(self):
+        pairs = [("CN", " padded")]
+        assert parse_dn(format_dn(pairs)) == pairs
+
+    def test_empty_dn(self):
+        assert parse_dn("") == []
+        assert format_dn([]) == ""
+
+    def test_component_without_equals(self):
+        assert parse_dn("garbage") == [("", "garbage")]
+
+    def test_accessors(self):
+        dn = "CN=leaf,O=Acme,OU=Eng"
+        assert dn_common_name(dn) == "leaf"
+        assert dn_organization(dn) == "Acme"
+        assert dn_get(dn, "OU") == "Eng"
+        assert dn_get(dn, "C") is None
+
+    def test_first_value_wins(self):
+        assert dn_common_name("CN=a,CN=b") == "a"
+
+
+dn_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\x00"),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["CN", "O", "OU", "C", "UID"]), dn_values),
+                min_size=1, max_size=5))
+def test_round_trip_property(pairs):
+    assert parse_dn(format_dn(pairs)) == pairs
+
+
+def test_interop_with_x509_names():
+    """Names rendered by the x509 layer parse back with the zeek parser."""
+    from repro.x509 import Name
+
+    name = Name.build(common_name="web, site+x", organization="Acme; <Inc>")
+    parsed = dict(parse_dn(name.rfc4514()))
+    assert parsed["CN"] == "web, site+x"
+    assert parsed["O"] == "Acme; <Inc>"

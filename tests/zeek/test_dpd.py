@@ -1,0 +1,70 @@
+"""Tests for dynamic protocol detection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tls import TlsVersion
+from repro.zeek import encode_client_hello_preamble, looks_like_tls
+from repro.zeek.dpd import extract_sni
+
+
+class TestLooksLikeTls:
+    def test_client_hello_detected(self):
+        data = encode_client_hello_preamble()
+        assert looks_like_tls(data)
+
+    @pytest.mark.parametrize("version", list(TlsVersion))
+    def test_all_versions_detected(self, version):
+        assert looks_like_tls(encode_client_hello_preamble(version=version))
+
+    def test_http_not_detected(self):
+        assert not looks_like_tls(b"GET / HTTP/1.1\r\nHost: example.com\r\n")
+
+    def test_ssh_not_detected(self):
+        assert not looks_like_tls(b"SSH-2.0-OpenSSH_9.0\r\n")
+
+    def test_smtp_banner_not_detected(self):
+        assert not looks_like_tls(b"220 mail.example.com ESMTP\r\n")
+
+    def test_short_data_not_detected(self):
+        assert not looks_like_tls(b"\x16\x03\x01")
+
+    def test_wrong_handshake_type_not_detected(self):
+        data = bytearray(encode_client_hello_preamble())
+        data[5] = 0x02  # ServerHello instead of ClientHello
+        assert not looks_like_tls(bytes(data))
+
+    def test_implausible_record_length_rejected(self):
+        assert not looks_like_tls(b"\x16\x03\x01\xff\xff\x01")
+
+    def test_detection_is_port_independent(self):
+        """DPD looks at bytes only; there is no port anywhere in the API."""
+        data = encode_client_hello_preamble(sni="filewave.campus.example")
+        assert looks_like_tls(data)  # would be seen on port 20017 just as well
+
+    @given(st.binary(max_size=64))
+    def test_never_crashes(self, data):
+        looks_like_tls(data)
+
+
+class TestExtractSni:
+    def test_sni_round_trip(self):
+        data = encode_client_hello_preamble(sni="vpn.university.edu")
+        assert extract_sni(data) == "vpn.university.edu"
+
+    def test_no_sni(self):
+        data = encode_client_hello_preamble(sni=None)
+        assert extract_sni(data) is None
+
+    def test_non_tls_returns_none(self):
+        assert extract_sni(b"GET / HTTP/1.1\r\n") is None
+
+    def test_bad_random_length_rejected(self):
+        with pytest.raises(ValueError):
+            encode_client_hello_preamble(random_bytes=b"\x00" * 16)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-", min_size=1, max_size=40))
+    def test_sni_round_trip_property(self, sni):
+        data = encode_client_hello_preamble(sni=sni)
+        assert extract_sni(data) == sni

@@ -1,0 +1,79 @@
+"""Tests for rotated/gzipped log archives."""
+
+import gzip
+
+import pytest
+
+from repro.netsim import ScenarioConfig, TrafficGenerator
+from repro.zeek import TsvFormatError
+from repro.zeek.files import read_logs_directory, write_rotated_logs
+
+
+@pytest.fixture(scope="module")
+def logs():
+    result = TrafficGenerator(
+        ScenarioConfig(months=3, connections_per_month=250, seed=51)
+    ).generate()
+    return result.logs
+
+
+class TestRotation:
+    def test_one_file_per_month_per_stream(self, logs, tmp_path):
+        written = write_rotated_logs(logs, tmp_path, compress=False)
+        names = sorted(p.name for p in written)
+        ssl_files = [n for n in names if n.startswith("ssl.")]
+        x509_files = [n for n in names if n.startswith("x509.")]
+        assert len(ssl_files) == 3
+        assert 1 <= len(x509_files) <= 3
+        assert "ssl.2022-05.log" in names
+        assert "ssl.2022-07.log" in names
+
+    def test_round_trip_plain(self, logs, tmp_path):
+        write_rotated_logs(logs, tmp_path, compress=False)
+        loaded = read_logs_directory(tmp_path)
+        assert len(loaded.ssl) == len(logs.ssl)
+        assert len(loaded.x509) == len(logs.x509)
+        assert {r.uid for r in loaded.ssl} == {r.uid for r in logs.ssl}
+        assert {r.fingerprint for r in loaded.x509} == {
+            r.fingerprint for r in logs.x509
+        }
+
+    def test_round_trip_gzip(self, logs, tmp_path):
+        written = write_rotated_logs(logs, tmp_path, compress=True)
+        assert all(p.suffix == ".gz" for p in written)
+        # Files are genuinely gzipped.
+        with gzip.open(written[0], "rt") as f:
+            assert f.readline().startswith("#separator")
+        loaded = read_logs_directory(tmp_path)
+        assert len(loaded.ssl) == len(logs.ssl)
+
+    def test_mixed_plain_and_gzip(self, logs, tmp_path):
+        # First month gzipped (archived), later months plain (live).
+        write_rotated_logs(logs, tmp_path, compress=True)
+        plain_dir = tmp_path / "plain"
+        write_rotated_logs(logs, plain_dir, compress=False)
+        (plain_dir / "ssl.2022-05.log").rename(tmp_path / "extra-ignored.log")
+        loaded = read_logs_directory(tmp_path)
+        assert len(loaded.ssl) == len(logs.ssl)
+
+    def test_records_sorted_by_timestamp(self, logs, tmp_path):
+        write_rotated_logs(logs, tmp_path)
+        loaded = read_logs_directory(tmp_path)
+        timestamps = [r.ts for r in loaded.ssl]
+        assert timestamps == sorted(timestamps)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(TsvFormatError):
+            read_logs_directory(tmp_path)
+
+    def test_analysis_on_reloaded_archive(self, logs, tmp_path):
+        from repro.core.dataset import MtlsDataset
+
+        write_rotated_logs(logs, tmp_path)
+        loaded = read_logs_directory(tmp_path)
+        dataset = MtlsDataset.from_logs(loaded)
+        direct = MtlsDataset.from_logs(logs)
+        assert len(dataset) == len(direct)
+        assert set(dataset.certificate_profiles()) == set(
+            direct.certificate_profiles()
+        )

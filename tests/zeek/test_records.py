@@ -1,0 +1,104 @@
+"""Direct tests for SslRecord / X509Record derived properties."""
+
+import datetime as dt
+
+import pytest
+
+from repro.zeek import SslRecord, X509Record, make_file_uid
+
+UTC = dt.timezone.utc
+TS = dt.datetime(2023, 6, 1, tzinfo=UTC)
+
+
+def _x509(**overrides):
+    base = dict(
+        ts=TS, fuid="F1", fingerprint="ff", version=3, serial="0A",
+        subject="CN=subject", issuer="CN=Issuer CA,O=Issuer Org",
+        not_valid_before=dt.datetime(2023, 1, 1, tzinfo=UTC),
+        not_valid_after=dt.datetime(2024, 1, 1, tzinfo=UTC),
+        key_alg="rsaEncryption", sig_alg="sha256WithRSAEncryption",
+        key_length=2048,
+    )
+    base.update(overrides)
+    return X509Record(**base)
+
+
+class TestFileUid:
+    def test_prefix_and_length(self):
+        assert make_file_uid(0) == "F" + "0" * 16
+        assert make_file_uid(61).endswith("z")
+
+    def test_unique(self):
+        assert len({make_file_uid(i) for i in range(500)}) == 500
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_file_uid(-5)
+
+
+class TestSslRecordProperties:
+    def test_leaf_fuids(self):
+        record = SslRecord(
+            ts=TS, uid="C1", id_orig_h="10.0.0.1", id_orig_p=1, id_resp_h="2.2.2.2",
+            id_resp_p=443, version="TLSv12", cipher="x", server_name=None,
+            established=True, cert_chain_fuids=("Fa", "Fb"),
+            client_cert_chain_fuids=("Fc",),
+        )
+        assert record.server_leaf_fuid == "Fa"
+        assert record.client_leaf_fuid == "Fc"
+        assert record.is_mutual
+
+    def test_empty_chains(self):
+        record = SslRecord(
+            ts=TS, uid="C1", id_orig_h="10.0.0.1", id_orig_p=1, id_resp_h="2.2.2.2",
+            id_resp_p=443, version="TLSv12", cipher="x", server_name=None,
+            established=True,
+        )
+        assert record.server_leaf_fuid is None
+        assert not record.is_mutual
+
+
+class TestX509RecordProperties:
+    def test_dn_accessors(self):
+        record = _x509(subject="CN=dev-1,O=Acme,UID=ab1cd")
+        assert record.subject_cn == "dev-1"
+        assert record.subject_org == "Acme"
+        assert record.subject_uid == "ab1cd"
+        assert record.issuer_cn == "Issuer CA"
+        assert record.issuer_org == "Issuer Org"
+
+    def test_missing_dn_components(self):
+        record = _x509(subject="", issuer="CN=only-cn")
+        assert record.subject_cn is None
+        assert record.issuer_org is None
+
+    def test_validity_days(self):
+        record = _x509()
+        assert record.validity_days == pytest.approx(365.0)
+
+    def test_inverted(self):
+        record = _x509(
+            not_valid_before=dt.datetime(2024, 1, 1, tzinfo=UTC),
+            not_valid_after=dt.datetime(2023, 1, 1, tzinfo=UTC),
+        )
+        assert record.has_inverted_validity
+        assert record.validity_days < 0
+
+    def test_expiry_helpers(self):
+        record = _x509()
+        after = dt.datetime(2024, 2, 1, tzinfo=UTC)
+        before = dt.datetime(2023, 6, 1, tzinfo=UTC)
+        assert record.expired_at(after)
+        assert not record.expired_at(before)
+        assert record.days_expired(after) == pytest.approx(31.0)
+        # Naive datetimes are treated as UTC.
+        assert record.expired_at(dt.datetime(2024, 2, 1))
+
+    def test_eku_helpers(self):
+        absent = _x509()
+        assert absent.allows_server_auth and absent.allows_client_auth
+        server_only = _x509(eku=("serverAuth",))
+        assert server_only.allows_server_auth
+        assert not server_only.allows_client_auth
+        both = _x509(eku=("serverAuth", "clientAuth"))
+        assert both.allows_server_auth and both.allows_client_auth
