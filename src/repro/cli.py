@@ -22,10 +22,19 @@ from pathlib import Path
 from repro.core.cnsan import CnSanClassifier
 from repro.core.dataset import MtlsDataset
 from repro.core.enrich import Enricher
+from repro.core.report import render_ingest_health
 from repro.core.study import CampusStudy
-from repro.netsim import ScenarioConfig, TrafficGenerator
+from repro.netsim import FaultPlan, ScenarioConfig, TrafficGenerator
 from repro.trust import TrustBundle
-from repro.zeek import read_ssl_log, read_x509_log, write_ssl_log, write_x509_log
+from repro.zeek import (
+    ErrorPolicy,
+    IngestReport,
+    TsvFormatError,
+    read_ssl_log,
+    read_x509_log,
+    write_ssl_log,
+    write_x509_log,
+)
 
 #: study --table choices → CampusStudy method names.
 TABLE_CHOICES = {
@@ -35,6 +44,7 @@ TABLE_CHOICES = {
     "figure4": "figure4", "figure5": "figure5", "table7": "table7",
     "table8": "table8", "table9": "table9", "weak-crypto": "weak_crypto",
     "tls13": "tls13_blindspot", "interception": "interception_summary",
+    "ingest-health": "ingest_health",
 }
 
 
@@ -53,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser("study", help="run the full study and print tables")
     _add_scale_args(study)
+    _add_on_error_arg(study)
+    study.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="RATE",
+        help="corrupt ~RATE of the serialized log lines before re-ingesting "
+             "(exercises the resilient reader; implies a re-ingest pass)",
+    )
     study.add_argument(
         "--table", choices=sorted(TABLE_CHOICES), default=None,
         help="print one artifact instead of all",
@@ -68,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--campus-marker", default="university",
         help="issuer substring identifying campus-managed CAs",
     )
+    _add_on_error_arg(audit)
 
     intercept = sub.add_parser(
         "intercept", help="run the §3.2 interception filter on Zeek logs"
@@ -80,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
              "add trusted organizations)",
     )
     intercept.add_argument("--min-domains", type=int, default=5)
+    _add_on_error_arg(intercept)
 
     compare = sub.add_parser(
         "compare", help="diff two JSON study exports (from `study --json`)"
@@ -94,6 +112,18 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cpm", type=int, default=1000,
                         help="connections per month")
     parser.add_argument("--seed", type=int, default=7)
+
+
+def _add_on_error_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--on-error", choices=[p.value for p in ErrorPolicy], default="strict",
+        help="malformed-line policy: fail fast (strict), drop and count "
+             "(skip), or drop and capture raw lines (quarantine)",
+    )
+
+
+def _print_ingest_health(report: IngestReport, dangling: int | None = None) -> None:
+    print(render_ingest_health(report, dangling_fuid_refs=dangling).render())
 
 
 def _write_trust_bundle(bundle: TrustBundle, path: Path) -> None:
@@ -140,8 +170,21 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_study(args: argparse.Namespace) -> int:
+    if args.fault_rate < 0:
+        print("error: --fault-rate must be non-negative", file=sys.stderr)
+        return 2
+    fault_plan = (
+        FaultPlan.uniform(args.fault_rate, seed=args.seed)
+        if args.fault_rate > 0 else None
+    )
+    if fault_plan is not None and args.on_error == "strict":
+        print(
+            "warning: --fault-rate with --on-error strict will abort on the "
+            "first planted fault", file=sys.stderr,
+        )
     study = CampusStudy(
-        seed=args.seed, months=args.months, connections_per_month=args.cpm
+        seed=args.seed, months=args.months, connections_per_month=args.cpm,
+        on_error=args.on_error, fault_plan=fault_plan,
     )
     if getattr(args, "json", False):
         from repro.core.export import study_to_json
@@ -159,8 +202,12 @@ def cmd_study(args: argparse.Namespace) -> int:
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
+    report = IngestReport()
     with args.x509_log.open() as source:
-        records = read_x509_log(source)
+        records = read_x509_log(
+            source, on_error=args.on_error, report=report,
+            path=str(args.x509_log),
+        )
     classifier = CnSanClassifier(campus_issuer_markers=(args.campus_marker,))
     sensitive = ("PersonalName", "UserAccount", "Email", "MAC")
     findings = 0
@@ -174,14 +221,21 @@ def cmd_audit(args: argparse.Namespace) -> int:
                 print(f"[{info_type}] {fieldname}={value!r} "
                       f"(issuer: {record.issuer_org or '(missing)'})")
     print(f"{findings} sensitive values across {len(records)} certificates")
+    if args.on_error != "strict":
+        _print_ingest_health(report)
     return 0 if findings == 0 else 2
 
 
 def cmd_intercept(args: argparse.Namespace) -> int:
+    report = IngestReport()
     with args.ssl_log.open() as source:
-        ssl = read_ssl_log(source)
+        ssl = read_ssl_log(
+            source, on_error=args.on_error, report=report, path=str(args.ssl_log)
+        )
     with args.x509_log.open() as source:
-        x509 = read_x509_log(source)
+        x509 = read_x509_log(
+            source, on_error=args.on_error, report=report, path=str(args.x509_log)
+        )
     bundle = load_trust_bundle(args.trust_bundle)
 
     # Without a live CT client, reconstruct the 'genuine issuer per
@@ -216,15 +270,18 @@ def cmd_intercept(args: argparse.Namespace) -> int:
     enricher = Enricher(
         bundle=bundle, ct_log=ct, min_interception_domains=args.min_domains
     )
-    enriched = enricher.enrich(MtlsDataset(ssl, x509))
-    report = enriched.interception
-    for issuer in sorted(report.flagged_issuers):
+    dataset = MtlsDataset(ssl, x509, ingest_report=report)
+    enriched = enricher.enrich(dataset)
+    interception = enriched.interception
+    for issuer in sorted(interception.flagged_issuers):
         print(f"flagged: {issuer}")
     print(
-        f"{len(report.flagged_issuers)} issuers flagged, "
-        f"{len(report.excluded_fingerprints)} certificates "
-        f"({100 * report.excluded_fraction:.2f}%) excluded"
+        f"{len(interception.flagged_issuers)} issuers flagged, "
+        f"{len(interception.excluded_fingerprints)} certificates "
+        f"({100 * interception.excluded_fraction:.2f}%) excluded"
     )
+    if args.on_error != "strict":
+        _print_ingest_health(report, dataset.dangling_fuid_refs)
     return 0
 
 
@@ -247,7 +304,18 @@ def main(argv: list[str] | None = None) -> int:
         "intercept": cmd_intercept,
         "compare": cmd_compare,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except TsvFormatError as exc:
+        # Strict-mode ingestion failure: the message already carries
+        # path, line number, and field name.
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: re-run with --on-error skip (or quarantine) to drop "
+            "malformed lines and report them instead",
+            file=sys.stderr,
+        )
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

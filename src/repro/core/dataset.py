@@ -87,13 +87,24 @@ class MtlsDataset:
     fuid in the chain vector.
     """
 
-    def __init__(self, ssl_records: Iterable[SslRecord], x509_records: Iterable[X509Record]):
+    def __init__(
+        self,
+        ssl_records: Iterable[SslRecord],
+        x509_records: Iterable[X509Record],
+        ingest_report=None,
+    ):
         self._x509_by_fuid: dict[str, X509Record] = {}
         self._record_by_fingerprint: dict[str, X509Record] = {}
         for record in x509_records:
             self._x509_by_fuid[record.fuid] = record
             self._record_by_fingerprint.setdefault(record.fingerprint, record)
         self.connections: list[ConnView] = []
+        #: The IngestReport of the read that produced the records, when
+        #: they came through a lenient reader (None otherwise).
+        self.ingest_report = ingest_report
+        #: Leaf references whose fuid had no x509 row (corrupt or
+        #: dropped x509 stream); the connection is kept, the join is None.
+        self.dangling_fuid_refs = 0
         dropped = 0
         for ssl in ssl_records:
             if not ssl.established:
@@ -102,21 +113,27 @@ class MtlsDataset:
             self.connections.append(
                 ConnView(
                     ssl=ssl,
-                    server_leaf=self._leaf(ssl.server_leaf_fuid),
-                    client_leaf=self._leaf(ssl.client_leaf_fuid),
+                    server_leaf=self._join_leaf(ssl.server_leaf_fuid),
+                    client_leaf=self._join_leaf(ssl.client_leaf_fuid),
                 )
             )
         self.dropped_unestablished = dropped
         self._profiles: dict[str, CertProfile] | None = None
 
     @classmethod
-    def from_logs(cls, logs: ZeekLogs) -> "MtlsDataset":
-        return cls(logs.ssl, logs.x509)
+    def from_logs(cls, logs: ZeekLogs, ingest_report=None) -> "MtlsDataset":
+        return cls(logs.ssl, logs.x509, ingest_report=ingest_report)
 
     def _leaf(self, fuid: str | None) -> X509Record | None:
         if fuid is None:
             return None
         return self._x509_by_fuid.get(fuid)
+
+    def _join_leaf(self, fuid: str | None) -> X509Record | None:
+        leaf = self._leaf(fuid)
+        if fuid is not None and leaf is None:
+            self.dangling_fuid_refs += 1
+        return leaf
 
     def __len__(self) -> int:
         return len(self.connections)
@@ -181,4 +198,4 @@ class MtlsDataset:
             if fuids & excluded_fuids:
                 continue
             keep_ssl.append(conn.ssl)
-        return MtlsDataset(keep_ssl, keep_x509)
+        return MtlsDataset(keep_ssl, keep_x509, ingest_report=self.ingest_report)

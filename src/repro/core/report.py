@@ -54,3 +54,31 @@ def percentage(numerator: float, denominator: float, digits: int = 2) -> str:
 
 def fmt_count(value: int) -> str:
     return f"{value:,}"
+
+
+def render_ingest_health(report, *, dangling_fuid_refs: int | None = None) -> Table:
+    """Ingest-health section: what fraction of the input survived.
+
+    ``report`` is an :class:`repro.zeek.ingest.IngestReport` (duck-typed
+    to keep this module free of zeek imports)."""
+    table = Table("Ingest health", ["Metric", "Value"])
+    table.add_row("Files read", fmt_count(report.files_read))
+    table.add_row("Rows ingested", fmt_count(report.rows_ok))
+    table.add_row("Rows dropped", fmt_count(report.rows_dropped))
+    table.add_row("Drop rate (%)", f"{100.0 * report.drop_rate:.3f}")
+    table.add_row("Header recoveries", fmt_count(report.header_recoveries))
+    table.add_row("Truncated final lines", fmt_count(report.truncated_final_lines))
+    table.add_row("Files missing #close", fmt_count(report.files_missing_close))
+    table.add_row("Quarantined lines", fmt_count(len(report.quarantined)))
+    if dangling_fuid_refs is not None:
+        table.add_row("Dangling fuid references", fmt_count(dangling_fuid_refs))
+    for category in sorted(report.dropped_by_category):
+        table.add_row(
+            f"  dropped: {category}",
+            fmt_count(report.dropped_by_category[category]),
+        )
+    if report.issues_truncated:
+        table.add_note("issue list capped; counters remain exact")
+    if report.clean:
+        table.add_note("clean ingest: every input row was consumed")
+    return table

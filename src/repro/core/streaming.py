@@ -6,16 +6,28 @@ incrementally — e.g. one rotated monthly file at a time — and maintains
 the running aggregates for the headline results (Figure 1's series and
 Table 1's unique-certificate statistics) with memory proportional to the
 number of *unique certificates*, not connections.
+
+The analyzer checkpoints: `to_snapshot()` captures the complete running
+state as a JSON-serializable dict and `from_snapshot()` restores it, so
+a killed 23-month ingestion resumes from the last completed rotation and
+provably matches an uninterrupted run. The fuid→fingerprint map can be
+bounded (`max_fuid_map`) with FIFO eviction for adversarially long
+streams; evictions and dangling fuid references are both counted.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable
 
 from repro.core.prevalence import CertStatsRow, MonthlyShare
 from repro.trust import TrustBundle
 from repro.zeek import SslRecord, X509Record
+
+#: Snapshot schema tag; bump on incompatible layout changes.
+SNAPSHOT_FORMAT = "streaming-analyzer/v1"
 
 
 @dataclass
@@ -33,26 +45,48 @@ class StreamingAnalyzer:
 
     x509 records must be fed before (or together with) the ssl records
     that reference them — which is how Zeek writes its logs.
+
+    ``max_fuid_map`` bounds the fuid→fingerprint map (None = unbounded);
+    when full, the oldest entries are evicted FIFO and any later ssl
+    reference to an evicted fuid counts as ``dropped_dangling_fuid``.
     """
 
-    def __init__(self, bundle: TrustBundle) -> None:
+    def __init__(
+        self, bundle: TrustBundle, *, max_fuid_map: int | None = None
+    ) -> None:
+        if max_fuid_map is not None and max_fuid_map <= 0:
+            raise ValueError("max_fuid_map must be positive (or None)")
         self.bundle = bundle
+        self.max_fuid_map = max_fuid_map
         self._fuid_to_fp: dict[str, str] = {}
         self._certs: dict[str, _CertState] = {}
         self._monthly_total: dict[str, int] = {}
         self._monthly_mutual: dict[str, int] = {}
         self.connections_seen = 0
         self.dropped_unestablished = 0
+        #: ssl chain references whose fuid had no (surviving) x509 row.
+        self.dropped_dangling_fuid = 0
+        self.fuid_evictions = 0
 
     # Feeding -------------------------------------------------------------------
 
     def add_x509(self, records: Iterable[X509Record]) -> None:
         for record in records:
+            if record.fuid in self._fuid_to_fp:
+                # Refresh recency so re-announced fuids survive eviction.
+                del self._fuid_to_fp[record.fuid]
             self._fuid_to_fp[record.fuid] = record.fingerprint
             if record.fingerprint not in self._certs:
                 public = self.bundle.knows_issuer_dn(record.issuer) or \
                     self.bundle.knows_organization(record.issuer_org)
                 self._certs[record.fingerprint] = _CertState(public=public)
+            if (
+                self.max_fuid_map is not None
+                and len(self._fuid_to_fp) > self.max_fuid_map
+            ):
+                oldest = next(iter(self._fuid_to_fp))
+                del self._fuid_to_fp[oldest]
+                self.fuid_evictions += 1
 
     def add_ssl(self, records: Iterable[SslRecord]) -> None:
         for record in records:
@@ -80,6 +114,7 @@ class StreamingAnalyzer:
             return
         fingerprint = self._fuid_to_fp.get(fuid)
         if fingerprint is None:
+            self.dropped_dangling_fuid += 1
             return
         state = self._certs[fingerprint]
         if role == "server":
@@ -87,6 +122,81 @@ class StreamingAnalyzer:
         else:
             state.used_as_client = True
         state.used_in_mutual = state.used_in_mutual or mutual
+
+    # Checkpointing -------------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """The complete running state as a JSON-serializable dict.
+
+        Certificate states are encoded as compact 0/1 quadruplets
+        ``[public, used_as_server, used_as_client, used_in_mutual]``.
+        Dict insertion order (which drives fuid eviction) survives the
+        JSON round trip, so a resumed run is byte-identical to an
+        uninterrupted one.
+        """
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "max_fuid_map": self.max_fuid_map,
+            "fuid_to_fp": dict(self._fuid_to_fp),
+            "certs": {
+                fp: [
+                    int(s.public), int(s.used_as_server),
+                    int(s.used_as_client), int(s.used_in_mutual),
+                ]
+                for fp, s in self._certs.items()
+            },
+            "monthly_total": dict(self._monthly_total),
+            "monthly_mutual": dict(self._monthly_mutual),
+            "connections_seen": self.connections_seen,
+            "dropped_unestablished": self.dropped_unestablished,
+            "dropped_dangling_fuid": self.dropped_dangling_fuid,
+            "fuid_evictions": self.fuid_evictions,
+        }
+
+    @classmethod
+    def from_snapshot(cls, bundle: TrustBundle, snapshot: dict) -> "StreamingAnalyzer":
+        """Restore an analyzer from `to_snapshot()` output."""
+        found = snapshot.get("format")
+        if found != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported snapshot format {found!r} "
+                f"(expected {SNAPSHOT_FORMAT!r})"
+            )
+        analyzer = cls(bundle, max_fuid_map=snapshot.get("max_fuid_map"))
+        analyzer._fuid_to_fp = dict(snapshot["fuid_to_fp"])
+        analyzer._certs = {
+            fp: _CertState(
+                public=bool(flags[0]),
+                used_as_server=bool(flags[1]),
+                used_as_client=bool(flags[2]),
+                used_in_mutual=bool(flags[3]),
+            )
+            for fp, flags in snapshot["certs"].items()
+        }
+        analyzer._monthly_total = dict(snapshot["monthly_total"])
+        analyzer._monthly_mutual = dict(snapshot["monthly_mutual"])
+        analyzer.connections_seen = snapshot["connections_seen"]
+        analyzer.dropped_unestablished = snapshot["dropped_unestablished"]
+        analyzer.dropped_dangling_fuid = snapshot.get("dropped_dangling_fuid", 0)
+        analyzer.fuid_evictions = snapshot.get("fuid_evictions", 0)
+        return analyzer
+
+    def write_checkpoint(self, path: Path | str) -> Path:
+        """Persist the snapshot as JSON; atomic against a reader (the
+        temp file is renamed into place only once fully written)."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.to_snapshot()), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def from_checkpoint(
+        cls, bundle: TrustBundle, path: Path | str
+    ) -> "StreamingAnalyzer":
+        return cls.from_snapshot(
+            bundle, json.loads(Path(path).read_text(encoding="utf-8"))
+        )
 
     # Queries -------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ analysis as a method.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
 
 from repro.core import (
@@ -15,8 +16,24 @@ from repro.core import (
 )
 from repro.core.dataset import MtlsDataset
 from repro.core.enrich import EnrichedDataset, Enricher
-from repro.core.report import Table
-from repro.netsim import ScenarioConfig, SimulationResult, TrafficGenerator
+from repro.core.report import Table, render_ingest_health
+from repro.netsim import (
+    CorruptionSummary,
+    FaultPlan,
+    LogCorruptor,
+    ScenarioConfig,
+    SimulationResult,
+    TrafficGenerator,
+)
+from repro.zeek import (
+    ErrorPolicy,
+    IngestReport,
+    ZeekLogs,
+    read_ssl_log,
+    read_x509_log,
+    ssl_log_to_string,
+    x509_log_to_string,
+)
 
 
 @dataclass
@@ -26,10 +43,21 @@ class StudyResult:
     simulation: SimulationResult
     dataset: MtlsDataset
     enriched: EnrichedDataset
+    #: Populated when the campaign went through the TSV reader (i.e.
+    #: `on_error` is lenient or a fault plan was given).
+    ingest_report: IngestReport | None = None
+    corruption: CorruptionSummary | None = None
 
 
 class CampusStudy:
-    """Reproduces the paper's study on a synthetic campus campaign."""
+    """Reproduces the paper's study on a synthetic campus campaign.
+
+    With ``on_error`` set to ``skip``/``quarantine`` (or a ``fault_plan``
+    given), the generated campaign is serialized to Zeek TSV, optionally
+    corrupted by the fault plan, and re-ingested through the resilient
+    reader — the same path an operator's rotated archive takes — and the
+    study report gains an ingest-health section.
+    """
 
     def __init__(
         self,
@@ -38,11 +66,15 @@ class CampusStudy:
         connections_per_month: int = 2000,
         config: ScenarioConfig | None = None,
         filter_interception: bool = True,
+        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config or ScenarioConfig(
             seed=seed, months=months, connections_per_month=connections_per_month
         )
         self.filter_interception = filter_interception
+        self.on_error = ErrorPolicy.coerce(on_error)
+        self.fault_plan = fault_plan
         self._result: StudyResult | None = None
 
     def run(self) -> StudyResult:
@@ -50,7 +82,12 @@ class CampusStudy:
         if self._result is not None:
             return self._result
         simulation = TrafficGenerator(self.config).generate()
-        dataset = MtlsDataset.from_logs(simulation.logs)
+        logs = simulation.logs
+        ingest_report = None
+        corruption = None
+        if self.fault_plan is not None or self.on_error.lenient:
+            logs, ingest_report, corruption = self._reingest(logs)
+        dataset = MtlsDataset.from_logs(logs, ingest_report=ingest_report)
         enricher = Enricher(
             bundle=simulation.trust_bundle,
             ct_log=simulation.ct_log,
@@ -58,9 +95,32 @@ class CampusStudy:
         )
         enriched = enricher.enrich(dataset)
         self._result = StudyResult(
-            simulation=simulation, dataset=dataset, enriched=enriched
+            simulation=simulation, dataset=dataset, enriched=enriched,
+            ingest_report=ingest_report, corruption=corruption,
         )
         return self._result
+
+    def _reingest(
+        self, logs: ZeekLogs
+    ) -> tuple[ZeekLogs, IngestReport, CorruptionSummary | None]:
+        """Serialize → (optionally) corrupt → re-read under the policy."""
+        ssl_text = ssl_log_to_string(logs.ssl)
+        x509_text = x509_log_to_string(logs.x509)
+        corruption = None
+        if self.fault_plan is not None:
+            ssl_text, x509_text, corruption = LogCorruptor(
+                self.fault_plan
+            ).corrupt_logs(ssl_text, x509_text)
+        report = IngestReport()
+        ssl = read_ssl_log(
+            io.StringIO(ssl_text), on_error=self.on_error,
+            report=report, path="ssl.log",
+        )
+        x509 = read_x509_log(
+            io.StringIO(x509_text), on_error=self.on_error,
+            report=report, path="x509.log",
+        )
+        return ZeekLogs(ssl=ssl, x509=x509), report, corruption
 
     @property
     def enriched(self) -> EnrichedDataset:
@@ -195,12 +255,29 @@ class CampusStudy:
         )
         return table
 
+    def ingest_health(self) -> Table:
+        """Ingest-health section: what the resilient reader consumed,
+        dropped, and recovered (strict in-memory runs have no report)."""
+        result = self.run()
+        if result.ingest_report is None:
+            table = Table("Ingest health", ["Metric", "Value"])
+            table.add_note(
+                "strict in-memory run — logs never went through the "
+                "TSV reader; use on_error='skip'/'quarantine' or a fault "
+                "plan to exercise ingestion"
+            )
+            return table
+        return render_ingest_health(
+            result.ingest_report,
+            dangling_fuid_refs=result.dataset.dangling_fuid_refs,
+        )
+
     def all_tables(self) -> list[Table]:
         """Every table/figure in paper order (used by the full example)."""
         table13a, table13b = self.table13()
         table14a, table14b = self.table14()
         serial_in, serial_out = self.serial_collision_tables()
-        return [
+        tables = [
             self.table1(), self.figure1(), self.table2(), self.table3(),
             self.figure2(), self.table4(), serial_in, serial_out,
             self.table5(), self.table6(), self.figure3(), self.figure4(),
@@ -209,3 +286,6 @@ class CampusStudy:
             self.san_types(), self.weak_crypto(), self.tls13_blindspot(),
             self.interception_summary(),
         ]
+        if self.run().ingest_report is not None:
+            tables.append(self.ingest_health())
+        return tables

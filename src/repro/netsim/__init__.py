@@ -15,9 +15,13 @@ from repro.netsim.network import AddressSpace
 from repro.netsim.ct import CtLog
 from repro.netsim.scenario import ScenarioConfig
 from repro.netsim.cas import CaUniverse
+from repro.netsim.faults import CorruptionSummary, FaultPlan, LogCorruptor
 from repro.netsim.generator import GroundTruth, SimulationResult, TrafficGenerator
 
 __all__ = [
+    "CorruptionSummary",
+    "FaultPlan",
+    "LogCorruptor",
     "CampaignClock",
     "AddressSpace",
     "CtLog",

@@ -1,0 +1,264 @@
+"""Deterministic fault injection for serialized Zeek logs.
+
+A 23-month border capture never arrives pristine: writers crash
+mid-record, disks flip bytes, rotations restart, and referenced x509
+rows go missing. :class:`LogCorruptor` plants exactly those faults into
+serialized log text in a *seeded, ground-truth-aware* way, so tests can
+assert that the resilient reader recovers planted statistics within a
+stated tolerance — and that the :class:`~repro.zeek.ingest.IngestReport`
+accounts for every dropped line exactly.
+
+Fault types (all independently rated by a :class:`FaultPlan`):
+
+- ``flip_rate``        — flip a byte inside a fragile field (ts, port,
+  count, bool) so the row fails field parsing;
+- ``garbage_rate``     — inject undecodable garbage lines;
+- ``duplicate_rate``   — duplicate data lines (a replayed flush);
+- ``drop_x509_rate``   — drop x509 rows, creating dangling fuids in the
+  ssl stream (only applied to x509 logs);
+- ``reorder_columns``  — permute the column order (schema drift across
+  a Zeek upgrade); lossless for the lenient reader;
+- ``truncate_final_record`` — cut the last data row mid-record and drop
+  everything after it (a crashed writer's tail);
+- ``drop_close``       — remove the ``#close`` footer (mid-rotation
+  restart).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+#: Columns whose parsers deterministically reject a flipped byte,
+#: per log kind: (column index, column name).
+_FRAGILE_COLUMNS = {
+    "ssl": ((0, "ts"), (3, "id.orig_p"), (9, "established")),
+    "x509": ((0, "ts"), (3, "certificate.version"), (11, "certificate.key_length")),
+}
+
+#: The flipped byte: never '#' (would hide the row as a comment), never
+#: a tab (would change the cell count), never parseable as a digit/bool.
+_FLIP_CHAR = "x"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of which faults to plant, at which rates."""
+
+    seed: int = 0
+    flip_rate: float = 0.0
+    garbage_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    drop_x509_rate: float = 0.0
+    reorder_columns: bool = False
+    truncate_final_record: bool = False
+    drop_close: bool = False
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A mixed plan touching ~``rate`` of all lines, split across
+        row-level fault types, plus one structural fault of each kind."""
+        if rate < 0:
+            raise ValueError("fault rate must be non-negative")
+        return cls(
+            seed=seed,
+            flip_rate=rate * 0.4,
+            garbage_rate=rate * 0.2,
+            duplicate_rate=rate * 0.2,
+            drop_x509_rate=rate * 0.2,
+            reorder_columns=rate > 0,
+            truncate_final_record=rate > 0,
+            drop_close=rate > 0,
+        )
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        return replace(
+            self,
+            flip_rate=self.flip_rate * factor,
+            garbage_rate=self.garbage_rate * factor,
+            duplicate_rate=self.duplicate_rate * factor,
+            drop_x509_rate=self.drop_x509_rate * factor,
+        )
+
+
+@dataclass
+class CorruptionSummary:
+    """Ground truth of what one corruption pass actually planted."""
+
+    flipped_lines: int = 0
+    garbage_lines: int = 0
+    duplicated_lines: int = 0
+    dropped_x509_rows: int = 0
+    dropped_fuids: set[str] = field(default_factory=set)
+    truncated_records: int = 0
+    reordered_columns: bool = False
+    dropped_close: bool = False
+
+    @property
+    def expected_reader_drops(self) -> int:
+        """Rows the lenient reader must drop — and account for —
+        exactly. (Duplicates parse fine; reordered columns are remapped;
+        x509 drops never reach the reader.)"""
+        return self.flipped_lines + self.garbage_lines + self.truncated_records
+
+    def merge(self, other: "CorruptionSummary") -> "CorruptionSummary":
+        return CorruptionSummary(
+            flipped_lines=self.flipped_lines + other.flipped_lines,
+            garbage_lines=self.garbage_lines + other.garbage_lines,
+            duplicated_lines=self.duplicated_lines + other.duplicated_lines,
+            dropped_x509_rows=self.dropped_x509_rows + other.dropped_x509_rows,
+            dropped_fuids=self.dropped_fuids | other.dropped_fuids,
+            truncated_records=self.truncated_records + other.truncated_records,
+            reordered_columns=self.reordered_columns or other.reordered_columns,
+            dropped_close=self.dropped_close or other.dropped_close,
+        )
+
+
+class LogCorruptor:
+    """Applies a :class:`FaultPlan` to serialized Zeek log text.
+
+    Deterministic: the same plan applied to the same text always yields
+    the same corrupted text, independently of call order (each call
+    derives its RNG from ``(seed, kind)``).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def corrupt(self, text: str, kind: str = "ssl") -> tuple[str, CorruptionSummary]:
+        """Corrupt one serialized log; returns (text, ground truth)."""
+        if kind not in _FRAGILE_COLUMNS:
+            raise ValueError(f"unknown log kind {kind!r}")
+        plan = self.plan
+        rng = random.Random(f"{plan.seed}:{kind}")
+        summary = CorruptionSummary()
+        lines = text.splitlines()
+
+        # Pass 1: drop x509 rows (dangling fuids downstream).
+        if kind == "x509" and plan.drop_x509_rate > 0:
+            kept: list[str] = []
+            for line in lines:
+                if not line.startswith("#") and rng.random() < plan.drop_x509_rate:
+                    cells = line.split("\t")
+                    if len(cells) > 1:
+                        summary.dropped_fuids.add(cells[1])
+                    summary.dropped_x509_rows += 1
+                    continue
+                kept.append(line)
+            lines = kept
+
+        # The final data row is reserved for truncation: no other fault
+        # may touch it, or drop accounting would double-count it.
+        reserved = -1
+        if plan.truncate_final_record:
+            for index in range(len(lines) - 1, -1, -1):
+                if not lines[index].startswith("#"):
+                    reserved = index
+                    break
+
+        # Pass 2: duplicates, flips, and garbage insertions.
+        out: list[str] = []
+        for index, line in enumerate(lines):
+            pristine = line
+            is_data = not line.startswith("#") and index != reserved
+            if is_data and rng.random() < plan.garbage_rate:
+                out.append(self._garbage_line(rng))
+                summary.garbage_lines += 1
+            if is_data and rng.random() < plan.flip_rate:
+                line = self._flip(rng, line, kind)
+                summary.flipped_lines += 1
+            out.append(line)
+            if is_data and rng.random() < plan.duplicate_rate:
+                # Duplicate the pristine copy: a replayed flush re-emits
+                # the record, it doesn't replay a later byte flip (and a
+                # duplicated *bad* line would break exact accounting).
+                out.append(pristine)
+                summary.duplicated_lines += 1
+        lines = out
+
+        # Pass 3: structural faults.
+        if plan.reorder_columns:
+            lines = self._reorder(rng, lines)
+            summary.reordered_columns = True
+        if plan.drop_close:
+            lines = [line for line in lines if line != "#close"]
+            summary.dropped_close = True
+        truncated_tail = False
+        if plan.truncate_final_record:
+            for index in range(len(lines) - 1, -1, -1):
+                if not lines[index].startswith("#"):
+                    cut = max(1, len(lines[index]) // 2)
+                    lines = lines[: index + 1]
+                    lines[index] = lines[index][:cut]
+                    summary.truncated_records += 1
+                    truncated_tail = True
+                    break
+
+        corrupted = "\n".join(lines)
+        if not truncated_tail and corrupted:
+            corrupted += "\n"
+        return corrupted, summary
+
+    def corrupt_logs(
+        self, ssl_text: str, x509_text: str
+    ) -> tuple[str, str, CorruptionSummary]:
+        """Corrupt a linked ssl/x509 pair; returns combined ground truth."""
+        ssl_out, ssl_summary = self.corrupt(ssl_text, "ssl")
+        x509_out, x509_summary = self.corrupt(x509_text, "x509")
+        return ssl_out, x509_out, ssl_summary.merge(x509_summary)
+
+    # ------------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _garbage_line(rng: random.Random) -> str:
+        """An undecodable line: mojibake, control bytes, no tabs."""
+        junk = "".join(
+            rng.choice("�þß\x01\x02GARBLE0123456789")
+            for _ in range(rng.randint(8, 40))
+        )
+        return f"�{junk}"
+
+    @staticmethod
+    def _flip(rng: random.Random, line: str, kind: str) -> str:
+        """Flip one byte inside a fragile field so parsing fails."""
+        cells = line.split("\t")
+        candidates = [
+            (idx, name) for idx, name in _FRAGILE_COLUMNS[kind] if idx < len(cells)
+        ]
+        idx, _name = rng.choice(candidates)
+        cell = cells[idx]
+        pos = rng.randrange(len(cell)) if cell else 0
+        cells[idx] = cell[:pos] + _FLIP_CHAR + cell[pos + 1 :] if cell else _FLIP_CHAR
+        return "\t".join(cells)
+
+    @staticmethod
+    def _reorder(rng: random.Random, lines: list[str]) -> list[str]:
+        """Permute the columns of #fields/#types and every well-formed
+        data row consistently (garbage lines are left as-is)."""
+        width = None
+        for line in lines:
+            if line.startswith("#fields\t"):
+                width = len(line.split("\t")) - 1
+                break
+        if not width or width < 2:
+            return lines
+        order = list(range(width))
+        while True:
+            rng.shuffle(order)
+            if order != list(range(width)):
+                break
+
+        def permute(cells: list[str]) -> list[str]:
+            return [cells[i] for i in order]
+
+        out = []
+        for line in lines:
+            if line.startswith(("#fields\t", "#types\t")):
+                tag, *cells = line.split("\t")
+                out.append("\t".join([tag] + permute(cells)))
+            elif not line.startswith("#"):
+                cells = line.split("\t")
+                out.append("\t".join(permute(cells)) if len(cells) == width else line)
+            else:
+                out.append(line)
+        return out

@@ -18,16 +18,22 @@ from repro.zeek.records import SslRecord, X509Record, make_file_uid
 from repro.zeek.dn import format_dn, parse_dn
 from repro.zeek.builder import ZeekLogBuilder, ZeekLogs
 from repro.zeek.dpd import encode_client_hello_preamble, looks_like_tls
+from repro.zeek.ingest import ErrorPolicy, IngestIssue, IngestReport
 from repro.zeek.tsv import (
     TsvFormatError,
     read_ssl_log,
     read_x509_log,
+    ssl_log_to_string,
     write_ssl_log,
     write_x509_log,
+    x509_log_to_string,
 )
 from repro.zeek.files import read_logs_directory, write_rotated_logs
 
 __all__ = [
+    "ErrorPolicy",
+    "IngestIssue",
+    "IngestReport",
     "SslRecord",
     "X509Record",
     "make_file_uid",
@@ -40,8 +46,10 @@ __all__ = [
     "TsvFormatError",
     "read_ssl_log",
     "read_x509_log",
+    "ssl_log_to_string",
     "write_ssl_log",
     "write_x509_log",
+    "x509_log_to_string",
     "read_logs_directory",
     "write_rotated_logs",
 ]

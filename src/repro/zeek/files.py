@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Callable, Iterable, TextIO
 
 from repro.zeek.builder import ZeekLogs
+from repro.zeek.ingest import ErrorPolicy, IngestReport
 from repro.zeek.records import SslRecord, X509Record
 from repro.zeek.tsv import (
     TsvFormatError,
@@ -65,20 +66,34 @@ def write_rotated_logs(
     return written
 
 
-def _read_many(paths: Iterable[Path], reader: Callable) -> list:
+def _read_many(
+    paths: Iterable[Path],
+    reader: Callable,
+    on_error: ErrorPolicy | str,
+    report: IngestReport | None,
+) -> list:
     records: list = []
     for path in sorted(paths):
         with _open_text(path, "r") as source:
-            records.extend(reader(source))
+            records.extend(
+                reader(source, on_error=on_error, report=report, path=str(path))
+            )
     return records
 
 
-def read_logs_directory(directory: Path | str) -> ZeekLogs:
+def read_logs_directory(
+    directory: Path | str,
+    *,
+    on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+    report: IngestReport | None = None,
+) -> ZeekLogs:
     """Load every rotated ssl/x509 log file from a directory.
 
     Plain and gzipped files may be mixed. Records are returned in
     timestamp order. Raises TsvFormatError if the directory contains no
-    log files at all.
+    log files at all. Under the ``skip``/``quarantine`` policies,
+    malformed rows are dropped and accounted for in ``report``; pass an
+    :class:`~repro.zeek.ingest.IngestReport` to collect them.
     """
     directory = Path(directory)
     ssl_paths = list(directory.glob("ssl.*.log")) + list(directory.glob("ssl.*.log.gz"))
@@ -87,8 +102,10 @@ def read_logs_directory(directory: Path | str) -> ZeekLogs:
     )
     if not ssl_paths and not x509_paths:
         raise TsvFormatError(f"no rotated Zeek logs found in {directory}")
-    ssl_records: list[SslRecord] = _read_many(ssl_paths, read_ssl_log)
-    x509_records: list[X509Record] = _read_many(x509_paths, read_x509_log)
+    ssl_records: list[SslRecord] = _read_many(ssl_paths, read_ssl_log, on_error, report)
+    x509_records: list[X509Record] = _read_many(
+        x509_paths, read_x509_log, on_error, report
+    )
     ssl_records.sort(key=lambda r: r.ts)
     x509_records.sort(key=lambda r: r.ts)
     return ZeekLogs(ssl=ssl_records, x509=x509_records)

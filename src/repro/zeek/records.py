@@ -47,7 +47,10 @@ class SslRecord:
     established: bool
     cert_chain_fuids: tuple[str, ...] = ()
     client_cert_chain_fuids: tuple[str, ...] = ()
-    validation_status: str = ""
+    #: Zeek leaves this unset (None) when no validation ran; an empty
+    #: string is a distinct, observed-but-empty value. Both survive a
+    #: TSV round trip ('-' vs '(empty)').
+    validation_status: str | None = ""
     #: Session resumption (Zeek's `resumed` field): abbreviated
     #: handshakes carry no certificates.
     resumed: bool = False

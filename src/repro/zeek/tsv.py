@@ -4,14 +4,28 @@ Implements the header conventions of Zeek ASCII logs (``#separator``,
 ``#fields``, ``#types``, ``-`` for unset, ``(empty)`` for empty vectors)
 and escapes separator characters inside values so that free-text
 certificate subjects survive a round trip.
+
+Readers take an :class:`~repro.zeek.ingest.ErrorPolicy`:
+
+- ``strict`` (default) fails on the first malformed line, with file
+  path, line number, and field name attached to the error;
+- ``skip`` drops malformed rows and counts them in an
+  :class:`~repro.zeek.ingest.IngestReport`;
+- ``quarantine`` additionally captures the raw text of each bad line.
+
+The lenient policies also tolerate truncated final lines (a crashed
+writer), a missing ``#close`` footer (a mid-rotation restart), and
+reordered ``#fields`` headers (columns are remapped to the expected
+order).
 """
 
 from __future__ import annotations
 
 import datetime as _dt
 import io
-from typing import Iterable, Sequence, TextIO
+from typing import Callable, Iterable, Sequence, TextIO
 
+from repro.zeek.ingest import ErrorPolicy, IngestReport
 from repro.zeek.records import SslRecord, X509Record
 
 _UNSET = "-"
@@ -20,7 +34,46 @@ _SET_SEP = ","
 
 
 class TsvFormatError(Exception):
-    """Raised when a log file does not parse."""
+    """Raised when a log file does not parse.
+
+    ``path``, ``line_number``, and ``field`` locate the fault when
+    known; the rendered message includes whichever are available.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        path: str | None = None,
+        line_number: int | None = None,
+        field: str | None = None,
+    ) -> None:
+        self.reason = reason
+        self.path = path
+        self.line_number = line_number
+        self.field = field
+        parts = []
+        if path is not None:
+            parts.append(str(path))
+        if line_number is not None:
+            parts.append(f"line {line_number}")
+        if field is not None:
+            parts.append(f"field {field!r}")
+        prefix = ", ".join(parts)
+        super().__init__(f"{prefix}: {reason}" if prefix else reason)
+
+    def with_context(
+        self, *, path: str | None, line_number: int | None, field: str | None
+    ) -> "TsvFormatError":
+        """The same fault, annotated with location (existing context wins)."""
+        return TsvFormatError(
+            self.reason,
+            path=self.path if self.path is not None else path,
+            line_number=(
+                self.line_number if self.line_number is not None else line_number
+            ),
+            field=self.field if self.field is not None else field,
+        )
 
 
 def _escape(value: str) -> str:
@@ -64,7 +117,17 @@ def _format_time(ts: _dt.datetime) -> str:
 
 
 def _parse_time(text: str) -> _dt.datetime:
-    return _dt.datetime.fromtimestamp(float(text), tz=_dt.timezone.utc)
+    try:
+        return _dt.datetime.fromtimestamp(float(text), tz=_dt.timezone.utc)
+    except (ValueError, OverflowError, OSError) as exc:
+        raise TsvFormatError(f"bad time value {text!r}: {exc}") from exc
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise TsvFormatError(f"not an integer: {text!r}") from exc
 
 
 def _format_vector(values: Sequence[str]) -> str:
@@ -87,6 +150,24 @@ def _parse_optional(text: str) -> str | None:
     return None if text == _UNSET else _unescape(text)
 
 
+def _format_nullable(value: str | None) -> str:
+    """Like `_format_optional` but keeps empty-vs-unset distinct:
+    None -> '-', '' -> '(empty)' (Zeek's empty_field marker)."""
+    if value is None:
+        return _UNSET
+    if value == "":
+        return _EMPTY
+    return _escape(value)
+
+
+def _parse_nullable(text: str) -> str | None:
+    if text == _UNSET:
+        return None
+    if text == _EMPTY:
+        return ""
+    return _unescape(text)
+
+
 def _format_bool(value: bool) -> str:
     return "T" if value else "F"
 
@@ -97,6 +178,18 @@ def _parse_bool(text: str) -> bool:
     if text == "F":
         return False
     raise TsvFormatError(f"not a bool: {text!r}")
+
+
+def _parse_string(text: str) -> str:
+    return text
+
+
+def _parse_optional_bool(text: str) -> bool | None:
+    return None if text == _UNSET else _parse_bool(text)
+
+
+def _parse_defaulted_str(text: str) -> str:
+    return _parse_optional(text) or ""
 
 
 _SSL_FIELDS = [
@@ -137,6 +230,46 @@ _X509_FIELDS = [
     ("extended_key_usage", "vector[string]"),
 ]
 
+#: Per-column parsers: (record keyword, parser) aligned with the
+#: corresponding *_FIELDS list, so a parse failure can name the column.
+_SSL_PARSERS: list[tuple[str, Callable]] = [
+    ("ts", _parse_time),
+    ("uid", _parse_string),
+    ("id_orig_h", _parse_string),
+    ("id_orig_p", _parse_int),
+    ("id_resp_h", _parse_string),
+    ("id_resp_p", _parse_int),
+    ("version", _parse_string),
+    ("cipher", _parse_string),
+    ("server_name", _parse_optional),
+    ("established", _parse_bool),
+    ("cert_chain_fuids", _parse_vector),
+    ("client_cert_chain_fuids", _parse_vector),
+    ("validation_status", _parse_nullable),
+    ("resumed", _parse_bool),
+]
+
+_X509_PARSERS: list[tuple[str, Callable]] = [
+    ("ts", _parse_time),
+    ("fuid", _parse_string),
+    ("fingerprint", _parse_string),
+    ("version", _parse_int),
+    ("serial", _parse_string),
+    ("subject", _parse_defaulted_str),
+    ("issuer", _parse_defaulted_str),
+    ("not_valid_before", _parse_time),
+    ("not_valid_after", _parse_time),
+    ("key_alg", _parse_string),
+    ("sig_alg", _parse_string),
+    ("key_length", _parse_int),
+    ("san_dns", _parse_vector),
+    ("san_uri", _parse_vector),
+    ("san_email", _parse_vector),
+    ("san_ip", _parse_vector),
+    ("basic_constraints_ca", _parse_optional_bool),
+    ("eku", _parse_vector),
+]
+
 
 def _write_header(out: TextIO, path: str, fields: list[tuple[str, str]]) -> None:
     out.write("#separator \\x09\n")
@@ -165,7 +298,7 @@ def write_ssl_log(records: Iterable[SslRecord], out: TextIO) -> None:
             _format_bool(r.established),
             _format_vector(r.cert_chain_fuids),
             _format_vector(r.client_cert_chain_fuids),
-            _format_optional(r.validation_status or None),
+            _format_nullable(r.validation_status),
             _format_bool(r.resumed),
         ]
         out.write("\t".join(row) + "\n")
@@ -201,93 +334,245 @@ def write_x509_log(records: Iterable[X509Record], out: TextIO) -> None:
     out.write("#close\n")
 
 
-def _iter_data_rows(
-    source: TextIO, expected_path: str, expected_fields: list[tuple[str, str]]
-) -> Iterable[list[str]]:
-    field_names = [name for name, _ in expected_fields]
-    seen_fields: list[str] | None = None
-    for line_number, line in enumerate(source, start=1):
-        line = line.rstrip("\n")
-        if not line:
-            continue
-        if line.startswith("#"):
-            if line.startswith("#path\t"):
-                path = line.split("\t", 1)[1]
-                if path != expected_path:
-                    raise TsvFormatError(
-                        f"expected #path {expected_path}, found {path}"
+class _LogReader:
+    """One pass over one log stream under one error policy."""
+
+    def __init__(
+        self,
+        expected_path: str,
+        fields: list[tuple[str, str]],
+        parsers: list[tuple[str, Callable]],
+        factory: Callable,
+        policy: ErrorPolicy,
+        report: IngestReport | None,
+        path: str | None,
+    ) -> None:
+        self.expected_path = expected_path
+        self.field_names = [name for name, _ in fields]
+        self.parsers = parsers
+        self.factory = factory
+        self.policy = policy
+        self.report = report if report is not None else IngestReport()
+        self.path = path or f"<{expected_path}.log>"
+        #: expected-index -> seen-index remap for reordered headers.
+        self.permutation: list[int] | None = None
+        self.saw_fields = False
+        self.header_usable = False
+        self.path_rejected = False
+        self.saw_close = False
+
+    # ------------------------------------------------------------------ helpers
+
+    def _fail(
+        self, reason: str, line_number: int, field: str | None
+    ) -> TsvFormatError:
+        return TsvFormatError(
+            reason, path=self.path, line_number=line_number, field=field
+        )
+
+    def _drop(
+        self,
+        *,
+        line_number: int,
+        category: str,
+        reason: str,
+        field: str | None,
+        raw: str,
+    ) -> None:
+        self.report.record_drop(
+            path=self.path,
+            line_number=line_number,
+            category=category,
+            reason=reason,
+            field=field,
+            raw=raw if self.policy.captures_raw else None,
+        )
+
+    def _cut_field(self, cells: list[str]) -> str:
+        """The column where a short/truncated row stops — the most
+        useful single field name for a structural row fault."""
+        n = len(self.field_names)
+        if len(cells) < n:
+            return self.field_names[len(cells)]
+        return self.field_names[-1]
+
+    # ------------------------------------------------------------------- header
+
+    def _handle_header(self, line: str, line_number: int) -> None:
+        if line == "#close" or line.startswith("#close\t"):
+            self.saw_close = True
+            return
+        if line.startswith("#path\t"):
+            found = line.split("\t", 1)[1]
+            if found != self.expected_path:
+                reason = f"expected #path {self.expected_path}, found {found}"
+                if not self.policy.lenient:
+                    raise self._fail(reason, line_number, "#path")
+                self.header_usable = False
+                self.path_rejected = True
+                self.saw_fields = True  # rows are attributed to the bad header
+                self.report.record_header_issue(
+                    path=self.path, line_number=line_number,
+                    category="path-mismatch", reason=reason,
+                )
+            return
+        if line.startswith("#fields\t"):
+            seen = line.split("\t")[1:]
+            self.saw_fields = True
+            if self.path_rejected:
+                return  # the whole file was rejected by #path
+            if seen == self.field_names:
+                self.permutation = None
+                self.header_usable = True
+                return
+            if sorted(seen) == sorted(self.field_names):
+                if not self.policy.lenient:
+                    raise self._fail(
+                        f"unexpected #fields on line {line_number}: {seen}",
+                        line_number, "#fields",
                     )
-            elif line.startswith("#fields\t"):
-                seen_fields = line.split("\t")[1:]
-                if seen_fields != field_names:
-                    raise TsvFormatError(
-                        f"unexpected #fields on line {line_number}: {seen_fields}"
-                    )
-            continue
-        if seen_fields is None:
-            raise TsvFormatError("data row before #fields header")
+                self.permutation = [seen.index(n) for n in self.field_names]
+                self.header_usable = True
+                self.report.header_recoveries += 1
+                self.report.record_header_issue(
+                    path=self.path, line_number=line_number,
+                    category="reordered-fields",
+                    reason="columns reordered; remapped to expected order",
+                )
+                return
+            reason = f"unexpected #fields on line {line_number}: {seen}"
+            if not self.policy.lenient:
+                raise self._fail(reason, line_number, "#fields")
+            self.header_usable = False
+            self.report.record_header_issue(
+                path=self.path, line_number=line_number,
+                category="unusable-header", reason=reason,
+            )
+
+    # --------------------------------------------------------------------- rows
+
+    def _handle_row(self, line: str, line_number: int, complete: bool) -> object:
+        """Parse one data row; returns a record or None (dropped)."""
         cells = line.split("\t")
-        if len(cells) != len(field_names):
-            raise TsvFormatError(
-                f"line {line_number}: expected {len(field_names)} cells, "
+        if not complete:
+            reason = "truncated final line (no trailing newline)"
+            if not self.policy.lenient:
+                raise self._fail(reason, line_number, self._cut_field(cells))
+            self.report.truncated_final_lines += 1
+            self._drop(
+                line_number=line_number, category="truncated-final-line",
+                reason=reason, field=self._cut_field(cells), raw=line,
+            )
+            return None
+        if not self.saw_fields:
+            reason = "data row before #fields header"
+            if not self.policy.lenient:
+                raise TsvFormatError(
+                    reason, path=self.path, line_number=line_number,
+                    field=self._cut_field(cells),
+                )
+            self._drop(
+                line_number=line_number, category="no-fields-header",
+                reason=reason, field=None, raw=line,
+            )
+            return None
+        if not self.header_usable:
+            self._drop(
+                line_number=line_number, category="unusable-header",
+                reason="row under an unusable #fields header",
+                field=None, raw=line,
+            )
+            return None
+        if len(cells) != len(self.field_names):
+            reason = (
+                f"line {line_number}: expected {len(self.field_names)} cells, "
                 f"got {len(cells)}"
             )
-        yield cells
-
-
-def read_ssl_log(source: TextIO) -> list[SslRecord]:
-    """Parse a Zeek-format ssl.log stream."""
-    records = []
-    for cells in _iter_data_rows(source, "ssl", _SSL_FIELDS):
-        records.append(
-            SslRecord(
-                ts=_parse_time(cells[0]),
-                uid=cells[1],
-                id_orig_h=cells[2],
-                id_orig_p=int(cells[3]),
-                id_resp_h=cells[4],
-                id_resp_p=int(cells[5]),
-                version=cells[6],
-                cipher=cells[7],
-                server_name=_parse_optional(cells[8]),
-                established=_parse_bool(cells[9]),
-                cert_chain_fuids=_parse_vector(cells[10]),
-                client_cert_chain_fuids=_parse_vector(cells[11]),
-                validation_status=_parse_optional(cells[12]) or "",
-                resumed=_parse_bool(cells[13]),
+            if not self.policy.lenient:
+                raise self._fail(reason, line_number, self._cut_field(cells))
+            self._drop(
+                line_number=line_number, category="cell-count",
+                reason=reason, field=self._cut_field(cells), raw=line,
             )
-        )
-    return records
-
-
-def read_x509_log(source: TextIO) -> list[X509Record]:
-    """Parse a Zeek-format x509.log stream."""
-    records = []
-    for cells in _iter_data_rows(source, "x509", _X509_FIELDS):
-        ca_text = cells[16]
-        records.append(
-            X509Record(
-                ts=_parse_time(cells[0]),
-                fuid=cells[1],
-                fingerprint=cells[2],
-                version=int(cells[3]),
-                serial=cells[4],
-                subject=_parse_optional(cells[5]) or "",
-                issuer=_parse_optional(cells[6]) or "",
-                not_valid_before=_parse_time(cells[7]),
-                not_valid_after=_parse_time(cells[8]),
-                key_alg=cells[9],
-                sig_alg=cells[10],
-                key_length=int(cells[11]),
-                san_dns=_parse_vector(cells[12]),
-                san_uri=_parse_vector(cells[13]),
-                san_email=_parse_vector(cells[14]),
-                san_ip=_parse_vector(cells[15]),
-                basic_constraints_ca=None if ca_text == _UNSET else _parse_bool(ca_text),
-                eku=_parse_vector(cells[17]),
+            return None
+        kwargs = {}
+        for index, (keyword, parse) in enumerate(self.parsers):
+            cell = (
+                cells[self.permutation[index]]
+                if self.permutation is not None
+                else cells[index]
             )
-        )
-    return records
+            try:
+                kwargs[keyword] = parse(cell)
+            except TsvFormatError as exc:
+                column = self.field_names[index]
+                if not self.policy.lenient:
+                    raise exc.with_context(
+                        path=self.path, line_number=line_number, field=column
+                    ) from exc
+                self._drop(
+                    line_number=line_number, category="bad-field",
+                    reason=exc.reason, field=column, raw=line,
+                )
+                return None
+        self.report.record_row()
+        return self.factory(**kwargs)
+
+    # --------------------------------------------------------------------- read
+
+    def read(self, source: TextIO) -> list:
+        records = []
+        self.report.files_read += 1
+        for line_number, raw_line in enumerate(source, start=1):
+            complete = raw_line.endswith("\n")
+            line = raw_line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                self._handle_header(line, line_number)
+                continue
+            record = self._handle_row(line, line_number, complete)
+            if record is not None:
+                records.append(record)
+        if not self.saw_close:
+            self.report.files_missing_close += 1
+            self.report.record_header_issue(
+                path=self.path, line_number=0, category="missing-close",
+                reason="no #close footer (writer crashed mid-rotation?)",
+            )
+        return records
+
+
+def read_ssl_log(
+    source: TextIO,
+    *,
+    on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+    report: IngestReport | None = None,
+    path: str | None = None,
+) -> list[SslRecord]:
+    """Parse a Zeek-format ssl.log stream under an error policy."""
+    reader = _LogReader(
+        "ssl", _SSL_FIELDS, _SSL_PARSERS, SslRecord,
+        ErrorPolicy.coerce(on_error), report,
+        path or getattr(source, "name", None),
+    )
+    return reader.read(source)
+
+
+def read_x509_log(
+    source: TextIO,
+    *,
+    on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+    report: IngestReport | None = None,
+    path: str | None = None,
+) -> list[X509Record]:
+    """Parse a Zeek-format x509.log stream under an error policy."""
+    reader = _LogReader(
+        "x509", _X509_FIELDS, _X509_PARSERS, X509Record,
+        ErrorPolicy.coerce(on_error), report,
+        path or getattr(source, "name", None),
+    )
+    return reader.read(source)
 
 
 def ssl_log_to_string(records: Iterable[SslRecord]) -> str:

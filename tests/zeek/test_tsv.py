@@ -195,3 +195,45 @@ def test_ssl_round_trip_property(sni, fuids, established):
 def test_x509_round_trip_property(subject, san, serial):
     record = _x509_record(subject=subject, san_dns=tuple(san), serial=serial)
     assert _round_trip_x509([record]) == [record]
+
+
+# Characters the TSV layer must escape: the cell separator, record
+# separators, the escape character itself, and the vector separator.
+_NASTY = "\t\n\r\\,"
+
+nasty_text = st.text(
+    alphabet=st.sampled_from(_NASTY + "aé中🔒 .="),
+    min_size=1,
+    max_size=20,
+).filter(lambda s: any(c in _NASTY for c in s))
+
+
+@given(
+    fuids=st.lists(nasty_text, min_size=1, max_size=4),
+    sni=nasty_text,
+)
+def test_ssl_vector_escaping_property(fuids, sni):
+    """Separator characters inside vector elements and the SNI survive."""
+    record = _ssl_record(
+        server_name=sni,
+        cert_chain_fuids=tuple(fuids),
+        client_cert_chain_fuids=tuple(reversed(fuids)),
+    )
+    assert _round_trip_ssl([record]) == [record]
+
+
+@given(
+    subject=nasty_text,
+    issuer=nasty_text,
+    san=st.lists(nasty_text, min_size=1, max_size=4),
+)
+def test_x509_nasty_subject_escaping_property(subject, issuer, san):
+    """Tabs, newlines, backslashes, and commas in DN/SAN text survive,
+    mixed with non-ASCII (internationalized subjects are real)."""
+    record = _x509_record(
+        subject=subject,
+        issuer=issuer,
+        san_dns=tuple(san),
+        san_email=tuple(san),
+    )
+    assert _round_trip_x509([record]) == [record]
