@@ -3,14 +3,19 @@
 Subcommands::
 
     python -m repro generate  --out DIR [--months N] [--cpm N] [--seed N]
+                              [--rotated]
     python -m repro study     [--months N] [--cpm N] [--seed N] [--table NAME]
+                              [--jobs N]
+    python -m repro analyze   DIR --trust-bundle FILE [--jobs N]
+                              [--table NAME] [--json]
     python -m repro audit     X509_LOG [--campus-marker TEXT]
     python -m repro intercept SSL_LOG X509_LOG --trust-bundle FILE
                               [--min-domains N]
 
 `generate` writes Zeek-format ssl.log / x509.log plus a trust-bundle
-file, so `intercept` and `audit` can be exercised on the artifacts —
-the same flow an operator would use with real Zeek output.
+file, so `intercept`, `audit`, and (with ``--rotated``) `analyze` can
+be exercised on the artifacts — the same flow an operator would use
+with real Zeek output.
 """
 
 from __future__ import annotations
@@ -36,16 +41,43 @@ from repro.zeek import (
     write_x509_log,
 )
 
-#: study --table choices → CampusStudy method names.
-TABLE_CHOICES = {
-    "table1": "table1", "figure1": "figure1", "table2": "table2",
-    "table3": "table3", "figure2": "figure2", "table4": "table4",
-    "table5": "table5", "table6": "table6", "figure3": "figure3",
-    "figure4": "figure4", "figure5": "figure5", "table7": "table7",
-    "table8": "table8", "table9": "table9", "weak-crypto": "weak_crypto",
-    "tls13": "tls13_blindspot", "interception": "interception_summary",
-    "ingest-health": "ingest_health",
-}
+def _table_choices() -> list[str]:
+    """Registry analysis names plus the CLI-only ingest-health view."""
+    from repro.core import protocol
+
+    return sorted(set(protocol.analysis_names()) | {"ingest-health"})
+
+
+def _scale_parent() -> argparse.ArgumentParser:
+    """Shared --months/--cpm/--seed arguments (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--months", type=int, default=23)
+    parent.add_argument("--cpm", type=int, default=1000,
+                        help="connections per month")
+    parent.add_argument("--seed", type=int, default=7)
+    return parent
+
+
+def _on_error_parent() -> argparse.ArgumentParser:
+    """Shared --on-error argument (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--on-error", choices=[p.value for p in ErrorPolicy], default="strict",
+        help="malformed-line policy: fail fast (strict), drop and count "
+             "(skip), or drop and capture raw lines (quarantine)",
+    )
+    return parent
+
+
+def _jobs_parent() -> argparse.ArgumentParser:
+    """Shared --jobs argument (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="analyze per-month shards over N worker processes "
+             "(0 = in-process sequential; tables are byte-identical)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,23 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
         description="Mutual TLS in Practice (IMC 2024) — reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    scale = _scale_parent()
+    on_error = _on_error_parent()
+    jobs = _jobs_parent()
 
     generate = sub.add_parser(
-        "generate", help="simulate a campaign and write Zeek-format logs"
+        "generate", help="simulate a campaign and write Zeek-format logs",
+        parents=[scale],
     )
     generate.add_argument("--out", type=Path, required=True, help="output directory")
-    _add_scale_args(generate)
+    generate.add_argument(
+        "--rotated", action="store_true",
+        help="write a rotated monthly archive (ssl.YYYY-MM.log.gz) instead "
+             "of single ssl.log/x509.log files",
+    )
 
-    study = sub.add_parser("study", help="run the full study and print tables")
-    _add_scale_args(study)
-    _add_on_error_arg(study)
+    study = sub.add_parser(
+        "study", help="run the full study and print tables",
+        parents=[scale, on_error, jobs],
+    )
     study.add_argument(
         "--fault-rate", type=float, default=0.0, metavar="RATE",
         help="corrupt ~RATE of the serialized log lines before re-ingesting "
              "(exercises the resilient reader; implies a re-ingest pass)",
     )
     study.add_argument(
-        "--table", choices=sorted(TABLE_CHOICES), default=None,
+        "--table", choices=_table_choices(), default=None,
         help="print one artifact instead of all",
     )
     study.add_argument(
@@ -78,16 +119,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the whole study as JSON instead of text tables",
     )
 
-    audit = sub.add_parser("audit", help="privacy audit of an x509.log")
+    analyze = sub.add_parser(
+        "analyze",
+        help="run every registered analysis over a rotated Zeek archive",
+        parents=[on_error, jobs],
+    )
+    analyze.add_argument("directory", type=Path,
+                         help="directory of ssl.YYYY-MM.log[.gz] files")
+    analyze.add_argument(
+        "--trust-bundle", type=Path, required=True,
+        help="file with one trusted issuer DN per line ('org:<name>' lines "
+             "add trusted organizations)",
+    )
+    analyze.add_argument(
+        "--table", choices=_table_choices(), default=None,
+        help="print one artifact instead of all",
+    )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the analyses as JSON instead of text tables",
+    )
+
+    audit = sub.add_parser(
+        "audit", help="privacy audit of an x509.log", parents=[on_error]
+    )
     audit.add_argument("x509_log", type=Path)
     audit.add_argument(
         "--campus-marker", default="university",
         help="issuer substring identifying campus-managed CAs",
     )
-    _add_on_error_arg(audit)
 
     intercept = sub.add_parser(
-        "intercept", help="run the §3.2 interception filter on Zeek logs"
+        "intercept", help="run the §3.2 interception filter on Zeek logs",
+        parents=[on_error],
     )
     intercept.add_argument("ssl_log", type=Path)
     intercept.add_argument("x509_log", type=Path)
@@ -97,7 +161,6 @@ def build_parser() -> argparse.ArgumentParser:
              "add trusted organizations)",
     )
     intercept.add_argument("--min-domains", type=int, default=5)
-    _add_on_error_arg(intercept)
 
     compare = sub.add_parser(
         "compare", help="diff two JSON study exports (from `study --json`)"
@@ -105,21 +168,6 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("export_a", type=Path)
     compare.add_argument("export_b", type=Path)
     return parser
-
-
-def _add_scale_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--months", type=int, default=23)
-    parser.add_argument("--cpm", type=int, default=1000,
-                        help="connections per month")
-    parser.add_argument("--seed", type=int, default=7)
-
-
-def _add_on_error_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--on-error", choices=[p.value for p in ErrorPolicy], default="strict",
-        help="malformed-line policy: fail fast (strict), drop and count "
-             "(skip), or drop and capture raw lines (quarantine)",
-    )
 
 
 def _print_ingest_health(report: IngestReport, dangling: int | None = None) -> None:
@@ -156,6 +204,17 @@ def cmd_generate(args: argparse.Namespace) -> int:
     )
     result = TrafficGenerator(config).generate()
     args.out.mkdir(parents=True, exist_ok=True)
+    if getattr(args, "rotated", False):
+        from repro.zeek.files import write_rotated_logs
+
+        written = write_rotated_logs(result.logs, args.out)
+        _write_trust_bundle(result.trust_bundle, args.out / "trust_bundle.txt")
+        print(
+            f"wrote {len(written)} rotated log files "
+            f"({len(result.logs.ssl)} ssl rows, {len(result.logs.x509)} x509 "
+            f"rows) and trust_bundle.txt to {args.out}"
+        )
+        return 0
     with (args.out / "ssl.log").open("w") as out:
         write_ssl_log(result.logs.ssl, out)
     with (args.out / "x509.log").open("w") as out:
@@ -182,9 +241,17 @@ def cmd_study(args: argparse.Namespace) -> int:
             "warning: --fault-rate with --on-error strict will abort on the "
             "first planted fault", file=sys.stderr,
         )
+    jobs = getattr(args, "jobs", 0)
+    if fault_plan is not None and jobs:
+        print(
+            "error: --fault-rate is incompatible with --jobs (fault "
+            "injection runs on the in-memory serialized logs)",
+            file=sys.stderr,
+        )
+        return 2
     study = CampusStudy(
         seed=args.seed, months=args.months, connections_per_month=args.cpm,
-        on_error=args.on_error, fault_plan=fault_plan,
+        on_error=args.on_error, fault_plan=fault_plan, jobs=jobs,
     )
     if getattr(args, "json", False):
         from repro.core.export import study_to_json
@@ -192,12 +259,47 @@ def cmd_study(args: argparse.Namespace) -> int:
         print(study_to_json(study))
         return 0
     if args.table is not None:
-        method = getattr(study, TABLE_CHOICES[args.table])
-        print(method().render())
+        print(_study_table(study, args.table).render())
         return 0
     for table in study.all_tables():
         print(table.render())
         print()
+    return 0
+
+
+def _study_table(study: CampusStudy, name: str):
+    if name == "ingest-health":
+        return study.ingest_health()
+    return study.table(name)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.parallel import analyze_directory
+    from repro.core.report import render_ingest_health as _render
+
+    bundle = load_trust_bundle(args.trust_bundle)
+    campaign = analyze_directory(
+        args.directory, bundle,
+        on_error=args.on_error, jobs=max(1, args.jobs),
+    )
+    if getattr(args, "json", False):
+        from repro.core.export import export_tables_json
+
+        print(export_tables_json(campaign))
+        return 0
+    if args.table is not None:
+        if args.table == "ingest-health":
+            print(_render(
+                campaign.ingest, dangling_fuid_refs=campaign.dangling_fuid_refs
+            ).render())
+        else:
+            print(campaign.table(args.table).render())
+        return 0
+    for table in campaign.tables():
+        print(table.render())
+        print()
+    if args.on_error != "strict":
+        _print_ingest_health(campaign.ingest, campaign.dangling_fuid_refs)
     return 0
 
 
@@ -300,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "generate": cmd_generate,
         "study": cmd_study,
+        "analyze": cmd_analyze,
         "audit": cmd_audit,
         "intercept": cmd_intercept,
         "compare": cmd_compare,

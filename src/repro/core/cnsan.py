@@ -14,12 +14,14 @@ import re
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.core.dataset import CertProfile
-from repro.core.enrich import EnrichedDataset
+from repro.core import protocol
+from repro.core.dataset import CertProfile, ProfileStore
+from repro.core.enrich import EnrichedConn, EnrichedDataset
 from repro.core.report import Table, percentage
 from repro.text.domains import is_domain_like
 from repro.text.ner import EntityLabel, NerClassifier
 from repro.text.randomness import looks_random, random_string_shape
+from repro.trust import TrustBundle
 from repro.zeek import X509Record
 
 #: The information types of §6.1.1, in classification priority order.
@@ -103,35 +105,50 @@ def _maybe_ip(value: str) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _group_of(enriched: EnrichedDataset, profile: CertProfile) -> tuple[str, str]:
+def _group_of(bundle: TrustBundle, profile: CertProfile) -> tuple[str, str]:
     role = "Server" if profile.primary_role == "server" else "Client"
-    kind = "Public" if enriched.is_public_record(profile.record) else "Private"
+    record = profile.record
+    public = bundle.knows_issuer_dn(record.issuer) or bundle.knows_organization(
+        record.issuer_org
+    )
+    kind = "Public" if public else "Private"
     return role, kind
+
+
+def _select_mutual(profiles: dict[str, CertProfile]) -> list[CertProfile]:
+    return [
+        p for p in profiles.values() if p.used_in_mutual and not p.shared_roles
+    ]
+
+
+def _select_shared(profiles: dict[str, CertProfile]) -> list[CertProfile]:
+    return [p for p in profiles.values() if p.used_in_mutual and p.shared_roles]
+
+
+def _select_non_mutual_server(profiles: dict[str, CertProfile]) -> list[CertProfile]:
+    return [
+        p for p in profiles.values() if p.used_as_server and not p.used_in_mutual
+    ]
+
+
+def _select_used_in_mutual(profiles: dict[str, CertProfile]) -> list[CertProfile]:
+    return [p for p in profiles.values() if p.used_in_mutual]
 
 
 def mutual_population(enriched: EnrichedDataset) -> list[CertProfile]:
     """Certificates used in mutual TLS, excluding shared-role certs
     (those get Table 13)."""
-    return [
-        p for p in enriched.profiles.values()
-        if p.used_in_mutual and not p.shared_roles
-    ]
+    return _select_mutual(enriched.profiles)
 
 
 def shared_population(enriched: EnrichedDataset) -> list[CertProfile]:
     """Certificates presented by both servers and clients (§6.3.5)."""
-    return [
-        p for p in enriched.profiles.values()
-        if p.used_in_mutual and p.shared_roles
-    ]
+    return _select_shared(enriched.profiles)
 
 
 def non_mutual_server_population(enriched: EnrichedDataset) -> list[CertProfile]:
     """Server certificates never seen in a mutual connection (§6.3.6)."""
-    return [
-        p for p in enriched.profiles.values()
-        if p.used_as_server and not p.used_in_mutual
-    ]
+    return _select_non_mutual_server(enriched.profiles)
 
 
 # ---------------------------------------------------------------------------
@@ -154,6 +171,12 @@ def utilization_table(
 ) -> list[UtilizationRow]:
     """Counts of certificates with non-empty CN / SAN DNS values."""
     population = mutual_population(enriched) if population is None else population
+    return _count_utilization(population, enriched.bundle, split_roles)
+
+
+def _count_utilization(
+    population: list[CertProfile], bundle: TrustBundle, split_roles: bool
+) -> list[UtilizationRow]:
     counts: dict[str, list[int]] = {}
 
     def bump(group: str, has_cn: bool, has_san: bool) -> None:
@@ -165,7 +188,7 @@ def utilization_table(
             row[2] += 1
 
     for profile in population:
-        role, kind = _group_of(enriched, profile)
+        role, kind = _group_of(bundle, profile)
         has_cn = bool(profile.record.subject_cn)
         has_san = bool(profile.record.san_dns)
         if split_roles:
@@ -221,6 +244,17 @@ def information_types(
 ) -> InfoTypeMatrix:
     """Classify CN and SAN contents for the population (Table 8)."""
     population = mutual_population(enriched) if population is None else population
+    return _count_information_types(
+        population, enriched.bundle, classifier, split_roles
+    )
+
+
+def _count_information_types(
+    population: list[CertProfile],
+    bundle: TrustBundle,
+    classifier: CnSanClassifier | None,
+    split_roles: bool,
+) -> InfoTypeMatrix:
     classifier = classifier or CnSanClassifier()
     matrix = InfoTypeMatrix()
 
@@ -234,7 +268,7 @@ def information_types(
 
     for profile in population:
         record = profile.record
-        role, kind = _group_of(enriched, profile)
+        role, kind = _group_of(bundle, profile)
         group = f"{role}/{kind}" if split_roles else kind
         cn = record.subject_cn
         if cn:
@@ -299,9 +333,13 @@ def san_type_usage(
     from repro.text.domains import is_domain_like
 
     population = (
-        [p for p in enriched.profiles.values() if p.used_in_mutual]
+        _select_used_in_mutual(enriched.profiles)
         if population is None else population
     )
+    return _count_san_type_usage(population)
+
+
+def _count_san_type_usage(population: list[CertProfile]) -> SanTypeUsage:
     usage = SanTypeUsage(population=len(population))
     for profile in population:
         record = profile.record
@@ -374,6 +412,14 @@ def unidentified_breakdown(
     """Table 9: split Unidentified CN/SAN values into non-random strings
     and random strings keyed by issuer recognizability or length."""
     population = mutual_population(enriched) if population is None else population
+    return _count_unidentified(population, enriched.bundle, classifier)
+
+
+def _count_unidentified(
+    population: list[CertProfile],
+    bundle: TrustBundle,
+    classifier: CnSanClassifier | None = None,
+) -> list[UnidentifiedBreakdown]:
     classifier = classifier or CnSanClassifier()
     rows: dict[tuple[str, str], UnidentifiedBreakdown] = {}
 
@@ -409,7 +455,7 @@ def unidentified_breakdown(
 
     for profile in population:
         record = profile.record
-        role, kind = _group_of(enriched, profile)
+        role, kind = _group_of(bundle, profile)
         group = f"{role}/{kind}"
         cn = record.subject_cn
         if cn and classifier.classify(cn, record.issuer_org, record.issuer_cn) == "Unidentified":
@@ -433,3 +479,186 @@ def render_unidentified_breakdown(rows: list[UnidentifiedBreakdown]) -> Table:
             row.random_len36, row.random_other,
         )
     return table
+
+
+# ---------------------------------------------------------------------------
+# Registry partials: Tables 7, 8, 9, 13a/b, 14a/b and the SAN-type usage
+# ---------------------------------------------------------------------------
+
+
+class PopulationPartial(protocol.AnalysisPartial):
+    """Base for §6 analyses: rebuild the certificate-profile population
+    shard by shard, then select and count at finalize time.
+
+    Subclasses set ``selector`` (profiles dict → population list) and
+    override :meth:`result` / :meth:`finalize`.
+    """
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self._bundle = context.bundle
+        self.store = ProfileStore()
+
+    def update(self, conn: EnrichedConn) -> None:
+        self.store.observe(conn.view)
+
+    def merge(self, other: "PopulationPartial") -> None:
+        self.store.merge(other.store)
+
+    def population(self) -> list[CertProfile]:
+        raise NotImplementedError
+
+
+class Table7Partial(PopulationPartial):
+    def population(self) -> list[CertProfile]:
+        return _select_mutual(self.store.profiles)
+
+    def result(self) -> list[UtilizationRow]:
+        return _count_utilization(self.population(), self._bundle, split_roles=True)
+
+    def finalize(self) -> Table:
+        return render_utilization(
+            self.result(), "Table 7: non-empty CN/SAN in mutual-TLS certificates"
+        )
+
+
+class Table8Partial(PopulationPartial):
+    def population(self) -> list[CertProfile]:
+        return _select_mutual(self.store.profiles)
+
+    def result(self) -> InfoTypeMatrix:
+        return _count_information_types(
+            self.population(), self._bundle, None, split_roles=True
+        )
+
+    def finalize(self) -> Table:
+        return render_information_types(
+            self.result(), "Table 8: information types in CN and SAN (mutual TLS)"
+        )
+
+
+class Table9Partial(PopulationPartial):
+    def population(self) -> list[CertProfile]:
+        return _select_mutual(self.store.profiles)
+
+    def result(self) -> list[UnidentifiedBreakdown]:
+        return _count_unidentified(self.population(), self._bundle)
+
+    def finalize(self) -> Table:
+        return render_unidentified_breakdown(self.result())
+
+
+class Table13aPartial(PopulationPartial):
+    def population(self) -> list[CertProfile]:
+        return _select_shared(self.store.profiles)
+
+    def result(self) -> list[UtilizationRow]:
+        return _count_utilization(self.population(), self._bundle, split_roles=False)
+
+    def finalize(self) -> Table:
+        return render_utilization(
+            self.result(), "Table 13a: CN/SAN utilization in shared certificates"
+        )
+
+
+class Table13bPartial(PopulationPartial):
+    def population(self) -> list[CertProfile]:
+        return _select_shared(self.store.profiles)
+
+    def result(self) -> InfoTypeMatrix:
+        return _count_information_types(
+            self.population(), self._bundle, None, split_roles=False
+        )
+
+    def finalize(self) -> Table:
+        return render_information_types(
+            self.result(), "Table 13b: information types in shared certificates"
+        )
+
+
+class Table14aPartial(PopulationPartial):
+    def population(self) -> list[CertProfile]:
+        return _select_non_mutual_server(self.store.profiles)
+
+    def result(self) -> list[UtilizationRow]:
+        return _count_utilization(self.population(), self._bundle, split_roles=False)
+
+    def finalize(self) -> Table:
+        return render_utilization(
+            self.result(), "Table 14a: CN/SAN utilization, non-mutual server certs"
+        )
+
+
+class Table14bPartial(PopulationPartial):
+    def population(self) -> list[CertProfile]:
+        return _select_non_mutual_server(self.store.profiles)
+
+    def result(self) -> InfoTypeMatrix:
+        return _count_information_types(
+            self.population(), self._bundle, None, split_roles=False
+        )
+
+    def finalize(self) -> Table:
+        return render_information_types(
+            self.result(), "Table 14b: information types, non-mutual server certs"
+        )
+
+
+class SanTypesPartial(PopulationPartial):
+    def population(self) -> list[CertProfile]:
+        return _select_used_in_mutual(self.store.profiles)
+
+    def result(self) -> SanTypeUsage:
+        return _count_san_type_usage(self.population())
+
+    def finalize(self) -> Table:
+        return render_san_type_usage(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="table7",
+    title="Table 7: non-empty CN/SAN in mutual-TLS certificates",
+    factory=Table7Partial,
+    legacy="repro.core.cnsan.utilization_table",
+))
+protocol.register(protocol.Analysis(
+    name="table8",
+    title="Table 8: information types in CN and SAN (mutual TLS)",
+    factory=Table8Partial,
+    legacy="repro.core.cnsan.information_types",
+))
+protocol.register(protocol.Analysis(
+    name="table9",
+    title="Table 9: unidentified CN/SAN values — non-random vs random shapes",
+    factory=Table9Partial,
+    legacy="repro.core.cnsan.unidentified_breakdown",
+))
+protocol.register(protocol.Analysis(
+    name="table13a",
+    title="Table 13a: CN/SAN utilization in shared certificates",
+    factory=Table13aPartial,
+    legacy="repro.core.cnsan.utilization_table",
+))
+protocol.register(protocol.Analysis(
+    name="table13b",
+    title="Table 13b: information types in shared certificates",
+    factory=Table13bPartial,
+    legacy="repro.core.cnsan.information_types",
+))
+protocol.register(protocol.Analysis(
+    name="table14a",
+    title="Table 14a: CN/SAN utilization, non-mutual server certs",
+    factory=Table14aPartial,
+    legacy="repro.core.cnsan.utilization_table",
+))
+protocol.register(protocol.Analysis(
+    name="table14b",
+    title="Table 14b: information types, non-mutual server certs",
+    factory=Table14bPartial,
+    legacy="repro.core.cnsan.information_types",
+))
+protocol.register(protocol.Analysis(
+    name="san-types",
+    title="§6.1.2: explicit SAN type utilization and conformance",
+    factory=SanTypesPartial,
+    legacy="repro.core.cnsan.san_type_usage",
+))

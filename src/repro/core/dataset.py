@@ -78,6 +78,74 @@ class CertProfile:
             self.last_seen = ts
         self.connection_count += 1
 
+    def merge(self, other: "CertProfile") -> None:
+        """Fold another partial profile of the same certificate in."""
+        self.used_as_server = self.used_as_server or other.used_as_server
+        self.used_as_client = self.used_as_client or other.used_as_client
+        self.used_in_mutual = self.used_in_mutual or other.used_in_mutual
+        if other.first_seen is not None and (
+            self.first_seen is None or other.first_seen < self.first_seen
+        ):
+            self.first_seen = other.first_seen
+        if other.last_seen is not None and (
+            self.last_seen is None or other.last_seen > self.last_seen
+        ):
+            self.last_seen = other.last_seen
+        self.connection_count += other.connection_count
+        self.server_subnets |= other.server_subnets
+        self.client_subnets |= other.client_subnets
+        self.client_ips |= other.client_ips
+
+
+class ProfileStore:
+    """Incremental, mergeable builder of :class:`CertProfile` aggregates.
+
+    Used both by :meth:`MtlsDataset.certificate_profiles` (one pass over
+    the whole dataset) and by the analysis partials that rebuild the
+    profile population shard by shard. Merging stores built from a
+    chronological shard split reproduces the whole-stream profile dict,
+    including its first-occurrence insertion order.
+    """
+
+    def __init__(self) -> None:
+        self.profiles: dict[str, CertProfile] = {}
+
+    def _profile_for(self, record) -> CertProfile:
+        existing = self.profiles.get(record.fingerprint)
+        if existing is None:
+            existing = CertProfile(record=record)
+            self.profiles[record.fingerprint] = existing
+        return existing
+
+    def observe(self, conn: "ConnView") -> None:
+        from repro.netsim.network import subnet24
+
+        mutual = conn.is_mutual
+        if conn.server_leaf is not None:
+            profile = self._profile_for(conn.server_leaf)
+            profile.used_as_server = True
+            profile.used_in_mutual = profile.used_in_mutual or mutual
+            profile.observe(conn.ts)
+            profile.server_subnets.add(subnet24(conn.ssl.id_resp_h))
+            profile.client_ips.add(conn.ssl.id_orig_h)
+        if conn.client_leaf is not None:
+            profile = self._profile_for(conn.client_leaf)
+            profile.used_as_client = True
+            profile.used_in_mutual = profile.used_in_mutual or mutual
+            profile.observe(conn.ts)
+            profile.client_subnets.add(subnet24(conn.ssl.id_orig_h))
+            profile.client_ips.add(conn.ssl.id_orig_h)
+
+    def merge(self, other: "ProfileStore") -> None:
+        for fingerprint, theirs in other.profiles.items():
+            mine = self.profiles.get(fingerprint)
+            if mine is None:
+                adopted = CertProfile(record=theirs.record)
+                adopted.merge(theirs)
+                self.profiles[fingerprint] = adopted
+            else:
+                mine.merge(theirs)
+
 
 class MtlsDataset:
     """The joined dataset: established connections + unique leaf certs.
@@ -152,35 +220,11 @@ class MtlsDataset:
         """Unique leaf certificates with aggregated usage (cached)."""
         if self._profiles is not None:
             return self._profiles
-        from repro.netsim.network import subnet24
-
-        profiles: dict[str, CertProfile] = {}
-
-        def profile_for(record: X509Record) -> CertProfile:
-            existing = profiles.get(record.fingerprint)
-            if existing is None:
-                existing = CertProfile(record=record)
-                profiles[record.fingerprint] = existing
-            return existing
-
+        store = ProfileStore()
         for conn in self.connections:
-            mutual = conn.is_mutual
-            if conn.server_leaf is not None:
-                profile = profile_for(conn.server_leaf)
-                profile.used_as_server = True
-                profile.used_in_mutual = profile.used_in_mutual or mutual
-                profile.observe(conn.ts)
-                profile.server_subnets.add(subnet24(conn.ssl.id_resp_h))
-                profile.client_ips.add(conn.ssl.id_orig_h)
-            if conn.client_leaf is not None:
-                profile = profile_for(conn.client_leaf)
-                profile.used_as_client = True
-                profile.used_in_mutual = profile.used_in_mutual or mutual
-                profile.observe(conn.ts)
-                profile.client_subnets.add(subnet24(conn.ssl.id_orig_h))
-                profile.client_ips.add(conn.ssl.id_orig_h)
-        self._profiles = profiles
-        return profiles
+            store.observe(conn)
+        self._profiles = store.profiles
+        return self._profiles
 
     def without_fingerprints(self, excluded: set[str]) -> "MtlsDataset":
         """A copy of the dataset with the given certificates (and the

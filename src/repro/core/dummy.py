@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.core.enrich import EnrichedDataset
+from repro.core import protocol
+from repro.core.enrich import EnrichedConn, EnrichedDataset
 from repro.core.issuers import DUMMY_ORGANIZATIONS
 from repro.core.report import Table
 from repro.text.domains import extract_domain
@@ -29,18 +30,15 @@ class DummyIssuerRow:
     connections: int = 0
 
 
-def dummy_issuer_table(enriched: EnrichedDataset) -> list[DummyIssuerRow]:
-    """Table 4: mutual-TLS connections using certificates whose issuer
-    organization is a tooling default ('Internet Widgits Pty Ltd', ...)."""
-    rows: dict[tuple[str, str, str], DummyIssuerRow] = {}
+class Table4Partial(protocol.AnalysisPartial):
+    """Mutual-TLS connections using tooling-default issuer orgs (Table 4)."""
 
-    def row_for(direction: str, side: str, org: str) -> DummyIssuerRow:
-        key = (direction, side, org)
-        if key not in rows:
-            rows[key] = DummyIssuerRow(direction=direction, side=side, issuer_org=org)
-        return rows[key]
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self.rows: dict[tuple[str, str, str], DummyIssuerRow] = {}
 
-    for conn in enriched.mutual:
+    def update(self, conn: EnrichedConn) -> None:
+        if not conn.is_mutual:
+            return
         sni = conn.view.sni
         parts = extract_domain(sni) if sni else None
         if conn.direction == "inbound":
@@ -51,14 +49,55 @@ def dummy_issuer_table(enriched: EnrichedDataset) -> list[DummyIssuerRow]:
                            ("server", conn.view.server_leaf)):
             if leaf is None or not _is_dummy_org(leaf.issuer_org):
                 continue
-            row = row_for(conn.direction, side, leaf.issuer_org or "")
+            key = (conn.direction, side, leaf.issuer_org or "")
+            row = self.rows.get(key)
+            if row is None:
+                row = DummyIssuerRow(
+                    direction=conn.direction, side=side, issuer_org=key[2]
+                )
+                self.rows[key] = row
             row.server_groups.add(group)
             row.servers.add(conn.view.ssl.id_resp_h)
             row.clients.add(conn.view.ssl.id_orig_h)
             row.connections += 1
-    return sorted(
-        rows.values(), key=lambda r: (r.direction, r.side, -len(r.clients))
-    )
+
+    def merge(self, other: "Table4Partial") -> None:
+        for key, theirs in other.rows.items():
+            mine = self.rows.get(key)
+            if mine is None:
+                mine = DummyIssuerRow(
+                    direction=theirs.direction, side=theirs.side,
+                    issuer_org=theirs.issuer_org,
+                )
+                self.rows[key] = mine
+            mine.server_groups |= theirs.server_groups
+            mine.servers |= theirs.servers
+            mine.clients |= theirs.clients
+            mine.connections += theirs.connections
+
+    def result(self) -> list[DummyIssuerRow]:
+        return sorted(
+            self.rows.values(),
+            key=lambda r: (r.direction, r.side, -len(r.clients), r.issuer_org),
+        )
+
+    def finalize(self) -> Table:
+        return render_dummy_issuer_table(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="table4",
+    title="Table 4: certificates with dummy issuers in mutual TLS",
+    factory=Table4Partial,
+    legacy="repro.core.dummy.dummy_issuer_table",
+))
+
+
+def dummy_issuer_table(enriched: EnrichedDataset) -> list[DummyIssuerRow]:
+    """Table 4: mutual-TLS connections using certificates whose issuer
+    organization is a tooling default ('Internet Widgits Pty Ltd', ...)."""
+    partial = Table4Partial(protocol.AnalysisContext.from_enriched(enriched))
+    return protocol.feed(partial, enriched).result()
 
 
 def render_dummy_issuer_table(rows: list[DummyIssuerRow]) -> Table:
@@ -159,7 +198,107 @@ class SerialCollisionReport:
         counter: Counter = Counter()
         for group in self.groups:
             counter[group.serial] += len(group.fingerprints)
-        return [serial for serial, _ in counter.most_common(count)]
+        ranked = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+        return [serial for serial, _ in ranked[:count]]
+
+
+class SerialCollisionsPartial(protocol.AnalysisPartial):
+    """(issuer, serial) pairs covering >1 certificate (§5.1.2).
+
+    Collision membership is only decidable globally, so the partial
+    accumulates *all* (issuer, serial) pairs plus per-certificate role
+    flags and filters to the colliding ones at finalize time.
+    """
+
+    def __init__(self, context: protocol.AnalysisContext, direction: str) -> None:
+        self.direction = direction
+        #: (issuer, serial) → member fingerprints
+        self.members: dict[tuple[str, str], set[str]] = {}
+        #: (issuer, serial) → issuer_org of the certificates
+        self.issuer_orgs: dict[tuple[str, str], str | None] = {}
+        #: (issuer, serial) → per-side occurrence count in this direction
+        self.occurrences: Counter = Counter()
+        #: (issuer, serial) → client IPs of the connections presenting it
+        self.clients: dict[tuple[str, str], set[str]] = {}
+        #: fingerprint → [used_as_server, used_as_client] over ALL
+        #: connections (matching CertProfile roles)
+        self.roles: dict[str, list[bool]] = {}
+
+    def update(self, conn: EnrichedConn) -> None:
+        for index, leaf in ((0, conn.view.server_leaf), (1, conn.view.client_leaf)):
+            if leaf is None:
+                continue
+            flags = self.roles.setdefault(leaf.fingerprint, [False, False])
+            flags[index] = True
+        if not conn.is_mutual or conn.direction != self.direction:
+            return
+        for leaf in (conn.view.server_leaf, conn.view.client_leaf):
+            if leaf is None:
+                continue
+            key = (leaf.issuer, leaf.serial)
+            self.members.setdefault(key, set()).add(leaf.fingerprint)
+            self.issuer_orgs.setdefault(key, leaf.issuer_org)
+            self.occurrences[key] += 1
+            self.clients.setdefault(key, set()).add(conn.view.ssl.id_orig_h)
+
+    def merge(self, other: "SerialCollisionsPartial") -> None:
+        for key, fps in other.members.items():
+            self.members.setdefault(key, set()).update(fps)
+        for key, org in other.issuer_orgs.items():
+            self.issuer_orgs.setdefault(key, org)
+        self.occurrences.update(other.occurrences)
+        for key, ips in other.clients.items():
+            self.clients.setdefault(key, set()).update(ips)
+        for fingerprint, theirs in other.roles.items():
+            mine = self.roles.setdefault(fingerprint, [False, False])
+            mine[0] = mine[0] or theirs[0]
+            mine[1] = mine[1] or theirs[1]
+
+    def result(self) -> SerialCollisionReport:
+        groups = []
+        for key, fps in self.members.items():
+            if len(fps) < 2:
+                continue
+            issuer, serial = key
+            groups.append(
+                SerialCollisionGroup(
+                    issuer=issuer,
+                    issuer_org=self.issuer_orgs.get(key),
+                    serial=serial,
+                    fingerprints=set(fps),
+                    server_certs=sum(1 for fp in fps if self.roles[fp][0]),
+                    client_certs=sum(1 for fp in fps if self.roles[fp][1]),
+                    clients=set(self.clients.get(key, set())),
+                    connections=self.occurrences[key],
+                )
+            )
+        groups.sort(key=lambda g: (-len(g.fingerprints), g.issuer, g.serial))
+        return SerialCollisionReport(direction=self.direction, groups=groups)
+
+    def finalize(self) -> Table:
+        return render_serial_collisions(self.result())
+
+
+def _serials_inbound_factory(context: protocol.AnalysisContext) -> SerialCollisionsPartial:
+    return SerialCollisionsPartial(context, "inbound")
+
+
+def _serials_outbound_factory(context: protocol.AnalysisContext) -> SerialCollisionsPartial:
+    return SerialCollisionsPartial(context, "outbound")
+
+
+protocol.register(protocol.Analysis(
+    name="serials-inbound",
+    title="Serial-number collisions within one issuer (inbound, §5.1.2)",
+    factory=_serials_inbound_factory,
+    legacy="repro.core.dummy.serial_collisions",
+))
+protocol.register(protocol.Analysis(
+    name="serials-outbound",
+    title="Serial-number collisions within one issuer (outbound, §5.1.2)",
+    factory=_serials_outbound_factory,
+    legacy="repro.core.dummy.serial_collisions",
+))
 
 
 def serial_collisions(
@@ -167,57 +306,10 @@ def serial_collisions(
 ) -> SerialCollisionReport:
     """Find (issuer, serial) pairs covering more than one certificate
     among mutual-TLS connections in the given direction (§5.1.2)."""
-    groups: dict[tuple[str, str], SerialCollisionGroup] = {}
-    members: dict[tuple[str, str], set[str]] = defaultdict(set)
-    conns = [
-        c for c in enriched.mutual
-        if c.direction == direction
-    ]
-    for conn in conns:
-        for side, leaf in (("server", conn.view.server_leaf),
-                           ("client", conn.view.client_leaf)):
-            if leaf is None:
-                continue
-            key = (leaf.issuer, leaf.serial)
-            members[key].add(leaf.fingerprint)
-    colliding = {key for key, fps in members.items() if len(fps) > 1}
-    if not colliding:
-        return SerialCollisionReport(direction=direction, groups=[])
-    for conn in conns:
-        involved = False
-        for side, leaf in (("server", conn.view.server_leaf),
-                           ("client", conn.view.client_leaf)):
-            if leaf is None:
-                continue
-            key = (leaf.issuer, leaf.serial)
-            if key not in colliding:
-                continue
-            involved = True
-            group = groups.get(key)
-            if group is None:
-                group = SerialCollisionGroup(
-                    issuer=leaf.issuer, issuer_org=leaf.issuer_org, serial=leaf.serial
-                )
-                groups[key] = group
-            if leaf.fingerprint not in group.fingerprints:
-                group.fingerprints.add(leaf.fingerprint)
-                profile = enriched.profiles.get(leaf.fingerprint)
-                if profile is not None:
-                    if profile.used_as_server:
-                        group.server_certs += 1
-                    if profile.used_as_client:
-                        group.client_certs += 1
-            group.connections += 1
-        if involved:
-            for side, leaf in (("server", conn.view.server_leaf),
-                               ("client", conn.view.client_leaf)):
-                if leaf is None:
-                    continue
-                key = (leaf.issuer, leaf.serial)
-                if key in colliding:
-                    groups[key].clients.add(conn.view.ssl.id_orig_h)
-    ordered = sorted(groups.values(), key=lambda g: -len(g.fingerprints))
-    return SerialCollisionReport(direction=direction, groups=ordered)
+    partial = SerialCollisionsPartial(
+        protocol.AnalysisContext.from_enriched(enriched), direction
+    )
+    return protocol.feed(partial, enriched).result()
 
 
 # ---------------------------------------------------------------------------
@@ -241,25 +333,86 @@ class WeakCryptoReport:
     weak_key_tuples: int = 0
 
 
+class WeakCryptoPartial(protocol.AnalysisPartial):
+    """v1 / short-key dummy-issuer certificates and their tuples (§5.1.1).
+
+    Tuple counts need the global tuple set, and mutual use is a global
+    property, so the partial keeps candidate fingerprints and the mutual
+    connection tuples and intersects at finalize time.
+    """
+
+    def __init__(
+        self, context: protocol.AnalysisContext, weak_bits: int = 1024
+    ) -> None:
+        self.weak_bits = weak_bits
+        self.v1_candidates: set[str] = set()
+        self.weak_candidates: set[str] = set()
+        self.mutual_fps: set[str] = set()
+        #: all unique mutual connection tuples (§5 'Connection tuple')
+        self.tuples: set[tuple[str, str, str, str]] = set()
+
+    def update(self, conn: EnrichedConn) -> None:
+        mutual = conn.is_mutual
+        for leaf in (conn.view.server_leaf, conn.view.client_leaf):
+            if leaf is None:
+                continue
+            if mutual:
+                self.mutual_fps.add(leaf.fingerprint)
+            if not _is_dummy_org(leaf.issuer_org):
+                continue
+            if leaf.version == 1:
+                self.v1_candidates.add(leaf.fingerprint)
+            if 0 < leaf.key_length <= self.weak_bits:
+                self.weak_candidates.add(leaf.fingerprint)
+        if mutual:
+            self.tuples.add(
+                (
+                    conn.view.ssl.id_orig_h,
+                    conn.view.client_leaf.fingerprint,
+                    conn.view.ssl.id_resp_h,
+                    conn.view.server_leaf.fingerprint,
+                )
+            )
+
+    def merge(self, other: "WeakCryptoPartial") -> None:
+        self.v1_candidates |= other.v1_candidates
+        self.weak_candidates |= other.weak_candidates
+        self.mutual_fps |= other.mutual_fps
+        self.tuples |= other.tuples
+
+    def result(self) -> WeakCryptoReport:
+        v1 = self.v1_candidates & self.mutual_fps
+        weak = self.weak_candidates & self.mutual_fps
+
+        def tuple_count(fps: set[str]) -> int:
+            return sum(1 for t in self.tuples if t[1] in fps or t[3] in fps)
+
+        return WeakCryptoReport(
+            v1_fingerprints=v1,
+            v1_tuples=tuple_count(v1),
+            weak_key_fingerprints=weak,
+            weak_key_tuples=tuple_count(weak),
+        )
+
+    def finalize(self) -> Table:
+        return render_weak_crypto(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="weak-crypto",
+    title="§5.1.1: weak cryptography in dummy-issuer certificates",
+    factory=WeakCryptoPartial,
+    legacy="repro.core.dummy.weak_crypto_report",
+))
+
+
 def weak_crypto_report(enriched: EnrichedDataset, weak_bits: int = 1024) -> WeakCryptoReport:
     """Find v1 and short-key certificates among dummy-issuer client certs
     used in mutual TLS, with their unique connection-tuple counts."""
-    from repro.core.tuples import tuples_for_fingerprints
-
-    report = WeakCryptoReport()
-    for profile in enriched.profiles.values():
-        record = profile.record
-        if not profile.used_in_mutual or not _is_dummy_org(record.issuer_org):
-            continue
-        if record.version == 1:
-            report.v1_fingerprints.add(record.fingerprint)
-        if 0 < record.key_length <= weak_bits:
-            report.weak_key_fingerprints.add(record.fingerprint)
-    report.v1_tuples = len(tuples_for_fingerprints(enriched, report.v1_fingerprints))
-    report.weak_key_tuples = len(
-        tuples_for_fingerprints(enriched, report.weak_key_fingerprints)
+    partial = WeakCryptoPartial(
+        protocol.AnalysisContext.from_enriched(enriched), weak_bits
     )
-    return report
+    return protocol.feed(partial, enriched).result()
 
 
 def render_weak_crypto(report: WeakCryptoReport) -> Table:

@@ -12,7 +12,7 @@ Implements §3.2's methodology on top of the joined dataset:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.core.dataset import CertProfile, ConnView, MtlsDataset
@@ -130,6 +130,87 @@ def _is_public(record: X509Record, bundle: TrustBundle) -> bool:
     return bundle.knows_organization(record.issuer_org)
 
 
+class InterceptionScan:
+    """Mergeable state behind the §3.2 interception filter.
+
+    One scan per shard: :meth:`observe` folds in a raw connection view,
+    :meth:`merge` combines shards, :meth:`finalize` applies the global
+    distinct-domain threshold. The threshold must only run on the fully
+    merged scan — a per-shard cut would miss issuers whose contradicting
+    domains are spread across months.
+    """
+
+    def __init__(self, bundle: TrustBundle, ct_log: CtLookup | None) -> None:
+        self.bundle = bundle
+        self.ct_log = ct_log
+        #: issuer DN → distinct SNI domains contradicting CT
+        self.mismatched_domains: dict[str, set[str]] = {}
+        #: issuer DN → leaf fingerprints presented under it (either side)
+        self.issuer_fingerprints: dict[str, set[str]] = {}
+        #: all distinct leaf fingerprints observed
+        self.fingerprints: set[str] = set()
+
+    def observe(self, conn: ConnView) -> None:
+        for leaf in (conn.server_leaf, conn.client_leaf):
+            if leaf is None:
+                continue
+            self.fingerprints.add(leaf.fingerprint)
+            self.issuer_fingerprints.setdefault(leaf.issuer, set()).add(
+                leaf.fingerprint
+            )
+        leaf = conn.server_leaf
+        if leaf is None or not conn.sni or self.ct_log is None:
+            return
+        # Step 1: issuer not found in major trust stores.
+        if _is_public(leaf, self.bundle):
+            return
+        # Step 2: CT knows the domain under a different issuer.
+        domain = conn.sni.lower()
+        if not self.ct_log.knows_domain(domain):
+            return
+        if leaf.issuer not in self.ct_log.issuers_for(domain):
+            self.mismatched_domains.setdefault(leaf.issuer, set()).add(domain)
+
+    def merge(self, other: "InterceptionScan") -> None:
+        for issuer, domains in other.mismatched_domains.items():
+            self.mismatched_domains.setdefault(issuer, set()).update(domains)
+        for issuer, fps in other.issuer_fingerprints.items():
+            self.issuer_fingerprints.setdefault(issuer, set()).update(fps)
+        self.fingerprints |= other.fingerprints
+
+    def finalize(self, min_interception_domains: int) -> InterceptionReport:
+        # Step 3 (the paper's manual investigation): keep only issuers
+        # contradicting CT across enough distinct domains.
+        flagged = {
+            issuer
+            for issuer, domains in self.mismatched_domains.items()
+            if len(domains) >= min_interception_domains
+        }
+        excluded: set[str] = set()
+        for issuer in flagged:
+            excluded |= self.issuer_fingerprints.get(issuer, set())
+        return InterceptionReport(
+            flagged_issuers=flagged,
+            excluded_fingerprints=excluded,
+            total_certificates=len(self.fingerprints),
+        )
+
+
+def render_interception_summary(report: InterceptionReport) -> "Table":
+    from repro.core.report import Table
+
+    table = Table(
+        "§3.2: TLS interception filter",
+        ["Flagged issuers", "Excluded certificates", "Excluded fraction"],
+    )
+    table.add_row(
+        len(report.flagged_issuers),
+        len(report.excluded_fingerprints),
+        f"{100 * report.excluded_fraction:.2f}% (paper: 8.4%)",
+    )
+    return table
+
+
 class Enricher:
     """Runs the §3.2 pipeline: interception filter + labels."""
 
@@ -155,6 +236,13 @@ class Enricher:
 
     def enrich(self, dataset: MtlsDataset) -> EnrichedDataset:
         report = self._interception_report(dataset)
+        return self.enrich_with_report(dataset, report)
+
+    def enrich_with_report(
+        self, dataset: MtlsDataset, report: InterceptionReport
+    ) -> EnrichedDataset:
+        """Label a dataset under a precomputed (e.g. globally merged)
+        interception report — the shard-worker entry point."""
         if self.filter_interception and report.excluded_fingerprints:
             dataset = dataset.without_fingerprints(report.excluded_fingerprints)
         connections = [self._label(conn) for conn in dataset.connections]
@@ -189,38 +277,13 @@ class Enricher:
     def _interception_report(self, dataset: MtlsDataset) -> InterceptionReport:
         """§3.2: flag issuers that present certificates contradicting the
         CT-logged issuer of the requested domain."""
-        total = len(dataset.certificate_profiles())
-        if self.ct_log is None or not self.filter_interception:
-            return InterceptionReport(set(), set(), total)
-        mismatched_domains: dict[str, set[str]] = {}
+        scan = self.new_scan()
         for conn in dataset.connections:
-            leaf = conn.server_leaf
-            if leaf is None or not conn.sni:
-                continue
-            # Step 1: issuer not found in major trust stores.
-            if _is_public(leaf, self.bundle):
-                continue
-            # Step 2: CT knows the domain under a different issuer.
-            domain = conn.sni.lower()
-            if not self.ct_log.knows_domain(domain):
-                continue
-            ct_issuers = self.ct_log.issuers_for(domain)
-            if leaf.issuer not in ct_issuers:
-                mismatched_domains.setdefault(leaf.issuer, set()).add(domain)
-        # Step 3 (the paper's manual investigation): keep only issuers
-        # contradicting CT across enough distinct domains.
-        flagged = {
-            issuer
-            for issuer, domains in mismatched_domains.items()
-            if len(domains) >= self.min_interception_domains
-        }
-        excluded = {
-            profile.fingerprint
-            for profile in dataset.certificate_profiles().values()
-            if profile.record.issuer in flagged
-        }
-        return InterceptionReport(
-            flagged_issuers=flagged,
-            excluded_fingerprints=excluded,
-            total_certificates=total,
-        )
+            scan.observe(conn)
+        return scan.finalize(self.min_interception_domains)
+
+    def new_scan(self) -> InterceptionScan:
+        """A fresh per-shard interception scan with this enricher's
+        trust bundle and CT log (no CT when the filter is disabled)."""
+        ct_log = self.ct_log if self.filter_interception else None
+        return InterceptionScan(self.bundle, ct_log)

@@ -54,3 +54,34 @@ def study_to_dict(study) -> dict[str, Any]:
 def study_to_json(study, indent: int = 2) -> str:
     """The full study as a JSON document."""
     return json.dumps(study_to_dict(study), indent=indent, sort_keys=True)
+
+
+def export_tables_dict(source, names=None) -> dict[str, Any]:
+    """Registry-keyed export of rendered analyses.
+
+    ``source`` is anything with a ``table(name) -> Table`` method —
+    a :class:`~repro.core.study.CampusStudy` or a
+    :class:`~repro.core.parallel.CampaignResult`. ``names`` defaults to
+    every registered analysis, in paper order. Each entry carries the
+    registry name and the dotted legacy function it replaced, so
+    exports stay diffable across the API migration.
+    """
+    from repro.core import protocol
+
+    selected = tuple(names) if names is not None else protocol.analysis_names()
+    analyses: dict[str, Any] = {}
+    for name in selected:
+        entry = protocol.get_analysis(name)
+        analyses[name] = {
+            "analysis": name,
+            "legacy": entry.legacy,
+            **table_to_dict(source.table(name)),
+        }
+    return {"analyses": analyses, "order": list(selected)}
+
+
+def export_tables_json(source, names=None, indent: int = 2) -> str:
+    """JSON form of :func:`export_tables_dict`."""
+    return json.dumps(
+        export_tables_dict(source, names), indent=indent, sort_keys=True
+    )

@@ -11,7 +11,8 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 
-from repro.core.enrich import EnrichedDataset
+from repro.core import protocol
+from repro.core.enrich import EnrichedConn, EnrichedDataset
 from repro.core.report import Table, percentage
 from repro.text.fuzzy import normalize_org, org_matches_domain
 from repro.text.domains import extract_domain
@@ -169,49 +170,93 @@ class AssociationRow:
     secondary_share: float
 
 
-def inbound_association_table(enriched: EnrichedDataset) -> list[AssociationRow]:
+class Table3Partial(protocol.AnalysisPartial):
     """Per-association connection/client shares and top client issuers."""
-    inbound = [c for c in enriched.mutual if c.direction == "inbound"]
-    total_conns = len(inbound)
-    clients_by_assoc: dict[str, set[str]] = defaultdict(set)
-    conns_by_assoc: Counter = Counter()
-    issuer_clients: dict[str, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
-    all_clients: set[str] = set()
-    for conn in inbound:
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self._bundle = context.bundle
+        self.conns_by_assoc: Counter = Counter()
+        # Plain dicts, not lambda-defaultdicts: partials must pickle.
+        self.clients_by_assoc: dict[str, set[str]] = defaultdict(set)
+        self.issuer_clients: dict[str, dict[str, set[str]]] = {}
+        self.all_clients: set[str] = set()
+        self.total_conns = 0
+
+    def update(self, conn: EnrichedConn) -> None:
+        if not conn.is_mutual or conn.direction != "inbound":
+            return
         association = conn.association or "Unknown"
-        conns_by_assoc[association] += 1
+        self.total_conns += 1
+        self.conns_by_assoc[association] += 1
         client_ip = conn.view.ssl.id_orig_h
-        clients_by_assoc[association].add(client_ip)
-        all_clients.add(client_ip)
+        self.clients_by_assoc[association].add(client_ip)
+        self.all_clients.add(client_ip)
         leaf = conn.view.client_leaf
         if leaf is not None:
-            category = categorize_issuer(leaf, enriched.bundle)
-            issuer_clients[association][category].add(client_ip)
-    rows = []
-    for association, count in conns_by_assoc.most_common():
-        categories = sorted(
-            issuer_clients[association].items(),
-            key=lambda item: len(item[1]),
-            reverse=True,
+            category = categorize_issuer(leaf, self._bundle)
+            by_category = self.issuer_clients.setdefault(association, {})
+            by_category.setdefault(category, set()).add(client_ip)
+
+    def merge(self, other: "Table3Partial") -> None:
+        self.total_conns += other.total_conns
+        self.conns_by_assoc.update(other.conns_by_assoc)
+        for association, clients in other.clients_by_assoc.items():
+            self.clients_by_assoc[association] |= clients
+        for association, by_category in other.issuer_clients.items():
+            mine = self.issuer_clients.setdefault(association, {})
+            for category, clients in by_category.items():
+                mine[category] = mine.get(category, set()) | clients
+        self.all_clients |= other.all_clients
+
+    def result(self) -> list[AssociationRow]:
+        rows = []
+        # Sort by connection count, association name breaking ties, so
+        # shard order can never reshuffle equal counts.
+        ranked = sorted(
+            self.conns_by_assoc.items(), key=lambda item: (-item[1], item[0])
         )
-        n_clients = len(clients_by_assoc[association]) or 1
-        primary = categories[0] if categories else ("-", set())
-        secondary = categories[1] if len(categories) > 1 else ("-", set())
-        rows.append(
-            AssociationRow(
-                association=association,
-                connection_share=count / total_conns if total_conns else 0.0,
-                client_share=(
-                    len(clients_by_assoc[association]) / len(all_clients)
-                    if all_clients else 0.0
-                ),
-                primary_issuer=primary[0],
-                primary_share=len(primary[1]) / n_clients,
-                secondary_issuer=secondary[0],
-                secondary_share=len(secondary[1]) / n_clients,
+        for association, count in ranked:
+            categories = sorted(
+                self.issuer_clients.get(association, {}).items(),
+                key=lambda item: (-len(item[1]), item[0]),
             )
-        )
-    return rows
+            n_clients = len(self.clients_by_assoc[association]) or 1
+            primary = categories[0] if categories else ("-", set())
+            secondary = categories[1] if len(categories) > 1 else ("-", set())
+            rows.append(
+                AssociationRow(
+                    association=association,
+                    connection_share=(
+                        count / self.total_conns if self.total_conns else 0.0
+                    ),
+                    client_share=(
+                        len(self.clients_by_assoc[association]) / len(self.all_clients)
+                        if self.all_clients else 0.0
+                    ),
+                    primary_issuer=primary[0],
+                    primary_share=len(primary[1]) / n_clients,
+                    secondary_issuer=secondary[0],
+                    secondary_share=len(secondary[1]) / n_clients,
+                )
+            )
+        return rows
+
+    def finalize(self) -> Table:
+        return render_inbound_association_table(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="table3",
+    title="Table 3: inbound mutual TLS by server association",
+    factory=Table3Partial,
+    legacy="repro.core.issuers.inbound_association_table",
+))
+
+
+def inbound_association_table(enriched: EnrichedDataset) -> list[AssociationRow]:
+    """Per-association connection/client shares and top client issuers."""
+    partial = Table3Partial(protocol.AnalysisContext.from_enriched(enriched))
+    return protocol.feed(partial, enriched).result()
 
 
 def render_inbound_association_table(rows: list[AssociationRow]) -> Table:
@@ -271,41 +316,75 @@ class OutboundFlows:
         return self.public_server_missing_client / public_total
 
 
-def outbound_flows(enriched: EnrichedDataset) -> OutboundFlows:
-    flows: Counter = Counter()
-    sld_connections: Counter = Counter()
-    client_categories: Counter = Counter()
-    public_server_missing_client = 0
-    same_entity = 0
-    outbound = [c for c in enriched.mutual if c.direction == "outbound"]
-    for conn in outbound:
+class Figure2Partial(protocol.AnalysisPartial):
+    """Outbound mutual-TLS flow counters (Figure 2)."""
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self._bundle = context.bundle
+        self.flows: Counter = Counter()
+        self.sld_connections: Counter = Counter()
+        self.client_categories: Counter = Counter()
+        self.total_connections = 0
+        self.public_server_missing_client = 0
+        self.same_entity_connections = 0
+
+    def update(self, conn: EnrichedConn) -> None:
+        if not conn.is_mutual or conn.direction != "outbound":
+            return
+        self.total_connections += 1
         server_kind = "Public" if conn.server_public else "Private"
         sni = conn.view.sni
         parts = extract_domain(sni) if sni else None
         tld = parts.suffix if parts and parts.suffix else "(missing SNI)"
         sld = parts.registrable if parts and parts.registrable else None
         if sld:
-            sld_connections[sld] += 1
+            self.sld_connections[sld] += 1
         category = (
-            categorize_issuer(conn.view.client_leaf, enriched.bundle)
+            categorize_issuer(conn.view.client_leaf, self._bundle)
             if conn.view.client_leaf is not None else "Private - MissingIssuer"
         )
-        client_categories[category] += 1
-        flows[(server_kind, tld, category)] += 1
+        self.client_categories[category] += 1
+        self.flows[(server_kind, tld, category)] += 1
         if server_kind == "Public" and category == "Private - MissingIssuer":
-            public_server_missing_client += 1
+            self.public_server_missing_client += 1
         if sld and conn.view.client_leaf is not None:
             issuer_org = conn.view.client_leaf.issuer_org
             if issuer_org and org_matches_domain(issuer_org, sld):
-                same_entity += 1
-    return OutboundFlows(
-        flows=flows,
-        sld_connections=sld_connections,
-        client_categories=client_categories,
-        total_connections=len(outbound),
-        public_server_missing_client=public_server_missing_client,
-        same_entity_connections=same_entity,
-    )
+                self.same_entity_connections += 1
+
+    def merge(self, other: "Figure2Partial") -> None:
+        self.flows.update(other.flows)
+        self.sld_connections.update(other.sld_connections)
+        self.client_categories.update(other.client_categories)
+        self.total_connections += other.total_connections
+        self.public_server_missing_client += other.public_server_missing_client
+        self.same_entity_connections += other.same_entity_connections
+
+    def result(self) -> OutboundFlows:
+        return OutboundFlows(
+            flows=self.flows,
+            sld_connections=self.sld_connections,
+            client_categories=self.client_categories,
+            total_connections=self.total_connections,
+            public_server_missing_client=self.public_server_missing_client,
+            same_entity_connections=self.same_entity_connections,
+        )
+
+    def finalize(self) -> Table:
+        return render_outbound_flows(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="figure2",
+    title="Figure 2: outbound mutual TLS flows",
+    factory=Figure2Partial,
+    legacy="repro.core.issuers.outbound_flows",
+))
+
+
+def outbound_flows(enriched: EnrichedDataset) -> OutboundFlows:
+    partial = Figure2Partial(protocol.AnalysisContext.from_enriched(enriched))
+    return protocol.feed(partial, enriched).result()
 
 
 def render_outbound_flows(result: OutboundFlows, top: int = 12) -> Table:
@@ -313,7 +392,8 @@ def render_outbound_flows(result: OutboundFlows, top: int = 12) -> Table:
         "Figure 2: outbound mutual TLS flows (server cert kind, TLD, client issuer)",
         ["Server cert", "TLD", "Client issuer category", "Conns", "% conns"],
     )
-    for (server, tld, category), count in result.flows.most_common(top):
+    ranked = sorted(result.flows.items(), key=lambda item: (-item[1], item[0]))
+    for (server, tld, category), count in ranked[:top]:
         table.add_row(
             server, tld, category, count,
             percentage(count, result.total_connections),

@@ -1,0 +1,330 @@
+"""Multiprocessing shard executor for whole-campaign studies.
+
+A rotated Zeek archive is embarrassingly parallel across months. This
+module fans the per-month shards out over worker processes, runs every
+registered analysis as a partial aggregate in each worker, and merges
+the partials chronologically in the parent — producing tables that are
+byte-identical to a sequential run over the concatenated logs.
+
+Two passes are required because the §3.2 interception filter is a
+*global* decision: an issuer is flagged by the number of distinct
+domains it contradicts across the whole campaign, not within one month.
+
+- **Phase A (scan)**: each worker reads its shard (TSV reader +
+  :class:`~repro.zeek.ingest.ErrorPolicy` from the fault-tolerant
+  ingestion layer) and returns a mergeable
+  :class:`~repro.core.enrich.InterceptionScan`. The parent merges the
+  scans and finalizes the global :class:`InterceptionReport`.
+- **Phase B (analyze)**: the report is broadcast back; each worker
+  enriches its shard under the global report and folds it into one
+  partial per registered analysis. The parent merges shard partials in
+  chronological order.
+
+Workers cache the parsed shard between phases, so each file is read at
+most twice (once when phase B lands on a different worker than phase A).
+The x509 stream is broadcast to every shard — fuid references may cross
+a month boundary and the certificate log is tiny next to ssl.log.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core import protocol
+from repro.core.dataset import MtlsDataset
+from repro.core.enrich import (
+    AssociationRules,
+    Enricher,
+    InterceptionReport,
+    InterceptionScan,
+)
+from repro.core.report import Table
+from repro.zeek.files import _read_many, discover_shards
+from repro.zeek.ingest import ErrorPolicy, IngestReport
+from repro.zeek.tsv import read_ssl_log, read_x509_log
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One unit of parallel work: a month of ssl.log plus the full
+    (deduplicated-on-load) x509 stream."""
+
+    month: str
+    ssl_paths: tuple[str, ...]
+    x509_paths: tuple[str, ...]
+
+    @classmethod
+    def from_discovery(
+        cls, triple: tuple[str, list[Path], list[Path]]
+    ) -> "ShardSpec":
+        month, ssl_paths, x509_paths = triple
+        return cls(
+            month=month,
+            ssl_paths=tuple(str(p) for p in ssl_paths),
+            x509_paths=tuple(str(p) for p in x509_paths),
+        )
+
+
+@dataclass(frozen=True)
+class _ExecutorConfig:
+    """Shipped to each worker process exactly once (Pool initializer)."""
+
+    bundle: object
+    ct_log: object | None
+    rules: AssociationRules
+    filter_interception: bool
+    min_interception_domains: int
+    on_error: ErrorPolicy
+    names: tuple[str, ...] | None
+
+
+@dataclass
+class _ShardOutcome:
+    month: str
+    partials: dict[str, protocol.AnalysisPartial]
+    ssl_report: IngestReport
+    x509_report: IngestReport
+    dangling_fuid_refs: int
+
+
+@dataclass
+class CampaignResult:
+    """Merged output of a (possibly parallel) campaign analysis."""
+
+    months: tuple[str, ...]
+    partials: dict[str, protocol.AnalysisPartial]
+    interception: InterceptionReport
+    ingest: IngestReport
+    dangling_fuid_refs: int
+    jobs: int = 1
+
+    def result(self, name: str):
+        """The rich result object of one analysis (legacy shape)."""
+        return self.partials[name].result()
+
+    def table(self, name: str) -> Table:
+        try:
+            partial = self.partials[name]
+        except KeyError:
+            known = ", ".join(self.partials)
+            raise KeyError(f"no analysis {name!r} in this run (have: {known})") from None
+        return partial.finalize()
+
+    def tables(self) -> list[Table]:
+        """Every analysis rendered, in registry (paper) order."""
+        return [partial.finalize() for partial in self.partials.values()]
+
+
+# ---------------------------------------------------------------------------
+# Per-shard work (runs in workers; also called inline when jobs == 1)
+# ---------------------------------------------------------------------------
+
+
+def _make_enricher(config: _ExecutorConfig) -> Enricher:
+    return Enricher(
+        bundle=config.bundle,
+        ct_log=config.ct_log,
+        rules=config.rules,
+        filter_interception=config.filter_interception,
+        min_interception_domains=config.min_interception_domains,
+    )
+
+
+def _load_shard(config: _ExecutorConfig, cache: dict, spec: ShardSpec):
+    triple = cache.get(spec.month)
+    if triple is None:
+        ssl_report = IngestReport()
+        x509_report = IngestReport()
+        ssl = _read_many(
+            [Path(p) for p in spec.ssl_paths], read_ssl_log,
+            config.on_error, ssl_report,
+        )
+        x509 = _read_many(
+            [Path(p) for p in spec.x509_paths], read_x509_log,
+            config.on_error, x509_report,
+        )
+        ssl.sort(key=lambda r: r.ts)
+        x509.sort(key=lambda r: r.ts)
+        triple = (MtlsDataset(ssl, x509), ssl_report, x509_report)
+        cache[spec.month] = triple
+    return triple
+
+
+def _scan_shard(
+    config: _ExecutorConfig, cache: dict, spec: ShardSpec
+) -> InterceptionScan:
+    dataset, _, _ = _load_shard(config, cache, spec)
+    scan = _make_enricher(config).new_scan()
+    for conn in dataset.connections:
+        scan.observe(conn)
+    return scan
+
+
+def _analyze_shard(
+    config: _ExecutorConfig,
+    cache: dict,
+    spec: ShardSpec,
+    report: InterceptionReport,
+) -> _ShardOutcome:
+    dataset, ssl_report, x509_report = _load_shard(config, cache, spec)
+    enricher = _make_enricher(config)
+    enriched = enricher.enrich_with_report(dataset, report)
+    context = protocol.AnalysisContext(
+        bundle=config.bundle, rules=config.rules, interception=report,
+    )
+    partials = protocol.run_analyses(
+        enriched, config.names, raw=dataset, context=context,
+    )
+    return _ShardOutcome(
+        month=spec.month,
+        partials=partials,
+        ssl_report=ssl_report,
+        x509_report=x509_report,
+        dangling_fuid_refs=dataset.dangling_fuid_refs,
+    )
+
+
+# Worker-process globals, set once by the Pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(config: _ExecutorConfig) -> None:
+    protocol.load_default_analyses()
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["cache"] = {}
+
+
+def _worker_scan(spec: ShardSpec) -> InterceptionScan:
+    return _scan_shard(_WORKER_STATE["config"], _WORKER_STATE["cache"], spec)
+
+
+def _worker_analyze(payload: tuple[ShardSpec, InterceptionReport]) -> _ShardOutcome:
+    spec, report = payload
+    return _analyze_shard(
+        _WORKER_STATE["config"], _WORKER_STATE["cache"], spec, report
+    )
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class ShardExecutor:
+    """Fan per-month shards out over processes and merge the partials.
+
+    ``jobs <= 1`` runs every shard inline in the current process through
+    the *same* code path, which is what makes the 0/1/N-worker
+    equivalence tests meaningful.
+    """
+
+    def __init__(
+        self,
+        bundle,
+        ct_log=None,
+        *,
+        rules: AssociationRules | None = None,
+        filter_interception: bool = True,
+        min_interception_domains: int = 5,
+        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        names: tuple[str, ...] | None = None,
+        jobs: int = 1,
+    ) -> None:
+        self.config = _ExecutorConfig(
+            bundle=bundle,
+            ct_log=ct_log,
+            rules=rules or AssociationRules(),
+            filter_interception=filter_interception,
+            min_interception_domains=min_interception_domains,
+            on_error=ErrorPolicy.coerce(on_error),
+            names=tuple(names) if names is not None else None,
+        )
+        self.jobs = jobs
+
+    def run_directory(self, directory: Path | str) -> CampaignResult:
+        """Analyze a rotated-log directory (``ssl.YYYY-MM.log[.gz]``)."""
+        shards = [ShardSpec.from_discovery(t) for t in discover_shards(directory)]
+        return self.run(shards)
+
+    def run(self, shards: list[ShardSpec]) -> CampaignResult:
+        if not shards:
+            raise ValueError("no shards to analyze")
+        specs = sorted(shards, key=lambda s: s.month)
+        jobs = max(1, min(self.jobs, len(specs)))
+        if jobs == 1:
+            cache: dict = {}
+            scans = [_scan_shard(self.config, cache, spec) for spec in specs]
+            report = self._merge_scans(scans)
+            outcomes = [
+                _analyze_shard(self.config, cache, spec, report) for spec in specs
+            ]
+        else:
+            with multiprocessing.Pool(
+                processes=jobs, initializer=_worker_init, initargs=(self.config,)
+            ) as pool:
+                scans = pool.map(_worker_scan, specs)
+                report = self._merge_scans(scans)
+                outcomes = pool.map(
+                    _worker_analyze, [(spec, report) for spec in specs]
+                )
+        return self._merge_outcomes(specs, report, outcomes, jobs)
+
+    def _merge_scans(self, scans: list[InterceptionScan]) -> InterceptionReport:
+        merged = scans[0]
+        for scan in scans[1:]:
+            merged.merge(scan)
+        return merged.finalize(self.config.min_interception_domains)
+
+    def _merge_outcomes(
+        self,
+        specs: list[ShardSpec],
+        report: InterceptionReport,
+        outcomes: list[_ShardOutcome],
+        jobs: int,
+    ) -> CampaignResult:
+        # Chronological merge: outcomes arrive in spec (month) order.
+        partials = outcomes[0].partials
+        for outcome in outcomes[1:]:
+            protocol.merge_partials(partials, outcome.partials)
+        ingest = IngestReport()
+        for outcome in outcomes:
+            ingest.merge(outcome.ssl_report)
+        # x509 is broadcast to every shard; count its ingestion once.
+        ingest.merge(outcomes[0].x509_report)
+        dangling = sum(o.dangling_fuid_refs for o in outcomes)
+        return CampaignResult(
+            months=tuple(spec.month for spec in specs),
+            partials=partials,
+            interception=report,
+            ingest=ingest,
+            dangling_fuid_refs=dangling,
+            jobs=jobs,
+        )
+
+
+def analyze_directory(
+    directory: Path | str,
+    bundle,
+    ct_log=None,
+    *,
+    rules: AssociationRules | None = None,
+    filter_interception: bool = True,
+    min_interception_domains: int = 5,
+    on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+    names: tuple[str, ...] | None = None,
+    jobs: int = 1,
+) -> CampaignResult:
+    """One-call sharded analysis of a rotated Zeek archive."""
+    executor = ShardExecutor(
+        bundle,
+        ct_log,
+        rules=rules,
+        filter_interception=filter_interception,
+        min_interception_domains=min_interception_domains,
+        on_error=on_error,
+        names=names,
+        jobs=jobs,
+    )
+    return executor.run_directory(directory)

@@ -1,12 +1,27 @@
-"""Prevalence of mutual TLS: Figure 1 and Table 1."""
+"""Prevalence of mutual TLS: Figure 1 and Table 1.
+
+Both analyses are implemented as mergeable partials
+(:class:`Figure1Partial`, :class:`Table1Partial`) over two shared state
+types (:class:`MonthlyShareState`, :class:`CertUsageState`) that the
+streaming analyzer reuses for its bounded-memory aggregates. The
+module-level functions are the legacy whole-dataset API, now thin
+wrappers over the partials.
+"""
 
 from __future__ import annotations
 
-from collections import defaultdict
+import datetime as _dt
 from dataclasses import dataclass
 
-from repro.core.enrich import EnrichedDataset
+from repro.core import protocol
+from repro.core.enrich import EnrichedConn, EnrichedDataset
 from repro.core.report import Table, fmt_count, percentage
+from repro.trust import TrustBundle
+
+
+def month_label(ts: _dt.datetime) -> str:
+    """The 'YYYY-MM' rotation label used throughout the pipeline."""
+    return f"{ts.year:04d}-{ts.month:02d}"
 
 
 @dataclass
@@ -24,26 +39,246 @@ class MonthlyShare:
         return self.mutual_connections / self.total_connections
 
 
-def monthly_mutual_share(enriched: EnrichedDataset) -> list[MonthlyShare]:
-    """Figure 1: per-month fraction of TLS connections that are mutual.
+class MonthlyShareState:
+    """Mergeable per-month connection/mutual counters (Figure 1)."""
+
+    def __init__(self) -> None:
+        self.total: dict[str, int] = {}
+        self.mutual: dict[str, int] = {}
+
+    def observe(self, label: str, mutual: bool) -> None:
+        self.total[label] = self.total.get(label, 0) + 1
+        if mutual:
+            self.mutual[label] = self.mutual.get(label, 0) + 1
+
+    def merge(self, other: "MonthlyShareState") -> None:
+        for label, count in other.total.items():
+            self.total[label] = self.total.get(label, 0) + count
+        for label, count in other.mutual.items():
+            self.mutual[label] = self.mutual.get(label, 0) + count
+
+    def rows(self) -> list[MonthlyShare]:
+        return [
+            MonthlyShare(
+                label=label,
+                total_connections=self.total[label],
+                mutual_connections=self.mutual.get(label, 0),
+            )
+            for label in sorted(self.total)
+        ]
+
+    # JSON-safe persistence (streaming-analyzer snapshots).
+
+    def state_dict(self) -> dict:
+        return {"total": dict(self.total), "mutual": dict(self.mutual)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MonthlyShareState":
+        instance = cls()
+        instance.total = dict(state.get("total", {}))
+        instance.mutual = dict(state.get("mutual", {}))
+        return instance
+
+
+@dataclass
+class CertStatsRow:
+    """One row of Table 1."""
+
+    label: str
+    total: int
+    mutual: int
+
+    @property
+    def mutual_share(self) -> float:
+        return self.mutual / self.total if self.total else 0.0
+
+
+#: Fixed row order of Table 1.
+_CERT_STAT_LABELS = (
+    "Total",
+    "Server", "Server/Public", "Server/Private",
+    "Client", "Client/Public", "Client/Private",
+)
+
+
+class CertUsageState:
+    """Mergeable per-certificate usage flags (Table 1).
+
+    State per fingerprint is the compact quadruplet
+    ``[public, used_as_server, used_as_client, used_in_mutual]`` — the
+    same encoding the streaming analyzer checkpoints.
+    """
+
+    def __init__(self) -> None:
+        self._certs: dict[str, list[int]] = {}
+
+    def ensure(self, fingerprint: str, public: bool) -> None:
+        """Track a certificate before (or without) any usage."""
+        if fingerprint not in self._certs:
+            self._certs[fingerprint] = [int(public), 0, 0, 0]
+
+    def observe(
+        self, fingerprint: str, public: bool, role: str, mutual: bool
+    ) -> None:
+        flags = self._certs.get(fingerprint)
+        if flags is None:
+            flags = [int(public), 0, 0, 0]
+            self._certs[fingerprint] = flags
+        if role == "server":
+            flags[1] = 1
+        else:
+            flags[2] = 1
+        if mutual:
+            flags[3] = 1
+
+    def merge(self, other: "CertUsageState") -> None:
+        for fingerprint, theirs in other._certs.items():
+            mine = self._certs.get(fingerprint)
+            if mine is None:
+                self._certs[fingerprint] = list(theirs)
+            else:
+                for index in (1, 2, 3):
+                    mine[index] |= theirs[index]
+
+    def rows(self) -> list[CertStatsRow]:
+        """Table 1 rows (only certificates with observed usage count)."""
+        counts = {label: [0, 0] for label in _CERT_STAT_LABELS}
+        for flags in self._certs.values():
+            public, server, client, mutual = flags
+            if not (server or client):
+                continue
+            role = "Server" if server else "Client"
+            kind = "Public" if public else "Private"
+            for key in ("Total", role, f"{role}/{kind}"):
+                counts[key][0] += 1
+                if mutual:
+                    counts[key][1] += 1
+        return [
+            CertStatsRow(label=label, total=total, mutual=mutual)
+            for label, (total, mutual) in counts.items()
+        ]
+
+    @property
+    def tracked(self) -> int:
+        return len(self._certs)
+
+    @property
+    def used(self) -> int:
+        return sum(1 for flags in self._certs.values() if flags[1] or flags[2])
+
+    # JSON-safe persistence (streaming-analyzer snapshots).
+
+    def state_dict(self) -> dict:
+        return {"certs": {fp: list(flags) for fp, flags in self._certs.items()}}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CertUsageState":
+        instance = cls()
+        instance._certs = {
+            fp: [int(flag) for flag in flags]
+            for fp, flags in state.get("certs", {}).items()
+        }
+        return instance
+
+
+# ---------------------------------------------------------------------------
+# Partials
+# ---------------------------------------------------------------------------
+
+
+class Figure1Partial(protocol.AnalysisPartial):
+    """Per-month share of TLS connections that are mutual.
 
     The denominator is *all* observed TLS connections, including TLS 1.3
     connections whose certificates are invisible (which therefore can
     never be counted as mutual — the paper's §3.3 caveat applies to the
     numerator).
     """
-    totals: dict[str, int] = defaultdict(int)
-    mutuals: dict[str, int] = defaultdict(int)
-    for conn in enriched.connections:
-        label = f"{conn.view.ts.year:04d}-{conn.view.ts.month:02d}"
-        totals[label] += 1
-        if conn.is_mutual:
-            mutuals[label] += 1
-    return [
-        MonthlyShare(label=label, total_connections=totals[label],
-                     mutual_connections=mutuals[label])
-        for label in sorted(totals)
-    ]
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self.state = MonthlyShareState()
+
+    def update(self, conn: EnrichedConn) -> None:
+        self.state.observe(month_label(conn.view.ts), conn.is_mutual)
+
+    def merge(self, other: "Figure1Partial") -> None:
+        self.state.merge(other.state)
+
+    def result(self) -> list[MonthlyShare]:
+        return self.state.rows()
+
+    def finalize(self) -> Table:
+        return render_monthly_share(self.result())
+
+
+def _is_public(record, bundle: TrustBundle) -> bool:
+    if bundle.knows_issuer_dn(record.issuer):
+        return True
+    return bundle.knows_organization(record.issuer_org)
+
+
+class Table1Partial(protocol.AnalysisPartial):
+    """Unique leaf certificates by role and issuer kind (Table 1).
+
+    Roles follow §3.2.1 (presence in the server or client chain); a
+    certificate seen in both roles is counted under its primary (server)
+    role here and analyzed separately in the sharing module.
+    """
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self._bundle = context.bundle
+        self.state = CertUsageState()
+
+    def update(self, conn: EnrichedConn) -> None:
+        mutual = conn.is_mutual
+        for role, leaf in (
+            ("server", conn.view.server_leaf), ("client", conn.view.client_leaf)
+        ):
+            if leaf is None:
+                continue
+            self.state.observe(
+                leaf.fingerprint, _is_public(leaf, self._bundle), role, mutual
+            )
+
+    def merge(self, other: "Table1Partial") -> None:
+        self.state.merge(other.state)
+
+    def result(self) -> list[CertStatsRow]:
+        return self.state.rows()
+
+    def finalize(self) -> Table:
+        return render_certificate_statistics(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="figure1",
+    title="Figure 1: share of TLS connections using mutual TLS",
+    factory=Figure1Partial,
+    legacy="repro.core.prevalence.monthly_mutual_share",
+))
+protocol.register(protocol.Analysis(
+    name="table1",
+    title="Table 1: unique leaf certificates (total vs used in mutual TLS)",
+    factory=Table1Partial,
+    legacy="repro.core.prevalence.certificate_statistics",
+))
+
+
+# ---------------------------------------------------------------------------
+# Legacy whole-dataset API (compatibility wrappers)
+# ---------------------------------------------------------------------------
+
+
+def monthly_mutual_share(enriched: EnrichedDataset) -> list[MonthlyShare]:
+    """Figure 1: per-month fraction of TLS connections that are mutual."""
+    partial = Figure1Partial(protocol.AnalysisContext.from_enriched(enriched))
+    return protocol.feed(partial, enriched).result()
+
+
+def certificate_statistics(enriched: EnrichedDataset) -> list[CertStatsRow]:
+    """Table 1: unique leaf certificates by role and issuer kind."""
+    partial = Table1Partial(protocol.AnalysisContext.from_enriched(enriched))
+    return protocol.feed(partial, enriched).result()
 
 
 def render_monthly_share(series: list[MonthlyShare], width: int = 40) -> Table:
@@ -61,83 +296,6 @@ def render_monthly_share(series: list[MonthlyShare], width: int = 40) -> Table:
     return table
 
 
-@dataclass
-class DirectionPoint:
-    """Monthly mutual-TLS counts split by direction (Figure 1's narrative:
-    the Oct-Dec 2023 surge was inbound, the dip outbound)."""
-
-    label: str
-    inbound_mutual: int
-    outbound_mutual: int
-
-
-def direction_split_series(enriched: EnrichedDataset) -> list[DirectionPoint]:
-    """Per-month inbound/outbound mutual connection counts."""
-    inbound: dict[str, int] = defaultdict(int)
-    outbound: dict[str, int] = defaultdict(int)
-    labels: set[str] = set()
-    for conn in enriched.connections:
-        label = f"{conn.view.ts.year:04d}-{conn.view.ts.month:02d}"
-        labels.add(label)
-        if not conn.is_mutual:
-            continue
-        if conn.direction == "inbound":
-            inbound[label] += 1
-        else:
-            outbound[label] += 1
-    return [
-        DirectionPoint(
-            label=label,
-            inbound_mutual=inbound[label],
-            outbound_mutual=outbound[label],
-        )
-        for label in sorted(labels)
-    ]
-
-
-@dataclass
-class CertStatsRow:
-    """One row of Table 1."""
-
-    label: str
-    total: int
-    mutual: int
-
-    @property
-    def mutual_share(self) -> float:
-        return self.mutual / self.total if self.total else 0.0
-
-
-def certificate_statistics(enriched: EnrichedDataset) -> list[CertStatsRow]:
-    """Table 1: unique leaf certificates by role and issuer kind.
-
-    Roles follow §3.2.1 (presence in the server or client chain); a
-    certificate seen in both roles is counted under its primary (server)
-    role here and analyzed separately in the sharing module.
-    """
-    counts = {
-        "Total": [0, 0],
-        "Server": [0, 0],
-        "Server/Public": [0, 0],
-        "Server/Private": [0, 0],
-        "Client": [0, 0],
-        "Client/Public": [0, 0],
-        "Client/Private": [0, 0],
-    }
-    for profile in enriched.profiles.values():
-        public = enriched.is_public_record(profile.record)
-        role = "Server" if profile.primary_role == "server" else "Client"
-        kind = "Public" if public else "Private"
-        for key in ("Total", role, f"{role}/{kind}"):
-            counts[key][0] += 1
-            if profile.used_in_mutual:
-                counts[key][1] += 1
-    return [
-        CertStatsRow(label=label, total=total, mutual=mutual)
-        for label, (total, mutual) in counts.items()
-    ]
-
-
 def render_certificate_statistics(rows: list[CertStatsRow]) -> Table:
     table = Table(
         "Table 1: unique leaf certificates (total vs used in mutual TLS)",
@@ -151,3 +309,37 @@ def render_certificate_statistics(rows: list[CertStatsRow]) -> Table:
             percentage(row.mutual, row.total),
         )
     return table
+
+
+@dataclass
+class DirectionPoint:
+    """Monthly mutual-TLS counts split by direction (Figure 1's narrative:
+    the Oct-Dec 2023 surge was inbound, the dip outbound)."""
+
+    label: str
+    inbound_mutual: int
+    outbound_mutual: int
+
+
+def direction_split_series(enriched: EnrichedDataset) -> list[DirectionPoint]:
+    """Per-month inbound/outbound mutual connection counts."""
+    inbound: dict[str, int] = {}
+    outbound: dict[str, int] = {}
+    labels: set[str] = set()
+    for conn in enriched.connections:
+        label = month_label(conn.view.ts)
+        labels.add(label)
+        if not conn.is_mutual:
+            continue
+        if conn.direction == "inbound":
+            inbound[label] = inbound.get(label, 0) + 1
+        else:
+            outbound[label] = outbound.get(label, 0) + 1
+    return [
+        DirectionPoint(
+            label=label,
+            inbound_mutual=inbound.get(label, 0),
+            outbound_mutual=outbound.get(label, 0),
+        )
+        for label in sorted(labels)
+    ]

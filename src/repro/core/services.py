@@ -5,9 +5,16 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.core.enrich import EnrichedDataset
+from repro.core import protocol
+from repro.core.enrich import EnrichedConn, EnrichedDataset
 from repro.core.report import Table
 from repro.tls.ports import ServiceRegistry, default_registry
+
+#: The four quadrants, in the paper's presentation order.
+_QUADRANTS = (
+    ("inbound", True), ("outbound", True),
+    ("inbound", False), ("outbound", False),
+)
 
 
 @dataclass
@@ -32,8 +39,11 @@ def _rank(
     counter: Counter, registry: ServiceRegistry, top: int
 ) -> list[ServiceRow]:
     total = sum(counter.values())
+    # Deterministic ranking: ties broken by port-group label so shard
+    # order can never reshuffle equal counts.
+    ranked = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
     rows = []
-    for port_group, count in counter.most_common(top):
+    for port_group, count in ranked[:top]:
         sample_port = int(port_group.split("-")[0])
         rows.append(
             ServiceRow(
@@ -46,6 +56,50 @@ def _rank(
     return rows
 
 
+class Table2Partial(protocol.AnalysisPartial):
+    """Per-quadrant server-port counters (Table 2)."""
+
+    def __init__(
+        self,
+        context: protocol.AnalysisContext,
+        registry: ServiceRegistry | None = None,
+        top: int = 5,
+    ) -> None:
+        self._registry = registry or default_registry()
+        self._top = top
+        self.counters: dict[tuple[str, bool], Counter] = {
+            quadrant: Counter() for quadrant in _QUADRANTS
+        }
+
+    def update(self, conn: EnrichedConn) -> None:
+        key = (conn.direction, conn.is_mutual)
+        self.counters[key][self._registry.group_key(conn.view.ssl.id_resp_p)] += 1
+
+    def merge(self, other: "Table2Partial") -> None:
+        for quadrant, counter in other.counters.items():
+            self.counters[quadrant].update(counter)
+
+    def result(self) -> ServiceBreakdown:
+        registry, top = self._registry, self._top
+        return ServiceBreakdown(
+            inbound_mutual=_rank(self.counters[("inbound", True)], registry, top),
+            outbound_mutual=_rank(self.counters[("outbound", True)], registry, top),
+            inbound_nonmutual=_rank(self.counters[("inbound", False)], registry, top),
+            outbound_nonmutual=_rank(self.counters[("outbound", False)], registry, top),
+        )
+
+    def finalize(self) -> Table:
+        return render_service_breakdown(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="table2",
+    title="Table 2: prominent services, mutual vs non-mutual TLS",
+    factory=Table2Partial,
+    legacy="repro.core.services.service_breakdown",
+))
+
+
 def service_breakdown(
     enriched: EnrichedDataset,
     registry: ServiceRegistry | None = None,
@@ -56,22 +110,10 @@ def service_breakdown(
     Port ranges known to the registry (e.g. Globus' 50000-51000) are
     collapsed onto a single row, as the paper does.
     """
-    registry = registry or default_registry()
-    counters: dict[tuple[str, bool], Counter] = {
-        ("inbound", True): Counter(),
-        ("inbound", False): Counter(),
-        ("outbound", True): Counter(),
-        ("outbound", False): Counter(),
-    }
-    for conn in enriched.connections:
-        key = (conn.direction, conn.is_mutual)
-        counters[key][registry.group_key(conn.view.ssl.id_resp_p)] += 1
-    return ServiceBreakdown(
-        inbound_mutual=_rank(counters[("inbound", True)], registry, top),
-        outbound_mutual=_rank(counters[("outbound", True)], registry, top),
-        inbound_nonmutual=_rank(counters[("inbound", False)], registry, top),
-        outbound_nonmutual=_rank(counters[("outbound", False)], registry, top),
+    partial = Table2Partial(
+        protocol.AnalysisContext.from_enriched(enriched), registry, top
     )
+    return protocol.feed(partial, enriched).result()
 
 
 def render_service_breakdown(breakdown: ServiceBreakdown) -> Table:

@@ -6,7 +6,9 @@ from dataclasses import dataclass, field
 
 import math
 
-from repro.core.enrich import EnrichedDataset
+from repro.core import protocol
+from repro.core.dataset import ProfileStore
+from repro.core.enrich import EnrichedConn, EnrichedDataset
 from repro.core.report import Table
 from repro.text.domains import extract_domain
 
@@ -32,29 +34,39 @@ class SameConnectionSharingRow:
         return (self.last_seen - self.first_seen).total_seconds() / 86400.0
 
 
-def same_connection_sharing(enriched: EnrichedDataset) -> list[SameConnectionSharingRow]:
-    """Table 5: connections where the server and client chains carry the
-    same leaf certificate, grouped by (direction, SLD, issuer)."""
-    rows: dict[tuple[str, str, str], SameConnectionSharingRow] = {}
-    for conn in enriched.mutual:
+class Table5Partial(protocol.AnalysisPartial):
+    """Same-certificate-at-both-ends connections (Table 5).
+
+    ``issuer_public`` comes from the earliest witnessing connection
+    (min ``(ts, uid)``), so any shard split elects the same witness.
+    """
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self.rows: dict[tuple[str, str, str], SameConnectionSharingRow] = {}
+        #: row key → (ts, uid, server_public) of the earliest witness
+        self.witness: dict[tuple[str, str, str], tuple] = {}
+
+    def update(self, conn: EnrichedConn) -> None:
+        if not conn.is_mutual:
+            return
         server_leaf, client_leaf = conn.view.server_leaf, conn.view.client_leaf
-        if server_leaf is None or client_leaf is None:
-            continue
         if server_leaf.fingerprint != client_leaf.fingerprint:
-            continue
+            return
         sni = conn.view.sni
         sld = extract_domain(sni).registrable if sni else "(missing SNI)"
         issuer_org = server_leaf.issuer_org or "(missing issuer)"
         key = (conn.direction, sld, issuer_org)
-        row = rows.get(key)
+        row = self.rows.get(key)
         if row is None:
             row = SameConnectionSharingRow(
-                direction=conn.direction,
-                sld=sld,
-                issuer_org=issuer_org,
+                direction=conn.direction, sld=sld, issuer_org=issuer_org,
                 issuer_public=bool(conn.server_public),
             )
-            rows[key] = row
+            self.rows[key] = row
+        mark = (conn.view.ts, conn.view.ssl.uid, bool(conn.server_public))
+        if key not in self.witness or mark < self.witness[key]:
+            self.witness[key] = mark
+            row.issuer_public = mark[2]
         row.clients.add(conn.view.ssl.id_orig_h)
         row.fingerprints.add(server_leaf.fingerprint)
         row.connections += 1
@@ -63,7 +75,58 @@ def same_connection_sharing(enriched: EnrichedDataset) -> list[SameConnectionSha
             row.first_seen = ts
         if row.last_seen is None or ts > row.last_seen:
             row.last_seen = ts
-    return sorted(rows.values(), key=lambda r: (r.direction, -len(r.clients)))
+
+    def merge(self, other: "Table5Partial") -> None:
+        for key, theirs in other.rows.items():
+            mine = self.rows.get(key)
+            if mine is None:
+                mine = SameConnectionSharingRow(
+                    direction=theirs.direction, sld=theirs.sld,
+                    issuer_org=theirs.issuer_org,
+                    issuer_public=theirs.issuer_public,
+                )
+                self.rows[key] = mine
+            mine.clients |= theirs.clients
+            mine.fingerprints |= theirs.fingerprints
+            mine.connections += theirs.connections
+            if theirs.first_seen is not None and (
+                mine.first_seen is None or theirs.first_seen < mine.first_seen
+            ):
+                mine.first_seen = theirs.first_seen
+            if theirs.last_seen is not None and (
+                mine.last_seen is None or theirs.last_seen > mine.last_seen
+            ):
+                mine.last_seen = theirs.last_seen
+            their_mark = other.witness.get(key)
+            if their_mark is not None and (
+                key not in self.witness or their_mark < self.witness[key]
+            ):
+                self.witness[key] = their_mark
+                mine.issuer_public = their_mark[2]
+
+    def result(self) -> list[SameConnectionSharingRow]:
+        return sorted(
+            self.rows.values(),
+            key=lambda r: (r.direction, -len(r.clients), r.sld, r.issuer_org),
+        )
+
+    def finalize(self) -> Table:
+        return render_same_connection_sharing(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="table5",
+    title="Table 5: certificates shared by client and server in the same connection",
+    factory=Table5Partial,
+    legacy="repro.core.sharing.same_connection_sharing",
+))
+
+
+def same_connection_sharing(enriched: EnrichedDataset) -> list[SameConnectionSharingRow]:
+    """Table 5: connections where the server and client chains carry the
+    same leaf certificate, grouped by (direction, SLD, issuer)."""
+    partial = Table5Partial(protocol.AnalysisContext.from_enriched(enriched))
+    return protocol.feed(partial, enriched).result()
 
 
 def render_same_connection_sharing(rows: list[SameConnectionSharingRow]) -> Table:
@@ -108,12 +171,8 @@ def _quantiles(values: list[int]) -> dict[int, int]:
     return out
 
 
-def cross_connection_subnets(enriched: EnrichedDataset) -> SubnetSpread:
-    """Table 6: certificates used as server certs in some connections and
-    client certs in others; how many /24 subnets each role spans."""
-    shared = [
-        profile for profile in enriched.profiles.values() if profile.shared_roles
-    ]
+def _subnet_spread(profiles: dict) -> SubnetSpread:
+    shared = [p for p in profiles.values() if p.shared_roles]
     server_counts = [len(p.server_subnets) for p in shared]
     client_counts = [len(p.client_subnets) for p in shared]
     from collections import Counter
@@ -121,12 +180,46 @@ def cross_connection_subnets(enriched: EnrichedDataset) -> SubnetSpread:
     issuer_counter: Counter = Counter()
     for profile in shared:
         issuer_counter[profile.record.issuer_org or "(missing)"] += 1
+    ranked = sorted(issuer_counter.items(), key=lambda item: (-item[1], item[0]))
     return SubnetSpread(
         shared_certificates=len(shared),
         server_quantiles=_quantiles(server_counts),
         client_quantiles=_quantiles(client_counts),
-        top_issuer_orgs=issuer_counter.most_common(5),
+        top_issuer_orgs=ranked[:5],
     )
+
+
+class Table6Partial(protocol.AnalysisPartial):
+    """Subnet spread of shared-role certificates (Table 6)."""
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self.store = ProfileStore()
+
+    def update(self, conn: EnrichedConn) -> None:
+        self.store.observe(conn.view)
+
+    def merge(self, other: "Table6Partial") -> None:
+        self.store.merge(other.store)
+
+    def result(self) -> SubnetSpread:
+        return _subnet_spread(self.store.profiles)
+
+    def finalize(self) -> Table:
+        return render_cross_connection_subnets(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="table6",
+    title="Table 6: /24 subnets per certificate shared across server and client roles",
+    factory=Table6Partial,
+    legacy="repro.core.sharing.cross_connection_subnets",
+))
+
+
+def cross_connection_subnets(enriched: EnrichedDataset) -> SubnetSpread:
+    """Table 6: certificates used as server certs in some connections and
+    client certs in others; how many /24 subnets each role spans."""
+    return _subnet_spread(enriched.profiles)
 
 
 # ---------------------------------------------------------------------------

@@ -3,9 +3,15 @@
 The batch pipeline loads a whole campaign; a 23-month border capture
 does not fit in memory. `StreamingAnalyzer` consumes ssl/x509 records
 incrementally — e.g. one rotated monthly file at a time — and maintains
-the running aggregates for the headline results (Figure 1's series and
-Table 1's unique-certificate statistics) with memory proportional to the
-number of *unique certificates*, not connections.
+the running aggregates for the headline results (Figure 1's series,
+Table 1's unique-certificate statistics, and the §3.3 TLS 1.3 blind
+spot) with memory proportional to the number of *unique certificates*,
+not connections. The aggregates are the same mergeable state types the
+analysis registry's partials use
+(:class:`~repro.core.prevalence.MonthlyShareState`,
+:class:`~repro.core.prevalence.CertUsageState`,
+:class:`~repro.core.tuples.Tls13State`), so streaming, sequential
+batch, and sharded-parallel runs provably agree.
 
 The analyzer checkpoints: `to_snapshot()` captures the complete running
 state as a JSON-serializable dict and `from_snapshot()` restores it, so
@@ -18,26 +24,26 @@ streams; evictions and dangling fuid references are both counted.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from repro.core.prevalence import CertStatsRow, MonthlyShare
+from repro.core.prevalence import (
+    CertStatsRow,
+    CertUsageState,
+    MonthlyShare,
+    MonthlyShareState,
+    month_label,
+)
+from repro.core.tuples import Tls13Blindspot, Tls13State
 from repro.trust import TrustBundle
 from repro.zeek import SslRecord, X509Record
 
 #: Snapshot schema tag; bump on incompatible layout changes.
-SNAPSHOT_FORMAT = "streaming-analyzer/v1"
+SNAPSHOT_FORMAT = "streaming-analyzer/v2"
 
-
-@dataclass
-class _CertState:
-    """Minimal per-certificate running state (no record retained)."""
-
-    public: bool
-    used_as_server: bool = False
-    used_as_client: bool = False
-    used_in_mutual: bool = False
+#: The previous schema: per-certificate quadruplets and monthly counters
+#: at the top level, no embedded registry partial states.
+_SNAPSHOT_FORMAT_V1 = "streaming-analyzer/v1"
 
 
 class StreamingAnalyzer:
@@ -59,9 +65,9 @@ class StreamingAnalyzer:
         self.bundle = bundle
         self.max_fuid_map = max_fuid_map
         self._fuid_to_fp: dict[str, str] = {}
-        self._certs: dict[str, _CertState] = {}
-        self._monthly_total: dict[str, int] = {}
-        self._monthly_mutual: dict[str, int] = {}
+        self._usage = CertUsageState()
+        self._monthly = MonthlyShareState()
+        self._tls13 = Tls13State()
         self.connections_seen = 0
         self.dropped_unestablished = 0
         #: ssl chain references whose fuid had no (surviving) x509 row.
@@ -76,10 +82,9 @@ class StreamingAnalyzer:
                 # Refresh recency so re-announced fuids survive eviction.
                 del self._fuid_to_fp[record.fuid]
             self._fuid_to_fp[record.fuid] = record.fingerprint
-            if record.fingerprint not in self._certs:
-                public = self.bundle.knows_issuer_dn(record.issuer) or \
-                    self.bundle.knows_organization(record.issuer_org)
-                self._certs[record.fingerprint] = _CertState(public=public)
+            public = self.bundle.knows_issuer_dn(record.issuer) or \
+                self.bundle.knows_organization(record.issuer_org)
+            self._usage.ensure(record.fingerprint, public)
             if (
                 self.max_fuid_map is not None
                 and len(self._fuid_to_fp) > self.max_fuid_map
@@ -94,11 +99,9 @@ class StreamingAnalyzer:
                 self.dropped_unestablished += 1
                 continue
             self.connections_seen += 1
-            label = f"{record.ts.year:04d}-{record.ts.month:02d}"
-            self._monthly_total[label] = self._monthly_total.get(label, 0) + 1
             mutual = record.is_mutual
-            if mutual:
-                self._monthly_mutual[label] = self._monthly_mutual.get(label, 0) + 1
+            self._monthly.observe(month_label(record.ts), mutual)
+            self._tls13.observe(record)
             self._observe_leaf(record.server_leaf_fuid, "server", mutual)
             self._observe_leaf(record.client_leaf_fuid, "client", mutual)
 
@@ -116,37 +119,30 @@ class StreamingAnalyzer:
         if fingerprint is None:
             self.dropped_dangling_fuid += 1
             return
-        state = self._certs[fingerprint]
-        if role == "server":
-            state.used_as_server = True
-        else:
-            state.used_as_client = True
-        state.used_in_mutual = state.used_in_mutual or mutual
+        # The fingerprint was ensured (with its public flag) in add_x509;
+        # the flag here only matters for never-before-seen certificates.
+        self._usage.observe(fingerprint, False, role, mutual)
 
     # Checkpointing -------------------------------------------------------------
 
     def to_snapshot(self) -> dict:
         """The complete running state as a JSON-serializable dict.
 
-        Certificate states are encoded as compact 0/1 quadruplets
-        ``[public, used_as_server, used_as_client, used_in_mutual]``.
-        Dict insertion order (which drives fuid eviction) survives the
-        JSON round trip, so a resumed run is byte-identical to an
+        The running aggregates are embedded as registry-partial state
+        dicts under ``"partials"``, keyed by analysis name. Dict
+        insertion order (which drives fuid eviction) survives the JSON
+        round trip, so a resumed run is byte-identical to an
         uninterrupted one.
         """
         return {
             "format": SNAPSHOT_FORMAT,
             "max_fuid_map": self.max_fuid_map,
             "fuid_to_fp": dict(self._fuid_to_fp),
-            "certs": {
-                fp: [
-                    int(s.public), int(s.used_as_server),
-                    int(s.used_as_client), int(s.used_in_mutual),
-                ]
-                for fp, s in self._certs.items()
+            "partials": {
+                "figure1": self._monthly.state_dict(),
+                "table1": self._usage.state_dict(),
+                "tls13": self._tls13.state_dict(),
             },
-            "monthly_total": dict(self._monthly_total),
-            "monthly_mutual": dict(self._monthly_mutual),
             "connections_seen": self.connections_seen,
             "dropped_unestablished": self.dropped_unestablished,
             "dropped_dangling_fuid": self.dropped_dangling_fuid,
@@ -155,26 +151,37 @@ class StreamingAnalyzer:
 
     @classmethod
     def from_snapshot(cls, bundle: TrustBundle, snapshot: dict) -> "StreamingAnalyzer":
-        """Restore an analyzer from `to_snapshot()` output."""
+        """Restore an analyzer from `to_snapshot()` output.
+
+        v1 snapshots (pre-registry layout) still load: their monthly
+        counters and certificate quadruplets map onto the figure1/table1
+        partial states, and fields v1 never tracked (the TLS 1.3 blind
+        spot) start from empty partials.
+        """
         found = snapshot.get("format")
-        if found != SNAPSHOT_FORMAT:
+        if found not in (SNAPSHOT_FORMAT, _SNAPSHOT_FORMAT_V1):
             raise ValueError(
                 f"unsupported snapshot format {found!r} "
-                f"(expected {SNAPSHOT_FORMAT!r})"
+                f"(expected {SNAPSHOT_FORMAT!r} or {_SNAPSHOT_FORMAT_V1!r})"
             )
         analyzer = cls(bundle, max_fuid_map=snapshot.get("max_fuid_map"))
         analyzer._fuid_to_fp = dict(snapshot["fuid_to_fp"])
-        analyzer._certs = {
-            fp: _CertState(
-                public=bool(flags[0]),
-                used_as_server=bool(flags[1]),
-                used_as_client=bool(flags[2]),
-                used_in_mutual=bool(flags[3]),
+        if found == _SNAPSHOT_FORMAT_V1:
+            analyzer._usage = CertUsageState.from_state(
+                {"certs": snapshot["certs"]}
             )
-            for fp, flags in snapshot["certs"].items()
-        }
-        analyzer._monthly_total = dict(snapshot["monthly_total"])
-        analyzer._monthly_mutual = dict(snapshot["monthly_mutual"])
+            analyzer._monthly = MonthlyShareState.from_state(
+                {
+                    "total": snapshot["monthly_total"],
+                    "mutual": snapshot["monthly_mutual"],
+                }
+            )
+            analyzer._tls13 = Tls13State()
+        else:
+            partials = snapshot["partials"]
+            analyzer._usage = CertUsageState.from_state(partials["table1"])
+            analyzer._monthly = MonthlyShareState.from_state(partials["figure1"])
+            analyzer._tls13 = Tls13State.from_state(partials["tls13"])
         analyzer.connections_seen = snapshot["connections_seen"]
         analyzer.dropped_unestablished = snapshot["dropped_unestablished"]
         analyzer.dropped_dangling_fuid = snapshot.get("dropped_dangling_fuid", 0)
@@ -202,44 +209,17 @@ class StreamingAnalyzer:
 
     def monthly_mutual_share(self) -> list[MonthlyShare]:
         """The running Figure 1 series."""
-        return [
-            MonthlyShare(
-                label=label,
-                total_connections=self._monthly_total[label],
-                mutual_connections=self._monthly_mutual.get(label, 0),
-            )
-            for label in sorted(self._monthly_total)
-        ]
+        return self._monthly.rows()
 
     def certificate_statistics(self) -> list[CertStatsRow]:
         """The running Table 1 (only certificates referenced by a
         connection are counted, matching the batch pipeline)."""
-        counts = {
-            "Total": [0, 0],
-            "Server": [0, 0],
-            "Server/Public": [0, 0],
-            "Server/Private": [0, 0],
-            "Client": [0, 0],
-            "Client/Public": [0, 0],
-            "Client/Private": [0, 0],
-        }
-        for state in self._certs.values():
-            if not (state.used_as_server or state.used_as_client):
-                continue
-            role = "Server" if state.used_as_server else "Client"
-            kind = "Public" if state.public else "Private"
-            for key in ("Total", role, f"{role}/{kind}"):
-                counts[key][0] += 1
-                if state.used_in_mutual:
-                    counts[key][1] += 1
-        return [
-            CertStatsRow(label=label, total=total, mutual=mutual)
-            for label, (total, mutual) in counts.items()
-        ]
+        return self._usage.rows()
+
+    def tls13_blindspot(self) -> Tls13Blindspot:
+        """The running §3.3 blind-spot counters."""
+        return self._tls13.result()
 
     @property
     def unique_certificates(self) -> int:
-        return sum(
-            1 for s in self._certs.values()
-            if s.used_as_server or s.used_as_client
-        )
+        return self._usage.used

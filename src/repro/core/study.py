@@ -3,17 +3,25 @@
 `CampusStudy` is the public entry point used by the examples and the
 benchmark harness: it generates a scaled-down campaign with
 `repro.netsim`, enriches it per §3.2, and exposes every table/figure
-analysis as a method.
+analysis as a method. All table methods are thin reads over the
+analysis registry (:mod:`repro.core.protocol`): one pass over the
+dataset fills a partial aggregate per registered analysis, and each
+method just finalizes its partial.
+
+With ``jobs > 0`` the campaign is written as a rotated monthly archive
+and analyzed by the :class:`~repro.core.parallel.ShardExecutor` over
+that many worker processes; the merged partials finalize to tables
+byte-identical to the in-memory sequential run.
 """
 
 from __future__ import annotations
 
 import io
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro.core import (
-    cnsan, dummy, issuers, prevalence, services, sharing, tuples, validity,
-)
+from repro.core import protocol
 from repro.core.dataset import MtlsDataset
 from repro.core.enrich import EnrichedDataset, Enricher
 from repro.core.report import Table, render_ingest_health
@@ -57,6 +65,12 @@ class CampusStudy:
     corrupted by the fault plan, and re-ingested through the resilient
     reader — the same path an operator's rotated archive takes — and the
     study report gains an ingest-health section.
+
+    ``jobs`` selects the execution strategy: ``0`` (default) analyzes
+    in-process over the in-memory dataset; ``N >= 1`` round-trips the
+    campaign through a rotated on-disk archive and fans the monthly
+    shards out over ``N`` processes (``1`` = the same shard path run
+    inline). Tables are byte-identical either way.
     """
 
     def __init__(
@@ -68,6 +82,7 @@ class CampusStudy:
         filter_interception: bool = True,
         on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
         fault_plan: FaultPlan | None = None,
+        jobs: int = 0,
     ) -> None:
         self.config = config or ScenarioConfig(
             seed=seed, months=months, connections_per_month=connections_per_month
@@ -75,13 +90,27 @@ class CampusStudy:
         self.filter_interception = filter_interception
         self.on_error = ErrorPolicy.coerce(on_error)
         self.fault_plan = fault_plan
+        if jobs and fault_plan is not None:
+            raise ValueError(
+                "fault injection corrupts the in-memory serialized logs; "
+                "it is not supported with the sharded path (jobs > 0)"
+            )
+        self.jobs = jobs
+        self._simulation: SimulationResult | None = None
         self._result: StudyResult | None = None
+        self._partials: dict[str, protocol.AnalysisPartial] | None = None
+        self._campaign = None  # parallel.CampaignResult when jobs > 0
+
+    def _simulate(self) -> SimulationResult:
+        if self._simulation is None:
+            self._simulation = TrafficGenerator(self.config).generate()
+        return self._simulation
 
     def run(self) -> StudyResult:
-        """Generate traffic and run enrichment (cached)."""
+        """Generate traffic and run enrichment in-process (cached)."""
         if self._result is not None:
             return self._result
-        simulation = TrafficGenerator(self.config).generate()
+        simulation = self._simulate()
         logs = simulation.logs
         ingest_report = None
         corruption = None
@@ -126,138 +155,148 @@ class CampusStudy:
     def enriched(self) -> EnrichedDataset:
         return self.run().enriched
 
+    # Analysis execution --------------------------------------------------------
+
+    def partials(self) -> dict[str, protocol.AnalysisPartial]:
+        """Every registered analysis, fully aggregated (cached)."""
+        if self._partials is not None:
+            return self._partials
+        if self.jobs:
+            self._partials = self._run_sharded()
+        else:
+            result = self.run()
+            self._partials = protocol.run_analyses(
+                result.enriched, raw=result.dataset
+            )
+        return self._partials
+
+    def _run_sharded(self) -> dict[str, protocol.AnalysisPartial]:
+        from repro.core.parallel import ShardExecutor
+        from repro.zeek.files import write_rotated_logs
+
+        simulation = self._simulate()
+        executor = ShardExecutor(
+            simulation.trust_bundle,
+            simulation.ct_log,
+            filter_interception=self.filter_interception,
+            on_error=self.on_error,
+            jobs=self.jobs,
+        )
+        with tempfile.TemporaryDirectory(prefix="campus-shards-") as tmp:
+            write_rotated_logs(simulation.logs, Path(tmp))
+            self._campaign = executor.run_directory(tmp)
+        return self._campaign.partials
+
+    def table(self, name: str) -> Table:
+        """Finalize one registered analysis (e.g. ``"table5"``)."""
+        partials = self.partials()
+        try:
+            partial = partials[name]
+        except KeyError:
+            known = ", ".join(partials)
+            raise KeyError(f"unknown analysis {name!r} (have: {known})") from None
+        return partial.finalize()
+
+    def analysis_result(self, name: str):
+        """The rich result object of one analysis (pre-render)."""
+        return self.partials()[name].result()
+
+    def tables(self) -> list[Table]:
+        """Every registered analysis rendered, in registry order."""
+        return [partial.finalize() for partial in self.partials().values()]
+
     # Table/figure entry points -------------------------------------------------
 
     def table1(self) -> Table:
-        rows = prevalence.certificate_statistics(self.enriched)
-        return prevalence.render_certificate_statistics(rows)
+        return self.table("table1")
 
     def figure1(self) -> Table:
-        series = prevalence.monthly_mutual_share(self.enriched)
-        return prevalence.render_monthly_share(series)
+        return self.table("figure1")
 
     def table2(self) -> Table:
-        breakdown = services.service_breakdown(self.enriched)
-        return services.render_service_breakdown(breakdown)
+        return self.table("table2")
 
     def table3(self) -> Table:
-        rows = issuers.inbound_association_table(self.enriched)
-        return issuers.render_inbound_association_table(rows)
+        return self.table("table3")
 
     def figure2(self) -> Table:
-        flows = issuers.outbound_flows(self.enriched)
-        return issuers.render_outbound_flows(flows)
+        return self.table("figure2")
 
     def table4(self) -> Table:
-        rows = dummy.dummy_issuer_table(self.enriched)
-        return dummy.render_dummy_issuer_table(rows)
+        return self.table("table4")
+
+    def serials_inbound(self) -> Table:
+        return self.table("serials-inbound")
+
+    def serials_outbound(self) -> Table:
+        return self.table("serials-outbound")
 
     def serial_collision_tables(self) -> tuple[Table, Table]:
-        inbound = dummy.serial_collisions(self.enriched, "inbound")
-        outbound = dummy.serial_collisions(self.enriched, "outbound")
-        return (
-            dummy.render_serial_collisions(inbound),
-            dummy.render_serial_collisions(outbound),
-        )
+        return self.serials_inbound(), self.serials_outbound()
 
     def table5(self) -> Table:
-        rows = sharing.same_connection_sharing(self.enriched)
-        return sharing.render_same_connection_sharing(rows)
+        return self.table("table5")
 
     def table6(self) -> Table:
-        spread = sharing.cross_connection_subnets(self.enriched)
-        return sharing.render_cross_connection_subnets(spread)
+        return self.table("table6")
 
     def figure3(self) -> Table:
-        rows = validity.incorrect_dates(self.enriched)
-        return validity.render_incorrect_dates(rows)
+        return self.table("figure3")
 
     def figure4(self) -> Table:
-        stats = validity.validity_periods(self.enriched)
-        return validity.render_validity_periods(stats)
+        return self.table("figure4")
 
     def figure5(self) -> Table:
-        report = validity.expired_certificates(self.enriched)
-        return validity.render_expired_report(report)
+        return self.table("figure5")
 
     def table7(self) -> Table:
-        rows = cnsan.utilization_table(self.enriched)
-        return cnsan.render_utilization(
-            rows, "Table 7: non-empty CN/SAN in mutual-TLS certificates"
-        )
+        return self.table("table7")
 
     def table8(self) -> Table:
-        matrix = cnsan.information_types(self.enriched)
-        return cnsan.render_information_types(
-            matrix, "Table 8: information types in CN and SAN (mutual TLS)"
-        )
+        return self.table("table8")
 
     def table9(self) -> Table:
-        rows = cnsan.unidentified_breakdown(self.enriched)
-        return cnsan.render_unidentified_breakdown(rows)
+        return self.table("table9")
+
+    def table13a(self) -> Table:
+        return self.table("table13a")
+
+    def table13b(self) -> Table:
+        return self.table("table13b")
 
     def table13(self) -> tuple[Table, Table]:
-        population = cnsan.shared_population(self.enriched)
-        utilization = cnsan.utilization_table(
-            self.enriched, population, split_roles=False
-        )
-        matrix = cnsan.information_types(
-            self.enriched, population, split_roles=False
-        )
-        return (
-            cnsan.render_utilization(
-                utilization, "Table 13a: CN/SAN utilization in shared certificates"
-            ),
-            cnsan.render_information_types(
-                matrix, "Table 13b: information types in shared certificates"
-            ),
-        )
+        return self.table13a(), self.table13b()
+
+    def table14a(self) -> Table:
+        return self.table("table14a")
+
+    def table14b(self) -> Table:
+        return self.table("table14b")
 
     def table14(self) -> tuple[Table, Table]:
-        population = cnsan.non_mutual_server_population(self.enriched)
-        utilization = cnsan.utilization_table(
-            self.enriched, population, split_roles=False
-        )
-        matrix = cnsan.information_types(
-            self.enriched, population, split_roles=False
-        )
-        return (
-            cnsan.render_utilization(
-                utilization, "Table 14a: CN/SAN utilization, non-mutual server certs"
-            ),
-            cnsan.render_information_types(
-                matrix, "Table 14b: information types, non-mutual server certs"
-            ),
-        )
+        return self.table14a(), self.table14b()
 
     def san_types(self) -> Table:
-        usage = cnsan.san_type_usage(self.enriched)
-        return cnsan.render_san_type_usage(usage)
+        return self.table("san-types")
 
     def tls13_blindspot(self) -> Table:
-        blindspot = tuples.tls13_blindspot(self.run().dataset)
-        return tuples.render_tls13_blindspot(blindspot)
+        return self.table("tls13")
 
     def weak_crypto(self) -> Table:
-        report = dummy.weak_crypto_report(self.enriched)
-        return dummy.render_weak_crypto(report)
+        return self.table("weak-crypto")
 
     def interception_summary(self) -> Table:
-        report = self.enriched.interception
-        table = Table(
-            "§3.2: TLS interception filter",
-            ["Flagged issuers", "Excluded certificates", "Excluded fraction"],
-        )
-        table.add_row(
-            len(report.flagged_issuers),
-            len(report.excluded_fingerprints),
-            f"{100 * report.excluded_fraction:.2f}% (paper: 8.4%)",
-        )
-        return table
+        return self.table("interception")
 
     def ingest_health(self) -> Table:
         """Ingest-health section: what the resilient reader consumed,
         dropped, and recovered (strict in-memory runs have no report)."""
+        if self.jobs:
+            self.partials()
+            return render_ingest_health(
+                self._campaign.ingest,
+                dangling_fuid_refs=self._campaign.dangling_fuid_refs,
+            )
         result = self.run()
         if result.ingest_report is None:
             table = Table("Ingest health", ["Metric", "Value"])
@@ -274,18 +313,10 @@ class CampusStudy:
 
     def all_tables(self) -> list[Table]:
         """Every table/figure in paper order (used by the full example)."""
-        table13a, table13b = self.table13()
-        table14a, table14b = self.table14()
-        serial_in, serial_out = self.serial_collision_tables()
-        tables = [
-            self.table1(), self.figure1(), self.table2(), self.table3(),
-            self.figure2(), self.table4(), serial_in, serial_out,
-            self.table5(), self.table6(), self.figure3(), self.figure4(),
-            self.figure5(), self.table7(), self.table8(), self.table9(),
-            table13a, table13b, table14a, table14b,
-            self.san_types(), self.weak_crypto(), self.tls13_blindspot(),
-            self.interception_summary(),
-        ]
-        if self.run().ingest_report is not None:
+        tables = [self.table(name) for name in protocol.PAPER_TABLE_ORDER]
+        if self.jobs:
+            if self.on_error.lenient:
+                tables.append(self.ingest_health())
+        elif self.run().ingest_report is not None:
             tables.append(self.ingest_health())
         return tables

@@ -2,14 +2,15 @@
 
 from __future__ import annotations
 
-import datetime as _dt
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.core.enrich import EnrichedDataset
+from repro.core import protocol
+from repro.core.enrich import EnrichedConn, EnrichedDataset
 from repro.core.issuers import categorize_issuer
 from repro.core.report import Table
 from repro.text.domains import extract_domain
+from repro.zeek import X509Record
 
 # ---------------------------------------------------------------------------
 # Figure 3 / Tables 11-12: incorrect (inverted) dates
@@ -36,15 +37,31 @@ class IncorrectDateRow:
             return 0.0
         return (self.last_seen - self.first_seen).total_seconds() / 86400.0
 
+    def merge(self, other: "IncorrectDateRow") -> None:
+        self.slds |= other.slds
+        self.not_before_years |= other.not_before_years
+        self.not_after_years |= other.not_after_years
+        self.fingerprints |= other.fingerprints
+        self.clients |= other.clients
+        if other.first_seen is not None and (
+            self.first_seen is None or other.first_seen < self.first_seen
+        ):
+            self.first_seen = other.first_seen
+        if other.last_seen is not None and (
+            self.last_seen is None or other.last_seen > self.last_seen
+        ):
+            self.last_seen = other.last_seen
 
-def incorrect_dates(enriched: EnrichedDataset) -> list[IncorrectDateRow]:
-    """Certificates whose notBefore does not precede notAfter, seen in
-    established mutual-TLS connections (Figure 3, Tables 11-12).
 
-    Certificates whose two timestamps are identical are included, as in
-    the paper (the ayoba.me row)."""
-    rows: dict[tuple[str, str], IncorrectDateRow] = {}
-    for conn in enriched.mutual:
+class Figure3Partial(protocol.AnalysisPartial):
+    """Inverted-validity certificates in mutual TLS (Figure 3)."""
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self.rows: dict[tuple[str, str], IncorrectDateRow] = {}
+
+    def update(self, conn: EnrichedConn) -> None:
+        if not conn.is_mutual:
+            return
         sni = conn.view.sni
         sld = extract_domain(sni).registrable if sni else "(missing SNI)"
         for side, leaf in (("server", conn.view.server_leaf),
@@ -54,10 +71,10 @@ def incorrect_dates(enriched: EnrichedDataset) -> list[IncorrectDateRow]:
             if leaf.not_valid_before < leaf.not_valid_after:
                 continue
             key = (leaf.issuer_org or "(missing)", side)
-            row = rows.get(key)
+            row = self.rows.get(key)
             if row is None:
                 row = IncorrectDateRow(issuer_org=key[0], side=side)
-                rows[key] = row
+                self.rows[key] = row
             row.slds.add(sld)
             row.not_before_years.add(leaf.not_valid_before.year)
             row.not_after_years.add(leaf.not_valid_after.year)
@@ -68,7 +85,41 @@ def incorrect_dates(enriched: EnrichedDataset) -> list[IncorrectDateRow]:
                 row.first_seen = ts
             if row.last_seen is None or ts > row.last_seen:
                 row.last_seen = ts
-    return sorted(rows.values(), key=lambda r: -len(r.clients))
+
+    def merge(self, other: "Figure3Partial") -> None:
+        for key, theirs in other.rows.items():
+            mine = self.rows.get(key)
+            if mine is None:
+                mine = IncorrectDateRow(issuer_org=theirs.issuer_org, side=theirs.side)
+                self.rows[key] = mine
+            mine.merge(theirs)
+
+    def result(self) -> list[IncorrectDateRow]:
+        return sorted(
+            self.rows.values(),
+            key=lambda r: (-len(r.clients), r.issuer_org, r.side),
+        )
+
+    def finalize(self) -> Table:
+        return render_incorrect_dates(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="figure3",
+    title="Tables 11-12 / Figure 3: certificates with inverted validity dates",
+    factory=Figure3Partial,
+    legacy="repro.core.validity.incorrect_dates",
+))
+
+
+def incorrect_dates(enriched: EnrichedDataset) -> list[IncorrectDateRow]:
+    """Certificates whose notBefore does not precede notAfter, seen in
+    established mutual-TLS connections (Figure 3, Tables 11-12).
+
+    Certificates whose two timestamps are identical are included, as in
+    the paper (the ayoba.me row)."""
+    partial = Figure3Partial(protocol.AnalysisContext.from_enriched(enriched))
+    return protocol.feed(partial, enriched).result()
 
 
 def incorrect_dates_both_endpoints(enriched: EnrichedDataset) -> list[IncorrectDateRow]:
@@ -146,57 +197,95 @@ class ValidityPeriodStats:
         return values[len(values) // 2]
 
 
+class Figure4Partial(protocol.AnalysisPartial):
+    """Validity periods of client certificates in mutual TLS (Figure 4).
+
+    Keeps one record per client-certificate fingerprint; all statistics
+    (including the longest-validity election, tie-broken by fingerprint)
+    are computed at finalize time so shard splits cannot reorder them.
+    """
+
+    def __init__(
+        self, context: protocol.AnalysisContext, direction: str | None = None
+    ) -> None:
+        self._bundle = context.bundle
+        self.direction = direction
+        self.records: dict[str, X509Record] = {}
+        self.slds: dict[str, set[str]] = {}
+
+    def update(self, conn: EnrichedConn) -> None:
+        if not conn.is_mutual:
+            return
+        if self.direction is not None and conn.direction != self.direction:
+            return
+        leaf = conn.view.client_leaf
+        if leaf is None or leaf.has_inverted_validity:
+            return
+        self.records.setdefault(leaf.fingerprint, leaf)
+        slds = self.slds.setdefault(leaf.fingerprint, set())
+        sni = conn.view.sni
+        sld = extract_domain(sni).registrable if sni else ""
+        if sld:
+            slds.add(sld)
+
+    def merge(self, other: "Figure4Partial") -> None:
+        for fingerprint, record in other.records.items():
+            self.records.setdefault(fingerprint, record)
+        for fingerprint, slds in other.slds.items():
+            mine = self.slds.setdefault(fingerprint, set())
+            mine |= slds
+
+    def result(self) -> ValidityPeriodStats:
+        periods: dict[str, list[float]] = {}
+        extreme = extreme_public = extreme_private = 0
+        longest = 0.0
+        longest_org: str | None = None
+        longest_fp: str | None = None
+        for fingerprint in sorted(self.records):
+            leaf = self.records[fingerprint]
+            category = categorize_issuer(leaf, self._bundle)
+            periods.setdefault(category, []).append(leaf.validity_days)
+            if 10_000 <= leaf.validity_days <= 40_000:
+                extreme += 1
+                if category == "Public":
+                    extreme_public += 1
+                else:
+                    extreme_private += 1
+            if leaf.validity_days > longest:
+                longest = leaf.validity_days
+                longest_org = leaf.issuer_org
+                longest_fp = fingerprint
+        return ValidityPeriodStats(
+            periods_by_category=periods,
+            extreme_certificates=extreme,
+            extreme_public=extreme_public,
+            extreme_private=extreme_private,
+            longest_days=longest,
+            longest_issuer_org=longest_org,
+            longest_slds=self.slds.get(longest_fp, set()) if longest_fp else set(),
+        )
+
+    def finalize(self) -> Table:
+        return render_validity_periods(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="figure4",
+    title="Figure 4: client-certificate validity periods by issuer category",
+    factory=Figure4Partial,
+    legacy="repro.core.validity.validity_periods",
+))
+
+
 def validity_periods(
     enriched: EnrichedDataset, direction: str | None = None
 ) -> ValidityPeriodStats:
     """Figure 4: validity periods of client certificates used in mutual
     TLS, excluding inverted-date certificates, by issuer category."""
-    periods: dict[str, list[float]] = {}
-    extreme = extreme_public = extreme_private = 0
-    longest = 0.0
-    longest_org: str | None = None
-    longest_fp: str | None = None
-    client_slds: dict[str, set[str]] = {}
-    for conn in enriched.mutual:
-        if direction is not None and conn.direction != direction:
-            continue
-        leaf = conn.view.client_leaf
-        if leaf is None or leaf.has_inverted_validity:
-            continue
-        sni = conn.view.sni
-        sld = extract_domain(sni).registrable if sni else ""
-        client_slds.setdefault(leaf.fingerprint, set())
-        if sld:
-            client_slds[leaf.fingerprint].add(sld)
-    seen: set[str] = set()
-    for conn in enriched.mutual:
-        if direction is not None and conn.direction != direction:
-            continue
-        leaf = conn.view.client_leaf
-        if leaf is None or leaf.has_inverted_validity or leaf.fingerprint in seen:
-            continue
-        seen.add(leaf.fingerprint)
-        category = categorize_issuer(leaf, enriched.bundle)
-        periods.setdefault(category, []).append(leaf.validity_days)
-        if 10_000 <= leaf.validity_days <= 40_000:
-            extreme += 1
-            if category == "Public":
-                extreme_public += 1
-            else:
-                extreme_private += 1
-        if leaf.validity_days > longest:
-            longest = leaf.validity_days
-            longest_org = leaf.issuer_org
-            longest_fp = leaf.fingerprint
-    return ValidityPeriodStats(
-        periods_by_category=periods,
-        extreme_certificates=extreme,
-        extreme_public=extreme_public,
-        extreme_private=extreme_private,
-        longest_days=longest,
-        longest_issuer_org=longest_org,
-        longest_slds=client_slds.get(longest_fp, set()) if longest_fp else set(),
+    partial = Figure4Partial(
+        protocol.AnalysisContext.from_enriched(enriched), direction
     )
+    return protocol.feed(partial, enriched).result()
 
 
 def render_validity_periods(stats: ValidityPeriodStats) -> Table:
@@ -205,7 +294,7 @@ def render_validity_periods(stats: ValidityPeriodStats) -> Table:
         ["Issuer category", "#certs", "Median days", "Max days"],
     )
     for category, values in sorted(
-        stats.periods_by_category.items(), key=lambda kv: -len(kv[1])
+        stats.periods_by_category.items(), key=lambda kv: (-len(kv[1]), kv[0])
     ):
         table.add_row(
             category, len(values),
@@ -265,43 +354,149 @@ class ExpiredReport:
         ]
 
 
-def expired_certificates(enriched: EnrichedDataset) -> ExpiredReport:
-    """Figure 5: client certificates presented in established connections
-    after their notAfter, with duration-of-activity tracking."""
-    usages: dict[str, ExpiredUsage] = {}
-    firsts: dict[str, _dt.datetime] = {}
-    for conn in enriched.mutual:
+@dataclass
+class _ExpiredState:
+    """Per-fingerprint partial state behind one ExpiredUsage."""
+
+    issuer_org: str | None
+    public: bool
+    #: (ts, uid) of the earliest expired use — elects direction and
+    #: days_expired_at_first_use deterministically under any shard split.
+    witness: tuple
+    direction: str
+    days_expired: float
+    associations: set[str] = field(default_factory=set)
+    slds: set[str] = field(default_factory=set)
+
+
+class Figure5Partial(protocol.AnalysisPartial):
+    """Expired client certificates in established mutual TLS (Figure 5)."""
+
+    def __init__(self, context: protocol.AnalysisContext) -> None:
+        self._bundle = context.bundle
+        self.expired: dict[str, _ExpiredState] = {}
+        #: fingerprint → [first_seen, last_seen] over ALL connections the
+        #: certificate appears in (either side) — the profile activity span.
+        self.activity: dict[str, list] = {}
+
+    def update(self, conn: EnrichedConn) -> None:
+        ts = conn.view.ts
+        for leaf in (conn.view.server_leaf, conn.view.client_leaf):
+            if leaf is None:
+                continue
+            span = self.activity.get(leaf.fingerprint)
+            if span is None:
+                self.activity[leaf.fingerprint] = [ts, ts]
+            else:
+                if ts < span[0]:
+                    span[0] = ts
+                if ts > span[1]:
+                    span[1] = ts
+        if not conn.is_mutual:
+            return
         leaf = conn.view.client_leaf
         if leaf is None or leaf.has_inverted_validity:
-            continue
-        if not leaf.expired_at(conn.view.ts):
-            continue
+            return
+        if not leaf.expired_at(ts):
+            return
         fp = leaf.fingerprint
-        usage = usages.get(fp)
-        profile = enriched.profiles.get(fp)
-        if usage is None:
-            usage = ExpiredUsage(
-                fingerprint=fp,
+        mark = (ts, conn.view.ssl.uid)
+        state = self.expired.get(fp)
+        if state is None:
+            state = _ExpiredState(
                 issuer_org=leaf.issuer_org,
-                public=enriched.is_public_record(leaf),
-                days_expired_at_first_use=0.0,
-                activity_days=profile.activity_days if profile else 0.0,
+                public=self._is_public(leaf),
+                witness=mark,
                 direction=conn.direction,
+                days_expired=leaf.days_expired(ts),
             )
-            usages[fp] = usage
-        if fp not in firsts or conn.view.ts < firsts[fp]:
-            firsts[fp] = conn.view.ts
-            usage.days_expired_at_first_use = leaf.days_expired(conn.view.ts)
+            self.expired[fp] = state
+        elif mark < state.witness:
+            state.witness = mark
+            state.direction = conn.direction
+            state.days_expired = leaf.days_expired(ts)
         if conn.direction == "inbound" and conn.association:
-            usage.associations.add(conn.association)
+            state.associations.add(conn.association)
         sni = conn.view.sni
         if sni:
             sld = extract_domain(sni).registrable
             if sld:
-                usage.slds.add(sld)
-    inbound = [u for u in usages.values() if u.direction == "inbound"]
-    outbound = [u for u in usages.values() if u.direction == "outbound"]
-    return ExpiredReport(inbound=inbound, outbound=outbound)
+                state.slds.add(sld)
+
+    def _is_public(self, record: X509Record) -> bool:
+        if self._bundle.knows_issuer_dn(record.issuer):
+            return True
+        return self._bundle.knows_organization(record.issuer_org)
+
+    def merge(self, other: "Figure5Partial") -> None:
+        for fingerprint, span in other.activity.items():
+            mine = self.activity.get(fingerprint)
+            if mine is None:
+                self.activity[fingerprint] = list(span)
+            else:
+                if span[0] < mine[0]:
+                    mine[0] = span[0]
+                if span[1] > mine[1]:
+                    mine[1] = span[1]
+        for fp, theirs in other.expired.items():
+            state = self.expired.get(fp)
+            if state is None:
+                state = _ExpiredState(
+                    issuer_org=theirs.issuer_org, public=theirs.public,
+                    witness=theirs.witness, direction=theirs.direction,
+                    days_expired=theirs.days_expired,
+                )
+                self.expired[fp] = state
+            elif theirs.witness < state.witness:
+                state.witness = theirs.witness
+                state.direction = theirs.direction
+                state.days_expired = theirs.days_expired
+            state.associations |= theirs.associations
+            state.slds |= theirs.slds
+
+    def result(self) -> ExpiredReport:
+        usages = []
+        for fp, state in sorted(
+            self.expired.items(), key=lambda item: (item[1].witness, item[0])
+        ):
+            span = self.activity.get(fp)
+            activity_days = (
+                (span[1] - span[0]).total_seconds() / 86400.0 if span else 0.0
+            )
+            usages.append(
+                ExpiredUsage(
+                    fingerprint=fp,
+                    issuer_org=state.issuer_org,
+                    public=state.public,
+                    days_expired_at_first_use=state.days_expired,
+                    activity_days=activity_days,
+                    direction=state.direction,
+                    associations=state.associations,
+                    slds=state.slds,
+                )
+            )
+        return ExpiredReport(
+            inbound=[u for u in usages if u.direction == "inbound"],
+            outbound=[u for u in usages if u.direction == "outbound"],
+        )
+
+    def finalize(self) -> Table:
+        return render_expired_report(self.result())
+
+
+protocol.register(protocol.Analysis(
+    name="figure5",
+    title="Figure 5: expired client certificates in established mutual TLS",
+    factory=Figure5Partial,
+    legacy="repro.core.validity.expired_certificates",
+))
+
+
+def expired_certificates(enriched: EnrichedDataset) -> ExpiredReport:
+    """Figure 5: client certificates presented in established connections
+    after their notAfter, with duration-of-activity tracking."""
+    partial = Figure5Partial(protocol.AnalysisContext.from_enriched(enriched))
+    return protocol.feed(partial, enriched).result()
 
 
 def render_expired_report(report: ExpiredReport) -> Table:
@@ -323,7 +518,7 @@ def render_expired_report(report: ExpiredReport) -> Table:
         )
     shares = report.inbound_association_shares()
     if shares:
-        ranked = sorted(shares.items(), key=lambda kv: -kv[1])
+        ranked = sorted(shares.items(), key=lambda kv: (-kv[1], kv[0]))
         table.add_note(
             "inbound associations: "
             + ", ".join(f"{k} {100 * v:.1f}%" for k, v in ranked[:4])

@@ -81,6 +81,32 @@ def _read_many(
     return records
 
 
+def discover_shards(directory: Path | str) -> list[tuple[str, list[Path], list[Path]]]:
+    """Partition a rotated-log directory into per-month shards.
+
+    Returns ``(month, ssl_paths, x509_paths)`` triples sorted
+    chronologically. The x509 paths are the *full* set for every shard:
+    fuid references may cross a month boundary (a chain logged just
+    before midnight), so workers join against the whole certificate
+    stream — it is tiny next to ssl.log and deduplicated on load.
+    """
+    directory = Path(directory)
+    ssl_paths = list(directory.glob("ssl.*.log")) + list(directory.glob("ssl.*.log.gz"))
+    x509_paths = sorted(
+        list(directory.glob("x509.*.log")) + list(directory.glob("x509.*.log.gz"))
+    )
+    if not ssl_paths and not x509_paths:
+        raise TsvFormatError(f"no rotated Zeek logs found in {directory}")
+    by_month: dict[str, list[Path]] = {}
+    for path in sorted(ssl_paths):
+        # ssl.YYYY-MM.log[.gz] → YYYY-MM
+        month = path.name.split(".")[1]
+        by_month.setdefault(month, []).append(path)
+    return [
+        (month, paths, x509_paths) for month, paths in sorted(by_month.items())
+    ]
+
+
 def read_logs_directory(
     directory: Path | str,
     *,

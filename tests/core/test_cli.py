@@ -92,3 +92,71 @@ class TestIntercept:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+@pytest.fixture(scope="module")
+def rotated_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("rotated-campaign")
+    code = main([
+        "generate", "--out", str(out), "--months", "3", "--cpm", "150",
+        "--seed", "13", "--rotated",
+    ])
+    assert code == 0
+    return out
+
+
+class TestAnalyze:
+    def test_rotated_generate_layout(self, rotated_dir):
+        assert len(list(rotated_dir.glob("ssl.*.log.gz"))) == 3
+        assert len(list(rotated_dir.glob("x509.*.log.gz"))) == 3
+        assert (rotated_dir / "trust_bundle.txt").exists()
+
+    def test_analyze_single_table(self, rotated_dir, capsys):
+        code = main([
+            "analyze", str(rotated_dir),
+            "--trust-bundle", str(rotated_dir / "trust_bundle.txt"),
+            "--table", "table1",
+        ])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_analyze_jobs_match_inline(self, rotated_dir, capsys):
+        argv = [
+            "analyze", str(rotated_dir),
+            "--trust-bundle", str(rotated_dir / "trust_bundle.txt"),
+        ]
+        assert main(argv) == 0
+        inline = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == inline
+
+    def test_analyze_json_export(self, rotated_dir, capsys):
+        import json
+
+        code = main([
+            "analyze", str(rotated_dir),
+            "--trust-bundle", str(rotated_dir / "trust_bundle.txt"),
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "table5" in payload["analyses"]
+        assert payload["analyses"]["table5"]["legacy"] == (
+            "repro.core.sharing.same_connection_sharing"
+        )
+
+    def test_study_jobs_single_table(self, capsys):
+        code = main([
+            "study", "--months", "2", "--cpm", "120", "--seed", "5",
+            "--jobs", "2", "--table", "figure1",
+        ])
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_study_jobs_rejects_fault_rate(self, capsys):
+        code = main([
+            "study", "--months", "2", "--cpm", "120", "--jobs", "2",
+            "--fault-rate", "0.01", "--on-error", "skip",
+        ])
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err

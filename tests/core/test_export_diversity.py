@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.core.export import study_to_dict, study_to_json, table_to_dict
 from repro.core.issuers import issuer_diversity, render_issuer_diversity
 from repro.core.prevalence import direction_split_series
@@ -98,3 +96,28 @@ class TestDirectionSplit:
         monthly = monthly_mutual_share(medium_result.enriched)
         for point, month in zip(split, monthly):
             assert point.inbound_mutual + point.outbound_mutual == month.mutual_connections
+
+
+class TestRegistryExport:
+    def test_export_tables_dict_over_registry(self, small_study):
+        from repro.core import protocol
+        from repro.core.export import export_tables_dict
+
+        payload = export_tables_dict(small_study)
+        assert payload["order"] == list(protocol.analysis_names())
+        for name in protocol.PAPER_TABLE_ORDER:
+            entry = payload["analyses"][name]
+            assert entry["analysis"] == name
+            assert entry["title"]
+            assert isinstance(entry["rows"], list)
+
+    def test_export_tables_json_subset(self, small_study):
+        from repro.core.export import export_tables_json
+
+        payload = json.loads(
+            export_tables_json(small_study, names=("tls13", "table1"))
+        )
+        assert payload["order"] == ["tls13", "table1"]
+        assert payload["analyses"]["tls13"]["legacy"] == (
+            "repro.core.tuples.tls13_blindspot"
+        )

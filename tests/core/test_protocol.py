@@ -1,0 +1,179 @@
+"""The mergeable-analysis contract: registry completeness, picklable
+partials, and merge associativity / order-insensitivity.
+
+The load-bearing property: for every registered analysis, feeding the
+connection stream through ONE partial, or through partials over ANY
+split of the stream merged in ANY order, finalizes to byte-identical
+tables. That is what makes the shard executor provably equivalent to
+the sequential pipeline.
+"""
+
+import importlib
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import protocol
+
+
+@pytest.fixture(scope="module")
+def context(small_result):
+    return protocol.AnalysisContext.from_enriched(small_result.enriched)
+
+
+def _finalized(partial):
+    return partial.finalize().render()
+
+
+def _run_split(analysis, context, connections, raw_views, splits, order):
+    """Feed each chunk into its own partial, merge in the given order."""
+    bounds = [0, *sorted(splits), len(connections)]
+    chunks = [
+        connections[bounds[i]:bounds[i + 1]] for i in range(len(bounds) - 1)
+    ]
+    raw_bounds = [0, *sorted(s % (len(raw_views) + 1) for s in splits), len(raw_views)]
+    raw_bounds = sorted(raw_bounds)
+    raw_chunks = [
+        raw_views[raw_bounds[i]:raw_bounds[i + 1]]
+        for i in range(len(raw_bounds) - 1)
+    ]
+    partials = []
+    for index, chunk in enumerate(chunks):
+        partial = analysis.factory(context)
+        for conn in chunk:
+            partial.update(conn)
+        if analysis.needs_raw and index < len(raw_chunks):
+            for view in raw_chunks[index]:
+                partial.update_raw(view)
+        partials.append(partial)
+    ordered = [partials[i] for i in order] if order else partials
+    merged = ordered[0]
+    for other in ordered[1:]:
+        merged.merge(other)
+    return merged
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        names = protocol.analysis_names()
+        for name in protocol.PAPER_TABLE_ORDER:
+            assert name in names
+        assert len(names) == len(set(names))
+
+    def test_names_are_paper_ordered(self):
+        names = protocol.analysis_names()
+        in_order = [n for n in names if n in protocol.PAPER_TABLE_ORDER]
+        assert tuple(in_order) == protocol.PAPER_TABLE_ORDER
+
+    def test_legacy_names_resolve(self):
+        """Every migration-table entry points at a real callable."""
+        for analysis in protocol.iter_analyses():
+            if not analysis.legacy:
+                continue
+            parts = analysis.legacy.split(".")
+            target = None
+            depth = 0
+            for i in range(len(parts), 0, -1):
+                try:
+                    target = importlib.import_module(".".join(parts[:i]))
+                    depth = i
+                    break
+                except ModuleNotFoundError:
+                    continue
+            assert target is not None, analysis.legacy
+            for part in parts[depth:]:
+                target = getattr(target, part)
+            assert callable(target), analysis.legacy
+
+    def test_duplicate_name_with_different_factory_rejected(self):
+        existing = protocol.get_analysis("table1")
+        with pytest.raises(ValueError, match="already registered"):
+            protocol.register(
+                protocol.Analysis(
+                    name="table1", title="x", factory=lambda ctx: None
+                )
+            )
+        assert protocol.get_analysis("table1") is existing
+
+    def test_reregistering_same_factory_is_idempotent(self):
+        existing = protocol.get_analysis("table1")
+        protocol.register(existing)
+        assert protocol.get_analysis("table1") is existing
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="table1"):
+            protocol.get_analysis("no-such-analysis")
+
+
+class TestPartialMechanics:
+    def test_empty_partials_finalize(self, context):
+        """A shard with zero connections must still merge and render."""
+        for analysis in protocol.iter_analyses():
+            empty = analysis.factory(context)
+            table = empty.finalize()
+            assert table.title, analysis.name
+
+    def test_partials_are_picklable(self, context, small_result):
+        """Partials cross process boundaries; pickling is load-bearing."""
+        partials = protocol.run_analyses(
+            small_result.enriched, raw=small_result.dataset, context=context
+        )
+        for name, partial in partials.items():
+            clone = pickle.loads(pickle.dumps(partial))
+            assert _finalized(clone) == _finalized(partial), name
+
+    def test_run_analyses_subset(self, small_result):
+        partials = protocol.run_analyses(small_result.enriched, ["table5", "tls13"])
+        assert sorted(partials) == ["table5", "tls13"]
+
+    def test_merge_empty_is_identity(self, context, small_result):
+        for analysis in protocol.iter_analyses():
+            full = analysis.factory(context)
+            for conn in small_result.enriched.connections:
+                full.update(conn)
+            if analysis.needs_raw:
+                for view in small_result.dataset.connections:
+                    full.update_raw(view)
+            reference = _finalized(full)
+            full.merge(analysis.factory(context))
+            assert _finalized(full) == reference, analysis.name
+
+
+class TestMergeEquivalence:
+    """Sequential == any shard split == any (shuffled) merge order."""
+
+    def test_halves_match_sequential(self, context, small_result):
+        connections = small_result.enriched.connections
+        raw = small_result.dataset.connections
+        mid = len(connections) // 2
+        for analysis in protocol.iter_analyses():
+            sequential = _run_split(analysis, context, connections, raw, [], [])
+            halves = _run_split(analysis, context, connections, raw, [mid], [])
+            assert _finalized(halves) == _finalized(sequential), analysis.name
+
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.data())
+    def test_random_splits_and_orders(self, data, context, small_result):
+        connections = small_result.enriched.connections
+        raw = small_result.dataset.connections
+        n_chunks = data.draw(st.integers(min_value=2, max_value=5))
+        splits = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=len(connections)),
+                    min_size=n_chunks - 1, max_size=n_chunks - 1,
+                )
+            )
+        )
+        seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        order = list(range(n_chunks))
+        random.Random(seed).shuffle(order)
+        for analysis in protocol.iter_analyses():
+            sequential = _run_split(analysis, context, connections, raw, [], [])
+            shuffled = _run_split(
+                analysis, context, connections, raw, splits, order
+            )
+            assert _finalized(shuffled) == _finalized(sequential), analysis.name
