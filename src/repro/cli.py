@@ -7,7 +7,9 @@ Subcommands::
     python -m repro study     [--months N] [--cpm N] [--seed N] [--table NAME]
                               [--jobs N]
     python -m repro analyze   DIR --trust-bundle FILE [--jobs N]
-                              [--table NAME] [--json]
+                              [--table NAME] [--json] [--degrade POLICY]
+                              [--max-attempts N] [--shard-timeout S]
+                              [--resume DIR]
     python -m repro audit     X509_LOG [--campus-marker TEXT]
     python -m repro intercept SSL_LOG X509_LOG --trust-bundle FILE
                               [--min-domains N]
@@ -29,6 +31,7 @@ from repro.core.dataset import MtlsDataset
 from repro.core.enrich import Enricher
 from repro.core.report import render_ingest_health
 from repro.core.study import CampusStudy
+from repro.core.supervisor import CampaignDegradedError
 from repro.netsim import FaultPlan, ScenarioConfig, TrafficGenerator
 from repro.trust import TrustBundle
 from repro.zeek import (
@@ -41,11 +44,17 @@ from repro.zeek import (
     write_x509_log,
 )
 
+#: Exit status of a PARTIAL campaign that lost months to quarantine.
+EXIT_DEGRADED = 4
+
+
 def _table_choices() -> list[str]:
-    """Registry analysis names plus the CLI-only ingest-health view."""
+    """Registry analysis names plus the CLI-only health views."""
     from repro.core import protocol
 
-    return sorted(set(protocol.analysis_names()) | {"ingest-health"})
+    return sorted(
+        set(protocol.analysis_names()) | {"ingest-health", "run-health"}
+    )
 
 
 def _scale_parent() -> argparse.ArgumentParser:
@@ -138,6 +147,32 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--json", action="store_true",
         help="emit the analyses as JSON instead of text tables",
+    )
+    analyze.add_argument(
+        "--degrade", choices=["strict", "partial"], default="strict",
+        help="poison-shard policy: abort the campaign (strict) or complete "
+             "it from the surviving months and exit %d (partial)"
+             % EXIT_DEGRADED,
+    )
+    analyze.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per shard per phase before quarantine (default 3)",
+    )
+    analyze.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per shard attempt; a worker that blows it "
+             "is killed and the shard retried (default: unlimited)",
+    )
+    analyze.add_argument(
+        "--resume", type=Path, default=None, metavar="DIR",
+        help="crash-safe run directory: completed shards are spilled here "
+             "as they finish, and a rerun pointed at the same directory "
+             "skips them",
+    )
+    analyze.add_argument(
+        "--inject-crash", action="append", default=[], metavar="MONTH",
+        help="chaos testing: crash any worker the given month's shard "
+             "lands on (repeatable)",
     )
 
     audit = sub.add_parser(
@@ -276,31 +311,57 @@ def _study_table(study: CampusStudy, name: str):
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.parallel import analyze_directory
     from repro.core.report import render_ingest_health as _render
+    from repro.core.report import render_run_health
+    from repro.core.supervisor import RetryPolicy
 
+    fault_plan = None
+    if args.inject_crash:
+        from repro.netsim import WorkerFaultPlan
+
+        fault_plan = WorkerFaultPlan(crash_months=tuple(args.inject_crash))
     bundle = load_trust_bundle(args.trust_bundle)
     campaign = analyze_directory(
         args.directory, bundle,
         on_error=args.on_error, jobs=max(1, args.jobs),
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts, timeout=args.shard_timeout
+        ),
+        degrade=args.degrade,
+        fault_plan=fault_plan,
+        resume_dir=args.resume,
     )
+    health = campaign.health
+
+    def health_epilogue() -> int:
+        """Degraded coverage must never exit 0 or pass silently."""
+        if health is None or not health.degraded:
+            return 0
+        print(f"warning: campaign degraded: {health.summary()}", file=sys.stderr)
+        return EXIT_DEGRADED
+
     if getattr(args, "json", False):
         from repro.core.export import export_tables_json
 
         print(export_tables_json(campaign))
-        return 0
+        return health_epilogue()
     if args.table is not None:
         if args.table == "ingest-health":
             print(_render(
                 campaign.ingest, dangling_fuid_refs=campaign.dangling_fuid_refs
             ).render())
+        elif args.table == "run-health":
+            print(render_run_health(health).render())
         else:
             print(campaign.table(args.table).render())
-        return 0
+        return health_epilogue()
     for table in campaign.tables():
         print(table.render())
         print()
     if args.on_error != "strict":
         _print_ingest_health(campaign.ingest, campaign.dangling_fuid_refs)
-    return 0
+    if health is not None and not health.clean:
+        print(render_run_health(health).render())
+    return health_epilogue()
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
@@ -409,6 +470,11 @@ def main(argv: list[str] | None = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except CampaignDegradedError as exc:
+        # Strict-mode supervision failure: a shard exhausted its retry
+        # budget; completed shards were spilled if --resume was given.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except TsvFormatError as exc:
         # Strict-mode ingestion failure: the message already carries
         # path, line number, and field name.

@@ -20,6 +20,27 @@ domains it contradicts across the whole campaign, not within one month.
   partial per registered analysis. The parent merges shard partials in
   chronological order.
 
+Both phases are dispatched through the
+:class:`~repro.core.supervisor.ShardSupervisor` rather than a bare
+``Pool.map``: shard attempts are retried with backoff, hung workers are
+killed on a wall-clock timeout, a failed worker is always recycled
+before its shard is retried, and shards that exhaust their budget are
+quarantined — aborting under :attr:`DegradePolicy.STRICT` or completing
+the campaign from the surviving months under
+:attr:`DegradePolicy.PARTIAL`, with the loss accounted for in a
+:class:`~repro.core.supervisor.RunHealth` report on the result. The
+``jobs <= 1`` path routes through the *same* supervisor inline, so the
+0/1/N byte-identical equivalence properties extend to the failure
+paths.
+
+With a ``resume_dir``, every completed shard's scan and merged partials
+are spilled to a crash-safe campaign manifest as soon as they arrive
+(pickled, like the partial states embedded in streaming snapshot v2);
+a rerun pointed at the same directory skips the finished shards — the
+update/merge/finalize protocol makes the spilled partials trivially
+re-mergeable, so a resumed campaign is byte-identical to an
+uninterrupted one.
+
 Workers cache the parsed shard between phases, so each file is read at
 most twice (once when phase B lands on a different worker than phase A).
 The x509 stream is broadcast to every shard — fuid references may cross
@@ -28,7 +49,10 @@ a month boundary and the certificate log is tiny next to ssl.log.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
+import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -41,6 +65,12 @@ from repro.core.enrich import (
     InterceptionScan,
 )
 from repro.core.report import Table
+from repro.core.supervisor import (
+    DegradePolicy,
+    RetryPolicy,
+    RunHealth,
+    ShardSupervisor,
+)
 from repro.zeek.files import _read_many, discover_shards
 from repro.zeek.ingest import ErrorPolicy, IngestReport
 from repro.zeek.tsv import read_ssl_log, read_x509_log
@@ -69,7 +99,7 @@ class ShardSpec:
 
 @dataclass(frozen=True)
 class _ExecutorConfig:
-    """Shipped to each worker process exactly once (Pool initializer)."""
+    """Shipped to each worker process exactly once (at spawn)."""
 
     bundle: object
     ct_log: object | None
@@ -78,6 +108,8 @@ class _ExecutorConfig:
     min_interception_domains: int
     on_error: ErrorPolicy
     names: tuple[str, ...] | None
+    #: Process-level fault injection (tests / chaos drills only).
+    fault_plan: object | None = None
 
 
 @dataclass
@@ -91,7 +123,7 @@ class _ShardOutcome:
 
 @dataclass
 class CampaignResult:
-    """Merged output of a (possibly parallel) campaign analysis."""
+    """Merged output of a (possibly parallel, possibly degraded) run."""
 
     months: tuple[str, ...]
     partials: dict[str, protocol.AnalysisPartial]
@@ -99,10 +131,20 @@ class CampaignResult:
     ingest: IngestReport
     dangling_fuid_refs: int
     jobs: int = 1
+    #: Supervision report: attempts, retries, quarantined months,
+    #: coverage. ``None`` only on results built by very old callers.
+    health: RunHealth | None = None
 
     def result(self, name: str):
         """The rich result object of one analysis (legacy shape)."""
-        return self.partials[name].result()
+        try:
+            partial = self.partials[name]
+        except KeyError:
+            known = ", ".join(self.partials)
+            raise KeyError(
+                f"no analysis {name!r} in this run (have: {known})"
+            ) from None
+        return partial.result()
 
     def table(self, name: str) -> Table:
         try:
@@ -186,25 +228,191 @@ def _analyze_shard(
     )
 
 
-# Worker-process globals, set once by the Pool initializer.
-_WORKER_STATE: dict = {}
+def _supervised_worker(config: _ExecutorConfig, conn) -> None:
+    """Worker loop: serve ``(kind, key, attempt, payload)`` requests.
 
-
-def _worker_init(config: _ExecutorConfig) -> None:
+    One request at a time over a private duplex pipe; the parsed-shard
+    cache persists across requests (phase A → phase B) but dies with
+    the process — which is exactly why the supervisor recycles us after
+    any failure.
+    """
     protocol.load_default_analyses()
-    _WORKER_STATE["config"] = config
-    _WORKER_STATE["cache"] = {}
+    cache: dict = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        kind, key, attempt, payload = message
+        try:
+            if config.fault_plan is not None:
+                config.fault_plan.apply(key, kind, attempt)
+            if kind == "scan":
+                result = _scan_shard(config, cache, payload)
+            else:
+                spec, report = payload
+                result = _analyze_shard(config, cache, spec, report)
+        except Exception as exc:
+            try:
+                conn.send((key, "error", f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        try:
+            conn.send((key, "ok", result))
+        except (BrokenPipeError, OSError):
+            break
 
 
-def _worker_scan(spec: ShardSpec) -> InterceptionScan:
-    return _scan_shard(_WORKER_STATE["config"], _WORKER_STATE["cache"], spec)
+# ---------------------------------------------------------------------------
+# Crash-safe campaign manifest
+# ---------------------------------------------------------------------------
+
+#: Manifest schema tag; bump on incompatible layout changes.
+MANIFEST_FORMAT = "campaign-manifest/v1"
 
 
-def _worker_analyze(payload: tuple[ShardSpec, InterceptionReport]) -> _ShardOutcome:
-    spec, report = payload
-    return _analyze_shard(
-        _WORKER_STATE["config"], _WORKER_STATE["cache"], spec, report
+class CampaignManifest:
+    """Crash-safe record of a campaign's completed shards.
+
+    Layout under the run directory::
+
+        manifest.json        index: config/report fingerprints, spills
+        scan.<month>.pkl     phase-A InterceptionScan, one per month
+        outcome.<month>.pkl  phase-B merged partials, one per month
+
+    Every spill is written atomically (temp file + rename) and the
+    manifest is rewritten after each one, so a parent crash at any
+    instant leaves a directory a rerun can load: finished shards are
+    skipped, everything else re-runs. Phase-B outcomes additionally
+    record the fingerprint of the global interception report they were
+    computed under — if a resumed run merges to a *different* report
+    (e.g. because a previously failing shard now contributes its scan),
+    the stale outcomes are discarded instead of silently merged.
+    """
+
+    def __init__(self, directory: Path | str, config_fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.config_fingerprint = config_fingerprint
+        self.path = self.directory / "manifest.json"
+        self._scans: dict[str, str] = {}
+        self._outcomes: dict[str, str] = {}
+        self._report_fingerprint: str | None = None
+        if self.path.exists():
+            self._load_index()
+
+    def _load_index(self) -> None:
+        index = json.loads(self.path.read_text(encoding="utf-8"))
+        found = index.get("format")
+        if found != MANIFEST_FORMAT:
+            raise ValueError(
+                f"unsupported campaign manifest format {found!r} in "
+                f"{self.path} (expected {MANIFEST_FORMAT!r})"
+            )
+        if index.get("config") != self.config_fingerprint:
+            raise ValueError(
+                f"resume directory {self.directory} belongs to a different "
+                "campaign (shard list or executor configuration changed); "
+                "point --resume at a fresh directory"
+            )
+        self._scans = dict(index.get("scans", {}))
+        self._outcomes = dict(index.get("outcomes", {}))
+        self._report_fingerprint = index.get("report")
+
+    def _write_index(self) -> None:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "config": self.config_fingerprint,
+            "report": self._report_fingerprint,
+            "scans": self._scans,
+            "outcomes": self._outcomes,
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        tmp.replace(self.path)
+
+    def _spill(self, filename: str, obj) -> None:
+        target = self.directory / filename
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        with tmp.open("wb") as sink:
+            pickle.dump(obj, sink, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(target)
+
+    def _load(self, filename: str):
+        try:
+            with (self.directory / filename).open("rb") as source:
+                return pickle.load(source)
+        except Exception:
+            # A torn spill (crash mid-rename window, disk fault) is not
+            # fatal: the shard simply re-runs.
+            return None
+
+    # Phase A -------------------------------------------------------------------
+
+    def spill_scan(self, month: str, scan: InterceptionScan) -> None:
+        filename = f"scan.{month}.pkl"
+        self._spill(filename, scan)
+        self._scans[month] = filename
+        self._write_index()
+
+    def load_scans(self, months: list[str]) -> dict[str, InterceptionScan]:
+        loaded: dict[str, InterceptionScan] = {}
+        for month in months:
+            filename = self._scans.get(month)
+            if filename is None:
+                continue
+            scan = self._load(filename)
+            if scan is not None:
+                loaded[month] = scan
+        return loaded
+
+    # Phase B -------------------------------------------------------------------
+
+    def set_report_fingerprint(self, fingerprint: str) -> None:
+        """Bind phase-B spills to the global report they were built
+        under; a changed report invalidates every recorded outcome."""
+        if self._report_fingerprint != fingerprint:
+            self._report_fingerprint = fingerprint
+            self._outcomes = {}
+            self._write_index()
+
+    def spill_outcome(self, month: str, outcome: _ShardOutcome) -> None:
+        filename = f"outcome.{month}.pkl"
+        self._spill(filename, outcome)
+        self._outcomes[month] = filename
+        self._write_index()
+
+    def load_outcomes(
+        self, months: list[str], report_fingerprint: str
+    ) -> dict[str, _ShardOutcome]:
+        if self._report_fingerprint != report_fingerprint:
+            return {}
+        loaded: dict[str, _ShardOutcome] = {}
+        for month in months:
+            filename = self._outcomes.get(month)
+            if filename is None:
+                continue
+            outcome = self._load(filename)
+            if outcome is not None:
+                loaded[month] = outcome
+        return loaded
+
+
+def _report_fingerprint(report: InterceptionReport) -> str:
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(
+            [
+                sorted(report.flagged_issuers),
+                sorted(report.excluded_fingerprints),
+                report.total_certificates,
+            ]
+        ).encode("utf-8")
     )
+    return digest.hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -213,11 +421,16 @@ def _worker_analyze(payload: tuple[ShardSpec, InterceptionReport]) -> _ShardOutc
 
 
 class ShardExecutor:
-    """Fan per-month shards out over processes and merge the partials.
+    """Fan per-month shards out over supervised processes and merge.
 
     ``jobs <= 1`` runs every shard inline in the current process through
-    the *same* code path, which is what makes the 0/1/N-worker
-    equivalence tests meaningful.
+    the *same* supervisor code path, which is what makes the
+    0/1/N-worker equivalence tests meaningful.
+
+    ``retry``/``degrade`` control the supervision layer (see
+    :mod:`repro.core.supervisor`); ``fault_plan`` injects deterministic
+    worker faults (:class:`~repro.netsim.faults.WorkerFaultPlan`) for
+    tests and chaos drills.
     """
 
     def __init__(
@@ -231,6 +444,9 @@ class ShardExecutor:
         on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
         names: tuple[str, ...] | None = None,
         jobs: int = 1,
+        retry: RetryPolicy | None = None,
+        degrade: DegradePolicy | str = DegradePolicy.STRICT,
+        fault_plan=None,
     ) -> None:
         self.config = _ExecutorConfig(
             bundle=bundle,
@@ -240,40 +456,177 @@ class ShardExecutor:
             min_interception_domains=min_interception_domains,
             on_error=ErrorPolicy.coerce(on_error),
             names=tuple(names) if names is not None else None,
+            fault_plan=fault_plan,
         )
         self.jobs = jobs
+        self.retry = retry or RetryPolicy()
+        self.degrade = DegradePolicy.coerce(degrade)
 
-    def run_directory(self, directory: Path | str) -> CampaignResult:
+    def run_directory(
+        self, directory: Path | str, *, resume_dir: Path | str | None = None
+    ) -> CampaignResult:
         """Analyze a rotated-log directory (``ssl.YYYY-MM.log[.gz]``)."""
         shards = [ShardSpec.from_discovery(t) for t in discover_shards(directory)]
-        return self.run(shards)
+        return self.run(shards, resume_dir=resume_dir)
 
-    def run(self, shards: list[ShardSpec]) -> CampaignResult:
+    def run(
+        self,
+        shards: list[ShardSpec],
+        *,
+        resume_dir: Path | str | None = None,
+    ) -> CampaignResult:
         if not shards:
             raise ValueError("no shards to analyze")
         specs = sorted(shards, key=lambda s: s.month)
+        months = [spec.month for spec in specs]
         jobs = max(1, min(self.jobs, len(specs)))
-        if jobs == 1:
-            cache: dict = {}
-            scans = [_scan_shard(self.config, cache, spec) for spec in specs]
-            report = self._merge_scans(scans)
-            outcomes = [
-                _analyze_shard(self.config, cache, spec, report) for spec in specs
-            ]
-        else:
-            with multiprocessing.Pool(
-                processes=jobs, initializer=_worker_init, initargs=(self.config,)
-            ) as pool:
-                scans = pool.map(_worker_scan, specs)
-                report = self._merge_scans(scans)
-                outcomes = pool.map(
-                    _worker_analyze, [(spec, report) for spec in specs]
+        manifest = (
+            CampaignManifest(resume_dir, self._config_fingerprint(specs))
+            if resume_dir is not None else None
+        )
+
+        spill_phase_b = False
+
+        def on_result(kind: str, key: str, result) -> None:
+            if manifest is None:
+                return
+            if kind == "scan":
+                manifest.spill_scan(key, result)
+            elif spill_phase_b:
+                manifest.spill_outcome(key, result)
+
+        supervisor = ShardSupervisor(
+            jobs=jobs,
+            retry=self.retry,
+            degrade=self.degrade,
+            worker_factory=self._worker_factory,
+            inline_handlers=self._inline_handlers(),
+            on_result=on_result,
+        )
+        try:
+            resumed_scans = (
+                manifest.load_scans(months) if manifest is not None else {}
+            )
+            for month in resumed_scans:
+                supervisor.note_resumed(month, "scan")
+            scans = supervisor.run_phase(
+                "scan",
+                [(s.month, s) for s in specs if s.month not in resumed_scans],
+            )
+            scans.update(resumed_scans)
+            surviving = [s for s in specs if s.month in scans]
+            if not surviving:
+                raise RuntimeError(
+                    "every shard was quarantined during the scan phase; "
+                    "nothing to analyze "
+                    f"({supervisor.health.summary()})"
                 )
-        return self._merge_outcomes(specs, report, outcomes, jobs)
+            report = self._merge_scans([scans[s.month] for s in surviving])
+            fingerprint = _report_fingerprint(report)
+            resumed_outcomes: dict[str, _ShardOutcome] = {}
+            if manifest is not None:
+                resumed_outcomes = manifest.load_outcomes(months, fingerprint)
+                manifest.set_report_fingerprint(fingerprint)
+            for month in resumed_outcomes:
+                supervisor.note_resumed(month, "analyze")
+            spill_phase_b = True
+            outcomes = supervisor.run_phase(
+                "analyze",
+                [
+                    (s.month, (s, report))
+                    for s in surviving
+                    if s.month not in resumed_outcomes
+                ],
+            )
+            outcomes.update(resumed_outcomes)
+        finally:
+            supervisor.close()
+        completed = [s for s in surviving if s.month in outcomes]
+        if not completed:
+            raise RuntimeError(
+                "every surviving shard was quarantined during the analyze "
+                f"phase ({supervisor.health.summary()})"
+            )
+        return self._merge_outcomes(
+            completed,
+            report,
+            [outcomes[s.month] for s in completed],
+            jobs,
+            supervisor.health,
+        )
+
+    # Supervision plumbing ------------------------------------------------------
+
+    def _worker_factory(self, conn):
+        context = multiprocessing.get_context()
+        return context.Process(
+            target=_supervised_worker,
+            args=(self.config, conn),
+            daemon=True,
+        )
+
+    def _inline_handlers(self):
+        """The jobs=1 executors: same shard functions, same fault hook.
+
+        The cache mimics a worker's shard cache; a retry drops the
+        failed month's entry — the inline analogue of recycling the
+        worker process, so a half-built cache cannot poison the retry.
+        """
+        config = self.config
+        cache: dict = {}
+
+        def scan(spec: ShardSpec, attempt: int) -> InterceptionScan:
+            if attempt > 1:
+                cache.pop(spec.month, None)
+            if config.fault_plan is not None:
+                config.fault_plan.apply(
+                    spec.month, "scan", attempt, inline=True
+                )
+            return _scan_shard(config, cache, spec)
+
+        def analyze(payload, attempt: int) -> _ShardOutcome:
+            spec, report = payload
+            if attempt > 1:
+                cache.pop(spec.month, None)
+            if config.fault_plan is not None:
+                config.fault_plan.apply(
+                    spec.month, "analyze", attempt, inline=True
+                )
+            return _analyze_shard(config, cache, spec, report)
+
+        return {"scan": scan, "analyze": analyze}
+
+    def _config_fingerprint(self, specs: list[ShardSpec]) -> str:
+        """Identity of (shard list, analysis configuration) for resume.
+
+        The trust bundle is part of the identity; the CT log is not
+        hashable in general and is assumed stable across a resume — as
+        is the log content behind the shard paths.
+        """
+        bundle = self.config.bundle
+        payload = {
+            "shards": [
+                [s.month, list(s.ssl_paths), list(s.x509_paths)] for s in specs
+            ],
+            "on_error": self.config.on_error.value,
+            "filter_interception": self.config.filter_interception,
+            "min_interception_domains": self.config.min_interception_domains,
+            "names": list(self.config.names) if self.config.names else None,
+            "bundle": [
+                sorted(getattr(bundle, "subject_dns", ()) or ()),
+                sorted(getattr(bundle, "organizations", ()) or ()),
+            ],
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
 
     def _merge_scans(self, scans: list[InterceptionScan]) -> InterceptionReport:
-        merged = scans[0]
-        for scan in scans[1:]:
+        # Merge into a fresh scan: the per-shard scans may be cached in
+        # a resume manifest (or re-merged on retry) and must survive
+        # merging untouched.
+        merged = InterceptionScan(self.config.bundle, self.config.ct_log)
+        for scan in scans:
             merged.merge(scan)
         return merged.finalize(self.config.min_interception_domains)
 
@@ -283,6 +636,7 @@ class ShardExecutor:
         report: InterceptionReport,
         outcomes: list[_ShardOutcome],
         jobs: int,
+        health: RunHealth | None = None,
     ) -> CampaignResult:
         # Chronological merge: outcomes arrive in spec (month) order.
         partials = outcomes[0].partials
@@ -301,6 +655,7 @@ class ShardExecutor:
             ingest=ingest,
             dangling_fuid_refs=dangling,
             jobs=jobs,
+            health=health,
         )
 
 
@@ -315,6 +670,10 @@ def analyze_directory(
     on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
     names: tuple[str, ...] | None = None,
     jobs: int = 1,
+    retry: RetryPolicy | None = None,
+    degrade: DegradePolicy | str = DegradePolicy.STRICT,
+    fault_plan=None,
+    resume_dir: Path | str | None = None,
 ) -> CampaignResult:
     """One-call sharded analysis of a rotated Zeek archive."""
     executor = ShardExecutor(
@@ -326,5 +685,8 @@ def analyze_directory(
         on_error=on_error,
         names=names,
         jobs=jobs,
+        retry=retry,
+        degrade=degrade,
+        fault_plan=fault_plan,
     )
-    return executor.run_directory(directory)
+    return executor.run_directory(directory, resume_dir=resume_dir)

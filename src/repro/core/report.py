@@ -82,3 +82,46 @@ def render_ingest_health(report, *, dangling_fuid_refs: int | None = None) -> Ta
     if report.clean:
         table.add_note("clean ingest: every input row was consumed")
     return table
+
+
+def render_run_health(health) -> Table:
+    """Run-health section: what the supervision layer saw and lost.
+
+    ``health`` is a :class:`repro.core.supervisor.RunHealth` (duck-typed
+    to keep this module free of supervisor imports)."""
+    table = Table("Run health", ["Metric", "Value"])
+    table.add_row("Months total", fmt_count(health.total_shards))
+    table.add_row("Months completed", fmt_count(len(health.completed_months)))
+    table.add_row(
+        "Months resumed from manifest", fmt_count(len(health.resumed_months))
+    )
+    table.add_row(
+        "Shard phases reused from manifest",
+        fmt_count(
+            sum(len(s.resumed_phases) for s in health.shards.values())
+        ),
+    )
+    quarantined = health.quarantined_months
+    table.add_row(
+        "Months quarantined",
+        ", ".join(quarantined) if quarantined else "0",
+    )
+    table.add_row("Retried attempts", fmt_count(health.total_retries))
+    table.add_row("Coverage (%)", f"{100.0 * health.coverage:.2f}")
+    table.add_row("Worker processes", fmt_count(health.jobs))
+    table.add_row("Degrade policy", health.degrade.value)
+    for key in sorted(health.shards):
+        shard = health.shards[key]
+        if not shard.failures:
+            continue
+        table.add_row(
+            f"  {key} ({shard.state.value})",
+            f"{shard.attempts} attempts; last failure: {shard.failures[-1]}",
+        )
+    if health.degraded:
+        table.add_note(
+            "degraded coverage: quarantined months are absent from every table"
+        )
+    elif health.clean:
+        table.add_note("clean run: every shard completed on its first attempt")
+    return table

@@ -15,13 +15,23 @@ from repro.netsim.network import AddressSpace
 from repro.netsim.ct import CtLog
 from repro.netsim.scenario import ScenarioConfig
 from repro.netsim.cas import CaUniverse
-from repro.netsim.faults import CorruptionSummary, FaultPlan, LogCorruptor
+from repro.netsim.faults import (
+    CorruptionSummary,
+    FaultPlan,
+    LogCorruptor,
+    SimulatedWorkerCrash,
+    TransientWorkerFault,
+    WorkerFaultPlan,
+)
 from repro.netsim.generator import GroundTruth, SimulationResult, TrafficGenerator
 
 __all__ = [
     "CorruptionSummary",
     "FaultPlan",
     "LogCorruptor",
+    "SimulatedWorkerCrash",
+    "TransientWorkerFault",
+    "WorkerFaultPlan",
     "CampaignClock",
     "AddressSpace",
     "CtLog",

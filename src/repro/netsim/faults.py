@@ -1,4 +1,4 @@
-"""Deterministic fault injection for serialized Zeek logs.
+"""Deterministic fault injection for serialized Zeek logs and workers.
 
 A 23-month border capture never arrives pristine: writers crash
 mid-record, disks flip bytes, rotations restart, and referenced x509
@@ -7,6 +7,13 @@ serialized log text in a *seeded, ground-truth-aware* way, so tests can
 assert that the resilient reader recovers planted statistics within a
 stated tolerance — and that the :class:`~repro.zeek.ingest.IngestReport`
 accounts for every dropped line exactly.
+
+The *analysis processes* fail too: a long multiprocess campaign hits
+OOM-killed workers, hung readers, and poison shards that crash any
+worker they land on. :class:`WorkerFaultPlan` injects exactly those
+process-level faults — deterministically, keyed by shard month — so the
+supervision layer (:mod:`repro.core.supervisor`) is testable without
+flaky sleeps or real resource exhaustion.
 
 Fault types (all independently rated by a :class:`FaultPlan`):
 
@@ -26,7 +33,9 @@ Fault types (all independently rated by a :class:`FaultPlan`):
 
 from __future__ import annotations
 
+import os
 import random
+import time
 from dataclasses import dataclass, field, replace
 
 #: Columns whose parsers deterministically reject a flipped byte,
@@ -262,3 +271,89 @@ class LogCorruptor:
             else:
                 out.append(line)
         return out
+
+
+# ---------------------------------------------------------------------------
+# Process-level fault injection (worker crash / hang / transient failure)
+# ---------------------------------------------------------------------------
+
+
+class TransientWorkerFault(RuntimeError):
+    """A worker failure that clears up on retry (an injected one)."""
+
+
+class SimulatedWorkerCrash(RuntimeError):
+    """Stands in for a hard worker death on the inline (jobs=1) path,
+    where ``os._exit`` would take the whole campaign down with it."""
+
+
+#: Exit status an injected crash dies with — picked to look like an
+#: OOM-kill (128 + SIGKILL), the most common real-world worker death.
+CRASH_EXIT_CODE = 137
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Deterministic process-level faults, keyed by shard month.
+
+    Shipped to every worker through the supervisor's initializer; the
+    worker consults :meth:`apply` immediately before executing a shard.
+    All faults are exact (no rates): supervision tests must be able to
+    assert retry counts and quarantine membership, not tolerances.
+
+    - ``crash_months``     — the worker dies hard (``os._exit``) every
+      time one of these shards lands on it: a poison shard. Inline
+      (``jobs=1``) the crash is simulated by raising
+      :class:`SimulatedWorkerCrash` instead.
+    - ``hang_months``      — the worker sleeps ``hang_seconds`` before
+      failing: a hung reader, detectable only by wall-clock timeout.
+    - ``transient_failures`` — ``(month, n)`` pairs: the shard raises
+      :class:`TransientWorkerFault` on its first ``n`` attempts and
+      succeeds afterwards (attempts are 1-based and tracked by the
+      supervisor, so worker recycling cannot reset the count).
+    - ``phase``            — restrict the plan to one supervision phase
+      (``"scan"`` or ``"analyze"``); ``None`` fires in both.
+    """
+
+    crash_months: tuple[str, ...] = ()
+    hang_months: tuple[str, ...] = ()
+    transient_failures: tuple[tuple[str, int], ...] = ()
+    phase: str | None = None
+    hang_seconds: float = 3600.0
+
+    def transient_budget(self, month: str) -> int:
+        """How many leading attempts fail for ``month`` (0 = none)."""
+        return max(
+            (n for m, n in self.transient_failures if m == month), default=0
+        )
+
+    def apply(
+        self, month: str, phase: str, attempt: int, *, inline: bool = False
+    ) -> None:
+        """Fire the planned fault for this (shard, phase, attempt), if any.
+
+        Called by the supervisor's workers (and its inline executor)
+        right before the real shard work. ``attempt`` is 1-based.
+        """
+        if self.phase is not None and phase != self.phase:
+            return
+        if month in self.crash_months:
+            if inline:
+                raise SimulatedWorkerCrash(
+                    f"injected crash on shard {month} ({phase})"
+                )
+            os._exit(CRASH_EXIT_CODE)
+        if month in self.hang_months:
+            # In a worker the supervisor's timeout kills us mid-sleep;
+            # inline the sleep returns and the supervisor's post-hoc
+            # wall-clock check converts it into the same timeout failure.
+            time.sleep(self.hang_seconds)
+            raise TransientWorkerFault(
+                f"injected hang on shard {month} ({phase}) outlived its sleep"
+            )
+        budget = self.transient_budget(month)
+        if attempt <= budget:
+            raise TransientWorkerFault(
+                f"injected transient failure on shard {month} ({phase}), "
+                f"attempt {attempt}/{budget}"
+            )

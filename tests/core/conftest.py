@@ -1,9 +1,33 @@
 """Shared fixtures: one small and one medium study run per session."""
 
+import signal
+
 import pytest
 
 from repro.core.study import CampusStudy
 from repro.netsim import ScenarioConfig
+
+
+@pytest.fixture
+def supervision_watchdog():
+    """pytest-timeout equivalent for the parallel/supervisor modules.
+
+    A supervision regression (a lost wakeup, an unkilled hung worker)
+    would otherwise hang the whole suite; the alarm turns it into a
+    test failure. Apply per module with
+    ``pytestmark = pytest.mark.usefixtures("supervision_watchdog")``.
+    """
+
+    def _abort(signum, frame):  # pragma: no cover - fires only on regression
+        raise TimeoutError("supervised-execution test exceeded 120s watchdog")
+
+    previous = signal.signal(signal.SIGALRM, _abort)
+    signal.alarm(120)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -160,3 +160,77 @@ class TestAnalyze:
         ])
         assert code == 2
         assert "incompatible" in capsys.readouterr().err
+
+
+class TestAnalyzeSupervision:
+    """Chaos flags: injected worker crashes, degrade policy, resume."""
+
+    @pytest.fixture(scope="class")
+    def first_month(self, rotated_dir):
+        return sorted(
+            p.name.split(".")[1] for p in rotated_dir.glob("ssl.*.log.gz")
+        )[0]
+
+    def _argv(self, rotated_dir, *extra):
+        return [
+            "analyze", str(rotated_dir),
+            "--trust-bundle", str(rotated_dir / "trust_bundle.txt"),
+            *extra,
+        ]
+
+    def test_injected_crash_partial_exits_degraded(
+        self, rotated_dir, first_month, capsys
+    ):
+        from repro.cli import EXIT_DEGRADED
+
+        code = main(self._argv(
+            rotated_dir, "--jobs", "2", "--degrade", "partial",
+            "--max-attempts", "2", "--inject-crash", first_month,
+        ))
+        assert code == EXIT_DEGRADED
+        captured = capsys.readouterr()
+        assert "Run health" in captured.out
+        assert first_month in captured.out
+        assert "campaign degraded" in captured.err
+        assert first_month in captured.err
+
+    def test_injected_crash_strict_fails(self, rotated_dir, first_month, capsys):
+        code = main(self._argv(
+            rotated_dir, "--jobs", "2", "--max-attempts", "2",
+            "--inject-crash", first_month,
+        ))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "exhausted its retry budget" in err
+        assert first_month in err
+
+    def test_run_health_table_view(self, rotated_dir, capsys):
+        code = main(self._argv(rotated_dir, "--table", "run-health"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Run health" in out
+        assert "Coverage (%)" in out
+
+    def test_resume_after_strict_abort(
+        self, rotated_dir, first_month, tmp_path, capsys
+    ):
+        """Simulated parent kill + `--resume`: the rerun must finish
+        and print exactly what an uninterrupted run prints."""
+        run_dir = tmp_path / "run"
+        code = main(self._argv(rotated_dir, "--jobs", "2"))
+        assert code == 0
+        uninterrupted = capsys.readouterr().out
+
+        code = main(self._argv(
+            rotated_dir, "--jobs", "2", "--max-attempts", "2",
+            "--inject-crash", first_month, "--resume", str(run_dir),
+        ))
+        assert code == 1
+        capsys.readouterr()
+        assert (run_dir / "manifest.json").exists()
+
+        code = main(self._argv(
+            rotated_dir, "--jobs", "2", "--resume", str(run_dir),
+        ))
+        assert code == 0
+        assert capsys.readouterr().out == uninterrupted

@@ -12,6 +12,8 @@ from repro.core.study import CampusStudy
 from repro.netsim import ScenarioConfig, TrafficGenerator
 from repro.zeek.files import discover_shards, write_rotated_logs
 
+pytestmark = pytest.mark.usefixtures("supervision_watchdog")
+
 _SCENARIO = ScenarioConfig(months=4, connections_per_month=250, seed=29)
 
 
@@ -108,6 +110,34 @@ class TestExecutorEquivalence:
         assert sorted(campaign.partials) == ["figure1", "table1"]
         with pytest.raises(KeyError, match="table5"):
             campaign.table("table5")
+
+    def test_result_unknown_name_lists_known(self, archive, simulation):
+        """result() is as helpful as table() about what exists."""
+        campaign = analyze_directory(
+            archive, simulation.trust_bundle, simulation.ct_log,
+            names=("table1", "figure1"), jobs=1,
+        )
+        with pytest.raises(KeyError, match="have: table1, figure1"):
+            campaign.result("table5")
+        assert campaign.result("table1") is not None
+
+    def test_merge_scans_does_not_mutate_inputs(self, simulation):
+        """Scans may be cached in a resume manifest: merging must build
+        a fresh scan, never fold sibling shards into scans[0]."""
+        from repro.core.enrich import InterceptionScan
+
+        first = InterceptionScan(simulation.trust_bundle, None)
+        first.fingerprints = {"fp-a"}
+        first.mismatched_domains = {"evil-ca": {"a.example"}}
+        second = InterceptionScan(simulation.trust_bundle, None)
+        second.fingerprints = {"fp-b"}
+        second.mismatched_domains = {"evil-ca": {"b.example"}}
+        executor = ShardExecutor(simulation.trust_bundle)
+        report = executor._merge_scans([first, second])
+        assert report.total_certificates == 2
+        assert first.fingerprints == {"fp-a"}
+        assert first.mismatched_domains == {"evil-ca": {"a.example"}}
+        assert second.fingerprints == {"fp-b"}
 
     def test_ingest_accounting_counts_x509_once(self, archive, simulation):
         campaign = analyze_directory(
