@@ -19,20 +19,17 @@ import pytest
 
 from repro.core.parallel import analyze_directory
 from repro.core.report import Table
-from repro.netsim import ScenarioConfig, TrafficGenerator
+from repro.netsim import TrafficGenerator
 from repro.zeek.files import write_rotated_logs
 
-from .conftest import BENCH_CONFIG, report
+from .conftest import BENCH_CONFIG, SMOKE, report
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 WORKERS = 4
-SMOKE_CONFIG = ScenarioConfig(seed=7, months=4, connections_per_month=250)
 
 
 @pytest.fixture(scope="module")
 def bench_world(tmp_path_factory):
-    config = SMOKE_CONFIG if SMOKE else BENCH_CONFIG
-    simulation = TrafficGenerator(config).generate()
+    simulation = TrafficGenerator(BENCH_CONFIG).generate()
     directory = tmp_path_factory.mktemp("bench-rotated")
     write_rotated_logs(simulation.logs, directory)
     return simulation, directory
@@ -67,8 +64,11 @@ def test_parallel_study_speedup_and_equivalence(bench_world):
     table.add_note(f"{len(parallel.months)} monthly shards, {cores} cores, "
                    f"smoke={SMOKE}")
     table.add_note("tables byte-identical across modes")
+    rows = len(simulation.logs.ssl) + len(simulation.logs.x509)
     report(table, "no paper artifact; executor contract: identical tables, "
-                  ">=2x at 4 workers given >=4 cores")
+                  ">=2x at 4 workers given >=4 cores",
+           records_per_sec=rows / max(1e-9, t_par),
+           accuracy={"speedup": speedup, "tables_identical": True})
 
     if not SMOKE and cores >= WORKERS:
         assert speedup >= 2.0, (

@@ -5,16 +5,34 @@ then measures its analysis function on that campaign and asserts the
 paper's *shape* (who wins, by roughly what factor, where crossovers
 fall). Paper-reported values are quoted in each bench for comparison —
 absolute counts differ because the substrate is a scaled-down simulator.
+
+Every bench test is additionally recorded by an autouse fixture (wall
+time, peak RSS, plus whatever the test passes to :func:`report`); when
+``REPRO_BENCH_JSON_DIR`` is set the session writes one standardized
+``BENCH_<name>.json`` per bench module through
+:mod:`benchmarks.harness`. ``REPRO_BENCH_SMOKE=1`` swaps in a small
+campaign so CI can exercise the full measurement path in seconds.
 """
+
+import os
 
 import pytest
 
 from repro.core.study import CampusStudy
 from repro.netsim import ScenarioConfig
 
-#: The benchmark campaign: full 23-month timeline at a laptop-friendly
+from . import harness
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: The full benchmark campaign: 23-month timeline at a laptop-friendly
 #: scale (~35k connections).
-BENCH_CONFIG = ScenarioConfig(seed=7, months=23, connections_per_month=1500)
+FULL_CONFIG = ScenarioConfig(seed=7, months=23, connections_per_month=1500)
+
+#: CI smoke campaign: same pipeline, seconds not minutes.
+SMOKE_CONFIG = ScenarioConfig(seed=7, months=4, connections_per_month=250)
+
+BENCH_CONFIG = SMOKE_CONFIG if SMOKE else FULL_CONFIG
 
 
 @pytest.fixture(scope="session")
@@ -34,8 +52,58 @@ def simulation(study):
     return study.run().simulation
 
 
-def report(table, paper_note: str) -> None:
-    """Print the reproduced artifact next to the paper's numbers."""
+# Bench recording ---------------------------------------------------------------
+
+#: The entry being filled by the currently running bench test.
+_CURRENT: harness.BenchEntry | None = None
+
+#: module name -> entries, drained into BENCH_*.json at session finish.
+_RECORDS: dict[str, list[harness.BenchEntry]] = {}
+
+
+@pytest.fixture(autouse=True)
+def _bench_record(request):
+    """Measure every bench test and queue it for the JSON emitter."""
+    global _CURRENT
+    module = getattr(request.node, "module", None)
+    if module is None or not module.__name__.rsplit(".", 1)[-1].startswith(
+        "bench_"
+    ):
+        yield
+        return
+    entry = harness.BenchEntry(test=request.node.name)
+    _CURRENT = entry
+    try:
+        yield
+    finally:
+        entry.finish()
+        _CURRENT = None
+        _RECORDS.setdefault(module.__name__, []).append(entry)
+
+
+def pytest_sessionfinish(session):
+    outdir = os.environ.get("REPRO_BENCH_JSON_DIR")
+    if outdir and _RECORDS:
+        harness.write_records(_RECORDS, outdir, smoke=SMOKE)
+
+
+def report(
+    table,
+    paper_note: str,
+    *,
+    records_per_sec: float | None = None,
+    accuracy: dict | None = None,
+) -> None:
+    """Print the reproduced artifact next to the paper's numbers, and
+    attach the machine-readable extras to the bench's JSON entry."""
     print()
     print(table.render())
     print(f"paper: {paper_note}")
+    if _CURRENT is not None:
+        _CURRENT.tables.append(table.title)
+        if records_per_sec is not None:
+            _CURRENT.records_per_sec = float(records_per_sec)
+        if accuracy is not None:
+            merged = dict(_CURRENT.accuracy or {})
+            merged.update(accuracy)
+            _CURRENT.accuracy = merged

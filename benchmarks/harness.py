@@ -1,0 +1,227 @@
+"""Standardized machine-readable benchmark records.
+
+Every ``benchmarks/bench_*.py`` module emits one ``BENCH_<name>.json``
+document through this harness (``<name>`` is the module stem minus the
+``bench_`` prefix). The conftest's autouse fixture measures each bench
+test — wall time, peak RSS, and whatever the test attaches via
+``report(..., records_per_sec=..., accuracy=...)`` — and
+``pytest_sessionfinish`` writes the per-module documents whenever
+``REPRO_BENCH_JSON_DIR`` is set. That makes the perf trajectory of the
+pipeline recordable and diffable across PRs instead of scrolling by as
+ad-hoc text.
+
+Document schema (``bench-record/v1``, validated by :data:`BENCH_SCHEMA`)::
+
+    {"format": "bench-record/v1", "name": "resilient_ingest",
+     "smoke": false,
+     "entries": [{"test": "test_skip_mode_overhead_on_clean_logs",
+                  "wall_time_s": 1.93, "peak_rss_bytes": 181000192,
+                  "records_per_sec": 251034.0,
+                  "accuracy": {"skip_over_strict": 1.04},
+                  "tables": ["Resilient-ingest overhead (clean input)"]}]}
+
+Run as a module for the CI smoke path — a subprocess pytest over two
+representative benches at smoke scale, then a schema check over every
+emitted document::
+
+    python -m benchmarks.harness --smoke [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+#: Schema tag carried by every emitted document.
+BENCH_FORMAT = "bench-record/v1"
+
+#: The two benches the CI smoke job runs: one ingest-bound, one
+#: end-to-end (sharded executor) — both safe at smoke scale.
+SMOKE_BENCHES = (
+    "benchmarks/bench_resilient_ingest.py",
+    "benchmarks/bench_parallel_study.py",
+)
+
+#: JSON Schema for one BENCH_<name>.json document.
+BENCH_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["format", "name", "smoke", "entries"],
+    "additionalProperties": False,
+    "properties": {
+        "format": {"const": BENCH_FORMAT},
+        "name": {"type": "string", "minLength": 1},
+        "smoke": {"type": "boolean"},
+        "entries": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": [
+                    "test", "wall_time_s", "peak_rss_bytes",
+                    "records_per_sec", "accuracy", "tables",
+                ],
+                "additionalProperties": False,
+                "properties": {
+                    "test": {"type": "string", "minLength": 1},
+                    "wall_time_s": {"type": "number", "minimum": 0},
+                    "peak_rss_bytes": {"type": "integer", "minimum": 0},
+                    "records_per_sec": {
+                        "type": ["number", "null"], "minimum": 0
+                    },
+                    "accuracy": {"type": ["object", "null"]},
+                    "tables": {
+                        "type": "array", "items": {"type": "string"},
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class BenchEntry:
+    """One bench test's measurements; filled by the conftest fixture
+    (timing, RSS) and by ``report()`` (throughput, accuracy, tables)."""
+
+    def __init__(self, test: str) -> None:
+        self.test = test
+        self.wall_time_s = 0.0
+        self.peak_rss_bytes = 0
+        self.records_per_sec: float | None = None
+        self.accuracy: dict[str, Any] | None = None
+        self.tables: list[str] = []
+        self._started = time.perf_counter()
+
+    def finish(self) -> None:
+        self.wall_time_s = time.perf_counter() - self._started
+        self.peak_rss_bytes = peak_rss_bytes()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "test": self.test,
+            "wall_time_s": self.wall_time_s,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "records_per_sec": self.records_per_sec,
+            "accuracy": self.accuracy,
+            "tables": list(self.tables),
+        }
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def bench_name(module_name: str) -> str:
+    """``benchmarks.bench_resilient_ingest`` → ``resilient_ingest``."""
+    stem = module_name.rsplit(".", 1)[-1]
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def write_records(
+    records: dict[str, list[BenchEntry]], outdir: str | Path, *, smoke: bool
+) -> list[Path]:
+    """One ``BENCH_<name>.json`` per bench module; returns the paths."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for module_name, entries in sorted(records.items()):
+        name = bench_name(module_name)
+        document = {
+            "format": BENCH_FORMAT,
+            "name": name,
+            "smoke": smoke,
+            "entries": [entry.to_dict() for entry in entries],
+        }
+        path = outdir / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written
+
+
+def validate_document(document: dict[str, Any]) -> None:
+    """Raise ``jsonschema.ValidationError`` if the document is off-schema."""
+    import jsonschema
+
+    jsonschema.validate(document, BENCH_SCHEMA)
+
+
+def validate_file(path: Path | str) -> dict[str, Any]:
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    validate_document(document)
+    return document
+
+
+def run_benches(
+    benches: list[str], outdir: Path, *, smoke: bool
+) -> list[Path]:
+    """Run bench modules under pytest in a subprocess and collect the
+    emitted, schema-validated ``BENCH_*.json`` files."""
+    env = dict(os.environ)
+    env["REPRO_BENCH_JSON_DIR"] = str(outdir)
+    if smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    command = [
+        sys.executable, "-m", "pytest", "-q", "-s",
+        "-m", "slow or not slow", "-p", "no:cacheprovider", *benches,
+    ]
+    completed = subprocess.run(command, env=env)
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"bench run failed (pytest exit {completed.returncode})"
+        )
+    written = sorted(Path(outdir).glob("BENCH_*.json"))
+    for path in written:
+        validate_document(json.loads(path.read_text(encoding="utf-8")))
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.harness",
+        description="run benches and emit schema-validated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small-campaign CI mode: two representative benches, "
+             "REPRO_BENCH_SMOKE=1",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("bench-results"),
+        help="directory for BENCH_*.json (default: ./bench-results)",
+    )
+    parser.add_argument(
+        "benches", nargs="*",
+        help="bench files to run (default: all of benchmarks/, or the "
+             "smoke pair with --smoke)",
+    )
+    args = parser.parse_args(argv)
+    benches = args.benches or (
+        list(SMOKE_BENCHES) if args.smoke else ["benchmarks"]
+    )
+    written = run_benches(benches, args.out, smoke=args.smoke)
+    if not written:
+        print("error: no BENCH_*.json emitted", file=sys.stderr)
+        return 1
+    for path in written:
+        print(f"wrote {path}")
+    print(f"{len(written)} bench documents, all schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

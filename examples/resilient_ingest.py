@@ -103,7 +103,16 @@ def main() -> None:
         for label in months:
             month_slice(uninterrupted, label)
 
-    assert resumed.to_snapshot() == uninterrupted.to_snapshot()
+    resumed_snapshot = resumed.to_snapshot()
+    uninterrupted_snapshot = uninterrupted.to_snapshot()
+    # The embedded metrics legitimately differ (the resumed analyzer
+    # wrote a checkpoint; timers measure wall clock) — the analysis
+    # state and the record counters must match exactly.
+    resumed_metrics = resumed_snapshot.pop("metrics")
+    uninterrupted_metrics = uninterrupted_snapshot.pop("metrics")
+    assert resumed_snapshot == uninterrupted_snapshot
+    assert resumed_metrics["counters"]["streaming.ssl_records"] == \
+        uninterrupted_metrics["counters"]["streaming.ssl_records"]
     print(
         f"   resumed run matches uninterrupted run: "
         f"{resumed.connections_seen} connections, "

@@ -23,9 +23,12 @@ with real Zeek output.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.core import metrics as core_metrics
+from repro.core import tracing
 from repro.core.cnsan import CnSanClassifier
 from repro.core.dataset import MtlsDataset
 from repro.core.enrich import Enricher
@@ -53,7 +56,8 @@ def _table_choices() -> list[str]:
     from repro.core import protocol
 
     return sorted(
-        set(protocol.analysis_names()) | {"ingest-health", "run-health"}
+        set(protocol.analysis_names())
+        | {"ingest-health", "run-health", "run-metrics"}
     )
 
 
@@ -78,6 +82,23 @@ def _on_error_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _metrics_parent() -> argparse.ArgumentParser:
+    """Shared --metrics/--trace observability arguments (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--metrics", choices=["json", "table"], default=None,
+        help="append run metrics to the output: 'table' prints the Run "
+             "metrics section, 'json' prints one machine-readable JSON "
+             "line (always the last line of stdout)",
+    )
+    parent.add_argument(
+        "--trace", type=Path, default=None, metavar="FILE",
+        help="append one JSONL trace event per pipeline phase to FILE "
+             "(workers append to the same file)",
+    )
+    return parent
+
+
 def _jobs_parent() -> argparse.ArgumentParser:
     """Shared --jobs argument (argparse parent)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -98,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
     scale = _scale_parent()
     on_error = _on_error_parent()
     jobs = _jobs_parent()
+    observability = _metrics_parent()
 
     generate = sub.add_parser(
         "generate", help="simulate a campaign and write Zeek-format logs",
@@ -112,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser(
         "study", help="run the full study and print tables",
-        parents=[scale, on_error, jobs],
+        parents=[scale, on_error, jobs, observability],
     )
     study.add_argument(
         "--fault-rate", type=float, default=0.0, metavar="RATE",
@@ -131,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze",
         help="run every registered analysis over a rotated Zeek archive",
-        parents=[on_error, jobs],
+        parents=[on_error, jobs, observability],
     )
     analyze.add_argument("directory", type=Path,
                          help="directory of ssl.YYYY-MM.log[.gz] files")
@@ -209,6 +231,16 @@ def _print_ingest_health(report: IngestReport, dangling: int | None = None) -> N
     print(render_ingest_health(report, dangling_fuid_refs=dangling).render())
 
 
+def _emit_metrics(mode: str | None, registry) -> None:
+    """Append the run metrics to stdout. In ``json`` mode the document
+    is one line and always the *last* line, so scripts can parse it with
+    ``tail -n 1``."""
+    if mode == "table":
+        print(registry.render().render())
+    elif mode == "json":
+        print(json.dumps(registry.state_dict(), sort_keys=True))
+
+
 def _write_trust_bundle(bundle: TrustBundle, path: Path) -> None:
     with path.open("w") as out:
         for dn in sorted(bundle.subject_dns):
@@ -284,6 +316,8 @@ def cmd_study(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.trace is not None:
+        tracing.configure(args.trace)
     study = CampusStudy(
         seed=args.seed, months=args.months, connections_per_month=args.cpm,
         on_error=args.on_error, fault_plan=fault_plan, jobs=jobs,
@@ -292,20 +326,32 @@ def cmd_study(args: argparse.Namespace) -> int:
         from repro.core.export import study_to_json
 
         print(study_to_json(study))
+        _emit_study_metrics(args.metrics, study)
         return 0
     if args.table is not None:
         print(_study_table(study, args.table).render())
+        _emit_study_metrics(args.metrics, study)
         return 0
     for table in study.all_tables():
         print(table.render())
         print()
+    _emit_study_metrics(args.metrics, study)
     return 0
 
 
 def _study_table(study: CampusStudy, name: str):
     if name == "ingest-health":
         return study.ingest_health()
+    if name == "run-metrics":
+        return study.run_metrics()
     return study.table(name)
+
+
+def _emit_study_metrics(mode: str | None, study: CampusStudy) -> None:
+    if mode is None:
+        return
+    study.partials()  # ensure the pipeline (and its metrics) ran
+    _emit_metrics(mode, study.metrics)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -319,6 +365,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from repro.netsim import WorkerFaultPlan
 
         fault_plan = WorkerFaultPlan(crash_months=tuple(args.inject_crash))
+    if args.trace is not None:
+        tracing.configure(args.trace)
     bundle = load_trust_bundle(args.trust_bundle)
     campaign = analyze_directory(
         args.directory, bundle,
@@ -329,8 +377,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         degrade=args.degrade,
         fault_plan=fault_plan,
         resume_dir=args.resume,
+        trace_path=args.trace,
     )
     health = campaign.health
+    run_metrics = campaign.metrics or core_metrics.MetricsRegistry()
 
     def health_epilogue() -> int:
         """Degraded coverage must never exit 0 or pass silently."""
@@ -343,6 +393,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         from repro.core.export import export_tables_json
 
         print(export_tables_json(campaign))
+        _emit_metrics(args.metrics, run_metrics)
         return health_epilogue()
     if args.table is not None:
         if args.table == "ingest-health":
@@ -351,8 +402,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             ).render())
         elif args.table == "run-health":
             print(render_run_health(health).render())
+        elif args.table == "run-metrics":
+            print(run_metrics.render().render())
         else:
             print(campaign.table(args.table).render())
+        _emit_metrics(args.metrics, run_metrics)
         return health_epilogue()
     for table in campaign.tables():
         print(table.render())
@@ -361,6 +415,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         _print_ingest_health(campaign.ingest, campaign.dangling_fuid_refs)
     if health is not None and not health.clean:
         print(render_run_health(health).render())
+    _emit_metrics(args.metrics, run_metrics)
     return health_epilogue()
 
 

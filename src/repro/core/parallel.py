@@ -56,7 +56,7 @@ import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core import protocol
+from repro.core import metrics, protocol, tracing
 from repro.core.dataset import MtlsDataset
 from repro.core.enrich import (
     AssociationRules,
@@ -110,6 +110,17 @@ class _ExecutorConfig:
     names: tuple[str, ...] | None
     #: Process-level fault injection (tests / chaos drills only).
     fault_plan: object | None = None
+    #: JSONL trace sink every worker configures for itself (optional).
+    trace_path: str | None = None
+
+
+@dataclass
+class _ScanOutcome:
+    """Phase-A result: the mergeable scan plus the worker's metrics
+    snapshot for this shard task."""
+
+    scan: InterceptionScan
+    metrics: dict | None = None
 
 
 @dataclass
@@ -119,6 +130,9 @@ class _ShardOutcome:
     ssl_report: IngestReport
     x509_report: IngestReport
     dangling_fuid_refs: int
+    #: Worker-side MetricsRegistry snapshot for the analyze task
+    #: (``state_dict()`` form — JSON/pickle safe).
+    metrics: dict | None = None
 
 
 @dataclass
@@ -134,6 +148,10 @@ class CampaignResult:
     #: Supervision report: attempts, retries, quarantined months,
     #: coverage. ``None`` only on results built by very old callers.
     health: RunHealth | None = None
+    #: Merged campaign metrics: per-shard worker registries + parent
+    #: phase timers + supervisor accounting. Counters and histograms
+    #: are deterministic across job counts; timers/gauges are not.
+    metrics: metrics.MetricsRegistry | None = None
 
     def result(self, name: str):
         """The rich result object of one analysis (legacy shape)."""
@@ -177,31 +195,37 @@ def _make_enricher(config: _ExecutorConfig) -> Enricher:
 def _load_shard(config: _ExecutorConfig, cache: dict, spec: ShardSpec):
     triple = cache.get(spec.month)
     if triple is None:
-        ssl_report = IngestReport()
-        x509_report = IngestReport()
-        ssl = _read_many(
-            [Path(p) for p in spec.ssl_paths], read_ssl_log,
-            config.on_error, ssl_report,
-        )
-        x509 = _read_many(
-            [Path(p) for p in spec.x509_paths], read_x509_log,
-            config.on_error, x509_report,
-        )
-        ssl.sort(key=lambda r: r.ts)
-        x509.sort(key=lambda r: r.ts)
-        triple = (MtlsDataset(ssl, x509), ssl_report, x509_report)
+        with tracing.span("shard.read", month=spec.month):
+            ssl_report = IngestReport()
+            x509_report = IngestReport()
+            ssl = _read_many(
+                [Path(p) for p in spec.ssl_paths], read_ssl_log,
+                config.on_error, ssl_report,
+            )
+            x509 = _read_many(
+                [Path(p) for p in spec.x509_paths], read_x509_log,
+                config.on_error, x509_report,
+            )
+            ssl.sort(key=lambda r: r.ts)
+            x509.sort(key=lambda r: r.ts)
+            triple = (MtlsDataset(ssl, x509), ssl_report, x509_report)
         cache[spec.month] = triple
     return triple
 
 
 def _scan_shard(
     config: _ExecutorConfig, cache: dict, spec: ShardSpec
-) -> InterceptionScan:
-    dataset, _, _ = _load_shard(config, cache, spec)
-    scan = _make_enricher(config).new_scan()
-    for conn in dataset.connections:
-        scan.observe(conn)
-    return scan
+) -> _ScanOutcome:
+    registry = metrics.MetricsRegistry()
+    with metrics.scoped(registry):
+        with tracing.span("shard.scan", month=spec.month):
+            dataset, _, _ = _load_shard(config, cache, spec)
+            scan = _make_enricher(config).new_scan()
+            for conn in dataset.connections:
+                scan.observe(conn)
+            registry.inc("scan.connections_observed", len(dataset.connections))
+            registry.inc("scan.shards", 1)
+    return _ScanOutcome(scan=scan, metrics=registry.state_dict())
 
 
 def _analyze_shard(
@@ -210,21 +234,33 @@ def _analyze_shard(
     spec: ShardSpec,
     report: InterceptionReport,
 ) -> _ShardOutcome:
-    dataset, ssl_report, x509_report = _load_shard(config, cache, spec)
-    enricher = _make_enricher(config)
-    enriched = enricher.enrich_with_report(dataset, report)
-    context = protocol.AnalysisContext(
-        bundle=config.bundle, rules=config.rules, interception=report,
-    )
-    partials = protocol.run_analyses(
-        enriched, config.names, raw=dataset, context=context,
-    )
+    registry = metrics.MetricsRegistry()
+    with metrics.scoped(registry):
+        dataset, ssl_report, x509_report = _load_shard(config, cache, spec)
+        enricher = _make_enricher(config)
+        with tracing.span("shard.enrich", month=spec.month):
+            enriched = enricher.enrich_with_report(dataset, report)
+        context = protocol.AnalysisContext(
+            bundle=config.bundle, rules=config.rules, interception=report,
+        )
+        with tracing.span("shard.analyze", month=spec.month):
+            partials = protocol.run_analyses(
+                enriched, config.names, raw=dataset, context=context,
+            )
+        registry.inc("analyze.shards", 1)
+        registry.inc("analyze.connections_enriched", len(enriched.connections))
+        registry.inc("analyze.connections_raw", len(dataset.connections))
+        registry.observe(
+            "shard.connections", len(enriched.connections),
+            edges=metrics.COUNT_EDGES,
+        )
     return _ShardOutcome(
         month=spec.month,
         partials=partials,
         ssl_report=ssl_report,
         x509_report=x509_report,
         dangling_fuid_refs=dataset.dangling_fuid_refs,
+        metrics=registry.state_dict(),
     )
 
 
@@ -237,6 +273,7 @@ def _supervised_worker(config: _ExecutorConfig, conn) -> None:
     any failure.
     """
     protocol.load_default_analyses()
+    tracing.configure(config.trace_path)
     cache: dict = {}
     while True:
         try:
@@ -271,7 +308,10 @@ def _supervised_worker(config: _ExecutorConfig, conn) -> None:
 # ---------------------------------------------------------------------------
 
 #: Manifest schema tag; bump on incompatible layout changes.
-MANIFEST_FORMAT = "campaign-manifest/v1"
+#: v2: scan spills hold a ``_ScanOutcome`` (scan + metrics snapshot)
+#: and shard outcomes embed their worker metrics, so a resumed
+#: campaign's merged metrics equal an uninterrupted run's.
+MANIFEST_FORMAT = "campaign-manifest/v2"
 
 
 class CampaignManifest:
@@ -280,7 +320,7 @@ class CampaignManifest:
     Layout under the run directory::
 
         manifest.json        index: config/report fingerprints, spills
-        scan.<month>.pkl     phase-A InterceptionScan, one per month
+        scan.<month>.pkl     phase-A _ScanOutcome, one per month
         outcome.<month>.pkl  phase-B merged partials, one per month
 
     Every spill is written atomically (temp file + rename) and the
@@ -352,20 +392,20 @@ class CampaignManifest:
 
     # Phase A -------------------------------------------------------------------
 
-    def spill_scan(self, month: str, scan: InterceptionScan) -> None:
+    def spill_scan(self, month: str, scan: _ScanOutcome) -> None:
         filename = f"scan.{month}.pkl"
         self._spill(filename, scan)
         self._scans[month] = filename
         self._write_index()
 
-    def load_scans(self, months: list[str]) -> dict[str, InterceptionScan]:
-        loaded: dict[str, InterceptionScan] = {}
+    def load_scans(self, months: list[str]) -> dict[str, _ScanOutcome]:
+        loaded: dict[str, _ScanOutcome] = {}
         for month in months:
             filename = self._scans.get(month)
             if filename is None:
                 continue
             scan = self._load(filename)
-            if scan is not None:
+            if isinstance(scan, _ScanOutcome):
                 loaded[month] = scan
         return loaded
 
@@ -447,7 +487,12 @@ class ShardExecutor:
         retry: RetryPolicy | None = None,
         degrade: DegradePolicy | str = DegradePolicy.STRICT,
         fault_plan=None,
+        trace_path: str | Path | None = None,
     ) -> None:
+        if trace_path is None:
+            # Inherit the process's configured sink so `tracing.configure`
+            # in the driver propagates into worker processes.
+            trace_path = tracing.sink_path()
         self.config = _ExecutorConfig(
             bundle=bundle,
             ct_log=ct_log,
@@ -457,6 +502,7 @@ class ShardExecutor:
             on_error=ErrorPolicy.coerce(on_error),
             names=tuple(names) if names is not None else None,
             fault_plan=fault_plan,
+            trace_path=str(trace_path) if trace_path is not None else None,
         )
         self.jobs = jobs
         self.retry = retry or RetryPolicy()
@@ -503,42 +549,54 @@ class ShardExecutor:
             inline_handlers=self._inline_handlers(),
             on_result=on_result,
         )
+        run_metrics = metrics.MetricsRegistry()
         try:
-            resumed_scans = (
-                manifest.load_scans(months) if manifest is not None else {}
-            )
-            for month in resumed_scans:
-                supervisor.note_resumed(month, "scan")
-            scans = supervisor.run_phase(
-                "scan",
-                [(s.month, s) for s in specs if s.month not in resumed_scans],
-            )
-            scans.update(resumed_scans)
-            surviving = [s for s in specs if s.month in scans]
-            if not surviving:
-                raise RuntimeError(
-                    "every shard was quarantined during the scan phase; "
-                    "nothing to analyze "
-                    f"({supervisor.health.summary()})"
+            with metrics.scoped(run_metrics):
+                resumed_scans = (
+                    manifest.load_scans(months) if manifest is not None else {}
                 )
-            report = self._merge_scans([scans[s.month] for s in surviving])
-            fingerprint = _report_fingerprint(report)
-            resumed_outcomes: dict[str, _ShardOutcome] = {}
-            if manifest is not None:
-                resumed_outcomes = manifest.load_outcomes(months, fingerprint)
-                manifest.set_report_fingerprint(fingerprint)
-            for month in resumed_outcomes:
-                supervisor.note_resumed(month, "analyze")
-            spill_phase_b = True
-            outcomes = supervisor.run_phase(
-                "analyze",
-                [
-                    (s.month, (s, report))
-                    for s in surviving
-                    if s.month not in resumed_outcomes
-                ],
-            )
-            outcomes.update(resumed_outcomes)
+                for month in resumed_scans:
+                    supervisor.note_resumed(month, "scan")
+                with tracing.span("campaign.scan"):
+                    scans = supervisor.run_phase(
+                        "scan",
+                        [
+                            (s.month, s)
+                            for s in specs
+                            if s.month not in resumed_scans
+                        ],
+                    )
+                scans.update(resumed_scans)
+                surviving = [s for s in specs if s.month in scans]
+                if not surviving:
+                    raise RuntimeError(
+                        "every shard was quarantined during the scan phase; "
+                        "nothing to analyze "
+                        f"({supervisor.health.summary()})"
+                    )
+                report = self._merge_scans(
+                    [scans[s.month].scan for s in surviving]
+                )
+                fingerprint = _report_fingerprint(report)
+                resumed_outcomes: dict[str, _ShardOutcome] = {}
+                if manifest is not None:
+                    resumed_outcomes = manifest.load_outcomes(
+                        months, fingerprint
+                    )
+                    manifest.set_report_fingerprint(fingerprint)
+                for month in resumed_outcomes:
+                    supervisor.note_resumed(month, "analyze")
+                spill_phase_b = True
+                with tracing.span("campaign.analyze"):
+                    outcomes = supervisor.run_phase(
+                        "analyze",
+                        [
+                            (s.month, (s, report))
+                            for s in surviving
+                            if s.month not in resumed_outcomes
+                        ],
+                    )
+                outcomes.update(resumed_outcomes)
         finally:
             supervisor.close()
         completed = [s for s in surviving if s.month in outcomes]
@@ -547,13 +605,18 @@ class ShardExecutor:
                 "every surviving shard was quarantined during the analyze "
                 f"phase ({supervisor.health.summary()})"
             )
-        return self._merge_outcomes(
-            completed,
-            report,
-            [outcomes[s.month] for s in completed],
-            jobs,
-            supervisor.health,
-        )
+        for spec in surviving:
+            run_metrics.merge_state(scans[spec.month].metrics)
+        run_metrics.observe_run_health(supervisor.health)
+        with metrics.scoped(run_metrics), tracing.span("campaign.merge"):
+            return self._merge_outcomes(
+                completed,
+                report,
+                [outcomes[s.month] for s in completed],
+                jobs,
+                supervisor.health,
+                run_metrics,
+            )
 
     # Supervision plumbing ------------------------------------------------------
 
@@ -637,6 +700,7 @@ class ShardExecutor:
         outcomes: list[_ShardOutcome],
         jobs: int,
         health: RunHealth | None = None,
+        run_metrics: "metrics.MetricsRegistry | None" = None,
     ) -> CampaignResult:
         # Chronological merge: outcomes arrive in spec (month) order.
         partials = outcomes[0].partials
@@ -648,6 +712,17 @@ class ShardExecutor:
         # x509 is broadcast to every shard; count its ingestion once.
         ingest.merge(outcomes[0].x509_report)
         dangling = sum(o.dangling_fuid_refs for o in outcomes)
+        if run_metrics is not None:
+            for outcome in outcomes:
+                run_metrics.merge_state(outcome.metrics)
+            # Ingest counters derive from the per-shard reports (not from
+            # live reader hooks) so they are identical at any job count —
+            # a shard may be *parsed* twice when phase B lands on a
+            # different worker, but its report is captured exactly once.
+            for outcome in outcomes:
+                run_metrics.observe_ingest(outcome.ssl_report, "ssl")
+            run_metrics.observe_ingest(outcomes[0].x509_report, "x509")
+            run_metrics.inc("campaign.dangling_fuid_refs", dangling)
         return CampaignResult(
             months=tuple(spec.month for spec in specs),
             partials=partials,
@@ -656,6 +731,7 @@ class ShardExecutor:
             dangling_fuid_refs=dangling,
             jobs=jobs,
             health=health,
+            metrics=run_metrics,
         )
 
 
@@ -674,6 +750,7 @@ def analyze_directory(
     degrade: DegradePolicy | str = DegradePolicy.STRICT,
     fault_plan=None,
     resume_dir: Path | str | None = None,
+    trace_path: str | Path | None = None,
 ) -> CampaignResult:
     """One-call sharded analysis of a rotated Zeek archive."""
     executor = ShardExecutor(
@@ -688,5 +765,6 @@ def analyze_directory(
         retry=retry,
         degrade=degrade,
         fault_plan=fault_plan,
+        trace_path=trace_path,
     )
     return executor.run_directory(directory, resume_dir=resume_dir)

@@ -125,3 +125,10 @@ def render_run_health(health) -> Table:
     elif health.clean:
         table.add_note("clean run: every shard completed on its first attempt")
     return table
+
+
+def render_run_metrics(registry) -> Table:
+    """Run-metrics section: counters/gauges/histograms/timers from a
+    :class:`repro.core.metrics.MetricsRegistry` (duck-typed — only its
+    ``render()`` is used, keeping this module dependency-free)."""
+    return registry.render()

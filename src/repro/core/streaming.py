@@ -27,6 +27,7 @@ import json
 from pathlib import Path
 from typing import Iterable
 
+from repro.core import metrics, tracing
 from repro.core.prevalence import (
     CertStatsRow,
     CertUsageState,
@@ -64,6 +65,9 @@ class StreamingAnalyzer:
             raise ValueError("max_fuid_map must be positive (or None)")
         self.bundle = bundle
         self.max_fuid_map = max_fuid_map
+        #: Streaming counters/timers; checkpointed with the snapshot so
+        #: a resumed run's metrics match an uninterrupted run's.
+        self.metrics = metrics.MetricsRegistry()
         self._fuid_to_fp: dict[str, str] = {}
         self._usage = CertUsageState()
         self._monthly = MonthlyShareState()
@@ -77,7 +81,9 @@ class StreamingAnalyzer:
     # Feeding -------------------------------------------------------------------
 
     def add_x509(self, records: Iterable[X509Record]) -> None:
+        fed = 0
         for record in records:
+            fed += 1
             if record.fuid in self._fuid_to_fp:
                 # Refresh recency so re-announced fuids survive eviction.
                 del self._fuid_to_fp[record.fuid]
@@ -92,9 +98,12 @@ class StreamingAnalyzer:
                 oldest = next(iter(self._fuid_to_fp))
                 del self._fuid_to_fp[oldest]
                 self.fuid_evictions += 1
+        self.metrics.inc("streaming.x509_records", fed)
 
     def add_ssl(self, records: Iterable[SslRecord]) -> None:
+        fed = 0
         for record in records:
+            fed += 1
             if not record.established:
                 self.dropped_unestablished += 1
                 continue
@@ -104,6 +113,7 @@ class StreamingAnalyzer:
             self._tls13.observe(record)
             self._observe_leaf(record.server_leaf_fuid, "server", mutual)
             self._observe_leaf(record.client_leaf_fuid, "client", mutual)
+        self.metrics.inc("streaming.ssl_records", fed)
 
     def add_month(
         self, ssl: Iterable[SslRecord], x509: Iterable[X509Record]
@@ -147,6 +157,7 @@ class StreamingAnalyzer:
             "dropped_unestablished": self.dropped_unestablished,
             "dropped_dangling_fuid": self.dropped_dangling_fuid,
             "fuid_evictions": self.fuid_evictions,
+            "metrics": self.metrics.state_dict(),
         }
 
     @classmethod
@@ -186,15 +197,19 @@ class StreamingAnalyzer:
         analyzer.dropped_unestablished = snapshot["dropped_unestablished"]
         analyzer.dropped_dangling_fuid = snapshot.get("dropped_dangling_fuid", 0)
         analyzer.fuid_evictions = snapshot.get("fuid_evictions", 0)
+        # Older snapshots carry no metrics; merge_state tolerates None.
+        analyzer.metrics.merge_state(snapshot.get("metrics"))
         return analyzer
 
     def write_checkpoint(self, path: Path | str) -> Path:
         """Persist the snapshot as JSON; atomic against a reader (the
         temp file is renamed into place only once fully written)."""
         path = Path(path)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(json.dumps(self.to_snapshot()), encoding="utf-8")
-        tmp.replace(path)
+        self.metrics.inc("streaming.checkpoint_writes")
+        with metrics.scoped(self.metrics), tracing.span("streaming.checkpoint"):
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            tmp.write_text(json.dumps(self.to_snapshot()), encoding="utf-8")
+            tmp.replace(path)
         return path
 
     @classmethod

@@ -21,7 +21,7 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core import protocol
+from repro.core import metrics, protocol, tracing
 from repro.core.dataset import MtlsDataset
 from repro.core.enrich import EnrichedDataset, Enricher
 from repro.core.report import Table, render_ingest_health
@@ -96,6 +96,10 @@ class CampusStudy:
                 "it is not supported with the sharded path (jobs > 0)"
             )
         self.jobs = jobs
+        #: Run metrics for this study: phase timers plus ingest/analysis
+        #: counters; for sharded runs the campaign's merged worker
+        #: metrics are folded in.
+        self.metrics = metrics.MetricsRegistry()
         self._simulation: SimulationResult | None = None
         self._result: StudyResult | None = None
         self._partials: dict[str, protocol.AnalysisPartial] | None = None
@@ -103,7 +107,8 @@ class CampusStudy:
 
     def _simulate(self) -> SimulationResult:
         if self._simulation is None:
-            self._simulation = TrafficGenerator(self.config).generate()
+            with metrics.scoped(self.metrics), tracing.span("study.simulate"):
+                self._simulation = TrafficGenerator(self.config).generate()
         return self._simulation
 
     def run(self) -> StudyResult:
@@ -114,15 +119,24 @@ class CampusStudy:
         logs = simulation.logs
         ingest_report = None
         corruption = None
-        if self.fault_plan is not None or self.on_error.lenient:
-            logs, ingest_report, corruption = self._reingest(logs)
-        dataset = MtlsDataset.from_logs(logs, ingest_report=ingest_report)
-        enricher = Enricher(
-            bundle=simulation.trust_bundle,
-            ct_log=simulation.ct_log,
-            filter_interception=self.filter_interception,
-        )
-        enriched = enricher.enrich(dataset)
+        with metrics.scoped(self.metrics):
+            if self.fault_plan is not None or self.on_error.lenient:
+                logs, ingest_report, corruption = self._reingest(logs)
+            dataset = MtlsDataset.from_logs(logs, ingest_report=ingest_report)
+            enricher = Enricher(
+                bundle=simulation.trust_bundle,
+                ct_log=simulation.ct_log,
+                filter_interception=self.filter_interception,
+            )
+            with tracing.span("study.enrich"):
+                enriched = enricher.enrich(dataset)
+            registry = metrics.get_registry()
+            registry.inc(
+                "analyze.connections_raw", len(dataset.connections)
+            )
+            registry.inc(
+                "analyze.connections_enriched", len(enriched.connections)
+            )
         self._result = StudyResult(
             simulation=simulation, dataset=dataset, enriched=enriched,
             ingest_report=ingest_report, corruption=corruption,
@@ -140,15 +154,25 @@ class CampusStudy:
             ssl_text, x509_text, corruption = LogCorruptor(
                 self.fault_plan
             ).corrupt_logs(ssl_text, x509_text)
+        # Per-log-type reports so ingest metrics can be attributed to
+        # ssl vs x509; the merged report keeps StudyResult's contract.
+        ssl_report = IngestReport()
+        x509_report = IngestReport()
+        with tracing.span("study.reingest"):
+            ssl = read_ssl_log(
+                io.StringIO(ssl_text), on_error=self.on_error,
+                report=ssl_report, path="ssl.log",
+            )
+            x509 = read_x509_log(
+                io.StringIO(x509_text), on_error=self.on_error,
+                report=x509_report, path="x509.log",
+            )
+        registry = metrics.get_registry()
+        registry.observe_ingest(ssl_report, "ssl")
+        registry.observe_ingest(x509_report, "x509")
         report = IngestReport()
-        ssl = read_ssl_log(
-            io.StringIO(ssl_text), on_error=self.on_error,
-            report=report, path="ssl.log",
-        )
-        x509 = read_x509_log(
-            io.StringIO(x509_text), on_error=self.on_error,
-            report=report, path="x509.log",
-        )
+        report.merge(ssl_report)
+        report.merge(x509_report)
         return ZeekLogs(ssl=ssl, x509=x509), report, corruption
 
     @property
@@ -165,9 +189,10 @@ class CampusStudy:
             self._partials = self._run_sharded()
         else:
             result = self.run()
-            self._partials = protocol.run_analyses(
-                result.enriched, raw=result.dataset
-            )
+            with metrics.scoped(self.metrics), tracing.span("study.analyze"):
+                self._partials = protocol.run_analyses(
+                    result.enriched, raw=result.dataset
+                )
         return self._partials
 
     def _run_sharded(self) -> dict[str, protocol.AnalysisPartial]:
@@ -183,8 +208,11 @@ class CampusStudy:
             jobs=self.jobs,
         )
         with tempfile.TemporaryDirectory(prefix="campus-shards-") as tmp:
-            write_rotated_logs(simulation.logs, Path(tmp))
+            with metrics.scoped(self.metrics), tracing.span("study.write_shards"):
+                write_rotated_logs(simulation.logs, Path(tmp))
             self._campaign = executor.run_directory(tmp)
+        if self._campaign.metrics is not None:
+            self.metrics.merge(self._campaign.metrics)
         return self._campaign.partials
 
     def table(self, name: str) -> Table:
@@ -310,6 +338,13 @@ class CampusStudy:
             result.ingest_report,
             dangling_fuid_refs=result.dataset.dangling_fuid_refs,
         )
+
+    def run_metrics(self) -> Table:
+        """Run-metrics section: counters, gauges, histograms, and phase
+        timers accumulated by this study (sharded runs include the
+        merged worker metrics)."""
+        self.partials()
+        return self.metrics.render()
 
     def all_tables(self) -> list[Table]:
         """Every table/figure in paper order (used by the full example)."""

@@ -42,6 +42,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.core import metrics as _metrics
+
 
 class DegradePolicy(str, enum.Enum):
     """What the campaign does when a shard exhausts its retry budget."""
@@ -288,6 +290,7 @@ class ShardSupervisor:
             degrade=self.degrade, jobs=self.jobs
         )
         self._slots: list[_Slot] = []
+        self._workers_spawned = 0
 
     # Public API ----------------------------------------------------------------
 
@@ -338,7 +341,9 @@ class ShardSupervisor:
         reason: str,
         pending: deque,
         now: float,
+        category: str = "task-error",
     ) -> None:
+        _metrics.get_registry().inc(f"supervisor.failures.{category}")
         shard = self.health.shard(task.key)
         shard.failures.append(f"{kind}: {reason}")
         if task.attempt >= self.retry.max_attempts:
@@ -395,7 +400,7 @@ class ShardSupervisor:
                     kind, task,
                     f"timeout: attempt took {elapsed:.3f}s "
                     f"(budget {self.retry.timeout:.3f}s)",
-                    pending, time.monotonic(),
+                    pending, time.monotonic(), category="timeout",
                 )
                 continue
             self._record_success(kind, task.key, result, results)
@@ -410,6 +415,13 @@ class ShardSupervisor:
         process = self._worker_factory(child_conn)
         process.start()
         child_conn.close()
+        # A gauge, not a counter: worker spawns depend on the schedule
+        # (jobs=N spawns N) and must stay outside the jobs-equivalence
+        # contract on counters.
+        self._workers_spawned += 1
+        _metrics.get_registry().set_gauge(
+            "supervisor.workers_spawned", float(self._workers_spawned)
+        )
         return _Slot(process=process, conn=parent_conn)
 
     def _destroy_slot(self, slot: _Slot) -> None:
@@ -519,7 +531,7 @@ class ShardSupervisor:
                     self._record_failure(
                         kind, task,
                         f"worker crashed (exit code {code})",
-                        pending, time.monotonic(),
+                        pending, time.monotonic(), category="worker-crash",
                     )
                     continue
                 _key, status, body = message
@@ -547,6 +559,6 @@ class ShardSupervisor:
                 self._record_failure(
                     kind, task,
                     f"timeout: no result within {self.retry.timeout:.3f}s",
-                    pending, time.monotonic(),
+                    pending, time.monotonic(), category="timeout",
                 )
         return results

@@ -1,0 +1,112 @@
+"""Structured phase tracing: spans that feed timers and (optionally) a
+JSONL event stream.
+
+:func:`span` is the one instrumentation primitive the pipeline uses for
+time: a context manager that (a) always folds its wall-clock duration
+into the ambient :class:`~repro.core.metrics.MetricsRegistry` timer of
+the same name, and (b) — when a sink is configured — appends one JSON
+object per completed span to the trace file, so a campaign's phase
+structure can be reconstructed offline::
+
+    with tracing.span("shard.analyze", month="2023-04"):
+        ...
+
+Event schema (one object per line, ``trace-event/v1``)::
+
+    {"event": "span", "name": "shard.analyze", "pid": 1234,
+     "ts": 1722950000.123,          # epoch seconds at span start
+     "duration_s": 0.532, "status": "ok" | "error",
+     "meta": {"month": "2023-04"}}
+
+The sink is process-local; worker processes configure their own from
+the executor config and append to the same file. Each event is a single
+short ``write()`` on a file opened with ``O_APPEND``, so concurrent
+writers interleave at line granularity. Tracing is off by default and
+costs one ``perf_counter`` pair per span when disabled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from typing import Any, Iterator
+
+from repro.core import metrics
+
+#: Schema tag carried by every emitted event.
+TRACE_FORMAT = "trace-event/v1"
+
+_SINK_PATH: str | None = None
+
+
+def configure(path: str | os.PathLike | None) -> None:
+    """Set (or clear, with None) the process's JSONL trace sink."""
+    global _SINK_PATH
+    _SINK_PATH = str(path) if path is not None else None
+
+
+def sink_path() -> str | None:
+    return _SINK_PATH
+
+
+def enabled() -> bool:
+    return _SINK_PATH is not None
+
+
+def _emit(event: dict[str, Any]) -> None:
+    if _SINK_PATH is None:
+        return
+    line = json.dumps(event, sort_keys=True)
+    try:
+        with open(_SINK_PATH, "a", encoding="utf-8") as sink:
+            sink.write(line + "\n")
+    except OSError:
+        # Tracing is best-effort; a full disk must not fail the pipeline.
+        pass
+
+
+@contextlib.contextmanager
+def span(name: str, **meta: Any) -> Iterator[None]:
+    """Time a phase: always updates the ambient metrics timer ``name``;
+    emits a JSONL trace event when a sink is configured."""
+    wall_start = time.time()
+    started = time.perf_counter()
+    status = "ok"
+    try:
+        yield
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        duration = time.perf_counter() - started
+        metrics.get_registry().add_time(name, duration)
+        if _SINK_PATH is not None:
+            _emit(
+                {
+                    "format": TRACE_FORMAT,
+                    "event": "span",
+                    "name": name,
+                    "pid": os.getpid(),
+                    "ts": wall_start,
+                    "duration_s": duration,
+                    "status": status,
+                    "meta": meta,
+                }
+            )
+
+
+def read_trace(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Load a JSONL trace file; tolerates a torn final line."""
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as source:
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events

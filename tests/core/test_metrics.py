@@ -1,0 +1,290 @@
+"""MetricsRegistry contract: picklable state, exact round trips, and —
+the load-bearing property — merge associativity / shard-order
+insensitivity, pinned the same way ``test_protocol.py`` pins the
+analysis partials. Values are drawn from dyadic rationals (k/8) so
+float addition is exact and the equality assertions are legitimate.
+"""
+
+import json
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import metrics, tracing
+from repro.core.metrics import (
+    COUNT_EDGES,
+    DEFAULT_EDGES,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+NAMES = ("alpha", "beta", "gamma", "delta")
+
+#: Exact-in-binary floats, so sums are associative and == is honest.
+dyadic = st.integers(min_value=-800, max_value=800).map(lambda k: k / 8)
+positive_dyadic = st.integers(min_value=0, max_value=800).map(lambda k: k / 8)
+
+
+def _edges_for(name: str) -> tuple[float, ...]:
+    """Deterministic edges per metric name so merges never mismatch."""
+    return DEFAULT_EDGES if name < "c" else COUNT_EDGES
+
+
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc"), st.sampled_from(NAMES),
+                  st.integers(min_value=0, max_value=1000)),
+        st.tuples(st.just("gauge"), st.sampled_from(NAMES), dyadic),
+        st.tuples(st.just("observe"), st.sampled_from(NAMES), positive_dyadic),
+        st.tuples(st.just("time"), st.sampled_from(NAMES), positive_dyadic),
+    ),
+    max_size=60,
+)
+
+
+def _apply(registry: MetricsRegistry, batch) -> None:
+    for kind, name, value in batch:
+        if kind == "inc":
+            registry.inc(name, value)
+        elif kind == "gauge":
+            registry.set_gauge(name, value)
+        elif kind == "observe":
+            registry.observe(name, value, _edges_for(name))
+        else:
+            registry.add_time(name, value)
+
+
+def _build(batch) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    _apply(registry, batch)
+    return registry
+
+
+class TestPrimitives:
+    def test_histogram_bucket_assignment(self):
+        hist = Histogram(edges=(1.0, 10.0))
+        for value in (0.0, 1.0):
+            hist.observe(value)          # <= 1.0
+        for value in (1.5, 10.0):
+            hist.observe(value)          # <= 10.0
+        hist.observe(11.0)               # overflow
+        assert hist.counts == [2, 2, 1]
+        assert hist.count == 5
+        assert hist.total == pytest.approx(23.5)
+
+    def test_histogram_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(edges=(10.0, 1.0))
+
+    def test_histogram_merge_rejects_different_edges(self):
+        with pytest.raises(ValueError, match="different bucket edges"):
+            Histogram(edges=(1.0,)).merge(Histogram(edges=(2.0,)))
+
+    def test_timer_tracks_total_count_max(self):
+        timer = Timer()
+        for seconds in (0.5, 2.0, 1.0):
+            timer.add(seconds)
+        assert (timer.total, timer.count, timer.max) == (3.5, 3, 2.0)
+        other = Timer()
+        other.add(5.0)
+        timer.merge(other)
+        assert (timer.total, timer.count, timer.max) == (8.5, 4, 5.0)
+
+    def test_gauge_merge_keeps_max(self):
+        a = _build([("gauge", "alpha", 3.0)])
+        b = _build([("gauge", "alpha", 7.0), ("gauge", "beta", 1.0)])
+        a.merge(b)
+        assert a.gauges == {"alpha": 7.0, "beta": 1.0}
+
+
+class TestStateRoundTrip:
+    def test_state_dict_round_trips(self):
+        registry = _build(
+            [("inc", "alpha", 3), ("gauge", "beta", 2.5),
+             ("observe", "gamma", 12.0), ("time", "delta", 0.25)]
+        )
+        clone = MetricsRegistry.from_state(registry.state_dict())
+        assert clone.state_dict() == registry.state_dict()
+
+    def test_state_dict_is_json_serializable(self):
+        registry = _build([("inc", "alpha", 1), ("observe", "beta", 2.0)])
+        parsed = json.loads(json.dumps(registry.state_dict()))
+        assert MetricsRegistry.from_state(parsed).state_dict() == \
+            registry.state_dict()
+
+    def test_registry_is_picklable(self):
+        registry = _build([("inc", "alpha", 2), ("time", "beta", 1.5)])
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.state_dict() == registry.state_dict()
+
+    def test_from_state_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="unsupported metrics"):
+            MetricsRegistry.from_state({"format": "bogus/v9"})
+
+    def test_merge_state_none_is_noop(self):
+        registry = _build([("inc", "alpha", 1)])
+        before = registry.state_dict()
+        registry.merge_state(None)
+        assert registry.state_dict() == before
+
+    def test_empty_property(self):
+        assert MetricsRegistry().empty
+        assert not _build([("inc", "alpha", 1)]).empty
+
+
+class TestMergeEquivalence:
+    """Sequential == any shard split == any (shuffled) merge order."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=events, b=events, c=events)
+    def test_merge_is_associative(self, a, b, c):
+        left = _build(a).merge(_build(b))
+        left.merge(_build(c))
+        right = _build(b).merge(_build(c))
+        result = _build(a).merge(right)
+        assert left.state_dict() == result.state_dict()
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_shard_order_insensitivity(self, data):
+        stream = data.draw(events)
+        sequential = _build(stream)
+        n_chunks = data.draw(st.integers(min_value=1, max_value=5))
+        bounds = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=len(stream)),
+                    min_size=n_chunks - 1, max_size=n_chunks - 1,
+                )
+            )
+        )
+        bounds = [0, *bounds, len(stream)]
+        shards = [
+            _build(stream[bounds[i]:bounds[i + 1]])
+            for i in range(len(bounds) - 1)
+        ]
+        order = list(range(len(shards)))
+        random.Random(data.draw(st.integers(0, 2**16))).shuffle(order)
+        merged = MetricsRegistry()
+        for index in order:
+            merged.merge(shards[index])
+        # Gauges are last-write-wins per shard but max across shards;
+        # a shuffled merge can only disagree with the sequential run on
+        # gauges, so they are compared with max semantics applied.
+        want = sequential.state_dict()
+        got = merged.state_dict()
+        assert got["counters"] == want["counters"]
+        assert got["histograms"] == want["histograms"]
+        assert got["timers"] == want["timers"]
+        for name, value in got["gauges"].items():
+            assert value >= want["gauges"][name] or value == max(
+                v for kind, n, v in stream if kind == "gauge" and n == name
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(batch=events)
+    def test_merge_empty_is_identity(self, batch):
+        registry = _build(batch)
+        before = registry.state_dict()
+        registry.merge(MetricsRegistry())
+        assert registry.state_dict() == before
+        fresh = MetricsRegistry().merge(registry)
+        assert fresh.state_dict() == before
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=events, b=events)
+    def test_merge_state_equals_merge(self, a, b):
+        via_object = _build(a).merge(_build(b))
+        via_state = _build(a).merge_state(_build(b).state_dict())
+        assert via_object.state_dict() == via_state.state_dict()
+
+
+class TestAmbientRegistry:
+    def test_scoped_swaps_and_restores(self):
+        outer = metrics.get_registry()
+        inner = MetricsRegistry()
+        with metrics.scoped(inner) as active:
+            assert active is inner
+            assert metrics.get_registry() is inner
+            metrics.get_registry().inc("scoped.hits")
+        assert metrics.get_registry() is outer
+        assert inner.counters == {"scoped.hits": 1}
+
+    def test_scoped_restores_on_exception(self):
+        outer = metrics.get_registry()
+        with pytest.raises(RuntimeError):
+            with metrics.scoped(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert metrics.get_registry() is outer
+
+
+class TestSpan:
+    def test_span_feeds_ambient_timer(self):
+        registry = MetricsRegistry()
+        with metrics.scoped(registry):
+            with tracing.span("phase.x"):
+                pass
+        assert registry.timers["phase.x"].count == 1
+        assert registry.timers["phase.x"].total >= 0.0
+
+    def test_span_emits_event_when_sink_configured(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        tracing.configure(sink)
+        try:
+            with metrics.scoped(MetricsRegistry()):
+                with tracing.span("phase.traced", month="2023-01"):
+                    pass
+                with pytest.raises(ValueError):
+                    with tracing.span("phase.failed"):
+                        raise ValueError("boom")
+        finally:
+            tracing.configure(None)
+        assert not tracing.enabled()
+        spans = {e["name"]: e for e in tracing.read_trace(sink)}
+        assert spans["phase.traced"]["status"] == "ok"
+        assert spans["phase.traced"]["meta"] == {"month": "2023-01"}
+        assert spans["phase.traced"]["format"] == tracing.TRACE_FORMAT
+        assert spans["phase.failed"]["status"] == "error"
+
+    def test_span_without_sink_emits_nothing(self, tmp_path):
+        assert not tracing.enabled()
+        with metrics.scoped(MetricsRegistry()):
+            with tracing.span("phase.untraced"):
+                pass
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDomainHelpers:
+    def test_observe_ingest_maps_report_fields(self):
+        from repro.zeek import IngestReport
+
+        report = IngestReport()
+        report.record_row()
+        report.record_row()
+        report.record_drop(
+            path="ssl.log", line_number=3, category="field-count",
+            reason="bad", raw="raw\tline",
+        )
+        registry = MetricsRegistry()
+        registry.observe_ingest(report, "ssl")
+        assert registry.counters["ingest.ssl.rows_ok"] == 2
+        assert registry.counters["ingest.ssl.rows_dropped"] == 1
+        assert registry.counters["ingest.ssl.rows_quarantined"] == 1
+        assert registry.counters["ingest.ssl.dropped.field-count"] == 1
+
+    def test_render_lists_every_metric(self):
+        registry = _build(
+            [("inc", "alpha", 5), ("gauge", "beta", 1.5),
+             ("observe", "gamma", 3.0), ("time", "delta", 0.5)]
+        )
+        rendered = registry.render().render()
+        assert "Run metrics" in rendered
+        for name in ("alpha", "beta", "gamma", "delta"):
+            assert name in rendered
+
+    def test_render_empty_registry_notes_it(self):
+        assert "no metrics recorded" in MetricsRegistry().render().render()

@@ -32,6 +32,11 @@ from repro.zeek.files import discover_shards, write_rotated_logs
 
 pytestmark = pytest.mark.usefixtures("supervision_watchdog")
 
+#: Process-spawning fault-injection classes below carry these marks;
+#: the default tier-1 run (`-m "not slow"`) skips them, the CI
+#: full-matrix job runs everything.
+CHAOS = [pytest.mark.slow, pytest.mark.chaos]
+
 _SCENARIO = ScenarioConfig(months=4, connections_per_month=150, seed=29)
 
 #: No backoff sleeping in tests; quarantine after the second attempt.
@@ -131,6 +136,8 @@ class TestWorkerFaultPlan:
 
 
 class TestTransientFailures:
+    pytestmark = CHAOS
+
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_retried_to_success(self, archive, simulation, months, clean_tables, jobs):
         plan = WorkerFaultPlan(transient_failures=((months[1], 1),))
@@ -160,6 +167,8 @@ class TestTransientFailures:
 
 
 class TestCrashFaults:
+    pytestmark = CHAOS
+
     @pytest.mark.parametrize("jobs", [1, 2])
     def test_partial_completes_from_survivors(
         self, archive, simulation, months, jobs
@@ -210,6 +219,8 @@ class TestCrashFaults:
 
 
 class TestHangFaults:
+    pytestmark = CHAOS
+
     def test_hung_worker_killed_on_timeout(self, archive, simulation, months):
         plan = WorkerFaultPlan(hang_months=(months[0],), hang_seconds=30.0)
         campaign = _run(
@@ -230,6 +241,8 @@ class TestHangFaults:
 
 
 class TestResume:
+    pytestmark = CHAOS
+
     def test_resume_after_strict_abort_is_byte_identical(
         self, archive, simulation, months, clean_tables, tmp_path
     ):
@@ -283,6 +296,38 @@ class TestResume:
         assert campaign.health.coverage == 1.0
         assert [t.render() for t in campaign.tables()] == clean_tables
 
+    def test_metrics_survive_resume(
+        self, archive, simulation, months, tmp_path
+    ):
+        """Metrics ride the manifest spills: a crashed-then-resumed
+        campaign merges to exactly the pipeline counters of an
+        uninterrupted run (supervisor bookkeeping excluded — the resumed
+        run legitimately records the extra attempts and resumes)."""
+        def pipeline_counters(campaign):
+            return {
+                name: value
+                for name, value in
+                campaign.metrics.state_dict()["counters"].items()
+                if not name.startswith("supervisor.")
+            }
+
+        uninterrupted = _run(archive, simulation, jobs=2)
+        run_dir = tmp_path / "run"
+        plan = WorkerFaultPlan(crash_months=(months[3],))
+        with pytest.raises(CampaignDegradedError):
+            _run(
+                archive, simulation, jobs=2, fault_plan=plan,
+                resume_dir=run_dir,
+            )
+        resumed = _run(archive, simulation, jobs=2, resume_dir=run_dir)
+        assert any(  # spilled scans were actually reused
+            shard.resumed_phases for shard in resumed.health.shards.values()
+        )
+        counters = pipeline_counters(resumed)
+        assert counters == pipeline_counters(uninterrupted)
+        assert counters["ingest.ssl.rows_ok"] == len(simulation.logs.ssl)
+        assert counters["ingest.x509.rows_ok"] == len(simulation.logs.x509)
+
     def test_manifest_rejects_different_campaign(
         self, archive, simulation, tmp_path
     ):
@@ -308,6 +353,8 @@ class TestResume:
 
 
 class TestRunHealthReport:
+    pytestmark = CHAOS
+
     def test_clean_health(self, clean_campaign):
         health = clean_campaign.health
         assert health.clean

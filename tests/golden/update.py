@@ -1,0 +1,38 @@
+"""Re-pin the golden corpus: ``python -m tests.golden.update``.
+
+Regenerates ``expected.json`` and ``corpus.json`` from the current
+pipeline. Run this only when an analysis change is *intended*; the diff
+of the regenerated files is the reviewable record of what moved.
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.golden import (
+    CORPUS_PATH,
+    EXPECTED_PATH,
+    build_study,
+    corpus_fingerprint,
+    expected_document,
+)
+
+
+def main() -> int:
+    study = build_study()
+    corpus = corpus_fingerprint(study)
+    expected = expected_document(study)
+    CORPUS_PATH.write_text(
+        json.dumps(corpus, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    EXPECTED_PATH.write_text(
+        json.dumps(expected, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {CORPUS_PATH} ({corpus['ssl_rows']} ssl rows, "
+          f"sha256 {corpus['sha256'][:12]}...)")
+    print(f"wrote {EXPECTED_PATH} ({len(expected['tables'])} tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""The bench-harness contract: BENCH_*.json documents are schema-valid,
+written one per bench module, and the `--smoke` CI entry point produces
+them end to end."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from benchmarks import harness
+
+
+def _valid_document():
+    return {
+        "format": harness.BENCH_FORMAT,
+        "name": "resilient_ingest",
+        "smoke": True,
+        "entries": [
+            {
+                "test": "test_skip_mode_overhead_on_clean_logs",
+                "wall_time_s": 1.25,
+                "peak_rss_bytes": 180000000,
+                "records_per_sec": 250000.0,
+                "accuracy": {"skip_over_strict": 1.04},
+                "tables": ["Resilient-ingest overhead (clean input)"],
+            }
+        ],
+    }
+
+
+class TestSchema:
+    def test_valid_document_passes(self):
+        harness.validate_document(_valid_document())
+
+    def test_nullable_measurements_pass(self):
+        document = _valid_document()
+        document["entries"][0]["records_per_sec"] = None
+        document["entries"][0]["accuracy"] = None
+        harness.validate_document(document)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("format"),
+        lambda d: d.update(format="bench-record/v0"),
+        lambda d: d.update(entries=[]),
+        lambda d: d["entries"][0].pop("wall_time_s"),
+        lambda d: d["entries"][0].update(wall_time_s=-1.0),
+        lambda d: d["entries"][0].update(peak_rss_bytes=1.5),
+        lambda d: d.update(unexpected="field"),
+    ])
+    def test_off_schema_documents_fail(self, mutate):
+        document = _valid_document()
+        mutate(document)
+        with pytest.raises(jsonschema.ValidationError):
+            harness.validate_document(document)
+
+    def test_bench_name_strips_prefix(self):
+        assert harness.bench_name("benchmarks.bench_resilient_ingest") == \
+            "resilient_ingest"
+        assert harness.bench_name("bench_scaling") == "scaling"
+
+
+class TestWriter:
+    def test_write_records_one_file_per_module(self, tmp_path):
+        entry = harness.BenchEntry(test="test_x")
+        entry.finish()
+        written = harness.write_records(
+            {"benchmarks.bench_scaling": [entry],
+             "benchmarks.bench_generator": [entry]},
+            tmp_path, smoke=False,
+        )
+        names = sorted(p.name for p in written)
+        assert names == ["BENCH_generator.json", "BENCH_scaling.json"]
+        for path in written:
+            document = harness.validate_file(path)
+            assert document["smoke"] is False
+            assert document["entries"][0]["test"] == "test_x"
+            assert document["entries"][0]["peak_rss_bytes"] > 0
+
+
+@pytest.mark.slow
+def test_smoke_cli_emits_schema_valid_bench_json(tmp_path):
+    """The CI smoke path: >= 2 schema-valid BENCH_*.json files."""
+    outdir = tmp_path / "bench-out"
+    completed = subprocess.run(
+        [sys.executable, "-m", "benchmarks.harness", "--smoke",
+         "--out", str(outdir)],
+        capture_output=True, text=True, cwd=Path(__file__).parents[2],
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    written = sorted(outdir.glob("BENCH_*.json"))
+    assert len(written) >= 2
+    for path in written:
+        document = harness.validate_file(path)
+        assert document["smoke"] is True
+        assert all(e["wall_time_s"] > 0 for e in document["entries"])
+    names = {json.loads(p.read_text())["name"] for p in written}
+    assert {"resilient_ingest", "parallel_study"} <= names
