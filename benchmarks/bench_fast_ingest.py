@@ -1,0 +1,75 @@
+"""Throughput of the fast-path decoders vs the reference reader.
+
+Not a paper artifact — the acceptance gate of the fast ingest engine:
+compiled per-schema row decoders plus interning must deliver at least
+2x records/sec over the per-field dispatch path on the full benchmark
+campaign, with byte-identical output (proven by ``tests/differential``;
+re-asserted cheaply here).
+
+Measurement is *interleaved*: each round times the slow then the fast
+reader back-to-back and the best round of each is kept, so slow drift
+in machine load cancels instead of polluting the ratio.
+"""
+
+import io
+import time
+
+from repro.core.report import Table
+from repro.zeek import (
+    read_ssl_log,
+    read_x509_log,
+    ssl_log_to_string,
+    x509_log_to_string,
+)
+
+from .conftest import SMOKE, report
+
+ROUNDS = 7
+
+#: Smoke corpora are tiny (decoder compilation and cache warmup are a
+#: visible fraction of the run), so CI only sanity-checks the direction;
+#: the full campaign must meet the real 2x acceptance bar.
+MIN_SPEEDUP = 1.2 if SMOKE else 2.0
+
+
+def _read_both(ssl_text: str, x509_text: str, mode: str):
+    ssl = read_ssl_log(io.StringIO(ssl_text), fast_path=mode)
+    x509 = read_x509_log(io.StringIO(x509_text), fast_path=mode)
+    return ssl, x509
+
+
+def test_fast_path_speedup(simulation):
+    ssl_text = ssl_log_to_string(simulation.logs.ssl)
+    x509_text = x509_log_to_string(simulation.logs.x509)
+    rows = len(simulation.logs.ssl) + len(simulation.logs.x509)
+
+    best = {"off": float("inf"), "on": float("inf")}
+    last = {}
+    for _ in range(ROUNDS):
+        for mode in ("off", "on"):
+            started = time.perf_counter()
+            last[mode] = _read_both(ssl_text, x509_text, mode)
+            best[mode] = min(best[mode], time.perf_counter() - started)
+
+    # The contract the speed is not allowed to bend: identical records.
+    assert last["on"] == last["off"]
+
+    slow_rps = rows / best["off"]
+    fast_rps = rows / best["on"]
+    speedup = best["off"] / best["on"]
+
+    table = Table("Fast-path ingest throughput", ["Reader", "Value"])
+    table.add_row("slow (rows/s)", f"{slow_rps:,.0f}")
+    table.add_row("fast (rows/s)", f"{fast_rps:,.0f}")
+    table.add_row("speedup", f"x{speedup:.2f}")
+    report(
+        table,
+        f"target: compiled decoders deliver >={MIN_SPEEDUP}x records/sec "
+        "with byte-identical output",
+        records_per_sec=fast_rps,
+        accuracy={
+            "speedup_vs_slow": speedup,
+            "slow_records_per_sec": slow_rps,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP

@@ -5,14 +5,15 @@ Subcommands::
     python -m repro generate  --out DIR [--months N] [--cpm N] [--seed N]
                               [--rotated]
     python -m repro study     [--months N] [--cpm N] [--seed N] [--table NAME]
-                              [--jobs N]
+                              [--jobs N] [--fast-path MODE]
     python -m repro analyze   DIR --trust-bundle FILE [--jobs N]
                               [--table NAME] [--json] [--degrade POLICY]
                               [--max-attempts N] [--shard-timeout S]
-                              [--resume DIR]
+                              [--resume DIR] [--fast-path MODE]
     python -m repro audit     X509_LOG [--campus-marker TEXT]
+                              [--fast-path MODE]
     python -m repro intercept SSL_LOG X509_LOG --trust-bundle FILE
-                              [--min-domains N]
+                              [--min-domains N] [--fast-path MODE]
 
 `generate` writes Zeek-format ssl.log / x509.log plus a trust-bundle
 file, so `intercept`, `audit`, and (with ``--rotated``) `analyze` can
@@ -39,6 +40,7 @@ from repro.netsim import FaultPlan, ScenarioConfig, TrafficGenerator
 from repro.trust import TrustBundle
 from repro.zeek import (
     ErrorPolicy,
+    FastPath,
     IngestReport,
     TsvFormatError,
     read_ssl_log,
@@ -99,6 +101,19 @@ def _metrics_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _fast_path_parent() -> argparse.ArgumentParser:
+    """Shared --fast-path argument (argparse parent)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--fast-path", choices=[m.value for m in FastPath], default="auto",
+        help="ingest/enrich fast path: compiled row decoders plus the "
+             "per-certificate fact cache. Results are byte-identical "
+             "either way; 'off' is the reference path, 'auto' (default) "
+             "enables it",
+    )
+    return parent
+
+
 def _jobs_parent() -> argparse.ArgumentParser:
     """Shared --jobs argument (argparse parent)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -120,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     on_error = _on_error_parent()
     jobs = _jobs_parent()
     observability = _metrics_parent()
+    fast_path = _fast_path_parent()
 
     generate = sub.add_parser(
         "generate", help="simulate a campaign and write Zeek-format logs",
@@ -134,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser(
         "study", help="run the full study and print tables",
-        parents=[scale, on_error, jobs, observability],
+        parents=[scale, on_error, jobs, observability, fast_path],
     )
     study.add_argument(
         "--fault-rate", type=float, default=0.0, metavar="RATE",
@@ -153,7 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze",
         help="run every registered analysis over a rotated Zeek archive",
-        parents=[on_error, jobs, observability],
+        parents=[on_error, jobs, observability, fast_path],
     )
     analyze.add_argument("directory", type=Path,
                          help="directory of ssl.YYYY-MM.log[.gz] files")
@@ -198,7 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     audit = sub.add_parser(
-        "audit", help="privacy audit of an x509.log", parents=[on_error]
+        "audit", help="privacy audit of an x509.log",
+        parents=[on_error, fast_path],
     )
     audit.add_argument("x509_log", type=Path)
     audit.add_argument(
@@ -208,7 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     intercept = sub.add_parser(
         "intercept", help="run the §3.2 interception filter on Zeek logs",
-        parents=[on_error],
+        parents=[on_error, fast_path],
     )
     intercept.add_argument("ssl_log", type=Path)
     intercept.add_argument("x509_log", type=Path)
@@ -321,6 +338,7 @@ def cmd_study(args: argparse.Namespace) -> int:
     study = CampusStudy(
         seed=args.seed, months=args.months, connections_per_month=args.cpm,
         on_error=args.on_error, fault_plan=fault_plan, jobs=jobs,
+        fast_path=args.fast_path,
     )
     if getattr(args, "json", False):
         from repro.core.export import study_to_json
@@ -378,6 +396,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         resume_dir=args.resume,
         trace_path=args.trace,
+        fast_path=args.fast_path,
     )
     health = campaign.health
     run_metrics = campaign.metrics or core_metrics.MetricsRegistry()
@@ -424,7 +443,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     with args.x509_log.open() as source:
         records = read_x509_log(
             source, on_error=args.on_error, report=report,
-            path=str(args.x509_log),
+            path=str(args.x509_log), fast_path=args.fast_path,
         )
     classifier = CnSanClassifier(campus_issuer_markers=(args.campus_marker,))
     sensitive = ("PersonalName", "UserAccount", "Email", "MAC")
@@ -448,11 +467,13 @@ def cmd_intercept(args: argparse.Namespace) -> int:
     report = IngestReport()
     with args.ssl_log.open() as source:
         ssl = read_ssl_log(
-            source, on_error=args.on_error, report=report, path=str(args.ssl_log)
+            source, on_error=args.on_error, report=report,
+            path=str(args.ssl_log), fast_path=args.fast_path,
         )
     with args.x509_log.open() as source:
         x509 = read_x509_log(
-            source, on_error=args.on_error, report=report, path=str(args.x509_log)
+            source, on_error=args.on_error, report=report,
+            path=str(args.x509_log), fast_path=args.fast_path,
         )
     bundle = load_trust_bundle(args.trust_bundle)
 
@@ -486,7 +507,8 @@ def cmd_intercept(args: argparse.Namespace) -> int:
             ct.add(record.server_name, leaf.issuer)
 
     enricher = Enricher(
-        bundle=bundle, ct_log=ct, min_interception_domains=args.min_domains
+        bundle=bundle, ct_log=ct, min_interception_domains=args.min_domains,
+        fact_cache=FastPath.coerce(args.fast_path).enabled,
     )
     dataset = MtlsDataset(ssl, x509, ingest_report=report)
     enriched = enricher.enrich(dataset)

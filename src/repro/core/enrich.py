@@ -19,6 +19,7 @@ from repro.core.dataset import CertProfile, ConnView, MtlsDataset
 from repro.netsim.network import AddressSpace
 from repro.text.domains import extract_domain
 from repro.trust import TrustBundle
+from repro.x509.facts import CertFactCache, CertFacts
 from repro.zeek import X509Record
 
 
@@ -130,6 +131,43 @@ def _is_public(record: X509Record, bundle: TrustBundle) -> bool:
     return bundle.knows_organization(record.issuer_org)
 
 
+def derive_cert_facts(record: X509Record, bundle: TrustBundle) -> CertFacts:
+    """All per-certificate derivations the pipeline consults repeatedly,
+    computed once: the reference functions are called verbatim, so cached
+    answers are identical to uncached ones by construction."""
+    # Lazy import: repro.core.issuers imports this module for the
+    # enriched-dataset types, so the dummy-organization table cannot be
+    # imported at module level.
+    from repro.core.dummy import _is_dummy_org
+
+    issuer_org = record.issuer_org
+    return CertFacts(
+        fingerprint=record.fingerprint,
+        is_public=_is_public(record, bundle),
+        issuer_org=issuer_org,
+        issuer_cn=record.issuer_cn,
+        subject_cn=record.subject_cn,
+        subject_org=record.subject_org,
+        dummy_issuer=_is_dummy_org(issuer_org),
+        validity_days=record.validity_days,
+        inverted_validity=record.has_inverted_validity,
+        san_dns=record.san_dns,
+    )
+
+
+def new_fact_cache(
+    bundle: TrustBundle, max_entries: int | None = None
+) -> CertFactCache:
+    """A fact cache bound to one trust bundle (caches are never shared
+    across bundles — the bundle is part of every derived answer)."""
+    def derive(record: X509Record) -> CertFacts:
+        return derive_cert_facts(record, bundle)
+
+    if max_entries is None:
+        return CertFactCache(derive)
+    return CertFactCache(derive, max_entries=max_entries)
+
+
 class InterceptionScan:
     """Mergeable state behind the §3.2 interception filter.
 
@@ -140,15 +178,35 @@ class InterceptionScan:
     domains are spread across months.
     """
 
-    def __init__(self, bundle: TrustBundle, ct_log: CtLookup | None) -> None:
+    def __init__(
+        self,
+        bundle: TrustBundle,
+        ct_log: CtLookup | None,
+        fact_cache: CertFactCache | None = None,
+    ) -> None:
         self.bundle = bundle
         self.ct_log = ct_log
+        #: Optional fact cache (usually the owning Enricher's): trades a
+        #: per-connection public-CA derivation for a per-certificate one.
+        self.fact_cache = fact_cache
         #: issuer DN → distinct SNI domains contradicting CT
         self.mismatched_domains: dict[str, set[str]] = {}
         #: issuer DN → leaf fingerprints presented under it (either side)
         self.issuer_fingerprints: dict[str, set[str]] = {}
         #: all distinct leaf fingerprints observed
         self.fingerprints: set[str] = set()
+
+    def __getstate__(self) -> dict:
+        # Scan outcomes ride pickled manifest spills; the cache is
+        # process-local acceleration state, never part of the result.
+        state = dict(self.__dict__)
+        state["fact_cache"] = None
+        return state
+
+    def _leaf_public(self, leaf: X509Record) -> bool:
+        if self.fact_cache is not None:
+            return self.fact_cache.get(leaf.fingerprint, leaf).is_public
+        return _is_public(leaf, self.bundle)
 
     def observe(self, conn: ConnView) -> None:
         for leaf in (conn.server_leaf, conn.client_leaf):
@@ -162,7 +220,7 @@ class InterceptionScan:
         if leaf is None or not conn.sni or self.ct_log is None:
             return
         # Step 1: issuer not found in major trust stores.
-        if _is_public(leaf, self.bundle):
+        if self._leaf_public(leaf):
             return
         # Step 2: CT knows the domain under a different issuer.
         domain = conn.sni.lower()
@@ -222,6 +280,7 @@ class Enricher:
         rules: AssociationRules | None = None,
         filter_interception: bool = True,
         min_interception_domains: int = 5,
+        fact_cache: CertFactCache | bool | None = True,
     ) -> None:
         self.bundle = bundle
         self.ct_log = ct_log
@@ -233,6 +292,17 @@ class Enricher:
         #: at least this many distinct domains. A middlebox impersonates
         #: many domains; a misconfigured endpoint only its own few.
         self.min_interception_domains = min_interception_domains
+        #: Per-certificate fact cache: ``True`` (default) builds one
+        #: bound to this bundle, ``False``/``None`` disables it (the
+        #: reference per-connection path), or pass a cache to share one
+        #: across enrichers. Cached and uncached labels are identical —
+        #: pinned by tests/differential/test_certfact_cache.py.
+        if fact_cache is True:
+            self.fact_cache: CertFactCache | None = new_fact_cache(bundle)
+        elif fact_cache is False or fact_cache is None:
+            self.fact_cache = None
+        else:
+            self.fact_cache = fact_cache
 
     def enrich(self, dataset: MtlsDataset) -> EnrichedDataset:
         report = self._interception_report(dataset)
@@ -255,15 +325,20 @@ class Enricher:
             rules=self.rules,
         )
 
+    def _is_public(self, record: X509Record) -> bool:
+        if self.fact_cache is not None:
+            return self.fact_cache.get(record.fingerprint, record).is_public
+        return _is_public(record, self.bundle)
+
     def _label(self, conn: ConnView) -> EnrichedConn:
         direction = "inbound" if self.is_internal(conn.ssl.id_resp_h) else "outbound"
         server_public = (
             None if conn.server_leaf is None
-            else _is_public(conn.server_leaf, self.bundle)
+            else self._is_public(conn.server_leaf)
         )
         client_public = (
             None if conn.client_leaf is None
-            else _is_public(conn.client_leaf, self.bundle)
+            else self._is_public(conn.client_leaf)
         )
         association = self.rules.classify(conn) if direction == "inbound" else None
         return EnrichedConn(
@@ -284,6 +359,8 @@ class Enricher:
 
     def new_scan(self) -> InterceptionScan:
         """A fresh per-shard interception scan with this enricher's
-        trust bundle and CT log (no CT when the filter is disabled)."""
+        trust bundle, CT log (no CT when the filter is disabled), and
+        fact cache — scan and labeling share one cache, so a
+        certificate's facts are derived once across both passes."""
         ct_log = self.ct_log if self.filter_interception else None
-        return InterceptionScan(self.bundle, ct_log)
+        return InterceptionScan(self.bundle, ct_log, fact_cache=self.fact_cache)

@@ -251,6 +251,13 @@ class MetricsRegistry:
         self.set_gauge("supervisor.coverage", health.coverage)
         self.set_gauge("supervisor.jobs", float(health.jobs))
 
+    def observe_cache(self, stats, prefix: str) -> None:
+        """Fold a :class:`~repro.x509.facts.CacheStats` (duck-typed) into
+        ``<prefix>.{hits,misses,evictions}`` counters."""
+        self.inc(f"{prefix}.hits", stats.hits)
+        self.inc(f"{prefix}.misses", stats.misses)
+        self.inc(f"{prefix}.evictions", stats.evictions)
+
     # Merge ---------------------------------------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":

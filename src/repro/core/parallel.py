@@ -72,7 +72,7 @@ from repro.core.supervisor import (
     ShardSupervisor,
 )
 from repro.zeek.files import _read_many, discover_shards
-from repro.zeek.ingest import ErrorPolicy, IngestReport
+from repro.zeek.ingest import ErrorPolicy, FastPath, IngestReport
 from repro.zeek.tsv import read_ssl_log, read_x509_log
 
 
@@ -108,6 +108,9 @@ class _ExecutorConfig:
     min_interception_domains: int
     on_error: ErrorPolicy
     names: tuple[str, ...] | None
+    #: Fast-path mode (stored as the enum's string value so the config
+    #: pickles compactly to workers). Byte-identical either way.
+    fast_path: str = FastPath.AUTO.value
     #: Process-level fault injection (tests / chaos drills only).
     fault_plan: object | None = None
     #: JSONL trace sink every worker configures for itself (optional).
@@ -189,6 +192,7 @@ def _make_enricher(config: _ExecutorConfig) -> Enricher:
         rules=config.rules,
         filter_interception=config.filter_interception,
         min_interception_domains=config.min_interception_domains,
+        fact_cache=FastPath.coerce(config.fast_path).enabled,
     )
 
 
@@ -200,11 +204,11 @@ def _load_shard(config: _ExecutorConfig, cache: dict, spec: ShardSpec):
             x509_report = IngestReport()
             ssl = _read_many(
                 [Path(p) for p in spec.ssl_paths], read_ssl_log,
-                config.on_error, ssl_report,
+                config.on_error, ssl_report, config.fast_path,
             )
             x509 = _read_many(
                 [Path(p) for p in spec.x509_paths], read_x509_log,
-                config.on_error, x509_report,
+                config.on_error, x509_report, config.fast_path,
             )
             ssl.sort(key=lambda r: r.ts)
             x509.sort(key=lambda r: r.ts)
@@ -225,6 +229,8 @@ def _scan_shard(
                 scan.observe(conn)
             registry.inc("scan.connections_observed", len(dataset.connections))
             registry.inc("scan.shards", 1)
+            if scan.fact_cache is not None:
+                registry.observe_cache(scan.fact_cache.stats, "certfacts.scan")
     return _ScanOutcome(scan=scan, metrics=registry.state_dict())
 
 
@@ -250,6 +256,8 @@ def _analyze_shard(
         registry.inc("analyze.shards", 1)
         registry.inc("analyze.connections_enriched", len(enriched.connections))
         registry.inc("analyze.connections_raw", len(dataset.connections))
+        if enricher.fact_cache is not None:
+            registry.observe_cache(enricher.fact_cache.stats, "certfacts.enrich")
         registry.observe(
             "shard.connections", len(enriched.connections),
             edges=metrics.COUNT_EDGES,
@@ -488,6 +496,7 @@ class ShardExecutor:
         degrade: DegradePolicy | str = DegradePolicy.STRICT,
         fault_plan=None,
         trace_path: str | Path | None = None,
+        fast_path: FastPath | str | bool = FastPath.AUTO,
     ) -> None:
         if trace_path is None:
             # Inherit the process's configured sink so `tracing.configure`
@@ -501,6 +510,7 @@ class ShardExecutor:
             min_interception_domains=min_interception_domains,
             on_error=ErrorPolicy.coerce(on_error),
             names=tuple(names) if names is not None else None,
+            fast_path=FastPath.coerce(fast_path).value,
             fault_plan=fault_plan,
             trace_path=str(trace_path) if trace_path is not None else None,
         )
@@ -664,7 +674,10 @@ class ShardExecutor:
 
         The trust bundle is part of the identity; the CT log is not
         hashable in general and is assumed stable across a resume — as
-        is the log content behind the shard paths.
+        is the log content behind the shard paths. ``fast_path`` is
+        deliberately *excluded*: the fast and slow decoders are
+        byte-identical by contract, so a campaign may resume across a
+        ``--fast-path`` flip without invalidating spilled shards.
         """
         bundle = self.config.bundle
         payload = {
@@ -751,6 +764,7 @@ def analyze_directory(
     fault_plan=None,
     resume_dir: Path | str | None = None,
     trace_path: str | Path | None = None,
+    fast_path: FastPath | str | bool = FastPath.AUTO,
 ) -> CampaignResult:
     """One-call sharded analysis of a rotated Zeek archive."""
     executor = ShardExecutor(
@@ -766,5 +780,6 @@ def analyze_directory(
         degrade=degrade,
         fault_plan=fault_plan,
         trace_path=trace_path,
+        fast_path=fast_path,
     )
     return executor.run_directory(directory, resume_dir=resume_dir)

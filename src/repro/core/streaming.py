@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.core import metrics, tracing
+from repro.core.enrich import new_fact_cache
 from repro.core.prevalence import (
     CertStatsRow,
     CertUsageState,
@@ -37,7 +38,7 @@ from repro.core.prevalence import (
 )
 from repro.core.tuples import Tls13Blindspot, Tls13State
 from repro.trust import TrustBundle
-from repro.zeek import SslRecord, X509Record
+from repro.zeek import FastPath, SslRecord, X509Record
 
 #: Snapshot schema tag; bump on incompatible layout changes.
 SNAPSHOT_FORMAT = "streaming-analyzer/v2"
@@ -56,15 +57,30 @@ class StreamingAnalyzer:
     ``max_fuid_map`` bounds the fuid→fingerprint map (None = unbounded);
     when full, the oldest entries are evicted FIFO and any later ssl
     reference to an evicted fuid counts as ``dropped_dangling_fuid``.
+
+    ``fast_path`` controls the per-certificate fact cache (results are
+    identical either way; the cache only skips recomputing the public-CA
+    predicate for fingerprints already seen). Its contents and stats
+    ride along in snapshots, so a resumed run's cache behaviour — and
+    its ``streaming.certfacts.*`` counters — match an uninterrupted
+    run's.
     """
 
     def __init__(
-        self, bundle: TrustBundle, *, max_fuid_map: int | None = None
+        self,
+        bundle: TrustBundle,
+        *,
+        max_fuid_map: int | None = None,
+        fast_path: FastPath | str | bool = FastPath.AUTO,
     ) -> None:
         if max_fuid_map is not None and max_fuid_map <= 0:
             raise ValueError("max_fuid_map must be positive (or None)")
         self.bundle = bundle
         self.max_fuid_map = max_fuid_map
+        self.fast_path = FastPath.coerce(fast_path)
+        self._fact_cache = (
+            new_fact_cache(bundle) if self.fast_path.enabled else None
+        )
         #: Streaming counters/timers; checkpointed with the snapshot so
         #: a resumed run's metrics match an uninterrupted run's.
         self.metrics = metrics.MetricsRegistry()
@@ -88,8 +104,13 @@ class StreamingAnalyzer:
                 # Refresh recency so re-announced fuids survive eviction.
                 del self._fuid_to_fp[record.fuid]
             self._fuid_to_fp[record.fuid] = record.fingerprint
-            public = self.bundle.knows_issuer_dn(record.issuer) or \
-                self.bundle.knows_organization(record.issuer_org)
+            if self._fact_cache is not None:
+                public = self._fact_cache.get(
+                    record.fingerprint, record
+                ).is_public
+            else:
+                public = self.bundle.knows_issuer_dn(record.issuer) or \
+                    self.bundle.knows_organization(record.issuer_org)
             self._usage.ensure(record.fingerprint, public)
             if (
                 self.max_fuid_map is not None
@@ -135,6 +156,17 @@ class StreamingAnalyzer:
 
     # Checkpointing -------------------------------------------------------------
 
+    def _sync_cache_metrics(self) -> None:
+        """Mirror the fact cache's running stats into the metrics
+        registry. Absolute overwrite (not ``inc``): the stats object is
+        cumulative, so repeated syncs must not double-count."""
+        if self._fact_cache is None:
+            return
+        stats = self._fact_cache.stats
+        self.metrics.counters["streaming.certfacts.hits"] = stats.hits
+        self.metrics.counters["streaming.certfacts.misses"] = stats.misses
+        self.metrics.counters["streaming.certfacts.evictions"] = stats.evictions
+
     def to_snapshot(self) -> dict:
         """The complete running state as a JSON-serializable dict.
 
@@ -142,12 +174,20 @@ class StreamingAnalyzer:
         dicts under ``"partials"``, keyed by analysis name. Dict
         insertion order (which drives fuid eviction) survives the JSON
         round trip, so a resumed run is byte-identical to an
-        uninterrupted one.
+        uninterrupted one. The fact cache ships under ``"certfacts"``
+        (``None`` when the fast path is off); older snapshots without
+        the key restore to a cold cache — still identical results, the
+        first post-resume occurrence of each certificate just recomputes.
         """
+        self._sync_cache_metrics()
         return {
             "format": SNAPSHOT_FORMAT,
             "max_fuid_map": self.max_fuid_map,
             "fuid_to_fp": dict(self._fuid_to_fp),
+            "certfacts": (
+                self._fact_cache.state_dict()
+                if self._fact_cache is not None else None
+            ),
             "partials": {
                 "figure1": self._monthly.state_dict(),
                 "table1": self._usage.state_dict(),
@@ -175,7 +215,22 @@ class StreamingAnalyzer:
                 f"unsupported snapshot format {found!r} "
                 f"(expected {SNAPSHOT_FORMAT!r} or {_SNAPSHOT_FORMAT_V1!r})"
             )
-        analyzer = cls(bundle, max_fuid_map=snapshot.get("max_fuid_map"))
+        # An explicit null under "certfacts" means the run had the fast
+        # path off; a missing key (older snapshot) defaults to on with a
+        # cold cache — either way results are unchanged.
+        certfacts = snapshot.get("certfacts")
+        fast_path = (
+            FastPath.OFF
+            if "certfacts" in snapshot and certfacts is None
+            else FastPath.AUTO
+        )
+        analyzer = cls(
+            bundle,
+            max_fuid_map=snapshot.get("max_fuid_map"),
+            fast_path=fast_path,
+        )
+        if certfacts is not None and analyzer._fact_cache is not None:
+            analyzer._fact_cache.load_state(certfacts)
         analyzer._fuid_to_fp = dict(snapshot["fuid_to_fp"])
         if found == _SNAPSHOT_FORMAT_V1:
             analyzer._usage = CertUsageState.from_state(

@@ -35,6 +35,7 @@ from repro.netsim import (
 )
 from repro.zeek import (
     ErrorPolicy,
+    FastPath,
     IngestReport,
     ZeekLogs,
     read_ssl_log,
@@ -83,12 +84,14 @@ class CampusStudy:
         on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
         fault_plan: FaultPlan | None = None,
         jobs: int = 0,
+        fast_path: FastPath | str | bool = FastPath.AUTO,
     ) -> None:
         self.config = config or ScenarioConfig(
             seed=seed, months=months, connections_per_month=connections_per_month
         )
         self.filter_interception = filter_interception
         self.on_error = ErrorPolicy.coerce(on_error)
+        self.fast_path = FastPath.coerce(fast_path)
         self.fault_plan = fault_plan
         if jobs and fault_plan is not None:
             raise ValueError(
@@ -127,6 +130,7 @@ class CampusStudy:
                 bundle=simulation.trust_bundle,
                 ct_log=simulation.ct_log,
                 filter_interception=self.filter_interception,
+                fact_cache=self.fast_path.enabled,
             )
             with tracing.span("study.enrich"):
                 enriched = enricher.enrich(dataset)
@@ -137,6 +141,10 @@ class CampusStudy:
             registry.inc(
                 "analyze.connections_enriched", len(enriched.connections)
             )
+            if enricher.fact_cache is not None:
+                registry.observe_cache(
+                    enricher.fact_cache.stats, "certfacts.enrich"
+                )
         self._result = StudyResult(
             simulation=simulation, dataset=dataset, enriched=enriched,
             ingest_report=ingest_report, corruption=corruption,
@@ -162,10 +170,12 @@ class CampusStudy:
             ssl = read_ssl_log(
                 io.StringIO(ssl_text), on_error=self.on_error,
                 report=ssl_report, path="ssl.log",
+                fast_path=self.fast_path,
             )
             x509 = read_x509_log(
                 io.StringIO(x509_text), on_error=self.on_error,
                 report=x509_report, path="x509.log",
+                fast_path=self.fast_path,
             )
         registry = metrics.get_registry()
         registry.observe_ingest(ssl_report, "ssl")
@@ -206,6 +216,7 @@ class CampusStudy:
             filter_interception=self.filter_interception,
             on_error=self.on_error,
             jobs=self.jobs,
+            fast_path=self.fast_path,
         )
         with tempfile.TemporaryDirectory(prefix="campus-shards-") as tmp:
             with metrics.scoped(self.metrics), tracing.span("study.write_shards"):

@@ -58,6 +58,7 @@ from repro.x509.ca import (
     SerialPolicy,
     ValidityPolicy,
 )
+from repro.x509.facts import CacheStats, CertFactCache, CertFacts
 
 __all__ = [
     "CertificateError",
@@ -96,4 +97,7 @@ __all__ = [
     "CertificateAuthority",
     "SerialPolicy",
     "ValidityPolicy",
+    "CacheStats",
+    "CertFactCache",
+    "CertFacts",
 ]

@@ -18,7 +18,7 @@ from repro.zeek.records import SslRecord, X509Record, make_file_uid
 from repro.zeek.dn import format_dn, parse_dn
 from repro.zeek.builder import ZeekLogBuilder, ZeekLogs
 from repro.zeek.dpd import encode_client_hello_preamble, looks_like_tls
-from repro.zeek.ingest import ErrorPolicy, IngestIssue, IngestReport
+from repro.zeek.ingest import ErrorPolicy, FastPath, IngestIssue, IngestReport
 from repro.zeek.tsv import (
     TsvFormatError,
     read_ssl_log,
@@ -32,6 +32,7 @@ from repro.zeek.files import read_logs_directory, write_rotated_logs
 
 __all__ = [
     "ErrorPolicy",
+    "FastPath",
     "IngestIssue",
     "IngestReport",
     "SslRecord",

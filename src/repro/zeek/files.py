@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Callable, Iterable, TextIO
 
 from repro.zeek.builder import ZeekLogs
-from repro.zeek.ingest import ErrorPolicy, IngestReport
+from repro.zeek.ingest import ErrorPolicy, FastPath, IngestReport
 from repro.zeek.records import SslRecord, X509Record
 from repro.zeek.tsv import (
     TsvFormatError,
@@ -71,12 +71,19 @@ def _read_many(
     reader: Callable,
     on_error: ErrorPolicy | str,
     report: IngestReport | None,
+    fast_path: FastPath | str | bool = FastPath.AUTO,
 ) -> list:
     records: list = []
     for path in sorted(paths):
         with _open_text(path, "r") as source:
             records.extend(
-                reader(source, on_error=on_error, report=report, path=str(path))
+                reader(
+                    source,
+                    on_error=on_error,
+                    report=report,
+                    path=str(path),
+                    fast_path=fast_path,
+                )
             )
     return records
 
@@ -112,6 +119,7 @@ def read_logs_directory(
     *,
     on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
     report: IngestReport | None = None,
+    fast_path: FastPath | str | bool = FastPath.AUTO,
 ) -> ZeekLogs:
     """Load every rotated ssl/x509 log file from a directory.
 
@@ -120,6 +128,8 @@ def read_logs_directory(
     log files at all. Under the ``skip``/``quarantine`` policies,
     malformed rows are dropped and accounted for in ``report``; pass an
     :class:`~repro.zeek.ingest.IngestReport` to collect them.
+    ``fast_path`` selects the decoder (byte-identical results either
+    way; see :mod:`repro.zeek.tsv`).
     """
     directory = Path(directory)
     ssl_paths = list(directory.glob("ssl.*.log")) + list(directory.glob("ssl.*.log.gz"))
@@ -128,9 +138,11 @@ def read_logs_directory(
     )
     if not ssl_paths and not x509_paths:
         raise TsvFormatError(f"no rotated Zeek logs found in {directory}")
-    ssl_records: list[SslRecord] = _read_many(ssl_paths, read_ssl_log, on_error, report)
+    ssl_records: list[SslRecord] = _read_many(
+        ssl_paths, read_ssl_log, on_error, report, fast_path
+    )
     x509_records: list[X509Record] = _read_many(
-        x509_paths, read_x509_log, on_error, report
+        x509_paths, read_x509_log, on_error, report, fast_path
     )
     ssl_records.sort(key=lambda r: r.ts)
     x509_records.sort(key=lambda r: r.ts)

@@ -49,6 +49,39 @@ class ErrorPolicy(str, enum.Enum):
         return self is ErrorPolicy.QUARANTINE
 
 
+class FastPath(str, enum.Enum):
+    """Whether readers and enrichers use the compiled fast path.
+
+    ``auto`` resolves to the library default (currently *on*); ``off``
+    forces the reference per-field implementation. The two paths are
+    proven byte-identical by ``tests/differential``, so ``off`` exists
+    only as an operator escape hatch and as the differential baseline —
+    never as a semantic switch.
+    """
+
+    ON = "on"
+    OFF = "off"
+    AUTO = "auto"
+
+    @classmethod
+    def coerce(cls, value: "FastPath | str | bool") -> "FastPath":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            return cls.ON if value else cls.OFF
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown fast-path mode {value!r} (choices: {choices})"
+            ) from None
+
+    @property
+    def enabled(self) -> bool:
+        return self is not FastPath.OFF
+
+
 @dataclass(frozen=True)
 class IngestIssue:
     """One malformed line (or header) met during ingestion.

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.zeek.dn import dn_common_name, dn_get, dn_organization
 
@@ -108,23 +109,28 @@ class X509Record:
     def allows_client_auth(self) -> bool:
         return not self.eku or "clientAuth" in self.eku
 
-    @property
+    # DN accessors are cached per record: `cached_property` writes the
+    # value straight into the instance `__dict__`, which bypasses the
+    # frozen `__setattr__` — the record stays immutable in every
+    # field-visible way (eq/hash/repr/pickle read dataclass fields only).
+
+    @cached_property
     def subject_cn(self) -> str | None:
         return dn_common_name(self.subject)
 
-    @property
+    @cached_property
     def subject_org(self) -> str | None:
         return dn_organization(self.subject)
 
-    @property
+    @cached_property
     def subject_uid(self) -> str | None:
         return dn_get(self.subject, "UID")
 
-    @property
+    @cached_property
     def issuer_cn(self) -> str | None:
         return dn_common_name(self.issuer)
 
-    @property
+    @cached_property
     def issuer_org(self) -> str | None:
         return dn_organization(self.issuer)
 

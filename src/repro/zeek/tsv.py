@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import datetime as _dt
 import io
+import sys as _sys
 from typing import Callable, Iterable, Sequence, TextIO
 
-from repro.zeek.ingest import ErrorPolicy, IngestReport
+from repro.zeek.ingest import ErrorPolicy, FastPath, IngestReport
 from repro.zeek.records import SslRecord, X509Record
 
 _UNSET = "-"
@@ -271,6 +272,215 @@ _X509_PARSERS: list[tuple[str, Callable]] = [
 ]
 
 
+# ---------------------------------------------------------------------------
+# Fast path: compiled per-schema row decoders
+#
+# The slow path above is the executable reference spec: one parser call
+# per field, dispatched through `_LogReader._handle_row`. The fast path
+# compiles the whole row decode into a single generated function (one
+# dict literal, one bound converter per column) and memoizes the
+# converters for high-repetition columns (versions, ciphers, issuer
+# DNs, ports, validity timestamps). Every converter below is
+# value-for-value identical to its slow counterpart — the differential
+# suite (`tests/differential/`) proves it on clean, corrupt, and
+# adversarial input — and any anomaly at decode time falls back to the
+# slow `_handle_row`, so errors and IngestReport accounting are
+# byte-identical by construction.
+# ---------------------------------------------------------------------------
+
+#: Bound on each memoized converter's cache. The cache is *cleared* (not
+#: LRU-evicted) when full: clearing only costs recomputation, never
+#: correctness, and keeps the hot lookup a plain dict hit.
+_MEMO_MAX_ENTRIES = 1 << 16
+
+
+#: Cache-miss sentinel for the inlined memo lookups; a plain ``object``
+#: can never collide with a converted value (which may be None).
+_MISS = object()
+
+
+class _Memo:
+    """A memoized pure text converter, split open for codegen.
+
+    The compiled decoder inlines the hit path as ``cache.get(cell,
+    _MISS)`` — one C-level dict probe, no Python frame — and only calls
+    :attr:`fill` on a miss. Failed conversions are never cached (the
+    exception propagates before the store), so the failure set is
+    exactly the wrapped function's.
+    """
+
+    __slots__ = ("cache", "fill")
+
+    def __init__(self, fn: Callable[[str], object]) -> None:
+        cache: dict = {}
+
+        def fill(text: str, _cache=cache, _fn=fn, _cap=_MEMO_MAX_ENTRIES):
+            if len(_cache) >= _cap:
+                _cache.clear()
+            value = _cache[text] = _fn(text)
+            return value
+
+        self.cache = cache
+        self.fill = fill
+
+    def __call__(self, text: str) -> object:
+        value = self.cache.get(text, _MISS)
+        return self.fill(text) if value is _MISS else value
+
+
+def _memoized(fn: Callable[[str], object]) -> _Memo:
+    return _Memo(fn)
+
+
+def _fast_time(
+    text: str,
+    _fromts=_dt.datetime.fromtimestamp,
+    _utc=_dt.timezone.utc,
+    _float=float,
+) -> _dt.datetime:
+    # Same conversion as `_parse_time` minus the error wrapping: a bad
+    # value raises ValueError/OverflowError/OSError here, which makes
+    # the compiled decoder fall back to the slow row path — and *that*
+    # re-raises the reference TsvFormatError with identical context.
+    return _fromts(_float(text), _utc)
+
+
+def _fast_optional(text: str) -> str | None:
+    if text == _UNSET:
+        return None
+    return _unescape(text) if "\\" in text else text
+
+
+def _fast_nullable(text: str) -> str | None:
+    if text == _UNSET:
+        return None
+    if text == _EMPTY:
+        return ""
+    return _unescape(text) if "\\" in text else text
+
+
+def _fast_defaulted_str(text: str) -> str:
+    # Equivalent to `_parse_optional(text) or ""` for every input,
+    # including the bare-empty cell ('' stays '').
+    if text == _UNSET:
+        return ""
+    return _unescape(text) if "\\" in text else text
+
+
+def _fast_vector(text: str) -> tuple[str, ...]:
+    if text == _EMPTY or text == _UNSET:
+        return ()
+    if "\\" in text:
+        return tuple(_unescape(part) for part in text.split(_SET_SEP))
+    if _SET_SEP in text:
+        return tuple(text.split(_SET_SEP))
+    return (text,)
+
+
+def _ssl_fast_converters() -> list[tuple[str, Callable | None]]:
+    """Fresh fast converters for one compiled ssl decoder, aligned with
+    ``_SSL_PARSERS``. ``None`` marks a verbatim column (slow path uses
+    the identity `_parse_string`); `sys.intern` collapses the heavy
+    repeaters (addresses, versions, ciphers) to shared objects."""
+    memo_port = _memoized(int)
+    memo_addr = _memoized(_sys.intern)
+    memo_bool = _memoized(_parse_bool)
+    return [
+        ("ts", _fast_time),
+        ("uid", None),
+        ("id_orig_h", memo_addr),
+        ("id_orig_p", memo_port),
+        ("id_resp_h", memo_addr),
+        ("id_resp_p", memo_port),
+        ("version", _memoized(_sys.intern)),
+        ("cipher", _memoized(_sys.intern)),
+        ("server_name", _memoized(_fast_optional)),
+        ("established", memo_bool),
+        ("cert_chain_fuids", _fast_vector),
+        ("client_cert_chain_fuids", _fast_vector),
+        ("validation_status", _memoized(_fast_nullable)),
+        ("resumed", memo_bool),
+    ]
+
+
+def _x509_fast_converters() -> list[tuple[str, Callable | None]]:
+    """Fresh fast converters for one compiled x509 decoder, aligned with
+    ``_X509_PARSERS``. Certificates repeat heavily across fuids, so the
+    DN, validity, and algorithm columns all memoize; the shared tuples
+    returned by a memoized vector converter are safe because records
+    never mutate them."""
+    memo_time = _memoized(_parse_time)
+    memo_count = _memoized(int)
+    memo_name = _memoized(_sys.intern)
+    return [
+        ("ts", _fast_time),
+        ("fuid", None),
+        ("fingerprint", None),
+        ("version", memo_count),
+        ("serial", memo_name),
+        ("subject", _memoized(_fast_defaulted_str)),
+        ("issuer", _memoized(_fast_defaulted_str)),
+        ("not_valid_before", memo_time),
+        ("not_valid_after", memo_time),
+        ("key_alg", memo_name),
+        ("sig_alg", memo_name),
+        ("key_length", memo_count),
+        ("san_dns", _fast_vector),
+        ("san_uri", _fast_vector),
+        ("san_email", _fast_vector),
+        ("san_ip", _fast_vector),
+        ("basic_constraints_ca", _memoized(_parse_optional_bool)),
+        ("eku", _memoized(_fast_vector)),
+    ]
+
+
+def _compile_decoder(
+    factory: Callable,
+    converters: list[tuple[str, Callable | None]],
+    permutation: list[int] | None,
+) -> Callable[[list[str]], object]:
+    """Generate a single-pass row decoder for one (schema, column order).
+
+    The generated function builds the record's ``__dict__`` as one dict
+    literal — each entry a bound converter applied to its (possibly
+    permuted) cell — and installs it with ``object.__setattr__``,
+    bypassing the frozen dataclass's per-field ``__setattr__`` while
+    keeping instances frozen, equal, hashable, and picklable.
+    """
+    namespace: dict = {
+        "_new": object.__new__,
+        "_set": object.__setattr__,
+        "_cls": factory,
+        "_MISS": _MISS,
+    }
+    prelude: list[str] = []
+    parts: list[str] = []
+    for index, (name, convert) in enumerate(converters):
+        cell = permutation[index] if permutation is not None else index
+        if convert is None:
+            parts.append(f"{name!r}: cells[{cell}]")
+        elif isinstance(convert, _Memo):
+            # Inline the hit path: one dict probe, no Python call.
+            namespace[f"_d{index}"] = convert.cache
+            namespace[f"_f{index}"] = convert.fill
+            prelude.append(f"    v{index} = _d{index}.get(cells[{cell}], _MISS)")
+            prelude.append(f"    if v{index} is _MISS:")
+            prelude.append(f"        v{index} = _f{index}(cells[{cell}])")
+            parts.append(f"{name!r}: v{index}")
+        else:
+            namespace[f"_c{index}"] = convert
+            parts.append(f"{name!r}: _c{index}(cells[{cell}])")
+    source = (
+        "def _decode(cells):\n"
+        + "\n".join(prelude) + ("\n" if prelude else "")
+        + "    r = _new(_cls)\n"
+        + "    _set(r, '__dict__', {" + ", ".join(parts) + "})\n"
+        + "    return r\n"
+    )
+    exec(source, namespace)  # noqa: S102 — source built from literals above
+    return namespace["_decode"]
+
+
 def _write_header(out: TextIO, path: str, fields: list[tuple[str, str]]) -> None:
     out.write("#separator \\x09\n")
     out.write("#set_separator\t,\n")
@@ -346,6 +556,9 @@ class _LogReader:
         policy: ErrorPolicy,
         report: IngestReport | None,
         path: str | None,
+        *,
+        fast: bool = False,
+        fast_converters: Callable[[], list[tuple[str, Callable | None]]] | None = None,
     ) -> None:
         self.expected_path = expected_path
         self.field_names = [name for name, _ in fields]
@@ -360,6 +573,10 @@ class _LogReader:
         self.header_usable = False
         self.path_rejected = False
         self.saw_close = False
+        self.fast = fast and fast_converters is not None
+        self._fast_converters = fast_converters
+        #: column-order key -> compiled decoder (one per permutation).
+        self._decoders: dict[tuple[int, ...] | None, Callable] = {}
 
     # ------------------------------------------------------------------ helpers
 
@@ -521,8 +738,21 @@ class _LogReader:
     # --------------------------------------------------------------------- read
 
     def read(self, source: TextIO) -> list:
-        records = []
         self.report.files_read += 1
+        if self.fast:
+            records = self._read_fast(source)
+        else:
+            records = self._read_slow(source)
+        if not self.saw_close:
+            self.report.files_missing_close += 1
+            self.report.record_header_issue(
+                path=self.path, line_number=0, category="missing-close",
+                reason="no #close footer (writer crashed mid-rotation?)",
+            )
+        return records
+
+    def _read_slow(self, source: TextIO) -> list:
+        records = []
         for line_number, raw_line in enumerate(source, start=1):
             complete = raw_line.endswith("\n")
             line = raw_line.rstrip("\n")
@@ -534,12 +764,70 @@ class _LogReader:
             record = self._handle_row(line, line_number, complete)
             if record is not None:
                 records.append(record)
-        if not self.saw_close:
-            self.report.files_missing_close += 1
-            self.report.record_header_issue(
-                path=self.path, line_number=0, category="missing-close",
-                reason="no #close footer (writer crashed mid-rotation?)",
+        return records
+
+    def _decoder_for_state(self) -> Callable[[list[str]], object] | None:
+        """The compiled decoder for the current header state, or None
+        when rows cannot be fast-decoded (no usable #fields yet)."""
+        if not (self.saw_fields and self.header_usable):
+            return None
+        key = tuple(self.permutation) if self.permutation is not None else None
+        decoder = self._decoders.get(key)
+        if decoder is None:
+            decoder = self._decoders[key] = _compile_decoder(
+                self.factory, self._fast_converters(), self.permutation
             )
+        return decoder
+
+    def _read_fast(self, source: TextIO) -> list:
+        """Whole-stream decode through the compiled per-schema decoder.
+
+        Any anomaly — unusable header state, wrong cell count, converter
+        failure, truncated final line — replays that row through the
+        slow `_handle_row`, which produces byte-identical records,
+        errors, and IngestReport accounting. Successful decodes are
+        counted in a batch and flushed in ``finally`` so a strict-policy
+        raise leaves the report exactly as the slow path would.
+        """
+        lines = source.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+            last_complete = True
+        else:
+            last_complete = False
+        #: Highest line number that is a *complete* line.
+        limit = len(lines) if last_complete else len(lines) - 1
+        records: list = []
+        append = records.append
+        expected = len(self.field_names)
+        decode = self._decoder_for_state()
+        ok = 0
+        try:
+            for line_number, line in enumerate(lines, start=1):
+                if not line:
+                    continue
+                if line[0] == "#":
+                    self._handle_header(line, line_number)
+                    decode = self._decoder_for_state()
+                    continue
+                if decode is not None and line_number <= limit:
+                    cells = line.split("\t")
+                    if len(cells) == expected:
+                        try:
+                            record = decode(cells)
+                        except Exception:
+                            record = self._handle_row(line, line_number, True)
+                            if record is not None:
+                                append(record)
+                            continue
+                        append(record)
+                        ok += 1
+                        continue
+                record = self._handle_row(line, line_number, line_number <= limit)
+                if record is not None:
+                    append(record)
+        finally:
+            self.report.rows_ok += ok
         return records
 
 
@@ -549,12 +837,20 @@ def read_ssl_log(
     on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
     report: IngestReport | None = None,
     path: str | None = None,
+    fast_path: FastPath | str | bool = FastPath.AUTO,
 ) -> list[SslRecord]:
-    """Parse a Zeek-format ssl.log stream under an error policy."""
+    """Parse a Zeek-format ssl.log stream under an error policy.
+
+    ``fast_path`` selects the compiled decoder (``on``/``auto``) or the
+    reference per-field implementation (``off``); both produce
+    byte-identical records, errors, and reports.
+    """
     reader = _LogReader(
         "ssl", _SSL_FIELDS, _SSL_PARSERS, SslRecord,
         ErrorPolicy.coerce(on_error), report,
         path or getattr(source, "name", None),
+        fast=FastPath.coerce(fast_path).enabled,
+        fast_converters=_ssl_fast_converters,
     )
     return reader.read(source)
 
@@ -565,12 +861,20 @@ def read_x509_log(
     on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
     report: IngestReport | None = None,
     path: str | None = None,
+    fast_path: FastPath | str | bool = FastPath.AUTO,
 ) -> list[X509Record]:
-    """Parse a Zeek-format x509.log stream under an error policy."""
+    """Parse a Zeek-format x509.log stream under an error policy.
+
+    ``fast_path`` selects the compiled decoder (``on``/``auto``) or the
+    reference per-field implementation (``off``); both produce
+    byte-identical records, errors, and reports.
+    """
     reader = _LogReader(
         "x509", _X509_FIELDS, _X509_PARSERS, X509Record,
         ErrorPolicy.coerce(on_error), report,
         path or getattr(source, "name", None),
+        fast=FastPath.coerce(fast_path).enabled,
+        fast_converters=_x509_fast_converters,
     )
     return reader.read(source)
 

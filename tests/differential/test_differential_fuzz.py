@@ -1,0 +1,82 @@
+"""Satellite 1: adversarial row fuzzing of the fast vs slow decoders.
+
+Hypothesis generates pathological TSV rows — unset/empty markers in
+arbitrary columns, ``\\xNN`` escape sequences, truncated or overlong
+rows, non-ASCII DNs, numeric garbage — splices them under a genuine
+log header, and asserts the two decoders produce identical records or
+an identical :class:`~repro.zeek.tsv.TsvFormatError` context under
+every error policy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.differential import KINDS, POLICIES, assert_equivalent, corpus_texts
+
+
+def _split_corpus(text: str) -> tuple[str, list[str]]:
+    """(header block, data rows) of a serialized log."""
+    lines = text.split("\n")
+    header = [line for line in lines if line.startswith("#") and line != "#close"]
+    rows = [line for line in lines if line and not line.startswith("#")]
+    return "\n".join(header) + "\n", rows
+
+
+_SSL_TEXT, _X509_TEXT = corpus_texts(seed=5, months=1, connections_per_month=40)
+HEADERS, VALID_ROWS = {}, {}
+HEADERS["ssl"], VALID_ROWS["ssl"] = _split_corpus(_SSL_TEXT)
+HEADERS["x509"], VALID_ROWS["x509"] = _split_corpus(_X509_TEXT)
+
+#: Values that target the decoders' special cases: unset/empty markers,
+#: escape sequences, set separators, booleans, malformed and extreme
+#: numerics, and non-ASCII DN content.
+_weird_cells = st.sampled_from(
+    [
+        "-", "(empty)", "", ",", "a,b,c", ",,",
+        "\\x09", "\\x0a", "\\\\", "\\", "\\xZZ",
+        "T", "F", "true", "0", "1", "-1", "2048",
+        "1700000000.5", "1e309", "nan", "inf", "-0.0", "0x10",
+        "CN=Ä,O=Öst", "CN=café,O=☃ Corp", "ＣＮ=wide",
+        "CN=University of Mordor,OU=Orcs",
+    ]
+)
+_text_cells = st.text(
+    alphabet=st.characters(
+        blacklist_characters="\t\n\r", blacklist_categories=("Cs",)
+    ),
+    max_size=12,
+)
+_cells = st.one_of(_weird_cells, _text_cells)
+#: Row widths deliberately stray from the schema width in both
+#: directions — short rows exercise the cell-count fault and the
+#: "which field did it stop at" attribution.
+_rows = st.lists(_cells, min_size=0, max_size=22).map("\t".join)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@given(rows=st.lists(_rows, min_size=1, max_size=5), truncate=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_pathological_rows(kind, rows, truncate):
+    text = HEADERS[kind] + "".join(row + "\n" for row in rows)
+    if truncate:
+        text = text.rstrip("\n")
+    for policy in POLICIES:
+        assert_equivalent(kind, text, policy)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_mutated_valid_rows(kind, data):
+    """A single poisoned cell inside an otherwise-valid corpus: the
+    fast path must fall back on exactly that row and nowhere else."""
+    rows = list(VALID_ROWS[kind])
+    target = data.draw(st.integers(0, len(rows) - 1), label="row")
+    cells = rows[target].split("\t")
+    column = data.draw(st.integers(0, len(cells) - 1), label="column")
+    cells[column] = data.draw(_cells, label="replacement")
+    rows[target] = "\t".join(cells)
+    text = HEADERS[kind] + "".join(row + "\n" for row in rows) + "#close\n"
+    for policy in POLICIES:
+        assert_equivalent(kind, text, policy)

@@ -39,8 +39,15 @@ EXPECTED_FORMAT = "golden-expected/v1"
 CORPUS_FORMAT = "golden-corpus/v1"
 
 
-def build_study() -> CampusStudy:
-    return CampusStudy(config=GOLDEN_CONFIG)
+def build_study(
+    fast_path: str = "auto", on_error: str = "strict"
+) -> CampusStudy:
+    """The golden study; ``fast_path``/``on_error`` select the legs of
+    the fast-vs-slow comparison (lenient legs re-ingest through the TSV
+    reader, which is what exercises the decoders)."""
+    return CampusStudy(
+        config=GOLDEN_CONFIG, fast_path=fast_path, on_error=on_error
+    )
 
 
 def corpus_fingerprint(study: CampusStudy) -> dict[str, Any]:

@@ -65,6 +65,48 @@ def test_suite_catches_one_line_perturbation(study, expected):
     assert "+" in diff and "-" in diff
 
 
+@pytest.fixture(scope="module")
+def fast_legs():
+    """Two full pipeline runs over the corpus in the same session: the
+    fast path on and off, both re-ingesting through the TSV reader
+    (``on_error="skip"``) so the decoders actually run."""
+    on = golden.build_study(fast_path="on", on_error="skip")
+    off = golden.build_study(fast_path="off", on_error="skip")
+    return on, off
+
+
+@pytest.mark.parametrize("name", golden.analysis_names())
+def test_fast_leg_matches_slow_leg(fast_legs, name):
+    on, off = fast_legs
+    fast_table = golden.table_to_json(on.table(name))
+    slow_table = golden.table_to_json(off.table(name))
+    assert fast_table == slow_table, (
+        f"analysis {name!r} differs between --fast-path on and off — the "
+        "byte-identical contract is broken:\n"
+        + golden.diff_tables(slow_table, fast_table)
+    )
+
+
+@pytest.mark.parametrize("name", golden.analysis_names())
+def test_fast_leg_matches_golden(fast_legs, expected, name):
+    """The fast path through the *reader* still lands on the pinned
+    expectations (round-trip fidelity plus decoder equivalence)."""
+    on, _ = fast_legs
+    actual = golden.table_to_json(on.table(name))
+    pinned = expected["tables"][name]
+    assert actual == pinned, (
+        f"fast-path analysis {name!r} drifted from the golden "
+        "expectation:\n" + golden.diff_tables(pinned, actual)
+    )
+
+
+def test_fast_legs_agree_on_ingest_report(fast_legs):
+    on, off = fast_legs
+    assert (
+        on.run().ingest_report.to_dict() == off.run().ingest_report.to_dict()
+    )
+
+
 def test_expected_document_is_normalized():
     """expected.json stays in the exact format update.py writes, so
     re-pinning produces minimal diffs."""

@@ -1,0 +1,15 @@
+"""Filesystem hygiene for the zeek suite.
+
+Every test in this package runs with its working directory inside
+pytest's managed ``tmp_path`` tree, so anything that writes a relative
+path — a quarantine spill, a rotated-log scratch dir, a stray debug
+dump — lands in a per-test directory that pytest garbage-collects,
+never in the invoking checkout.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cwd(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
