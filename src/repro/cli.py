@@ -14,6 +14,9 @@ Subcommands::
                               [--fast-path MODE]
     python -m repro intercept SSL_LOG X509_LOG --trust-bundle FILE
                               [--min-domains N] [--fast-path MODE]
+    python -m repro serve     DIR --trust-bundle FILE [--host H] [--port P]
+                              [--checkpoint FILE] [--resume]
+                              [--overload-rows N]
 
 `generate` writes Zeek-format ssl.log / x509.log plus a trust-bundle
 file, so `intercept`, `audit`, and (with ``--rotated``) `analyze` can
@@ -73,11 +76,11 @@ def _scale_parent() -> argparse.ArgumentParser:
     return parent
 
 
-def _on_error_parent() -> argparse.ArgumentParser:
+def _on_error_parent(default: str = "strict") -> argparse.ArgumentParser:
     """Shared --on-error argument (argparse parent)."""
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
-        "--on-error", choices=[p.value for p in ErrorPolicy], default="strict",
+        "--on-error", choices=[p.value for p in ErrorPolicy], default=default,
         help="malformed-line policy: fail fast (strict), drop and count "
              "(skip), or drop and capture raw lines (quarantine)",
     )
@@ -241,6 +244,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("export_a", type=Path)
     compare.add_argument("export_b", type=Path)
+
+    serve = sub.add_parser(
+        "serve",
+        help="tail a live Zeek log directory and serve the analyses "
+             "over a local JSON API",
+        # A long-running monitor should survive a malformed line and
+        # account for it, so lenient ingest is serve's default.
+        parents=[_on_error_parent(default="skip"), observability, fast_path],
+    )
+    serve.add_argument("directory", type=Path,
+                       help="directory holding the live ssl.log / x509.log")
+    serve.add_argument(
+        "--trust-bundle", type=Path, required=True,
+        help="file with one trusted issuer DN per line ('org:<name>' lines "
+             "add trusted organizations)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="API bind address (default loopback)")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="API port (default 0 = pick a free port; the chosen port is "
+             "printed on startup)",
+    )
+    serve.add_argument(
+        "--checkpoint", type=Path, default=None, metavar="FILE",
+        help="checkpoint file (default DIR/livetail-checkpoint.json)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=30.0, metavar="SECONDS",
+        help="seconds between scheduled checkpoints (default 30)",
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.05, metavar="SECONDS",
+        help="idle sleep between directory polls (default 0.05)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="restore tail positions and aggregates from the checkpoint "
+             "file before serving (fresh start if it is absent)",
+    )
+    serve.add_argument(
+        "--min-domains", type=int, default=5,
+        help="interception filter threshold (see `intercept`)",
+    )
+    serve.add_argument(
+        "--max-fuid-map", type=int, default=None, metavar="N",
+        help="bound the fuid→certificate join map to N entries (LRU)",
+    )
+    serve.add_argument(
+        "--overload-rows", type=int, default=0, metavar="N",
+        help="admission control: switch hot tables to reservoir sampling "
+             "when a poll delivers more than N established connections "
+             "(0 = never sample; every row is exact)",
+    )
+    serve.add_argument(
+        "--overload-clear-rows", type=int, default=None, metavar="N",
+        help="leave sampling once a poll delivers at most N established "
+             "connections (default: half of --overload-rows)",
+    )
+    serve.add_argument(
+        "--reservoir", type=int, default=4096, metavar="N",
+        help="reservoir size per sampling window (default 4096)",
+    )
+    serve.add_argument(
+        "--sample-table", action="append", default=None, metavar="NAME",
+        help="table switched to sampling under overload (repeatable; "
+             "default: the volume-heavy distribution tables)",
+    )
     return parser
 
 
@@ -525,6 +596,61 @@ def cmd_intercept(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.core.livetail import (
+        DEFAULT_HOT_TABLES,
+        AdmissionController,
+        LiveTailDaemon,
+    )
+    from repro.core.server import LiveTailServer
+
+    if args.trace is not None:
+        tracing.configure(args.trace)
+    bundle = load_trust_bundle(args.trust_bundle)
+    admission = AdmissionController(
+        high_watermark=args.overload_rows,
+        low_watermark=args.overload_clear_rows,
+        reservoir_size=args.reservoir,
+        hot_tables=tuple(args.sample_table) if args.sample_table
+        else DEFAULT_HOT_TABLES,
+    )
+    checkpoint = args.checkpoint
+    if checkpoint is None:
+        checkpoint = args.directory / "livetail-checkpoint.json"
+    daemon = LiveTailDaemon(
+        args.directory, bundle,
+        checkpoint_path=checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        poll_interval=args.poll_interval,
+        on_error=args.on_error,
+        fast_path=args.fast_path,
+        max_fuid_map=args.max_fuid_map,
+        min_interception_domains=args.min_domains,
+        admission=admission,
+        resume=args.resume,
+    )
+    server = LiveTailServer(daemon, host=args.host, port=args.port)
+
+    def _stop(signum, frame):  # noqa: ARG001 - signal API
+        daemon.stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    server.start()
+    print(f"livetail: serving on http://{server.host}:{server.port}",
+          flush=True)
+    if daemon.resumed:
+        print(f"livetail: resumed from {checkpoint}", flush=True)
+    try:
+        daemon.run()
+    finally:
+        server.shutdown()
+    _emit_metrics(args.metrics, daemon.engine.metrics)
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.compare import diff_study_json, render_study_diff
 
@@ -544,6 +670,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit": cmd_audit,
         "intercept": cmd_intercept,
         "compare": cmd_compare,
+        "serve": cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -330,6 +330,11 @@ class Enricher:
             return self.fact_cache.get(record.fingerprint, record).is_public
         return _is_public(record, self.bundle)
 
+    def label(self, conn: ConnView) -> EnrichedConn:
+        """Label one raw connection view — the incremental entry point
+        (same path batch enrichment takes per connection)."""
+        return self._label(conn)
+
     def _label(self, conn: ConnView) -> EnrichedConn:
         direction = "inbound" if self.is_internal(conn.ssl.id_resp_h) else "outbound"
         server_public = (

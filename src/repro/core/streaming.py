@@ -23,7 +23,9 @@ streams; evictions and dangling fuid references are both counted.
 
 from __future__ import annotations
 
+import io
 import json
+import os
 from pathlib import Path
 from typing import Iterable
 
@@ -38,7 +40,13 @@ from repro.core.prevalence import (
 )
 from repro.core.tuples import Tls13Blindspot, Tls13State
 from repro.trust import TrustBundle
-from repro.zeek import FastPath, SslRecord, X509Record
+from repro.zeek import (
+    FastPath,
+    SslRecord,
+    X509Record,
+    read_x509_log,
+    x509_log_to_string,
+)
 
 #: Snapshot schema tag; bump on incompatible layout changes.
 SNAPSHOT_FORMAT = "streaming-analyzer/v2"
@@ -46,6 +54,52 @@ SNAPSHOT_FORMAT = "streaming-analyzer/v2"
 #: The previous schema: per-certificate quadruplets and monthly counters
 #: at the top level, no embedded registry partial states.
 _SNAPSHOT_FORMAT_V1 = "streaming-analyzer/v1"
+
+
+def atomic_write_json(path: Path | str, payload: dict) -> Path:
+    """Write ``payload`` as JSON, durably and atomically.
+
+    The document goes to a ``.tmp`` sibling, is fsynced, and is renamed
+    into place; an existing file is retained as ``<path>.prev`` first.
+    A crash at any point leaves either the new document or the previous
+    good one loadable — never a torn or empty rename target. The temp
+    file is unlinked even on failure.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as out:
+            json.dump(payload, out)
+            out.flush()
+            os.fsync(out.fileno())
+        if path.exists():
+            os.replace(path, path.with_suffix(path.suffix + ".prev"))
+        os.replace(tmp, path)
+    finally:
+        try:
+            tmp.unlink()
+        except FileNotFoundError:
+            pass
+    return path
+
+
+def load_checkpoint_json(path: Path | str) -> tuple[dict, bool]:
+    """Load a checkpoint document with last-good fallback.
+
+    Returns ``(document, used_prev)``: if the primary file is missing,
+    corrupt, or truncated, the retained ``<path>.prev`` copy is tried;
+    only when neither yields valid JSON does the primary's error
+    propagate.
+    """
+    path = Path(path)
+    try:
+        return json.loads(path.read_text(encoding="utf-8")), False
+    except (OSError, ValueError, UnicodeDecodeError) as primary_error:
+        prev = path.with_suffix(path.suffix + ".prev")
+        try:
+            return json.loads(prev.read_text(encoding="utf-8")), True
+        except (OSError, ValueError, UnicodeDecodeError):
+            raise primary_error from None
 
 
 class StreamingAnalyzer:
@@ -72,12 +126,19 @@ class StreamingAnalyzer:
         *,
         max_fuid_map: int | None = None,
         fast_path: FastPath | str | bool = FastPath.AUTO,
+        keep_records: bool = False,
     ) -> None:
         if max_fuid_map is not None and max_fuid_map <= 0:
             raise ValueError("max_fuid_map must be positive (or None)")
         self.bundle = bundle
         self.max_fuid_map = max_fuid_map
         self.fast_path = FastPath.coerce(fast_path)
+        #: When set, the full x509 record (not just the fingerprint) is
+        #: retained per live fuid — same last-wins/eviction lifecycle as
+        #: the fuid map — so a caller can rebuild connection views
+        #: (`x509_for_fuid`). Used by the live-tail engine.
+        self.keep_records = keep_records
+        self._fuid_records: dict[str, X509Record] = {}
         self._fact_cache = (
             new_fact_cache(bundle) if self.fast_path.enabled else None
         )
@@ -103,7 +164,10 @@ class StreamingAnalyzer:
             if record.fuid in self._fuid_to_fp:
                 # Refresh recency so re-announced fuids survive eviction.
                 del self._fuid_to_fp[record.fuid]
+                self._fuid_records.pop(record.fuid, None)
             self._fuid_to_fp[record.fuid] = record.fingerprint
+            if self.keep_records:
+                self._fuid_records[record.fuid] = record
             if self._fact_cache is not None:
                 public = self._fact_cache.get(
                     record.fingerprint, record
@@ -118,6 +182,7 @@ class StreamingAnalyzer:
             ):
                 oldest = next(iter(self._fuid_to_fp))
                 del self._fuid_to_fp[oldest]
+                self._fuid_records.pop(oldest, None)
                 self.fuid_evictions += 1
         self.metrics.inc("streaming.x509_records", fed)
 
@@ -142,6 +207,13 @@ class StreamingAnalyzer:
         """Feed one rotation window (x509 first, as Zeek ordering allows)."""
         self.add_x509(x509)
         self.add_ssl(ssl)
+
+    def x509_for_fuid(self, fuid: str | None) -> X509Record | None:
+        """The retained x509 record for a live fuid (``keep_records``
+        mode only; returns None for unknown/evicted fuids)."""
+        if fuid is None:
+            return None
+        return self._fuid_records.get(fuid)
 
     def _observe_leaf(self, fuid: str | None, role: str, mutual: bool) -> None:
         if fuid is None:
@@ -180,7 +252,7 @@ class StreamingAnalyzer:
         first post-resume occurrence of each certificate just recomputes.
         """
         self._sync_cache_metrics()
-        return {
+        snapshot = {
             "format": SNAPSHOT_FORMAT,
             "max_fuid_map": self.max_fuid_map,
             "fuid_to_fp": dict(self._fuid_to_fp),
@@ -199,6 +271,14 @@ class StreamingAnalyzer:
             "fuid_evictions": self.fuid_evictions,
             "metrics": self.metrics.state_dict(),
         }
+        if self.keep_records:
+            # Serialized as TSV text (the canonical, proven round-trip
+            # format) rather than a parallel JSON schema; insertion
+            # order — which mirrors the fuid map's — survives.
+            snapshot["x509_records"] = x509_log_to_string(
+                self._fuid_records.values()
+            )
+        return snapshot
 
     @classmethod
     def from_snapshot(cls, bundle: TrustBundle, snapshot: dict) -> "StreamingAnalyzer":
@@ -252,28 +332,50 @@ class StreamingAnalyzer:
         analyzer.dropped_unestablished = snapshot["dropped_unestablished"]
         analyzer.dropped_dangling_fuid = snapshot.get("dropped_dangling_fuid", 0)
         analyzer.fuid_evictions = snapshot.get("fuid_evictions", 0)
+        x509_text = snapshot.get("x509_records")
+        if x509_text is not None:
+            analyzer.keep_records = True
+            analyzer._fuid_records = {
+                record.fuid: record
+                for record in read_x509_log(io.StringIO(x509_text))
+            }
         # Older snapshots carry no metrics; merge_state tolerates None.
         analyzer.metrics.merge_state(snapshot.get("metrics"))
         return analyzer
 
-    def write_checkpoint(self, path: Path | str) -> Path:
-        """Persist the snapshot as JSON; atomic against a reader (the
-        temp file is renamed into place only once fully written)."""
+    def write_checkpoint(
+        self, path: Path | str, *, extra: dict | None = None
+    ) -> Path:
+        """Persist the snapshot as durable JSON (see `atomic_write_json`:
+        fsync before rename, last-good ``.prev`` retained, temp file
+        cleaned up on failure). ``extra`` merges additional top-level
+        keys into the document — e.g. the live-tail daemon's cursor
+        state — which `from_snapshot` ignores.
+        """
         path = Path(path)
         self.metrics.inc("streaming.checkpoint_writes")
         with metrics.scoped(self.metrics), tracing.span("streaming.checkpoint"):
-            tmp = path.with_suffix(path.suffix + ".tmp")
-            tmp.write_text(json.dumps(self.to_snapshot()), encoding="utf-8")
-            tmp.replace(path)
+            document = self.to_snapshot()
+            if extra:
+                document.update(extra)
+            atomic_write_json(path, document)
         return path
 
     @classmethod
     def from_checkpoint(
         cls, bundle: TrustBundle, path: Path | str
     ) -> "StreamingAnalyzer":
-        return cls.from_snapshot(
-            bundle, json.loads(Path(path).read_text(encoding="utf-8"))
-        )
+        """Restore from a checkpoint file.
+
+        A corrupt or truncated primary (torn write under a crash) falls
+        back to the retained last-good ``<path>.prev`` document; the
+        fallback is counted as ``streaming.checkpoint_fallbacks``.
+        """
+        document, used_prev = load_checkpoint_json(path)
+        analyzer = cls.from_snapshot(bundle, document)
+        if used_prev:
+            analyzer.metrics.inc("streaming.checkpoint_fallbacks")
+        return analyzer
 
     # Queries -------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.netsim.cas import CaUniverse
 from repro.netsim.faults import (
     CorruptionSummary,
     FaultPlan,
+    LiveLogWriter,
     LogCorruptor,
     SimulatedWorkerCrash,
     TransientWorkerFault,
@@ -28,6 +29,7 @@ from repro.netsim.generator import GroundTruth, SimulationResult, TrafficGenerat
 __all__ = [
     "CorruptionSummary",
     "FaultPlan",
+    "LiveLogWriter",
     "LogCorruptor",
     "SimulatedWorkerCrash",
     "TransientWorkerFault",

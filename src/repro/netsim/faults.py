@@ -357,3 +357,222 @@ class WorkerFaultPlan:
                 f"injected transient failure on shard {month} ({phase}), "
                 f"attempt {attempt}/{budget}"
             )
+
+
+class LiveLogWriter:
+    """Replay a finished :class:`~repro.zeek.builder.ZeekLogs` capture
+    into a directory the way a live Zeek writes it — incrementally, with
+    injectable rotation, truncation, partial-write, and burst faults —
+    so the live-tail daemon can be chaos-tested against a ground truth.
+
+    The two streams are interleaved by timestamp: before each ssl row,
+    every x509 row with an earlier-or-equal timestamp is written, plus
+    any certificate the ssl row references that has not been emitted yet
+    (Zeek logs the certificate before the connection that carried it).
+    Live files are ``ssl.log``/``x509.log``; a row from a new calendar
+    month first rotates the instance to ``{kind}.{YYYY-MM}.log``
+    (collision-suffixed), mirroring the batch archive layout of
+    :func:`repro.zeek.files.write_rotated_logs`.
+
+    Faults:
+
+    - :meth:`rotate` — close + rename now (``#close`` footer written);
+    - :meth:`truncate` — the *copytruncate* idiom: the live file is
+      truncated in place (same inode — a tailer observes a genuine size
+      regression) and its prior content lands in a ``.copyN`` rotated
+      file, so no durable row is destroyed;
+    - :meth:`partial_write` — only a prefix of the next line, no
+      newline (a mid-write read must buffer it);
+    - :meth:`write_next` with a large count — a burst.
+
+    After :meth:`finalize` the directory is a pure rotated archive —
+    every live instance closed and renamed — that the batch pipeline
+    consumes directly, which is what makes the daemon-vs-batch
+    equivalence test possible.
+    """
+
+    def __init__(self, logs, directory) -> None:
+        from pathlib import Path
+
+        from repro.zeek.tsv import format_ssl_row, format_x509_row
+
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        ssl_sorted = sorted(logs.ssl, key=lambda r: r.ts)
+        x509_sorted = sorted(logs.x509, key=lambda r: r.ts)
+        by_fuid: dict[str, list[int]] = {}
+        for index, record in enumerate(x509_sorted):
+            by_fuid.setdefault(record.fuid, []).append(index)
+        emitted = [False] * len(x509_sorted)
+        events: list[tuple[str, str, str]] = []
+
+        def month(ts) -> str:
+            return f"{ts.year:04d}-{ts.month:02d}"
+
+        def emit_x509(index: int) -> None:
+            if not emitted[index]:
+                emitted[index] = True
+                record = x509_sorted[index]
+                events.append(
+                    ("x509", format_x509_row(record) + "\n", month(record.ts))
+                )
+
+        next_x509 = 0
+        for row in ssl_sorted:
+            while (
+                next_x509 < len(x509_sorted)
+                and x509_sorted[next_x509].ts <= row.ts
+            ):
+                emit_x509(next_x509)
+                next_x509 += 1
+            for fuid in (*row.cert_chain_fuids, *row.client_cert_chain_fuids):
+                for index in by_fuid.get(fuid, ()):
+                    emit_x509(index)
+            events.append(("ssl", format_ssl_row(row) + "\n", month(row.ts)))
+        while next_x509 < len(x509_sorted):
+            emit_x509(next_x509)
+            next_x509 += 1
+        self._events = events
+        self._cursor = 0
+        self._files: dict[str, object] = {}
+        self._months: dict[str, str] = {}
+        self._partial: tuple[str, str] | None = None
+        self._copies = 0
+        self.rotations = 0
+        self.truncations = 0
+
+    # ------------------------------------------------------------------ helpers
+
+    def _live_path(self, kind: str):
+        return self.directory / f"{kind}.log"
+
+    def _ensure_open(self, kind: str, month: str):
+        from repro.zeek.tsv import log_header_text
+
+        fh = self._files.get(kind)
+        if fh is not None and self._months[kind] != month:
+            self.rotate(kind)
+            fh = None
+        if fh is None:
+            fh = open(self._live_path(kind), "w", encoding="utf-8")
+            fh.write(log_header_text(kind))
+            fh.flush()
+            self._files[kind] = fh
+            self._months[kind] = month
+        return fh
+
+    def _complete_partial(self) -> None:
+        if self._partial is None:
+            return
+        kind, rest = self._partial
+        self._partial = None
+        fh = self._files[kind]
+        fh.write(rest)
+        fh.flush()
+
+    # ------------------------------------------------------------------ writing
+
+    @property
+    def remaining(self) -> int:
+        """Events not yet (fully) written."""
+        return len(self._events) - self._cursor
+
+    @property
+    def has_partial(self) -> bool:
+        return self._partial is not None
+
+    def write_next(self, count: int = 1) -> int:
+        """Write the next ``count`` interleaved lines (completing any
+        pending partial line first); returns the lines written."""
+        self._complete_partial()
+        written = 0
+        while written < count and self._cursor < len(self._events):
+            kind, line, month = self._events[self._cursor]
+            fh = self._ensure_open(kind, month)
+            fh.write(line)
+            fh.flush()
+            self._cursor += 1
+            written += 1
+        return written
+
+    def partial_write(self, nbytes: int | None = None) -> bool:
+        """Write only a prefix of the next line — no trailing newline —
+        leaving the remainder pending (completed by the next write). A
+        mid-write reader must buffer, not drop, the cut row. Returns
+        False when the capture is exhausted."""
+        self._complete_partial()
+        if self._cursor >= len(self._events):
+            return False
+        kind, line, month = self._events[self._cursor]
+        self._cursor += 1
+        cut = nbytes if nbytes is not None else max(1, len(line) // 2)
+        cut = max(1, min(cut, len(line) - 1))  # keep the newline pending
+        fh = self._ensure_open(kind, month)
+        fh.write(line[:cut])
+        fh.flush()
+        self._partial = (kind, line[cut:])
+        return True
+
+    # ------------------------------------------------------------------- faults
+
+    def rotate(self, kind: str):
+        """Close the live instance (``#close`` footer) and rename it to
+        its month-named rotated file, like Zeek's own rotation. Returns
+        the rotated path (None when no instance is open)."""
+        if self._partial is not None and self._partial[0] == kind:
+            self._complete_partial()
+        fh = self._files.pop(kind, None)
+        if fh is None:
+            return None
+        month = self._months.pop(kind)
+        fh.write("#close\n")
+        fh.close()
+        target = self.directory / f"{kind}.{month}.log"
+        serial = 1
+        while target.exists():
+            serial += 1
+            target = self.directory / f"{kind}.{month}.{serial}.log"
+        os.replace(self._live_path(kind), target)
+        self.rotations += 1
+        return target
+
+    def truncate(self, kind: str):
+        """Copytruncate the live instance (logrotate's idiom): truncate
+        ``{kind}.log`` in place — same inode, so a tailer observes a
+        genuine size regression — then land the prior content in a
+        ``.copyN`` rotated file. No durable row is destroyed. The
+        truncation strictly precedes the copy's appearance, so a tailer
+        never meets the copy without the truncation being observable."""
+        from repro.zeek.tsv import log_header_text
+
+        if self._partial is not None and self._partial[0] == kind:
+            self._complete_partial()
+        fh = self._files.get(kind)
+        if fh is None:
+            return None
+        fh.flush()
+        content = self._live_path(kind).read_bytes()
+        fh.seek(0)
+        fh.truncate()
+        fh.write(log_header_text(kind))
+        fh.flush()
+        self.truncations += 1
+        self._copies += 1
+        month = self._months[kind]
+        target = self.directory / f"{kind}.{month}.copy{self._copies}.log"
+        tmp = target.with_suffix(".tmp")
+        tmp.write_bytes(content)
+        os.replace(tmp, target)
+        return target
+
+    def finalize(self) -> list:
+        """Drain every remaining event and rotate all live instances;
+        the directory becomes a finished rotated archive, directly
+        consumable by the batch pipeline."""
+        self.write_next(len(self._events))
+        rotated = []
+        for kind in ("ssl", "x509"):
+            target = self.rotate(kind)
+            if target is not None:
+                rotated.append(target)
+        return rotated

@@ -20,7 +20,11 @@ from repro.zeek.builder import ZeekLogBuilder, ZeekLogs
 from repro.zeek.dpd import encode_client_hello_preamble, looks_like_tls
 from repro.zeek.ingest import ErrorPolicy, FastPath, IngestIssue, IngestReport
 from repro.zeek.tsv import (
+    TailDecoder,
     TsvFormatError,
+    format_ssl_row,
+    format_x509_row,
+    log_header_text,
     read_ssl_log,
     read_x509_log,
     ssl_log_to_string,
@@ -44,7 +48,11 @@ __all__ = [
     "ZeekLogs",
     "encode_client_hello_preamble",
     "looks_like_tls",
+    "TailDecoder",
     "TsvFormatError",
+    "format_ssl_row",
+    "format_x509_row",
+    "log_header_text",
     "read_ssl_log",
     "read_x509_log",
     "ssl_log_to_string",

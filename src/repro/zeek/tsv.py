@@ -491,27 +491,68 @@ def _write_header(out: TextIO, path: str, fields: list[tuple[str, str]]) -> None
     out.write("#types\t" + "\t".join(type_ for _, type_ in fields) + "\n")
 
 
+def format_ssl_row(r: SslRecord) -> str:
+    """One ssl.log data row (no trailing newline) in Zeek TSV format."""
+    row = [
+        _format_time(r.ts),
+        r.uid,
+        r.id_orig_h,
+        str(r.id_orig_p),
+        r.id_resp_h,
+        str(r.id_resp_p),
+        r.version,
+        r.cipher,
+        _format_optional(r.server_name),
+        _format_bool(r.established),
+        _format_vector(r.cert_chain_fuids),
+        _format_vector(r.client_cert_chain_fuids),
+        _format_nullable(r.validation_status),
+        _format_bool(r.resumed),
+    ]
+    return "\t".join(row)
+
+
+def format_x509_row(r: X509Record) -> str:
+    """One x509.log data row (no trailing newline) in Zeek TSV format."""
+    ca = r.basic_constraints_ca
+    row = [
+        _format_time(r.ts),
+        r.fuid,
+        r.fingerprint,
+        str(r.version),
+        r.serial,
+        _format_optional(r.subject or None),
+        _format_optional(r.issuer or None),
+        _format_time(r.not_valid_before),
+        _format_time(r.not_valid_after),
+        r.key_alg,
+        r.sig_alg,
+        str(r.key_length),
+        _format_vector(r.san_dns),
+        _format_vector(r.san_uri),
+        _format_vector(r.san_email),
+        _format_vector(r.san_ip),
+        _UNSET if ca is None else _format_bool(ca),
+        _format_vector(r.eku),
+    ]
+    return "\t".join(row)
+
+
+def log_header_text(kind: str) -> str:
+    """The full header block (``#separator`` .. ``#types``) for one log
+    kind (``'ssl'`` or ``'x509'``), newline-terminated."""
+    if kind not in ("ssl", "x509"):
+        raise ValueError(f"unknown log kind {kind!r}")
+    buffer = io.StringIO()
+    _write_header(buffer, kind, _SSL_FIELDS if kind == "ssl" else _X509_FIELDS)
+    return buffer.getvalue()
+
+
 def write_ssl_log(records: Iterable[SslRecord], out: TextIO) -> None:
     """Write ssl.log rows in Zeek TSV format."""
     _write_header(out, "ssl", _SSL_FIELDS)
     for r in records:
-        row = [
-            _format_time(r.ts),
-            r.uid,
-            r.id_orig_h,
-            str(r.id_orig_p),
-            r.id_resp_h,
-            str(r.id_resp_p),
-            r.version,
-            r.cipher,
-            _format_optional(r.server_name),
-            _format_bool(r.established),
-            _format_vector(r.cert_chain_fuids),
-            _format_vector(r.client_cert_chain_fuids),
-            _format_nullable(r.validation_status),
-            _format_bool(r.resumed),
-        ]
-        out.write("\t".join(row) + "\n")
+        out.write(format_ssl_row(r) + "\n")
     out.write("#close\n")
 
 
@@ -519,28 +560,7 @@ def write_x509_log(records: Iterable[X509Record], out: TextIO) -> None:
     """Write x509.log rows in Zeek TSV format."""
     _write_header(out, "x509", _X509_FIELDS)
     for r in records:
-        ca = r.basic_constraints_ca
-        row = [
-            _format_time(r.ts),
-            r.fuid,
-            r.fingerprint,
-            str(r.version),
-            r.serial,
-            _format_optional(r.subject or None),
-            _format_optional(r.issuer or None),
-            _format_time(r.not_valid_before),
-            _format_time(r.not_valid_after),
-            r.key_alg,
-            r.sig_alg,
-            str(r.key_length),
-            _format_vector(r.san_dns),
-            _format_vector(r.san_uri),
-            _format_vector(r.san_email),
-            _format_vector(r.san_ip),
-            _UNSET if ca is None else _format_bool(ca),
-            _format_vector(r.eku),
-        ]
-        out.write("\t".join(row) + "\n")
+        out.write(format_x509_row(r) + "\n")
     out.write("#close\n")
 
 
@@ -877,6 +897,183 @@ def read_x509_log(
         fast_converters=_x509_fast_converters,
     )
     return reader.read(source)
+
+
+class TailDecoder:
+    """Incremental, restartable TSV decoder for one live log file.
+
+    Built for tailing a file that is still being written: feed arbitrary
+    chunks of text as they become readable and complete lines are
+    decoded immediately — through the same header handling, error
+    policy, fast path, and :class:`IngestReport` accounting as the batch
+    readers. An unterminated trailing line (a mid-write read) is
+    *buffered*, never dropped or miscounted; it decodes once its newline
+    arrives in a later chunk. Only :meth:`finish` — called when the file
+    instance truly ends (rotation drained, truncation, writer gone) —
+    flushes a still-pending tail through the batch truncated-final-line
+    path and performs the missing-``#close`` accounting.
+
+    The decode state (header permutation, line number, pending tail) is
+    JSON-serializable via :meth:`state_dict`/:meth:`load_state`, so a
+    checkpointed tailer can resume mid-file with line numbers and
+    accounting identical to an uninterrupted read. Restores construct
+    with ``count_file=False``: the original decoder already counted the
+    file when it was first opened.
+    """
+
+    _SCHEMAS: dict[str, tuple] = {
+        "ssl": (_SSL_FIELDS, _SSL_PARSERS, SslRecord, _ssl_fast_converters),
+        "x509": (_X509_FIELDS, _X509_PARSERS, X509Record, _x509_fast_converters),
+    }
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        report: IngestReport | None = None,
+        path: str | None = None,
+        fast_path: FastPath | str | bool = FastPath.AUTO,
+        count_file: bool = True,
+    ) -> None:
+        try:
+            fields, parsers, factory, converters = self._SCHEMAS[kind]
+        except KeyError:
+            raise ValueError(f"unknown log kind {kind!r}") from None
+        self.kind = kind
+        self._reader = _LogReader(
+            kind, fields, parsers, factory,
+            ErrorPolicy.coerce(on_error), report, path,
+            fast=FastPath.coerce(fast_path).enabled,
+            fast_converters=converters,
+        )
+        if count_file:
+            self._reader.report.files_read += 1
+        self._pending = ""
+        self._line_number = 0
+        self._finished = False
+
+    @property
+    def report(self) -> IngestReport:
+        return self._reader.report
+
+    @property
+    def pending(self) -> str:
+        """The buffered unterminated tail, if any."""
+        return self._pending
+
+    @property
+    def saw_close(self) -> bool:
+        return self._reader.saw_close
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def feed(self, chunk: str) -> list:
+        """Decode every complete line in ``pending + chunk``; buffer the rest."""
+        if self._finished:
+            raise ValueError("feed() after finish()")
+        if not chunk:
+            return []
+        lines = (self._pending + chunk).split("\n")
+        self._pending = lines.pop()
+        reader = self._reader
+        records: list = []
+        append = records.append
+        expected = len(reader.field_names)
+        decode = reader._decoder_for_state() if reader.fast else None
+        ok = 0
+        try:
+            for line in lines:
+                self._line_number += 1
+                if not line:
+                    continue
+                if line[0] == "#":
+                    reader._handle_header(line, self._line_number)
+                    if reader.fast:
+                        decode = reader._decoder_for_state()
+                    continue
+                if decode is not None:
+                    cells = line.split("\t")
+                    if len(cells) == expected:
+                        try:
+                            record = decode(cells)
+                        except Exception:
+                            record = reader._handle_row(line, self._line_number, True)
+                            if record is not None:
+                                append(record)
+                            continue
+                        append(record)
+                        ok += 1
+                        continue
+                record = reader._handle_row(line, self._line_number, True)
+                if record is not None:
+                    append(record)
+        finally:
+            reader.report.rows_ok += ok
+        return records
+
+    def finish(self) -> list:
+        """End of this file instance: flush a pending tail as a
+        truncated final line and account a missing ``#close``."""
+        if self._finished:
+            return []
+        self._finished = True
+        reader = self._reader
+        records: list = []
+        line, self._pending = self._pending, ""
+        if line:
+            self._line_number += 1
+            if line[0] == "#":
+                # Batch readers process headers regardless of the
+                # trailing newline; mirror that for a cut-off footer.
+                reader._handle_header(line, self._line_number)
+            else:
+                record = reader._handle_row(line, self._line_number, False)
+                if record is not None:
+                    records.append(record)
+        if not reader.saw_close:
+            reader.report.files_missing_close += 1
+            reader.report.record_header_issue(
+                path=reader.path, line_number=0, category="missing-close",
+                reason="no #close footer (writer crashed mid-rotation?)",
+            )
+        return records
+
+    def state_dict(self) -> dict:
+        reader = self._reader
+        return {
+            "kind": self.kind,
+            "pending": self._pending,
+            "line_number": self._line_number,
+            "finished": self._finished,
+            "permutation": (
+                list(reader.permutation) if reader.permutation is not None else None
+            ),
+            "saw_fields": reader.saw_fields,
+            "header_usable": reader.header_usable,
+            "path_rejected": reader.path_rejected,
+            "saw_close": reader.saw_close,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if state.get("kind") != self.kind:
+            raise ValueError(
+                f"decoder state is for kind {state.get('kind')!r}, not {self.kind!r}"
+            )
+        reader = self._reader
+        self._pending = state["pending"]
+        self._line_number = state["line_number"]
+        self._finished = state["finished"]
+        permutation = state["permutation"]
+        reader.permutation = (
+            list(permutation) if permutation is not None else None
+        )
+        reader.saw_fields = state["saw_fields"]
+        reader.header_usable = state["header_usable"]
+        reader.path_rejected = state["path_rejected"]
+        reader.saw_close = state["saw_close"]
 
 
 def ssl_log_to_string(records: Iterable[SslRecord]) -> str:

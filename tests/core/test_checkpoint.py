@@ -230,3 +230,120 @@ class TestSnapshotUpgrade:
         analyzer = _run(simulation, _months(simulation))
         batch = tls13_blindspot(MtlsDataset.from_logs(simulation.logs))
         assert analyzer.tls13_blindspot() == batch
+
+
+class TestDurableCheckpoint:
+    """Crash-safe checkpoint files: fsync'd atomic writes, no stray tmp
+    files, and a retained last-good fallback for torn primary writes."""
+
+    def test_tmp_file_removed_on_write_failure(self, simulation, tmp_path):
+        analyzer = _run(simulation, _months(simulation)[:1])
+        path = tmp_path / "ckpt.json"
+        with pytest.raises(TypeError):
+            # A non-serializable rider poisons json.dump mid-write.
+            analyzer.write_checkpoint(path, extra={"bad": object()})
+        assert not path.with_suffix(".json.tmp").exists()
+        assert not path.exists()
+
+    def test_write_fsyncs_before_rename(self, simulation, tmp_path, monkeypatch):
+        import os as _os
+
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(
+            "repro.core.streaming.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd)),
+        )
+        analyzer = _run(simulation, _months(simulation)[:1])
+        analyzer.write_checkpoint(tmp_path / "ckpt.json")
+        assert synced, "checkpoint bytes must be fsync'd before the rename"
+
+    def test_previous_checkpoint_retained(self, simulation, tmp_path):
+        months = _months(simulation)
+        analyzer = StreamingAnalyzer(simulation.trust_bundle)
+        path = tmp_path / "ckpt.json"
+        analyzer.add_month(*months[0])
+        analyzer.write_checkpoint(path)
+        first = path.read_text()
+        analyzer.add_month(*months[1])
+        analyzer.write_checkpoint(path)
+        prev = path.with_suffix(".json.prev")
+        assert prev.exists()
+        assert prev.read_text() == first
+
+    def test_corrupt_primary_falls_back_to_prev(self, simulation, tmp_path):
+        months = _months(simulation)
+        analyzer = StreamingAnalyzer(simulation.trust_bundle)
+        path = tmp_path / "ckpt.json"
+        analyzer.add_month(*months[0])
+        analyzer.write_checkpoint(path)
+        analyzer.add_month(*months[1])
+        analyzer.write_checkpoint(path)
+        # A torn write leaves truncated JSON in the primary file.
+        path.write_text(path.read_text()[: 40])
+        restored = StreamingAnalyzer.from_checkpoint(
+            simulation.trust_bundle, path
+        )
+        expected = _run(simulation, months[:1])
+        assert _state(restored) == _state(expected)
+        assert restored.metrics.counters["streaming.checkpoint_fallbacks"] == 1
+
+    def test_corrupt_primary_without_prev_raises(self, simulation, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            StreamingAnalyzer.from_checkpoint(simulation.trust_bundle, path)
+
+    def test_clean_primary_counts_no_fallback(self, simulation, tmp_path):
+        analyzer = _run(simulation, _months(simulation)[:1])
+        path = analyzer.write_checkpoint(tmp_path / "ckpt.json")
+        restored = StreamingAnalyzer.from_checkpoint(
+            simulation.trust_bundle, path
+        )
+        assert "streaming.checkpoint_fallbacks" not in restored.metrics.counters
+
+
+class TestKeepRecords:
+    """`keep_records=True` retains the joinable x509 record per live
+    fuid, with the same lifecycle as the fingerprint map — and the
+    retained records survive a checkpoint round trip."""
+
+    def test_lookup_follows_fuid_map(self, simulation):
+        analyzer = StreamingAnalyzer(
+            simulation.trust_bundle, keep_records=True
+        )
+        record = simulation.logs.x509[0]
+        analyzer.add_x509([record])
+        assert analyzer.x509_for_fuid(record.fuid) == record
+        assert analyzer.x509_for_fuid("nope") is None
+        assert analyzer.x509_for_fuid(None) is None
+
+    def test_eviction_drops_record(self, simulation):
+        x509 = [
+            dataclasses.replace(r, fuid=f"F{i}")
+            for i, r in enumerate(simulation.logs.x509[:3])
+        ]
+        analyzer = StreamingAnalyzer(
+            simulation.trust_bundle, max_fuid_map=2, keep_records=True
+        )
+        analyzer.add_x509(x509)
+        assert analyzer.x509_for_fuid("F0") is None  # evicted
+        assert analyzer.x509_for_fuid("F2") is not None
+
+    def test_snapshot_round_trip_keeps_records(self, simulation):
+        analyzer = StreamingAnalyzer(
+            simulation.trust_bundle, keep_records=True
+        )
+        analyzer.add_x509(simulation.logs.x509[:5])
+        snapshot = json.loads(json.dumps(analyzer.to_snapshot()))
+        restored = StreamingAnalyzer.from_snapshot(
+            simulation.trust_bundle, snapshot
+        )
+        assert restored.keep_records
+        for record in simulation.logs.x509[:5]:
+            assert restored.x509_for_fuid(record.fuid) == record
+
+    def test_default_mode_snapshot_has_no_records(self, simulation):
+        analyzer = StreamingAnalyzer(simulation.trust_bundle)
+        analyzer.add_x509(simulation.logs.x509[:5])
+        assert "x509_records" not in analyzer.to_snapshot()
