@@ -1,0 +1,105 @@
+"""Perf regression gate for the columnar-store re-analysis path.
+
+Checks two things against ``BENCH_store_analyze.json`` documents:
+
+1. the **committed baseline** (a full-campaign run) documents at least
+   ``--min-baseline-speedup`` (default 10x) — the store's acceptance
+   criterion stays on record and cannot silently erode;
+2. the **current** (typically CI-smoke) measurement still clears
+   ``--min-speedup`` (default 3x, the smoke floor: tiny corpora pay
+   store-open constants that the full campaign amortizes away).
+
+Run by the CI store job after the smoke bench::
+
+    python -m benchmarks.check_store_analyze \
+        --baseline benchmarks/BENCH_store_analyze.json \
+        --current  /tmp/bench-store/BENCH_store_analyze.json
+
+Ratios are used rather than absolute seconds because CI machines vary;
+a ratio only moves when the code does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The committed full-campaign baseline must document at least this.
+DEFAULT_MIN_BASELINE_SPEEDUP = 10.0
+
+#: Floor for the current (smoke) measurement.
+DEFAULT_MIN_SPEEDUP = 3.0
+
+
+def _load_entry(path: Path) -> dict:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    entries = [
+        entry for entry in document.get("entries", [])
+        if entry.get("test") == "test_store_reanalysis_speedup"
+    ]
+    if not entries:
+        raise SystemExit(f"{path}: no test_store_reanalysis_speedup entry")
+    return entries[0]
+
+
+def _speedup(entry: dict) -> float:
+    return float((entry.get("accuracy") or {}).get("speedup_vs_tsv") or 0.0)
+
+
+def check(
+    baseline_path: Path,
+    current_path: Path,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    min_baseline_speedup: float = DEFAULT_MIN_BASELINE_SPEEDUP,
+) -> list[str]:
+    """The list of regression findings (empty = gate passes)."""
+    findings = []
+    baseline = _speedup(_load_entry(baseline_path))
+    if baseline < min_baseline_speedup:
+        findings.append(
+            f"committed baseline documents only x{baseline:.1f} re-analysis "
+            f"speedup (acceptance criterion: x{min_baseline_speedup:.0f}); "
+            "re-measure on the full campaign before relaxing the gate"
+        )
+    current = _speedup(_load_entry(current_path))
+    if current < min_speedup:
+        findings.append(
+            f"measured store re-analysis speedup fell to x{current:.2f} "
+            f"(minimum x{min_speedup:.2f})"
+        )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP,
+        help="minimum current (smoke) store/tsv ratio (default 3.0)",
+    )
+    parser.add_argument(
+        "--min-baseline-speedup", type=float,
+        default=DEFAULT_MIN_BASELINE_SPEEDUP,
+        help="minimum speedup the committed baseline must document "
+             "(default 10.0 — the acceptance criterion)",
+    )
+    args = parser.parse_args(argv)
+    findings = check(
+        args.baseline, args.current, args.min_speedup,
+        args.min_baseline_speedup,
+    )
+    for finding in findings:
+        print(f"FAIL: {finding}", file=sys.stderr)
+    if not findings:
+        print(
+            f"ok: baseline x{_speedup(_load_entry(args.baseline)):.1f}, "
+            f"current x{_speedup(_load_entry(args.current)):.1f}"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,11 +5,12 @@ Subcommands::
     python -m repro generate  --out DIR [--months N] [--cpm N] [--seed N]
                               [--rotated]
     python -m repro study     [--months N] [--cpm N] [--seed N] [--table NAME]
-                              [--jobs N] [--fast-path MODE]
+                              [--jobs N] [--fast-path MODE] [--store DIR]
     python -m repro analyze   DIR --trust-bundle FILE [--jobs N]
                               [--table NAME] [--json] [--degrade POLICY]
                               [--max-attempts N] [--shard-timeout S]
-                              [--resume DIR] [--fast-path MODE]
+                              [--resume DIR] [--fast-path MODE] [--store DIR]
+    python -m repro pack      DIR --out STORE [--on-error POLICY]
     python -m repro audit     X509_LOG [--campus-marker TEXT]
                               [--fast-path MODE]
     python -m repro intercept SSL_LOG X509_LOG --trust-bundle FILE
@@ -44,6 +45,7 @@ from repro.trust import TrustBundle
 from repro.zeek import (
     ErrorPolicy,
     FastPath,
+    IngestOptions,
     IngestReport,
     TsvFormatError,
     read_ssl_log,
@@ -66,65 +68,95 @@ def _table_choices() -> list[str]:
     )
 
 
-def _scale_parent() -> argparse.ArgumentParser:
-    """Shared --months/--cpm/--seed arguments (argparse parent)."""
-    parent = argparse.ArgumentParser(add_help=False)
-    parent.add_argument("--months", type=int, default=23)
-    parent.add_argument("--cpm", type=int, default=1000,
-                        help="connections per month")
-    parent.add_argument("--seed", type=int, default=7)
-    return parent
-
-
-def _on_error_parent(default: str = "strict") -> argparse.ArgumentParser:
-    """Shared --on-error argument (argparse parent)."""
-    parent = argparse.ArgumentParser(add_help=False)
-    parent.add_argument(
-        "--on-error", choices=[p.value for p in ErrorPolicy], default=default,
+#: Declarative registry of every shared flag: one place to define a
+#: flag, one :func:`_options_parent` call per subcommand to pick the
+#: groups it wants. New shared flags (``--store``) land on every consumer
+#: at once instead of being copy-pasted into per-flag parent builders.
+_FLAG_SPECS: dict[str, tuple[tuple[str, ...], dict]] = {
+    "months": (("--months",), dict(type=int, default=23)),
+    "cpm": (("--cpm",), dict(type=int, default=1000,
+                             help="connections per month")),
+    "seed": (("--seed",), dict(type=int, default=7)),
+    "on-error": (("--on-error",), dict(
+        choices=[p.value for p in ErrorPolicy], default="strict",
         help="malformed-line policy: fail fast (strict), drop and count "
              "(skip), or drop and capture raw lines (quarantine)",
-    )
-    return parent
-
-
-def _metrics_parent() -> argparse.ArgumentParser:
-    """Shared --metrics/--trace observability arguments (argparse parent)."""
-    parent = argparse.ArgumentParser(add_help=False)
-    parent.add_argument(
-        "--metrics", choices=["json", "table"], default=None,
-        help="append run metrics to the output: 'table' prints the Run "
-             "metrics section, 'json' prints one machine-readable JSON "
-             "line (always the last line of stdout)",
-    )
-    parent.add_argument(
-        "--trace", type=Path, default=None, metavar="FILE",
-        help="append one JSONL trace event per pipeline phase to FILE "
-             "(workers append to the same file)",
-    )
-    return parent
-
-
-def _fast_path_parent() -> argparse.ArgumentParser:
-    """Shared --fast-path argument (argparse parent)."""
-    parent = argparse.ArgumentParser(add_help=False)
-    parent.add_argument(
-        "--fast-path", choices=[m.value for m in FastPath], default="auto",
+    )),
+    "fast-path": (("--fast-path",), dict(
+        choices=[m.value for m in FastPath], default="auto",
         help="ingest/enrich fast path: compiled row decoders plus the "
              "per-certificate fact cache. Results are byte-identical "
              "either way; 'off' is the reference path, 'auto' (default) "
              "enables it",
-    )
-    return parent
-
-
-def _jobs_parent() -> argparse.ArgumentParser:
-    """Shared --jobs argument (argparse parent)."""
-    parent = argparse.ArgumentParser(add_help=False)
-    parent.add_argument(
-        "--jobs", type=int, default=0, metavar="N",
+    )),
+    "jobs": (("--jobs",), dict(
+        type=int, default=0, metavar="N",
         help="analyze per-month shards over N worker processes "
              "(0 = in-process sequential; tables are byte-identical)",
-    )
+    )),
+    "store": (("--store",), dict(
+        type=Path, default=None, metavar="DIR",
+        help="columnar record store: pack the archive into DIR on first "
+             "use, then analyze from the memory-mapped columns instead "
+             "of re-parsing TSV (results are byte-identical; the store "
+             "is repacked automatically when the archive changes)",
+    )),
+    "metrics": (("--metrics",), dict(
+        choices=["json", "table"], default=None,
+        help="append run metrics to the output: 'table' prints the Run "
+             "metrics section, 'json' prints one machine-readable JSON "
+             "line (always the last line of stdout)",
+    )),
+    "trace": (("--trace",), dict(
+        type=Path, default=None, metavar="FILE",
+        help="append one JSONL trace event per pipeline phase to FILE "
+             "(workers append to the same file)",
+    )),
+    "degrade": (("--degrade",), dict(
+        choices=["strict", "partial"], default="strict",
+        help="poison-shard policy: abort the campaign (strict) or complete "
+             "it from the surviving months and exit %d (partial)"
+             % EXIT_DEGRADED,
+    )),
+    "max-attempts": (("--max-attempts",), dict(
+        type=int, default=3, metavar="N",
+        help="attempts per shard per phase before quarantine (default 3)",
+    )),
+    "shard-timeout": (("--shard-timeout",), dict(
+        type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per shard attempt; a worker that blows it "
+             "is killed and the shard retried (default: unlimited)",
+    )),
+    "resume": (("--resume",), dict(
+        type=Path, default=None, metavar="DIR",
+        help="crash-safe run directory: completed shards are spilled here "
+             "as they finish, and a rerun pointed at the same directory "
+             "skips them",
+    )),
+}
+
+#: Flag groups, named for what a subcommand is doing when it needs them.
+_SCALE = ("months", "cpm", "seed")
+_INGEST = ("on-error", "fast-path")
+_SHARDED = ("jobs", "store")
+_SUPERVISION = ("degrade", "max-attempts", "shard-timeout", "resume")
+_OBSERVABILITY = ("metrics", "trace")
+
+
+def _options_parent(*flags: str, **overrides: dict) -> argparse.ArgumentParser:
+    """Build an argparse parent from registry flag names.
+
+    ``overrides`` patches a flag's spec per consumer (keyed by the flag
+    name with ``-`` as ``_``), e.g. ``on_error={"default": "skip"}`` for
+    ``serve``'s lenient default.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    for key in flags:
+        names, kwargs = _FLAG_SPECS[key]
+        patch = overrides.get(key.replace("-", "_"))
+        if patch:
+            kwargs = {**kwargs, **patch}
+        parent.add_argument(*names, **kwargs)
     return parent
 
 
@@ -134,15 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Mutual TLS in Practice (IMC 2024) — reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    scale = _scale_parent()
-    on_error = _on_error_parent()
-    jobs = _jobs_parent()
-    observability = _metrics_parent()
-    fast_path = _fast_path_parent()
 
     generate = sub.add_parser(
         "generate", help="simulate a campaign and write Zeek-format logs",
-        parents=[scale],
+        parents=[_options_parent(*_SCALE)],
     )
     generate.add_argument("--out", type=Path, required=True, help="output directory")
     generate.add_argument(
@@ -153,7 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser(
         "study", help="run the full study and print tables",
-        parents=[scale, on_error, jobs, observability, fast_path],
+        parents=[_options_parent(
+            *_SCALE, *_INGEST, *_SHARDED, *_OBSERVABILITY
+        )],
     )
     study.add_argument(
         "--fault-rate", type=float, default=0.0, metavar="RATE",
@@ -172,7 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze",
         help="run every registered analysis over a rotated Zeek archive",
-        parents=[on_error, jobs, observability, fast_path],
+        parents=[_options_parent(
+            *_INGEST, *_SHARDED, *_SUPERVISION, *_OBSERVABILITY
+        )],
     )
     analyze.add_argument("directory", type=Path,
                          help="directory of ssl.YYYY-MM.log[.gz] files")
@@ -190,35 +221,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the analyses as JSON instead of text tables",
     )
     analyze.add_argument(
-        "--degrade", choices=["strict", "partial"], default="strict",
-        help="poison-shard policy: abort the campaign (strict) or complete "
-             "it from the surviving months and exit %d (partial)"
-             % EXIT_DEGRADED,
-    )
-    analyze.add_argument(
-        "--max-attempts", type=int, default=3, metavar="N",
-        help="attempts per shard per phase before quarantine (default 3)",
-    )
-    analyze.add_argument(
-        "--shard-timeout", type=float, default=None, metavar="SECONDS",
-        help="wall-clock budget per shard attempt; a worker that blows it "
-             "is killed and the shard retried (default: unlimited)",
-    )
-    analyze.add_argument(
-        "--resume", type=Path, default=None, metavar="DIR",
-        help="crash-safe run directory: completed shards are spilled here "
-             "as they finish, and a rerun pointed at the same directory "
-             "skips them",
-    )
-    analyze.add_argument(
         "--inject-crash", action="append", default=[], metavar="MONTH",
         help="chaos testing: crash any worker the given month's shard "
              "lands on (repeatable)",
     )
 
+    pack = sub.add_parser(
+        "pack",
+        help="parse a rotated archive once into a columnar record store",
+        parents=[_options_parent(*_INGEST)],
+    )
+    pack.add_argument("directory", type=Path,
+                      help="directory of ssl.YYYY-MM.log[.gz] files")
+    pack.add_argument(
+        "--out", type=Path, required=True, metavar="DIR",
+        help="store directory (reused as-is when it already matches the "
+             "archive fingerprint and ingest policy)",
+    )
+
     audit = sub.add_parser(
         "audit", help="privacy audit of an x509.log",
-        parents=[on_error, fast_path],
+        parents=[_options_parent(*_INGEST)],
     )
     audit.add_argument("x509_log", type=Path)
     audit.add_argument(
@@ -228,7 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     intercept = sub.add_parser(
         "intercept", help="run the §3.2 interception filter on Zeek logs",
-        parents=[on_error, fast_path],
+        parents=[_options_parent(*_INGEST)],
     )
     intercept.add_argument("ssl_log", type=Path)
     intercept.add_argument("x509_log", type=Path)
@@ -251,7 +274,9 @@ def build_parser() -> argparse.ArgumentParser:
              "over a local JSON API",
         # A long-running monitor should survive a malformed line and
         # account for it, so lenient ingest is serve's default.
-        parents=[_on_error_parent(default="skip"), observability, fast_path],
+        parents=[_options_parent(
+            *_INGEST, *_OBSERVABILITY, on_error={"default": "skip"},
+        )],
     )
     serve.add_argument("directory", type=Path,
                        help="directory holding the live ssl.log / x509.log")
@@ -404,12 +429,21 @@ def cmd_study(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    store = getattr(args, "store", None)
+    if store is not None and not jobs:
+        print(
+            "error: --store requires --jobs >= 1 (the columnar store "
+            "backs the sharded path)",
+            file=sys.stderr,
+        )
+        return 2
     if args.trace is not None:
         tracing.configure(args.trace)
     study = CampusStudy(
         seed=args.seed, months=args.months, connections_per_month=args.cpm,
-        on_error=args.on_error, fault_plan=fault_plan, jobs=jobs,
-        fast_path=args.fast_path,
+        fault_plan=fault_plan, jobs=jobs,
+        options=IngestOptions(on_error=args.on_error, fast_path=args.fast_path),
+        store=store,
     )
     if getattr(args, "json", False):
         from repro.core.export import study_to_json
@@ -458,8 +492,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         tracing.configure(args.trace)
     bundle = load_trust_bundle(args.trust_bundle)
     campaign = analyze_directory(
-        args.directory, bundle,
-        on_error=args.on_error, jobs=max(1, args.jobs),
+        args.directory,
+        bundle=bundle,
+        options=IngestOptions(on_error=args.on_error, fast_path=args.fast_path),
+        store=args.store,
+        jobs=max(1, args.jobs),
         retry=RetryPolicy(
             max_attempts=args.max_attempts, timeout=args.shard_timeout
         ),
@@ -467,7 +504,6 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         resume_dir=args.resume,
         trace_path=args.trace,
-        fast_path=args.fast_path,
     )
     health = campaign.health
     run_metrics = campaign.metrics or core_metrics.MetricsRegistry()
@@ -509,12 +545,31 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return health_epilogue()
 
 
+def cmd_pack(args: argparse.Namespace) -> int:
+    from repro.store import MANIFEST_NAME, ensure_store
+
+    options = IngestOptions(on_error=args.on_error, fast_path=args.fast_path)
+    manifest = args.out / MANIFEST_NAME
+    before = manifest.stat().st_mtime_ns if manifest.exists() else None
+    source = ensure_store(args.directory, args.out, options)
+    reused = before is not None and manifest.stat().st_mtime_ns == before
+    ssl_rows = sum(
+        shard["rows"] for shard in source.manifest["ssl_shards"].values()
+    )
+    print(
+        f"{'reused' if reused else 'packed'} store at {args.out}: "
+        f"{len(source.months())} months, {ssl_rows} ssl rows, "
+        f"{source.manifest['x509']['rows']} x509 rows"
+    )
+    return 0
+
+
 def cmd_audit(args: argparse.Namespace) -> int:
     report = IngestReport()
+    options = IngestOptions(on_error=args.on_error, fast_path=args.fast_path)
     with args.x509_log.open() as source:
         records = read_x509_log(
-            source, on_error=args.on_error, report=report,
-            path=str(args.x509_log), fast_path=args.fast_path,
+            source, options.for_path(str(args.x509_log), report)
         )
     classifier = CnSanClassifier(campus_issuer_markers=(args.campus_marker,))
     sensitive = ("PersonalName", "UserAccount", "Email", "MAC")
@@ -536,15 +591,12 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 def cmd_intercept(args: argparse.Namespace) -> int:
     report = IngestReport()
+    options = IngestOptions(on_error=args.on_error, fast_path=args.fast_path)
     with args.ssl_log.open() as source:
-        ssl = read_ssl_log(
-            source, on_error=args.on_error, report=report,
-            path=str(args.ssl_log), fast_path=args.fast_path,
-        )
+        ssl = read_ssl_log(source, options.for_path(str(args.ssl_log), report))
     with args.x509_log.open() as source:
         x509 = read_x509_log(
-            source, on_error=args.on_error, report=report,
-            path=str(args.x509_log), fast_path=args.fast_path,
+            source, options.for_path(str(args.x509_log), report)
         )
     bundle = load_trust_bundle(args.trust_bundle)
 
@@ -667,6 +719,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "study": cmd_study,
         "analyze": cmd_analyze,
+        "pack": cmd_pack,
         "audit": cmd_audit,
         "intercept": cmd_intercept,
         "compare": cmd_compare,

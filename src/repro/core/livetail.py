@@ -56,7 +56,14 @@ from repro.core.protocol import (
 )
 from repro.core.streaming import StreamingAnalyzer, load_checkpoint_json
 from repro.trust import TrustBundle
-from repro.zeek import ErrorPolicy, FastPath, IngestReport, SslRecord, TailDecoder
+from repro.zeek import (
+    ErrorPolicy,
+    FastPath,
+    IngestOptions,
+    IngestReport,
+    SslRecord,
+    TailDecoder,
+)
 
 #: Top-level checkpoint key carrying the daemon's own state next to the
 #: streaming snapshot (`StreamingAnalyzer.from_snapshot` ignores it).
@@ -565,7 +572,9 @@ class LiveAnalysisEngine:
         load_default_analyses()
         self.bundle = bundle
         self.analyzer = StreamingAnalyzer(
-            bundle, max_fuid_map=max_fuid_map, fast_path=fast_path,
+            bundle,
+            options=IngestOptions(fast_path=FastPath.coerce(fast_path)),
+            max_fuid_map=max_fuid_map,
             keep_records=True,
         )
         self.metrics = self.analyzer.metrics

@@ -53,13 +53,16 @@ import hashlib
 import json
 import multiprocessing
 import pickle
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core import metrics, protocol, tracing
 from repro.core.dataset import MtlsDataset
 from repro.core.enrich import (
     AssociationRules,
+    CtLookup,
     Enricher,
     InterceptionReport,
     InterceptionScan,
@@ -71,9 +74,20 @@ from repro.core.supervisor import (
     RunHealth,
     ShardSupervisor,
 )
-from repro.zeek.files import _read_many, discover_shards
-from repro.zeek.ingest import ErrorPolicy, FastPath, IngestReport
-from repro.zeek.tsv import read_ssl_log, read_x509_log
+from repro.zeek.files import TsvDirectorySource
+from repro.zeek.ingest import (
+    _UNSET_ARG,
+    ErrorPolicy,
+    FastPath,
+    IngestOptions,
+    IngestReport,
+    RecordSource,
+    resolve_ingest_options,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.faults import WorkerFaultPlan
+    from repro.trust.store import TrustBundle
 
 
 @dataclass(frozen=True)
@@ -115,6 +129,12 @@ class _ExecutorConfig:
     fault_plan: object | None = None
     #: JSONL trace sink every worker configures for itself (optional).
     trace_path: str | None = None
+    #: Where shard records come from; bound per run (the executor is
+    #: source-agnostic until :meth:`ShardExecutor.run_source`).
+    source: RecordSource | None = None
+
+    def ingest_options(self) -> IngestOptions:
+        return IngestOptions(on_error=self.on_error, fast_path=self.fast_path)
 
 
 @dataclass
@@ -196,34 +216,27 @@ def _make_enricher(config: _ExecutorConfig) -> Enricher:
     )
 
 
-def _load_shard(config: _ExecutorConfig, cache: dict, spec: ShardSpec):
-    triple = cache.get(spec.month)
+def _load_shard(config: _ExecutorConfig, cache: dict, month: str):
+    triple = cache.get(month)
     if triple is None:
-        with tracing.span("shard.read", month=spec.month):
-            ssl_report = IngestReport()
-            x509_report = IngestReport()
-            ssl = _read_many(
-                [Path(p) for p in spec.ssl_paths], read_ssl_log,
-                config.on_error, ssl_report, config.fast_path,
+        with tracing.span("shard.read", month=month):
+            shard = config.source.read_month(month, config.ingest_options())
+            triple = (
+                MtlsDataset(shard.ssl, shard.x509),
+                shard.ssl_report,
+                shard.x509_report,
             )
-            x509 = _read_many(
-                [Path(p) for p in spec.x509_paths], read_x509_log,
-                config.on_error, x509_report, config.fast_path,
-            )
-            ssl.sort(key=lambda r: r.ts)
-            x509.sort(key=lambda r: r.ts)
-            triple = (MtlsDataset(ssl, x509), ssl_report, x509_report)
-        cache[spec.month] = triple
+        cache[month] = triple
     return triple
 
 
 def _scan_shard(
-    config: _ExecutorConfig, cache: dict, spec: ShardSpec
+    config: _ExecutorConfig, cache: dict, month: str
 ) -> _ScanOutcome:
     registry = metrics.MetricsRegistry()
     with metrics.scoped(registry):
-        with tracing.span("shard.scan", month=spec.month):
-            dataset, _, _ = _load_shard(config, cache, spec)
+        with tracing.span("shard.scan", month=month):
+            dataset, _, _ = _load_shard(config, cache, month)
             scan = _make_enricher(config).new_scan()
             for conn in dataset.connections:
                 scan.observe(conn)
@@ -237,19 +250,19 @@ def _scan_shard(
 def _analyze_shard(
     config: _ExecutorConfig,
     cache: dict,
-    spec: ShardSpec,
+    month: str,
     report: InterceptionReport,
 ) -> _ShardOutcome:
     registry = metrics.MetricsRegistry()
     with metrics.scoped(registry):
-        dataset, ssl_report, x509_report = _load_shard(config, cache, spec)
+        dataset, ssl_report, x509_report = _load_shard(config, cache, month)
         enricher = _make_enricher(config)
-        with tracing.span("shard.enrich", month=spec.month):
+        with tracing.span("shard.enrich", month=month):
             enriched = enricher.enrich_with_report(dataset, report)
         context = protocol.AnalysisContext(
             bundle=config.bundle, rules=config.rules, interception=report,
         )
-        with tracing.span("shard.analyze", month=spec.month):
+        with tracing.span("shard.analyze", month=month):
             partials = protocol.run_analyses(
                 enriched, config.names, raw=dataset, context=context,
             )
@@ -263,7 +276,7 @@ def _analyze_shard(
             edges=metrics.COUNT_EDGES,
         )
     return _ShardOutcome(
-        month=spec.month,
+        month=month,
         partials=partials,
         ssl_report=ssl_report,
         x509_report=x509_report,
@@ -297,8 +310,8 @@ def _supervised_worker(config: _ExecutorConfig, conn) -> None:
             if kind == "scan":
                 result = _scan_shard(config, cache, payload)
             else:
-                spec, report = payload
-                result = _analyze_shard(config, cache, spec, report)
+                month, report = payload
+                result = _analyze_shard(config, cache, month, report)
         except Exception as exc:
             try:
                 conn.send((key, "error", f"{type(exc).__name__}: {exc}"))
@@ -486,18 +499,23 @@ class ShardExecutor:
         bundle,
         ct_log=None,
         *,
+        options: IngestOptions | None = None,
         rules: AssociationRules | None = None,
         filter_interception: bool = True,
         min_interception_domains: int = 5,
-        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        on_error: object = _UNSET_ARG,
         names: tuple[str, ...] | None = None,
         jobs: int = 1,
         retry: RetryPolicy | None = None,
         degrade: DegradePolicy | str = DegradePolicy.STRICT,
         fault_plan=None,
         trace_path: str | Path | None = None,
-        fast_path: FastPath | str | bool = FastPath.AUTO,
+        fast_path: object = _UNSET_ARG,
     ) -> None:
+        opts = resolve_ingest_options(
+            options, caller="ShardExecutor",
+            on_error=on_error, fast_path=fast_path,
+        )
         if trace_path is None:
             # Inherit the process's configured sink so `tracing.configure`
             # in the driver propagates into worker processes.
@@ -508,9 +526,9 @@ class ShardExecutor:
             rules=rules or AssociationRules(),
             filter_interception=filter_interception,
             min_interception_domains=min_interception_domains,
-            on_error=ErrorPolicy.coerce(on_error),
+            on_error=opts.on_error,
             names=tuple(names) if names is not None else None,
-            fast_path=FastPath.coerce(fast_path).value,
+            fast_path=opts.fast_path.value,
             fault_plan=fault_plan,
             trace_path=str(trace_path) if trace_path is not None else None,
         )
@@ -519,11 +537,28 @@ class ShardExecutor:
         self.degrade = DegradePolicy.coerce(degrade)
 
     def run_directory(
-        self, directory: Path | str, *, resume_dir: Path | str | None = None
+        self,
+        directory: Path | str,
+        *,
+        resume_dir: Path | str | None = None,
+        store: Path | str | None = None,
     ) -> CampaignResult:
-        """Analyze a rotated-log directory (``ssl.YYYY-MM.log[.gz]``)."""
-        shards = [ShardSpec.from_discovery(t) for t in discover_shards(directory)]
-        return self.run(shards, resume_dir=resume_dir)
+        """Analyze a rotated-log directory (``ssl.YYYY-MM.log[.gz]``).
+
+        With ``store``, the directory is packed into (or served from) a
+        columnar store at that path: the first run parses TSV once and
+        writes the store; every later run maps the columns straight from
+        disk. Results are byte-identical either way.
+        """
+        if store is not None:
+            from repro.store import ensure_store
+
+            source = ensure_store(
+                directory, store, options=self.config.ingest_options()
+            )
+        else:
+            source = TsvDirectorySource(directory)
+        return self.run_source(source, resume_dir=resume_dir)
 
     def run(
         self,
@@ -531,13 +566,34 @@ class ShardExecutor:
         *,
         resume_dir: Path | str | None = None,
     ) -> CampaignResult:
+        """Legacy entry point: explicit :class:`ShardSpec` lists.
+
+        Kept for pre-``RecordSource`` callers; wraps the specs in a
+        :class:`~repro.zeek.files.TsvDirectorySource` and delegates to
+        :meth:`run_source`.
+        """
         if not shards:
             raise ValueError("no shards to analyze")
         specs = sorted(shards, key=lambda s: s.month)
-        months = [spec.month for spec in specs]
-        jobs = max(1, min(self.jobs, len(specs)))
+        source = TsvDirectorySource.from_shards(
+            (s.month, s.ssl_paths, s.x509_paths) for s in specs
+        )
+        return self.run_source(source, resume_dir=resume_dir)
+
+    def run_source(
+        self,
+        source: RecordSource,
+        *,
+        resume_dir: Path | str | None = None,
+    ) -> CampaignResult:
+        """Analyze every shard served by a :class:`RecordSource`."""
+        months = sorted(source.months())
+        if not months:
+            raise ValueError("no shards to analyze")
+        self.config = replace(self.config, source=source)
+        jobs = max(1, min(self.jobs, len(months)))
         manifest = (
-            CampaignManifest(resume_dir, self._config_fingerprint(specs))
+            CampaignManifest(resume_dir, self._config_fingerprint(source, months))
             if resume_dir is not None else None
         )
 
@@ -571,13 +627,13 @@ class ShardExecutor:
                     scans = supervisor.run_phase(
                         "scan",
                         [
-                            (s.month, s)
-                            for s in specs
-                            if s.month not in resumed_scans
+                            (month, month)
+                            for month in months
+                            if month not in resumed_scans
                         ],
                     )
                 scans.update(resumed_scans)
-                surviving = [s for s in specs if s.month in scans]
+                surviving = [m for m in months if m in scans]
                 if not surviving:
                     raise RuntimeError(
                         "every shard was quarantined during the scan phase; "
@@ -585,7 +641,7 @@ class ShardExecutor:
                         f"({supervisor.health.summary()})"
                     )
                 report = self._merge_scans(
-                    [scans[s.month].scan for s in surviving]
+                    [scans[m].scan for m in surviving]
                 )
                 fingerprint = _report_fingerprint(report)
                 resumed_outcomes: dict[str, _ShardOutcome] = {}
@@ -601,28 +657,28 @@ class ShardExecutor:
                     outcomes = supervisor.run_phase(
                         "analyze",
                         [
-                            (s.month, (s, report))
-                            for s in surviving
-                            if s.month not in resumed_outcomes
+                            (month, (month, report))
+                            for month in surviving
+                            if month not in resumed_outcomes
                         ],
                     )
                 outcomes.update(resumed_outcomes)
         finally:
             supervisor.close()
-        completed = [s for s in surviving if s.month in outcomes]
+        completed = [m for m in surviving if m in outcomes]
         if not completed:
             raise RuntimeError(
                 "every surviving shard was quarantined during the analyze "
                 f"phase ({supervisor.health.summary()})"
             )
-        for spec in surviving:
-            run_metrics.merge_state(scans[spec.month].metrics)
+        for month in surviving:
+            run_metrics.merge_state(scans[month].metrics)
         run_metrics.observe_run_health(supervisor.health)
         with metrics.scoped(run_metrics), tracing.span("campaign.merge"):
             return self._merge_outcomes(
                 completed,
                 report,
-                [outcomes[s.month] for s in completed],
+                [outcomes[m] for m in completed],
                 jobs,
                 supervisor.health,
                 run_metrics,
@@ -648,42 +704,39 @@ class ShardExecutor:
         config = self.config
         cache: dict = {}
 
-        def scan(spec: ShardSpec, attempt: int) -> InterceptionScan:
+        def scan(month: str, attempt: int) -> InterceptionScan:
             if attempt > 1:
-                cache.pop(spec.month, None)
+                cache.pop(month, None)
             if config.fault_plan is not None:
-                config.fault_plan.apply(
-                    spec.month, "scan", attempt, inline=True
-                )
-            return _scan_shard(config, cache, spec)
+                config.fault_plan.apply(month, "scan", attempt, inline=True)
+            return _scan_shard(config, cache, month)
 
         def analyze(payload, attempt: int) -> _ShardOutcome:
-            spec, report = payload
+            month, report = payload
             if attempt > 1:
-                cache.pop(spec.month, None)
+                cache.pop(month, None)
             if config.fault_plan is not None:
-                config.fault_plan.apply(
-                    spec.month, "analyze", attempt, inline=True
-                )
-            return _analyze_shard(config, cache, spec, report)
+                config.fault_plan.apply(month, "analyze", attempt, inline=True)
+            return _analyze_shard(config, cache, month, report)
 
         return {"scan": scan, "analyze": analyze}
 
-    def _config_fingerprint(self, specs: list[ShardSpec]) -> str:
-        """Identity of (shard list, analysis configuration) for resume.
+    def _config_fingerprint(
+        self, source: RecordSource, months: list[str]
+    ) -> str:
+        """Identity of (source, shard list, configuration) for resume.
 
         The trust bundle is part of the identity; the CT log is not
         hashable in general and is assumed stable across a resume — as
-        is the log content behind the shard paths. ``fast_path`` is
+        is the log content behind the source. ``fast_path`` is
         deliberately *excluded*: the fast and slow decoders are
         byte-identical by contract, so a campaign may resume across a
         ``--fast-path`` flip without invalidating spilled shards.
         """
         bundle = self.config.bundle
         payload = {
-            "shards": [
-                [s.month, list(s.ssl_paths), list(s.x509_paths)] for s in specs
-            ],
+            "source": source.identity(),
+            "months": list(months),
             "on_error": self.config.on_error.value,
             "filter_interception": self.config.filter_interception,
             "min_interception_domains": self.config.min_interception_domains,
@@ -708,7 +761,7 @@ class ShardExecutor:
 
     def _merge_outcomes(
         self,
-        specs: list[ShardSpec],
+        months: list[str],
         report: InterceptionReport,
         outcomes: list[_ShardOutcome],
         jobs: int,
@@ -737,7 +790,7 @@ class ShardExecutor:
             run_metrics.observe_ingest(outcomes[0].x509_report, "x509")
             run_metrics.inc("campaign.dangling_fuid_refs", dangling)
         return CampaignResult(
-            months=tuple(spec.month for spec in specs),
+            months=tuple(months),
             partials=partials,
             interception=report,
             ingest=ingest,
@@ -750,36 +803,70 @@ class ShardExecutor:
 
 def analyze_directory(
     directory: Path | str,
-    bundle,
-    ct_log=None,
-    *,
+    *legacy_positional,
+    bundle: "TrustBundle | None" = None,
+    ct_log: CtLookup | None = None,
+    options: IngestOptions | None = None,
+    store: Path | str | None = None,
     rules: AssociationRules | None = None,
     filter_interception: bool = True,
     min_interception_domains: int = 5,
-    on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+    on_error: object = _UNSET_ARG,
     names: tuple[str, ...] | None = None,
     jobs: int = 1,
     retry: RetryPolicy | None = None,
     degrade: DegradePolicy | str = DegradePolicy.STRICT,
-    fault_plan=None,
+    fault_plan: "WorkerFaultPlan | None" = None,
     resume_dir: Path | str | None = None,
     trace_path: str | Path | None = None,
-    fast_path: FastPath | str | bool = FastPath.AUTO,
+    fast_path: object = _UNSET_ARG,
 ) -> CampaignResult:
-    """One-call sharded analysis of a rotated Zeek archive."""
+    """One-call sharded analysis of a rotated Zeek archive.
+
+    ``bundle``/``ct_log`` are keyword-only and typed; the historical
+    positional form (``analyze_directory(dir, bundle, ct_log)``) still
+    works through a deprecation shim. With ``store``, the archive is
+    packed into a columnar store on first use and mapped from disk on
+    every later run (byte-identical results).
+    """
+    if legacy_positional:
+        if len(legacy_positional) > 2:
+            raise TypeError(
+                "analyze_directory takes at most three positional "
+                "arguments (directory, bundle, ct_log)"
+            )
+        if bundle is not None or (len(legacy_positional) > 1 and ct_log is not None):
+            raise TypeError(
+                "analyze_directory: bundle/ct_log passed both positionally "
+                "and by keyword"
+            )
+        warnings.warn(
+            "analyze_directory: positional bundle/ct_log are deprecated; "
+            "pass them as keywords",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        bundle = legacy_positional[0]
+        if len(legacy_positional) > 1:
+            ct_log = legacy_positional[1]
+    if bundle is None:
+        raise TypeError("analyze_directory: a trust bundle is required")
+    opts = resolve_ingest_options(
+        options, caller="analyze_directory",
+        on_error=on_error, fast_path=fast_path,
+    )
     executor = ShardExecutor(
         bundle,
         ct_log,
+        options=opts,
         rules=rules,
         filter_interception=filter_interception,
         min_interception_domains=min_interception_domains,
-        on_error=on_error,
         names=names,
         jobs=jobs,
         retry=retry,
         degrade=degrade,
         fault_plan=fault_plan,
         trace_path=trace_path,
-        fast_path=fast_path,
     )
-    return executor.run_directory(directory, resume_dir=resume_dir)
+    return executor.run_directory(directory, resume_dir=resume_dir, store=store)

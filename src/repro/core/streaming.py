@@ -47,6 +47,7 @@ from repro.zeek import (
     read_x509_log,
     x509_log_to_string,
 )
+from repro.zeek.ingest import _UNSET_ARG, IngestOptions, resolve_ingest_options
 
 #: Snapshot schema tag; bump on incompatible layout changes.
 SNAPSHOT_FORMAT = "streaming-analyzer/v2"
@@ -124,15 +125,20 @@ class StreamingAnalyzer:
         self,
         bundle: TrustBundle,
         *,
+        options: IngestOptions | None = None,
         max_fuid_map: int | None = None,
-        fast_path: FastPath | str | bool = FastPath.AUTO,
+        fast_path: object = _UNSET_ARG,
         keep_records: bool = False,
     ) -> None:
+        opts = resolve_ingest_options(
+            options, caller="StreamingAnalyzer", fast_path=fast_path
+        )
         if max_fuid_map is not None and max_fuid_map <= 0:
             raise ValueError("max_fuid_map must be positive (or None)")
         self.bundle = bundle
+        self.options = opts
         self.max_fuid_map = max_fuid_map
-        self.fast_path = FastPath.coerce(fast_path)
+        self.fast_path = opts.fast_path
         #: When set, the full x509 record (not just the fingerprint) is
         #: retained per live fuid — same last-wins/eviction lifecycle as
         #: the fuid map — so a caller can rebuild connection views
@@ -306,8 +312,8 @@ class StreamingAnalyzer:
         )
         analyzer = cls(
             bundle,
+            options=IngestOptions(fast_path=fast_path),
             max_fuid_map=snapshot.get("max_fuid_map"),
-            fast_path=fast_path,
         )
         if certfacts is not None and analyzer._fact_cache is not None:
             analyzer._fact_cache.load_state(certfacts)

@@ -34,8 +34,6 @@ from repro.netsim import (
     TrafficGenerator,
 )
 from repro.zeek import (
-    ErrorPolicy,
-    FastPath,
     IngestReport,
     ZeekLogs,
     read_ssl_log,
@@ -43,6 +41,7 @@ from repro.zeek import (
     ssl_log_to_string,
     x509_log_to_string,
 )
+from repro.zeek.ingest import _UNSET_ARG, IngestOptions, resolve_ingest_options
 
 
 @dataclass
@@ -81,24 +80,38 @@ class CampusStudy:
         connections_per_month: int = 2000,
         config: ScenarioConfig | None = None,
         filter_interception: bool = True,
-        on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
+        on_error: object = _UNSET_ARG,
         fault_plan: FaultPlan | None = None,
         jobs: int = 0,
-        fast_path: FastPath | str | bool = FastPath.AUTO,
+        fast_path: object = _UNSET_ARG,
+        *,
+        options: IngestOptions | None = None,
+        store: Path | str | None = None,
     ) -> None:
+        opts = resolve_ingest_options(
+            options, caller="CampusStudy",
+            on_error=on_error, fast_path=fast_path,
+        )
         self.config = config or ScenarioConfig(
             seed=seed, months=months, connections_per_month=connections_per_month
         )
         self.filter_interception = filter_interception
-        self.on_error = ErrorPolicy.coerce(on_error)
-        self.fast_path = FastPath.coerce(fast_path)
+        self.options = opts
+        self.on_error = opts.on_error
+        self.fast_path = opts.fast_path
         self.fault_plan = fault_plan
         if jobs and fault_plan is not None:
             raise ValueError(
                 "fault injection corrupts the in-memory serialized logs; "
                 "it is not supported with the sharded path (jobs > 0)"
             )
+        if store is not None and not jobs:
+            raise ValueError(
+                "a columnar store only applies to the sharded path; "
+                "pass jobs >= 1 together with store"
+            )
         self.jobs = jobs
+        self.store = store
         #: Run metrics for this study: phase timers plus ingest/analysis
         #: counters; for sharded runs the campaign's merged worker
         #: metrics are folded in.
@@ -168,14 +181,12 @@ class CampusStudy:
         x509_report = IngestReport()
         with tracing.span("study.reingest"):
             ssl = read_ssl_log(
-                io.StringIO(ssl_text), on_error=self.on_error,
-                report=ssl_report, path="ssl.log",
-                fast_path=self.fast_path,
+                io.StringIO(ssl_text),
+                self.options.for_path("ssl.log", ssl_report),
             )
             x509 = read_x509_log(
-                io.StringIO(x509_text), on_error=self.on_error,
-                report=x509_report, path="x509.log",
-                fast_path=self.fast_path,
+                io.StringIO(x509_text),
+                self.options.for_path("x509.log", x509_report),
             )
         registry = metrics.get_registry()
         registry.observe_ingest(ssl_report, "ssl")
@@ -213,15 +224,14 @@ class CampusStudy:
         executor = ShardExecutor(
             simulation.trust_bundle,
             simulation.ct_log,
+            options=self.options,
             filter_interception=self.filter_interception,
-            on_error=self.on_error,
             jobs=self.jobs,
-            fast_path=self.fast_path,
         )
         with tempfile.TemporaryDirectory(prefix="campus-shards-") as tmp:
             with metrics.scoped(self.metrics), tracing.span("study.write_shards"):
                 write_rotated_logs(simulation.logs, Path(tmp))
-            self._campaign = executor.run_directory(tmp)
+            self._campaign = executor.run_directory(tmp, store=self.store)
         if self._campaign.metrics is not None:
             self.metrics.merge(self._campaign.metrics)
         return self._campaign.partials

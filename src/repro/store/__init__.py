@@ -1,0 +1,50 @@
+"""Parse-once columnar record store.
+
+A rotated Zeek TSV archive is parsed once (``repro pack`` or
+``--store``) into per-month column files — struct-packed fixed-width
+columns over an interned string pool — committed by a JSON manifest
+carrying the schema/codec version, row counts, the source archive's
+content fingerprint, the ingest-policy identity, and the verbatim
+per-shard ingest reports. Every later analysis memory-maps the columns
+instead of re-parsing TSV, through the same
+:class:`~repro.zeek.ingest.RecordSource` protocol the TSV reader
+implements — results are byte-identical by construction and proven so
+by the differential suite. See DESIGN.md §13.
+"""
+
+from repro.store.codec import (
+    CODEC_VERSION,
+    FLAG_CLIENT_CHAIN,
+    FLAG_ESTABLISHED,
+    FLAG_SERVER_CHAIN,
+    FLAG_TLS13,
+    FLAG_RESUMED,
+    MAGIC,
+    NULL_INDEX,
+    ColumnTable,
+    StoreFormatError,
+    pack_table,
+)
+from repro.store.pack import MANIFEST_NAME, STORE_FORMAT, ensure_store, pack_archive
+from repro.store.query import StoreQueryEngine
+from repro.store.source import ColumnarStoreSource
+
+__all__ = [
+    "CODEC_VERSION",
+    "FLAG_CLIENT_CHAIN",
+    "FLAG_ESTABLISHED",
+    "FLAG_SERVER_CHAIN",
+    "FLAG_TLS13",
+    "FLAG_RESUMED",
+    "MAGIC",
+    "MANIFEST_NAME",
+    "NULL_INDEX",
+    "STORE_FORMAT",
+    "ColumnTable",
+    "ColumnarStoreSource",
+    "StoreFormatError",
+    "StoreQueryEngine",
+    "ensure_store",
+    "pack_archive",
+    "pack_table",
+]

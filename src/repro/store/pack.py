@@ -1,0 +1,151 @@
+"""Packing: turn a rotated TSV archive into a columnar store.
+
+``pack_archive`` parses the archive exactly once — through the same
+:class:`~repro.zeek.files.TsvDirectorySource` every analysis uses — and
+writes one ``.col`` file per ssl shard plus one per x509 calendar month,
+committed by a ``manifest.json`` that records the store format, codec
+version, the ingest-policy identity the records were parsed under, the
+source archive's content fingerprint, and the verbatim per-shard ingest
+reports. ``ensure_store`` is the idempotent front door: it reuses a
+matching store and transparently repacks a stale, corrupt, or
+policy-mismatched one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.core import tracing
+from repro.store.codec import CODEC_VERSION, StoreFormatError, month_of, pack_table
+from repro.store.source import ColumnarStoreSource
+from repro.zeek.files import TsvDirectorySource
+from repro.zeek.ingest import IngestOptions
+
+STORE_FORMAT = "columnar-store/v1"
+MANIFEST_NAME = "manifest.json"
+
+
+def _write_atomic(path: Path, payload: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def pack_archive(
+    directory: Path | str,
+    store: Path | str,
+    options: IngestOptions | None = None,
+) -> ColumnarStoreSource:
+    """Parse a rotated TSV archive once and write it as a columnar store.
+
+    The store is self-contained: months, rows, ingest reports, and the
+    archive fingerprint all live in the manifest, so later analyses can
+    run from the store alone. The manifest is written last (atomically),
+    so a crashed pack never leaves a store that looks complete.
+    """
+    opts = IngestOptions.coerce(options)
+    source = TsvDirectorySource(directory)
+    store_dir = Path(store)
+    store_dir.mkdir(parents=True, exist_ok=True)
+
+    with tracing.span("store.pack"):
+        fingerprint = source.fingerprint()
+        ssl_shards: dict[str, dict] = {}
+        x509_meta: dict | None = None
+        for month in source.months():
+            shard = source.read_month(month, opts)
+            filename = f"ssl-{month}.col"
+            _write_atomic(
+                store_dir / filename, pack_table("ssl", shard.ssl)
+            )
+            ssl_shards[month] = {
+                "file": filename,
+                "rows": len(shard.ssl),
+                "report": shard.ssl_report.to_dict(),
+            }
+            if x509_meta is None:
+                # The x509 stream (and its report) is identical for every
+                # shard — it is broadcast, not partitioned. Pack it once,
+                # split by calendar month so large stores stay granular.
+                partitions: dict[str, list] = {}
+                for record in shard.x509:
+                    partitions.setdefault(month_of(record.ts), []).append(record)
+                files = []
+                for cert_month in sorted(partitions):
+                    cert_file = f"x509-{cert_month}.col"
+                    _write_atomic(
+                        store_dir / cert_file,
+                        pack_table("x509", partitions[cert_month]),
+                    )
+                    files.append(
+                        {
+                            "month": cert_month,
+                            "file": cert_file,
+                            "rows": len(partitions[cert_month]),
+                        }
+                    )
+                x509_meta = {
+                    "files": files,
+                    "rows": len(shard.x509),
+                    "report": shard.x509_report.to_dict(),
+                }
+        if x509_meta is None:
+            x509_meta = {"files": [], "rows": 0, "report": None}
+
+        manifest = {
+            "format": STORE_FORMAT,
+            "codec": CODEC_VERSION,
+            "source": {
+                "directory": str(Path(directory).resolve()),
+                "identity": source.identity(),
+                "fingerprint": fingerprint,
+            },
+            "options": opts.identity(),
+            "months": list(source.months()),
+            "ssl_shards": ssl_shards,
+            "x509": x509_meta,
+        }
+        _write_atomic(
+            store_dir / MANIFEST_NAME,
+            json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+        )
+    return ColumnarStoreSource(store_dir)
+
+
+def ensure_store(
+    directory: Path | str,
+    store: Path | str,
+    options: IngestOptions | None = None,
+) -> ColumnarStoreSource:
+    """Open a store for ``directory``, packing (or repacking) if needed.
+
+    A store is reused only when its manifest carries the current store
+    format and codec version, the same ingest-policy identity, and the
+    archive's current content fingerprint — any mismatch (including a
+    byte-level edit to any log file) triggers a transparent repack.
+    """
+    opts = IngestOptions.coerce(options)
+    store_dir = Path(store)
+    if (store_dir / MANIFEST_NAME).exists():
+        try:
+            existing = ColumnarStoreSource(store_dir)
+        except (StoreFormatError, OSError, ValueError, KeyError):
+            existing = None
+        if existing is not None:
+            if existing.matches(
+                fingerprint=TsvDirectorySource(directory).fingerprint(),
+                options=opts,
+            ):
+                return existing
+    return pack_archive(directory, store_dir, opts)

@@ -1,0 +1,190 @@
+"""``ColumnarStoreSource`` — the store-backed :class:`RecordSource`.
+
+Column files are memory-mapped, never slurped: opening a store parses
+one small JSON manifest plus one JSON header per table, and bytes are
+only copied when a column is actually requested. Materialized record
+lists and the (shard-broadcast) x509 stream are cached per process, so
+an executor worker that analyzes several months parses the certificate
+stream zero times and touches each ssl column exactly once.
+
+Every ``read_month``/``read_all`` replays the verbatim ingest reports
+recorded at pack time, which is what keeps ingest-health tables and
+campaign metrics byte-identical to a TSV-backed run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+from pathlib import Path
+
+from repro.store.codec import CODEC_VERSION, ColumnTable, StoreFormatError
+from repro.zeek.ingest import IngestOptions, IngestReport, ShardRecords
+from repro.zeek.records import SslRecord, X509Record
+
+_STORE_FORMAT = "columnar-store/v1"
+
+
+class ColumnarStoreSource:
+    """Serve shard records straight from a packed columnar store.
+
+    Drop-in peer of :class:`~repro.zeek.files.TsvDirectorySource`: the
+    executor, the streaming analyzer, and ``CampusStudy`` consume either
+    through the same :class:`~repro.zeek.ingest.RecordSource` protocol.
+    Pickles by store path only (mmaps and caches are per-process).
+    """
+
+    def __init__(self, store: Path | str) -> None:
+        self.directory = str(store)
+        manifest_path = Path(store) / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StoreFormatError(
+                f"no columnar store at {store} (missing manifest.json); "
+                "run `repro pack` or pass --store to create one"
+            ) from None
+        except ValueError as exc:
+            raise StoreFormatError(f"corrupt store manifest: {exc}") from None
+        if manifest.get("format") != _STORE_FORMAT:
+            raise StoreFormatError(
+                f"unsupported store format {manifest.get('format')!r} "
+                f"(this build reads {_STORE_FORMAT!r}); repack the store"
+            )
+        if manifest.get("codec") != CODEC_VERSION:
+            raise StoreFormatError(
+                f"unsupported store codec {manifest.get('codec')!r} "
+                f"(this build reads {CODEC_VERSION}); repack the store"
+            )
+        self.manifest = manifest
+        self._months: tuple[str, ...] = tuple(manifest["months"])
+        self._tables: dict[str, ColumnTable] = {}
+        self._ssl_cache: dict[str, list[SslRecord]] = {}
+        self._x509_cache: list[X509Record] | None = None
+
+    # Pickling (executor workers get the path, re-open locally) ----------------
+
+    def __getstate__(self) -> dict:
+        return {"directory": self.directory}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["directory"])
+
+    # Store identity -----------------------------------------------------------
+
+    def matches(self, fingerprint: str, options: IngestOptions) -> bool:
+        """Whether this store serves exactly that archive under that
+        ingest policy (the ``ensure_store`` reuse check)."""
+        return (
+            self.manifest["source"]["fingerprint"] == fingerprint
+            and self.manifest["options"] == options.identity()
+        )
+
+    def _check_options(self, options: IngestOptions) -> None:
+        packed = self.manifest["options"]
+        requested = options.identity()
+        if packed != requested:
+            raise StoreFormatError(
+                f"store was packed under {packed} but the run requests "
+                f"{requested}; repack the store (or let ensure_store do it)"
+            )
+
+    # Table access (used by the query engine as well) --------------------------
+
+    def table(self, filename: str) -> ColumnTable:
+        """Open (mmap) one column file, cached per process."""
+        cached = self._tables.get(filename)
+        if cached is not None:
+            return cached
+        path = Path(self.directory) / filename
+        with path.open("rb") as handle:
+            buffer = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        table = ColumnTable(buffer)
+        self._tables[filename] = table
+        return table
+
+    def ssl_table(self, month: str) -> ColumnTable:
+        """The raw ssl column table for one shard month."""
+        try:
+            meta = self.manifest["ssl_shards"][month]
+        except KeyError:
+            known = ", ".join(self._months)
+            raise KeyError(f"no shard for month {month!r} (have: {known})") from None
+        return self.table(meta["file"])
+
+    def x509_tables(self) -> list[ColumnTable]:
+        return [
+            self.table(entry["file"]) for entry in self.manifest["x509"]["files"]
+        ]
+
+    # RecordSource protocol ----------------------------------------------------
+
+    def months(self) -> tuple[str, ...]:
+        return self._months
+
+    def _ssl_records(self, month: str) -> list[SslRecord]:
+        cached = self._ssl_cache.get(month)
+        if cached is None:
+            cached = self._ssl_cache[month] = self.ssl_table(month).records()
+        return cached
+
+    def _x509_records(self) -> list[X509Record]:
+        if self._x509_cache is None:
+            records: list[X509Record] = []
+            # Partitions are stored in calendar order over a globally
+            # ts-sorted stream, so concatenation *is* the sorted stream.
+            for table in self.x509_tables():
+                records.extend(table.records())
+            self._x509_cache = records
+        return self._x509_cache
+
+    def _ssl_report(self, month: str) -> IngestReport:
+        return IngestReport.from_dict(
+            self.manifest["ssl_shards"][month]["report"]
+        )
+
+    def _x509_report(self) -> IngestReport:
+        state = self.manifest["x509"]["report"]
+        return IngestReport.from_dict(state) if state else IngestReport()
+
+    def read_month(self, month: str, options: IngestOptions) -> ShardRecords:
+        self._check_options(options)
+        if month not in self.manifest["ssl_shards"]:
+            known = ", ".join(self._months)
+            raise KeyError(f"no shard for month {month!r} (have: {known})")
+        return ShardRecords(
+            month=month,
+            ssl=list(self._ssl_records(month)),
+            x509=list(self._x509_records()),
+            ssl_report=self._ssl_report(month),
+            x509_report=self._x509_report(),
+        )
+
+    def read_all(
+        self, options: IngestOptions
+    ) -> tuple[list[SslRecord], list[X509Record], IngestReport]:
+        self._check_options(options)
+        ssl: list[SslRecord] = []
+        report = options.report if options.report is not None else IngestReport()
+        for month in self._months:
+            ssl.extend(self._ssl_records(month))
+            report.merge(self._ssl_report(month))
+        # Shards are month-sorted but a hand-rotated file may carry a few
+        # out-of-window rows; the stable re-sort reproduces the TSV
+        # whole-capture ordering exactly (sorted-runs concat + stable
+        # sort == stable sort of the concatenated originals).
+        ssl.sort(key=lambda r: r.ts)
+        x509 = list(self._x509_records())
+        report.merge(self._x509_report())
+        return ssl, x509, report
+
+    def identity(self) -> str:
+        payload = {
+            "store": self.manifest["source"]["identity"],
+            "fingerprint": self.manifest["source"]["fingerprint"],
+            "options": self.manifest["options"],
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()

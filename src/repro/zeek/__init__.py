@@ -18,7 +18,15 @@ from repro.zeek.records import SslRecord, X509Record, make_file_uid
 from repro.zeek.dn import format_dn, parse_dn
 from repro.zeek.builder import ZeekLogBuilder, ZeekLogs
 from repro.zeek.dpd import encode_client_hello_preamble, looks_like_tls
-from repro.zeek.ingest import ErrorPolicy, FastPath, IngestIssue, IngestReport
+from repro.zeek.ingest import (
+    ErrorPolicy,
+    FastPath,
+    IngestIssue,
+    IngestOptions,
+    IngestReport,
+    RecordSource,
+    ShardRecords,
+)
 from repro.zeek.tsv import (
     TailDecoder,
     TsvFormatError,
@@ -32,13 +40,21 @@ from repro.zeek.tsv import (
     write_x509_log,
     x509_log_to_string,
 )
-from repro.zeek.files import read_logs_directory, write_rotated_logs
+from repro.zeek.files import (
+    TsvDirectorySource,
+    read_logs_directory,
+    write_rotated_logs,
+)
 
 __all__ = [
     "ErrorPolicy",
     "FastPath",
     "IngestIssue",
+    "IngestOptions",
     "IngestReport",
+    "RecordSource",
+    "ShardRecords",
+    "TsvDirectorySource",
     "SslRecord",
     "X509Record",
     "make_file_uid",

@@ -9,12 +9,20 @@ content — so the pipeline can run against operator-style archives.
 from __future__ import annotations
 
 import gzip
+import hashlib
 import io
+import json
 from pathlib import Path
 from typing import Callable, Iterable, TextIO
 
 from repro.zeek.builder import ZeekLogs
-from repro.zeek.ingest import ErrorPolicy, FastPath, IngestReport
+from repro.zeek.ingest import (
+    _UNSET_ARG,
+    IngestOptions,
+    IngestReport,
+    ShardRecords,
+    resolve_ingest_options,
+)
 from repro.zeek.records import SslRecord, X509Record
 from repro.zeek.tsv import (
     TsvFormatError,
@@ -69,22 +77,13 @@ def write_rotated_logs(
 def _read_many(
     paths: Iterable[Path],
     reader: Callable,
-    on_error: ErrorPolicy | str,
+    options: IngestOptions,
     report: IngestReport | None,
-    fast_path: FastPath | str | bool = FastPath.AUTO,
 ) -> list:
     records: list = []
     for path in sorted(paths):
         with _open_text(path, "r") as source:
-            records.extend(
-                reader(
-                    source,
-                    on_error=on_error,
-                    report=report,
-                    path=str(path),
-                    fast_path=fast_path,
-                )
-            )
+            records.extend(reader(source, options.for_path(str(path), report)))
     return records
 
 
@@ -116,21 +115,26 @@ def discover_shards(directory: Path | str) -> list[tuple[str, list[Path], list[P
 
 def read_logs_directory(
     directory: Path | str,
+    options: IngestOptions | None = None,
     *,
-    on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
-    report: IngestReport | None = None,
-    fast_path: FastPath | str | bool = FastPath.AUTO,
+    on_error: object = _UNSET_ARG,
+    report: object = _UNSET_ARG,
+    fast_path: object = _UNSET_ARG,
 ) -> ZeekLogs:
     """Load every rotated ssl/x509 log file from a directory.
 
     Plain and gzipped files may be mixed. Records are returned in
     timestamp order. Raises TsvFormatError if the directory contains no
     log files at all. Under the ``skip``/``quarantine`` policies,
-    malformed rows are dropped and accounted for in ``report``; pass an
-    :class:`~repro.zeek.ingest.IngestReport` to collect them.
-    ``fast_path`` selects the decoder (byte-identical results either
-    way; see :mod:`repro.zeek.tsv`).
+    malformed rows are dropped and accounted for in ``options.report``;
+    pass an :class:`~repro.zeek.ingest.IngestOptions` with a report to
+    collect them. The ``on_error``/``report``/``fast_path`` keywords are
+    deprecated shims for the pre-options signature.
     """
+    opts = resolve_ingest_options(
+        options, caller="read_logs_directory",
+        on_error=on_error, report=report, fast_path=fast_path,
+    )
     directory = Path(directory)
     ssl_paths = list(directory.glob("ssl.*.log")) + list(directory.glob("ssl.*.log.gz"))
     x509_paths = list(directory.glob("x509.*.log")) + list(
@@ -139,11 +143,120 @@ def read_logs_directory(
     if not ssl_paths and not x509_paths:
         raise TsvFormatError(f"no rotated Zeek logs found in {directory}")
     ssl_records: list[SslRecord] = _read_many(
-        ssl_paths, read_ssl_log, on_error, report, fast_path
+        ssl_paths, read_ssl_log, opts, opts.report
     )
     x509_records: list[X509Record] = _read_many(
-        x509_paths, read_x509_log, on_error, report, fast_path
+        x509_paths, read_x509_log, opts, opts.report
     )
     ssl_records.sort(key=lambda r: r.ts)
     x509_records.sort(key=lambda r: r.ts)
     return ZeekLogs(ssl=ssl_records, x509=x509_records)
+
+
+class TsvDirectorySource:
+    """:class:`~repro.zeek.ingest.RecordSource` over a rotated TSV tree.
+
+    The reference source: every other implementation (notably the
+    columnar store) is proven byte-identical against this one by the
+    differential suite. Shards follow :func:`discover_shards` — one per
+    calendar month, with the full x509 stream broadcast to each.
+
+    Instances hold only path tuples, so they pickle cheaply into
+    executor worker processes.
+    """
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = str(directory)
+        self._shards: tuple[tuple[str, tuple[str, ...], tuple[str, ...]], ...] = tuple(
+            (month, tuple(str(p) for p in ssl_paths), tuple(str(p) for p in x509_paths))
+            for month, ssl_paths, x509_paths in discover_shards(directory)
+        )
+
+    @classmethod
+    def from_shards(
+        cls, shards: Iterable[tuple[str, Iterable[str], Iterable[str]]]
+    ) -> "TsvDirectorySource":
+        """Build a source from explicit ``(month, ssl_paths, x509_paths)``
+        triples (the legacy :class:`~repro.core.parallel.ShardSpec` shape)
+        without touching the filesystem."""
+        source = cls.__new__(cls)
+        source.directory = ""
+        source._shards = tuple(
+            (month, tuple(str(p) for p in ssl), tuple(str(p) for p in x509))
+            for month, ssl, x509 in shards
+        )
+        return source
+
+    def months(self) -> tuple[str, ...]:
+        return tuple(month for month, _, _ in self._shards)
+
+    def _shard_paths(self, month: str) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        for shard_month, ssl_paths, x509_paths in self._shards:
+            if shard_month == month:
+                return ssl_paths, x509_paths
+        known = ", ".join(self.months())
+        raise KeyError(f"no shard for month {month!r} (have: {known})")
+
+    def read_month(self, month: str, options: IngestOptions) -> ShardRecords:
+        ssl_paths, x509_paths = self._shard_paths(month)
+        ssl_report = IngestReport()
+        x509_report = IngestReport()
+        ssl = _read_many(
+            [Path(p) for p in ssl_paths], read_ssl_log, options, ssl_report
+        )
+        x509 = _read_many(
+            [Path(p) for p in x509_paths], read_x509_log, options, x509_report
+        )
+        ssl.sort(key=lambda r: r.ts)
+        x509.sort(key=lambda r: r.ts)
+        return ShardRecords(
+            month=month, ssl=ssl, x509=x509,
+            ssl_report=ssl_report, x509_report=x509_report,
+        )
+
+    def read_all(
+        self, options: IngestOptions
+    ) -> tuple[list[SslRecord], list[X509Record], IngestReport]:
+        report = options.report if options.report is not None else IngestReport()
+        ssl_paths = [Path(p) for _, paths, _ in self._shards for p in paths]
+        # x509 paths are broadcast per shard; deduplicate for the
+        # whole-capture read (every shard carries the full set).
+        x509_paths = sorted(
+            {p for _, _, paths in self._shards for p in paths}
+        )
+        ssl = _read_many(ssl_paths, read_ssl_log, options, report)
+        x509 = _read_many([Path(p) for p in x509_paths], read_x509_log, options, report)
+        ssl.sort(key=lambda r: r.ts)
+        x509.sort(key=lambda r: r.ts)
+        return ssl, x509, report
+
+    def identity(self) -> str:
+        """Stable identity of the shard *layout* (months and paths)."""
+        payload = [
+            [month, list(ssl), list(x509)] for month, ssl, x509 in self._shards
+        ]
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the archive (names, sizes, digests).
+
+        This is what a columnar store records at pack time and checks on
+        every open: any byte-level change to any log file invalidates
+        the store.
+        """
+        entries = []
+        seen: set[str] = set()
+        for _, ssl_paths, x509_paths in self._shards:
+            for raw in (*ssl_paths, *x509_paths):
+                if raw in seen:
+                    continue
+                seen.add(raw)
+                path = Path(raw)
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+                entries.append([path.name, path.stat().st_size, digest])
+        entries.sort()
+        return hashlib.sha256(
+            json.dumps(entries, sort_keys=True).encode("utf-8")
+        ).hexdigest()

@@ -17,8 +17,12 @@ what fraction of the input it consumed.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.zeek.records import SslRecord, X509Record
 
 
 class ErrorPolicy(str, enum.Enum):
@@ -238,3 +242,176 @@ class IngestReport:
             "issues_truncated": self.issues_truncated,
             "issues": [issue.to_dict() for issue in self.issues],
         }
+
+    @classmethod
+    def from_dict(cls, state: dict[str, Any]) -> "IngestReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Round-trips every counter and recorded issue, so a report
+        replayed from a columnar-store manifest is indistinguishable
+        (``to_dict()``-equal) from the one produced at pack time.
+        """
+        report = cls(
+            rows_ok=state.get("rows_ok", 0),
+            rows_dropped=state.get("rows_dropped", 0),
+            files_read=state.get("files_read", 0),
+            header_recoveries=state.get("header_recoveries", 0),
+            truncated_final_lines=state.get("truncated_final_lines", 0),
+            files_missing_close=state.get("files_missing_close", 0),
+            dropped_by_category=dict(state.get("dropped_by_category", {})),
+            dropped_by_path=dict(state.get("dropped_by_path", {})),
+            issues_truncated=state.get("issues_truncated", False),
+        )
+        for issue in state.get("issues", ()):
+            report.issues.append(
+                IngestIssue(
+                    path=issue["path"],
+                    line_number=issue["line_number"],
+                    category=issue["category"],
+                    reason=issue["reason"],
+                    field=issue.get("field"),
+                    raw=issue.get("raw"),
+                )
+            )
+        return report
+
+
+# ---------------------------------------------------------------------------
+# The unified ingestion surface: one options object, one source protocol
+# ---------------------------------------------------------------------------
+
+#: Sentinel distinguishing "caller did not pass this legacy kwarg" from
+#: every real value (None included).
+_UNSET_ARG = object()
+
+
+@dataclass(frozen=True)
+class IngestOptions:
+    """Everything a reader needs to know about *how* to ingest.
+
+    Collapses the ``on_error``/``report``/``path``/``fast_path`` keyword
+    sprawl that used to be duplicated across every reader and pipeline
+    entry point: construct one options object, hand it to any of them.
+
+    ``report`` and ``path`` are per-stream concerns; use :meth:`for_path`
+    to derive a stream-specific variant from a shared base.
+    """
+
+    on_error: ErrorPolicy = ErrorPolicy.STRICT
+    fast_path: FastPath = FastPath.AUTO
+    report: IngestReport | None = None
+    path: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "on_error", ErrorPolicy.coerce(self.on_error))
+        object.__setattr__(self, "fast_path", FastPath.coerce(self.fast_path))
+
+    @classmethod
+    def coerce(cls, value: "IngestOptions | None") -> "IngestOptions":
+        return value if value is not None else cls()
+
+    def for_path(
+        self, path: str | None, report: IngestReport | None = None
+    ) -> "IngestOptions":
+        """A per-stream variant: same policies, stream-specific context."""
+        return replace(
+            self, path=path, report=report if report is not None else self.report
+        )
+
+    def replace(self, **changes) -> "IngestOptions":
+        return replace(self, **changes)
+
+    def identity(self) -> dict[str, str]:
+        """The fingerprint-relevant fields (``report``/``path`` are
+        per-stream context, not identity; ``fast_path`` is excluded
+        because the two decoders are byte-identical by contract)."""
+        return {"on_error": self.on_error.value}
+
+
+def resolve_ingest_options(
+    options: "IngestOptions | None",
+    *,
+    caller: str,
+    on_error: object = _UNSET_ARG,
+    report: object = _UNSET_ARG,
+    path: object = _UNSET_ARG,
+    fast_path: object = _UNSET_ARG,
+) -> IngestOptions:
+    """Shim glue for the pre-``IngestOptions`` keyword signatures.
+
+    Explicitly-passed legacy kwargs still work but raise a
+    :class:`DeprecationWarning` naming the caller; they may not be mixed
+    with an explicit ``options`` object (ambiguous intent).
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("on_error", on_error),
+            ("report", report),
+            ("path", path),
+            ("fast_path", fast_path),
+        )
+        if value is not _UNSET_ARG
+    }
+    if not legacy:
+        return IngestOptions.coerce(options)
+    if options is not None:
+        raise TypeError(
+            f"{caller}: pass either an IngestOptions object or the legacy "
+            f"keywords ({', '.join(sorted(legacy))}), not both"
+        )
+    warnings.warn(
+        f"{caller}: the {', '.join(sorted(legacy))} keyword(s) are "
+        "deprecated; pass an IngestOptions object instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return IngestOptions(**legacy)
+
+
+@dataclass
+class ShardRecords:
+    """One month of records as served by a :class:`RecordSource`.
+
+    ``ssl`` and ``x509`` are timestamp-sorted; ``x509`` is always the
+    *full* (cross-month) certificate stream because fuid references may
+    cross a rotation boundary. The two reports carry the exact ingest
+    accounting for this shard — replayed verbatim by store-backed
+    sources so downstream ingest-health tables stay byte-identical.
+    """
+
+    month: str
+    ssl: "list[SslRecord]"
+    x509: "list[X509Record]"
+    ssl_report: IngestReport
+    x509_report: IngestReport
+
+
+@runtime_checkable
+class RecordSource(Protocol):
+    """Anything the pipeline can pull shard records from.
+
+    Implementations: :class:`repro.zeek.files.TsvDirectorySource` (a
+    rotated TSV archive) and :class:`repro.store.ColumnarStoreSource`
+    (the parse-once columnar store). Every entry point that used to take
+    a directory path takes one of these instead, which is what makes
+    stored and raw inputs interchangeable.
+    """
+
+    def months(self) -> tuple[str, ...]:
+        """Shard keys in chronological order."""
+        ...
+
+    def read_month(self, month: str, options: IngestOptions) -> ShardRecords:
+        """Load one shard (plus the broadcast x509 stream)."""
+        ...
+
+    def read_all(
+        self, options: IngestOptions
+    ) -> "tuple[list[SslRecord], list[X509Record], IngestReport]":
+        """The whole capture, timestamp-sorted, with merged accounting."""
+        ...
+
+    def identity(self) -> str:
+        """Cheap, stable identity for resume-manifest fingerprints."""
+        ...

@@ -26,7 +26,14 @@ import io
 import sys as _sys
 from typing import Callable, Iterable, Sequence, TextIO
 
-from repro.zeek.ingest import ErrorPolicy, FastPath, IngestReport
+from repro.zeek.ingest import (
+    _UNSET_ARG,
+    ErrorPolicy,
+    FastPath,
+    IngestOptions,
+    IngestReport,
+    resolve_ingest_options,
+)
 from repro.zeek.records import SslRecord, X509Record
 
 _UNSET = "-"
@@ -853,23 +860,30 @@ class _LogReader:
 
 def read_ssl_log(
     source: TextIO,
+    options: IngestOptions | None = None,
     *,
-    on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
-    report: IngestReport | None = None,
-    path: str | None = None,
-    fast_path: FastPath | str | bool = FastPath.AUTO,
+    on_error: object = _UNSET_ARG,
+    report: object = _UNSET_ARG,
+    path: object = _UNSET_ARG,
+    fast_path: object = _UNSET_ARG,
 ) -> list[SslRecord]:
-    """Parse a Zeek-format ssl.log stream under an error policy.
+    """Parse a Zeek-format ssl.log stream under :class:`IngestOptions`.
 
-    ``fast_path`` selects the compiled decoder (``on``/``auto``) or the
-    reference per-field implementation (``off``); both produce
-    byte-identical records, errors, and reports.
+    ``options.fast_path`` selects the compiled decoder (``on``/``auto``)
+    or the reference per-field implementation (``off``); both produce
+    byte-identical records, errors, and reports. The ``on_error`` /
+    ``report`` / ``path`` / ``fast_path`` keywords are deprecated shims
+    for the pre-options signature.
     """
+    opts = resolve_ingest_options(
+        options, caller="read_ssl_log",
+        on_error=on_error, report=report, path=path, fast_path=fast_path,
+    )
     reader = _LogReader(
         "ssl", _SSL_FIELDS, _SSL_PARSERS, SslRecord,
-        ErrorPolicy.coerce(on_error), report,
-        path or getattr(source, "name", None),
-        fast=FastPath.coerce(fast_path).enabled,
+        opts.on_error, opts.report,
+        opts.path or getattr(source, "name", None),
+        fast=opts.fast_path.enabled,
         fast_converters=_ssl_fast_converters,
     )
     return reader.read(source)
@@ -877,23 +891,30 @@ def read_ssl_log(
 
 def read_x509_log(
     source: TextIO,
+    options: IngestOptions | None = None,
     *,
-    on_error: ErrorPolicy | str = ErrorPolicy.STRICT,
-    report: IngestReport | None = None,
-    path: str | None = None,
-    fast_path: FastPath | str | bool = FastPath.AUTO,
+    on_error: object = _UNSET_ARG,
+    report: object = _UNSET_ARG,
+    path: object = _UNSET_ARG,
+    fast_path: object = _UNSET_ARG,
 ) -> list[X509Record]:
-    """Parse a Zeek-format x509.log stream under an error policy.
+    """Parse a Zeek-format x509.log stream under :class:`IngestOptions`.
 
-    ``fast_path`` selects the compiled decoder (``on``/``auto``) or the
-    reference per-field implementation (``off``); both produce
-    byte-identical records, errors, and reports.
+    ``options.fast_path`` selects the compiled decoder (``on``/``auto``)
+    or the reference per-field implementation (``off``); both produce
+    byte-identical records, errors, and reports. The ``on_error`` /
+    ``report`` / ``path`` / ``fast_path`` keywords are deprecated shims
+    for the pre-options signature.
     """
+    opts = resolve_ingest_options(
+        options, caller="read_x509_log",
+        on_error=on_error, report=report, path=path, fast_path=fast_path,
+    )
     reader = _LogReader(
         "x509", _X509_FIELDS, _X509_PARSERS, X509Record,
-        ErrorPolicy.coerce(on_error), report,
-        path or getattr(source, "name", None),
-        fast=FastPath.coerce(fast_path).enabled,
+        opts.on_error, opts.report,
+        opts.path or getattr(source, "name", None),
+        fast=opts.fast_path.enabled,
         fast_converters=_x509_fast_converters,
     )
     return reader.read(source)

@@ -1,0 +1,141 @@
+"""IngestOptions / RecordSource API: shims, warnings, and coercion."""
+
+import io
+import warnings
+
+import pytest
+
+from repro.core.parallel import ShardExecutor, analyze_directory
+from repro.core.streaming import StreamingAnalyzer
+from repro.core.study import CampusStudy
+from repro.netsim import ScenarioConfig, TrafficGenerator
+from repro.zeek import (
+    ErrorPolicy,
+    FastPath,
+    IngestOptions,
+    IngestReport,
+    RecordSource,
+    read_ssl_log,
+    ssl_log_to_string,
+)
+from repro.zeek.files import TsvDirectorySource
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    return TrafficGenerator(
+        ScenarioConfig(seed=3, months=2, connections_per_month=60)
+    ).generate()
+
+
+@pytest.fixture(scope="module")
+def ssl_text(simulation):
+    return ssl_log_to_string(simulation.logs.ssl)
+
+
+class TestIngestOptions:
+    def test_coerces_strings(self):
+        options = IngestOptions(on_error="skip", fast_path="off")
+        assert options.on_error is ErrorPolicy.SKIP
+        assert options.fast_path is FastPath.OFF
+
+    def test_for_path_keeps_policies(self):
+        report = IngestReport()
+        base = IngestOptions(on_error="quarantine")
+        derived = base.for_path("ssl.log", report)
+        assert derived.on_error is ErrorPolicy.QUARANTINE
+        assert derived.path == "ssl.log"
+        assert derived.report is report
+
+    def test_identity_excludes_fast_path(self):
+        fast = IngestOptions(fast_path="on")
+        slow = IngestOptions(fast_path="off")
+        assert fast.identity() == slow.identity()
+        assert IngestOptions(on_error="skip").identity() != fast.identity()
+
+    def test_sources_satisfy_protocol(self, tmp_path, simulation):
+        from repro.zeek.files import write_rotated_logs
+
+        write_rotated_logs(simulation.logs, tmp_path)
+        assert isinstance(TsvDirectorySource(tmp_path), RecordSource)
+
+
+class TestReaderShims:
+    def test_legacy_kwargs_warn_and_match(self, ssl_text):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = read_ssl_log(io.StringIO(ssl_text), on_error="skip")
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "read_ssl_log" in str(w.message)
+            for w in caught
+        )
+        current = read_ssl_log(
+            io.StringIO(ssl_text), IngestOptions(on_error="skip")
+        )
+        assert legacy == current
+
+    def test_options_path_is_silent(self, ssl_text):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            read_ssl_log(io.StringIO(ssl_text), IngestOptions())
+
+    def test_mixing_options_and_kwargs_rejected(self, ssl_text):
+        with pytest.raises(TypeError, match="not both"):
+            read_ssl_log(
+                io.StringIO(ssl_text), IngestOptions(), on_error="skip"
+            )
+
+
+class TestPipelineShims:
+    def test_streaming_analyzer_fast_path_kwarg_warns(self, simulation):
+        with pytest.deprecated_call(match="StreamingAnalyzer"):
+            analyzer = StreamingAnalyzer(
+                simulation.trust_bundle, fast_path="off"
+            )
+        assert analyzer.fast_path is FastPath.OFF
+
+    def test_campus_study_on_error_kwarg_warns(self):
+        with pytest.deprecated_call(match="CampusStudy"):
+            study = CampusStudy(
+                seed=1, months=1, connections_per_month=10, on_error="skip"
+            )
+        assert study.options.on_error is ErrorPolicy.SKIP
+
+    def test_shard_executor_kwarg_warns(self, simulation):
+        with pytest.deprecated_call(match="ShardExecutor"):
+            executor = ShardExecutor(
+                simulation.trust_bundle, on_error="quarantine"
+            )
+        assert executor.config.on_error is ErrorPolicy.QUARANTINE
+
+
+class TestAnalyzeDirectorySignature:
+    def test_positional_bundle_warns(self, simulation, tmp_path):
+        from repro.zeek.files import write_rotated_logs
+
+        write_rotated_logs(simulation.logs, tmp_path)
+        with pytest.deprecated_call(match="positional bundle"):
+            legacy = analyze_directory(tmp_path, simulation.trust_bundle)
+        current = analyze_directory(tmp_path, bundle=simulation.trust_bundle)
+        assert {n: str(p.finalize()) for n, p in legacy.partials.items()} == \
+            {n: str(p.finalize()) for n, p in current.partials.items()}
+
+    def test_bundle_required(self, tmp_path):
+        with pytest.raises(TypeError, match="bundle"):
+            analyze_directory(tmp_path)
+
+    def test_too_many_positionals_rejected(self, simulation, tmp_path):
+        with pytest.raises(TypeError, match="positional"):
+            analyze_directory(
+                tmp_path, simulation.trust_bundle, simulation.ct_log, object()
+            )
+
+    def test_duplicated_positional_and_keyword_rejected(
+        self, simulation, tmp_path
+    ):
+        with pytest.raises(TypeError, match="bundle"):
+            analyze_directory(
+                tmp_path, simulation.trust_bundle,
+                bundle=simulation.trust_bundle,
+            )

@@ -15,6 +15,7 @@ import io
 from repro.netsim import ScenarioConfig, TrafficGenerator
 from repro.zeek import (
     ErrorPolicy,
+    IngestOptions,
     IngestReport,
     TsvFormatError,
     read_ssl_log,
@@ -51,14 +52,14 @@ def read_one(
     """
     report = IngestReport()
     reader = _READERS[kind]
+    options = IngestOptions(
+        on_error=policy,
+        fast_path="on" if fast else "off",
+        report=report,
+        path=f"{kind}.log",
+    )
     try:
-        records = reader(
-            io.StringIO(text),
-            on_error=policy,
-            report=report,
-            path=f"{kind}.log",
-            fast_path="on" if fast else "off",
-        )
+        records = reader(io.StringIO(text), options)
     except TsvFormatError as exc:
         return [], report, exc
     return records, report, None

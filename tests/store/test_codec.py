@@ -1,0 +1,280 @@
+"""Columnar codec round-trip: pack → read → records equal originals.
+
+The property tests drive records through the *TSV writer and reader
+first* — the codec's contract is equality with TSV-parsed originals,
+escapes and all — then pack those and compare the materialized result
+field for field (and repr for repr).
+"""
+
+import datetime as dt
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    FLAG_CLIENT_CHAIN,
+    FLAG_ESTABLISHED,
+    FLAG_SERVER_CHAIN,
+    FLAG_TLS13,
+    FLAG_RESUMED,
+    ColumnTable,
+    StoreFormatError,
+    pack_table,
+)
+from repro.store import codec as codec_module
+from repro.zeek import (
+    SslRecord,
+    X509Record,
+    read_ssl_log,
+    read_x509_log,
+    write_ssl_log,
+    write_x509_log,
+)
+
+UTC = dt.timezone.utc
+
+#: Every escape-relevant character the TSV layer handles, plus
+#: multi-byte UTF-8.
+_NASTY = "\t\n\\,-() aé中🔒=."
+nasty_text = st.text(alphabet=st.sampled_from(_NASTY), min_size=1, max_size=12)
+timestamps = st.integers(
+    min_value=0, max_value=4_102_444_800_000_000  # 1970..2100, microseconds
+).map(lambda n: dt.datetime(1970, 1, 1, tzinfo=UTC) + dt.timedelta(microseconds=n))
+
+
+def _ssl_record(**overrides):
+    base = dict(
+        ts=dt.datetime(2023, 1, 1, 12, 0, 0, tzinfo=UTC),
+        uid="CABCDEF",
+        id_orig_h="10.0.0.1",
+        id_orig_p=51515,
+        id_resp_h="192.0.2.1",
+        id_resp_p=443,
+        version="TLSv12",
+        cipher="TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+        server_name="example.com",
+        established=True,
+        cert_chain_fuids=("F1", "F2"),
+        client_cert_chain_fuids=("F3",),
+        validation_status="ok",
+    )
+    base.update(overrides)
+    return SslRecord(**base)
+
+
+def _x509_record(**overrides):
+    base = dict(
+        ts=dt.datetime(2023, 1, 1, 12, 0, 0, tzinfo=UTC),
+        fuid="F1",
+        fingerprint="ab" * 32,
+        version=3,
+        serial="0A1B",
+        subject="CN=example.com,O=Example",
+        issuer="CN=Issuing CA,O=Example Trust",
+        not_valid_before=dt.datetime(2022, 6, 1, tzinfo=UTC),
+        not_valid_after=dt.datetime(2023, 6, 1, tzinfo=UTC),
+        key_alg="rsaEncryption",
+        sig_alg="sha256WithRSAEncryption",
+        key_length=2048,
+        san_dns=("example.com", "www.example.com"),
+        san_uri=(),
+        san_email=(),
+        san_ip=("192.0.2.5",),
+        basic_constraints_ca=False,
+    )
+    base.update(overrides)
+    return X509Record(**base)
+
+
+def _tsv_round_trip(kind, records):
+    buffer = io.StringIO()
+    writer, reader = {
+        "ssl": (write_ssl_log, read_ssl_log),
+        "x509": (write_x509_log, read_x509_log),
+    }[kind]
+    writer(records, buffer)
+    buffer.seek(0)
+    return reader(buffer)
+
+
+def _pack_round_trip(kind, records):
+    return ColumnTable(pack_table(kind, records)).records()
+
+
+def assert_codec_equals_tsv(kind, records):
+    originals = _tsv_round_trip(kind, records)
+    decoded = _pack_round_trip(kind, originals)
+    assert decoded == originals
+    assert [repr(r) for r in decoded] == [repr(r) for r in originals]
+
+
+class TestSslRoundTrip:
+    def test_empty_table(self):
+        assert _pack_round_trip("ssl", []) == []
+
+    def test_basic(self):
+        assert_codec_equals_tsv("ssl", [_ssl_record()])
+
+    def test_nullable_columns(self):
+        # server_name None vs set; validation_status distinguishes the
+        # empty string from unset — the codec must preserve all three.
+        records = [
+            _ssl_record(uid="C1", server_name=None, validation_status=None),
+            _ssl_record(uid="C2", server_name="", validation_status=""),
+            _ssl_record(uid="C3", server_name="x", validation_status="ok"),
+        ]
+        decoded = _pack_round_trip("ssl", records)
+        assert decoded == records
+        assert decoded[0].server_name is None
+        assert decoded[0].validation_status is None
+        assert decoded[1].server_name == ""
+        assert decoded[1].validation_status == ""
+
+    def test_escaped_fields(self):
+        assert_codec_equals_tsv("ssl", [
+            _ssl_record(server_name="weird\tname"),
+            _ssl_record(server_name="multi\nline"),
+            _ssl_record(cipher="back\\slash"),
+        ])
+
+    def test_empty_vs_missing_vectors(self):
+        records = [
+            _ssl_record(cert_chain_fuids=(), client_cert_chain_fuids=()),
+            _ssl_record(cert_chain_fuids=("F",), client_cert_chain_fuids=()),
+        ]
+        decoded = _pack_round_trip("ssl", records)
+        assert decoded[0].cert_chain_fuids == ()
+        assert not decoded[0].is_mutual
+        assert decoded[1].cert_chain_fuids == ("F",)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                timestamps,
+                st.one_of(st.none(), nasty_text),
+                st.lists(nasty_text, max_size=3),
+                st.lists(nasty_text, max_size=2),
+                st.booleans(),
+                st.booleans(),
+                st.sampled_from(["TLSv12", "TLSv13", "TLSv10"]),
+            ),
+            max_size=12,
+        )
+    )
+    def test_property_round_trip(self, rows):
+        records = [
+            _ssl_record(
+                uid=f"C{i}", ts=ts, server_name=sni,
+                cert_chain_fuids=tuple(chain),
+                client_cert_chain_fuids=tuple(client_chain),
+                established=established, resumed=resumed, version=version,
+            )
+            for i, (ts, sni, chain, client_chain, established, resumed,
+                    version) in enumerate(rows)
+        ]
+        assert_codec_equals_tsv("ssl", records)
+
+
+class TestX509RoundTrip:
+    def test_basic(self):
+        assert_codec_equals_tsv("x509", [_x509_record()])
+
+    def test_nullable_bool(self):
+        records = [
+            _x509_record(fuid="F1", basic_constraints_ca=None),
+            _x509_record(fuid="F2", basic_constraints_ca=True),
+            _x509_record(fuid="F3", basic_constraints_ca=False),
+        ]
+        decoded = _pack_round_trip("x509", records)
+        assert [r.basic_constraints_ca for r in decoded] == [None, True, False]
+
+    def test_escaped_dn_and_san(self):
+        assert_codec_equals_tsv("x509", [
+            _x509_record(subject="CN=Smith\\, John,O=Acme"),
+            _x509_record(san_dns=("a,b", "c"), eku=("serverAuth",)),
+        ])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                timestamps,
+                nasty_text,
+                st.lists(nasty_text, max_size=3),
+                st.one_of(st.none(), st.booleans()),
+                st.integers(-2**40, 2**40),
+            ),
+            max_size=10,
+        )
+    )
+    def test_property_round_trip(self, rows):
+        records = [
+            _x509_record(
+                fuid=f"F{i}", ts=ts, subject=subject,
+                san_dns=tuple(san), basic_constraints_ca=ca,
+                key_length=key_length,
+            )
+            for i, (ts, subject, san, ca, key_length) in enumerate(rows)
+        ]
+        assert_codec_equals_tsv("x509", records)
+
+
+class TestDerivedColumns:
+    def test_flags_bits(self):
+        records = [
+            _ssl_record(established=True, cert_chain_fuids=("F",),
+                        client_cert_chain_fuids=("G",), version="TLSv13",
+                        resumed=True),
+            _ssl_record(established=False, cert_chain_fuids=(),
+                        client_cert_chain_fuids=(), version="TLSv12",
+                        resumed=False),
+        ]
+        table = ColumnTable(pack_table("ssl", records))
+        flags = table.raw("__flags__")
+        assert flags[0] == (FLAG_ESTABLISHED | FLAG_SERVER_CHAIN
+                            | FLAG_CLIENT_CHAIN | FLAG_TLS13 | FLAG_RESUMED)
+        assert flags[1] == 0
+
+    def test_month_labels(self):
+        records = [
+            _ssl_record(uid="C1", ts=dt.datetime(2022, 3, 31, 23, 59, tzinfo=UTC)),
+            _ssl_record(uid="C2", ts=dt.datetime(2022, 4, 1, 0, 0, tzinfo=UTC)),
+        ]
+        table = ColumnTable(pack_table("ssl", records))
+        strings = table.pool()
+        labels = [strings[i] for i in table.typed("__month__")]
+        assert labels == ["2022-03", "2022-04"]
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        with pytest.raises(StoreFormatError, match="magic"):
+            ColumnTable(b"NOTSTORE" + b"\x00" * 64)
+
+    def test_truncated_header(self):
+        image = pack_table("ssl", [_ssl_record()])
+        with pytest.raises(StoreFormatError, match="truncated|corrupt"):
+            ColumnTable(image[: len(image) // 2])
+
+    def test_truncated_sections(self):
+        image = pack_table("ssl", [_ssl_record()])
+        with pytest.raises(StoreFormatError, match="truncated"):
+            ColumnTable(image[:-16])
+
+    def test_codec_version_mismatch(self, monkeypatch):
+        image = pack_table("ssl", [_ssl_record()])
+        monkeypatch.setattr(codec_module, "CODEC_VERSION", 999)
+        with pytest.raises(StoreFormatError, match="codec version"):
+            ColumnTable(image)
+
+    def test_unknown_kind(self):
+        with pytest.raises(StoreFormatError, match="unknown table kind"):
+            pack_table("dns", [])
+
+    def test_naive_datetime_rejected(self):
+        record = _ssl_record(ts=dt.datetime(2023, 1, 1, 12, 0, 0))
+        with pytest.raises(StoreFormatError, match="naive"):
+            pack_table("ssl", [record])

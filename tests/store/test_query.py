@@ -1,0 +1,101 @@
+"""StoreQueryEngine vs StreamingAnalyzer: same answers, no records."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.streaming import StreamingAnalyzer
+from repro.netsim import ScenarioConfig, TrafficGenerator
+from repro.store import StoreQueryEngine, pack_archive
+from repro.zeek import IngestOptions, SslRecord, write_ssl_log, write_x509_log
+from repro.zeek.files import TsvDirectorySource, write_rotated_logs
+
+UTC = dt.timezone.utc
+OPTIONS = IngestOptions()
+
+
+def _streaming_over(archive, bundle):
+    analyzer = StreamingAnalyzer(bundle)
+    tsv = TsvDirectorySource(archive)
+    first = True
+    for month in tsv.months():
+        shard = tsv.read_month(month, OPTIONS)
+        if first:
+            # x509 is broadcast (identical per shard); feed it once.
+            analyzer.add_x509(shard.x509)
+            first = False
+        analyzer.add_ssl(shard.ssl)
+    return analyzer
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("archive")
+    simulation = TrafficGenerator(
+        ScenarioConfig(seed=21, months=4, connections_per_month=200)
+    ).generate()
+    write_rotated_logs(simulation.logs, directory)
+    store = pack_archive(directory, tmp_path_factory.mktemp("store"))
+    return directory, store, simulation.trust_bundle
+
+
+class TestAgainstStreaming:
+    def test_monthly_mutual_share(self, campaign):
+        archive, store, bundle = campaign
+        engine = StoreQueryEngine(store)
+        assert engine.monthly_mutual_share() == \
+            _streaming_over(archive, bundle).monthly_mutual_share()
+
+    def test_tls13_blindspot(self, campaign):
+        archive, store, bundle = campaign
+        engine = StoreQueryEngine(store)
+        assert engine.tls13_blindspot() == \
+            _streaming_over(archive, bundle).tls13_blindspot()
+
+
+def _conn(i, ts, *, established=True, mutual=False, version="TLSv12"):
+    return SslRecord(
+        ts=ts,
+        uid=f"C{i}",
+        id_orig_h=f"10.0.0.{i % 7}",
+        id_orig_p=50000 + i,
+        id_resp_h=f"192.0.2.{i % 5}",
+        id_resp_p=443,
+        version=version,
+        cipher="TLS_AES_128_GCM_SHA256",
+        server_name="example.com",
+        established=established,
+        cert_chain_fuids=("FS",) if mutual else (),
+        client_cert_chain_fuids=("FC",) if mutual else (),
+        validation_status="ok",
+    )
+
+
+class TestMixedMonthShard:
+    """A hand-rotated file carrying out-of-window rows must fall back to
+    exact per-row month attribution (and still match streaming)."""
+
+    def test_mixed_months_in_one_file(self, tmp_path):
+        rows = [
+            _conn(0, dt.datetime(2022, 1, 10, tzinfo=UTC), mutual=True),
+            _conn(1, dt.datetime(2022, 1, 20, tzinfo=UTC), version="TLSv13"),
+            # Out-of-window: February rows inside the January file.
+            _conn(2, dt.datetime(2022, 2, 2, tzinfo=UTC)),
+            _conn(3, dt.datetime(2022, 2, 3, tzinfo=UTC), established=False),
+        ]
+        archive = tmp_path / "archive"
+        archive.mkdir()
+        with (archive / "ssl.2022-01.log").open("w") as out:
+            write_ssl_log(rows, out)
+        with (archive / "x509.2022-01.log").open("w") as out:
+            write_x509_log([], out)
+        store = pack_archive(archive, tmp_path / "store")
+        engine = StoreQueryEngine(store)
+        shares = {s.label: s for s in engine.monthly_mutual_share()}
+        assert shares["2022-01"].total_connections == 2
+        assert shares["2022-01"].mutual_connections == 1
+        assert shares["2022-02"].total_connections == 1
+        assert shares["2022-02"].mutual_connections == 0
+        blindspot = engine.tls13_blindspot()
+        assert blindspot.total_connections == 3
+        assert blindspot.tls13_connections == 1
