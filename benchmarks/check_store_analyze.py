@@ -1,13 +1,19 @@
 """Perf regression gate for the columnar-store re-analysis path.
 
-Checks two things against ``BENCH_store_analyze.json`` documents:
+Checks four things against ``BENCH_store_analyze.json`` documents:
 
 1. the **committed baseline** (a full-campaign run) documents at least
    ``--min-baseline-speedup`` (default 10x) — the store's acceptance
    criterion stays on record and cannot silently erode;
 2. the **current** (typically CI-smoke) measurement still clears
    ``--min-speedup`` (default 3x, the smoke floor: tiny corpora pay
-   store-open constants that the full campaign amortizes away).
+   store-open constants that the full campaign amortizes away);
+3. the baseline documents a verify-on-map checksum overhead below
+   ``--max-baseline-overhead`` (default 5% — the codec-v2 integrity
+   tax must stay in the noise on the full campaign);
+4. the current overhead stays below ``--max-overhead`` (default 50%,
+   generous: smoke query times are sub-millisecond, so the ratio is
+   mostly constants and noise).
 
 Run by the CI store job after the smoke bench::
 
@@ -32,15 +38,21 @@ DEFAULT_MIN_BASELINE_SPEEDUP = 10.0
 #: Floor for the current (smoke) measurement.
 DEFAULT_MIN_SPEEDUP = 3.0
 
+#: Ceiling on the checksum overhead the committed baseline documents.
+DEFAULT_MAX_BASELINE_OVERHEAD = 0.05
 
-def _load_entry(path: Path) -> dict:
+#: Ceiling for the current (smoke) overhead measurement.
+DEFAULT_MAX_OVERHEAD = 0.50
+
+
+def _load_entry(path: Path, test: str = "test_store_reanalysis_speedup") -> dict:
     document = json.loads(path.read_text(encoding="utf-8"))
     entries = [
         entry for entry in document.get("entries", [])
-        if entry.get("test") == "test_store_reanalysis_speedup"
+        if entry.get("test") == test
     ]
     if not entries:
-        raise SystemExit(f"{path}: no test_store_reanalysis_speedup entry")
+        raise SystemExit(f"{path}: no {test} entry")
     return entries[0]
 
 
@@ -48,11 +60,20 @@ def _speedup(entry: dict) -> float:
     return float((entry.get("accuracy") or {}).get("speedup_vs_tsv") or 0.0)
 
 
+def _overhead(path: Path) -> float:
+    entry = _load_entry(path, "test_checksum_overhead")
+    return float(
+        (entry.get("accuracy") or {}).get("checksum_overhead_fraction") or 0.0
+    )
+
+
 def check(
     baseline_path: Path,
     current_path: Path,
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
     min_baseline_speedup: float = DEFAULT_MIN_BASELINE_SPEEDUP,
+    max_overhead: float = DEFAULT_MAX_OVERHEAD,
+    max_baseline_overhead: float = DEFAULT_MAX_BASELINE_OVERHEAD,
 ) -> list[str]:
     """The list of regression findings (empty = gate passes)."""
     findings = []
@@ -68,6 +89,19 @@ def check(
         findings.append(
             f"measured store re-analysis speedup fell to x{current:.2f} "
             f"(minimum x{min_speedup:.2f})"
+        )
+    baseline_overhead = _overhead(baseline_path)
+    if baseline_overhead > max_baseline_overhead:
+        findings.append(
+            f"committed baseline documents {baseline_overhead:.1%} checksum "
+            f"overhead (ceiling: {max_baseline_overhead:.0%}); verify-on-map "
+            "must stay in the noise on the full campaign"
+        )
+    current_overhead = _overhead(current_path)
+    if current_overhead > max_overhead:
+        findings.append(
+            f"measured checksum overhead rose to {current_overhead:.1%} "
+            f"(ceiling: {max_overhead:.0%})"
         )
     return findings
 
@@ -86,17 +120,31 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum speedup the committed baseline must document "
              "(default 10.0 — the acceptance criterion)",
     )
+    parser.add_argument(
+        "--max-overhead", type=float, default=DEFAULT_MAX_OVERHEAD,
+        help="maximum current (smoke) checksum-overhead fraction "
+             "(default 0.5)",
+    )
+    parser.add_argument(
+        "--max-baseline-overhead", type=float,
+        default=DEFAULT_MAX_BASELINE_OVERHEAD,
+        help="maximum checksum-overhead fraction the committed baseline "
+             "may document (default 0.05 — the <5%% integrity-tax gate)",
+    )
     args = parser.parse_args(argv)
     findings = check(
         args.baseline, args.current, args.min_speedup,
-        args.min_baseline_speedup,
+        args.min_baseline_speedup, args.max_overhead,
+        args.max_baseline_overhead,
     )
     for finding in findings:
         print(f"FAIL: {finding}", file=sys.stderr)
     if not findings:
         print(
-            f"ok: baseline x{_speedup(_load_entry(args.baseline)):.1f}, "
-            f"current x{_speedup(_load_entry(args.current)):.1f}"
+            f"ok: baseline x{_speedup(_load_entry(args.baseline)):.1f} "
+            f"({_overhead(args.baseline):.1%} checksum overhead), "
+            f"current x{_speedup(_load_entry(args.current)):.1f} "
+            f"({_overhead(args.current):.1%})"
         )
     return 1 if findings else 0
 

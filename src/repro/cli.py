@@ -11,6 +11,7 @@ Subcommands::
                               [--max-attempts N] [--shard-timeout S]
                               [--resume DIR] [--fast-path MODE] [--store DIR]
     python -m repro pack      DIR --out STORE [--on-error POLICY]
+    python -m repro fsck      STORE [--source DIR] [--repair]
     python -m repro audit     X509_LOG [--campus-marker TEXT]
                               [--fast-path MODE]
     python -m repro intercept SSL_LOG X509_LOG --trust-bundle FILE
@@ -56,6 +57,9 @@ from repro.zeek import (
 
 #: Exit status of a PARTIAL campaign that lost months to quarantine.
 EXIT_DEGRADED = 4
+
+#: Exit status of `repro fsck` when damage was found and not repaired.
+EXIT_CORRUPT = 5
 
 
 def _table_choices() -> list[str]:
@@ -237,6 +241,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=Path, required=True, metavar="DIR",
         help="store directory (reused as-is when it already matches the "
              "archive fingerprint and ingest policy)",
+    )
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify a columnar store's checksums; optionally quarantine "
+             "and rebuild damaged files from the TSV source",
+    )
+    fsck.add_argument("store", type=Path, help="store directory to audit")
+    fsck.add_argument(
+        "--source", type=Path, default=None, metavar="DIR",
+        help="TSV archive to rebuild from (default: the directory the "
+             "store's manifest records)",
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="quarantine damaged files and rebuild them; a rebuild is "
+             "accepted only if it reproduces the manifest checksum exactly",
     )
 
     audit = sub.add_parser(
@@ -564,6 +585,27 @@ def cmd_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.core.report import render_fsck
+    from repro.store import StoreFormatError, fsck
+
+    try:
+        result = fsck(args.store, source=args.source, repair=args.repair)
+    except StoreFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_fsck(result).render())
+    if not result.ok:
+        if not args.repair:
+            print(
+                "hint: re-run with --repair to quarantine and rebuild from "
+                "the TSV source",
+                file=sys.stderr,
+            )
+        return EXIT_CORRUPT
+    return 0
+
+
 def cmd_audit(args: argparse.Namespace) -> int:
     report = IngestReport()
     options = IngestOptions(on_error=args.on_error, fast_path=args.fast_path)
@@ -720,6 +762,7 @@ def main(argv: list[str] | None = None) -> int:
         "study": cmd_study,
         "analyze": cmd_analyze,
         "pack": cmd_pack,
+        "fsck": cmd_fsck,
         "audit": cmd_audit,
         "intercept": cmd_intercept,
         "compare": cmd_compare,

@@ -47,6 +47,8 @@ from typing import Iterable
 
 from repro.core import tracing
 from repro.core.dataset import ConnView
+from repro.core.durable import sweep_orphans
+from repro.core.locks import FileLock, LockTimeout
 from repro.core.enrich import AssociationRules, Enricher
 from repro.core.protocol import (
     AnalysisContext,
@@ -819,6 +821,27 @@ class LiveTailDaemon:
     ) -> None:
         self.directory = Path(directory)
         self.checkpoint_path = Path(checkpoint_path)
+        self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+        # Exactly one daemon may own a checkpoint file: two `repro
+        # serve` instances alternating checkpoints would each roll the
+        # other's state back. Advisory, non-blocking, dies with us.
+        self._checkpoint_lock = FileLock(
+            self.checkpoint_path.with_suffix(self.checkpoint_path.suffix + ".lock")
+        )
+        try:
+            self._checkpoint_lock.acquire(exclusive=True, timeout=0, op="serve")
+        except LockTimeout as exc:
+            raise RuntimeError(
+                f"refusing to serve: another daemon owns "
+                f"{self.checkpoint_path} ({exc})"
+            ) from None
+        # A killed daemon's half-written checkpoint temps. The prefix
+        # confines the sweep to this checkpoint's own temp files — the
+        # live log directory may share this path, and its writers use
+        # .tmp siblings of their own.
+        sweep_orphans(
+            self.checkpoint_path.parent, prefix=self.checkpoint_path.name
+        )
         self.checkpoint_interval = checkpoint_interval
         self.poll_interval = poll_interval
         self.lock = threading.RLock()
@@ -914,6 +937,7 @@ class LiveTailDaemon:
         with self.lock:
             self.ssl_tailer.close()
             self.x509_tailer.close()
+        self._checkpoint_lock.release()
 
     # ----------------------------------------------------------------- queries
 

@@ -1,0 +1,216 @@
+"""Advisory file locking for concurrent access to shared directories.
+
+A long-running deployment overlaps processes freely: a cron'd
+``repro pack`` races a second pack of the same store, an
+``analyze --store`` maps columns while a repack is in flight, and a
+restarted ``repro serve`` must refuse to double-tail a directory whose
+previous daemon is still alive. :class:`FileLock` makes those overlaps
+safe with POSIX ``flock`` advisory locks:
+
+- **writers exclusive** — a packer holds the exclusive lock for the
+  whole pack, so two packs serialize instead of interleaving renames;
+- **readers shared** — a store reader holds the shared lock only while
+  it opens and verifies a file (once memory-mapped, the inode keeps the
+  old bytes alive across any later ``os.replace``, so long reads need
+  no lock);
+- **stale locks cannot wedge** — ``flock`` locks die with their holder,
+  so a SIGKILLed packer's lock evaporates and the next acquirer takes
+  over immediately. The holder's pid is recorded in the lock file
+  purely for diagnostics: a timeout error names the holder and says
+  whether it is still alive.
+
+On platforms without ``fcntl`` (Windows) every acquisition succeeds
+immediately — the locks are advisory coordination, not a correctness
+requirement (atomic renames alone keep individual files untorn).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+try:  # pragma: no cover - platform gate
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
+
+#: Default seconds an acquisition waits before raising LockTimeout.
+#: Generous: a full repack of a 23-month store finishes well inside it.
+DEFAULT_TIMEOUT = 120.0
+
+#: Poll interval while waiting (non-blocking attempts, so a timeout can
+#: interleave holder-liveness diagnostics).
+_POLL = 0.05
+
+
+class LockTimeout(TimeoutError):
+    """Could not acquire the lock within the timeout."""
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+class FileLock:
+    """One ``flock``-backed advisory lock file.
+
+    Use the :meth:`shared` / :meth:`exclusive` context managers for
+    scoped critical sections, or :meth:`acquire` / :meth:`release` when
+    the hold spans an object's lifetime (the live-tail daemon holds its
+    exclusive lock from startup to shutdown).
+
+    Do not nest acquisitions of the same lock path within one process
+    through different :class:`FileLock` instances — ``flock`` treats
+    separately opened descriptors as independent lockers, so a process
+    can deadlock against itself.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+        self._mode: str | None = None
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def holder(self) -> dict | None:
+        """Diagnostic metadata the current exclusive holder recorded
+        (``{"pid": ..., "op": ...}``), or None when unreadable."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            info = json.loads(text)
+        except ValueError:
+            return None
+        return info if isinstance(info, dict) else None
+
+    def is_stale(self) -> bool:
+        """Whether the recorded holder is dead. With ``flock`` a dead
+        holder's lock is already gone, so stale metadata can only block
+        *diagnostics*, never acquisition — this exists for error
+        messages and operator tooling."""
+        info = self.holder()
+        if info is None:
+            return False
+        pid = info.get("pid")
+        return isinstance(pid, int) and not pid_alive(pid)
+
+    # -------------------------------------------------------------- acquiring
+
+    def acquire(
+        self,
+        *,
+        exclusive: bool = True,
+        timeout: float | None = DEFAULT_TIMEOUT,
+        op: str = "",
+    ) -> None:
+        """Take the lock, waiting up to ``timeout`` seconds.
+
+        ``timeout=0`` is a single non-blocking attempt; ``timeout=None``
+        waits forever. Exclusive holders record ``{pid, op, time}`` in
+        the lock file for diagnostics.
+        """
+        if self.held:
+            raise RuntimeError(f"lock {self.path} is already held ({self._mode})")
+        if fcntl is None:  # pragma: no cover - Windows
+            self._fd, self._mode = -1, "exclusive" if exclusive else "shared"
+            return
+        flag = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        try:
+            fd = os.open(str(self.path), os.O_RDWR | os.O_CREAT, 0o644)
+        except PermissionError:
+            if exclusive:
+                raise
+            # Read-only medium: no lock file can be created, but no
+            # writer can be mutating the directory either — proceed
+            # lockless rather than failing every read.
+            self._fd, self._mode = -1, "shared"
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            while True:
+                try:
+                    fcntl.flock(fd, flag | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        raise LockTimeout(self._timeout_message(exclusive)) from None
+                    time.sleep(_POLL)
+            if exclusive:
+                payload = json.dumps(
+                    {"pid": os.getpid(), "op": op, "time": time.time()}
+                ).encode("utf-8")
+                os.ftruncate(fd, 0)
+                os.pwrite(fd, payload, 0)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+        self._mode = "exclusive" if exclusive else "shared"
+
+    def _timeout_message(self, exclusive: bool) -> str:
+        mode = "exclusive" if exclusive else "shared"
+        info = self.holder() or {}
+        pid = info.get("pid")
+        if isinstance(pid, int):
+            liveness = "alive" if pid_alive(pid) else "dead (lock is stale)"
+            holder = (
+                f"; last exclusive holder: pid {pid} "
+                f"({info.get('op') or 'unknown op'}, {liveness})"
+            )
+        else:
+            holder = ""
+        return (
+            f"timed out waiting for {mode} lock on {self.path}{holder}"
+        )
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        fd, self._fd, self._mode = self._fd, None, None
+        if fcntl is None or fd < 0:  # pragma: no cover - Windows
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    # --------------------------------------------------------- scoped helpers
+
+    @contextmanager
+    def shared(
+        self, *, timeout: float | None = DEFAULT_TIMEOUT, op: str = ""
+    ) -> Iterator["FileLock"]:
+        self.acquire(exclusive=False, timeout=timeout, op=op)
+        try:
+            yield self
+        finally:
+            self.release()
+
+    @contextmanager
+    def exclusive(
+        self, *, timeout: float | None = DEFAULT_TIMEOUT, op: str = ""
+    ) -> Iterator["FileLock"]:
+        self.acquire(exclusive=True, timeout=timeout, op=op)
+        try:
+            yield self
+        finally:
+            self.release()

@@ -60,6 +60,7 @@ from typing import TYPE_CHECKING
 
 from repro.core import metrics, protocol, tracing
 from repro.core.dataset import MtlsDataset
+from repro.core.durable import durable_write, sweep_orphans
 from repro.core.enrich import (
     AssociationRules,
     CtLookup,
@@ -344,10 +345,12 @@ class CampaignManifest:
         scan.<month>.pkl     phase-A _ScanOutcome, one per month
         outcome.<month>.pkl  phase-B merged partials, one per month
 
-    Every spill is written atomically (temp file + rename) and the
-    manifest is rewritten after each one, so a parent crash at any
-    instant leaves a directory a rerun can load: finished shards are
-    skipped, everything else re-runs. Phase-B outcomes additionally
+    Every spill is written through :mod:`repro.core.durable` (temp file
+    + fsync + atomic rename + directory fsync) and the manifest index
+    is rewritten after each one, so a parent crash — or power cut — at
+    any instant leaves a directory a rerun can load: finished shards
+    are skipped, everything else re-runs. Orphaned temp files from a
+    killed writer are swept at open. Phase-B outcomes additionally
     record the fingerprint of the global interception report they were
     computed under — if a resumed run merges to a *different* report
     (e.g. because a previously failing shard now contributes its scan),
@@ -357,6 +360,9 @@ class CampaignManifest:
     def __init__(self, directory: Path | str, config_fingerprint: str) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # One writer (the campaign parent) owns a run directory at a
+        # time; anything *.tmp here is a dead writer's leftover.
+        sweep_orphans(self.directory)
         self.config_fingerprint = config_fingerprint
         self.path = self.directory / "manifest.json"
         self._scans: dict[str, str] = {}
@@ -391,16 +397,15 @@ class CampaignManifest:
             "scans": self._scans,
             "outcomes": self._outcomes,
         }
-        tmp = self.path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-        tmp.replace(self.path)
+        durable_write(
+            self.path, json.dumps(payload, indent=2).encode("utf-8")
+        )
 
     def _spill(self, filename: str, obj) -> None:
-        target = self.directory / filename
-        tmp = target.with_suffix(target.suffix + ".tmp")
-        with tmp.open("wb") as sink:
-            pickle.dump(obj, sink, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(target)
+        durable_write(
+            self.directory / filename,
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+        )
 
     def _load(self, filename: str):
         try:

@@ -127,6 +127,40 @@ def render_run_health(health) -> Table:
     return table
 
 
+def render_fsck(result) -> Table:
+    """Store-integrity section for ``repro fsck``.
+
+    ``result`` is a :class:`repro.store.fsck.FsckResult` (duck-typed to
+    keep this module free of store imports)."""
+    table = Table("Store integrity", ["File", "Status", "Detail"])
+    for finding in result.findings:
+        table.add_row(finding.file, finding.status, finding.detail or "-")
+    counts = result.counts()
+    summary = ", ".join(
+        f"{counts[status]} {status}"
+        for status in ("ok", "repaired", "damaged", "missing", "unverifiable")
+        if counts.get(status)
+    )
+    table.add_note(f"{len(result.findings)} file(s): {summary or 'none'}")
+    if result.quarantined:
+        table.add_note(
+            "damaged originals moved to quarantine/: "
+            + ", ".join(result.quarantined)
+        )
+    if result.unrepaired:
+        table.add_note(
+            "unrepairable (source missing, changed, or rebuild mismatch): "
+            + ", ".join(result.unrepaired)
+        )
+    if result.unverifiable:
+        table.add_note(
+            "legacy v1 store cannot detect corruption; repack to upgrade"
+        )
+    if result.ok and not result.unverifiable:
+        table.add_note("store verified: every file matches its checksums")
+    return table
+
+
 def render_run_metrics(registry) -> Table:
     """Run-metrics section: counters/gauges/histograms/timers from a
     :class:`repro.core.metrics.MetricsRegistry` (duck-typed — only its

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import io
 import json
-import os
 from pathlib import Path
 from typing import Iterable
 
@@ -60,28 +59,16 @@ _SNAPSHOT_FORMAT_V1 = "streaming-analyzer/v1"
 def atomic_write_json(path: Path | str, payload: dict) -> Path:
     """Write ``payload`` as JSON, durably and atomically.
 
-    The document goes to a ``.tmp`` sibling, is fsynced, and is renamed
-    into place; an existing file is retained as ``<path>.prev`` first.
-    A crash at any point leaves either the new document or the previous
-    good one loadable — never a torn or empty rename target. The temp
-    file is unlinked even on failure.
+    Delegates to :func:`repro.core.durable.durable_write_json` (temp
+    file + fsync + atomic rename + directory fsync); an existing file
+    is retained as ``<path>.prev`` first. A crash at any point leaves
+    either the new document or the previous good one loadable — never a
+    torn or empty rename target — and the chaos suite drives every
+    crash point of the sequence through the fault-injection shim.
     """
-    path = Path(path)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    try:
-        with tmp.open("w", encoding="utf-8") as out:
-            json.dump(payload, out)
-            out.flush()
-            os.fsync(out.fileno())
-        if path.exists():
-            os.replace(path, path.with_suffix(path.suffix + ".prev"))
-        os.replace(tmp, path)
-    finally:
-        try:
-            tmp.unlink()
-        except FileNotFoundError:
-            pass
-    return path
+    from repro.core.durable import durable_write_json
+
+    return durable_write_json(path, payload, keep_prev=True)
 
 
 def load_checkpoint_json(path: Path | str) -> tuple[dict, bool]:

@@ -359,6 +359,272 @@ class WorkerFaultPlan:
             )
 
 
+# ---------------------------------------------------------------------------
+# Filesystem-level fault injection (torn writes, bit flips, ENOSPC, EIO)
+# ---------------------------------------------------------------------------
+
+
+class SimulatedCrash(OSError):
+    """The process "died" at an instrumented I/O call.
+
+    Subclasses :class:`OSError` deliberately: durable-write cleanup code
+    swallows ``OSError`` on its best-effort tidy-up paths, so once the
+    shim is dead those paths can no longer tidy anything — exactly like
+    a real SIGKILL, which runs no cleanup at all. The chaos suite
+    catches this exception where a real crash would catch nothing, then
+    asserts on-disk state.
+    """
+
+
+@dataclass(frozen=True)
+class IoFault:
+    """One planted filesystem fault, addressed by operation and ordinal.
+
+    - ``op``    — which :class:`FaultyIO` operation fires: ``mkstemp``,
+      ``write``, ``fsync``, ``close``, ``replace``, ``fsync_dir``,
+      ``unlink``, or ``read``.
+    - ``mode``  — what happens there:
+
+      - ``crash``  — the shim goes *dead* and raises
+        :class:`SimulatedCrash`; every later call (including cleanup)
+        also raises, so post-crash disk state is exactly what a kill at
+        that instant would leave;
+      - ``enospc`` / ``eio`` — a survivable :class:`OSError` with the
+        matching errno; the shim stays alive so error-path cleanup runs;
+      - ``flip``   — (``write`` only) silently flip one seeded byte of
+        the payload before writing: bit rot the checksums must catch;
+      - ``short``  — (``write``/``read``) transfer only half the
+        requested bytes and return the short count: the caller's loop
+        must tolerate it.
+
+    - ``index`` — fire on the ``index``-th *matching* call (0-based), so
+      a multi-file pack can be crashed at its Nth column file.
+    - ``path``  — substring filter on the operation's path (the temp
+      file for fd operations); empty matches everything.
+    - ``after_bytes`` — for ``write``: bytes allowed through on the
+      matching file before the fault fires, i.e. a torn write at byte N
+      (``crash``) or a disk that fills after K bytes (``enospc``).
+    """
+
+    op: str
+    mode: str = "crash"
+    index: int = 0
+    path: str = ""
+    after_bytes: int | None = None
+
+
+class FaultyIO:
+    """Deterministic, seeded fault-injection stand-in for
+    :class:`repro.core.durable.DurableIO`.
+
+    Wraps the real I/O object and passes every call through untouched
+    until the planted :class:`IoFault` matches; what happens then is the
+    fault's ``mode``. Install under the durable-write layer with::
+
+        fault = IoFault(op="fsync", path="manifest.json")
+        with FaultyIO(fault).install():
+            ...  # the write under test
+
+    Deterministic end to end: same fault + same seed + same workload ⇒
+    same corrupted bytes, so chaos tests need no retries or tolerances.
+    """
+
+    def __init__(self, fault: IoFault, *, seed: int = 0) -> None:
+        from repro.core.durable import DurableIO
+
+        self.fault = fault
+        self.real = DurableIO()
+        self.rng = random.Random(seed)
+        self.dead = False
+        self.fired = False
+        self._matches = 0
+        self._written: dict[int, int] = {}
+        self._fd_paths: dict[int, str] = {}
+        self._open_fds: set[int] = set()
+
+    def install(self):
+        """Context manager: route :mod:`repro.core.durable` through this
+        shim; on exit, close any real fds a simulated crash leaked (a
+        real kill would have the kernel do this)."""
+        from contextlib import contextmanager
+
+        from repro.core.durable import use_io
+
+        @contextmanager
+        def _installed():
+            with use_io(self):
+                try:
+                    yield self
+                finally:
+                    for fd in list(self._open_fds):
+                        try:
+                            os.close(fd)
+                        except OSError:
+                            pass
+                    self._open_fds.clear()
+
+        return _installed()
+
+    # ------------------------------------------------------------------ firing
+
+    def _path_of(self, op: str, fd: int | None, path) -> str:
+        if path is not None:
+            return str(path)
+        return self._fd_paths.get(fd, "") if fd is not None else ""
+
+    def _matching(self, op: str, *, fd: int | None = None, path=None) -> bool:
+        """Whether this call is the planted fault's target (counting
+        matching calls so ``index`` selects an ordinal)."""
+        if self.fired or self.fault.op != op:
+            return False
+        if self.fault.path and self.fault.path not in self._path_of(op, fd, path):
+            return False
+        ordinal = self._matches
+        self._matches += 1
+        return ordinal == self.fault.index
+
+    def _fire(self, op: str, detail: str = "") -> None:
+        self.fired = True
+        mode = self.fault.mode
+        suffix = f" ({detail})" if detail else ""
+        if mode == "crash":
+            self.dead = True
+            raise SimulatedCrash(f"simulated crash at {op}{suffix}")
+        if mode == "enospc":
+            import errno
+
+            raise OSError(errno.ENOSPC, f"injected ENOSPC at {op}{suffix}")
+        if mode == "eio":
+            import errno
+
+            raise OSError(errno.EIO, f"injected EIO at {op}{suffix}")
+        raise ValueError(f"fault mode {mode!r} cannot fire at {op}")
+
+    def _check_dead(self, op: str) -> None:
+        if self.dead:
+            raise SimulatedCrash(f"process is dead (call to {op} after crash)")
+
+    # --------------------------------------------------------------- operations
+
+    def mkstemp(self, directory, prefix: str) -> tuple[int, str]:
+        self._check_dead("mkstemp")
+        if self._matching("mkstemp", path=directory):
+            self._fire("mkstemp", str(directory))
+        fd, tmp = self.real.mkstemp(directory, prefix)
+        self._fd_paths[fd] = tmp
+        self._written[fd] = 0
+        self._open_fds.add(fd)
+        return fd, tmp
+
+    def write(self, fd: int, data) -> int:
+        self._check_dead("write")
+        buf = bytes(data)
+        if self._matching("write", fd=fd):
+            mode = self.fault.mode
+            if mode == "flip" and buf:
+                pos = self.rng.randrange(len(buf))
+                flipped = buf[:pos] + bytes([buf[pos] ^ 0xFF]) + buf[pos + 1 :]
+                self.fired = True
+                n = self.real.write(fd, flipped)
+                self._written[fd] = self._written.get(fd, 0) + n
+                return n
+            if mode == "short" and len(buf) > 1:
+                self.fired = True
+                n = self.real.write(fd, buf[: len(buf) // 2])
+                self._written[fd] = self._written.get(fd, 0) + n
+                return n
+            if self.fault.after_bytes is not None:
+                allowed = self.fault.after_bytes - self._written.get(fd, 0)
+                if len(buf) <= allowed:
+                    # Not at byte N yet: let it through, keep watching.
+                    self._matches -= 1
+                    self.fired = False
+                else:
+                    torn = self.real.write(fd, buf[: max(0, allowed)])
+                    self._written[fd] = self._written.get(fd, 0) + torn
+                    self._fire(
+                        "write",
+                        f"torn at byte {self.fault.after_bytes} of "
+                        f"{self._fd_paths.get(fd, fd)}",
+                    )
+            else:
+                self._fire("write", str(self._fd_paths.get(fd, fd)))
+        n = self.real.write(fd, buf)
+        self._written[fd] = self._written.get(fd, 0) + n
+        return n
+
+    def read(self, fd: int, count: int) -> bytes:
+        self._check_dead("read")
+        if self._matching("read", fd=fd):
+            if self.fault.mode == "short" and count > 1:
+                self.fired = True
+                return os.read(fd, count // 2)
+            self._fire("read")
+        return os.read(fd, count)
+
+    def fsync(self, fd: int) -> None:
+        self._check_dead("fsync")
+        if self._matching("fsync", fd=fd):
+            self._fire("fsync", str(self._fd_paths.get(fd, fd)))
+        self.real.fsync(fd)
+
+    def close(self, fd: int) -> None:
+        # Even dead, the real descriptor is released (the kernel closes
+        # a killed process's fds too) — then the crash propagates so the
+        # caller cannot continue its sequence.
+        self._open_fds.discard(fd)
+        if self.dead:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+            raise SimulatedCrash("process is dead (call to close after crash)")
+        if self._matching("close", fd=fd):
+            self._open_fds.add(fd)  # fault fires before the real close
+            self._fire("close", str(self._fd_paths.get(fd, fd)))
+        self.real.close(fd)
+
+    def replace(self, src, dst) -> None:
+        self._check_dead("replace")
+        if self._matching("replace", path=dst):
+            self._fire("replace", f"{src} -> {dst}")
+        self.real.replace(src, dst)
+
+    def unlink(self, path) -> None:
+        self._check_dead("unlink")
+        if self._matching("unlink", path=path):
+            self._fire("unlink", str(path))
+        self.real.unlink(path)
+
+    def fsync_dir(self, path) -> None:
+        self._check_dead("fsync_dir")
+        if self._matching("fsync_dir", path=path):
+            self._fire("fsync_dir", str(path))
+        self.real.fsync_dir(path)
+
+
+def flip_byte(path, offset: int | None = None, *, seed: int = 0) -> int:
+    """Flip one byte of ``path`` in place — deterministic bit rot.
+
+    With ``offset=None`` a seeded position is chosen past any magic /
+    header-length prefix (first 16 bytes) so the flip lands in content
+    the per-section checksums must catch, not in framing the format
+    check rejects anyway. Returns the flipped offset.
+    """
+    from pathlib import Path
+
+    target = Path(path)
+    blob = bytearray(target.read_bytes())
+    if not blob:
+        raise ValueError(f"{target}: cannot flip a byte of an empty file")
+    if offset is None:
+        low = min(16, len(blob) - 1)
+        offset = random.Random(seed).randrange(low, len(blob))
+    blob[offset] ^= 0xFF
+    target.write_bytes(bytes(blob))
+    return offset
+
+
 class LiveLogWriter:
     """Replay a finished :class:`~repro.zeek.builder.ZeekLogs` capture
     into a directory the way a live Zeek writes it — incrementally, with

@@ -10,6 +10,13 @@ instead of re-parsing TSV, through the same
 :class:`~repro.zeek.ingest.RecordSource` protocol the TSV reader
 implements — results are byte-identical by construction and proven so
 by the differential suite. See DESIGN.md §13.
+
+Since store format v2, every column file carries per-section CRC32
+checksums (verified on map), the manifest records every file's length
+and CRC32, all writes are crash-consistent via
+:mod:`repro.core.durable`, concurrent access is coordinated by an
+advisory :func:`~repro.store.source.store_lock`, and ``repro fsck``
+audits/repairs a store from its TSV source. See DESIGN.md §14.
 """
 
 from repro.store.codec import (
@@ -19,15 +26,25 @@ from repro.store.codec import (
     FLAG_SERVER_CHAIN,
     FLAG_TLS13,
     FLAG_RESUMED,
+    LEGACY_CODEC_VERSION,
     MAGIC,
+    MAGIC_V1,
     NULL_INDEX,
     ColumnTable,
     StoreFormatError,
+    StoreIntegrityError,
     pack_table,
 )
-from repro.store.pack import MANIFEST_NAME, STORE_FORMAT, ensure_store, pack_archive
+from repro.store.fsck import FsckFinding, FsckResult, fsck, heal_file
+from repro.store.pack import (
+    LEGACY_STORE_FORMAT,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    ensure_store,
+    pack_archive,
+)
 from repro.store.query import StoreQueryEngine
-from repro.store.source import ColumnarStoreSource
+from repro.store.source import ColumnarStoreSource, store_lock
 
 __all__ = [
     "CODEC_VERSION",
@@ -36,15 +53,24 @@ __all__ = [
     "FLAG_SERVER_CHAIN",
     "FLAG_TLS13",
     "FLAG_RESUMED",
+    "LEGACY_CODEC_VERSION",
+    "LEGACY_STORE_FORMAT",
     "MAGIC",
+    "MAGIC_V1",
     "MANIFEST_NAME",
     "NULL_INDEX",
     "STORE_FORMAT",
     "ColumnTable",
     "ColumnarStoreSource",
+    "FsckFinding",
+    "FsckResult",
     "StoreFormatError",
+    "StoreIntegrityError",
     "StoreQueryEngine",
     "ensure_store",
+    "fsck",
+    "heal_file",
     "pack_archive",
     "pack_table",
+    "store_lock",
 ]

@@ -3,11 +3,23 @@
 One ``.col`` file holds one record table (an ssl shard or an x509 month
 partition) as fixed-width columns::
 
-    magic (8B)  "RPCOL1\\n\\0"
+    magic (8B)  "RPCOL2\\n\\0"
     u32         header length
+    u32         header CRC32
     JSON header kind, row count, codec version, column metadata,
-                section lengths (in file order)
+                section lengths **and CRC32s** (in file order)
     sections    8-byte aligned, back to back
+
+Codec v2 adds integrity: every section carries a CRC32 in the header,
+the header itself is covered by the fixed-position header CRC, and
+readers verify the header at map time and each section the first time
+its bytes are served (see :class:`ColumnTable`), so a flipped bit is
+detected before a single damaged value can reach an analysis — while
+queries that slice a few columns never pay to CRC the columns they skip.
+v1 files (magic ``RPCOL1\\n\\0``, no
+checksums) still read, flagged ``integrity=False`` — the store source
+warns that such files cannot detect corruption and ``repro fsck``
+recommends a repack.
 
 Column storage types:
 
@@ -38,13 +50,19 @@ import datetime as _dt
 import json
 import struct
 import sys
+import zlib
 from array import array
 from typing import Iterable, Sequence
 
 from repro.zeek.records import SslRecord, X509Record
 
-MAGIC = b"RPCOL1\n\x00"
-CODEC_VERSION = 1
+#: Current (checksummed) container magic.
+MAGIC = b"RPCOL2\n\x00"
+#: Legacy magic: identical layout minus the header CRC word and the
+#: per-section checksums. Still readable, with ``integrity=False``.
+MAGIC_V1 = b"RPCOL1\n\x00"
+CODEC_VERSION = 2
+LEGACY_CODEC_VERSION = 1
 
 #: Pool-index null sentinel for ``str?`` columns.
 NULL_INDEX = 0xFFFFFFFF
@@ -110,6 +128,22 @@ class StoreFormatError(Exception):
     Raised for bad magic, an unknown codec version, a truncated file,
     or a policy/fingerprint mismatch between store and request.
     """
+
+
+class StoreIntegrityError(StoreFormatError):
+    """A well-formed file whose checksums do not match its bytes.
+
+    Distinct from :class:`StoreFormatError` proper because the response
+    differs: a format error means the file was never ours (or predates
+    the codec), an integrity error means our file was *damaged after
+    writing* — bit rot, a torn write, a truncation — and is a candidate
+    for quarantine-and-repack (``repro fsck --repair``).
+    """
+
+    def __init__(self, message: str, *, findings: list[str] | None = None) -> None:
+        super().__init__(message)
+        #: Human-readable list of damaged pieces (section names etc.).
+        self.findings = findings or []
 
 
 def _align8(n: int) -> int:
@@ -227,8 +261,16 @@ def _ssl_derived(records: Sequence[SslRecord], pool: _Pool) -> list[tuple]:
     ]
 
 
-def pack_table(kind: str, records: Sequence) -> bytes:
-    """Serialize records of one table kind into one ``.col`` image."""
+def pack_table(
+    kind: str, records: Sequence, *, codec_version: int = CODEC_VERSION
+) -> bytes:
+    """Serialize records of one table kind into one ``.col`` image.
+
+    ``codec_version=1`` emits the genuine legacy layout (v1 magic, no
+    checksums) — used by compatibility tests and nothing else.
+    """
+    if codec_version not in (CODEC_VERSION, LEGACY_CODEC_VERSION):
+        raise StoreFormatError(f"cannot write codec version {codec_version!r}")
     try:
         schema, _ = _SCHEMAS[kind]
     except KeyError:
@@ -256,22 +298,28 @@ def pack_table(kind: str, records: Sequence) -> bytes:
     sections.append(("pool#offsets", "I", _typed_bytes(offsets)))
     sections.append(("pool#blob", "B", b"".join(blob_parts)))
 
+    checksummed = codec_version >= 2
     header = {
-        "codec": CODEC_VERSION,
+        "codec": codec_version,
         "kind": kind,
         "rows": len(records),
         "endian": "little",
         "pool_count": len(pool.strings),
         "columns": columns_meta,
         "sections": [
-            {"name": name, "fmt": fmt, "length": len(payload)}
+            dict(
+                {"name": name, "fmt": fmt, "length": len(payload)},
+                **({"crc32": zlib.crc32(payload)} if checksummed else {}),
+            )
             for name, fmt, payload in sections
         ],
     }
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     out = bytearray()
-    out += MAGIC
+    out += MAGIC if checksummed else MAGIC_V1
     out += struct.pack("<I", len(header_bytes))
+    if checksummed:
+        out += struct.pack("<I", zlib.crc32(header_bytes))
     out += header_bytes
     out += b"\x00" * (_align8(len(out)) - len(out))
     for _, _, payload in sections:
@@ -286,38 +334,127 @@ class ColumnTable:
     ``buffer`` may be bytes or an ``mmap`` — sections are only touched
     (and only copied) when a column is requested, so opening a store
     costs one header parse regardless of table size.
+
+    Codec-v2 files are **verified as served**: the header CRC is checked
+    at construction (framing must be trustworthy before anything else is
+    believed), and each section's CRC32 is checked the first time its
+    bytes are requested — :class:`StoreIntegrityError` is raised before
+    one damaged value can be decoded. Verifying lazily instead of
+    whole-file-at-open keeps the integrity tax proportional to what a
+    query actually reads (the column-slice queries touch a few percent
+    of the file; see ``bench_store_analyze``'s checksum-overhead leg).
+    Pass ``verify=False`` only when the caller verifies separately (fsck
+    does, via :meth:`verify`, to collect *all* findings instead of
+    failing on the first).
+
+    Legacy v1 files (no checksums) load with ``integrity=False`` — they
+    cannot detect corruption and should be repacked.
     """
 
-    def __init__(self, buffer) -> None:
+    def __init__(self, buffer, *, verify: bool = True, name: str = "") -> None:
         self._buf = buffer
+        self._name = name or "column file"
         if len(buffer) < len(MAGIC) + 4:
-            raise StoreFormatError("column file truncated before header")
-        if bytes(buffer[: len(MAGIC)]) != MAGIC:
-            raise StoreFormatError("not a columnar-store file (bad magic)")
+            raise StoreFormatError(f"{self._name} truncated before header")
+        magic = bytes(buffer[: len(MAGIC)])
+        if magic == MAGIC:
+            self.integrity = True
+            expected_codec = CODEC_VERSION
+            start = len(MAGIC) + 8  # header length + header CRC words
+        elif magic == MAGIC_V1:
+            self.integrity = False
+            expected_codec = LEGACY_CODEC_VERSION
+            start = len(MAGIC) + 4
+        else:
+            raise StoreFormatError(f"{self._name}: not a columnar-store file (bad magic)")
+        if len(buffer) < start:
+            raise StoreFormatError(f"{self._name} truncated before header")
         (header_len,) = struct.unpack_from("<I", buffer, len(MAGIC))
-        start = len(MAGIC) + 4
+        if len(buffer) < start + header_len:
+            raise StoreFormatError(f"{self._name} truncated before header")
+        header_bytes = bytes(buffer[start:start + header_len])
+        if self.integrity:
+            (header_crc,) = struct.unpack_from("<I", buffer, len(MAGIC) + 4)
+            if zlib.crc32(header_bytes) != header_crc:
+                raise StoreIntegrityError(
+                    f"{self._name}: header checksum mismatch (corrupt or "
+                    "truncated header)",
+                    findings=["header"],
+                )
         try:
-            header = json.loads(bytes(buffer[start:start + header_len]))
+            header = json.loads(header_bytes)
         except ValueError as exc:
-            raise StoreFormatError(f"corrupt column-file header: {exc}") from None
-        if header.get("codec") != CODEC_VERSION:
             raise StoreFormatError(
-                f"unsupported codec version {header.get('codec')!r} "
-                f"(this build reads {CODEC_VERSION}); repack the store"
+                f"{self._name}: corrupt column-file header: {exc}"
+            ) from None
+        if header.get("codec") != expected_codec:
+            raise StoreFormatError(
+                f"{self._name}: unsupported codec version "
+                f"{header.get('codec')!r} (this build reads "
+                f"{CODEC_VERSION} and legacy {LEGACY_CODEC_VERSION}); "
+                "repack the store"
             )
         self.kind: str = header["kind"]
         self.rows: int = header["rows"]
         self.pool_count: int = header["pool_count"]
         self.columns: list[dict] = header["columns"]
         self._sections: dict[str, tuple[str, int, int]] = {}
+        self._section_crcs: dict[str, int] = {}
         offset = _align8(start + header_len)
         for section in header["sections"]:
             length = section["length"]
             self._sections[section["name"]] = (section["fmt"], offset, length)
+            if "crc32" in section:
+                self._section_crcs[section["name"]] = section["crc32"]
             offset += _align8(length)
         if offset > len(buffer):
-            raise StoreFormatError("column file truncated (sections overrun)")
+            raise StoreFormatError(f"{self._name} truncated (sections overrun)")
         self._pool: list[str] | None = None
+        #: Lazy verification state: section names whose bytes have been
+        #: CRC-checked against the header. Populated by the first
+        #: :meth:`raw`/:meth:`typed` access of each section.
+        self._lazy_verify = verify and self.integrity
+        self._verified: set[str] = set()
+
+    def verify(self) -> list[str]:
+        """Check every section's bytes against its header CRC32.
+
+        Returns the damaged section names (empty = intact). On a legacy
+        v1 file there is nothing to check and the single finding
+        ``"<no checksums: codec v1>"`` is *not* reported here — fsck
+        surfaces v1 stores separately as "unverifiable".
+        """
+        if not self.integrity:
+            return []
+        view = memoryview(self._buf)
+        damaged = []
+        for name, (fmt, offset, length) in self._sections.items():
+            expected = self._section_crcs.get(name)
+            if expected is None:
+                damaged.append(f"{name} (no checksum in header)")
+                continue
+            if zlib.crc32(view[offset:offset + length]) != expected:
+                damaged.append(name)
+        return damaged
+
+    def _check_section(self, name: str, offset: int, length: int) -> None:
+        """CRC one section on its first access (lazy verify-as-served)."""
+        if not self._lazy_verify or name in self._verified:
+            return
+        expected = self._section_crcs.get(name)
+        if expected is None:
+            raise StoreIntegrityError(
+                f"{self._name}: section {name!r} carries no checksum in "
+                "the header (damaged or hand-edited header)",
+                findings=[f"{name} (no checksum in header)"],
+            )
+        view = memoryview(self._buf)[offset:offset + length]
+        if zlib.crc32(view) != expected:
+            raise StoreIntegrityError(
+                f"{self._name}: checksum mismatch in section {name!r}",
+                findings=[name],
+            )
+        self._verified.add(name)
 
     # Raw access ---------------------------------------------------------------
 
@@ -327,11 +464,16 @@ class ColumnTable:
             _, offset, length = self._sections[name]
         except KeyError:
             raise StoreFormatError(f"no section {name!r} in this table") from None
+        self._check_section(name, offset, length)
         return bytes(self._buf[offset:offset + length])
 
     def typed(self, name: str) -> array:
         """One section as a typed array (int64 / u32 / u8)."""
-        fmt, offset, length = self._sections[name]
+        try:
+            fmt, offset, length = self._sections[name]
+        except KeyError:
+            raise StoreFormatError(f"no section {name!r} in this table") from None
+        self._check_section(name, offset, length)
         arr = array(fmt)
         arr.frombytes(bytes(self._buf[offset:offset + length]))
         if not _LITTLE:

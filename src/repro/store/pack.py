@@ -5,41 +5,54 @@
 writes one ``.col`` file per ssl shard plus one per x509 calendar month,
 committed by a ``manifest.json`` that records the store format, codec
 version, the ingest-policy identity the records were parsed under, the
-source archive's content fingerprint, and the verbatim per-shard ingest
-reports. ``ensure_store`` is the idempotent front door: it reuses a
-matching store and transparently repacks a stale, corrupt, or
+source archive's content fingerprint, the verbatim per-shard ingest
+reports, and — since store format v2 — every file's byte length and
+CRC32, so ``repro fsck`` can audit a store without trusting it.
+
+Durability: every file goes through
+:func:`repro.core.durable.durable_write` (temp file + fsync + atomic
+rename + directory fsync), the manifest is written last, and the whole
+pack runs under the store's exclusive :func:`~repro.store.source.store_lock`
+— so a crashed or racing pack never leaves a store that *looks*
+complete, and two concurrent packs serialize instead of interleaving.
+``ensure_store`` is the idempotent front door: it reuses a matching
+store and transparently repacks a stale, corrupt, legacy-format, or
 policy-mismatched one.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
+import zlib
 from pathlib import Path
 
 from repro.core import tracing
+from repro.core.durable import durable_write, sweep_orphans
+from repro.core.locks import LockTimeout
 from repro.store.codec import CODEC_VERSION, StoreFormatError, month_of, pack_table
-from repro.store.source import ColumnarStoreSource
+from repro.store.source import (
+    LEGACY_STORE_FORMAT,
+    STORE_FORMAT,
+    ColumnarStoreSource,
+    store_lock,
+)
 from repro.zeek.files import TsvDirectorySource
 from repro.zeek.ingest import IngestOptions
 
-STORE_FORMAT = "columnar-store/v1"
+__all__ = [
+    "STORE_FORMAT",
+    "LEGACY_STORE_FORMAT",
+    "MANIFEST_NAME",
+    "pack_archive",
+    "ensure_store",
+]
+
 MANIFEST_NAME = "manifest.json"
 
 
-def _write_atomic(path: Path, payload: bytes) -> None:
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+def _file_meta(payload: bytes) -> dict:
+    """The integrity fields the v2 manifest records per column file."""
+    return {"bytes": len(payload), "crc32": zlib.crc32(payload)}
 
 
 def pack_archive(
@@ -49,30 +62,36 @@ def pack_archive(
 ) -> ColumnarStoreSource:
     """Parse a rotated TSV archive once and write it as a columnar store.
 
-    The store is self-contained: months, rows, ingest reports, and the
-    archive fingerprint all live in the manifest, so later analyses can
-    run from the store alone. The manifest is written last (atomically),
-    so a crashed pack never leaves a store that looks complete.
+    The store is self-contained: months, rows, ingest reports, file
+    checksums, and the archive fingerprint all live in the manifest, so
+    later analyses can run — and ``repro fsck`` can audit — from the
+    store alone. The manifest is written last (durably), so a crashed
+    pack never leaves a store that looks complete; the exclusive store
+    lock is held for the whole pack, so concurrent packs serialize and
+    readers never map a file mid-publish.
     """
     opts = IngestOptions.coerce(options)
     source = TsvDirectorySource(directory)
     store_dir = Path(store)
     store_dir.mkdir(parents=True, exist_ok=True)
 
-    with tracing.span("store.pack"):
+    with tracing.span("store.pack"), store_lock(store_dir).exclusive(op="pack"):
+        # A previously killed pack may have left orphaned temp files;
+        # under the exclusive lock no other writer can be mid-write.
+        sweep_orphans(store_dir)
         fingerprint = source.fingerprint()
         ssl_shards: dict[str, dict] = {}
         x509_meta: dict | None = None
         for month in source.months():
             shard = source.read_month(month, opts)
             filename = f"ssl-{month}.col"
-            _write_atomic(
-                store_dir / filename, pack_table("ssl", shard.ssl)
-            )
+            payload = pack_table("ssl", shard.ssl)
+            durable_write(store_dir / filename, payload)
             ssl_shards[month] = {
                 "file": filename,
                 "rows": len(shard.ssl),
                 "report": shard.ssl_report.to_dict(),
+                **_file_meta(payload),
             }
             if x509_meta is None:
                 # The x509 stream (and its report) is identical for every
@@ -84,15 +103,14 @@ def pack_archive(
                 files = []
                 for cert_month in sorted(partitions):
                     cert_file = f"x509-{cert_month}.col"
-                    _write_atomic(
-                        store_dir / cert_file,
-                        pack_table("x509", partitions[cert_month]),
-                    )
+                    cert_payload = pack_table("x509", partitions[cert_month])
+                    durable_write(store_dir / cert_file, cert_payload)
                     files.append(
                         {
                             "month": cert_month,
                             "file": cert_file,
                             "rows": len(partitions[cert_month]),
+                            **_file_meta(cert_payload),
                         }
                     )
                 x509_meta = {
@@ -116,10 +134,13 @@ def pack_archive(
             "ssl_shards": ssl_shards,
             "x509": x509_meta,
         }
-        _write_atomic(
+        durable_write(
             store_dir / MANIFEST_NAME,
             json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
         )
+    # The reader below takes its own shared lock; construct it only
+    # after the exclusive scope above is released (flock treats two fds
+    # of one process as independent lockers — nesting would deadlock).
     return ColumnarStoreSource(store_dir)
 
 
@@ -133,7 +154,10 @@ def ensure_store(
     A store is reused only when its manifest carries the current store
     format and codec version, the same ingest-policy identity, and the
     archive's current content fingerprint — any mismatch (including a
-    byte-level edit to any log file) triggers a transparent repack.
+    byte-level edit to any log file, or a legacy un-checksummed v1
+    store) triggers a transparent repack. On reuse, orphaned temp files
+    from a previously killed writer are swept opportunistically (only
+    if the exclusive lock is free — never under a live writer).
     """
     opts = IngestOptions.coerce(options)
     store_dir = Path(store)
@@ -147,5 +171,10 @@ def ensure_store(
                 fingerprint=TsvDirectorySource(directory).fingerprint(),
                 options=opts,
             ):
+                try:
+                    with store_lock(store_dir).exclusive(timeout=0, op="sweep"):
+                        sweep_orphans(store_dir)
+                except LockTimeout:
+                    pass  # a writer or reader is active; sweep next time
                 return existing
     return pack_archive(directory, store_dir, opts)

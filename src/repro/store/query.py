@@ -38,21 +38,37 @@ _TLS13_VALUES = tuple(v for v in _EST_VALUES if v & FLAG_TLS13)
 
 
 class StoreQueryEngine:
-    """Answer the re-analysis headliners straight off the columns."""
+    """Answer the re-analysis headliners straight off the columns.
+
+    Shard sections are fetched through
+    :meth:`~repro.store.source.ColumnarStoreSource.serve` — the fetch
+    closures copy the columns out and mutate nothing, so a lazily
+    detected checksum failure heals (quarantine + rebuild from TSV) and
+    refetches without ever exposing a damaged byte to the fold below.
+    """
 
     def __init__(self, source: ColumnarStoreSource) -> None:
         self.source = source
+
+    def _shard_columns(self, month: str, fetch):
+        filename = self.source.manifest["ssl_shards"][month]["file"]
+        return self.source.serve(filename, fetch)
 
     def monthly_mutual_share(self) -> list[MonthlyShare]:
         """The Figure 1 series (mTLS share per month, established only)."""
         state = MonthlyShareState()
         for month in self.source.months():
-            table = self.source.ssl_table(month)
-            if not table.rows:
+            rows, flags, month_idx, strings = self._shard_columns(
+                month,
+                lambda t: (
+                    t.rows,
+                    t.raw("__flags__"),
+                    t.typed("__month__").tolist(),
+                    t.pool(),
+                ),
+            )
+            if not rows:
                 continue
-            flags = table.raw("__flags__")
-            month_idx = table.typed("__month__").tolist()
-            strings = table.pool()
             distinct = set(month_idx)
             if len(distinct) == 1:
                 # Single-label shard (the normal rotation layout):
@@ -77,15 +93,20 @@ class StoreQueryEngine:
         """The §3.3 blind-spot counters over the whole capture."""
         state = Tls13State()
         for month in self.source.months():
-            table = self.source.ssl_table(month)
-            if not table.rows:
+            rows, flags, resp, orig, strings = self._shard_columns(
+                month,
+                lambda t: (
+                    t.rows,
+                    t.raw("__flags__"),
+                    t.typed("id_resp_h").tolist(),
+                    t.typed("id_orig_h").tolist(),
+                    t.pool(),
+                ),
+            )
+            if not rows:
                 continue
-            flags = table.raw("__flags__")
             state.total_connections += sum(flags.count(v) for v in _EST_VALUES)
             state.tls13_connections += sum(flags.count(v) for v in _TLS13_VALUES)
-            resp = table.typed("id_resp_h").tolist()
-            orig = table.typed("id_orig_h").tolist()
-            strings = table.pool()
             # Distinct-endpoint sets are collected as pool indexes (small
             # ints) and translated to strings once per shard — pool
             # indexes are per-file, so the cross-shard union must be on

@@ -246,17 +246,25 @@ class TestDurableCheckpoint:
         assert not path.exists()
 
     def test_write_fsyncs_before_rename(self, simulation, tmp_path, monkeypatch):
+        # Checkpoint writes route through the shared durable-write
+        # sequence; the fsync must land before the publishing rename.
         import os as _os
 
-        synced = []
+        calls = []
         real_fsync = _os.fsync
+        real_replace = _os.replace
         monkeypatch.setattr(
-            "repro.core.streaming.os.fsync",
-            lambda fd: (synced.append(fd), real_fsync(fd)),
+            "repro.core.durable.os.fsync",
+            lambda fd: (calls.append("fsync"), real_fsync(fd)),
+        )
+        monkeypatch.setattr(
+            "repro.core.durable.os.replace",
+            lambda src, dst: (calls.append("replace"), real_replace(src, dst)),
         )
         analyzer = _run(simulation, _months(simulation)[:1])
         analyzer.write_checkpoint(tmp_path / "ckpt.json")
-        assert synced, "checkpoint bytes must be fsync'd before the rename"
+        assert "fsync" in calls, "checkpoint bytes must be fsync'd"
+        assert calls.index("fsync") < calls.index("replace")
 
     def test_previous_checkpoint_retained(self, simulation, tmp_path):
         months = _months(simulation)

@@ -1,0 +1,144 @@
+"""durable_write: atomic publish, keep_prev retention, error-path
+cleanup, and orphan sweeping."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.durable import (
+    TMP_SUFFIX,
+    DurableIO,
+    durable_write,
+    durable_write_json,
+    get_io,
+    sweep_orphans,
+    use_io,
+)
+
+
+def _tmp_siblings(directory):
+    return [p for p in directory.iterdir() if p.name.endswith(TMP_SUFFIX)]
+
+
+class TestDurableWrite:
+    def test_writes_payload(self, tmp_path):
+        target = tmp_path / "out.bin"
+        result = durable_write(target, b"hello")
+        assert result == target
+        assert target.read_bytes() == b"hello"
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        durable_write(target, b"new content")
+        assert target.read_bytes() == b"new content"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        durable_write(tmp_path / "out.bin", b"x" * 1024)
+        assert _tmp_siblings(tmp_path) == []
+
+    def test_empty_payload(self, tmp_path):
+        target = tmp_path / "empty.bin"
+        durable_write(target, b"")
+        assert target.read_bytes() == b""
+
+    def test_keep_prev_retains_old_content(self, tmp_path):
+        target = tmp_path / "ckpt.json"
+        durable_write(target, b"v1", keep_prev=True)
+        assert not target.with_suffix(".json.prev").exists()
+        durable_write(target, b"v2", keep_prev=True)
+        assert target.read_bytes() == b"v2"
+        assert target.with_suffix(".json.prev").read_bytes() == b"v1"
+
+    def test_json_helper_round_trips(self, tmp_path):
+        target = tmp_path / "doc.json"
+        durable_write_json(target, {"a": 1, "b": [2, 3]})
+        assert json.loads(target.read_text(encoding="utf-8")) == {
+            "a": 1,
+            "b": [2, 3],
+        }
+
+
+class _FailingIO(DurableIO):
+    """Real I/O except one operation raises a survivable OSError."""
+
+    def __init__(self, fail_op):
+        self.fail_op = fail_op
+
+    def fsync(self, fd):
+        if self.fail_op == "fsync":
+            raise OSError("injected fsync failure")
+        super().fsync(fd)
+
+    def replace(self, src, dst):
+        if self.fail_op == "replace":
+            raise OSError("injected replace failure")
+        super().replace(src, dst)
+
+
+class TestErrorCleanup:
+    @pytest.mark.parametrize("fail_op", ["fsync", "replace"])
+    def test_survivable_error_unlinks_temp_and_keeps_target(
+        self, tmp_path, fail_op
+    ):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        with use_io(_FailingIO(fail_op)):
+            with pytest.raises(OSError, match="injected"):
+                durable_write(target, b"new")
+        assert target.read_bytes() == b"old"
+        assert _tmp_siblings(tmp_path) == []
+
+    def test_use_io_restores_previous(self, tmp_path):
+        original = get_io()
+        shim = _FailingIO("fsync")
+        with use_io(shim):
+            assert get_io() is shim
+        assert get_io() is original
+        # Restored even when the block raises.
+        with pytest.raises(ValueError):
+            with use_io(shim):
+                raise ValueError("boom")
+        assert get_io() is original
+
+
+class TestSweepOrphans:
+    def test_removes_orphaned_temps(self, tmp_path):
+        orphan = tmp_path / f"out.bin.abc123{TMP_SUFFIX}"
+        orphan.write_bytes(b"half")
+        keeper = tmp_path / "out.bin"
+        keeper.write_bytes(b"whole")
+        removed = sweep_orphans(tmp_path)
+        assert removed == [orphan]
+        assert not orphan.exists()
+        assert keeper.read_bytes() == b"whole"
+
+    def test_prefix_restricts_scope(self, tmp_path):
+        mine = tmp_path / f"ckpt.json.x{TMP_SUFFIX}"
+        other = tmp_path / f"ssl.log.y{TMP_SUFFIX}"
+        mine.write_bytes(b"")
+        other.write_bytes(b"")
+        removed = sweep_orphans(tmp_path, prefix="ckpt.json")
+        assert removed == [mine]
+        assert other.exists()
+
+    def test_missing_directory_is_safe(self, tmp_path):
+        assert sweep_orphans(tmp_path / "nope") == []
+
+    def test_ignores_directories(self, tmp_path):
+        decoy = tmp_path / f"subdir{TMP_SUFFIX}"
+        decoy.mkdir()
+        assert sweep_orphans(tmp_path) == []
+        assert decoy.is_dir()
+
+    def test_writer_temps_match_sweep_key(self, tmp_path):
+        """The name mkstemp generates is exactly what a later sweep (with
+        the target's name as prefix) would remove."""
+        io = DurableIO()
+        fd, tmp = io.mkstemp(tmp_path, "target.col.")
+        os.close(fd)
+        name = os.path.basename(tmp)
+        assert name.startswith("target.col.")
+        assert name.endswith(TMP_SUFFIX)
+        assert sweep_orphans(tmp_path, prefix="target.col") == [tmp_path / name]

@@ -1,0 +1,157 @@
+"""FileLock: advisory flock semantics, holder diagnostics, timeouts.
+
+Same-process conflict tests are valid because ``flock`` locks attach to
+the open file description — two separately opened descriptors conflict
+exactly like two processes (which is also why acquisitions of one lock
+path must never nest in one process).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.locks import DEFAULT_TIMEOUT, FileLock, LockTimeout, pid_alive
+
+
+@pytest.fixture()
+def lock_path(tmp_path):
+    return tmp_path / ".lock"
+
+
+class TestAcquireRelease:
+    def test_exclusive_acquire_creates_lock_file(self, lock_path):
+        lock = FileLock(lock_path)
+        assert not lock.held
+        lock.acquire(exclusive=True, op="test")
+        try:
+            assert lock.held
+            assert lock_path.exists()
+        finally:
+            lock.release()
+        assert not lock.held
+
+    def test_release_is_idempotent(self, lock_path):
+        lock = FileLock(lock_path)
+        lock.acquire()
+        lock.release()
+        lock.release()  # no-op, no error
+        assert not lock.held
+
+    def test_double_acquire_same_instance_rejected(self, lock_path):
+        lock = FileLock(lock_path)
+        lock.acquire()
+        try:
+            with pytest.raises(RuntimeError, match="already held"):
+                lock.acquire()
+        finally:
+            lock.release()
+
+    def test_context_managers_release(self, lock_path):
+        lock = FileLock(lock_path)
+        with lock.exclusive(op="cm"):
+            assert lock.held
+        assert not lock.held
+        with lock.shared():
+            assert lock.held
+        assert not lock.held
+
+    def test_reacquire_after_release(self, lock_path):
+        lock = FileLock(lock_path)
+        with lock.exclusive():
+            pass
+        with lock.shared():
+            assert lock.held
+
+
+class TestConflicts:
+    def test_exclusive_blocks_exclusive(self, lock_path):
+        first, second = FileLock(lock_path), FileLock(lock_path)
+        with first.exclusive(op="pack"):
+            with pytest.raises(LockTimeout):
+                second.acquire(exclusive=True, timeout=0)
+        # Released: the second locker now succeeds.
+        with second.exclusive():
+            assert second.held
+
+    def test_exclusive_blocks_shared(self, lock_path):
+        writer, reader = FileLock(lock_path), FileLock(lock_path)
+        with writer.exclusive(op="pack"):
+            with pytest.raises(LockTimeout):
+                reader.acquire(exclusive=False, timeout=0)
+
+    def test_shared_blocks_exclusive(self, lock_path):
+        reader, writer = FileLock(lock_path), FileLock(lock_path)
+        with reader.shared():
+            with pytest.raises(LockTimeout):
+                writer.acquire(exclusive=True, timeout=0)
+
+    def test_shared_coexists_with_shared(self, lock_path):
+        a, b = FileLock(lock_path), FileLock(lock_path)
+        with a.shared():
+            with b.shared():
+                assert a.held and b.held
+
+    def test_short_timeout_waits_then_raises(self, lock_path):
+        first, second = FileLock(lock_path), FileLock(lock_path)
+        with first.exclusive():
+            with pytest.raises(LockTimeout):
+                second.acquire(timeout=0.15)
+
+
+class TestDiagnostics:
+    def test_exclusive_holder_records_pid_and_op(self, lock_path):
+        lock = FileLock(lock_path)
+        with lock.exclusive(op="pack"):
+            info = lock.holder()
+            assert info is not None
+            assert info["pid"] == os.getpid()
+            assert info["op"] == "pack"
+
+    def test_live_holder_is_not_stale(self, lock_path):
+        lock = FileLock(lock_path)
+        with lock.exclusive(op="serve"):
+            assert not lock.is_stale()
+
+    def test_dead_holder_metadata_is_stale(self, lock_path):
+        # Simulate a SIGKILLed holder: its flock evaporated with it, but
+        # the metadata it wrote survives and names a dead pid. Find one
+        # by forking a child that exits immediately.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)  # pragma: no cover - child
+        os.waitpid(pid, 0)
+        assert not pid_alive(pid)
+        lock_path.write_text(
+            json.dumps({"pid": pid, "op": "pack", "time": 0}), encoding="utf-8"
+        )
+        lock = FileLock(lock_path)
+        assert lock.is_stale()
+        # And the flock itself is gone, so acquisition succeeds at once.
+        with lock.exclusive(op="takeover"):
+            assert lock.holder()["pid"] == os.getpid()
+
+    def test_timeout_message_names_holder(self, lock_path):
+        first, second = FileLock(lock_path), FileLock(lock_path)
+        with first.exclusive(op="pack"):
+            with pytest.raises(LockTimeout, match=r"pid \d+ \(pack, alive\)"):
+                second.acquire(timeout=0)
+
+    def test_holder_none_when_unreadable(self, lock_path):
+        assert FileLock(lock_path).holder() is None
+        lock_path.write_text("not json", encoding="utf-8")
+        assert FileLock(lock_path).holder() is None
+        assert not FileLock(lock_path).is_stale()
+
+
+class TestPidAlive:
+    def test_own_pid_alive(self):
+        assert pid_alive(os.getpid())
+
+    def test_nonpositive_never_alive(self):
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+
+def test_default_timeout_is_generous():
+    assert DEFAULT_TIMEOUT >= 60

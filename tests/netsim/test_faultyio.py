@@ -1,0 +1,196 @@
+"""FaultyIO: the deterministic filesystem fault-injection shim, proven
+against durable_write's old-state-or-new-state contract at unit scale
+(the full crash matrix over real artifacts lives in tests/chaos)."""
+
+import errno
+import os
+
+import pytest
+
+from repro.core.durable import TMP_SUFFIX, durable_write, get_io
+from repro.netsim.faults import FaultyIO, IoFault, SimulatedCrash, flip_byte
+
+
+def _tmp_siblings(directory):
+    return [p for p in directory.iterdir() if p.name.endswith(TMP_SUFFIX)]
+
+
+class TestCrashMode:
+    def test_crash_leaves_orphan_and_old_target(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        shim = FaultyIO(IoFault(op="fsync"))
+        with shim.install():
+            with pytest.raises(SimulatedCrash):
+                durable_write(target, b"new")
+        # A crash runs no cleanup: the temp survives, the target is the
+        # complete old content.
+        assert target.read_bytes() == b"old"
+        assert len(_tmp_siblings(tmp_path)) == 1
+
+    def test_crash_at_replace_keeps_old_target(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        shim = FaultyIO(IoFault(op="replace"))
+        with shim.install():
+            with pytest.raises(SimulatedCrash):
+                durable_write(target, b"new")
+        assert target.read_bytes() == b"old"
+
+    def test_crash_after_replace_publishes_new(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        shim = FaultyIO(IoFault(op="fsync_dir"))
+        with shim.install():
+            with pytest.raises(SimulatedCrash):
+                durable_write(target, b"new")
+        # Crash after the rename: the *new* state is already complete.
+        assert target.read_bytes() == b"new"
+
+    def test_dead_shim_refuses_every_later_call(self, tmp_path):
+        shim = FaultyIO(IoFault(op="write"))
+        with shim.install():
+            with pytest.raises(SimulatedCrash):
+                durable_write(tmp_path / "a.bin", b"x")
+            assert shim.dead
+            with pytest.raises(SimulatedCrash, match="dead"):
+                durable_write(tmp_path / "b.bin", b"y")
+
+    def test_dead_close_still_releases_descriptor(self, tmp_path):
+        # The kernel closes a killed process's fds; the shim mirrors
+        # that — the real descriptor is released, then the crash
+        # propagates so the caller's sequence cannot continue.
+        shim = FaultyIO(IoFault(op="fsync"))
+        with shim.install():
+            with pytest.raises(SimulatedCrash):
+                durable_write(tmp_path / "out.bin", b"x")
+        assert not shim._open_fds
+
+    def test_install_restores_real_io_and_closes_leaks(self, tmp_path):
+        real = get_io()
+        shim = FaultyIO(IoFault(op="fsync"))
+        with shim.install():
+            # A writer that abandons its fd after the crash (never calls
+            # close) leaks it; install() tidies on exit.
+            fd, _ = shim.mkstemp(tmp_path, "leak.")
+            assert fd in shim._open_fds
+        assert get_io() is real
+        assert not shim._open_fds
+        with pytest.raises(OSError):
+            os.fstat(fd)
+
+
+class TestTornWrite:
+    def test_after_bytes_leaves_exact_prefix(self, tmp_path):
+        payload = bytes(range(100))
+        shim = FaultyIO(IoFault(op="write", after_bytes=10))
+        with shim.install():
+            with pytest.raises(SimulatedCrash, match="torn at byte 10"):
+                durable_write(tmp_path / "out.bin", payload)
+        (orphan,) = _tmp_siblings(tmp_path)
+        assert orphan.read_bytes() == payload[:10]
+        assert not (tmp_path / "out.bin").exists()
+
+    def test_after_bytes_lets_small_writes_through(self, tmp_path):
+        # The fault watches cumulative bytes per file: a write that stays
+        # under the threshold passes untouched and the shim keeps
+        # watching the same file.
+        shim = FaultyIO(IoFault(op="write", after_bytes=1000))
+        with shim.install():
+            durable_write(tmp_path / "out.bin", b"tiny")
+        assert (tmp_path / "out.bin").read_bytes() == b"tiny"
+        assert not shim.fired
+
+
+class TestSurvivableModes:
+    @pytest.mark.parametrize(
+        "mode,code", [("enospc", errno.ENOSPC), ("eio", errno.EIO)]
+    )
+    def test_errno_faults_clean_abort(self, tmp_path, mode, code):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        shim = FaultyIO(IoFault(op="write", mode=mode))
+        with shim.install():
+            with pytest.raises(OSError) as excinfo:
+                durable_write(target, b"new")
+            assert excinfo.value.errno == code
+            assert not shim.dead
+            # Survivable: cleanup ran — no orphan, target untouched —
+            # and the shim stays alive so a retry succeeds.
+            assert target.read_bytes() == b"old"
+            assert _tmp_siblings(tmp_path) == []
+            durable_write(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_enospc_after_bytes(self, tmp_path):
+        shim = FaultyIO(IoFault(op="write", mode="enospc", after_bytes=8))
+        with shim.install():
+            with pytest.raises(OSError) as excinfo:
+                durable_write(tmp_path / "out.bin", b"z" * 64)
+            assert excinfo.value.errno == errno.ENOSPC
+        assert _tmp_siblings(tmp_path) == []
+
+    def test_flip_is_silent_and_deterministic(self, tmp_path):
+        payload = b"q" * 256
+        out = []
+        for attempt in range(2):
+            target = tmp_path / f"out{attempt}.bin"
+            with FaultyIO(IoFault(op="write", mode="flip"), seed=7).install():
+                durable_write(target, payload)
+            out.append(target.read_bytes())
+        assert out[0] == out[1]  # same seed, same corruption
+        diff = [i for i in range(len(payload)) if out[0][i] != payload[i]]
+        assert len(diff) == 1
+        assert out[0][diff[0]] == payload[diff[0]] ^ 0xFF
+
+    def test_short_write_tolerated_by_loop(self, tmp_path):
+        # durable_write's write loop must absorb a short count.
+        target = tmp_path / "out.bin"
+        payload = bytes(range(256)) * 4
+        with FaultyIO(IoFault(op="write", mode="short")).install():
+            durable_write(target, payload)
+        assert target.read_bytes() == payload
+
+
+class TestTargeting:
+    def test_index_selects_ordinal(self, tmp_path):
+        shim = FaultyIO(IoFault(op="replace", index=1))
+        with shim.install():
+            durable_write(tmp_path / "a.bin", b"a")  # replace #0: passes
+            with pytest.raises(SimulatedCrash):
+                durable_write(tmp_path / "b.bin", b"b")  # replace #1
+        assert (tmp_path / "a.bin").read_bytes() == b"a"
+        assert not (tmp_path / "b.bin").exists()
+
+    def test_path_substring_filter(self, tmp_path):
+        shim = FaultyIO(IoFault(op="replace", path="manifest.json"))
+        with shim.install():
+            durable_write(tmp_path / "data.col", b"col")
+            with pytest.raises(SimulatedCrash):
+                durable_write(tmp_path / "manifest.json", b"{}")
+        assert (tmp_path / "data.col").read_bytes() == b"col"
+        assert not (tmp_path / "manifest.json").exists()
+
+
+class TestFlipByte:
+    def test_deterministic_offset_past_framing(self, tmp_path):
+        blob = bytes(range(256))
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        a.write_bytes(blob)
+        b.write_bytes(blob)
+        off_a = flip_byte(a, seed=3)
+        off_b = flip_byte(b, seed=3)
+        assert off_a == off_b >= 16
+        assert a.read_bytes() == b.read_bytes() != blob
+
+    def test_explicit_offset(self, tmp_path):
+        target = tmp_path / "a.bin"
+        target.write_bytes(b"\x00" * 32)
+        assert flip_byte(target, 5) == 5
+        assert target.read_bytes()[5] == 0xFF
+
+    def test_empty_file_rejected(self, tmp_path):
+        target = tmp_path / "empty.bin"
+        target.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            flip_byte(target)
