@@ -19,6 +19,10 @@ Subcommands::
     python -m repro serve     DIR --trust-bundle FILE [--host H] [--port P]
                               [--checkpoint FILE] [--resume]
                               [--overload-rows N]
+    python -m repro scenario  list | describe NAME |
+                              generate [NAME] [--spec FILE] --out DIR
+                              [--months N] [--cpm N] [--scale F] [--seed N]
+                              [--rotated] [--verify]
 
 `generate` writes Zeek-format ssl.log / x509.log plus a trust-bundle
 file, so `intercept`, `audit`, and (with ``--rotated``) `analyze` can
@@ -282,6 +286,58 @@ def build_parser() -> argparse.ArgumentParser:
              "add trusted organizations)",
     )
     intercept.add_argument("--min-domains", type=int, default=5)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="work with the composable scenario library (list / describe "
+             "/ generate)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list the library scenarios")
+    describe = scenario_sub.add_parser(
+        "describe", help="show a scenario's layers and planted cohorts"
+    )
+    describe.add_argument(
+        "scenario", help="library scenario name or path to a .toml/.json spec"
+    )
+    sc_generate = scenario_sub.add_parser(
+        "generate",
+        help="run a scenario and write Zeek logs + planted ground truth",
+    )
+    sc_generate.add_argument(
+        "scenario", nargs="?", default=None,
+        help="library scenario name (or use --spec for a file)",
+    )
+    sc_generate.add_argument(
+        "--spec", type=Path, default=None, metavar="FILE",
+        help="path to a .toml/.json scenario spec (overrides the name)",
+    )
+    sc_generate.add_argument("--out", type=Path, required=True,
+                             help="output directory")
+    sc_generate.add_argument(
+        "--months", type=int, default=None,
+        help="override the campaign length (event months are rescaled)",
+    )
+    sc_generate.add_argument(
+        "--cpm", type=int, default=None,
+        help="pin every site to this many connections per month",
+    )
+    sc_generate.add_argument(
+        "--scale", type=float, default=None,
+        help="multiply each site's own connections-per-month",
+    )
+    sc_generate.add_argument("--seed", type=int, default=None,
+                             help="override the scenario seed")
+    sc_generate.add_argument(
+        "--rotated", action="store_true",
+        help="write a rotated monthly archive (ssl.YYYY-MM.log.gz) instead "
+             "of single ssl.log/x509.log files",
+    )
+    sc_generate.add_argument(
+        "--verify", action="store_true",
+        help="run the ground-truth verification suite on the generated "
+             "logs and fail if any check does (slower: runs every analysis)",
+    )
 
     compare = sub.add_parser(
         "compare", help="diff two JSON study exports (from `study --json`)"
@@ -745,6 +801,102 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_scenario_spec(args: argparse.Namespace):
+    from repro.netsim.scenarios import load_spec
+
+    spec_path = getattr(args, "spec", None)
+    if spec_path is not None:
+        return load_spec(str(spec_path))
+    if args.scenario is None:
+        print("error: give a scenario name or --spec FILE", file=sys.stderr)
+        return None
+    return load_spec(args.scenario)
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.netsim.scenarios import list_scenarios, load_spec
+
+    if args.scenario_command == "list":
+        for name in list_scenarios():
+            spec = load_spec(name)
+            title = spec.title or spec.description or ""
+            print(f"{name:14} {title}")
+        return 0
+
+    if args.scenario_command == "describe":
+        spec = load_spec(args.scenario)
+        print(f"scenario {spec.name}: {spec.title}")
+        if spec.description:
+            print(f"  {spec.description}")
+        print(f"  seed {spec.seed}, {spec.months} months")
+        for site in spec.topology.sites:
+            trust = spec.trusts[site.trust]
+            planted = sum((
+                len(trust.dummy_cohorts), len(trust.dummy_both_cohorts),
+                len(trust.shared_cohorts), len(trust.incorrect_date_cohorts),
+                len(trust.expired_clusters),
+                int(bool(trust.inbound_expired_total)),
+                int(trust.extreme_validity is not None),
+                int(trust.cross_sharing is not None),
+                int(trust.guardicore is not None),
+                int(trust.viptela), int(bool(trust.fnmt_count)),
+                int(trust.malignant is not None),
+            ))
+            print(
+                f"  site {site.name} ({site.kind}): "
+                f"{site.connections_per_month} conns/month, "
+                f"workload={site.workload}, trust={site.trust} "
+                f"({planted} planted cohort groups)"
+            )
+        for event in spec.timeline.events:
+            where = event.site or "all sites"
+            print(f"  event month {event.month}: {event.kind} @ {where}")
+        return 0
+
+    # generate
+    spec = _load_scenario_spec(args)
+    if spec is None:
+        return 2
+    if any(value is not None
+           for value in (args.months, args.cpm, args.scale, args.seed)):
+        spec = spec.scaled(
+            months=args.months, connections_per_month=args.cpm,
+            scale=args.scale, seed=args.seed,
+        )
+    from repro.netsim.compose import ScenarioGenerator
+
+    result = ScenarioGenerator(spec).generate()
+    args.out.mkdir(parents=True, exist_ok=True)
+    if args.rotated:
+        from repro.zeek.files import write_rotated_logs
+
+        written = write_rotated_logs(result.logs, args.out)
+        log_note = f"{len(written)} rotated log files"
+    else:
+        with (args.out / "ssl.log").open("w") as out:
+            write_ssl_log(result.logs.ssl, out)
+        with (args.out / "x509.log").open("w") as out:
+            write_x509_log(result.logs.x509, out)
+        log_note = "ssl.log and x509.log"
+    _write_trust_bundle(result.trust_bundle, args.out / "trust_bundle.txt")
+    (args.out / "ground_truth.json").write_text(
+        result.ground_truth.to_json() + "\n"
+    )
+    print(
+        f"scenario {spec.name}: wrote {log_note} "
+        f"({len(result.logs.ssl)} ssl rows, {len(result.logs.x509)} x509 "
+        f"rows), trust_bundle.txt, and ground_truth.json to {args.out}"
+    )
+    if args.verify:
+        from repro.netsim.verify import verify_scenario
+
+        report = verify_scenario(result)
+        print(report.summary())
+        if not report.ok:
+            return 1
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.compare import diff_study_json, render_study_diff
 
@@ -766,6 +918,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit": cmd_audit,
         "intercept": cmd_intercept,
         "compare": cmd_compare,
+        "scenario": cmd_scenario,
         "serve": cmd_serve,
     }
     try:

@@ -7,7 +7,11 @@ reports, then feeds them through the Zeek log builder so the analysis
 pipeline consumes exactly the artifact the authors had — linked
 ssl.log / x509.log streams.
 
-Entry point: :class:`repro.netsim.generator.TrafficGenerator`.
+Entry points: :class:`repro.netsim.generator.TrafficGenerator` for the
+single-site campus profile, and :class:`repro.netsim.compose.
+ScenarioGenerator` + the :mod:`repro.netsim.scenarios` library for
+composed multi-site / event-driven / adversarial scenarios with planted
+ground truth (verified by :mod:`repro.netsim.verify`).
 """
 
 from repro.netsim.clock import CampaignClock
@@ -25,6 +29,22 @@ from repro.netsim.faults import (
     WorkerFaultPlan,
 )
 from repro.netsim.generator import GroundTruth, SimulationResult, TrafficGenerator
+from repro.netsim.compose import (
+    ScenarioGenerator,
+    ScenarioGroundTruth,
+    ScenarioResult,
+)
+from repro.netsim.layers import (
+    EventTimeline,
+    ScenarioSpec,
+    SiteRuntime,
+    TimelineEvent,
+    Topology,
+    TrustEcosystem,
+    WorkloadMix,
+)
+from repro.netsim.scenarios import list_scenarios, load_spec
+from repro.netsim.verify import VerificationReport, verify_scenario
 
 __all__ = [
     "CorruptionSummary",
@@ -42,4 +62,18 @@ __all__ = [
     "GroundTruth",
     "SimulationResult",
     "TrafficGenerator",
+    "EventTimeline",
+    "ScenarioGenerator",
+    "ScenarioGroundTruth",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SiteRuntime",
+    "TimelineEvent",
+    "Topology",
+    "TrustEcosystem",
+    "VerificationReport",
+    "WorkloadMix",
+    "list_scenarios",
+    "load_spec",
+    "verify_scenario",
 ]

@@ -1,0 +1,233 @@
+"""Scenario composition: run every site of a ScenarioSpec and merge.
+
+A :class:`ScenarioGenerator` resolves a spec's sites into
+:class:`~repro.netsim.layers.SiteRuntime` parameter bundles, runs one
+:class:`~repro.netsim.generator.TrafficGenerator` per site, and merges
+the outputs into a single border-monitor view:
+
+- ssl.log rows from all sites, globally ordered by (timestamp, uid);
+- x509.log rows ordered by (timestamp, fuid) — uid/fuid ranges are
+  disjoint per site, so merged streams never collide;
+- one CT log (public CAs use identical DNs at every site, so merged
+  lookups stay consistent);
+- one trust bundle (union of the per-site DN bundles);
+- a :class:`ScenarioGroundTruth` that aggregates every site's planted
+  quantities and pre-computes what the §3.2 interception filter must
+  find — the contract the ground-truth verification suite checks.
+
+The merged result duck-types :class:`~repro.netsim.generator.
+SimulationResult` (logs / trust_bundle / ct_log / config / clock), so
+it feeds `CampusStudy` and the pack pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.netsim.clock import CampaignClock
+from repro.netsim.ct import CtLog
+from repro.netsim.generator import GroundTruth, SimulationResult, TrafficGenerator
+from repro.netsim.layers import ScenarioSpec
+from repro.trust.store import TrustBundle
+from repro.zeek import ZeekLogs
+
+#: Mirrors Enricher's default: an issuer is flagged as an interception
+#: CA once it contradicts CT for at least this many distinct domains.
+MIN_INTERCEPTION_DOMAINS = 5
+
+
+@dataclass
+class ScenarioGroundTruth:
+    """Planted truth for a whole scenario, merged across sites.
+
+    ``expected_*`` fields pre-compute the outcome of the interception
+    filter on the merged logs, so tests can assert the pipeline's
+    behavior exactly rather than re-deriving it.
+    """
+
+    scenario: str
+    months: int
+    per_site: dict[str, GroundTruth] = field(default_factory=dict)
+    #: Issuer DNs the §3.2 filter must flag on the merged dataset.
+    expected_flagged_issuers: set[str] = field(default_factory=set)
+    #: Certificate fingerprints excluded by the filter (all certs of
+    #: flagged issuers).
+    expected_excluded_fingerprints: set[str] = field(default_factory=set)
+    #: Per-month counts of connections removed by the filter.
+    expected_excluded_monthly: list[int] = field(default_factory=list)
+    #: Cohort label → fingerprints, merged across sites.
+    cohort_fingerprints: dict[str, set[str]] = field(default_factory=dict)
+    #: Cohort label → planted connection count, merged across sites.
+    cohort_connections: dict[str, int] = field(default_factory=dict)
+    #: Timeline events actually applied, across sites.
+    events: list[dict] = field(default_factory=list)
+    monthly_total: list[int] = field(default_factory=list)
+    monthly_visible_mutual: list[int] = field(default_factory=list)
+    tls13_connections: int = 0
+    #: site name → (lo, hi) authored bounds on unique certificates per
+    #: 1000 connections (None when the spec does not constrain it).
+    cert_volume_bounds: dict[str, tuple | None] = field(default_factory=dict)
+    #: site name → measured unique-certificate count.
+    site_certificates: dict[str, int] = field(default_factory=dict)
+    #: site name → connection count.
+    site_connections: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (sets become sorted lists)."""
+        return {
+            "scenario": self.scenario,
+            "months": self.months,
+            "expected_flagged_issuers": sorted(self.expected_flagged_issuers),
+            "expected_excluded_fingerprints": sorted(
+                self.expected_excluded_fingerprints
+            ),
+            "expected_excluded_monthly": list(self.expected_excluded_monthly),
+            "monthly_total": list(self.monthly_total),
+            "monthly_visible_mutual": list(self.monthly_visible_mutual),
+            "tls13_connections": self.tls13_connections,
+            "events": list(self.events),
+            "cohorts": {
+                label: {
+                    "fingerprints": sorted(fps),
+                    "connections": self.cohort_connections.get(label, 0),
+                }
+                for label, fps in sorted(self.cohort_fingerprints.items())
+            },
+            "sites": {
+                name: {
+                    "connections": self.site_connections.get(name, 0),
+                    "certificates": self.site_certificates.get(name, 0),
+                    "cert_volume_per_1k": (
+                        list(self.cert_volume_bounds[name])
+                        if self.cert_volume_bounds.get(name)
+                        else None
+                    ),
+                }
+                for name in sorted(self.per_site)
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+
+@dataclass
+class ScenarioResult:
+    """Merged output of one scenario run (SimulationResult-compatible)."""
+
+    logs: ZeekLogs
+    ground_truth: ScenarioGroundTruth
+    trust_stores: object
+    trust_bundle: TrustBundle
+    ct_log: CtLog
+    config: object
+    clock: CampaignClock
+    spec: ScenarioSpec
+    per_site: dict[str, SimulationResult] = field(default_factory=dict)
+
+
+class ScenarioGenerator:
+    """Runs every site of a scenario and merges the streams."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        spec.validate()
+        self.spec = spec
+
+    def generate(self) -> ScenarioResult:
+        spec = self.spec
+        per_site: dict[str, SimulationResult] = {}
+        for runtime in spec.site_runtimes():
+            per_site[runtime.site_name] = TrafficGenerator(runtime).generate()
+
+        results = list(per_site.values())
+        merged_logs = ZeekLogs(
+            ssl=sorted(
+                (row for result in results for row in result.logs.ssl),
+                key=lambda row: (row.ts, row.uid),
+            ),
+            x509=sorted(
+                (row for result in results for row in result.logs.x509),
+                key=lambda row: (row.ts, row.fuid),
+            ),
+        )
+        merged_ct = CtLog()
+        bundle: TrustBundle | None = None
+        for result in results:
+            merged_ct.merge(result.ct_log)
+            bundle = (
+                result.trust_bundle
+                if bundle is None
+                else TrustBundle(
+                    bundle.subject_dns | result.trust_bundle.subject_dns,
+                    bundle.organizations | result.trust_bundle.organizations,
+                )
+            )
+        truth = self._merge_truth(per_site)
+        return ScenarioResult(
+            logs=merged_logs,
+            ground_truth=truth,
+            trust_stores=results[0].trust_stores,
+            trust_bundle=bundle,
+            ct_log=merged_ct,
+            config=results[0].config,
+            clock=CampaignClock(months=spec.months),
+            spec=spec,
+            per_site=per_site,
+        )
+
+    def _merge_truth(
+        self, per_site: dict[str, SimulationResult]
+    ) -> ScenarioGroundTruth:
+        spec = self.spec
+        truth = ScenarioGroundTruth(scenario=spec.name, months=spec.months)
+        truth.monthly_total = [0] * spec.months
+        truth.monthly_visible_mutual = [0] * spec.months
+        bounds = {
+            site.name: site.cert_volume_per_1k for site in spec.topology.sites
+        }
+        # The filter judges issuers on the MERGED dataset: a middlebox
+        # seen at two sites accumulates contradicted domains from both.
+        merged_issuers: dict[str, dict] = {}
+        for name, result in per_site.items():
+            site_truth = result.ground_truth
+            truth.per_site[name] = site_truth
+            for index in range(spec.months):
+                truth.monthly_total[index] += site_truth.monthly_total[index]
+                truth.monthly_visible_mutual[index] += (
+                    site_truth.monthly_visible_mutual[index]
+                )
+            truth.tls13_connections += site_truth.tls13_connections
+            truth.events.extend(site_truth.events)
+            for label, fps in site_truth.cohort_fingerprints.items():
+                truth.cohort_fingerprints.setdefault(label, set()).update(fps)
+            for label, count in site_truth.cohort_connections.items():
+                truth.cohort_connections[label] = (
+                    truth.cohort_connections.get(label, 0) + count
+                )
+            for issuer_dn, info in site_truth.interception_issuers.items():
+                merged = merged_issuers.setdefault(
+                    issuer_dn,
+                    {
+                        "fingerprints": set(),
+                        "domains": set(),
+                        "monthly_connections": [0] * spec.months,
+                    },
+                )
+                merged["fingerprints"].update(info["fingerprints"])
+                merged["domains"].update(info["domains"])
+                for index, count in enumerate(info["monthly_connections"]):
+                    merged["monthly_connections"][index] += count
+            truth.cert_volume_bounds[name] = bounds.get(name)
+            truth.site_connections[name] = sum(site_truth.monthly_total)
+            truth.site_certificates[name] = len(
+                {row.fingerprint for row in result.logs.x509}
+            )
+        truth.expected_excluded_monthly = [0] * spec.months
+        for issuer_dn, info in merged_issuers.items():
+            if len(info["domains"]) >= MIN_INTERCEPTION_DOMAINS:
+                truth.expected_flagged_issuers.add(issuer_dn)
+                truth.expected_excluded_fingerprints.update(info["fingerprints"])
+                for index, count in enumerate(info["monthly_connections"]):
+                    truth.expected_excluded_monthly[index] += count
+        return truth

@@ -44,6 +44,11 @@ class CtLog:
                 seen.append(entry.issuer_dn)
         return seen
 
+    def merge(self, other: "CtLog") -> None:
+        """Fold another log's entries into this one (multi-site compose)."""
+        for domain, entries in other._by_domain.items():
+            self._by_domain.setdefault(domain, []).extend(entries)
+
     def knows_domain(self, domain: str) -> bool:
         return domain.lower() in self._by_domain
 

@@ -1,17 +1,23 @@
-"""The traffic generator: plans and emits 23 months of TLS connections.
+"""The traffic generator: plans and emits one site's TLS campaign.
 
 Generation happens in two passes:
 
-1. *Cohort planning* — every misconfiguration cohort from the paper
-   (dummy issuers, serial collisions, shared certificates, inverted
-   dates, expired-but-used certificates, extreme validity periods,
-   cross-connection sharing) mints its certificates once and schedules
-   its connections over the campaign months.
+1. *Cohort planning* — every misconfiguration cohort planted by the
+   site's :class:`~repro.netsim.layers.TrustEcosystem` (dummy issuers,
+   serial collisions, shared certificates, inverted dates,
+   expired-but-used certificates, extreme validity periods,
+   cross-connection sharing, timeline events, malignant servers) mints
+   its certificates once and schedules its connections over the
+   campaign months.
 2. *Bulk generation* — each month is filled with inbound/outbound
-   mutual and non-mutual traffic according to the calibrated mixes
-   (Tables 2-3, Figure 2), the TLS 1.3 blind spot, the interception
-   middleboxes, and the tunneling footnote.
+   mutual and non-mutual traffic according to the site's
+   :class:`~repro.netsim.layers.WorkloadMix` (Tables 2-3, Figure 2),
+   the TLS 1.3 blind spot, the interception middleboxes, and the
+   tunneling footnote.
 
+The generator accepts either a legacy :class:`ScenarioConfig` (which
+resolves to the calibrated campus profile) or a fully-resolved
+:class:`~repro.netsim.layers.SiteRuntime` from a scenario spec.
 Everything is fed through :class:`repro.zeek.ZeekLogBuilder`, so the
 output of a run is exactly what the paper's pipeline consumes: linked
 ssl.log / x509.log streams, plus a ground-truth ledger for testing.
@@ -23,36 +29,13 @@ import datetime as _dt
 import random
 from dataclasses import dataclass, field
 
-from repro.netsim.cas import CaUniverse, DUMMY_ISSUER_ORGS
+from repro.netsim.cas import CaUniverse
 from repro.netsim.clock import CampaignClock
 from repro.netsim.content import ContentSynthesizer
 from repro.netsim.ct import CtLog
+from repro.netsim.layers import MONTH_DEC_2023, SiteRuntime, _slug
 from repro.netsim.network import AddressSpace
-from repro.netsim.scenario import (
-    DUMMY_ISSUER_COHORTS,
-    EDUCATION_CLIENT_CN_MIX,
-    DEVICE_CLIENT_CN_MIX,
-    EXPIRED_PUBLIC_CLUSTERS,
-    EXTREME_VALIDITY_OUTLIER_DAYS,
-    EXTREME_VALIDITY_OUTLIER_SLD,
-    EXTREME_VALIDITY_PUBLIC,
-    EXTREME_VALIDITY_TOTAL,
-    INBOUND_ASSOCIATIONS,
-    INBOUND_EXPIRED_ASSOCIATIONS,
-    INBOUND_MUTUAL_PORTS,
-    INBOUND_NONMUTUAL_PORTS,
-    INCORRECT_DATE_COHORTS,
-    MONTH_DEC_2023,
-    OUTBOUND_CLIENT_ISSUERS,
-    OUTBOUND_MISSING_SNI_FRACTION,
-    OUTBOUND_MUTUAL_PORTS,
-    OUTBOUND_NONMUTUAL_PORTS,
-    OUTBOUND_SERVER_PUBLIC_FRACTION,
-    OUTBOUND_SLDS,
-    PUBLIC_CLIENT_CN_MIX,
-    SHARED_CERT_COHORTS,
-    ScenarioConfig,
-)
+from repro.netsim.scenario import ScenarioConfig
 from repro.tls.connection import ConnectionRecord, make_connection_uid
 from repro.tls.handshake import HandshakeResult
 from repro.tls.versions import CipherSuite, TlsVersion
@@ -69,13 +52,6 @@ _VISIBLE_VERSION_WEIGHTS = (
     (TlsVersion.TLS_1_0, 0.06),
     (TlsVersion.TLS_1_1, 0.04),
 )
-
-#: Outbound mutual conns handled by the WebRTC program (per-connection
-#: fresh self-signed CN=WebRTC certs on both sides; issuer has no
-#: organization, so they land in Private - MissingIssuer). High churn is
-#: what makes private server certificates dominate the unique-cert
-#: population in mutual TLS, exactly as in the paper's Table 1/Table 8.
-_WEBRTC_FRACTION = 0.33
 
 
 def _weighted(rng: random.Random, weights: dict | tuple) -> object:
@@ -126,16 +102,47 @@ class GroundTruth:
     tunneling_connections: int = 0
     inbound_mutual_connections: int = 0
     outbound_mutual_connections: int = 0
+    tls13_connections: int = 0
     interception_fingerprints: set[str] = field(default_factory=set)
     interception_issuer_orgs: set[str] = field(default_factory=set)
+    #: issuer DN → {"fingerprints", "domains" (CT-known, mismatched),
+    #: "monthly_connections"}; enough to predict the §3.2 filter exactly.
+    interception_issuers: dict[str, dict] = field(default_factory=dict)
     cohort_fingerprints: dict[str, set[str]] = field(default_factory=dict)
     cohort_connections: dict[str, int] = field(default_factory=dict)
+    #: Timeline events applied to this run, with their cohort labels.
+    events: list[dict] = field(default_factory=list)
 
     def record_cohort_cert(self, cohort: str, cert: Certificate) -> None:
         self.cohort_fingerprints.setdefault(cohort, set()).add(cert.fingerprint())
 
     def record_cohort_connection(self, cohort: str) -> None:
         self.cohort_connections[cohort] = self.cohort_connections.get(cohort, 0) + 1
+
+    def record_interception(
+        self,
+        issuer_dn: str,
+        fingerprint: str,
+        domain: str | None,
+        month_index: int,
+        months: int,
+        issuer_org: str | None = None,
+    ) -> None:
+        self.interception_fingerprints.add(fingerprint)
+        if issuer_org:
+            self.interception_issuer_orgs.add(issuer_org)
+        info = self.interception_issuers.get(issuer_dn)
+        if info is None:
+            info = {
+                "fingerprints": set(),
+                "domains": set(),
+                "monthly_connections": [0] * months,
+            }
+            self.interception_issuers[issuer_dn] = info
+        info["fingerprints"].add(fingerprint)
+        if domain:
+            info["domains"].add(domain.lower())
+        info["monthly_connections"][month_index] += 1
 
 
 @dataclass
@@ -149,6 +156,30 @@ class SimulationResult:
     ct_log: CtLog
     config: ScenarioConfig
     clock: CampaignClock
+    site: SiteRuntime | None = None
+
+
+def _config_view(site: SiteRuntime) -> ScenarioConfig:
+    """A legacy-config mirror of a resolved site (for result metadata)."""
+    w = site.workload
+    return ScenarioConfig(
+        seed=site.seed,
+        months=site.months,
+        connections_per_month=site.connections_per_month,
+        cohort_scale=site.cohort_scale,
+        tls13_share=w.tls13_share,
+        mutual_share_start=w.mutual_share_start,
+        mutual_share_end=w.mutual_share_end,
+        health_surge_boost=w.health_surge_boost,
+        rapid7_drop=w.rapid7_drop,
+        mutual_inbound_fraction=w.mutual_inbound_fraction,
+        nonmutual_outbound_fraction=w.nonmutual_outbound_fraction,
+        interception_fraction=site.trust.interception_fraction,
+        interception_issuer_count=site.trust.interception_issuer_count,
+        tunneling_client_fraction=w.tunneling_client_fraction,
+        nonmutual_site_density=w.nonmutual_site_density,
+        include_misconfig_cohorts=not site.trust.plants_nothing(),
+    )
 
 
 class _Endpoint:
@@ -173,27 +204,36 @@ class _ClientDevice:
 
 
 class TrafficGenerator:
-    """Generates one full campaign of synthetic campus traffic."""
+    """Generates one full campaign of synthetic traffic for one site."""
 
-    def __init__(self, config: ScenarioConfig | None = None) -> None:
-        self.config = config or ScenarioConfig()
+    def __init__(self, config: ScenarioConfig | SiteRuntime | None = None) -> None:
+        if config is None:
+            config = ScenarioConfig()
+        if isinstance(config, SiteRuntime):
+            self.site = config
+            self.config = _config_view(config)
+        else:
+            self.config = config
+            self.site = config.site()
 
     # ------------------------------------------------------------------ setup
 
     def _setup(self) -> None:
-        cfg = self.config
-        self.rng = random.Random(cfg.seed)
-        self.keys = KeyFactory(mode="sim", seed=cfg.seed)
-        self.cas = CaUniverse(self.keys, random.Random(cfg.seed + 1))
+        site = self.site
+        self.rng = random.Random(site.seed)
+        self.keys = KeyFactory(mode="sim", seed=site.seed)
+        self.cas = CaUniverse(self.keys, random.Random(site.seed + 1))
         self.ct = CtLog()
-        self.addresses = AddressSpace(seed=cfg.seed + 2)
-        self.content = ContentSynthesizer(random.Random(cfg.seed + 3))
-        self.clock = CampaignClock(months=cfg.months)
-        self.builder = ZeekLogBuilder()
+        self.addresses = AddressSpace(seed=site.seed + 2)
+        self.content = ContentSynthesizer(random.Random(site.seed + 3))
+        self.clock = CampaignClock(months=site.months)
+        self.builder = ZeekLogBuilder(fuid_start=site.fuid_offset)
         self.truth = GroundTruth()
         self._uid_counter = 0
         self._nonmutual_site_certs: dict[int, tuple[Certificate, ...]] = {}
-        self._proxies = self.cas.interception_proxies(cfg.interception_issuer_count)
+        self._proxies = self.cas.interception_proxies(
+            site.trust.interception_issuer_count
+        )
         self._build_inbound_catalog()
         self._build_outbound_catalog()
         self._build_client_pools()
@@ -213,8 +253,26 @@ class TrafficGenerator:
             return (cert,) + tuple(ca.chain())
         return (cert,)
 
+    def _ca_from_spec(self, spec: tuple):
+        """Resolve a trust-layer CA descriptor ([kind, *args]) to a CA."""
+        kind = spec[0]
+        if kind == "public":
+            return self.cas.public(spec[1])
+        if kind == "private":
+            return self.cas.private(spec[1], spec[2])
+        if kind == "other":
+            return self.cas.other(spec[1])
+        if kind == "dummy":
+            return self.cas.dummy(spec[1])
+        raise ValueError(f"unknown CA spec kind {kind!r}")
+
     def _build_inbound_catalog(self) -> None:
-        """Campus-side (and partner-side) servers for inbound traffic."""
+        """Site-side (and partner-side) servers for inbound traffic.
+
+        Known association names get their calibrated builders (in a fixed
+        order, which is part of the deterministic RNG contract); unknown
+        names from custom workloads get a generic private-CA fleet.
+        """
         start = self.clock.start
         edu_health = self.cas.education(1)
         edu_main = self.cas.education(0)
@@ -233,12 +291,12 @@ class TrafficGenerator:
             )
             return _Endpoint(sni, self.addresses.internal_ip(sni, prefix), None, chain)
 
-        self._inbound_servers: dict[str, list[_Endpoint]] = {
-            "University Health": [
+        builders = {
+            "University Health": lambda: [
                 campus(f"{name}.health.university.edu", edu_health, prefix=1)
                 for name in ("portal", "api", "records", "imaging", "lab")
             ],
-            "University Server": [
+            "University Server": lambda: [
                 campus(name, edu_main)
                 for name in (
                     "devices.its.university.edu",
@@ -246,8 +304,8 @@ class TrafficGenerator:
                     "www.its.university.edu",
                 )
             ],
-            "University VPN": [campus("vpn.university.edu", edu_vpn)],
-            "Local Organization": [
+            "University VPN": lambda: [campus("vpn.university.edu", edu_vpn)],
+            "Local Organization": lambda: [
                 _Endpoint(
                     sni,
                     self.addresses.internal_ip(sni, 2),
@@ -260,7 +318,7 @@ class TrafficGenerator:
                 )
                 for sni in ("portal.localorg.org", "auth.localclinic.org")
             ],
-            "Third Party Service": [
+            "Third Party Service": lambda: [
                 _Endpoint(
                     "svc.thirdparty.com",
                     self.addresses.internal_ip("svc.thirdparty.com", 2),
@@ -272,7 +330,7 @@ class TrafficGenerator:
                     ),
                 )
             ],
-            "Globus": [
+            "Globus": lambda: [
                 _Endpoint(
                     "FXP DCAU Cert",
                     self.addresses.internal_ip("globus-dtn", 0),
@@ -283,7 +341,7 @@ class TrafficGenerator:
                     ),
                 )
             ],
-            "Unknown": [
+            "Unknown": lambda: [
                 _Endpoint(
                     None,
                     self.addresses.internal_ip(f"unknown-{i}", 0),
@@ -296,67 +354,68 @@ class TrafficGenerator:
                 for i in range(2)
             ],
         }
+        associations = self.site.workload.inbound_associations
+        self._inbound_servers: dict[str, list[_Endpoint]] = {}
+        for name, build in builders.items():
+            if name in associations:
+                self._inbound_servers[name] = build()
+        for name in associations:
+            if name not in self._inbound_servers:
+                self._inbound_servers[name] = self._generic_inbound(name, start)
         for endpoints in self._inbound_servers.values():
             for endpoint in endpoints:
                 if endpoint.sni and endpoint.sni != "FXP DCAU Cert":
                     self.ct.submit(endpoint.sni, endpoint.chain[0])
 
+    def _generic_inbound(self, name: str, start: _dt.datetime) -> list[_Endpoint]:
+        """Servers for an association name the calibrated catalog does
+        not know: a small private-CA fleet named after the association."""
+        slug = _slug(name) or "org"
+        ca = self.cas.private(name, f"{name} CA")
+        endpoints = []
+        for i in range(2):
+            sni = f"svc{i}.{slug}.{self.site.domain_tag}example-org.net"
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=sni, organization=name),
+                now=start, purposes=(OID.EKU_SERVER_AUTH,),
+            )
+            endpoints.append(
+                _Endpoint(sni, self.addresses.internal_ip(sni, 2), None, chain)
+            )
+        return endpoints
+
+    def _inbound_pool(self, name: str) -> list[_Endpoint]:
+        """Endpoints for an association, falling back to the first
+        catalog entry when a custom workload lacks the named one."""
+        pool = self._inbound_servers.get(name)
+        if pool:
+            return pool
+        return next(iter(self._inbound_servers.values()))
+
     def _build_outbound_catalog(self) -> None:
         """External destinations for outbound mutual traffic."""
         start = self.clock.start
-        # SLD → issuing CA factory. Public ones are CT-logged.
-        private = {
-            "splunkcloud.com": self.cas.private("Splunk", "Splunk Cloud CA"),
-            "psych.org": self.cas.private(
-                "American Psychiatric Association", "APA CA"
-            ),
-            "idrive.com": self.cas.private(
-                "IDrive Inc Certificate Authority", "IDrive CA"
-            ),
-            "ibackup.com": self.cas.private(
-                "IDrive Inc Certificate Authority", "IDrive CA"
-            ),
-            "alarmnet.com": self.cas.private(
-                "Honeywell International Inc", "Honeywell CA"
-            ),
-            "clouddevice.io": self.cas.private(
-                "Honeywell International Inc", "Honeywell CA"
-            ),
-            "tablodash.com": self.cas.private("Outset Medical", "Outset Medical CA"),
-            "tmdxdev.com": self.cas.private("TMDX Development Corp", "TMDX CA"),
-            "ayoba.me": self.cas.other("OpenPGP to X.509 Bridge"),
-            "crestron.io": self.cas.private(
-                "Crestron Electronics Inc", "Crestron CA"
-            ),
-            "fireboard.io": self.cas.dummy("Internet Widgits Pty Ltd"),
-            "example-iot.com.cn": self.cas.dummy("Default Company Ltd"),
-            "smarthome.top": self.cas.dummy("Default Company Ltd"),
-        }
-        public = {
-            "amazonaws.com": self.cas.public("amazon-m01"),
-            "rapid7.com": self.cas.public("digicert-geotrust"),
-            "gpcloudservice.com": self.cas.public("lets-encrypt-r3"),
-            "apple.com": self.cas.public("apple-public"),
-            "azure.com": self.cas.public("microsoft-azure"),
-            "azure-automation.net": self.cas.public("microsoft-azure"),
-            "leidos.com": self.cas.public("identrust-server"),
-            "acr.og": self.cas.public("godaddy-g2"),
-            "sapns2.com": self.cas.public("godaddy-g2"),
-            "bluetriton.com": self.cas.public("digicert-geotrust"),
-            "gpo.gov": self.cas.public("digicert-ev"),
-            "mixpanel.com": self.cas.public("lets-encrypt-r3"),
-        }
+        workload = self.site.workload
+        # SLD → issuing CA, minted in trust-spec order (the creation
+        # order is part of the deterministic RNG contract). Public ones
+        # are CT-logged.
+        sld_cas = {}
+        public_slds = set()
+        for sld, spec in self.site.trust.outbound_sld_cas.items():
+            sld_cas[sld] = self._ca_from_spec(spec)
+            if spec[0] == "public":
+                public_slds.add(sld)
         self._outbound_endpoints: dict[str, _Endpoint] = {}
-        for sld in OUTBOUND_SLDS:
+        for sld in workload.outbound_slds:
             host = f"svc.{sld}"
-            ca = public.get(sld) or private.get(sld)
+            ca = sld_cas.get(sld)
             if ca is None:
                 ca = (
                     self.cas.random_public()
-                    if self.rng.random() < OUTBOUND_SERVER_PUBLIC_FRACTION
+                    if self.rng.random() < workload.outbound_server_public_fraction
                     else self.cas.corporation(self.rng.randrange(12))
                 )
-            include_chain = sld in public
+            include_chain = sld in public_slds
             chain = self._issue_leaf(
                 ca,
                 Name.build(common_name=host, organization=ca.organization),
@@ -374,14 +433,19 @@ class TrafficGenerator:
                 self.ct.submit(host, chain[0])
                 self.ct.submit(sld, chain[0])
 
+    def _outbound_endpoint(self, sld: str) -> _Endpoint:
+        endpoint = self._outbound_endpoints.get(sld)
+        if endpoint is None:
+            endpoint = next(iter(self._outbound_endpoints.values()))
+        return endpoint
+
     def _build_client_pools(self) -> None:
         """Client-device populations, keyed by issuer category."""
-        cfg = self.config
-        self._inbound_clients: dict[str, list[_ClientDevice]] = {}
+        self._inbound_clients: dict[str, dict[str, list[_ClientDevice]]] = {}
         self._outbound_clients: dict[str, list[_ClientDevice]] = {}
         self._tunnel_clients: list[_ClientDevice] = []
         # Pools are created lazily in _client_for; only bookkeeping here.
-        base = max(4, cfg.connections_per_month // 40)
+        base = max(4, self.site.connections_per_month // 40)
         self._pool_sizes = {
             "inbound": base * 4,
             "outbound": base * 2,
@@ -393,11 +457,16 @@ class TrafficGenerator:
 
         WebRTC connections are all MissingIssuer; the remaining bulk is
         re-weighted so the *overall* outbound mix still matches the
-        paper's Figure 2 (37.84% missing issuer, etc.).
+        workload's Figure 2 targets (37.84% missing issuer, etc.).
         """
-        mix = dict(OUTBOUND_CLIENT_ISSUERS)
-        missing = mix.pop("Private - MissingIssuer")
-        residual_missing = max(0.0, (missing - _WEBRTC_FRACTION) / (1 - _WEBRTC_FRACTION))
+        workload = self.site.workload
+        webrtc = workload.webrtc_fraction
+        mix = dict(workload.outbound_client_issuers)
+        missing = mix.pop("Private - MissingIssuer", 0.0)
+        if webrtc >= 1.0:
+            residual_missing = 0.0
+        else:
+            residual_missing = max(0.0, (missing - webrtc) / (1 - webrtc))
         rest_total = sum(mix.values())
         scale = (1 - residual_missing) / rest_total if rest_total else 0.0
         adjusted = {key: value * scale for key, value in mix.items()}
@@ -422,21 +491,20 @@ class TrafficGenerator:
         if category == "Private - WebHosting":
             return self.cas.webhosting(rng.randrange(3))
         if category == "Private - Dummy":
-            return self.cas.dummy(rng.choice(DUMMY_ISSUER_ORGS[:3]))
+            return self.cas.dummy(rng.choice(self.site.trust.dummy_client_orgs))
         if category == "Private - MissingIssuer":
             return self.cas.missing_issuer()
         if category == "Private - Others":
-            return self.cas.other(rng.choice(
-                ("rcgen", "SDS", "media-server", "IceLink", "mesh-agent", "edgectl")
-            ))
+            return self.cas.other(rng.choice(self.site.trust.other_client_orgs))
         raise ValueError(f"unknown issuer category {category!r}")
 
     def _content_mix_for_category(self, category: str) -> dict[str, float]:
+        workload = self.site.workload
         if category == "Public":
-            return PUBLIC_CLIENT_CN_MIX
+            return workload.public_client_cn_mix
         if category == "Private - Education":
-            return EDUCATION_CLIENT_CN_MIX
-        return DEVICE_CLIENT_CN_MIX
+            return workload.education_client_cn_mix
+        return workload.device_client_cn_mix
 
     def _new_client_device(
         self, category: str, now: _dt.datetime, internal: bool
@@ -511,10 +579,16 @@ class TrafficGenerator:
     def _visible_version(self) -> TlsVersion:
         return _weighted(self.rng, _VISIBLE_VERSION_WEIGHTS)
 
+    def _nonmutual_sni(self, site_index: int) -> str:
+        """Destination name for a non-mutual external site. The site's
+        domain tag keeps these distinct across a multi-site scenario, so
+        merged CT logs never see one domain under two issuers."""
+        return f"site{site_index}.{self.site.domain_tag}example{site_index % 97}.com"
+
     def _emit(self, planned: _Planned) -> None:
         self._uid_counter += 1
         connection = ConnectionRecord(
-            uid=make_connection_uid(self._uid_counter),
+            uid=make_connection_uid(self._uid_counter + self.site.uid_offset),
             timestamp=planned.ts,
             client_ip=planned.client_ip,
             client_port=self.addresses.ephemeral_port(),
@@ -526,22 +600,31 @@ class TrafficGenerator:
             ),
         )
         self.builder.observe(connection)
+        if planned.version is TlsVersion.TLS_1_3:
+            self.truth.tls13_connections += 1
         if planned.cohort:
             self.truth.record_cohort_connection(planned.cohort)
 
     # ------------------------------------------------------------------- bulk
 
     def _plan_bulk_month(self, window, plan: list[_Planned], cohort_mutual: int) -> None:
-        cfg = self.config
-        total = cfg.connections_per_month
-        share = cfg.mutual_share(window.index)
+        site = self.site
+        workload = site.workload
+        total = site.connections_per_month
+        share = site.mutual_share(window.index)
         visible_mutual = max(0, round(total * share) - cohort_mutual)
-        p13 = cfg.tls13_share
-        hidden_mutual = max(1, round(visible_mutual * p13 / (1 - p13) * 0.1))
+        p13 = workload.tls13_share
+        if p13 >= 1.0:
+            # Fully-migrated TLS 1.3 world: no certificates are visible, so
+            # every mutual connection moves into the hidden population.
+            hidden_mutual = max(1, visible_mutual)
+            visible_mutual = 0
+        else:
+            hidden_mutual = max(1, round(visible_mutual * p13 / (1 - p13) * 0.1))
         tunneling = max(1, round(total * 0.004))
         nonmutual = max(0, total - visible_mutual - hidden_mutual - tunneling - cohort_mutual)
 
-        inbound_mutual = round(visible_mutual * cfg.mutual_inbound_fraction)
+        inbound_mutual = round(visible_mutual * workload.mutual_inbound_fraction)
         outbound_mutual = visible_mutual - inbound_mutual
         for _ in range(inbound_mutual):
             plan.append(self._plan_inbound_mutual(window))
@@ -551,7 +634,7 @@ class TrafficGenerator:
             plan.append(self._plan_hidden_mutual(window))
         for _ in range(tunneling):
             plan.append(self._plan_tunneling(window))
-        outbound_nonmutual = round(nonmutual * cfg.nonmutual_outbound_fraction)
+        outbound_nonmutual = round(nonmutual * workload.nonmutual_outbound_fraction)
         for _ in range(outbound_nonmutual):
             plan.append(self._plan_nonmutual_outbound(window))
         for _ in range(nonmutual - outbound_nonmutual):
@@ -564,20 +647,22 @@ class TrafficGenerator:
 
     def _plan_inbound_mutual(self, window) -> _Planned:
         rng = self.rng
+        workload = self.site.workload
+        associations = workload.inbound_associations
         now = window.sample_instant(rng)
         association = _weighted(
-            rng, {name: row[0] for name, row in INBOUND_ASSOCIATIONS.items()}
+            rng, {name: row[0] for name, row in associations.items()}
         )
-        row = INBOUND_ASSOCIATIONS[association]
+        row = associations[association]
         server = rng.choice(self._inbound_servers[association])
         if association == "Globus":
             port = rng.randint(50000, 51000)
         else:
-            port = _pick_port(rng, INBOUND_MUTUAL_PORTS)
+            port = _pick_port(rng, workload.inbound_mutual_ports)
         category = _weighted(rng, {row[1]: row[2], row[3]: row[4]})
         pool_size = max(
             6,
-            round(self._pool_sizes["inbound"] * INBOUND_ASSOCIATIONS[association][0]),
+            round(self._pool_sizes["inbound"] * associations[association][0]),
         )
         client = self._client_for(
             self._inbound_clients_by(association), category, now, pool_size,
@@ -598,36 +683,41 @@ class TrafficGenerator:
 
     def _plan_outbound_mutual(self, window) -> _Planned:
         rng = self.rng
+        workload = self.site.workload
         now = window.sample_instant(rng)
-        if rng.random() < _WEBRTC_FRACTION:
+        if rng.random() < workload.webrtc_fraction:
             return self._plan_webrtc(window, now)
         category = _weighted(rng, self._outbound_issuer_mix)
         if category == "Private - MissingIssuer":
             # Figure 2's headline pattern: issuer-less client certificates
             # overwhelmingly talk to the big public-CA cloud endpoints.
-            sld = _weighted(rng, {
-                "amazonaws.com": 0.40, "rapid7.com": 0.35, "gpcloudservice.com": 0.25,
-            })
-            if self.config.months == 23 and window.index >= MONTH_DEC_2023:
+            sld = _weighted(
+                rng, workload.missing_issuer_slds or workload.outbound_slds
+            )
+            if self.site.months == 23 and window.index >= MONTH_DEC_2023:
                 sld = "amazonaws.com" if sld == "rapid7.com" else sld
         else:
             sld = self._pick_outbound_sld(window)
-        endpoint = self._outbound_endpoints[sld]
+        endpoint = self._outbound_endpoint(sld)
         client = self._client_for(
             self._outbound_clients, category, now,
             self._pool_sizes["outbound"], internal=True,
         )
-        sni = None if rng.random() < OUTBOUND_MISSING_SNI_FRACTION else endpoint.sni
+        sni = (
+            None
+            if rng.random() < workload.outbound_missing_sni_fraction
+            else endpoint.sni
+        )
         return _Planned(
             ts=now, direction="out", client_ip=client.ip, server_ip=endpoint.ip,
-            server_port=_pick_port(rng, OUTBOUND_MUTUAL_PORTS), sni=sni,
+            server_port=_pick_port(rng, workload.outbound_mutual_ports), sni=sni,
             version=self._visible_version(),
             server_chain=endpoint.chain, client_chain=client.chain,
         )
 
     def _pick_outbound_sld(self, window) -> str:
-        weights = dict(OUTBOUND_SLDS)
-        if self.config.months == 23 and window.index >= MONTH_DEC_2023:
+        weights = dict(self.site.workload.outbound_slds)
+        if self.site.months == 23 and window.index >= MONTH_DEC_2023:
             # Rapid7 disappears from the traffic in Dec 2023 (§4.1).
             weights.pop("rapid7.com", None)
         return _weighted(self.rng, weights)
@@ -668,7 +758,7 @@ class TrafficGenerator:
         rng = self.rng
         now = window.sample_instant(rng)
         sld = self._pick_outbound_sld(window)
-        endpoint = self._outbound_endpoints[sld]
+        endpoint = self._outbound_endpoint(sld)
         category = _weighted(rng, self._outbound_issuer_mix)
         client = self._client_for(
             self._outbound_clients, category, now,
@@ -693,7 +783,7 @@ class TrafficGenerator:
             device = rng.choice(self._tunnel_clients)
         for cert in device.chain:
             self.truth.record_cohort_cert("tunneling", cert)
-        vpn = self._inbound_servers["University VPN"][0]
+        vpn = self._inbound_pool("University VPN")[0]
         return _Planned(
             ts=now, direction="in", client_ip=device.ip, server_ip=vpn.ip,
             server_port=443, sni=None, version=self._visible_version(),
@@ -702,31 +792,39 @@ class TrafficGenerator:
 
     def _plan_nonmutual_outbound(self, window) -> _Planned:
         rng = self.rng
-        cfg = self.config
+        site = self.site
+        workload = site.workload
         now = window.sample_instant(rng)
         version = (
-            TlsVersion.TLS_1_3 if rng.random() < cfg.tls13_share
+            TlsVersion.TLS_1_3 if rng.random() < workload.tls13_share
             else self._visible_version()
         )
-        site = self._sample_site(rng, max(4, round(cfg.nonmutual_site_density)))
-        chain = self._site_chain(site, now)
-        sni = f"site{site}.example{site % 97}.com"
+        dest = self._sample_site(rng, max(4, round(workload.nonmutual_site_density)))
+        chain = self._site_chain(dest, now)
+        sni = self._nonmutual_sni(dest)
         client_index = rng.randrange(400)
-        intercepted = rng.random() < cfg.interception_fraction
-        if intercepted and version is not TlsVersion.TLS_1_3:
+        intercepted = rng.random() < site.trust.interception_fraction
+        if intercepted and version is not TlsVersion.TLS_1_3 and self._proxies:
             # A given client sits behind one middlebox, so interception
             # certificates are reused heavily for popular sites.
             proxy = self._proxies[client_index % len(self._proxies)]
             fake = proxy.impersonate(chain[0], sni, now)
-            self.truth.interception_fingerprints.add(fake.fingerprint())
-            if proxy.issuer_organization:
-                self.truth.interception_issuer_orgs.add(proxy.issuer_organization)
+            self.truth.record_interception(
+                issuer_dn=fake.issuer.rfc4514(),
+                fingerprint=fake.fingerprint(),
+                # Only CT-known destinations count toward the §3.2
+                # flagging threshold; private-CA sites are never logged.
+                domain=sni if self.ct.knows_domain(sni) else None,
+                month_index=window.index,
+                months=site.months,
+                issuer_org=proxy.issuer_organization,
+            )
             chain = (fake,)
         client_ip = self.addresses.internal_ip(f"user-{client_index}", 2)
         return _Planned(
             ts=now, direction="out", client_ip=client_ip,
-            server_ip=self.addresses.external_ip(f"site-{site}"),
-            server_port=_pick_port(rng, OUTBOUND_NONMUTUAL_PORTS),
+            server_ip=self.addresses.external_ip(f"site-{dest}"),
+            server_port=_pick_port(rng, workload.outbound_nonmutual_ports),
             sni=sni, version=version, server_chain=chain, client_chain=(),
         )
 
@@ -743,15 +841,16 @@ class TrafficGenerator:
             return rng.randrange(head, middle)
         return rng.randrange(middle, site_count)
 
-    def _site_chain(self, site: int, now: _dt.datetime) -> tuple[Certificate, ...]:
-        chain = self._nonmutual_site_certs.get(site)
+    def _site_chain(self, dest: int, now: _dt.datetime) -> tuple[Certificate, ...]:
+        chain = self._nonmutual_site_certs.get(dest)
         if chain is not None and not chain[0].expired_at(now):
             return chain
-        sni = f"site{site}.example{site % 97}.com"
+        sni = self._nonmutual_sni(dest)
         # §6.3.6: non-mutual server certs are ~85% public-CA issued.
         # The choice is sticky per site: a renewal never flips a site
         # between public and private (that would look like interception).
-        if site % 100 < 85:
+        public_cut = round(self.site.workload.nonmutual_public_site_fraction * 100)
+        if dest % 100 < public_cut:
             ca = self.cas.random_public()
             chain = self._issue_leaf(
                 ca, Name.build(common_name=sni), now=now,
@@ -767,19 +866,19 @@ class TrafficGenerator:
             chain = self._issue_leaf(
                 ca, Name.build(common_name=sni), now=now, sans=sans
             )
-        self._nonmutual_site_certs[site] = chain
+        self._nonmutual_site_certs[dest] = chain
         return chain
 
     def _plan_nonmutual_inbound(self, window) -> _Planned:
         rng = self.rng
-        cfg = self.config
+        workload = self.site.workload
         now = window.sample_instant(rng)
         version = (
-            TlsVersion.TLS_1_3 if rng.random() < cfg.tls13_share
+            TlsVersion.TLS_1_3 if rng.random() < workload.tls13_share
             else self._visible_version()
         )
-        port = _pick_port(rng, INBOUND_NONMUTUAL_PORTS)
-        server = rng.choice(self._inbound_servers["University Server"])
+        port = _pick_port(rng, workload.inbound_nonmutual_ports)
+        server = rng.choice(self._inbound_pool("University Server"))
         return _Planned(
             ts=now, direction="in",
             client_ip=self.addresses.external_ip(f"visitor-{rng.randrange(800)}"),
@@ -790,8 +889,8 @@ class TrafficGenerator:
     # ----------------------------------------------------------------- cohorts
 
     def _plan_cohorts(self, plans: list[list[_Planned]]) -> list[int]:
-        """Schedule every misconfiguration cohort; returns per-month counts
-        of cohort connections that are mutual (for bulk budgeting).
+        """Schedule every planted cohort; returns per-month counts of
+        cohort connections that are mutual (for bulk budgeting).
 
         Cohort connections are centrally thinned to ~45% of the campaign's
         mutual budget so small runs are not swamped by cohort floors. A
@@ -799,9 +898,7 @@ class TrafficGenerator:
         combination is always kept — this guarantees every planted
         certificate is observed at least once.
         """
-        mutual_per_month = [0] * self.config.months
-        if not self.config.include_misconfig_cohorts:
-            return mutual_per_month
+        mutual_per_month = [0] * self.site.months
         planners = (
             self._plan_shared_cert_cohorts,
             self._plan_guardicore,
@@ -814,6 +911,8 @@ class TrafficGenerator:
             self._plan_extreme_validity,
             self._plan_cross_connection_sharing,
             self._plan_fnmt_servers,
+            self._plan_events,
+            self._plan_malignant,
         )
         by_combo: dict[tuple, list[tuple[int, _Planned]]] = {}
         forced: list[tuple[int, _Planned]] = []
@@ -837,7 +936,7 @@ class TrafficGenerator:
             mandatory.append(items[keep])
             optional.extend(items[:keep] + items[keep + 1:])
         budget = max(
-            0, int(0.30 * self.config.campaign_mutual_estimate) - len(mandatory)
+            0, int(0.30 * self.site.campaign_mutual_estimate) - len(mandatory)
         )
         if len(optional) > budget:
             optional = self.rng.sample(optional, budget)
@@ -852,7 +951,7 @@ class TrafficGenerator:
         """Months a cohort is active. Cohorts shorter than the campaign
         start at a random month so misconfigurations do not all pile into
         May 2022."""
-        total = self.config.months
+        total = self.site.months
         needed = max(1, min(total, activity_days // 30 + 1))
         if start_month is None:
             start_month = self.rng.randrange(total - needed + 1) if needed < total else 0
@@ -860,10 +959,10 @@ class TrafficGenerator:
         return list(range(start_month, start_month + needed))
 
     def _cohort_count(self, paper_count: int) -> int:
-        cap = self.config.cohort_client_cap
+        cap = self.site.cohort_client_cap
         if paper_count <= 50:
             return min(paper_count, cap)
-        return self.config.scaled(paper_count)
+        return self.site.scaled(paper_count)
 
     def _plan_shared_cert_cohorts(self):
         """Table 5: the same certificate presented by both endpoints.
@@ -873,7 +972,7 @@ class TrafficGenerator:
         cohort accumulates many unique certificates over the campaign.
         """
         rng = self.rng
-        for cohort in SHARED_CERT_COHORTS:
+        for cohort in self.site.trust.shared_cohorts:
             label = f"shared:{cohort.sld or 'missing-sni'}:{cohort.issuer_org}"
             clients = self._cohort_count(cohort.clients)
             months = self._active_months(cohort.activity_days)
@@ -884,14 +983,7 @@ class TrafficGenerator:
             if cohort.issuer_org == "Globus Online":
                 ca = self.cas.globus()
             elif cohort.issuer_public:
-                by_org = {
-                    "IdenTrust": "identrust-server",
-                    "GoDaddy.com, Inc.": "godaddy-g2",
-                    "DigiCert Inc": (
-                        "digicert-ev" if cohort.sld == "gpo.gov" else "digicert-geotrust"
-                    ),
-                }
-                ca = self.cas.public(by_org[cohort.issuer_org])
+                ca = self.cas.public(cohort.ca_label)
             else:
                 ca = self.cas.private(cohort.issuer_org, f"{cohort.issuer_org} CA")
             host = f"svc.{cohort.sld}" if cohort.sld else None
@@ -972,11 +1064,14 @@ class TrafficGenerator:
     def _plan_guardicore(self):
         """§5.1.2: GuardiCore — client serial 01, server serial 03E8,
         missing SNI, activity across the whole campaign."""
+        spec = self.site.trust.guardicore
+        if spec is None:
+            return
         rng = self.rng
         client_ca = self.cas.guardicore_client()
         server_ca = self.cas.guardicore_server()
-        n_client_certs = max(3, self._cohort_count(57))
-        n_server_certs = max(2, self._cohort_count(43))
+        n_client_certs = max(3, self._cohort_count(spec.clients))
+        n_server_certs = max(2, self._cohort_count(spec.servers))
         start = self.clock.start
         client_chains = [
             self._issue_leaf(
@@ -994,10 +1089,10 @@ class TrafficGenerator:
             self.truth.record_cohort_cert("guardicore", chain[0])
         for chain in server_chains:
             self.truth.record_cohort_cert("guardicore", chain[0])
-        conns = max(self.config.months, self._cohort_count(904),
+        conns = max(self.site.months, self._cohort_count(spec.connections),
                     n_client_certs, n_server_certs)
         for i in range(conns):
-            month_index = i % self.config.months
+            month_index = i % self.site.months
             window = self.clock.month(month_index)
             # Cycle deterministically so every certificate is observed.
             client_chain = client_chains[i % n_client_certs]
@@ -1014,10 +1109,12 @@ class TrafficGenerator:
     def _plan_viptela(self):
         """§5.1.2: 'ViptelaClient' issues serial 024680 to both sides,
         short validity, servers categorized as Local Organization."""
+        if not self.site.trust.viptela:
+            return
         rng = self.rng
         ca = self.cas.viptela()
-        server = self._inbound_servers["Local Organization"][0]
-        for month_index in range(0, self.config.months, 6):
+        server = self._inbound_pool("Local Organization")[0]
+        for month_index in range(0, self.site.months, 6):
             window = self.clock.month(month_index)
             now = window.sample_instant(rng)
             server_chain = self._issue_leaf(
@@ -1040,7 +1137,8 @@ class TrafficGenerator:
     def _plan_dummy_cohorts(self):
         """Table 4: certificates with dummy issuer organizations."""
         rng = self.rng
-        for cohort in DUMMY_ISSUER_COHORTS:
+        trust = self.site.trust
+        for cohort in trust.dummy_cohorts:
             label = f"dummy:{cohort.direction}:{cohort.side}:{cohort.issuer_org}"
             ca = self.cas.dummy(cohort.issuer_org)
             n_clients = max(1, self._cohort_count(cohort.involved_clients))
@@ -1050,33 +1148,40 @@ class TrafficGenerator:
                 n_clients = min(n_clients, 3)
             n_servers = max(1, min(self._cohort_count(cohort.involved_servers), 40))
             for i in range(n_clients):
-                month_index = rng.randrange(self.config.months)
+                month_index = rng.randrange(self.site.months)
                 window = self.clock.month(month_index)
                 now = window.sample_instant(rng)
                 # Mint the dummy-issued certificate on the side the
-                # cohort describes; the peer side is ordinary.
-                version = 1 if (cohort.issuer_org == "Internet Widgits Pty Ltd"
-                                and rng.random() < 0.04) else 3
-                key_bits = 1024 if (cohort.issuer_org == "Unspecified"
-                                    and rng.random() < 0.03) else 2048
+                # cohort describes; the peer side is ordinary. The v1 /
+                # weak-key rolls only draw when the cohort plants those
+                # traits (rng draw order is part of the contract).
+                version = 1 if (cohort.v1_fraction
+                                and rng.random() < cohort.v1_fraction) else 3
+                key_bits = 1024 if (cohort.weak_key_fraction
+                                    and rng.random() < cohort.weak_key_fraction) else 2048
                 dummy_chain = self._issue_leaf(
                     ca,
                     Name.build(common_name=f"node-{rng.getrandbits(20):05x}"),
                     now=now, version=version, key_bits=key_bits,
                 )
                 self.truth.record_cohort_cert(label, dummy_chain[0])
+                if version == 1:
+                    self.truth.record_cohort_cert(f"{label}:v1", dummy_chain[0])
+                if key_bits == 1024:
+                    self.truth.record_cohort_cert(f"{label}:weak", dummy_chain[0])
                 if cohort.direction == "in":
-                    server = self._inbound_servers["Local Organization"][0]
+                    server = self._inbound_pool("Local Organization")[0]
                     server_chain, client_chain = server.chain, dummy_chain
                     server_ip, sni = server.ip, server.sni
                     client_ip = self.addresses.external_ip(f"{label}-{i}")
                 else:
-                    sld = rng.choice(
-                        ("fireboard.io", "example-iot.com.cn", "smarthome.top")
-                    ) if cohort.server_group != "com" else rng.choice(
-                        ("amazonaws.com", "mixpanel.com")
-                    )
-                    endpoint = self._outbound_endpoints[sld]
+                    slds = (
+                        trust.dummy_com_slds
+                        if cohort.server_group == "com"
+                        else trust.dummy_iot_slds
+                    ) or tuple(self._outbound_endpoints)
+                    sld = rng.choice(slds)
+                    endpoint = self._outbound_endpoint(sld)
                     server_ip = self.addresses.external_ip(f"{label}-srv-{i % n_servers}")
                     sni = endpoint.sni
                     if cohort.side == "server":
@@ -1104,13 +1209,9 @@ class TrafficGenerator:
         """Table 10: dummy issuers on BOTH endpoints of one connection
         (fireboard.io 9 clients/618 days, amazonaws.com 7/17, missing SNI 1/1)."""
         rng = self.rng
-        ca = self.cas.dummy("Internet Widgits Pty Ltd")
-        rows = (
-            ("fireboard.io", 9, 618),
-            ("amazonaws.com", 7, 17),
-            (None, 1, 1),
-        )
-        for sld, clients, activity_days in rows:
+        for cohort in self.site.trust.dummy_both_cohorts:
+            ca = self.cas.dummy(cohort.issuer_org)
+            sld, clients, activity_days = cohort.sld, cohort.clients, cohort.activity_days
             label = f"dummy_both:{sld or 'missing-sni'}"
             months = self._active_months(activity_days)
             now0 = self.clock.month(months[0]).sample_instant(rng)
@@ -1143,11 +1244,10 @@ class TrafficGenerator:
     def _plan_incorrect_dates(self):
         """Tables 11-12: inverted validity windows, per cohort row."""
         rng = self.rng
-        for cohort in INCORRECT_DATE_COHORTS:
+        for cohort in self.site.trust.incorrect_date_cohorts:
             label = f"incorrect:{cohort.issuer_org}:{cohort.side}:{cohort.sld or 'missing-sni'}"
             ca = self.cas.other(cohort.issuer_org) \
-                if cohort.issuer_org in ("rcgen", "SDS", "media-server", "IceLink",
-                                         "OpenPGP to X.509 Bridge") \
+                if cohort.other_ca \
                 else self.cas.private(cohort.issuer_org, f"{cohort.issuer_org} CA")
             clients = max(1, self._cohort_count(cohort.clients))
             months = self._active_months(cohort.activity_days)
@@ -1176,7 +1276,7 @@ class TrafficGenerator:
                         ca, Name.build(common_name="peer"), now=now0
                     )
             client_chains = []
-            chain_cap = max(2, self.config.cohort_client_cap // 4)
+            chain_cap = max(2, self.site.cohort_client_cap // 4)
             for i in range(min(clients, chain_cap)):
                 if cohort.side in ("client", "both"):
                     client_chains.append(bad_leaf(f"device-{i:04d}"))
@@ -1218,22 +1318,23 @@ class TrafficGenerator:
     def _plan_expired_clusters(self):
         """Figure 5b: the Apple/Microsoft ~1,000-days-expired cluster."""
         rng = self.rng
-        for cluster in EXPIRED_PUBLIC_CLUSTERS:
+        for cluster in self.site.trust.expired_clusters:
             label = f"expired_public:{cluster.issuer_org}"
             ca = self.cas.public(
-                "apple-iphone-device" if cluster.issuer_org == "Apple"
-                else "microsoft-azure"
+                cluster.ca_label
+                or ("apple-iphone-device" if cluster.issuer_org == "Apple"
+                    else "microsoft-azure")
             )
             endpoint = self._outbound_endpoints.get(cluster.sld)
             if endpoint is None:
-                endpoint = self._outbound_endpoints["azure.com"]
+                endpoint = self._outbound_endpoint("azure.com")
             not_after = self.clock.start - _dt.timedelta(
                 days=cluster.days_expired_at_start + rng.uniform(-30, 30)
             )
             certificates = (
                 cluster.certificates
                 if cluster.certificates <= 10
-                else max(8, self.config.scaled(cluster.certificates))
+                else max(8, self.site.scaled(cluster.certificates))
             )
             for i in range(certificates):
                 chain = self._issue_leaf(
@@ -1245,8 +1346,8 @@ class TrafficGenerator:
                 self.truth.record_cohort_cert(label, chain[0])
                 # Each expired certificate keeps being used for a while,
                 # starting at a random point in the campaign.
-                active = rng.randrange(1, max(2, self.config.months))
-                start = rng.randrange(max(1, self.config.months - active + 1))
+                active = rng.randrange(1, max(2, self.site.months))
+                start = rng.randrange(max(1, self.site.months - active + 1))
                 for month_index in range(start, start + active, max(1, active // 2 + 1)):
                     window = self.clock.month(month_index)
                     yield month_index, _Planned(
@@ -1261,11 +1362,20 @@ class TrafficGenerator:
     def _plan_expired_inbound(self):
         """Figure 5a: expired client certs in inbound connections,
         spread across VPN / Local Organization / Third Party servers."""
+        trust = self.site.trust
+        if not trust.inbound_expired_total:
+            return
         rng = self.rng
-        count = max(24, self.config.scaled(2000))
+        count = max(24, self.site.scaled(trust.inbound_expired_total))
+        # Trusts that don't pin the association split spread the expired
+        # clients across the workload's own inbound associations.
+        associations = trust.inbound_expired_associations or {
+            name: row[0]
+            for name, row in self.site.workload.inbound_associations.items()
+        }
         for i in range(count):
-            association = _weighted(rng, INBOUND_EXPIRED_ASSOCIATIONS)
-            server = rng.choice(self._inbound_servers[association])
+            association = _weighted(rng, associations)
+            server = rng.choice(self._inbound_pool(association))
             days_expired = rng.uniform(1, 1200)
             if association == "University VPN":
                 category = "Private - Education"
@@ -1286,8 +1396,8 @@ class TrafficGenerator:
                 not_after=not_after,
             )
             self.truth.record_cohort_cert("expired_inbound", chain[0])
-            active_months = rng.randrange(1, self.config.months + 1)
-            start = rng.randrange(max(1, self.config.months - active_months + 1))
+            active_months = rng.randrange(1, self.site.months + 1)
+            start = rng.randrange(max(1, self.site.months - active_months + 1))
             step = max(1, active_months // 2)
             for month_index in range(start, start + active_months, step):
                 window = self.clock.month(month_index)
@@ -1303,21 +1413,24 @@ class TrafficGenerator:
     def _plan_extreme_validity(self):
         """Figure 4 tail: 10k-40k-day validity periods + the 83,432-day
         outlier bound to tmdxdev.com."""
+        spec = self.site.trust.extreme_validity
+        if spec is None:
+            return
         rng = self.rng
-        total = max(4, self.config.scaled(EXTREME_VALIDITY_TOTAL))
-        n_public = max(1, round(total * EXTREME_VALIDITY_PUBLIC / EXTREME_VALIDITY_TOTAL))
+        total = max(4, self.site.scaled(spec.total))
+        n_public = max(1, round(total * spec.public / spec.total))
         for i in range(total):
             public = i < n_public
             if public:
                 ca = self.cas.random_public()
             else:
                 roll = rng.random()
-                if roll < 0.4573:
+                if roll < spec.missing_fraction:
                     ca = self.cas.missing_issuer()
-                elif roll < 0.4573 + 0.3758:
+                elif roll < spec.missing_fraction + spec.corporation_fraction:
                     ca = self.cas.corporation(rng.randrange(12))
                 else:
-                    ca = self.cas.dummy(rng.choice(DUMMY_ISSUER_ORGS[:3]))
+                    ca = self.cas.dummy(rng.choice(self.site.trust.dummy_client_orgs))
             period = rng.uniform(10_000, 40_000)
             not_before = self.clock.start - _dt.timedelta(days=rng.uniform(0, 2000))
             chain = self._issue_leaf(
@@ -1327,11 +1440,11 @@ class TrafficGenerator:
                 not_after=not_before + _dt.timedelta(days=period),
             )
             self.truth.record_cohort_cert("extreme_validity", chain[0])
-            sld = rng.choice(("amazonaws.com", "mixpanel.com", "smarthome.top"))
-            endpoint = self._outbound_endpoints[sld]
-            month_index = rng.randrange(self.config.months)
+            sld = rng.choice(spec.slds)
+            endpoint = self._outbound_endpoint(sld)
+            month_index = rng.randrange(self.site.months)
             window = self.clock.month(month_index)
-            sni = endpoint.sni if rng.random() > 0.2806 else None
+            sni = endpoint.sni if rng.random() > spec.missing_sni_fraction else None
             yield month_index, _Planned(
                 ts=window.sample_instant(rng), direction="out",
                 client_ip=self.addresses.internal_ip(f"longlived-{i}"),
@@ -1340,17 +1453,19 @@ class TrafficGenerator:
                 server_chain=endpoint.chain, client_chain=chain,
                 cohort="extreme_validity",
             )
+        if not spec.outlier_days:
+            return
         # The single 83,432-day (~228 year) outlier.
-        ca = self.cas.private("TMDX Development Corp", "TMDX CA")
+        ca = self.cas.private(spec.outlier_org, spec.outlier_ca_cn)
         not_before = self.clock.start - _dt.timedelta(days=100)
         chain = self._issue_leaf(
             ca, Name.build(common_name="tmdx-dev-device"),
             now=self.clock.start,
             not_before=not_before,
-            not_after=not_before + _dt.timedelta(days=EXTREME_VALIDITY_OUTLIER_DAYS),
+            not_after=not_before + _dt.timedelta(days=spec.outlier_days),
         )
         self.truth.record_cohort_cert("extreme_outlier", chain[0])
-        endpoint = self._outbound_endpoints[EXTREME_VALIDITY_OUTLIER_SLD]
+        endpoint = self._outbound_endpoint(spec.outlier_sld)
         yield 0, _Planned(
             ts=self.clock.month(0).sample_instant(rng), direction="out",
             client_ip=self.addresses.internal_ip("tmdx-client"),
@@ -1363,24 +1478,19 @@ class TrafficGenerator:
     def _plan_cross_connection_sharing(self):
         """Table 6: certificates used as server certs in some connections
         and client certs in others, spread across /24 subnets."""
+        spec = self.site.trust.cross_sharing
+        if spec is None:
+            return
         rng = self.rng
-        total = max(12, self.config.scaled(1611))
-        cap = self.config.cohort_client_cap
+        total = max(12, self.site.scaled(spec.total))
+        cap = self.site.cohort_client_cap
         client_p99 = max(8, min(43, cap))
         client_p100 = max(client_p99 + 2, min(120, 2 * cap))
         server_p99 = max(3, min(7, cap // 2))
         server_p100 = max(server_p99 + 1, min(40, cap))
-        issuer_weights = {
-            "lets-encrypt-r3": 0.5158,
-            "digicert-geotrust": 0.1434,
-            "sectigo-dv": 0.0795,
-            "godaddy-g2": 0.1000,
-            "identrust-server": 0.0500,
-            "amazon-m01": 0.1113,
-        }
         for i in range(total):
-            ca = self.cas.public(_weighted(rng, issuer_weights))
-            host = f"dualuse{i}.example.org"
+            ca = self.cas.public(_weighted(rng, spec.issuer_weights))
+            host = f"dualuse{i}.{self.site.domain_tag}example.org"
             chain = self._issue_leaf(
                 ca, Name.build(common_name=host), now=self.clock.start,
                 sans=[GeneralName.dns(host)], include_ca_in_chain=True,
@@ -1395,7 +1505,7 @@ class TrafficGenerator:
                 rng, p50=1, p75=1, p99=server_p99, p100=server_p100
             )
             for s in range(server_subnets):
-                month_index = rng.randrange(self.config.months)
+                month_index = rng.randrange(self.site.months)
                 window = self.clock.month(month_index)
                 yield month_index, _Planned(
                     ts=window.sample_instant(rng), direction="out",
@@ -1409,7 +1519,7 @@ class TrafficGenerator:
                 # Client-role usage is tunnel-style (no server certificate
                 # observed): it feeds the Table 6 subnet spread without
                 # distorting the mutual-TLS issuer mixes of Figure 2.
-                month_index = rng.randrange(self.config.months)
+                month_index = rng.randrange(self.site.months)
                 window = self.clock.month(month_index)
                 yield month_index, _Planned(
                     ts=window.sample_instant(rng), direction="out",
@@ -1432,11 +1542,14 @@ class TrafficGenerator:
         return rng.randint(min(p99 + 1, p100), p100)
 
     def _plan_fnmt_servers(self):
-        """§6.3.1: 3 public server certs with unidentifiable CN strings,
+        """§6.3.1: public server certs with unidentifiable CN strings,
         all issued by FNMT-RCM."""
+        count = self.site.trust.fnmt_count
+        if not count:
+            return
         rng = self.rng
         ca = self.cas.public("fnmt")
-        for i in range(3):
+        for i in range(count):
             cn = f"svc{i}.example.es 192.0.2.{i + 10} {self.content.random_hex(12)}"
             chain = self._issue_leaf(
                 ca, Name.build(common_name=cn), now=self.clock.start,
@@ -1444,7 +1557,7 @@ class TrafficGenerator:
                 include_ca_in_chain=True,
             )
             self.truth.record_cohort_cert("fnmt", chain[0])
-            month_index = rng.randrange(self.config.months)
+            month_index = rng.randrange(self.site.months)
             window = self.clock.month(month_index)
             device = self._client_for(
                 self._outbound_clients,
@@ -1460,12 +1573,193 @@ class TrafficGenerator:
                 server_chain=chain, client_chain=device.chain, cohort="fnmt",
             )
 
+    # ------------------------------------------------------------------ events
+
+    def _plan_events(self):
+        """Timeline layer: dated mid-campaign transforms, applied in
+        month order (SiteRuntime.events is already sorted)."""
+        for order, event in enumerate(self.site.events):
+            month = min(max(int(event.month), 1), self.site.months - 1)
+            month = max(month, 0)
+            if event.kind == "ca_compromise":
+                yield from self._plan_ca_compromise(order, event, month)
+            elif event.kind == "mass_expiry":
+                yield from self._plan_mass_expiry(order, event, month)
+
+    def _plan_ca_compromise(self, order: int, event, month: int):
+        """A fleet CA is compromised at the event month: every fleet
+        certificate is revoked and reissued under a replacement CA (mass
+        reissue), so the old issuer vanishes from traffic afterwards."""
+        rng = self.rng
+        org = str(event.params.get("org", "Compromised Fleet"))
+        fleet = max(2, int(event.params.get("fleet", 24)))
+        pre_label = f"event{order}:compromise:pre"
+        post_label = f"event{order}:compromise:post"
+        old_ca = self.cas.private(org, f"{org} CA G1")
+        new_ca = self.cas.private(org, f"{org} CA G2")
+        start = self.clock.start
+        reissue_at = self.clock.month(month).start
+        host = f"fleet{order}.{self.site.domain_tag}example-fleet.net"
+        old_server = self._issue_leaf(
+            old_ca, Name.build(common_name=host, organization=org), now=start
+        )
+        new_server = self._issue_leaf(
+            new_ca, Name.build(common_name=host, organization=org), now=reissue_at
+        )
+        self.truth.record_cohort_cert(pre_label, old_server[0])
+        self.truth.record_cohort_cert(post_label, new_server[0])
+        server_ip = self.addresses.external_ip(f"{pre_label}-srv")
+        pre_months = list(range(0, month))
+        post_months = list(range(month, self.site.months))
+        for i in range(fleet):
+            old_chain = self._issue_leaf(
+                old_ca, Name.build(common_name=f"fleet-dev-{order}-{i:04d}"), now=start
+            )
+            new_chain = self._issue_leaf(
+                new_ca, Name.build(common_name=f"fleet-dev-{order}-{i:04d}"),
+                now=reissue_at,
+            )
+            self.truth.record_cohort_cert(pre_label, old_chain[0])
+            self.truth.record_cohort_cert(post_label, new_chain[0])
+            for months, label, server_chain, chain in (
+                (pre_months, pre_label, old_server, old_chain),
+                (post_months, post_label, new_server, new_chain),
+            ):
+                if not months:
+                    continue
+                step = max(1, len(months) // 3)
+                for month_index in months[::step]:
+                    window = self.clock.month(month_index)
+                    yield month_index, _Planned(
+                        ts=window.sample_instant(rng), direction="out",
+                        client_ip=self.addresses.internal_ip(f"{pre_label}-{i}"),
+                        server_ip=server_ip, server_port=443, sni=host,
+                        version=self._visible_version(),
+                        server_chain=server_chain, client_chain=chain,
+                        cohort=label,
+                    )
+        self.truth.events.append({
+            "kind": "ca_compromise", "month": month,
+            "site": self.site.site_name, "order": order, "org": org,
+            "pre_cohort": pre_label, "post_cohort": post_label,
+            "old_issuer": old_server[0].issuer.rfc4514(),
+            "new_issuer": new_server[0].issuer.rfc4514(),
+        })
+
+    def _plan_mass_expiry(self, order: int, event, month: int):
+        """A batch of devices enrolled together; their certificates all
+        expire at the event month, but the devices keep connecting with
+        the expired certificates afterwards (a mass-expiry wave that
+        Figure 5 catches)."""
+        rng = self.rng
+        org = str(event.params.get("org", "Expiry Wave"))
+        count = max(2, int(event.params.get("certificates", 18)))
+        pre_label = f"event{order}:expiry:pre"
+        post_label = f"event{order}:expiry:post"
+        ca = self.cas.private(org, f"{org} CA")
+        expiry = self.clock.month(month).start
+        endpoint = next(iter(self._outbound_endpoints.values()))
+        pre_months = list(range(0, month))
+        post_months = list(range(month, self.site.months))
+        for i in range(count):
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=f"wave-dev-{order}-{i:04d}"),
+                now=self.clock.start,
+                not_before=self.clock.start - _dt.timedelta(days=30),
+                not_after=expiry,
+            )
+            self.truth.record_cohort_cert(pre_label, chain[0])
+            self.truth.record_cohort_cert(post_label, chain[0])
+            for months, label in (
+                (pre_months, pre_label), (post_months, post_label),
+            ):
+                if not months:
+                    continue
+                step = max(1, len(months) // 2)
+                for month_index in months[::step]:
+                    window = self.clock.month(month_index)
+                    yield month_index, _Planned(
+                        ts=window.sample_instant(rng), direction="out",
+                        client_ip=self.addresses.internal_ip(f"{pre_label}-{i}"),
+                        server_ip=endpoint.ip, server_port=443, sni=endpoint.sni,
+                        version=self._visible_version(),
+                        server_chain=endpoint.chain, client_chain=chain,
+                        cohort=label,
+                    )
+        self.truth.events.append({
+            "kind": "mass_expiry", "month": month,
+            "site": self.site.site_name, "order": order, "org": org,
+            "pre_cohort": pre_label, "post_cohort": post_label,
+        })
+
+    # --------------------------------------------------------------- malignant
+
+    def _plan_malignant(self):
+        """Adversarial servers with the malignant-trait mix of Bagaria et
+        al.: dummy-org issuer, very short validity, weak keys and legacy
+        X.509 v1 certificates, on both endpoints of mutual connections.
+        Destination domains are never CT-logged (real malignant
+        infrastructure avoids the transparency logs)."""
+        spec = self.site.trust.malignant
+        if spec is None:
+            return
+        rng = self.rng
+        ca = self.cas.dummy(spec.issuer_org)
+        servers = max(1, self._cohort_count(spec.servers))
+        per_server_clients = max(1, self._cohort_count(spec.clients) // servers)
+        per_pair = max(
+            1, self._cohort_count(spec.connections) // (servers * per_server_clients)
+        )
+        life_days = max(1.0, float(spec.validity_days))
+
+        def malignant_leaf(cn: str, mint: _dt.datetime):
+            version = 1 if (spec.v1_fraction
+                            and rng.random() < spec.v1_fraction) else 3
+            key_bits = 1024 if (spec.weak_key_fraction
+                                and rng.random() < spec.weak_key_fraction) else 2048
+            chain = self._issue_leaf(
+                ca, Name.build(common_name=cn), now=mint,
+                not_before=mint,
+                not_after=mint + _dt.timedelta(days=life_days),
+                version=version, key_bits=key_bits,
+            )
+            self.truth.record_cohort_cert("malignant", chain[0])
+            if version == 1:
+                self.truth.record_cohort_cert("malignant:v1", chain[0])
+            if key_bits == 1024:
+                self.truth.record_cohort_cert("malignant:weak", chain[0])
+            return chain
+
+        for i in range(servers):
+            month_index = rng.randrange(self.site.months)
+            window = self.clock.month(month_index)
+            # Mint early enough in the month that the short validity
+            # window (and every connection using it) stays inside it.
+            headroom = max(1.0, 27.0 - life_days)
+            mint = window.start + _dt.timedelta(days=rng.uniform(0.0, headroom))
+            host = f"svc{i}.{self.site.domain_tag}darkpool{i % 7}.net"
+            server_chain = malignant_leaf(host, mint)
+            server_ip = self.addresses.external_ip(f"malignant-{i}")
+            use_days = min(life_days * 0.95, 27.0)
+            for c in range(per_server_clients):
+                client_chain = malignant_leaf(f"mal-bot-{i:03d}-{c:03d}", mint)
+                client_ip = self.addresses.internal_ip(f"malignant-{i}-{c}")
+                for _ in range(per_pair):
+                    ts = mint + _dt.timedelta(days=rng.uniform(0.0, use_days))
+                    yield month_index, _Planned(
+                        ts=ts, direction="out", client_ip=client_ip,
+                        server_ip=server_ip, server_port=443, sni=host,
+                        version=self._visible_version(),
+                        server_chain=server_chain, client_chain=client_chain,
+                        cohort="malignant",
+                    )
+
     # ---------------------------------------------------------------- generate
 
     def generate(self) -> SimulationResult:
         """Run the full campaign and return logs + ground truth."""
         self._setup()
-        plans: list[list[_Planned]] = [[] for _ in range(self.config.months)]
+        plans: list[list[_Planned]] = [[] for _ in range(self.site.months)]
         cohort_mutual = self._plan_cohorts(plans)
         for window in self.clock:
             plan = plans[window.index]
@@ -1490,4 +1784,5 @@ class TrafficGenerator:
             ct_log=self.ct,
             config=self.config,
             clock=self.clock,
+            site=self.site,
         )

@@ -1,0 +1,770 @@
+"""Composable scenario layers.
+
+A scenario is built from four declarative layers, each serializable to
+plain dicts (and from there to TOML/JSON via :mod:`repro.netsim.spec_io`):
+
+* :class:`Topology` — the sites being monitored (name, size, which
+  workload/trust profile each uses, expected cert-volume bounds).
+* :class:`TrustEcosystem` — the CA hierarchy and every *planted*
+  certificate-flaw cohort (dummy issuers, shared certs, inverted dates,
+  expired populations, serial-collision vendors, interception
+  middleboxes, malignant servers).
+* :class:`WorkloadMix` — traffic distributions: port mixes, issuer
+  mixes, association shares, TLS 1.3 share, prevalence ramp.
+* :class:`EventTimeline` — dated mid-campaign transforms (CA compromise
+  with mass reissue, mass-expiry waves) applied in month order.
+
+They compose into a :class:`ScenarioSpec`; ``site_runtimes()`` resolves
+the spec into per-site :class:`SiteRuntime` parameter bundles that the
+generator consumes. Every numeric default here is deliberately *neutral*
+— the calibrated campus numbers live in
+``repro/netsim/scenarios/campus.toml``, not in code, so no scenario
+silently inherits them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import zlib
+from dataclasses import dataclass, field
+
+#: Campaign month indices (May 2022 = 0) on the paper's real timeline.
+MONTH_OCT_2023 = 17
+MONTH_NOV_2023 = 18
+MONTH_DEC_2023 = 19
+
+#: Event kinds understood by the generator.
+EVENT_KINDS = ("ca_compromise", "mass_expiry")
+
+PortMix = dict
+
+
+def _encode_port_key(key) -> str:
+    if isinstance(key, tuple):
+        return f"{key[0]}-{key[1]}"
+    return str(key)
+
+
+def _decode_port_key(key: str):
+    if "-" in key:
+        low, _, high = key.partition("-")
+        return (int(low), int(high))
+    return int(key)
+
+
+def _encode_ports(mix: dict) -> dict:
+    return {_encode_port_key(k): v for k, v in mix.items()}
+
+
+def _decode_ports(mix: dict) -> dict:
+    return {_decode_port_key(k): float(v) for k, v in mix.items()}
+
+
+def _floats(mix: dict) -> dict:
+    return {str(k): float(v) for k, v in mix.items()}
+
+
+# ------------------------------------------------------------------- cohorts
+
+
+@dataclass(frozen=True)
+class DummyIssuerCohort:
+    """One row of Table 4 (certificates with dummy issuer organizations)."""
+
+    direction: str            # 'in' / 'out'
+    side: str                 # 'client' / 'server'
+    issuer_org: str
+    server_group: str         # SLD category (in) or TLD list label (out)
+    involved_servers: int
+    involved_clients: int
+    #: Fraction of this cohort's certs minted as X.509 v1 / weak-keyed.
+    v1_fraction: float = 0.0
+    weak_key_fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class DummyBothCohort:
+    """One row of Table 10 (dummy issuers on BOTH endpoints)."""
+
+    issuer_org: str
+    sld: str | None
+    clients: int
+    activity_days: int
+
+
+@dataclass(frozen=True)
+class SharedCertCohort:
+    """One row of Table 5 (same certificate at both endpoints)."""
+
+    direction: str
+    sld: str | None           # None = missing SNI
+    issuer_org: str
+    issuer_public: bool
+    clients: int
+    activity_days: int
+    #: Public-CA catalog label when ``issuer_public`` (e.g. 'godaddy-g2').
+    ca_label: str = ""
+
+
+@dataclass(frozen=True)
+class IncorrectDateCohort:
+    """One row of Table 11 (certificates with inverted validity dates)."""
+
+    direction: str
+    sld: str | None
+    side: str                 # 'client' / 'server' / 'both'
+    issuer_org: str
+    not_before_year: int
+    not_after_year: int
+    clients: int
+    activity_days: int
+    #: True when the issuer is a bare tool/product name (rcgen, SDS, ...)
+    #: rather than an organization running a private CA.
+    other_ca: bool = False
+
+
+@dataclass(frozen=True)
+class ExpiredClusterCohort:
+    """A Figure 5b cluster: long-expired public client certs in use."""
+
+    issuer_org: str
+    sld: str
+    certificates: int
+    days_expired_at_start: float
+    #: Public-CA catalog label issuing the cluster.
+    ca_label: str = ""
+
+
+@dataclass(frozen=True)
+class GuardicoreSpec:
+    """§5.1.2 GuardiCore: fixed serials 01 (client) / 03E8 (server)."""
+
+    clients: int = 57
+    servers: int = 43
+    connections: int = 904
+
+
+@dataclass(frozen=True)
+class ExtremeValiditySpec:
+    """Figure 4 tail: certificates with 10k–40k-day validity periods."""
+
+    total: int
+    public: int
+    slds: tuple[str, ...]
+    missing_fraction: float = 0.4573
+    corporation_fraction: float = 0.3758
+    missing_sni_fraction: float = 0.2806
+    outlier_days: int = 0
+    outlier_sld: str = ""
+    outlier_org: str = ""
+    outlier_ca_cn: str = ""
+
+
+@dataclass(frozen=True)
+class CrossSharingSpec:
+    """Table 6: certs used in both server and client roles across subnets."""
+
+    total: int
+    issuer_weights: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MalignantSpec:
+    """Adversarial trait mix (Bagaria et al.): short-lived dummy-org
+    certs with weak keys and legacy versions on both endpoints."""
+
+    issuer_org: str = "Example Inc"
+    servers: int = 6
+    clients: int = 12
+    connections: int = 160
+    weak_key_fraction: float = 0.5
+    v1_fraction: float = 0.25
+    validity_days: int = 10
+
+
+def _cohort_to_dict(cohort) -> dict:
+    out = {}
+    for f in dataclasses.fields(cohort):
+        value = getattr(cohort, f.name)
+        if value is None:
+            continue
+        if isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def _cohort_from_dict(cls, data: dict):
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name in data:
+            value = data[f.name]
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[f.name] = value
+        elif (
+            f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ):
+            # Optional fields serialized as absent (TOML has no null).
+            kwargs[f.name] = None
+    return cls(**kwargs)
+
+
+# ------------------------------------------------------------------ workload
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Traffic distributions for one population. Defaults are neutral."""
+
+    tls13_share: float = 0.35
+    mutual_share_start: float = 0.01
+    mutual_share_end: float = 0.01
+    health_surge_boost: float = 0.0
+    rapid7_drop: float = 0.0
+    mutual_inbound_fraction: float = 0.5
+    nonmutual_outbound_fraction: float = 0.85
+    tunneling_client_fraction: float = 0.0
+    nonmutual_site_density: float = 300.0
+    webrtc_fraction: float = 0.0
+    outbound_server_public_fraction: float = 0.7
+    outbound_missing_sni_fraction: float = 0.05
+    nonmutual_public_site_fraction: float = 0.85
+    inbound_mutual_ports: dict = field(default_factory=lambda: {443: 1.0})
+    outbound_mutual_ports: dict = field(default_factory=lambda: {443: 1.0})
+    inbound_nonmutual_ports: dict = field(default_factory=lambda: {443: 1.0})
+    outbound_nonmutual_ports: dict = field(default_factory=lambda: {443: 1.0})
+    #: association → (share, primary issuer category, primary share,
+    #:                secondary issuer category, secondary share)
+    inbound_associations: dict = field(default_factory=lambda: {
+        "Unknown": (1.0, "Private - MissingIssuer", 0.9, "Public", 0.1),
+    })
+    inbound_client_shares: dict = field(default_factory=dict)
+    outbound_client_issuers: dict = field(default_factory=lambda: {
+        "Private - MissingIssuer": 0.5, "Public": 0.5,
+    })
+    outbound_slds: dict = field(default_factory=lambda: {"amazonaws.com": 1.0})
+    #: SLD mix for missing-issuer clients; empty → use ``outbound_slds``.
+    missing_issuer_slds: dict = field(default_factory=dict)
+    education_client_cn_mix: dict = field(default_factory=lambda: {"user_account": 1.0})
+    device_client_cn_mix: dict = field(default_factory=lambda: {"random_32": 1.0})
+    public_client_cn_mix: dict = field(default_factory=lambda: {"random_uuid": 1.0})
+
+    _PORT_FIELDS = (
+        "inbound_mutual_ports", "outbound_mutual_ports",
+        "inbound_nonmutual_ports", "outbound_nonmutual_ports",
+    )
+    _FLOAT_MAP_FIELDS = (
+        "inbound_client_shares", "outbound_client_issuers", "outbound_slds",
+        "missing_issuer_slds", "education_client_cn_mix",
+        "device_client_cn_mix", "public_client_cn_mix",
+    )
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name in self._PORT_FIELDS:
+                value = _encode_ports(value)
+            elif f.name == "inbound_associations":
+                value = {name: list(row) for name, row in value.items()}
+            elif isinstance(value, dict):
+                value = dict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadMix":
+        kwargs = {}
+        for f in dataclasses.fields(cls):
+            if f.name not in data:
+                continue
+            value = data[f.name]
+            if f.name in cls._PORT_FIELDS:
+                value = _decode_ports(value)
+            elif f.name == "inbound_associations":
+                value = {
+                    name: (float(row[0]), str(row[1]), float(row[2]),
+                           str(row[3]), float(row[4]))
+                    for name, row in value.items()
+                }
+            elif f.name in cls._FLOAT_MAP_FIELDS:
+                value = _floats(value)
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
+
+# --------------------------------------------------------------------- trust
+
+
+@dataclass(frozen=True)
+class TrustEcosystem:
+    """CA hierarchy, issuance policy and planted flaw cohorts for one
+    population. The default instance plants *nothing*."""
+
+    interception_fraction: float = 0.0
+    interception_issuer_count: int = 0
+    #: sld → [kind, *args]; kind ∈ {public, private, other, dummy}.
+    #: Order matters: CAs are created in this order (deterministic RNG).
+    outbound_sld_cas: dict = field(default_factory=dict)
+    dummy_client_orgs: tuple = (
+        "Internet Widgits Pty Ltd", "Default Company Ltd", "Unspecified",
+    )
+    other_client_orgs: tuple = (
+        "rcgen", "SDS", "media-server", "IceLink", "mesh-agent", "edgectl",
+    )
+    dummy_cohorts: tuple = ()
+    dummy_iot_slds: tuple = ()
+    dummy_com_slds: tuple = ()
+    dummy_both_cohorts: tuple = ()
+    shared_cohorts: tuple = ()
+    incorrect_date_cohorts: tuple = ()
+    expired_clusters: tuple = ()
+    inbound_expired_total: int = 0
+    inbound_expired_associations: dict = field(default_factory=dict)
+    extreme_validity: ExtremeValiditySpec | None = None
+    cross_sharing: CrossSharingSpec | None = None
+    guardicore: GuardicoreSpec | None = None
+    viptela: bool = False
+    fnmt_count: int = 0
+    malignant: MalignantSpec | None = None
+
+    _COHORT_FIELDS = {
+        "dummy_cohorts": DummyIssuerCohort,
+        "dummy_both_cohorts": DummyBothCohort,
+        "shared_cohorts": SharedCertCohort,
+        "incorrect_date_cohorts": IncorrectDateCohort,
+        "expired_clusters": ExpiredClusterCohort,
+    }
+    _SPEC_FIELDS = {
+        "extreme_validity": ExtremeValiditySpec,
+        "cross_sharing": CrossSharingSpec,
+        "guardicore": GuardicoreSpec,
+        "malignant": MalignantSpec,
+    }
+
+    def plants_nothing(self) -> bool:
+        """True when no cohort planner would schedule any connection."""
+        return not any((
+            self.dummy_cohorts, self.dummy_both_cohorts, self.shared_cohorts,
+            self.incorrect_date_cohorts, self.expired_clusters,
+            self.inbound_expired_total, self.extreme_validity,
+            self.cross_sharing, self.guardicore, self.viptela,
+            self.fnmt_count, self.malignant,
+        ))
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if f.name in self._COHORT_FIELDS:
+                value = [_cohort_to_dict(item) for item in value]
+            elif f.name in self._SPEC_FIELDS:
+                value = _cohort_to_dict(value)
+            elif f.name == "outbound_sld_cas":
+                value = {sld: list(spec) for sld, spec in value.items()}
+            elif isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrustEcosystem":
+        kwargs = {}
+        for f in dataclasses.fields(cls):
+            if f.name not in data:
+                continue
+            value = data[f.name]
+            if f.name in cls._COHORT_FIELDS:
+                item_cls = cls._COHORT_FIELDS[f.name]
+                value = tuple(_cohort_from_dict(item_cls, item) for item in value)
+            elif f.name in cls._SPEC_FIELDS:
+                value = _cohort_from_dict(cls._SPEC_FIELDS[f.name], value)
+            elif f.name == "outbound_sld_cas":
+                value = {sld: tuple(spec) for sld, spec in value.items()}
+            elif f.name == "inbound_expired_associations":
+                value = _floats(value)
+            elif isinstance(value, list):
+                value = tuple(value)
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
+
+# ------------------------------------------------------------------ timeline
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One dated mid-campaign transform."""
+
+    month: int
+    kind: str
+    site: str | None = None   # None = every site
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out: dict = {"month": self.month, "kind": self.kind}
+        if self.site is not None:
+            out["site"] = self.site
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimelineEvent":
+        return cls(
+            month=int(data["month"]),
+            kind=str(data["kind"]),
+            site=data.get("site"),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class EventTimeline:
+    """An ordered collection of events. Composition is concatenation;
+    events are *applied* in month order (stable within a month), so
+    composing timelines is associative."""
+
+    events: tuple = ()
+
+    def combined(self, other: "EventTimeline") -> "EventTimeline":
+        return EventTimeline(self.events + other.events)
+
+    def for_site(self, site_name: str) -> tuple:
+        """Events touching one site, in application (month) order."""
+        mine = [e for e in self.events if e.site is None or e.site == site_name]
+        return tuple(sorted(mine, key=lambda e: e.month))
+
+    def to_dict(self) -> dict:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventTimeline":
+        return cls(tuple(
+            TimelineEvent.from_dict(item) for item in data.get("events", ())
+        ))
+
+
+# ------------------------------------------------------------------ topology
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One monitored site."""
+
+    name: str
+    kind: str = "campus"
+    connections_per_month: int = 2000
+    cohort_scale: float = 0.002
+    workload: str = "default"
+    trust: str = "default"
+    #: Expected unique certificates per 1000 connections, (low, high).
+    cert_volume_per_1k: tuple | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "kind": self.kind,
+            "connections_per_month": self.connections_per_month,
+            "cohort_scale": self.cohort_scale,
+            "workload": self.workload,
+            "trust": self.trust,
+        }
+        if self.cert_volume_per_1k is not None:
+            out["cert_volume_per_1k"] = list(self.cert_volume_per_1k)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SiteSpec":
+        volume = data.get("cert_volume_per_1k")
+        return cls(
+            name=str(data["name"]),
+            kind=str(data.get("kind", "campus")),
+            connections_per_month=int(data.get("connections_per_month", 2000)),
+            cohort_scale=float(data.get("cohort_scale", 0.002)),
+            workload=str(data.get("workload", "default")),
+            trust=str(data.get("trust", "default")),
+            cert_volume_per_1k=(
+                (float(volume[0]), float(volume[1])) if volume else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class Topology:
+    """The set of monitored sites."""
+
+    sites: tuple = ()
+
+    def to_dict(self) -> dict:
+        return {"sites": [site.to_dict() for site in self.sites]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Topology":
+        return cls(tuple(SiteSpec.from_dict(item) for item in data.get("sites", ())))
+
+
+# ------------------------------------------------------------------- runtime
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+
+
+@dataclass(frozen=True)
+class SiteRuntime:
+    """Fully-resolved per-site generator parameters."""
+
+    site_name: str
+    kind: str
+    seed: int
+    months: int
+    connections_per_month: int
+    cohort_scale: float
+    workload: WorkloadMix
+    trust: TrustEcosystem
+    events: tuple = ()
+    uid_offset: int = 0
+    fuid_offset: int = 0
+    #: Extra DNS label keeping non-mutual destination domains distinct
+    #: across sites (empty for single-site scenarios).
+    domain_tag: str = ""
+    cert_volume_per_1k: tuple | None = None
+
+    def mutual_share(self, month_index: int) -> float:
+        """Figure 1 target: mutual share of total TLS for a month."""
+        w = self.workload
+        if self.months <= 1:
+            return w.mutual_share_end
+        ramp = month_index / (self.months - 1)
+        share = w.mutual_share_start + (w.mutual_share_end - w.mutual_share_start) * ramp
+        if self.months == 23:
+            # The Oct–Nov 2023 health surge and the Dec 2023 Rapid7 drop
+            # only make sense on the real 23-month timeline.
+            if month_index in (MONTH_OCT_2023, MONTH_NOV_2023):
+                share += w.health_surge_boost
+            elif month_index == MONTH_DEC_2023:
+                share -= w.rapid7_drop
+        return share
+
+    @property
+    def campaign_mutual_estimate(self) -> float:
+        w = self.workload
+        average_share = (w.mutual_share_start + w.mutual_share_end) / 2
+        return self.months * self.connections_per_month * average_share
+
+    @property
+    def cohort_client_cap(self) -> int:
+        return max(4, round(0.02 * self.campaign_mutual_estimate))
+
+    def scaled(self, paper_count: int) -> int:
+        return max(1, min(
+            round(paper_count * self.cohort_scale), self.cohort_client_cap
+        ))
+
+
+# ---------------------------------------------------------------------- spec
+
+
+#: Per-site uid/fuid spacing in multi-site scenarios: far larger than any
+#: single site's emission count, so identifier spaces never collide.
+_SITE_ID_STRIDE = 10_000_000_000
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable scenario."""
+
+    name: str
+    topology: Topology
+    workloads: dict = field(default_factory=dict)
+    trusts: dict = field(default_factory=dict)
+    timeline: EventTimeline = field(default_factory=EventTimeline)
+    title: str = ""
+    description: str = ""
+    seed: int = 7
+    months: int = 23
+
+    def validate(self) -> None:
+        if not self.topology.sites:
+            raise ValueError(f"scenario {self.name!r} has no sites")
+        if self.months < 1:
+            raise ValueError("months must be >= 1")
+        names = [site.name for site in self.topology.sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate site names in {self.name!r}: {names}")
+        for site in self.topology.sites:
+            if site.workload not in self.workloads:
+                raise ValueError(
+                    f"site {site.name!r} references unknown workload {site.workload!r}"
+                )
+            if site.trust not in self.trusts:
+                raise ValueError(
+                    f"site {site.name!r} references unknown trust {site.trust!r}"
+                )
+        for event in self.timeline.events:
+            if event.kind not in EVENT_KINDS:
+                raise ValueError(f"unknown event kind {event.kind!r}")
+            if not 0 <= event.month < self.months:
+                raise ValueError(
+                    f"event month {event.month} outside campaign (0..{self.months - 1})"
+                )
+            if event.site is not None and event.site not in {
+                site.name for site in self.topology.sites
+            }:
+                raise ValueError(f"event references unknown site {event.site!r}")
+
+    def site_runtimes(self) -> list:
+        """Resolve every site into generator parameters.
+
+        Single-site scenarios use the scenario seed directly with no
+        identifier offsets (keeping the campus spec byte-identical to
+        the legacy ScenarioConfig path). Multi-site scenarios derive a
+        per-site seed from the site *name* and space uid/fuid ranges by
+        alphabetical rank, so adding or reordering sites in the file
+        never perturbs another site's stream.
+        """
+        self.validate()
+        sites = self.topology.sites
+        single = len(sites) == 1
+        order = sorted(site.name for site in sites)
+        runtimes = []
+        for site in sites:
+            rank = order.index(site.name)
+            if single:
+                seed, uid_offset, fuid_offset, tag = self.seed, 0, 0, ""
+            else:
+                seed = (self.seed * 1_000_003 + zlib.crc32(site.name.encode())) % (
+                    2**31 - 1
+                )
+                uid_offset = (rank + 1) * _SITE_ID_STRIDE
+                fuid_offset = (rank + 1) * _SITE_ID_STRIDE
+                tag = _slug(site.name) + "."
+            runtimes.append(SiteRuntime(
+                site_name=site.name,
+                kind=site.kind,
+                seed=seed,
+                months=self.months,
+                connections_per_month=site.connections_per_month,
+                cohort_scale=site.cohort_scale,
+                workload=self.workloads[site.workload],
+                trust=self.trusts[site.trust],
+                events=self.timeline.for_site(site.name),
+                uid_offset=uid_offset,
+                fuid_offset=fuid_offset,
+                domain_tag=tag,
+                cert_volume_per_1k=site.cert_volume_per_1k,
+            ))
+        return runtimes
+
+    def scaled(
+        self,
+        months: int | None = None,
+        connections_per_month: int | None = None,
+        scale: float | None = None,
+        seed: int | None = None,
+    ) -> "ScenarioSpec":
+        """A resized copy: override the campaign length and/or site sizes.
+
+        ``connections_per_month`` pins every site to one size;``scale``
+        multiplies each site's own size. When the campaign shrinks or
+        grows, event months are rescaled proportionally (and kept off
+        month 0 so every event still has a before/after period).
+        """
+        sites = []
+        for site in self.topology.sites:
+            cpm = site.connections_per_month
+            if connections_per_month is not None:
+                cpm = connections_per_month
+            if scale is not None:
+                cpm = max(1, round(cpm * scale))
+            sites.append(dataclasses.replace(site, connections_per_month=cpm))
+        new_months = self.months if months is None else months
+        timeline = self.timeline
+        if new_months != self.months and timeline.events:
+            factor = new_months / self.months
+            timeline = EventTimeline(tuple(
+                dataclasses.replace(
+                    event,
+                    month=min(max(1, round(event.month * factor)), new_months - 1),
+                )
+                for event in timeline.events
+            ))
+        return dataclasses.replace(
+            self,
+            topology=Topology(tuple(sites)),
+            timeline=timeline,
+            months=new_months,
+            seed=self.seed if seed is None else seed,
+        )
+
+    # ------------------------------------------------------------ serializers
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "scenario": {
+                "name": self.name,
+                "title": self.title,
+                "description": self.description,
+                "seed": self.seed,
+                "months": self.months,
+            },
+            "topology": self.topology.to_dict(),
+            "workloads": {
+                name: workload.to_dict() for name, workload in self.workloads.items()
+            },
+            "trusts": {name: trust.to_dict() for name, trust in self.trusts.items()},
+        }
+        if self.timeline.events:
+            out["timeline"] = self.timeline.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        header = data.get("scenario", {})
+        return cls(
+            name=str(header.get("name", "unnamed")),
+            title=str(header.get("title", "")),
+            description=str(header.get("description", "")),
+            seed=int(header.get("seed", 7)),
+            months=int(header.get("months", 23)),
+            topology=Topology.from_dict(data.get("topology", {})),
+            workloads={
+                name: WorkloadMix.from_dict(item)
+                for name, item in data.get("workloads", {}).items()
+            },
+            trusts={
+                name: TrustEcosystem.from_dict(item)
+                for name, item in data.get("trusts", {}).items()
+            },
+            timeline=EventTimeline.from_dict(data.get("timeline", {})),
+        )
+
+    def to_toml(self) -> str:
+        from repro.netsim import spec_io
+
+        return spec_io.dumps(self.to_dict())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ScenarioSpec":
+        from repro.netsim import spec_io
+
+        return cls.from_dict(spec_io.loads(text))
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        import json
+
+        return cls.from_dict(json.loads(text))

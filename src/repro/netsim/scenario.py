@@ -1,207 +1,84 @@
-"""Scenario configuration: every calibration target from the paper.
+"""Scenario configuration: the calibrated campus profile.
 
-All fractions and counts below are lifted from the paper's tables and
-prose. Counts are *paper-scale* numbers; the generator multiplies them by
-``ScenarioConfig.cohort_scale`` (connections by
+Since the scenario-layer refactor, the paper-calibrated constants live
+in ``repro/netsim/scenarios/campus.toml`` — the campus is just one spec
+in the scenario library. This module loads that spec once and re-exports
+the familiar constant names for existing callers, plus the legacy
+:class:`ScenarioConfig` knob bundle, which now resolves to a
+:class:`repro.netsim.layers.SiteRuntime` via :meth:`ScenarioConfig.site`.
+
+All fractions and counts are lifted from the paper's tables and prose.
+Counts are *paper-scale* numbers; the generator multiplies them by
+``cohort_scale`` (connections by
 ``connections_per_month / PAPER_MONTHLY_CONNECTIONS``), so shrinking the
 run keeps every proportion intact.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+
+from repro.netsim.layers import (
+    MONTH_DEC_2023,
+    MONTH_NOV_2023,
+    MONTH_OCT_2023,
+    DummyBothCohort,
+    DummyIssuerCohort,
+    ExpiredClusterCohort,
+    IncorrectDateCohort,
+    SharedCertCohort,
+    SiteRuntime,
+    TrustEcosystem,
+    WorkloadMix,
+)
+from repro.netsim.scenarios import load_spec
+
+__all__ = [
+    "ScenarioConfig", "CAMPUS_SPEC", "CAMPUS_WORKLOAD", "CAMPUS_TRUST",
+    "DummyIssuerCohort", "DummyBothCohort", "SharedCertCohort",
+    "IncorrectDateCohort", "ExpiredClusterCohort",
+    "MONTH_OCT_2023", "MONTH_NOV_2023", "MONTH_DEC_2023",
+]
 
 #: The paper observes ~1.26M–2.36M mutual-TLS connections *per day*;
 #: per month total TLS is on the order of 2e9. This constant anchors the
 #: scale factor between a simulation run and the paper's absolute counts.
 PAPER_MONTHLY_CONNECTIONS = 2_000_000_000 / 23
 
-# ---------------------------------------------------------------------------
-# Figure 1: prevalence ramp
-# ---------------------------------------------------------------------------
+#: The calibrated campus, loaded once from the scenario library.
+CAMPUS_SPEC = load_spec("campus")
+CAMPUS_WORKLOAD: WorkloadMix = CAMPUS_SPEC.workloads["campus"]
+CAMPUS_TRUST: TrustEcosystem = CAMPUS_SPEC.trusts["campus"]
 
-#: Campaign month indices (May 2022 = 0).
-MONTH_OCT_2023 = 17
-MONTH_NOV_2023 = 18
-MONTH_DEC_2023 = 19
+# --------------------------------------------------------------------------
+# Legacy constant re-exports (now sourced from campus.toml).
+# --------------------------------------------------------------------------
 
-MUTUAL_SHARE_START = 0.0199
-MUTUAL_SHARE_END = 0.0361
-#: Health-system surge adds this much to the mutual share in Oct–Nov 2023.
-HEALTH_SURGE_BOOST = 0.008
-#: Rapid7 outbound disappearance subtracts this from Dec 2023 onward
-#: (the paper sees a decline Oct–Dec 2023 in outbound).
-RAPID7_DROP = 0.004
+MUTUAL_SHARE_START = CAMPUS_WORKLOAD.mutual_share_start
+MUTUAL_SHARE_END = CAMPUS_WORKLOAD.mutual_share_end
+HEALTH_SURGE_BOOST = CAMPUS_WORKLOAD.health_surge_boost
+RAPID7_DROP = CAMPUS_WORKLOAD.rapid7_drop
+TLS13_SHARE = CAMPUS_WORKLOAD.tls13_share
 
-#: Fraction of ALL TLS connections negotiated at TLS 1.3 (§3.3) — their
-#: certificates are invisible to the monitor.
-TLS13_SHARE = 0.4086
+INBOUND_MUTUAL_PORTS = CAMPUS_WORKLOAD.inbound_mutual_ports
+OUTBOUND_MUTUAL_PORTS = CAMPUS_WORKLOAD.outbound_mutual_ports
+INBOUND_NONMUTUAL_PORTS = CAMPUS_WORKLOAD.inbound_nonmutual_ports
+OUTBOUND_NONMUTUAL_PORTS = CAMPUS_WORKLOAD.outbound_nonmutual_ports
 
-# ---------------------------------------------------------------------------
-# Table 2: port mixes
-# ---------------------------------------------------------------------------
+INBOUND_ASSOCIATIONS = CAMPUS_WORKLOAD.inbound_associations
+INBOUND_CLIENT_SHARES = CAMPUS_WORKLOAD.inbound_client_shares
+OUTBOUND_CLIENT_ISSUERS = CAMPUS_WORKLOAD.outbound_client_issuers
+OUTBOUND_SERVER_PUBLIC_FRACTION = CAMPUS_WORKLOAD.outbound_server_public_fraction
+OUTBOUND_SLDS = CAMPUS_WORKLOAD.outbound_slds
+OUTBOUND_MISSING_SNI_FRACTION = CAMPUS_WORKLOAD.outbound_missing_sni_fraction
 
-INBOUND_MUTUAL_PORTS: dict[int | tuple[int, int], float] = {
-    443: 0.6360,
-    20017: 0.2489,
-    636: 0.0636,
-    (50000, 51000): 0.0117,
-    9093: 0.0026,
-    8443: 0.0372,  # remainder bucket: misc HTTPS-alt
-}
+EDUCATION_CLIENT_CN_MIX = CAMPUS_WORKLOAD.education_client_cn_mix
+DEVICE_CLIENT_CN_MIX = CAMPUS_WORKLOAD.device_client_cn_mix
+PUBLIC_CLIENT_CN_MIX = CAMPUS_WORKLOAD.public_client_cn_mix
 
-OUTBOUND_MUTUAL_PORTS: dict[int | tuple[int, int], float] = {
-    443: 0.8317,
-    8883: 0.0369,
-    25: 0.0338,
-    465: 0.0332,
-    9997: 0.0148,
-    993: 0.0496,  # remainder bucket
-}
-
-INBOUND_NONMUTUAL_PORTS: dict[int | tuple[int, int], float] = {
-    443: 0.8518,
-    25: 0.0235,
-    33854: 0.0226,
-    8443: 0.0222,
-    52730: 0.0198,
-    993: 0.0601,  # remainder bucket
-}
-
-OUTBOUND_NONMUTUAL_PORTS: dict[int | tuple[int, int], float] = {
-    443: 0.9915,
-    993: 0.0044,
-    8883: 0.0005,
-    25: 0.0004,
-    3128: 0.0003,
-    465: 0.0029,  # remainder bucket
-}
-
-# ---------------------------------------------------------------------------
-# Table 3: inbound mutual-TLS associations and client issuers
-# ---------------------------------------------------------------------------
-
-#: association → (share of inbound mutual connections,
-#:                primary issuer category, primary share,
-#:                secondary issuer category, secondary share)
-INBOUND_ASSOCIATIONS: dict[str, tuple[float, str, float, str, float]] = {
-    "University Health": (0.6491, "Private - Education", 0.9996, "Public", 0.0004),
-    "University Server": (0.3055, "Private - MissingIssuer", 0.9584, "Public", 0.0370),
-    "University VPN": (0.0030, "Private - Education", 0.9999, "Public", 0.0001),
-    "Local Organization": (0.0253, "Public", 0.9662, "Private - Corporation", 0.0132),
-    "Third Party Service": (0.0031, "Private - Others", 0.4795, "Public", 0.3725),
-    "Globus": (0.0006, "Private - Education", 0.9383, "Private - Others", 0.0617),
-    "Unknown": (0.0134, "Private - MissingIssuer", 0.8734, "Private - Others", 0.1239),
-}
-
-#: share of distinct clients by association (Table 3 '% clients' column).
-INBOUND_CLIENT_SHARES: dict[str, float] = {
-    "University Health": 0.4110,
-    "University Server": 0.0500,
-    "University VPN": 0.1473,
-    "Local Organization": 0.0220,
-    "Third Party Service": 0.0039,
-    "Globus": 0.0001,
-    "Unknown": 0.3658,
-}
-
-# ---------------------------------------------------------------------------
-# Figure 2: outbound mutual-TLS mixes
-# ---------------------------------------------------------------------------
-
-#: Outbound client-certificate issuer categories. MissingIssuer is the
-#: paper's headline 37.84%.
-OUTBOUND_CLIENT_ISSUERS: dict[str, float] = {
-    "Private - MissingIssuer": 0.3784,
-    "Private - Corporation": 0.2500,
-    "Private - Others": 0.1500,
-    "Public": 0.1000,
-    "Private - Education": 0.0500,
-    "Private - Dummy": 0.0300,
-    "Private - WebHosting": 0.0250,
-    "Private - Government": 0.0166,
-}
-
-#: Fraction of outbound mutual connections whose *server* certificate is
-#: issued by a public CA.
-OUTBOUND_SERVER_PUBLIC_FRACTION = 0.70
-
-#: Outbound mutual destination SLDs (conditioned on being a cloud/security
-#: destination): amazonaws 28.51%, rapid7 27.44%, gpcloudservice 13.33%.
-OUTBOUND_SLDS: dict[str, float] = {
-    "amazonaws.com": 0.2851,
-    "rapid7.com": 0.2744,
-    "gpcloudservice.com": 0.1333,
-    "splunkcloud.com": 0.0500,
-    "apple.com": 0.0600,
-    "azure.com": 0.0400,
-    "fireboard.io": 0.0150,
-    "psych.org": 0.0150,
-    "leidos.com": 0.0150,
-    "mixpanel.com": 0.0200,
-    "tablodash.com": 0.0400,
-    "idrive.com": 0.0300,
-    "alarmnet.com": 0.0250,
-    "clouddevice.io": 0.0250,
-    "tmdxdev.com": 0.0022,
-    "ayoba.me": 0.0100,
-    "ibackup.com": 0.0100,
-    "crestron.io": 0.0050,
-    "acr.og": 0.0100,
-    "sapns2.com": 0.0100,
-    "bluetriton.com": 0.0100,
-    "gpo.gov": 0.0100,
-    "example-iot.com.cn": 0.0050,
-    "smarthome.top": 0.0050,
-}
-
-#: Fraction of outbound mutual connections with no SNI in the ClientHello.
-OUTBOUND_MISSING_SNI_FRACTION = 0.08
-
-# ---------------------------------------------------------------------------
-# §6 content mixes for client certificate subjects (drives Tables 7-9)
-# ---------------------------------------------------------------------------
-
-#: CN content mix for campus-education client certs (drives user
-#: accounts / personal names in Table 8, client × private CA).
-EDUCATION_CLIENT_CN_MIX: dict[str, float] = {
-    "user_account": 0.30,
-    "personal_name": 0.55,
-    "random_32": 0.10,
-    "random_uuid": 0.05,
-}
-
-#: CN content mix for missing-issuer / device client certs.
-DEVICE_CLIENT_CN_MIX: dict[str, float] = {
-    "org_product": 0.64,   # 'WebRTC' dominates (88% of org/product CNs)
-    "random_8": 0.06,
-    "random_32": 0.18,
-    "random_uuid": 0.02,
-    "sip": 0.02,
-    "mac": 0.004,
-    "email": 0.006,
-    "localhost": 0.005,
-    "domain": 0.015,
-    "nonrandom_opaque": 0.04,  # '__transfer__', 'Dtls', 'hmpp'
-    "ip": 0.01,
-}
-
-#: CN content mix for public-CA client certs (Table 8 client × public CA:
-#: 59.95% unidentified, 25.33% org/product, 14.11% domain...).
-PUBLIC_CLIENT_CN_MIX: dict[str, float] = {
-    "random_azure_sphere": 0.28,
-    "random_apple_uuid": 0.06,
-    "random_uuid": 0.26,
-    "org_product_hrw": 0.25,   # 'Hybrid Runbook Worker'
-    "domain_email_service": 0.054,
-    "domain_webex": 0.034,
-    "domain_plain": 0.053,
-    "personal_name": 0.006,
-    "email": 0.0001,
-    "ip": 0.0001,
-}
-
-#: Weights for which org/product string a device CN carries.
+#: Weights for which org/product string a device CN carries (Table 8
+#: prose; the authoritative copy lives in repro.netsim.content).
 ORG_PRODUCT_WEIGHTS: dict[str, float] = {
     "WebRTC": 0.88,
     "twilio": 0.06,
@@ -210,121 +87,16 @@ ORG_PRODUCT_WEIGHTS: dict[str, float] = {
     "Android Keystore": 0.010,
 }
 
-# ---------------------------------------------------------------------------
-# Misconfiguration cohorts (paper-scale counts)
-# ---------------------------------------------------------------------------
+DUMMY_ISSUER_COHORTS = CAMPUS_TRUST.dummy_cohorts
+SHARED_CERT_COHORTS = CAMPUS_TRUST.shared_cohorts
+INCORRECT_DATE_COHORTS = CAMPUS_TRUST.incorrect_date_cohorts
+EXPIRED_PUBLIC_CLUSTERS = CAMPUS_TRUST.expired_clusters
+INBOUND_EXPIRED_ASSOCIATIONS = CAMPUS_TRUST.inbound_expired_associations
 
-
-@dataclass(frozen=True)
-class DummyIssuerCohort:
-    """One row of Table 4."""
-
-    direction: str            # 'in' / 'out'
-    side: str                 # 'client' / 'server'
-    issuer_org: str
-    server_group: str         # SLD category (in) or TLD list label (out)
-    involved_servers: int
-    involved_clients: int
-
-
-DUMMY_ISSUER_COHORTS: tuple[DummyIssuerCohort, ...] = (
-    DummyIssuerCohort("in", "client", "Default Company Ltd", "Local Organization", 3, 21),
-    DummyIssuerCohort("in", "client", "Internet Widgits Pty Ltd", "Local Organization", 5, 95),
-    DummyIssuerCohort("out", "client", "Unspecified", "com", 452, 566_996),
-    DummyIssuerCohort("out", "client", "Internet Widgits Pty Ltd", "com", 73, 69_069),
-    DummyIssuerCohort("out", "client", "Default Company Ltd", "cn", 2, 17),
-    DummyIssuerCohort("out", "server", "Internet Widgits Pty Ltd", "com", 511, 3_689),
-    DummyIssuerCohort("out", "server", "Default Company Ltd", "com", 147, 331),
-    DummyIssuerCohort("out", "server", "Acme Co", "com", 20, 26),
-)
-
-
-@dataclass(frozen=True)
-class SharedCertCohort:
-    """One row of Table 5 (same certificate at both endpoints)."""
-
-    direction: str
-    sld: str | None           # None = missing SNI
-    issuer_org: str
-    issuer_public: bool
-    clients: int
-    activity_days: int
-
-
-SHARED_CERT_COHORTS: tuple[SharedCertCohort, ...] = (
-    SharedCertCohort("in", None, "Globus Online", False, 699, 700),
-    SharedCertCohort("in", "tablodash.com", "Outset Medical", False, 4_403, 700),
-    SharedCertCohort("out", None, "Globus Online", False, 105, 699),
-    SharedCertCohort("out", "psych.org", "American Psychiatric Association", False, 33, 424),
-    SharedCertCohort("out", "splunkcloud.com", "Splunk", False, 4, 114),
-    SharedCertCohort("out", "leidos.com", "IdenTrust", True, 52, 554),
-    SharedCertCohort("out", "acr.og", "GoDaddy.com, Inc.", True, 24, 364),
-    SharedCertCohort("out", "sapns2.com", "GoDaddy.com, Inc.", True, 1, 5),
-    SharedCertCohort("out", "bluetriton.com", "DigiCert Inc", True, 1, 1),
-    SharedCertCohort("out", "gpo.gov", "DigiCert Inc", True, 1, 1),
-)
-
-
-@dataclass(frozen=True)
-class IncorrectDateCohort:
-    """One row of Table 11 (certificates with inverted validity dates)."""
-
-    direction: str
-    sld: str | None
-    side: str                 # 'client' / 'server' / 'both'
-    issuer_org: str
-    not_before_year: int
-    not_after_year: int
-    clients: int
-    activity_days: int
-
-
-INCORRECT_DATE_COHORTS: tuple[IncorrectDateCohort, ...] = (
-    IncorrectDateCohort("in", None, "client", "rcgen", 1975, 1757, 2, 42),
-    IncorrectDateCohort("out", "idrive.com", "both", "IDrive Inc Certificate Authority", 2019, 1849, 718, 701),
-    IncorrectDateCohort("out", "clouddevice.io", "client", "Honeywell International Inc", 2021, 1815, 1_599, 701),
-    IncorrectDateCohort("out", "clouddevice.io", "client", "Honeywell International Inc", 2023, 1815, 46, 258),
-    IncorrectDateCohort("out", "alarmnet.com", "client", "Honeywell International Inc", 2021, 1815, 1_864, 696),
-    IncorrectDateCohort("out", "alarmnet.com", "client", "Honeywell International Inc", 2023, 1815, 70, 252),
-    IncorrectDateCohort("out", None, "both", "SDS", 1970, 1831, 17, 474),
-    IncorrectDateCohort("out", "ayoba.me", "client", "OpenPGP to X.509 Bridge", 2022, 2022, 15, 147),
-    IncorrectDateCohort("out", "ibackup.com", "client", "IDrive Inc Certificate Authority", 2019, 1849, 4, 311),
-    IncorrectDateCohort("out", "crestron.io", "client", "Crestron Electronics Inc", 2020, 1816, 3, 1),
-    IncorrectDateCohort("out", None, "server", "media-server", 2157, 2023, 2, 106),
-    IncorrectDateCohort("out", None, "client", "IceLink", 2048, 1996, 1, 1),
-)
-
-
-@dataclass(frozen=True)
-class ExpiredClusterCohort:
-    """The Figure 5b cluster: long-expired public client certs in use."""
-
-    issuer_org: str
-    sld: str
-    certificates: int
-    days_expired_at_start: float
-
-
-EXPIRED_PUBLIC_CLUSTERS: tuple[ExpiredClusterCohort, ...] = (
-    ExpiredClusterCohort("Apple", "apple.com", 337, 1_000),
-    ExpiredClusterCohort("Microsoft", "azure.com", 1, 1_000),
-    ExpiredClusterCohort("Microsoft", "azure-automation.net", 1, 1_000),
-)
-
-#: Inbound expired-client-cert server associations (Figure 5a prose).
-INBOUND_EXPIRED_ASSOCIATIONS: dict[str, float] = {
-    "University VPN": 0.4583,
-    "Local Organization": 0.3279,
-    "Third Party Service": 0.1538,
-    "Unknown": 0.0600,
-}
-
-#: Figure 4 extreme-validity tail: 7,911 certs between 10k and 40k days;
-#: 50 public / 7,861 private; plus the single 83,432-day outlier.
-EXTREME_VALIDITY_TOTAL = 7_911
-EXTREME_VALIDITY_PUBLIC = 50
-EXTREME_VALIDITY_OUTLIER_DAYS = 83_432
-EXTREME_VALIDITY_OUTLIER_SLD = "tmdxdev.com"
+EXTREME_VALIDITY_TOTAL = CAMPUS_TRUST.extreme_validity.total
+EXTREME_VALIDITY_PUBLIC = CAMPUS_TRUST.extreme_validity.public
+EXTREME_VALIDITY_OUTLIER_DAYS = CAMPUS_TRUST.extreme_validity.outlier_days
+EXTREME_VALIDITY_OUTLIER_SLD = CAMPUS_TRUST.extreme_validity.outlier_sld
 
 #: §3.2: interception — 186 issuers, 8.4% of unique certs excluded.
 INTERCEPTION_TARGET_CERT_FRACTION = 0.084
@@ -333,11 +105,13 @@ PAPER_INTERCEPTION_ISSUERS = 186
 
 @dataclass
 class ScenarioConfig:
-    """Top-level knobs of a simulation run.
+    """Top-level knobs of a single-site (campus-profile) simulation run.
 
     `connections_per_month` sets the run size; `cohort_scale` shrinks the
     paper-scale cohort counts (clients, certificates) by the same spirit.
-    Everything else defaults to the paper-calibrated constants above.
+    Everything else defaults to the campus calibration. For multi-site,
+    event-driven, or adversarial runs use a :class:`ScenarioSpec` from
+    the scenario library instead.
     """
 
     seed: int = 7
@@ -418,6 +192,43 @@ class ScenarioConfig:
             mutual_inbound_fraction=0.60,
             interception_fraction=0.02,
             include_misconfig_cohorts=True,
+        )
+
+    def site(self) -> SiteRuntime:
+        """Resolve these knobs into generator parameters: the campus
+        workload/trust templates with this config's scalars applied."""
+        workload = dataclasses.replace(
+            CAMPUS_WORKLOAD,
+            tls13_share=self.tls13_share,
+            mutual_share_start=self.mutual_share_start,
+            mutual_share_end=self.mutual_share_end,
+            health_surge_boost=self.health_surge_boost,
+            rapid7_drop=self.rapid7_drop,
+            mutual_inbound_fraction=self.mutual_inbound_fraction,
+            nonmutual_outbound_fraction=self.nonmutual_outbound_fraction,
+            tunneling_client_fraction=self.tunneling_client_fraction,
+            nonmutual_site_density=self.nonmutual_site_density,
+        )
+        if self.include_misconfig_cohorts:
+            trust = CAMPUS_TRUST
+        else:
+            # Keep the campus CA catalog (outbound destinations still use
+            # the same issuers) but plant no misconfiguration cohorts.
+            trust = TrustEcosystem(outbound_sld_cas=CAMPUS_TRUST.outbound_sld_cas)
+        trust = dataclasses.replace(
+            trust,
+            interception_fraction=self.interception_fraction,
+            interception_issuer_count=self.interception_issuer_count,
+        )
+        return SiteRuntime(
+            site_name="campus",
+            kind="campus",
+            seed=self.seed,
+            months=self.months,
+            connections_per_month=self.connections_per_month,
+            cohort_scale=self.cohort_scale,
+            workload=workload,
+            trust=trust,
         )
 
     def mutual_share(self, month_index: int) -> float:

@@ -1,0 +1,46 @@
+"""The scenario library: packaged TOML specs + loading helpers.
+
+``load_spec`` accepts either a library name (``"campus"``) or a path to
+a ``.toml``/``.json`` spec file on disk.
+"""
+
+from __future__ import annotations
+
+from importlib import resources
+from pathlib import Path
+
+from repro.netsim.layers import ScenarioSpec
+
+
+def _package_dir():
+    return resources.files(__package__)
+
+
+def list_scenarios() -> list[str]:
+    """Names of every packaged library scenario."""
+    names = []
+    for entry in _package_dir().iterdir():
+        if entry.name.endswith(".toml"):
+            names.append(entry.name[: -len(".toml")])
+    return sorted(names)
+
+
+def load_spec(name_or_path: str | Path) -> ScenarioSpec:
+    """Load a library scenario by name, or any spec file by path."""
+    text_path = Path(name_or_path)
+    if text_path.suffix in (".toml", ".json"):
+        text = text_path.read_text(encoding="utf-8")
+        if text_path.suffix == ".json":
+            return ScenarioSpec.from_json(text)
+        return ScenarioSpec.from_toml(text)
+    name = str(name_or_path)
+    entry = _package_dir() / f"{name}.toml"
+    try:
+        text = entry.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        known = ", ".join(list_scenarios()) or "<none>"
+        raise KeyError(
+            f"unknown scenario {name!r} (library: {known}); "
+            "pass a .toml/.json path for a custom spec"
+        ) from None
+    return ScenarioSpec.from_toml(text)

@@ -1,0 +1,260 @@
+"""TOML subset writer/reader for scenario spec files.
+
+The stdlib gained a TOML *reader* (`tomllib`) in Python 3.11 and has
+never had a writer, and this repo supports 3.10 with no third-party
+dependencies. Scenario specs only need a small, regular slice of TOML:
+
+* bare or quoted string keys,
+* strings / ints / floats / booleans,
+* single-line (possibly nested, possibly heterogeneous) arrays,
+* ``[dotted.table]`` headers and ``[[array.of.tables]]`` headers.
+
+``dumps`` emits exactly that subset; ``loads`` parses it with
+``tomllib`` when available and falls back to a matching subset parser
+otherwise. Everything round-trips losslessly for the value types above
+(floats via ``repr``), which the hypothesis suite pins down.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+try:  # Python 3.11+
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    _tomllib = None
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+class TomlError(ValueError):
+    """Raised for input outside the supported TOML subset."""
+
+
+# --------------------------------------------------------------------- writer
+
+
+def _format_key(key: str) -> str:
+    if not isinstance(key, str):
+        raise TomlError(f"table keys must be strings, got {key!r}")
+    if _BARE_KEY.match(key):
+        return key
+    return json.dumps(key)
+
+
+def _format_value(value) -> str:
+    # bool before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        text = repr(value)
+        if "." not in text and "e" not in text and "n" not in text:
+            text += ".0"
+        return text
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    raise TomlError(f"unsupported TOML value: {value!r}")
+
+
+def _is_table(value) -> bool:
+    return isinstance(value, dict)
+
+
+def _is_table_array(value) -> bool:
+    return (
+        isinstance(value, (list, tuple))
+        and len(value) > 0
+        and all(isinstance(item, dict) for item in value)
+    )
+
+
+def _emit_table(lines: list[str], path: tuple[str, ...], table: dict) -> None:
+    scalars = {
+        k: v for k, v in table.items()
+        if not _is_table(v) and not _is_table_array(v)
+    }
+    if path and (scalars or not table):
+        lines.append("[" + ".".join(_format_key(p) for p in path) + "]")
+    for key, value in scalars.items():
+        lines.append(f"{_format_key(key)} = {_format_value(value)}")
+    if scalars and any(_is_table(v) or _is_table_array(v) for v in table.values()):
+        lines.append("")
+    for key, value in table.items():
+        if _is_table(value):
+            _emit_table(lines, path + (key,), value)
+            lines.append("")
+        elif _is_table_array(value):
+            header = "[[" + ".".join(_format_key(p) for p in path + (key,)) + "]]"
+            for item in value:
+                lines.append(header)
+                for sub_key, sub_value in item.items():
+                    if _is_table(sub_value) or _is_table_array(sub_value):
+                        raise TomlError(
+                            "nested tables inside arrays-of-tables are not supported"
+                        )
+                    lines.append(f"{_format_key(sub_key)} = {_format_value(sub_value)}")
+                lines.append("")
+
+
+def dumps(data: dict) -> str:
+    """Serialize a nested dict to the supported TOML subset."""
+    lines: list[str] = []
+    _emit_table(lines, (), data)
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- reader
+
+
+def _strip_comment(line: str) -> str:
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_string = not in_string
+        elif ch == "#" and not in_string:
+            return line[:i]
+    return line
+
+
+def _split_items(body: str) -> list[str]:
+    """Split the interior of an array on top-level commas."""
+    items: list[str] = []
+    depth = 0
+    in_string = False
+    current = ""
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if in_string:
+            current += ch
+            if ch == "\\":
+                current += body[i + 1]
+                i += 1
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+            current += ch
+        elif ch == "[":
+            depth += 1
+            current += ch
+        elif ch == "]":
+            depth -= 1
+            current += ch
+        elif ch == "," and depth == 0:
+            items.append(current.strip())
+            current = ""
+        else:
+            current += ch
+        i += 1
+    tail = current.strip()
+    if tail:
+        items.append(tail)
+    return items
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    if not text:
+        raise TomlError("empty value")
+    if text.startswith('"'):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TomlError(f"bad string literal: {text!r}") from exc
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise TomlError(f"arrays must be single-line: {text!r}")
+        return [_parse_value(item) for item in _split_items(text[1:-1])]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        if re.match(r"^[+-]?[0-9_]+$", text):
+            return int(text.replace("_", ""))
+        return float(text)
+    except ValueError as exc:
+        raise TomlError(f"unsupported value: {text!r}") from exc
+
+
+def _parse_key(text: str) -> str:
+    text = text.strip()
+    if text.startswith('"'):
+        return json.loads(text)
+    if not _BARE_KEY.match(text):
+        raise TomlError(f"unsupported key: {text!r}")
+    return text
+
+
+def _split_path(header: str) -> list[str]:
+    parts: list[str] = []
+    current = ""
+    in_string = False
+    for ch in header:
+        if ch == '"':
+            in_string = not in_string
+            current += ch
+        elif ch == "." and not in_string:
+            parts.append(_parse_key(current))
+            current = ""
+        else:
+            current += ch
+    parts.append(_parse_key(current))
+    return parts
+
+
+def _subset_loads(text: str) -> dict:
+    root: dict = {}
+    target = root
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TomlError(f"bad table-array header: {raw_line!r}")
+            path = _split_path(line[2:-2])
+            parent = root
+            for part in path[:-1]:
+                parent = parent.setdefault(part, {})
+            array = parent.setdefault(path[-1], [])
+            if not isinstance(array, list):
+                raise TomlError(f"key redefined as table array: {raw_line!r}")
+            target = {}
+            array.append(target)
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise TomlError(f"bad table header: {raw_line!r}")
+            path = _split_path(line[1:-1])
+            parent = root
+            for part in path:
+                parent = parent.setdefault(part, {})
+                if isinstance(parent, list):
+                    parent = parent[-1]
+            target = parent
+        else:
+            if "=" not in line:
+                raise TomlError(f"expected key = value: {raw_line!r}")
+            key_text, _, value_text = line.partition("=")
+            target[_parse_key(key_text)] = _parse_value(value_text)
+    return root
+
+
+def loads(text: str) -> dict:
+    """Parse TOML text (tomllib when available, subset parser otherwise)."""
+    if _tomllib is not None:
+        return _tomllib.loads(text)
+    return _subset_loads(text)
+
+
+def subset_loads(text: str) -> dict:
+    """Always use the fallback parser (exercised by tests on any Python)."""
+    return _subset_loads(text)

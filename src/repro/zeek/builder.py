@@ -31,10 +31,10 @@ class ZeekLogBuilder:
     x509.log carries are recorded.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fuid_start: int = 0) -> None:
         self._logs = ZeekLogs()
         self._fuid_by_fingerprint: dict[str, str] = {}
-        self._fuid_counter = 0
+        self._fuid_counter = fuid_start
 
     def observe(self, connection: ConnectionRecord) -> SslRecord:
         """Record one connection; returns the ssl.log row."""

@@ -1,0 +1,65 @@
+"""CLI smoke tests for `repro scenario`."""
+
+import json
+
+from repro.cli import main
+
+
+def test_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("campus", "federation", "events", "adversarial"):
+        assert name in out
+
+
+def test_scenario_describe(capsys):
+    assert main(["scenario", "describe", "events"]) == 0
+    out = capsys.readouterr().out
+    assert "ca_compromise" in out
+    assert "mass_expiry" in out
+
+
+def test_scenario_generate_writes_artifacts(tmp_path, capsys):
+    out_dir = tmp_path / "run"
+    assert main([
+        "scenario", "generate", "adversarial", "--out", str(out_dir),
+        "--months", "3", "--cpm", "100",
+    ]) == 0
+    assert (out_dir / "ssl.log").exists()
+    assert (out_dir / "x509.log").exists()
+    assert (out_dir / "trust_bundle.txt").exists()
+    truth = json.loads((out_dir / "ground_truth.json").read_text())
+    assert truth["scenario"] == "adversarial"
+    assert truth["months"] == 3
+    assert "malignant" in truth["cohorts"]
+
+
+def test_scenario_generate_from_spec_file(tmp_path, capsys):
+    from repro.netsim.scenarios import load_spec
+
+    spec_file = tmp_path / "custom.toml"
+    spec_file.write_text(load_spec("adversarial").to_toml())
+    out_dir = tmp_path / "run"
+    assert main([
+        "scenario", "generate", "--spec", str(spec_file),
+        "--out", str(out_dir), "--months", "2", "--cpm", "80",
+    ]) == 0
+    truth = json.loads((out_dir / "ground_truth.json").read_text())
+    assert truth["scenario"] == "adversarial"
+
+
+def test_scenario_generate_feeds_analyze(tmp_path, capsys):
+    """The README flow: scenario generate --rotated, then analyze."""
+    out_dir = tmp_path / "run"
+    assert main([
+        "scenario", "generate", "events", "--out", str(out_dir),
+        "--months", "4", "--cpm", "150", "--rotated",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "analyze", str(out_dir),
+        "--trust-bundle", str(out_dir / "trust_bundle.txt"),
+        "--table", "figure1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out

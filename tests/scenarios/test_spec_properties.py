@@ -1,0 +1,220 @@
+"""Property-based tests for the scenario layer contracts.
+
+Three contracts the rest of the suite leans on:
+
+* serialization is lossless — a ScenarioSpec survives TOML and JSON
+  round-trips unchanged (including through the 3.10 fallback parser);
+* generation is deterministic — the same spec and seed produce
+  byte-identical logs and identical ground truth;
+* timeline composition is associative, and events always apply in
+  month order regardless of how timelines were concatenated.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import spec_io
+from repro.netsim.compose import ScenarioGenerator
+from repro.netsim.layers import (
+    EVENT_KINDS,
+    DummyIssuerCohort,
+    EventTimeline,
+    GuardicoreSpec,
+    MalignantSpec,
+    ScenarioSpec,
+    SharedCertCohort,
+    SiteSpec,
+    TimelineEvent,
+    Topology,
+    TrustEcosystem,
+    WorkloadMix,
+)
+from repro.zeek import write_ssl_log, write_x509_log
+
+fractions = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+site_names = st.sampled_from(
+    ("campus", "enterprise", "iot-fleet", "branch office", "lab-42")
+)
+org_names = st.sampled_from(
+    ("Internet Widgits Pty Ltd", "Acme Co", "Example Inc", "Unspecified")
+)
+
+
+@st.composite
+def workloads(draw):
+    ports = draw(st.sampled_from(
+        ({443: 1.0}, {443: 0.8, 8883: 0.2}, {(50000, 51000): 0.1, 443: 0.9})
+    ))
+    return WorkloadMix(
+        tls13_share=draw(fractions),
+        mutual_share_start=draw(fractions),
+        mutual_share_end=draw(fractions),
+        mutual_inbound_fraction=draw(fractions),
+        outbound_mutual_ports=dict(ports),
+        inbound_associations={
+            "Unknown": (1.0, "Private - MissingIssuer", draw(fractions),
+                        "Public", draw(fractions)),
+        },
+        outbound_slds={"amazonaws.com": 0.6, "rapid7.com": 0.4},
+    )
+
+
+@st.composite
+def trusts(draw):
+    cohorts = ()
+    if draw(st.booleans()):
+        cohorts = (DummyIssuerCohort(
+            direction=draw(st.sampled_from(("in", "out"))),
+            side=draw(st.sampled_from(("client", "server"))),
+            issuer_org=draw(org_names),
+            server_group="com",
+            involved_servers=draw(st.integers(1, 50)),
+            involved_clients=draw(st.integers(1, 500)),
+            v1_fraction=draw(fractions),
+        ),)
+    shared = ()
+    if draw(st.booleans()):
+        shared = (SharedCertCohort(
+            direction="in",
+            sld=draw(st.one_of(st.none(), st.just("tablodash.com"))),
+            issuer_org=draw(org_names),
+            issuer_public=False,
+            clients=draw(st.integers(1, 300)),
+            activity_days=draw(st.integers(1, 700)),
+        ),)
+    return TrustEcosystem(
+        interception_fraction=draw(fractions) * 0.05,
+        interception_issuer_count=draw(st.integers(0, 4)),
+        outbound_sld_cas={
+            "amazonaws.com": ("public", "amazon-m01"),
+            "rapid7.com": ("public", "digicert-geotrust"),
+        },
+        dummy_cohorts=cohorts,
+        shared_cohorts=shared,
+        guardicore=draw(st.one_of(
+            st.none(), st.builds(GuardicoreSpec)
+        )),
+        malignant=draw(st.one_of(
+            st.none(),
+            st.builds(
+                MalignantSpec,
+                servers=st.integers(1, 8),
+                connections=st.integers(1, 100),
+            ),
+        )),
+    )
+
+
+@st.composite
+def timelines(draw, months=12, site_pool=("campus",)):
+    events = draw(st.lists(
+        st.builds(
+            TimelineEvent,
+            month=st.integers(1, months - 1),
+            kind=st.sampled_from(EVENT_KINDS),
+            site=st.one_of(st.none(), st.sampled_from(site_pool)),
+            params=st.just({}),
+        ),
+        max_size=4,
+    ))
+    return EventTimeline(tuple(events))
+
+
+@st.composite
+def scenario_specs(draw):
+    names = draw(st.lists(site_names, min_size=1, max_size=3, unique=True))
+    months = draw(st.integers(2, 12))
+    sites = tuple(
+        SiteSpec(
+            name=name,
+            connections_per_month=draw(st.integers(20, 200)),
+            cohort_scale=draw(st.sampled_from((0.01, 0.05, 1.0))),
+            workload="w",
+            trust="t",
+            cert_volume_per_1k=draw(st.one_of(
+                st.none(), st.just((1.0, 900.0))
+            )),
+        )
+        for name in names
+    )
+    return ScenarioSpec(
+        name=draw(st.sampled_from(("alpha", "beta riot", "g-17"))),
+        title="property spec",
+        seed=draw(st.integers(0, 2**20)),
+        months=months,
+        topology=Topology(sites),
+        workloads={"w": draw(workloads())},
+        trusts={"t": draw(trusts())},
+        timeline=draw(timelines(months=months, site_pool=tuple(names))),
+    )
+
+
+@given(scenario_specs())
+def test_toml_round_trip_lossless(spec):
+    text = spec.to_toml()
+    assert ScenarioSpec.from_toml(text) == spec
+
+
+@given(scenario_specs())
+def test_subset_parser_agrees_with_tomllib(spec):
+    """The 3.10 fallback parser reads exactly what ``dumps`` writes,
+    byte-for-byte equal to the stdlib parser's interpretation."""
+    text = spec.to_toml()
+    assert spec_io.subset_loads(text) == spec_io.loads(text)
+    assert ScenarioSpec.from_dict(spec_io.subset_loads(text)) == spec
+
+
+@given(scenario_specs())
+def test_json_round_trip_lossless(spec):
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def _serialize(logs) -> str:
+    buffer = io.StringIO()
+    write_ssl_log(logs.ssl, buffer)
+    write_x509_log(logs.x509, buffer)
+    return buffer.getvalue()
+
+
+@settings(max_examples=6, deadline=None)
+@given(scenario_specs())
+def test_generation_deterministic_under_fixed_seed(spec):
+    tiny = spec.scaled(months=min(spec.months, 3), connections_per_month=25)
+    first = ScenarioGenerator(tiny).generate()
+    second = ScenarioGenerator(tiny).generate()
+    assert _serialize(first.logs) == _serialize(second.logs)
+    assert first.ground_truth.to_dict() == second.ground_truth.to_dict()
+
+
+@given(
+    timelines(site_pool=("a", "b")),
+    timelines(site_pool=("a", "b")),
+    timelines(site_pool=("a", "b")),
+)
+def test_timeline_composition_associative(first, second, third):
+    left = first.combined(second).combined(third)
+    right = first.combined(second.combined(third))
+    for site in ("a", "b"):
+        assert left.for_site(site) == right.for_site(site)
+
+
+@given(timelines(site_pool=("a", "b")), st.sampled_from(("a", "b")))
+def test_for_site_is_month_ordered_and_complete(timeline, site):
+    events = timeline.for_site(site)
+    months = [event.month for event in events]
+    assert months == sorted(months)
+    mine = [e for e in timeline.events if e.site in (None, site)]
+    assert sorted(months) == sorted(e.month for e in mine)
+
+
+@given(scenario_specs(), st.integers(2, 30))
+def test_scaled_keeps_events_in_range(spec, new_months):
+    scaled = spec.scaled(months=new_months)
+    assert scaled.months == new_months
+    for event in scaled.timeline.events:
+        assert 1 <= event.month < new_months
+    scaled.validate()
