@@ -1,0 +1,137 @@
+"""Perf regression gate for the batch-ingest scaling record.
+
+Compares a freshly measured ``BENCH_scaling.json`` against the
+committed baseline and fails when:
+
+* the batch tier's rows/sec at the largest volume falls more than
+  ``--tolerance`` below the baseline,
+* the batch-vs-reference ratio at the largest volume drops under
+  ``--min-batch-speedup``, or
+* the end-to-end full-leg speedup (batch decode + intra-shard
+  pipelining + jobs=N vs the reference serial path) drops under
+  ``--min-full-leg``.
+
+Run by the CI differential job after the smoke bench::
+
+    python -m benchmarks.check_batch_ingest \
+        --baseline benchmarks/BENCH_scaling.json \
+        --current  /tmp/bench/BENCH_scaling.json
+
+Ratios are preferred over absolute rows/sec because CI machines vary;
+a ratio only moves when the code does. The defaults are smoke-safe
+(tiny corpora, possibly single-core runners) — the real acceptance
+bars (>=2x batch tier, >=5x full leg) are asserted by the bench itself
+at full scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Allowed fractional drop in batch rows/sec vs the committed baseline.
+DEFAULT_TOLERANCE = 0.35
+
+#: The batch/reference ratio at the largest volume may never fall below
+#: this (smoke-safe floor; full scale asserts >=2x in the bench).
+DEFAULT_MIN_BATCH_SPEEDUP = 1.2
+
+#: The full-leg (engineered vs reference end-to-end) ratio may never
+#: fall below this. Smoke-safe: on tiny corpora and single-core
+#: runners the analysis phase dominates and parallelism is
+#: unavailable, so the smoke gate only rejects a material end-to-end
+#: regression; full scale asserts >=5x in the bench itself.
+DEFAULT_MIN_FULL_LEG = 0.85
+
+
+def _load_entries(path: Path) -> dict[str, dict]:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    entries = {
+        entry.get("test"): entry for entry in document.get("entries", [])
+    }
+    for required in ("test_row_volume_curve", "test_full_pipeline_leg"):
+        if required not in entries:
+            raise SystemExit(f"{path}: no {required} entry")
+    return entries
+
+
+def check(
+    baseline_path: Path,
+    current_path: Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_batch_speedup: float = DEFAULT_MIN_BATCH_SPEEDUP,
+    min_full_leg: float = DEFAULT_MIN_FULL_LEG,
+) -> list[str]:
+    """The list of regression findings (empty = gate passes)."""
+    baseline = _load_entries(baseline_path)
+    current = _load_entries(current_path)
+    findings = []
+
+    base_rps = baseline["test_row_volume_curve"].get("records_per_sec") or 0.0
+    cur_rps = current["test_row_volume_curve"].get("records_per_sec") or 0.0
+    floor = base_rps * (1.0 - tolerance)
+    if cur_rps < floor:
+        findings.append(
+            f"batch rows/sec regressed beyond {tolerance:.0%}: "
+            f"{cur_rps:,.0f} < {floor:,.0f} (baseline {base_rps:,.0f})"
+        )
+
+    accuracy = current["test_row_volume_curve"].get("accuracy") or {}
+    batch_speedup = accuracy.get("batch_vs_off_at_max_volume", 0.0)
+    if batch_speedup < min_batch_speedup:
+        findings.append(
+            f"batch tier speedup fell to x{batch_speedup:.2f} "
+            f"(minimum x{min_batch_speedup:.2f})"
+        )
+
+    leg = (current["test_full_pipeline_leg"].get("accuracy") or {})
+    full_leg = leg.get("full_leg_speedup", 0.0)
+    if full_leg < min_full_leg:
+        findings.append(
+            f"full-leg speedup fell to x{full_leg:.2f} "
+            f"(minimum x{min_full_leg:.2f})"
+        )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional batch rows/sec drop (default 0.35)",
+    )
+    parser.add_argument(
+        "--min-batch-speedup", type=float,
+        default=DEFAULT_MIN_BATCH_SPEEDUP,
+        help="minimum batch/reference ratio at max volume (default 1.2)",
+    )
+    parser.add_argument(
+        "--min-full-leg", type=float, default=DEFAULT_MIN_FULL_LEG,
+        help="minimum engineered/reference end-to-end ratio "
+             "(default 0.85; the >=5x bar is asserted at full scale)",
+    )
+    args = parser.parse_args(argv)
+    findings = check(
+        args.baseline, args.current, args.tolerance,
+        args.min_batch_speedup, args.min_full_leg,
+    )
+    for finding in findings:
+        print(f"FAIL: {finding}", file=sys.stderr)
+    if not findings:
+        current = _load_entries(args.current)
+        accuracy = current["test_row_volume_curve"].get("accuracy") or {}
+        leg = current["test_full_pipeline_leg"].get("accuracy") or {}
+        print(
+            f"ok: batch {current['test_row_volume_curve'].get('records_per_sec'):,.0f} rows/sec "
+            f"(x{accuracy.get('batch_vs_off_at_max_volume', 0):.2f} vs reference), "
+            f"full leg x{leg.get('full_leg_speedup', 0):.2f}"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,13 @@ _FLAG_SPECS: dict[str, tuple[tuple[str, ...], dict]] = {
         help="analyze per-month shards over N worker processes "
              "(0 = in-process sequential; tables are byte-identical)",
     )),
+    "pipeline": (("--pipeline",), dict(
+        choices=["on", "off", "auto"], default="auto",
+        help="intra-shard pipelining: decode ssl batches on a reader "
+             "thread while the shard enriches/analyzes them (sharded "
+             "path only; results are byte-identical either way; 'auto' "
+             "(default) enables it whenever the source streams)",
+    )),
     "store": (("--store",), dict(
         type=Path, default=None, metavar="DIR",
         help="columnar record store: pack the archive into DIR on first "
@@ -146,7 +153,7 @@ _FLAG_SPECS: dict[str, tuple[tuple[str, ...], dict]] = {
 #: Flag groups, named for what a subcommand is doing when it needs them.
 _SCALE = ("months", "cpm", "seed")
 _INGEST = ("on-error", "fast-path")
-_SHARDED = ("jobs", "store")
+_SHARDED = ("jobs", "store", "pipeline")
 _SUPERVISION = ("degrade", "max-attempts", "shard-timeout", "resume")
 _OBSERVABILITY = ("metrics", "trace")
 
@@ -521,6 +528,7 @@ def cmd_study(args: argparse.Namespace) -> int:
         fault_plan=fault_plan, jobs=jobs,
         options=IngestOptions(on_error=args.on_error, fast_path=args.fast_path),
         store=store,
+        pipeline=getattr(args, "pipeline", None),
     )
     if getattr(args, "json", False):
         from repro.core.export import study_to_json
@@ -581,6 +589,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         resume_dir=args.resume,
         trace_path=args.trace,
+        pipeline=getattr(args, "pipeline", "auto"),
     )
     health = campaign.health
     run_metrics = campaign.metrics or core_metrics.MetricsRegistry()

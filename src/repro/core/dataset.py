@@ -173,20 +173,9 @@ class MtlsDataset:
         #: Leaf references whose fuid had no x509 row (corrupt or
         #: dropped x509 stream); the connection is kept, the join is None.
         self.dangling_fuid_refs = 0
-        dropped = 0
-        for ssl in ssl_records:
-            if not ssl.established:
-                dropped += 1
-                continue
-            self.connections.append(
-                ConnView(
-                    ssl=ssl,
-                    server_leaf=self._join_leaf(ssl.server_leaf_fuid),
-                    client_leaf=self._join_leaf(ssl.client_leaf_fuid),
-                )
-            )
-        self.dropped_unestablished = dropped
+        self.dropped_unestablished = 0
         self._profiles: dict[str, CertProfile] | None = None
+        self.extend_ssl(ssl_records)
 
     @classmethod
     def from_logs(cls, logs: ZeekLogs, ingest_report=None) -> "MtlsDataset":
@@ -202,6 +191,40 @@ class MtlsDataset:
         if fuid is not None and leaf is None:
             self.dangling_fuid_refs += 1
         return leaf
+
+    def extend_ssl(self, ssl_records: Iterable[SslRecord]) -> list[ConnView]:
+        """Join a further batch of ssl records against the loaded x509
+        stream and return the newly added connection views.
+
+        The incremental entry point of the pipelined shard loader: a
+        dataset built from ``()`` plus any batch split of a record
+        stream equals one built from the whole stream at once — same
+        connections, same drop and dangling accounting.
+        """
+        new: list[ConnView] = []
+        for ssl in ssl_records:
+            if not ssl.established:
+                self.dropped_unestablished += 1
+                continue
+            conn = ConnView(
+                ssl=ssl,
+                server_leaf=self._join_leaf(ssl.server_leaf_fuid),
+                client_leaf=self._join_leaf(ssl.client_leaf_fuid),
+            )
+            self.connections.append(conn)
+            new.append(conn)
+        if new:
+            self._profiles = None
+        return new
+
+    def fuids_of(self, fingerprints: set[str]) -> set[str]:
+        """The fuids of every loaded x509 record whose fingerprint is in
+        the given set (the interception filter's exclusion key)."""
+        return {
+            r.fuid
+            for r in self._x509_by_fuid.values()
+            if r.fingerprint in fingerprints
+        }
 
     def __len__(self) -> int:
         return len(self.connections)
@@ -233,9 +256,7 @@ class MtlsDataset:
         keep_x509 = [
             r for r in self._x509_by_fuid.values() if r.fingerprint not in excluded
         ]
-        excluded_fuids = {
-            r.fuid for r in self._x509_by_fuid.values() if r.fingerprint in excluded
-        }
+        excluded_fuids = self.fuids_of(excluded)
         keep_ssl = []
         for conn in self.connections:
             fuids = set(conn.ssl.cert_chain_fuids) | set(conn.ssl.client_cert_chain_fuids)

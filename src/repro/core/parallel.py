@@ -68,6 +68,7 @@ from repro.core.enrich import (
     InterceptionReport,
     InterceptionScan,
 )
+from repro.core.pipeline import BatchFeed, Pipeline
 from repro.core.report import Table
 from repro.core.supervisor import (
     DegradePolicy,
@@ -126,6 +127,10 @@ class _ExecutorConfig:
     #: Fast-path mode (stored as the enum's string value so the config
     #: pickles compactly to workers). Byte-identical either way.
     fast_path: str = FastPath.AUTO.value
+    #: Intra-shard pipelining mode (string value, like ``fast_path``):
+    #: stream decoded ssl batches into scan/enrich/analyze instead of
+    #: loading a whole month first. Byte-identical either way.
+    pipeline: str = Pipeline.AUTO.value
     #: Process-level fault injection (tests / chaos drills only).
     fault_plan: object | None = None
     #: JSONL trace sink every worker configures for itself (optional).
@@ -231,21 +236,175 @@ def _load_shard(config: _ExecutorConfig, cache: dict, month: str):
     return triple
 
 
+def _pipeline_active(config: _ExecutorConfig) -> bool:
+    """Whether this worker may stream shards batch by batch: pipelining
+    is requested and the bound source supports ``stream_month`` (the
+    columnar store maps whole shards from disk — nothing to overlap)."""
+    return (
+        Pipeline.coerce(config.pipeline).enabled
+        and hasattr(config.source, "stream_month")
+    )
+
+
+class _ShardStream:
+    """One pipelined shard load: the ssl stream decodes on a feeder
+    thread while this thread loads x509, joins, and hands new
+    connections to the consuming phase batch by batch.
+
+    The serial path ts-sorts each month before processing; rotated
+    archives are written in ts order, so arrival order normally *is*
+    sorted order and the incremental results are byte-identical. A
+    violation of that assumption is detected record by record: the
+    stream stops yielding, the remainder is drained, and the dataset is
+    rebuilt from the ts-sorted records — the caller discards its
+    incremental state and recomputes, exactly like a serial run.
+    """
+
+    def __init__(self, config: _ExecutorConfig, month: str) -> None:
+        stream = config.source.stream_month(month, config.ingest_options())
+        self._stream = stream
+        self._feed = BatchFeed(stream.ssl_batches())
+        try:
+            self._x509 = stream.read_x509()
+        except Exception:
+            # ssl-error-wins: the serial path reads ssl.log before
+            # x509.log, so a concurrent ssl failure takes precedence
+            # over this x509 one.
+            ssl_error = self._feed.drain_error()
+            if ssl_error is not None:
+                raise ssl_error from None
+            raise
+        self.dataset = MtlsDataset((), self._x509)
+        self.ordered = True
+        self.batches = 0
+
+    def connections(self):
+        """Yield lists of newly joined ConnViews, batch by batch."""
+        dataset = self.dataset
+        all_ssl: list = []
+        last_ts = None
+        try:
+            for batch in self._feed:
+                self.batches += 1
+                all_ssl.extend(batch)
+                if self.ordered:
+                    for record in batch:
+                        if last_ts is not None and record.ts < last_ts:
+                            self.ordered = False
+                            break
+                        last_ts = record.ts
+                if self.ordered:
+                    yield dataset.extend_ssl(batch)
+        finally:
+            self._feed.close()
+        if not self.ordered:
+            all_ssl.sort(key=lambda r: r.ts)
+            self.dataset = MtlsDataset(all_ssl, self._x509)
+
+    def triple(self):
+        """The finished shard in ``_load_shard``'s cache-entry shape."""
+        return (
+            self.dataset, self._stream.ssl_report, self._stream.x509_report
+        )
+
+
 def _scan_shard(
     config: _ExecutorConfig, cache: dict, month: str
 ) -> _ScanOutcome:
     registry = metrics.MetricsRegistry()
     with metrics.scoped(registry):
         with tracing.span("shard.scan", month=month):
+            scan = None
+            if month not in cache and _pipeline_active(config):
+                with tracing.span("shard.stream", month=month):
+                    stream = _ShardStream(config, month)
+                    scan = _make_enricher(config).new_scan()
+                    for conns in stream.connections():
+                        for conn in conns:
+                            scan.observe(conn)
+                cache[month] = stream.triple()
+                # Phase A reads every month exactly once at any job
+                # count, so these stay deterministic across jobs.
+                registry.inc("pipeline.shards", 1)
+                registry.inc("pipeline.batches", stream.batches)
+                if not stream.ordered:
+                    # The incremental observations ran in arrival order;
+                    # redo them over the rebuilt (sorted) dataset with a
+                    # fresh scan so cache stats match the serial path.
+                    registry.inc("pipeline.fallbacks", 1)
+                    scan = None
             dataset, _, _ = _load_shard(config, cache, month)
-            scan = _make_enricher(config).new_scan()
-            for conn in dataset.connections:
-                scan.observe(conn)
+            if scan is None:
+                scan = _make_enricher(config).new_scan()
+                for conn in dataset.connections:
+                    scan.observe(conn)
             registry.inc("scan.connections_observed", len(dataset.connections))
             registry.inc("scan.shards", 1)
             if scan.fact_cache is not None:
                 registry.observe_cache(scan.fact_cache.stats, "certfacts.scan")
     return _ScanOutcome(scan=scan, metrics=registry.state_dict())
+
+
+def _pipelined_analysis(
+    config: _ExecutorConfig,
+    cache: dict,
+    month: str,
+    report: InterceptionReport,
+):
+    """Overlapped phase-B analysis: enrich + update partials per batch.
+
+    Returns ``(partials, enriched_count, fact_cache)``, or ``None`` when
+    the stream was out of ts order — the shard is then cached in its
+    rebuilt (sorted) form and the caller reruns the serial body over it.
+
+    Per-batch interleaving of ``update`` and ``update_raw`` is safe
+    because no registered analysis consumes both streams (pinned by
+    tests/core/test_pipeline.py): each partial sees its own stream in
+    exactly the serial order. Deliberately emits no ``pipeline.*``
+    counters: phase B only streams on a cache miss, which depends on
+    worker placement, and analyze counters must stay deterministic
+    across job counts.
+    """
+    with tracing.span("shard.stream", month=month):
+        stream = _ShardStream(config, month)
+        enricher = _make_enricher(config)
+        context = protocol.AnalysisContext(
+            bundle=config.bundle, rules=config.rules, interception=report,
+        )
+        partials = protocol.create_partials(config.names, context)
+        updaters = list(partials.values())
+        raw_updaters = [
+            partials[name] for name in partials
+            if protocol.get_analysis(name).needs_raw
+        ]
+        excluded_fuids: set[str] = set()
+        if config.filter_interception and report.excluded_fingerprints:
+            excluded_fuids = stream.dataset.fuids_of(
+                report.excluded_fingerprints
+            )
+        label = enricher.label
+        enriched_count = 0
+        for conns in stream.connections():
+            for conn in conns:
+                if excluded_fuids and not (
+                    excluded_fuids.isdisjoint(conn.ssl.cert_chain_fuids)
+                    and excluded_fuids.isdisjoint(
+                        conn.ssl.client_cert_chain_fuids
+                    )
+                ):
+                    continue
+                enriched = label(conn)
+                for partial in updaters:
+                    partial.update(enriched)
+                enriched_count += 1
+            if raw_updaters:
+                for conn in conns:
+                    for partial in raw_updaters:
+                        partial.update_raw(conn)
+    cache[month] = stream.triple()
+    if not stream.ordered:
+        return None
+    return partials, enriched_count, enricher.fact_cache
 
 
 def _analyze_shard(
@@ -256,24 +415,33 @@ def _analyze_shard(
 ) -> _ShardOutcome:
     registry = metrics.MetricsRegistry()
     with metrics.scoped(registry):
-        dataset, ssl_report, x509_report = _load_shard(config, cache, month)
-        enricher = _make_enricher(config)
-        with tracing.span("shard.enrich", month=month):
-            enriched = enricher.enrich_with_report(dataset, report)
-        context = protocol.AnalysisContext(
-            bundle=config.bundle, rules=config.rules, interception=report,
-        )
-        with tracing.span("shard.analyze", month=month):
-            partials = protocol.run_analyses(
-                enriched, config.names, raw=dataset, context=context,
+        streamed = None
+        if month not in cache and _pipeline_active(config):
+            streamed = _pipelined_analysis(config, cache, month, report)
+        if streamed is not None:
+            partials, enriched_count, fact_cache = streamed
+            dataset, ssl_report, x509_report = cache[month]
+        else:
+            dataset, ssl_report, x509_report = _load_shard(config, cache, month)
+            enricher = _make_enricher(config)
+            with tracing.span("shard.enrich", month=month):
+                enriched = enricher.enrich_with_report(dataset, report)
+            context = protocol.AnalysisContext(
+                bundle=config.bundle, rules=config.rules, interception=report,
             )
+            with tracing.span("shard.analyze", month=month):
+                partials = protocol.run_analyses(
+                    enriched, config.names, raw=dataset, context=context,
+                )
+            enriched_count = len(enriched.connections)
+            fact_cache = enricher.fact_cache
         registry.inc("analyze.shards", 1)
-        registry.inc("analyze.connections_enriched", len(enriched.connections))
+        registry.inc("analyze.connections_enriched", enriched_count)
         registry.inc("analyze.connections_raw", len(dataset.connections))
-        if enricher.fact_cache is not None:
-            registry.observe_cache(enricher.fact_cache.stats, "certfacts.enrich")
+        if fact_cache is not None:
+            registry.observe_cache(fact_cache.stats, "certfacts.enrich")
         registry.observe(
-            "shard.connections", len(enriched.connections),
+            "shard.connections", enriched_count,
             edges=metrics.COUNT_EDGES,
         )
     return _ShardOutcome(
@@ -516,6 +684,7 @@ class ShardExecutor:
         fault_plan=None,
         trace_path: str | Path | None = None,
         fast_path: object = _UNSET_ARG,
+        pipeline: Pipeline | str | bool | None = Pipeline.AUTO,
     ) -> None:
         opts = resolve_ingest_options(
             options, caller="ShardExecutor",
@@ -534,6 +703,7 @@ class ShardExecutor:
             on_error=opts.on_error,
             names=tuple(names) if names is not None else None,
             fast_path=opts.fast_path.value,
+            pipeline=Pipeline.coerce(pipeline).value,
             fault_plan=fault_plan,
             trace_path=str(trace_path) if trace_path is not None else None,
         )
@@ -733,10 +903,12 @@ class ShardExecutor:
 
         The trust bundle is part of the identity; the CT log is not
         hashable in general and is assumed stable across a resume — as
-        is the log content behind the source. ``fast_path`` is
-        deliberately *excluded*: the fast and slow decoders are
-        byte-identical by contract, so a campaign may resume across a
-        ``--fast-path`` flip without invalidating spilled shards.
+        is the log content behind the source. ``fast_path`` and
+        ``pipeline`` are deliberately *excluded*: the fast/batch
+        decoders and the pipelined loader are byte-identical to the
+        reference path by contract, so a campaign may resume across a
+        ``--fast-path`` or ``--pipeline`` flip without invalidating
+        spilled shards.
         """
         bundle = self.config.bundle
         payload = {
@@ -825,6 +997,7 @@ def analyze_directory(
     resume_dir: Path | str | None = None,
     trace_path: str | Path | None = None,
     fast_path: object = _UNSET_ARG,
+    pipeline: Pipeline | str | bool | None = Pipeline.AUTO,
 ) -> CampaignResult:
     """One-call sharded analysis of a rotated Zeek archive.
 
@@ -873,5 +1046,6 @@ def analyze_directory(
         degrade=degrade,
         fault_plan=fault_plan,
         trace_path=trace_path,
+        pipeline=pipeline,
     )
     return executor.run_directory(directory, resume_dir=resume_dir, store=store)

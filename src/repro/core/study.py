@@ -87,6 +87,7 @@ class CampusStudy:
         *,
         options: IngestOptions | None = None,
         store: Path | str | None = None,
+        pipeline: object = None,
     ) -> None:
         opts = resolve_ingest_options(
             options, caller="CampusStudy",
@@ -112,6 +113,10 @@ class CampusStudy:
             )
         self.jobs = jobs
         self.store = store
+        #: Intra-shard pipelining mode for the sharded path (``None`` =
+        #: auto); ignored by the in-memory path, which has no ingest
+        #: phase to overlap. Tables are byte-identical in every mode.
+        self.pipeline = pipeline
         #: Run metrics for this study: phase timers plus ingest/analysis
         #: counters; for sharded runs the campaign's merged worker
         #: metrics are folded in.
@@ -227,6 +232,7 @@ class CampusStudy:
             options=self.options,
             filter_interception=self.filter_interception,
             jobs=self.jobs,
+            pipeline=self.pipeline,
         )
         with tempfile.TemporaryDirectory(prefix="campus-shards-") as tmp:
             with metrics.scoped(self.metrics), tracing.span("study.write_shards"):

@@ -26,6 +26,7 @@ from repro.zeek.ingest import (
 from repro.zeek.records import SslRecord, X509Record
 from repro.zeek.tsv import (
     TsvFormatError,
+    iter_ssl_log_batches,
     read_ssl_log,
     read_x509_log,
     write_ssl_log,
@@ -153,6 +154,50 @@ def read_logs_directory(
     return ZeekLogs(ssl=ssl_records, x509=x509_records)
 
 
+class MonthStream:
+    """Streaming view of one month's shard for the pipelined loader.
+
+    :meth:`ssl_batches` yields decoded ssl record batches as the files
+    are read — a consumer on another thread can join/enrich batch *k*
+    while batch *k+1* is still decoding. :meth:`read_x509` loads the
+    (tiny, broadcast) certificate stream whole, ts-sorted exactly like
+    :meth:`TsvDirectorySource.read_month`. The two reports fill in as
+    reading proceeds and match the serial read's reports field for
+    field once both streams are drained.
+    """
+
+    def __init__(
+        self,
+        month: str,
+        ssl_paths: Iterable[str],
+        x509_paths: Iterable[str],
+        options: IngestOptions,
+    ) -> None:
+        self.month = month
+        self._ssl_paths = tuple(str(p) for p in ssl_paths)
+        self._x509_paths = tuple(str(p) for p in x509_paths)
+        self._options = options
+        self.ssl_report = IngestReport()
+        self.x509_report = IngestReport()
+
+    def ssl_batches(self):
+        """Decoded ssl batches across the month's files, in path order
+        (the same order :func:`_read_many` concatenates them)."""
+        for path in sorted(Path(p) for p in self._ssl_paths):
+            with _open_text(path, "r") as source:
+                yield from iter_ssl_log_batches(
+                    source, self._options.for_path(str(path), self.ssl_report)
+                )
+
+    def read_x509(self) -> list[X509Record]:
+        records = _read_many(
+            [Path(p) for p in self._x509_paths],
+            read_x509_log, self._options, self.x509_report,
+        )
+        records.sort(key=lambda r: r.ts)
+        return records
+
+
 class TsvDirectorySource:
     """:class:`~repro.zeek.ingest.RecordSource` over a rotated TSV tree.
 
@@ -213,6 +258,13 @@ class TsvDirectorySource:
             month=month, ssl=ssl, x509=x509,
             ssl_report=ssl_report, x509_report=x509_report,
         )
+
+    def stream_month(self, month: str, options: IngestOptions) -> MonthStream:
+        """A :class:`MonthStream` over one shard — the pipelined
+        counterpart of :meth:`read_month`. Sources without this method
+        are loaded serially by the executor."""
+        ssl_paths, x509_paths = self._shard_paths(month)
+        return MonthStream(month, ssl_paths, x509_paths, options)
 
     def read_all(
         self, options: IngestOptions

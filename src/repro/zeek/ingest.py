@@ -54,18 +54,21 @@ class ErrorPolicy(str, enum.Enum):
 
 
 class FastPath(str, enum.Enum):
-    """Whether readers and enrichers use the compiled fast path.
+    """Which decode engine readers and enrichers use.
 
-    ``auto`` resolves to the library default (currently *on*); ``off``
-    forces the reference per-field implementation. The two paths are
-    proven byte-identical by ``tests/differential``, so ``off`` exists
-    only as an operator escape hatch and as the differential baseline —
-    never as a semantic switch.
+    ``off`` forces the reference per-field implementation; ``on`` the
+    compiled per-row fast path (PR 5); ``batch`` the vectorized
+    whole-buffer engine that decodes columns in bulk. ``auto`` resolves
+    to the library default (currently *batch*). All engines are proven
+    byte-identical by ``tests/differential``, so the modes exist only as
+    operator escape hatches and as differential baselines — never as
+    semantic switches.
     """
 
     ON = "on"
     OFF = "off"
     AUTO = "auto"
+    BATCH = "batch"
 
     @classmethod
     def coerce(cls, value: "FastPath | str | bool") -> "FastPath":
@@ -84,6 +87,12 @@ class FastPath(str, enum.Enum):
     @property
     def enabled(self) -> bool:
         return self is not FastPath.OFF
+
+    @property
+    def batched(self) -> bool:
+        """Whether readers use the vectorized whole-buffer engine
+        (``auto`` promotes to batch; ``on`` keeps the per-row path)."""
+        return self in (FastPath.BATCH, FastPath.AUTO)
 
 
 @dataclass(frozen=True)
@@ -301,6 +310,10 @@ class IngestOptions:
     fast_path: FastPath = FastPath.AUTO
     report: IngestReport | None = None
     path: str | None = None
+    #: Read-buffer size for the batch engine (``None`` = library
+    #: default). Output is chunk-size-invariant (proven by the splitter
+    #: property tests), so this is a tuning knob, never identity.
+    batch_chunk_chars: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "on_error", ErrorPolicy.coerce(self.on_error))

@@ -1,11 +1,12 @@
-"""Differential harness: fast path vs the reference path.
+"""Differential harness: fast and batch paths vs the reference path.
 
 The fast ingest decoders (:mod:`repro.zeek.tsv`) and the per-certificate
 fact cache (:mod:`repro.x509.facts`) promise *byte-identical* results to
 the slow reference implementations. These helpers run the same input
-through both paths and assert total equivalence: records, ingest
-reports, and — under the strict policy — the raised error's full
-context.
+through all three decoder tiers — ``off`` (reference per-field), ``on``
+(compiled per-row), ``batch`` (vectorized whole-buffer) — and assert
+total equivalence: records, ingest reports, and — under the strict
+policy — the raised error's full context.
 """
 
 from __future__ import annotations
@@ -41,22 +42,44 @@ def corpus_texts(
     return ssl_log_to_string(logs.ssl), x509_log_to_string(logs.x509)
 
 
-def read_one(
-    kind: str, text: str, policy: ErrorPolicy | str, fast: bool
-) -> tuple[list, IngestReport, TsvFormatError | None]:
-    """Run one (kind, policy, path) combination to completion.
+#: Decoder tiers under differential test. A bool still selects the
+#: historical pair (True → "on").
+MODES = ("off", "on", "batch")
 
-    A strict-mode failure is captured, not propagated: the error object
+#: Chunk size used for the batch leg: small enough that every corpus
+#: spans many read buffers, so chunk-boundary record splitting is
+#: exercised by default (output is chunk-size-invariant by contract).
+BATCH_TEST_CHUNK = 4096
+
+
+def read_one(
+    kind: str,
+    text: str,
+    policy: ErrorPolicy | str,
+    mode: bool | str,
+    chunk_chars: int | None = None,
+) -> tuple[list, IngestReport, TsvFormatError | None]:
+    """Run one (kind, policy, mode) combination to completion.
+
+    ``mode`` is a decoder tier (``"off"``/``"on"``/``"batch"``); a bool
+    keeps the historical two-way signature (True → ``"on"``). A
+    strict-mode failure is captured, not propagated: the error object
     is part of the equivalence contract and must be compared too. The
     report returned on failure is the partial report at raise time.
     """
+    if isinstance(mode, bool):
+        mode = "on" if mode else "off"
     report = IngestReport()
     reader = _READERS[kind]
     options = IngestOptions(
         on_error=policy,
-        fast_path="on" if fast else "off",
+        fast_path=mode,
         report=report,
         path=f"{kind}.log",
+        batch_chunk_chars=(
+            chunk_chars if chunk_chars is not None
+            else (BATCH_TEST_CHUNK if mode == "batch" else None)
+        ),
     )
     try:
         records = reader(io.StringIO(text), options)
@@ -79,13 +102,17 @@ def _error_context(error: TsvFormatError | None):
 
 
 def assert_equivalent(kind: str, text: str, policy: ErrorPolicy | str) -> None:
-    """Fast and slow must agree on records, report, and error context."""
-    slow_records, slow_report, slow_error = read_one(kind, text, policy, False)
-    fast_records, fast_report, fast_error = read_one(kind, text, policy, True)
-    assert _error_context(fast_error) == _error_context(slow_error)
-    assert len(fast_records) == len(slow_records)
-    assert fast_records == slow_records
-    # Hash/eq agreement is not enough for a *byte*-identical claim:
-    # repr exposes every field verbatim.
-    assert [repr(r) for r in fast_records] == [repr(r) for r in slow_records]
-    assert fast_report.to_dict() == slow_report.to_dict()
+    """All three decoder tiers must agree on records, report, and error
+    context — the reference (``off``) leg is the ground truth."""
+    slow_records, slow_report, slow_error = read_one(kind, text, policy, "off")
+    for mode in ("on", "batch"):
+        records, report, error = read_one(kind, text, policy, mode)
+        assert _error_context(error) == _error_context(slow_error), mode
+        assert len(records) == len(slow_records), mode
+        assert records == slow_records, mode
+        # Hash/eq agreement is not enough for a *byte*-identical claim:
+        # repr exposes every field verbatim.
+        assert [repr(r) for r in records] == [
+            repr(r) for r in slow_records
+        ], mode
+        assert report.to_dict() == slow_report.to_dict(), mode

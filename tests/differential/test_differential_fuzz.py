@@ -12,7 +12,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from tests.differential import KINDS, POLICIES, assert_equivalent, corpus_texts
+from tests.differential import (
+    BATCH_TEST_CHUNK,
+    KINDS,
+    POLICIES,
+    assert_equivalent,
+    corpus_texts,
+)
 
 
 def _split_corpus(text: str) -> tuple[str, list[str]]:
@@ -78,5 +84,33 @@ def test_mutated_valid_rows(kind, data):
     cells[column] = data.draw(_cells, label="replacement")
     rows[target] = "\t".join(cells)
     text = HEADERS[kind] + "".join(row + "\n" for row in rows) + "#close\n"
+    for policy in POLICIES:
+        assert_equivalent(kind, text, policy)
+
+
+#: Characters that target the batch reader's structural assumptions:
+#: separators, newlines, header/unset markers, escape introducers.
+_flip_chars = st.sampled_from(["\t", "\n", "#", "-", "\\", "\x00", " "])
+
+_FULL_TEXT = {"ssl": _SSL_TEXT, "x509": _X509_TEXT}
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_byte_flips_at_batch_boundaries(kind, data):
+    """Single-character corruption aimed exactly at the batch reader's
+    chunk seams: a flip at ``k * chunk ± 3`` lands where the vectorized
+    reader splices ``pending + chunk`` back together, so a splicing bug
+    would surface as a divergent record, error, or drop count. The
+    result must match the line-at-a-time reference byte for byte."""
+    base = _FULL_TEXT[kind]
+    boundaries = len(base) // BATCH_TEST_CHUNK
+    assert boundaries >= 2  # the corpus must actually span several chunks
+    k = data.draw(st.integers(1, boundaries), label="boundary")
+    delta = data.draw(st.integers(-3, 3), label="delta")
+    offset = min(len(base) - 1, k * BATCH_TEST_CHUNK + delta)
+    flip = data.draw(_flip_chars, label="flip")
+    text = base[:offset] + flip + base[offset + 1 :]
     for policy in POLICIES:
         assert_equivalent(kind, text, policy)

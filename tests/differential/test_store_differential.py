@@ -43,6 +43,14 @@ def _run(simulation, directory, *, store=None, options=None, jobs=2):
     )
 
 
+def _data_counters(registry):
+    return {
+        name: value
+        for name, value in registry.counters.items()
+        if not name.startswith("pipeline.")
+    }
+
+
 def _assert_campaigns_identical(baseline, stored):
     # All 24 registry analyses, rendered — the byte-identical claim.
     base_tables = {name: str(p.finalize()) for name, p in baseline.partials.items()}
@@ -55,9 +63,12 @@ def _assert_campaigns_identical(baseline, stored):
     assert stored.ingest.to_dict() == baseline.ingest.to_dict()
     assert stored.dangling_fuid_refs == baseline.dangling_fuid_refs
     assert stored.months == baseline.months
-    # Deterministic metrics: counters and histograms merge to the same
-    # values regardless of how records reached the workers.
-    assert stored.metrics.counters == baseline.metrics.counters
+    # Deterministic metrics: data-derived counters and histograms merge
+    # to the same values regardless of how records reached the workers.
+    # The pipeline.* namespace is exempt by design — it measures exactly
+    # *how* records reached the workers (a TSV source streams batches,
+    # the mapped store loads whole shards), not what they contained.
+    assert _data_counters(stored.metrics) == _data_counters(baseline.metrics)
     assert {
         name: h.state_dict() for name, h in stored.metrics.histograms.items()
     } == {
